@@ -1,0 +1,135 @@
+//! Synthetic Alibaba-topology application (paper Tab. 5 / §6.6).
+//!
+//! "As there are no existing large open-source microservice systems, we
+//! generated a large-scale microservice application using the Alibaba
+//! service topology in the Alibaba trace dataset. For this, we omitted the
+//! caches and databases and only focused on stateless services." We do the
+//! same with a synthetic stand-in (the trace dataset itself is not
+//! redistributable; see `DESIGN.md` §4): a deterministic power-law call DAG
+//! with preferential attachment, which matches the hub-dominated shape the
+//! Alibaba trace analyses report.
+
+use blueprint_wiring::WiringSpec;
+use blueprint_workflow::{Behavior, ServiceBuilder, ServiceInterface, WorkflowSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use blueprint_ir::types::{MethodSig, Param, TypeRef};
+
+use crate::common::{cost, standard_scaffolding, WiringOpts};
+
+/// The instance count of the paper's Alibaba-TraceSet row.
+pub const PAPER_SCALE: usize = 2_882;
+
+/// Generates the synthetic topology at the given scale.
+///
+/// Service `i` calls 1–5 earlier services; 30% of edges attach
+/// preferentially to the most-referenced hubs, the rest uniformly, yielding
+/// the heavy-tailed fan-in of the Alibaba call graphs. Deterministic in
+/// `seed`.
+pub fn topology(services: usize, seed: u64) -> (WorkflowSpec, WiringSpec) {
+    assert!(services >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut wf = WorkflowSpec::new("alibaba_traceset");
+    let mut in_degree = vec![0usize; services];
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); services];
+
+    for i in 0..services {
+        let out_degree = if i == 0 {
+            0
+        } else {
+            // Power-law-ish out-degree in 1..=5.
+            let u: f64 = rng.gen_range(0.0..1.0f64);
+            (1.0 + 4.0 * u * u * u) as usize
+        };
+        let mut targets = Vec::new();
+        for _ in 0..out_degree {
+            let target = if rng.gen_bool(0.3) && i > 10 {
+                // Preferential attachment: pick among the top fan-in hubs so
+                // far.
+                let mut best = 0;
+                for _ in 0..4 {
+                    let cand = rng.gen_range(0..i);
+                    if in_degree[cand] >= in_degree[best.min(i - 1)] {
+                        best = cand;
+                    }
+                }
+                best
+            } else {
+                rng.gen_range(0..i)
+            };
+            if !targets.contains(&target) {
+                targets.push(target);
+                in_degree[target] += 1;
+            }
+        }
+        edges[i] = targets;
+    }
+
+    for i in 0..services {
+        let iface = ServiceInterface::new(
+            format!("Svc{i}"),
+            vec![MethodSig::new("Call", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit)],
+        );
+        let mut builder = ServiceBuilder::new(format!("Svc{i}Impl"), iface);
+        let mut b = Behavior::build().compute(cost::LIGHT_NS, cost::ALLOC);
+        for &t in &edges[i] {
+            let dep = format!("d{t}");
+            builder = builder.dep_service(&dep, &format!("Svc{t}"));
+            b = b.call(&dep, "Call");
+        }
+        wf.add_service(builder.method("Call", b.done()).done().expect("valid service"))
+            .expect("synthetic service");
+    }
+    wf.validate().expect("synthetic workflow consistent");
+
+    // Wiring: every instance behind gRPC in Docker, like the paper's setup.
+    let opts = WiringOpts::default().without_tracing();
+    let mut w = WiringSpec::new("alibaba_traceset");
+    let mods = standard_scaffolding(&mut w, &opts).expect("scaffolding");
+    let mods: Vec<&str> = mods.iter().map(String::as_str).collect();
+    for i in 0..services {
+        let deps: Vec<String> = edges[i].iter().map(|t| format!("svc{t}")).collect();
+        let refs: Vec<&str> = deps.iter().map(String::as_str).collect();
+        w.service(&format!("svc{i}"), &format!("Svc{i}Impl"), &refs, &mods).expect("wiring");
+    }
+    (wf, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_core::Blueprint;
+
+    #[test]
+    fn topology_is_deterministic_and_acyclic() {
+        let (wf_a, w_a) = topology(100, 7);
+        let (wf_b, w_b) = topology(100, 7);
+        assert_eq!(wf_a, wf_b);
+        assert_eq!(w_a, w_b);
+        let (wf_c, _) = topology(100, 8);
+        assert_ne!(wf_a, wf_c);
+    }
+
+    #[test]
+    fn small_scale_compiles_and_has_hubs() {
+        let (wf, w) = topology(150, 3);
+        let app = Blueprint::new().without_artifacts().compile(&wf, &w).unwrap();
+        assert_eq!(app.system().services.len(), 150);
+        // Heavy-tailed fan-in: some service has many callers.
+        let ir = app.ir();
+        let max_in = ir
+            .nodes()
+            .filter(|(_, n)| n.kind.starts_with("workflow."))
+            .map(|(id, _)| ir.in_edges(id).len())
+            .max()
+            .unwrap();
+        assert!(max_in >= 8, "max fan-in {max_in}");
+        assert!(blueprint_ir::path::invocation_cycles(ir).is_empty());
+    }
+
+    #[test]
+    fn paper_scale_constant() {
+        assert_eq!(PAPER_SCALE, 2_882);
+    }
+}

@@ -1,0 +1,437 @@
+//! DSB Media, ported to Blueprint (paper §5).
+//!
+//! The DeathStarBench media application: composing movie reviews fans out to
+//! id/text/rating/user processing and lands in review storage plus the
+//! per-movie and per-user review indexes; the read plane serves movie info
+//! (with plot and cast) and review pages.
+
+use blueprint_ir::types::{MethodSig, Param, TypeRef};
+use blueprint_wiring::{Arg, WiringSpec};
+use blueprint_workflow::{Behavior, KeyExpr, ServiceBuilder, ServiceInterface, WorkflowSpec};
+use blueprint_workload::generator::ApiMix;
+
+use crate::common::{cost, finish_monolith, standard_scaffolding, WiringOpts};
+
+/// Number of distinct movies/users the workloads draw from.
+pub const ENTITIES: u64 = 5_000;
+
+fn sig(name: &str) -> MethodSig {
+    MethodSig::new(name, vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit)
+}
+
+/// Builds a single-method leaf service with a cache-aside read.
+fn cached_reader(
+    wf: &mut WorkflowSpec,
+    impl_name: &str,
+    iface: &str,
+    method: &str,
+    cache: &str,
+    db: &str,
+) {
+    wf.add_service(
+        ServiceBuilder::new(impl_name, ServiceInterface::new(iface, vec![sig(method)]))
+            .dep_cache(cache)
+            .dep_nosql(db)
+            .method(
+                method,
+                Behavior::build()
+                    .compute(cost::LIGHT_NS, cost::ALLOC)
+                    .cache_get_or_fetch(
+                        cache,
+                        KeyExpr::EntityMod(ENTITIES),
+                        Behavior::build()
+                            .db_read(db, KeyExpr::EntityMod(ENTITIES))
+                            .cache_put(cache, KeyExpr::EntityMod(ENTITIES))
+                            .done(),
+                    )
+                    .done(),
+            )
+            .done()
+            .expect("valid service"),
+    )
+    .expect("leaf service");
+}
+
+/// The workflow spec.
+pub fn workflow() -> WorkflowSpec {
+    let mut wf = WorkflowSpec::new("dsb_media");
+
+    // Leaf processing services of the compose path.
+    wf.add_service(
+        ServiceBuilder::new(
+            "UniqueIdServiceImpl",
+            ServiceInterface::new("UniqueIdService", vec![sig("UploadUniqueId")]),
+        )
+        .method("UploadUniqueId", Behavior::build().compute(cost::LIGHT_NS, 4 << 10).done())
+        .done()
+        .expect("valid service"),
+    )
+    .expect("unique id");
+
+    cached_reader(&mut wf, "MovieIdServiceImpl", "MovieIdService", "UploadMovieId", "movie_id_cache", "movie_id_db");
+
+    wf.add_service(
+        ServiceBuilder::new(
+            "TextServiceImpl",
+            ServiceInterface::new("TextService", vec![sig("UploadText")]),
+        )
+        .method(
+            "UploadText",
+            Behavior::build().compute(cost::MEDIUM_NS, cost::ALLOC_BIG).done(),
+        )
+        .done()
+        .expect("valid service"),
+    )
+    .expect("text");
+
+    wf.add_service(
+        ServiceBuilder::new(
+            "RatingServiceImpl",
+            ServiceInterface::new("RatingService", vec![sig("UploadRating")]),
+        )
+        .dep_cache("rating_cache")
+        .method(
+            "UploadRating",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .cache_put("rating_cache", KeyExpr::EntityMod(ENTITIES))
+                .done(),
+        )
+        .done()
+        .expect("valid service"),
+    )
+    .expect("rating");
+
+    cached_reader(&mut wf, "UserServiceImpl", "UserService", "UploadUser", "user_cache", "user_db");
+
+    // Review storage + indexes.
+    wf.add_service(
+        ServiceBuilder::new(
+            "ReviewStorageServiceImpl",
+            ServiceInterface::new(
+                "ReviewStorageService",
+                vec![sig("StoreReview"), sig("ReadReviews")],
+            ),
+        )
+        .dep_cache("review_cache")
+        .dep_nosql("review_db")
+        .method(
+            "StoreReview",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC_BIG)
+                .db_write("review_db", KeyExpr::Entity)
+                .cache_put("review_cache", KeyExpr::Entity)
+                .done(),
+        )
+        .method(
+            "ReadReviews",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .repeat(
+                    8,
+                    Behavior::build()
+                        .cache_get_or_fetch(
+                            "review_cache",
+                            KeyExpr::Random(ENTITIES),
+                            Behavior::build()
+                                .db_read("review_db", KeyExpr::Random(ENTITIES))
+                                .cache_put("review_cache", KeyExpr::Random(ENTITIES))
+                                .done(),
+                        )
+                        .done(),
+                )
+                .done(),
+        )
+        .done()
+        .expect("valid service"),
+    )
+    .expect("review storage");
+
+    for (imp, iface, write_m, read_m, db) in [
+        (
+            "MovieReviewServiceImpl",
+            "MovieReviewService",
+            "UploadMovieReview",
+            "ReadMovieReviews",
+            "movie_review_db",
+        ),
+        (
+            "UserReviewServiceImpl",
+            "UserReviewService",
+            "UploadUserReview",
+            "ReadUserReviews",
+            "user_review_db",
+        ),
+    ] {
+        wf.add_service(
+            ServiceBuilder::new(
+                imp,
+                ServiceInterface::new(iface, vec![sig(write_m), sig(read_m)]),
+            )
+            .dep_nosql(db)
+            .dep_service("review_storage", "ReviewStorageService")
+            .method(
+                write_m,
+                Behavior::build()
+                    .compute(cost::LIGHT_NS, cost::ALLOC)
+                    .db_write(db, KeyExpr::EntityMod(ENTITIES))
+                    .done(),
+            )
+            .method(
+                read_m,
+                Behavior::build()
+                    .compute(cost::LIGHT_NS, cost::ALLOC)
+                    .db_read(db, KeyExpr::EntityMod(ENTITIES))
+                    .call("review_storage", "ReadReviews")
+                    .done(),
+            )
+            .done()
+            .expect("valid service"),
+        )
+        .expect("review index");
+    }
+
+    // Movie metadata plane.
+    cached_reader(&mut wf, "PlotServiceImpl", "PlotService", "ReadPlot", "plot_cache", "plot_db");
+    wf.add_service(
+        ServiceBuilder::new(
+            "CastInfoServiceImpl",
+            ServiceInterface::new("CastInfoService", vec![sig("ReadCastInfo")]),
+        )
+        .dep_nosql("cast_db")
+        .method(
+            "ReadCastInfo",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .db_scan("cast_db", KeyExpr::EntityMod(ENTITIES), 12)
+                .done(),
+        )
+        .done()
+        .expect("valid service"),
+    )
+    .expect("cast info");
+
+    wf.add_service(
+        ServiceBuilder::new(
+            "MovieInfoServiceImpl",
+            ServiceInterface::new("MovieInfoService", vec![sig("ReadMovieInfo")]),
+        )
+        .dep_nosql("movie_info_db")
+        .dep_service("plot", "PlotService")
+        .dep_service("cast_info", "CastInfoService")
+        .method(
+            "ReadMovieInfo",
+            Behavior::build()
+                .compute(cost::MEDIUM_NS, cost::ALLOC)
+                .db_read("movie_info_db", KeyExpr::EntityMod(ENTITIES))
+                .parallel(vec![
+                    Behavior::build().call("plot", "ReadPlot").done(),
+                    Behavior::build().call("cast_info", "ReadCastInfo").done(),
+                ])
+                .done(),
+        )
+        .done()
+        .expect("valid service"),
+    )
+    .expect("movie info");
+
+    // Compose orchestration.
+    wf.add_service(
+        ServiceBuilder::new(
+            "ComposeReviewServiceImpl",
+            ServiceInterface::new("ComposeReviewService", vec![sig("ComposeReview")]),
+        )
+        .dep_service("unique_id", "UniqueIdService")
+        .dep_service("movie_id", "MovieIdService")
+        .dep_service("text", "TextService")
+        .dep_service("rating", "RatingService")
+        .dep_service("user", "UserService")
+        .dep_service("review_storage", "ReviewStorageService")
+        .dep_service("movie_review", "MovieReviewService")
+        .dep_service("user_review", "UserReviewService")
+        .method(
+            "ComposeReview",
+            Behavior::build()
+                .compute(cost::MEDIUM_NS, cost::ALLOC_BIG)
+                .parallel(vec![
+                    Behavior::build().call("unique_id", "UploadUniqueId").done(),
+                    Behavior::build().call("movie_id", "UploadMovieId").done(),
+                    Behavior::build().call("text", "UploadText").done(),
+                    Behavior::build().call("rating", "UploadRating").done(),
+                    Behavior::build().call("user", "UploadUser").done(),
+                ])
+                .call("review_storage", "StoreReview")
+                .parallel(vec![
+                    Behavior::build().call("movie_review", "UploadMovieReview").done(),
+                    Behavior::build().call("user_review", "UploadUserReview").done(),
+                ])
+                .done(),
+        )
+        .done()
+        .expect("valid service"),
+    )
+    .expect("compose review");
+
+    // Gateway.
+    wf.add_service(
+        ServiceBuilder::new(
+            "GatewayServiceImpl",
+            ServiceInterface::new(
+                "GatewayService",
+                vec![sig("ComposeReview"), sig("ReadMovieReviews"), sig("ReadMovieInfo"), sig("ReadUserReviews")],
+            ),
+        )
+        .dep_service("compose", "ComposeReviewService")
+        .dep_service("movie_review", "MovieReviewService")
+        .dep_service("user_review", "UserReviewService")
+        .dep_service("movie_info", "MovieInfoService")
+        .method(
+            "ComposeReview",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .call("compose", "ComposeReview")
+                .done(),
+        )
+        .method(
+            "ReadMovieReviews",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .call("movie_review", "ReadMovieReviews")
+                .done(),
+        )
+        .method(
+            "ReadUserReviews",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .call("user_review", "ReadUserReviews")
+                .done(),
+        )
+        .method(
+            "ReadMovieInfo",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .call("movie_info", "ReadMovieInfo")
+                .done(),
+        )
+        .done()
+        .expect("valid service"),
+    )
+    .expect("gateway");
+
+    wf.validate().expect("media workflow consistent");
+    wf
+}
+
+/// The wiring spec.
+pub fn wiring(opts: &WiringOpts) -> WiringSpec {
+    let mut w = WiringSpec::new("dsb_media");
+    let mods = standard_scaffolding(&mut w, opts).expect("scaffolding");
+    let mods: Vec<&str> = mods.iter().map(String::as_str).collect();
+
+    for db in [
+        "movie_id_db",
+        "user_db",
+        "review_db",
+        "movie_review_db",
+        "user_review_db",
+        "plot_db",
+        "cast_db",
+        "movie_info_db",
+    ] {
+        w.define(db, "MongoDB", vec![]).expect("wiring");
+    }
+    for cache in ["movie_id_cache", "user_cache", "review_cache", "rating_cache", "plot_cache"] {
+        w.define_kw(cache, "Redis", vec![], vec![("capacity", Arg::Int(200_000))])
+            .expect("wiring");
+    }
+
+    w.service("unique_id", "UniqueIdServiceImpl", &[], &mods).expect("wiring");
+    w.service("movie_id", "MovieIdServiceImpl", &["movie_id_cache", "movie_id_db"], &mods)
+        .expect("wiring");
+    w.service("text", "TextServiceImpl", &[], &mods).expect("wiring");
+    w.service("rating", "RatingServiceImpl", &["rating_cache"], &mods).expect("wiring");
+    w.service("user", "UserServiceImpl", &["user_cache", "user_db"], &mods).expect("wiring");
+    w.service("review_storage", "ReviewStorageServiceImpl", &["review_cache", "review_db"], &mods)
+        .expect("wiring");
+    w.service(
+        "movie_review",
+        "MovieReviewServiceImpl",
+        &["movie_review_db", "review_storage"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service("user_review", "UserReviewServiceImpl", &["user_review_db", "review_storage"], &mods)
+        .expect("wiring");
+    w.service("plot", "PlotServiceImpl", &["plot_cache", "plot_db"], &mods).expect("wiring");
+    w.service("cast_info", "CastInfoServiceImpl", &["cast_db"], &mods).expect("wiring");
+    w.service("movie_info", "MovieInfoServiceImpl", &["movie_info_db", "plot", "cast_info"], &mods)
+        .expect("wiring");
+    w.service(
+        "compose_review",
+        "ComposeReviewServiceImpl",
+        &[
+            "unique_id",
+            "movie_id",
+            "text",
+            "rating",
+            "user",
+            "review_storage",
+            "movie_review",
+            "user_review",
+        ],
+        &mods,
+    )
+    .expect("wiring");
+    w.service(
+        "gateway",
+        "GatewayServiceImpl",
+        &["compose_review", "movie_review", "user_review", "movie_info"],
+        &mods,
+    )
+    .expect("wiring");
+    finish_monolith(&mut w, opts).expect("monolith grouping");
+    w
+}
+
+/// A representative read-heavy mix.
+pub fn paper_mix() -> ApiMix {
+    ApiMix::new()
+        .add("gateway", "ReadMovieReviews", 0.45)
+        .add("gateway", "ReadMovieInfo", 0.35)
+        .add("gateway", "ReadUserReviews", 0.10)
+        .add("gateway", "ComposeReview", 0.10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_core::Blueprint;
+    use blueprint_simrt::time::secs;
+
+    #[test]
+    fn workflow_shape() {
+        let wf = workflow();
+        assert_eq!(wf.services.len(), 13);
+        wf.validate().unwrap();
+    }
+
+    #[test]
+    fn compiles_and_serves_all_apis() {
+        let wf = workflow();
+        let w = wiring(&WiringOpts::default());
+        let app = Blueprint::new().compile(&wf, &w).unwrap();
+        assert_eq!(app.system().services.len(), 13);
+        assert_eq!(app.system().backends.len(), 13);
+        let mut sim = app.simulation(2).unwrap();
+        for (i, m) in ["ComposeReview", "ReadMovieReviews", "ReadMovieInfo", "ReadUserReviews"]
+            .iter()
+            .enumerate()
+        {
+            sim.submit("gateway", m, i as u64).unwrap();
+        }
+        sim.run_until(secs(5));
+        let done = sim.drain_completions();
+        assert_eq!(done.len(), 4);
+        assert!(done.iter().all(|c| c.ok), "{done:?}");
+    }
+}

@@ -1,0 +1,354 @@
+//! SockShop, ported to Blueprint (paper §5).
+//!
+//! The Weaveworks microservices demo: an HTTP front-end over catalogue
+//! (MySQL), carts/orders/user (MongoDB), payment, and shipping with a
+//! RabbitMQ queue drained by queue-master — the one popular benchmark with a
+//! relational backend and an async queue stage, which is why it exercises
+//! the RelDB and Queue plugins.
+
+use blueprint_ir::types::{MethodSig, Param, TypeRef};
+use blueprint_wiring::{Arg, WiringSpec};
+use blueprint_workflow::{Behavior, KeyExpr, ServiceBuilder, ServiceInterface, WorkflowSpec};
+use blueprint_workload::generator::ApiMix;
+
+use crate::common::{cost, finish_monolith, standard_scaffolding, WiringOpts};
+
+/// Number of distinct customers/items the workloads draw from.
+pub const ENTITIES: u64 = 2_000;
+
+fn sig(name: &str) -> MethodSig {
+    MethodSig::new(name, vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit)
+}
+
+/// The workflow spec.
+pub fn workflow() -> WorkflowSpec {
+    let mut wf = WorkflowSpec::new("sock_shop");
+
+    wf.add_service(
+        ServiceBuilder::new(
+            "CatalogueServiceImpl",
+            ServiceInterface::new("CatalogueService", vec![sig("ListSocks"), sig("GetSock")]),
+        )
+        .dep_reldb("catalogue_db")
+        .method(
+            "ListSocks",
+            Behavior::build()
+                .compute(cost::MEDIUM_NS, cost::ALLOC)
+                .db_scan("catalogue_db", KeyExpr::Random(ENTITIES), 20)
+                .done(),
+        )
+        .method(
+            "GetSock",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .db_read("catalogue_db", KeyExpr::EntityMod(ENTITIES))
+                .done(),
+        )
+        .done()
+        .expect("valid service"),
+    )
+    .expect("catalogue");
+
+    wf.add_service(
+        ServiceBuilder::new(
+            "CartsServiceImpl",
+            ServiceInterface::new("CartsService", vec![sig("AddItem"), sig("GetCart"), sig("DeleteCart")]),
+        )
+        .dep_nosql("carts_db")
+        .method(
+            "AddItem",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .db_write("carts_db", KeyExpr::Entity)
+                .done(),
+        )
+        .method(
+            "GetCart",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .db_read("carts_db", KeyExpr::Entity)
+                .done(),
+        )
+        .method(
+            "DeleteCart",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .db_write("carts_db", KeyExpr::Entity)
+                .done(),
+        )
+        .done()
+        .expect("valid service"),
+    )
+    .expect("carts");
+
+    wf.add_service(
+        ServiceBuilder::new(
+            "UserServiceImpl",
+            ServiceInterface::new("UserService", vec![sig("Login"), sig("GetAddress")]),
+        )
+        .dep_nosql("user_db")
+        .method(
+            "Login",
+            Behavior::build()
+                .compute(cost::MEDIUM_NS, cost::ALLOC)
+                .db_read("user_db", KeyExpr::Entity)
+                .done(),
+        )
+        .method(
+            "GetAddress",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .db_read("user_db", KeyExpr::Entity)
+                .done(),
+        )
+        .done()
+        .expect("valid service"),
+    )
+    .expect("user");
+
+    wf.add_service(
+        ServiceBuilder::new(
+            "PaymentServiceImpl",
+            ServiceInterface::new("PaymentService", vec![sig("Authorise")]),
+        )
+        .method(
+            "Authorise",
+            Behavior::build()
+                .compute(cost::MEDIUM_NS, cost::ALLOC)
+                // A small fraction of payments are declined.
+                .fail(0.02)
+                .done(),
+        )
+        .done()
+        .expect("valid service"),
+    )
+    .expect("payment");
+
+    wf.add_service(
+        ServiceBuilder::new(
+            "ShippingServiceImpl",
+            ServiceInterface::new("ShippingService", vec![sig("ShipOrder")]),
+        )
+        .dep_queue("shipping_queue")
+        .method(
+            "ShipOrder",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .queue_push("shipping_queue")
+                .done(),
+        )
+        .done()
+        .expect("valid service"),
+    )
+    .expect("shipping");
+
+    wf.add_service(
+        ServiceBuilder::new(
+            "QueueMasterServiceImpl",
+            ServiceInterface::new("QueueMasterService", vec![sig("DrainOne")]),
+        )
+        .dep_queue("shipping_queue")
+        .method(
+            "DrainOne",
+            Behavior::build()
+                .compute(cost::MEDIUM_NS, cost::ALLOC)
+                .queue_pop("shipping_queue")
+                .done(),
+        )
+        .done()
+        .expect("valid service"),
+    )
+    .expect("queue master");
+
+    wf.add_service(
+        ServiceBuilder::new(
+            "OrdersServiceImpl",
+            ServiceInterface::new("OrdersService", vec![sig("PlaceOrder"), sig("GetOrders")]),
+        )
+        .dep_nosql("orders_db")
+        .dep_service("carts", "CartsService")
+        .dep_service("user", "UserService")
+        .dep_service("payment", "PaymentService")
+        .dep_service("shipping", "ShippingService")
+        .method(
+            "PlaceOrder",
+            Behavior::build()
+                .compute(cost::MEDIUM_NS, cost::ALLOC_BIG)
+                .call("carts", "GetCart")
+                .call("user", "GetAddress")
+                .call("payment", "Authorise")
+                .db_write("orders_db", KeyExpr::Entity)
+                .parallel(vec![
+                    Behavior::build().call("shipping", "ShipOrder").done(),
+                    Behavior::build().call("carts", "DeleteCart").done(),
+                ])
+                .done(),
+        )
+        .method(
+            "GetOrders",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .db_scan("orders_db", KeyExpr::Entity, 5)
+                .done(),
+        )
+        .done()
+        .expect("valid service"),
+    )
+    .expect("orders");
+
+    wf.add_service(
+        ServiceBuilder::new(
+            "FrontendServiceImpl",
+            ServiceInterface::new(
+                "FrontendService",
+                vec![sig("Browse"), sig("AddToCart"), sig("Checkout"), sig("Login")],
+            ),
+        )
+        .dep_service("catalogue", "CatalogueService")
+        .dep_service("carts", "CartsService")
+        .dep_service("orders", "OrdersService")
+        .dep_service("user", "UserService")
+        .method(
+            "Browse",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .call("catalogue", "ListSocks")
+                .call("catalogue", "GetSock")
+                .done(),
+        )
+        .method(
+            "AddToCart",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .call("catalogue", "GetSock")
+                .call("carts", "AddItem")
+                .done(),
+        )
+        .method(
+            "Checkout",
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .call("orders", "PlaceOrder")
+                .done(),
+        )
+        .method(
+            "Login",
+            Behavior::build().compute(cost::LIGHT_NS, cost::ALLOC).call("user", "Login").done(),
+        )
+        .done()
+        .expect("valid service"),
+    )
+    .expect("frontend");
+
+    wf.validate().expect("sock shop workflow consistent");
+    wf
+}
+
+/// The wiring spec. The front-end uses HTTP while inner services use the
+/// RPC framework from the options, like the original.
+pub fn wiring(opts: &WiringOpts) -> WiringSpec {
+    let mut w = WiringSpec::new("sock_shop");
+    let mods = standard_scaffolding(&mut w, opts).expect("scaffolding");
+    let mods: Vec<&str> = mods.iter().map(String::as_str).collect();
+
+    w.define("catalogue_db", "MySQL", vec![]).expect("wiring");
+    for db in ["carts_db", "orders_db", "user_db"] {
+        w.define(db, "MongoDB", vec![]).expect("wiring");
+    }
+    w.define_kw("shipping_queue", "RabbitMQ", vec![], vec![("capacity", Arg::Int(50_000))])
+        .expect("wiring");
+
+    w.service("catalogue", "CatalogueServiceImpl", &["catalogue_db"], &mods).expect("wiring");
+    w.service("carts", "CartsServiceImpl", &["carts_db"], &mods).expect("wiring");
+    w.service("user", "UserServiceImpl", &["user_db"], &mods).expect("wiring");
+    w.service("payment", "PaymentServiceImpl", &[], &mods).expect("wiring");
+    w.service("shipping", "ShippingServiceImpl", &["shipping_queue"], &mods).expect("wiring");
+    w.service("queue_master", "QueueMasterServiceImpl", &["shipping_queue"], &mods)
+        .expect("wiring");
+    w.service("orders", "OrdersServiceImpl", &["orders_db", "carts", "user", "payment", "shipping"], &mods)
+        .expect("wiring");
+    // The front-end serves HTTP regardless of the inner RPC choice.
+    if opts.containerized {
+        w.define("http_server", "HTTPServer", vec![]).expect("wiring");
+        let mut fe_mods: Vec<&str> =
+            mods.iter().copied().filter(|m| *m != "rpc_server").collect();
+        fe_mods.insert(0, "http_server");
+        w.service(
+            "frontend",
+            "FrontendServiceImpl",
+            &["catalogue", "carts", "orders", "user"],
+            &fe_mods,
+        )
+        .expect("wiring");
+    } else {
+        w.service(
+            "frontend",
+            "FrontendServiceImpl",
+            &["catalogue", "carts", "orders", "user"],
+            &mods,
+        )
+        .expect("wiring");
+    }
+    finish_monolith(&mut w, opts).expect("monolith grouping");
+    w
+}
+
+/// A representative browse-heavy mix.
+pub fn paper_mix() -> ApiMix {
+    ApiMix::new()
+        .add("frontend", "Browse", 0.70)
+        .add("frontend", "AddToCart", 0.15)
+        .add("frontend", "Login", 0.10)
+        .add("frontend", "Checkout", 0.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_core::Blueprint;
+    use blueprint_simrt::time::secs;
+
+    #[test]
+    fn workflow_shape() {
+        let wf = workflow();
+        assert_eq!(wf.services.len(), 8);
+        wf.validate().unwrap();
+    }
+
+    #[test]
+    fn compiles_and_serves_all_apis() {
+        let wf = workflow();
+        let w = wiring(&WiringOpts::default());
+        let app = Blueprint::new().compile(&wf, &w).unwrap();
+        // queue_master has no inbound edge, so frontend + queue_master are
+        // both entry points (queue_master is driven as a worker).
+        assert!(app.system().entries.contains_key("frontend"));
+        assert!(app.system().entries.contains_key("queue_master"));
+        let mut sim = app.simulation(2).unwrap();
+        for (i, m) in ["Browse", "AddToCart", "Checkout", "Login"].iter().enumerate() {
+            sim.submit("frontend", m, i as u64).unwrap();
+        }
+        sim.submit("queue_master", "DrainOne", 0).unwrap();
+        sim.run_until(secs(5));
+        let done = sim.drain_completions();
+        assert_eq!(done.len(), 5);
+        // Payment declines 2% of checkouts; with these 5 requests all pass.
+        assert!(done.iter().filter(|c| c.ok).count() >= 4, "{done:?}");
+    }
+
+    #[test]
+    fn uses_mysql_and_rabbitmq_plugins() {
+        let wf = workflow();
+        let w = wiring(&WiringOpts::default());
+        let app = Blueprint::new().compile(&wf, &w).unwrap();
+        let kinds: Vec<String> = app
+            .ir()
+            .nodes()
+            .filter(|(_, n)| n.kind.starts_with("backend."))
+            .map(|(_, n)| n.kind.clone())
+            .collect();
+        assert!(kinds.iter().any(|k| k.contains("mysql")));
+        assert!(kinds.iter().any(|k| k.contains("rabbitmq")));
+        assert!(app.artifacts().contains("docker/catalogue_db/Dockerfile"));
+    }
+}

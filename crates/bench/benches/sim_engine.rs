@@ -1,0 +1,64 @@
+//! Criterion benchmark of the simulation substrate itself: processor-sharing
+//! host operations and end-to-end simulated-seconds throughput of the
+//! HotelReservation system (the cost of one virtual second of cluster time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use blueprint_apps::{hotel_reservation as hr, WiringOpts};
+use blueprint_core::Blueprint;
+use blueprint_simrt::host::{JobId, PsHost};
+use blueprint_simrt::time::secs;
+use blueprint_simrt::SimConfig;
+use blueprint_workload::generator::{OpenLoopGen, Phase};
+use blueprint_workload::{run_experiment, ExperimentSpec};
+
+fn bench_ps_host(c: &mut Criterion) {
+    c.bench_function("ps_host_add_drain_1000_jobs", |b| {
+        b.iter(|| {
+            let mut h = PsHost::new(8.0);
+            for i in 0..1000u64 {
+                h.add(i, JobId(i), 10_000.0, (i % 16) as usize);
+            }
+            let mut t = 1_000;
+            let mut done = 0;
+            while done < 1000 {
+                match h.next_completion(t) {
+                    Some(next) => {
+                        t = next;
+                        done += h.collect_due(t).len();
+                    }
+                    None => break,
+                }
+            }
+            assert_eq!(done, 1000);
+        })
+    });
+}
+
+fn bench_sim_second(c: &mut Criterion) {
+    let app = Blueprint::new()
+        .without_artifacts()
+        .compile(&hr::workflow(), &hr::wiring(&WiringOpts::default()))
+        .expect("compiles");
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    group.bench_function("hotel_reservation_5s_at_2krps", |b| {
+        b.iter(|| {
+            let mut sim = app
+                .simulation_with(SimConfig { seed: 5, ..Default::default() })
+                .expect("boots");
+            let gen = OpenLoopGen::new(
+                vec![Phase::new(5, 2_000.0)],
+                hr::paper_mix(),
+                hr::ENTITIES,
+                5,
+            );
+            let rec = run_experiment(&mut sim, ExperimentSpec::new(gen)).expect("runs");
+            assert!(rec.window(0, secs(10)).count > 5_000);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ps_host, bench_sim_second);
+criterion_main!(benches);

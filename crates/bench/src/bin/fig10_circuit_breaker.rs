@@ -1,0 +1,6 @@
+//! Fig. 10 harness: circuit breaker vs Type-1 metastability.
+use blueprint_bench::{figures::fig10, Mode};
+fn main() {
+    let cmp = fig10::run(Mode::from_args());
+    print!("{}", fig10::print(&cmp));
+}

@@ -1,0 +1,9 @@
+//! Fig. 11 harness: Blueprint vs original-implementation profiles.
+use blueprint_bench::{figures::fig11, Mode};
+fn main() {
+    let cmps = fig11::run(Mode::from_args());
+    print!("{}", fig11::print(&cmps));
+    for c in &cmps {
+        println!("mean p50 gap {}: {:.2}x", c.app, fig11::mean_gap(c));
+    }
+}

@@ -1,0 +1,6 @@
+//! Fig. 12 harness: generic vs extended cache interface.
+use blueprint_bench::{figures::fig12, Mode};
+fn main() {
+    let cmp = fig12::run(Mode::from_args());
+    print!("{}", fig12::print(&cmp));
+}

@@ -1,0 +1,12 @@
+//! Fig. 5 harness: RPC framework / client pool / monolith exploration.
+use blueprint_bench::{figures::fig5, Mode};
+fn main() {
+    let sweeps = fig5::run(Mode::from_args());
+    print!("{}", fig5::print(&sweeps));
+    for app in ["HotelReservation", "SocialNetwork"] {
+        println!(
+            "shape check ({app}): monolith <= grpc <= thrift at mid load: {}",
+            fig5::shape_holds(&sweeps, app)
+        );
+    }
+}

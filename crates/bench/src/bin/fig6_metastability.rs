@@ -1,0 +1,21 @@
+//! Fig. 6 harness: the four metastability failure types. Pass `type1`..
+//! `type4` to run one, or nothing for all.
+use blueprint_bench::{figures::fig6, Mode};
+fn main() {
+    let mode = Mode::from_args();
+    let which: Vec<String> = std::env::args().skip(1).filter(|a| a != "--quick").collect();
+    let all = which.is_empty();
+    let wants = |t: &str| all || which.iter().any(|w| w == t);
+    if wants("type1") {
+        print!("{}", fig6::print(&fig6::type1(mode)));
+    }
+    if wants("type2") {
+        print!("{}", fig6::print(&fig6::type2(mode)));
+    }
+    if wants("type3") {
+        print!("{}", fig6::print(&fig6::type3(mode)));
+    }
+    if wants("type4") {
+        print!("{}", fig6::print(&fig6::type4(mode)));
+    }
+}

@@ -1,0 +1,6 @@
+//! Fig. 8 harness: cross-system inconsistency vs wait time.
+use blueprint_bench::{figures::fig8, Mode};
+fn main() {
+    let points = fig8::run(Mode::from_args());
+    print!("{}", fig8::print(&points));
+}

@@ -1,0 +1,7 @@
+//! Fig. 9 harness: Sifter reproduction over Blueprint SocialNetwork traces.
+use blueprint_bench::{figures::fig9, Mode};
+fn main() {
+    let samples = fig9::run(Mode::from_args());
+    print!("{}", fig9::print(&samples));
+    println!("anomalies spike above normals: {}", fig9::spikes_at_anomalies(&samples));
+}

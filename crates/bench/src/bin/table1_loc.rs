@@ -1,0 +1,4 @@
+//! Tab. 1 harness: LoC reduction of Blueprint implementations.
+fn main() {
+    print!("{}", blueprint_bench::tables::table1());
+}

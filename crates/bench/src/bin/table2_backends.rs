@@ -1,0 +1,4 @@
+//! Tab. 2 harness: backend interface LoC.
+fn main() {
+    print!("{}", blueprint_bench::tables::table2());
+}

@@ -1,0 +1,4 @@
+//! Tab. 3 harness: instantiation LoC.
+fn main() {
+    print!("{}", blueprint_bench::tables::table3());
+}

@@ -1,0 +1,4 @@
+//! Tab. 4 harness: plugin LoC.
+fn main() {
+    print!("{}", blueprint_bench::tables::table4());
+}

@@ -1,0 +1,7 @@
+//! Tab. 5 harness: generation time per system (use --quick for a smaller
+//! Alibaba topology).
+use blueprint_bench::Mode;
+fn main() {
+    let scale = if Mode::from_args().quick() { 300 } else { blueprint_apps::alibaba::PAPER_SCALE };
+    print!("{}", blueprint_bench::tables::table5(scale));
+}

@@ -1,0 +1,116 @@
+//! Fig. 10 — the circuit-breaker prototype preventing Type-1 metastability
+//! (paper §6.3 "Prototyping New Solutions").
+//!
+//! The CircuitBreaker plugin was implemented as a one-shot compiler
+//! extension; enabling it for HotelReservation is a 2-line wiring mutation
+//! (declare the breaker, attach it to every service). Under the same
+//! load-spike scenario as Fig. 6a, the breaker-enabled variant sheds load
+//! while the spike lasts and returns to normal shortly after, instead of
+//! staying metastable.
+
+use blueprint_apps::{hotel_reservation as hr, WiringOpts};
+use blueprint_wiring::{mutate, Arg};
+use blueprint_workload::generator::{OpenLoopGen, Phase};
+use blueprint_workload::recorder::IntervalStats;
+use blueprint_workload::{run_experiment, ExperimentSpec};
+
+use crate::figures::fig6;
+use crate::{report, Mode};
+
+/// Comparison of the two variants.
+#[derive(Debug)]
+pub struct BreakerComparison {
+    /// Without the breaker (Fig. 6a replica).
+    pub without: fig6::MetaResult,
+    /// With the breaker.
+    pub with_breaker: fig6::MetaResult,
+    /// How many wiring lines the mutation changed.
+    pub wiring_lines_changed: usize,
+}
+
+/// Runs both variants.
+pub fn run(mode: Mode) -> BreakerComparison {
+    let opts = WiringOpts {
+        cluster: (8, 2.0),
+        ..WiringOpts::default().without_tracing().with_timeout_retries(500, 10)
+    };
+    let base_wiring = hr::wiring(&opts);
+
+    // The UC3 mutation: one declaration + attach-to-all-services.
+    let mut cb_wiring = base_wiring.clone();
+    cb_wiring
+        .define_kw(
+            "breaker",
+            "CircuitBreaker",
+            vec![],
+            vec![
+                ("threshold", Arg::Float(0.5)),
+                ("window", Arg::Int(100)),
+                ("open_ms", Arg::Int(2_000)),
+                ("probes", Arg::Int(5)),
+            ],
+        )
+        .expect("wiring");
+    mutate::add_modifier_to_all_services(&mut cb_wiring, "breaker").expect("mutation");
+    let diff = blueprint_wiring::diff::spec_diff(&base_wiring, &cb_wiring);
+
+    let phases = vec![
+        Phase::new(mode.secs(60), 2_500.0),
+        Phase::new(mode.secs(30), 13_000.0),
+        Phase::new(mode.secs(90), 2_500.0),
+    ];
+    let run_variant = |wiring: &blueprint_wiring::WiringSpec, label: &str| -> fig6::MetaResult {
+        let app = super::compile(&hr::workflow(), wiring);
+        let mut sim = super::boot(&app, 101);
+        let gen = OpenLoopGen::new(phases.clone(), hr::paper_mix(), hr::ENTITIES, 101);
+        let rec = run_experiment(&mut sim, ExperimentSpec::new(gen)).expect("experiment runs");
+        fig6::MetaResult {
+            label: label.to_string(),
+            series: rec.series(),
+            miss_rate: Vec::new(),
+            retries: sim.metrics.counters.retries,
+            timeouts: sim.metrics.counters.timeouts,
+            gc_pauses: sim.metrics.counters.gc_pauses,
+        }
+    };
+    BreakerComparison {
+        without: run_variant(&base_wiring, "Type 1, no circuit breaker"),
+        with_breaker: run_variant(&cb_wiring, "Type 1, circuit breaker enabled"),
+        wiring_lines_changed: diff.changed(),
+    }
+}
+
+/// Goodput over the final `window_s` seconds of a series.
+pub fn final_goodput(series: &[IntervalStats], window_s: usize) -> f64 {
+    let n = series.len();
+    let from = n.saturating_sub(window_s);
+    let ok: usize = series[from..].iter().map(|s| s.ok).sum();
+    ok as f64 / window_s.max(1) as f64
+}
+
+/// Renders both series + the comparison summary.
+pub fn print(c: &BreakerComparison) -> String {
+    let mut out = String::new();
+    out.push_str(&fig6::print(&c.without));
+    out.push('\n');
+    out.push_str(&fig6::print(&c.with_breaker));
+    out.push_str(&report::table(
+        "Fig. 10 — summary",
+        &["variant", "final err rate", "final goodput rps", "wiring Δ"],
+        &[
+            vec![
+                "no breaker".into(),
+                report::f3(c.without.final_error_rate(30)),
+                format!("{:.0}", final_goodput(&c.without.series, 30)),
+                "-".into(),
+            ],
+            vec![
+                "breaker".into(),
+                report::f3(c.with_breaker.final_error_rate(30)),
+                format!("{:.0}", final_goodput(&c.with_breaker.series, 30)),
+                format!("{} lines", c.wiring_lines_changed),
+            ],
+        ],
+    ));
+    out
+}

@@ -1,0 +1,128 @@
+//! Fig. 7 — metastability vulnerability analysis for HotelReservation:
+//! whether the system recovers after a CPU-contention trigger, as a function
+//! of request rate, trigger duration, and maximum retries.
+//!
+//! Paper shape: at higher request rates even short triggers push the system
+//! into a metastable state; at lower rates short triggers cause only
+//! transient issues; fewer retries only minimally increase the tolerable
+//! trigger duration.
+
+use blueprint_apps::{hotel_reservation as hr, WiringOpts};
+use blueprint_workload::sweep::{trigger_recovery, CellOutcome};
+
+use crate::{report, Mode};
+
+/// One grid cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Offered rate (rps).
+    pub rps: f64,
+    /// Trigger duration (s).
+    pub trigger_s: u64,
+    /// Max retries.
+    pub retries: u32,
+    /// Classified outcome.
+    pub outcome: CellOutcome,
+    /// Final-window error rate.
+    pub final_error_rate: f64,
+}
+
+/// Runs the vulnerability grid.
+pub fn run(mode: Mode) -> Vec<Cell> {
+    let (rates, durations, retries): (Vec<f64>, Vec<u64>, Vec<u32>) = if mode.quick() {
+        (vec![1_000.0, 4_000.0], vec![2, 10], vec![2, 10])
+    } else {
+        (vec![1_000.0, 2_500.0, 4_000.0, 5_500.0], vec![2, 5, 10, 20], vec![2, 6, 10])
+    };
+    let opts = WiringOpts {
+        cluster: (8, 2.0),
+        ..WiringOpts::default().without_tracing().with_timeout_retries(1_000, 0)
+    };
+    let total = mode.secs(90);
+    let mut cells = Vec::new();
+    for &r in &retries {
+        let opts = WiringOpts { retries: r, ..opts };
+        let app = super::compile(&hr::workflow(), &hr::wiring(&opts));
+        let host = super::host_of_service(&app, "frontend");
+        for &rps in &rates {
+            for &dur in &durations {
+                let result = trigger_recovery(
+                    app.system(),
+                    &hr::paper_mix(),
+                    rps,
+                    total,
+                    &host,
+                    1.7,
+                    total / 3,
+                    dur.min(total / 3),
+                    total / 6,
+                    0.2,
+                    7,
+                )
+                .expect("cell runs");
+                cells.push(Cell {
+                    rps,
+                    trigger_s: dur,
+                    retries: r,
+                    outcome: result.outcome,
+                    final_error_rate: result.final_error_rate,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Renders the grid, one block per retry setting.
+pub fn print(cells: &[Cell]) -> String {
+    let mut out = String::new();
+    let mut retries: Vec<u32> = cells.iter().map(|c| c.retries).collect();
+    retries.sort_unstable();
+    retries.dedup();
+    for r in retries {
+        let rows: Vec<Vec<String>> = cells
+            .iter()
+            .filter(|c| c.retries == r)
+            .map(|c| {
+                vec![
+                    format!("{:.0}", c.rps),
+                    c.trigger_s.to_string(),
+                    match c.outcome {
+                        CellOutcome::Recovered => "recovered".into(),
+                        CellOutcome::Metastable => "METASTABLE".into(),
+                    },
+                    report::f3(c.final_error_rate),
+                ]
+            })
+            .collect();
+        out.push_str(&report::table(
+            &format!("Fig. 7 — vulnerability (max retries = {r})"),
+            &["rps", "trigger s", "outcome", "final err"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// The paper's monotonicity claims over the grid (checked by tests):
+/// vulnerability is monotone in request rate and trigger duration.
+pub fn monotone_in_rate(cells: &[Cell]) -> bool {
+    // If a (duration, retries) cell is metastable at some rate, every higher
+    // rate with the same (duration, retries) must be metastable too.
+    for a in cells {
+        if a.outcome == CellOutcome::Metastable {
+            continue;
+        }
+        for b in cells {
+            if b.trigger_s == a.trigger_s
+                && b.retries == a.retries
+                && b.rps < a.rps
+                && b.outcome == CellOutcome::Metastable
+            {
+                return false;
+            }
+        }
+    }
+    true
+}

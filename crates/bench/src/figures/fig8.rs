@@ -1,0 +1,105 @@
+//! Fig. 8 — cross-system inconsistency vs read wait time, replicated vs
+//! non-replicated SocialNetwork (paper §6.2.2).
+//!
+//! For each wait time `w`, compose a post for a fresh entity, wait `w` after
+//! the compose completes, read the user timeline, and compare the version
+//! the read observed against the version the compose wrote. The
+//! non-replicated variant must always read consistently; the replicated
+//! variant (2 read replicas with 50–700 ms asynchronous lag, per-replica
+//! caches behind a load balancer) shows a fraction of inconsistent reads
+//! that decreases to zero as the wait passes the maximum lag.
+
+use blueprint_apps::{social_network as sn, WiringOpts};
+use blueprint_core::CompiledApp;
+use blueprint_simrt::time::{ms, secs};
+use blueprint_simrt::Sim;
+
+use crate::{report, Mode};
+
+/// One data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Wait between compose completion and read, ms.
+    pub wait_ms: u64,
+    /// Fraction of inconsistent reads, replicated variant.
+    pub replicated: f64,
+    /// Fraction of inconsistent reads, non-replicated variant.
+    pub baseline: f64,
+}
+
+fn measure(app: &CompiledApp, wait_ms: u64, pairs: u64, seed: u64) -> f64 {
+    let mut sim: Sim = super::boot(app, seed);
+    let mut inconsistent = 0u64;
+    let mut measured = 0u64;
+    // Fresh entities outside the random-key ranges the workload uses.
+    let base_entity = 50_000_000 + wait_ms * 10_000;
+    for k in 0..pairs {
+        let entity = base_entity + k;
+        let wv = sim.submit("gateway", "ComposePost", entity).expect("compose");
+        // Advance in small steps until the compose completes, so the wait
+        // below starts exactly at compose completion (the paper measures the
+        // wait from the successful request).
+        let mut composed = false;
+        let deadline = sim.now() + secs(2);
+        while sim.now() < deadline && !composed {
+            let t = sim.now() + ms(2);
+            sim.run_until(t);
+            composed = sim.drain_completions().iter().any(|c| c.root_seq == wv && c.ok);
+        }
+        if !composed {
+            continue;
+        }
+        let t = sim.now() + ms(wait_ms);
+        sim.run_until(t);
+        sim.submit("gateway", "ReadUserTimeline", entity).expect("read");
+        sim.run_until(sim.now() + secs(2));
+        for c in sim.drain_completions() {
+            if c.method == "ReadUserTimeline" && c.ok {
+                measured += 1;
+                if c.observed_version < wv {
+                    inconsistent += 1;
+                }
+            }
+        }
+    }
+    if measured == 0 {
+        return f64::NAN;
+    }
+    inconsistent as f64 / measured as f64
+}
+
+/// Runs the experiment over waits 0..=1000 ms in 100 ms steps (paper setup).
+pub fn run(mode: Mode) -> Vec<Point> {
+    let pairs = if mode.quick() { 20 } else { 80 };
+    let opts = WiringOpts::default().without_tracing();
+    let replicated = super::compile(&sn::workflow(), &sn::wiring_inconsistency(&opts, 50, 700));
+    let baseline = super::compile(&sn::workflow(), &sn::wiring(&opts));
+    let waits: Vec<u64> = if mode.quick() {
+        vec![0, 200, 400, 800]
+    } else {
+        (0..=10).map(|i| i * 100).collect()
+    };
+    waits
+        .into_iter()
+        .map(|w| Point {
+            wait_ms: w,
+            replicated: measure(&replicated, w, pairs, 81),
+            baseline: measure(&baseline, w, pairs, 82),
+        })
+        .collect()
+}
+
+/// Renders the figure data.
+pub fn print(points: &[Point]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![p.wait_ms.to_string(), report::f3(p.replicated), report::f3(p.baseline)]
+        })
+        .collect();
+    report::table(
+        "Fig. 8 — fraction of inconsistent reads vs wait time",
+        &["wait ms", "replicated", "non-replicated"],
+        &rows,
+    )
+}

@@ -1,0 +1,144 @@
+//! Graphviz DOT export of the IR, mirroring Fig. 4 of the paper: node shape
+//! encodes role, node color encodes granularity, edge style encodes kind.
+
+use std::fmt::Write as _;
+
+use crate::edge::EdgeKind;
+use crate::graph::IrGraph;
+use crate::node::{Granularity, NodeRole};
+
+/// Renders the graph as Graphviz DOT. Namespaces render as clusters so the
+/// containment hierarchy is visible; deterministic output (ids ascending).
+pub fn to_dot(g: &IrGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", g.app_name);
+    let _ = writeln!(out, "  compound=true; rankdir=LR;");
+
+    // Emit namespace clusters for root namespaces, recursing into children.
+    let roots: Vec<_> = g
+        .nodes()
+        .filter(|(_, n)| {
+            n.parent().is_none() && matches!(n.role, NodeRole::Namespace | NodeRole::Generator)
+        })
+        .map(|(id, _)| id)
+        .collect();
+    for root in roots {
+        emit_cluster(g, root, 1, &mut out);
+    }
+    // Plain nodes with no parent.
+    for (id, n) in g.nodes() {
+        if n.parent().is_none() && !matches!(n.role, NodeRole::Namespace | NodeRole::Generator) {
+            emit_node(g, id, 1, &mut out);
+        }
+    }
+    // Edges.
+    for (_, e) in g.edges() {
+        let style = match e.kind {
+            EdgeKind::Invocation => "solid",
+            EdgeKind::Dependency => "dashed",
+        };
+        let label = if e.methods.is_empty() {
+            String::new()
+        } else {
+            format!(" label=\"{}\"", e.methods.iter().map(|m| m.name.as_str()).collect::<Vec<_>>().join(","))
+        };
+        let _ = writeln!(out, "  {} -> {} [style={style}{label}];", e.from, e.to);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn emit_cluster(g: &IrGraph, id: crate::NodeId, depth: usize, out: &mut String) {
+    let n = match g.node(id) {
+        Ok(n) => n,
+        Err(_) => return,
+    };
+    let pad = "  ".repeat(depth);
+    let _ = writeln!(out, "{pad}subgraph \"cluster_{}\" {{", n.name);
+    let _ = writeln!(out, "{pad}  label=\"{} ({:?})\";", n.name, n.granularity);
+    // Anchor node so edges can point at namespaces.
+    let _ = writeln!(out, "{pad}  {} [shape=point,label=\"\"];", id);
+    for &c in n.children() {
+        let cn = match g.node(c) {
+            Ok(cn) => cn,
+            Err(_) => continue,
+        };
+        if matches!(cn.role, NodeRole::Namespace | NodeRole::Generator) {
+            emit_cluster(g, c, depth + 1, out);
+        } else {
+            emit_node(g, c, depth + 1, out);
+        }
+    }
+    let _ = writeln!(out, "{pad}}}");
+}
+
+fn emit_node(g: &IrGraph, id: crate::NodeId, depth: usize, out: &mut String) {
+    let n = match g.node(id) {
+        Ok(n) => n,
+        Err(_) => return,
+    };
+    let pad = "  ".repeat(depth);
+    let shape = match n.role {
+        NodeRole::Component => "box",
+        NodeRole::Namespace => "folder",
+        NodeRole::Modifier => "ellipse",
+        NodeRole::Generator => "box3d",
+    };
+    let color = match n.granularity {
+        Granularity::Instance => "lightblue",
+        Granularity::Process => "lightgreen",
+        Granularity::Container => "khaki",
+        Granularity::Machine => "salmon",
+        Granularity::Region => "plum",
+        Granularity::Deployment => "grey",
+    };
+    let _ = writeln!(
+        out,
+        "{pad}{} [shape={shape},style=filled,fillcolor={color},label=\"{}\\n{}\"];",
+        id, n.name, n.kind
+    );
+    for &m in n.modifiers() {
+        emit_node(g, m, depth, out);
+        let _ = writeln!(out, "{pad}{} -> {} [style=dotted,arrowhead=none];", m, id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Granularity, Node};
+    use crate::types::{MethodSig, TypeRef};
+
+    #[test]
+    fn dot_contains_clusters_nodes_and_edges() {
+        let mut g = IrGraph::new("demo");
+        let a = g.add_component("svc_a", "workflow.service", Granularity::Instance).unwrap();
+        let b = g.add_component("svc_b", "workflow.service", Granularity::Instance).unwrap();
+        let p = g.add_namespace("proc_a", "namespace.process", Granularity::Process).unwrap();
+        g.set_parent(a, p).unwrap();
+        let m = g
+            .add_node(Node::new("tracer", "mod.trace", NodeRole::Modifier, Granularity::Instance))
+            .unwrap();
+        g.attach_modifier(a, m).unwrap();
+        g.add_invocation(a, b, vec![MethodSig::new("Get", vec![], TypeRef::Unit)]).unwrap();
+
+        let dot = to_dot(&g);
+        assert!(dot.contains("digraph \"demo\""));
+        assert!(dot.contains("subgraph \"cluster_proc_a\""));
+        assert!(dot.contains("svc_a"));
+        assert!(dot.contains("label=\"Get\""));
+        assert!(dot.contains("style=dotted"), "modifier link rendered");
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        let build = || {
+            let mut g = IrGraph::new("d");
+            let a = g.add_component("a", "workflow.service", Granularity::Instance).unwrap();
+            let b = g.add_component("b", "workflow.service", Granularity::Instance).unwrap();
+            g.add_invocation(a, b, vec![]).unwrap();
+            to_dot(&g)
+        };
+        assert_eq!(build(), build());
+    }
+}

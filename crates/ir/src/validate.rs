@@ -1,0 +1,227 @@
+//! Whole-graph validation: structural invariants and the visibility check
+//! that gates artifact generation (paper §4.3.2).
+
+use crate::edge::EdgeKind;
+use crate::graph::IrGraph;
+use crate::node::{NodeId, NodeRole};
+use crate::{IrError, Result};
+
+/// Validates structural invariants of the graph:
+///
+/// * containment is a forest (no cycles; parents are namespaces/generators);
+/// * parent/child and component/modifier back-references are consistent;
+/// * modifier chains only contain modifier nodes;
+/// * edges reference live nodes.
+pub fn validate_structure(g: &IrGraph) -> Result<()> {
+    for (id, n) in g.nodes() {
+        // Parent back-reference consistency.
+        if let Some(p) = n.parent() {
+            let pn = g.node(p)?;
+            if !matches!(pn.role, NodeRole::Namespace | NodeRole::Generator) {
+                return Err(IrError::Invalid(format!(
+                    "{} has non-namespace parent {}",
+                    n.name, pn.name
+                )));
+            }
+            if !pn.children().contains(&id) {
+                return Err(IrError::Invalid(format!(
+                    "{} not listed in children of parent {}",
+                    n.name, pn.name
+                )));
+            }
+        }
+        // Children back-reference consistency.
+        for &c in n.children() {
+            let cn = g.node(c)?;
+            if cn.parent() != Some(id) {
+                return Err(IrError::Invalid(format!(
+                    "child {} of {} has inconsistent parent pointer",
+                    cn.name, n.name
+                )));
+            }
+        }
+        // Modifier chain typing.
+        for &m in n.modifiers() {
+            let mn = g.node(m)?;
+            if mn.role != NodeRole::Modifier {
+                return Err(IrError::BadModifier {
+                    modifier: mn.name.clone(),
+                    detail: format!("listed in modifier chain of {} but is not a modifier", n.name),
+                });
+            }
+            if mn.attached_to() != Some(id) {
+                return Err(IrError::BadModifier {
+                    modifier: mn.name.clone(),
+                    detail: "attached_to back-reference inconsistent".into(),
+                });
+            }
+        }
+        // Ancestor walk terminates (cycle detection with a step bound).
+        let mut steps = 0usize;
+        let mut cursor = n.parent();
+        while let Some(cur) = cursor {
+            steps += 1;
+            if steps > 64 {
+                return Err(IrError::ContainmentCycle(n.name.clone()));
+            }
+            cursor = g.node(cur)?.parent();
+        }
+    }
+    for (_, e) in g.edges() {
+        g.node(e.from)?;
+        g.node(e.to)?;
+    }
+    Ok(())
+}
+
+/// A single visibility problem found by [`check_visibility`].
+#[derive(Debug, Clone)]
+pub struct VisibilityReport {
+    /// Offending edges, as `(from-name, to-name, error)` triples.
+    pub violations: Vec<IrError>,
+}
+
+/// Checks that every invocation edge has sufficient visibility to cross the
+/// namespace boundaries between its endpoints, and that edges do not reach
+/// *into* generator nodes from outside (generators restrict the visibility of
+/// their contents; external callers must target the generator's balancer).
+pub fn check_visibility(g: &IrGraph) -> std::result::Result<(), VisibilityReport> {
+    let mut violations = Vec::new();
+    for (_, e) in g.edges() {
+        if e.kind != EdgeKind::Invocation {
+            continue;
+        }
+        let required = g.required_visibility(e.from, e.to);
+        if !e.visibility.satisfies(required) {
+            violations.push(IrError::VisibilityViolation {
+                from: node_name(g, e.from),
+                to: node_name(g, e.to),
+                required,
+                actual: e.visibility,
+            });
+        }
+        // Generator confinement: if the callee is inside a generator that does
+        // not also contain the caller, the edge is invalid regardless of
+        // transport — there are multiple dynamic instances of the callee and
+        // the caller has no stable address for them.
+        if let Some(gen) = g.enclosing_generator(e.to) {
+            let caller_inside = g.enclosing_generator(e.from) == Some(gen) || e.from == gen;
+            if !caller_inside {
+                violations.push(IrError::Invalid(format!(
+                    "edge {} -> {} reaches inside generator {}; route it through \
+                     the generator's load balancer",
+                    node_name(g, e.from),
+                    node_name(g, e.to),
+                    node_name(g, gen),
+                )));
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(VisibilityReport { violations })
+    }
+}
+
+fn node_name(g: &IrGraph, id: NodeId) -> String {
+    g.node(id).map(|n| n.name.clone()).unwrap_or_else(|_| id.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+    use crate::node::{Granularity, Node};
+    use crate::types::{MethodSig, TypeRef};
+    use crate::visibility::Visibility;
+
+    fn sig() -> Vec<MethodSig> {
+        vec![MethodSig::new("M", vec![], TypeRef::Unit)]
+    }
+
+    #[test]
+    fn valid_graph_passes() {
+        let mut g = IrGraph::new("t");
+        let a = g.add_component("a", "svc", Granularity::Instance).unwrap();
+        let p = g.add_namespace("p", "ns.process", Granularity::Process).unwrap();
+        g.set_parent(a, p).unwrap();
+        validate_structure(&g).unwrap();
+        check_visibility(&g).unwrap();
+    }
+
+    #[test]
+    fn cross_process_edge_without_rpc_is_reported() {
+        let mut g = IrGraph::new("t");
+        let a = g.add_component("a", "svc", Granularity::Instance).unwrap();
+        let b = g.add_component("b", "svc", Granularity::Instance).unwrap();
+        let pa = g.add_namespace("pa", "ns.process", Granularity::Process).unwrap();
+        let pb = g.add_namespace("pb", "ns.process", Granularity::Process).unwrap();
+        g.set_parent(a, pa).unwrap();
+        g.set_parent(b, pb).unwrap();
+        g.add_invocation(a, b, sig()).unwrap();
+        let report = check_visibility(&g).unwrap_err();
+        assert_eq!(report.violations.len(), 1);
+        let msg = report.violations[0].to_string();
+        assert!(msg.contains("lacks the necessary visibility"), "got: {msg}");
+    }
+
+    #[test]
+    fn widened_edge_passes() {
+        let mut g = IrGraph::new("t");
+        let a = g.add_component("a", "svc", Granularity::Instance).unwrap();
+        let b = g.add_component("b", "svc", Granularity::Instance).unwrap();
+        let pa = g.add_namespace("pa", "ns.process", Granularity::Process).unwrap();
+        let pb = g.add_namespace("pb", "ns.process", Granularity::Process).unwrap();
+        g.set_parent(a, pa).unwrap();
+        g.set_parent(b, pb).unwrap();
+        let e = g.add_invocation(a, b, sig()).unwrap();
+        g.edge_mut(e).unwrap().visibility = Visibility::Global;
+        check_visibility(&g).unwrap();
+    }
+
+    #[test]
+    fn edge_into_generator_is_reported() {
+        let mut g = IrGraph::new("t");
+        let caller = g.add_component("caller", "svc", Granularity::Instance).unwrap();
+        let replica = g.add_component("replica", "svc", Granularity::Instance).unwrap();
+        let gen = g
+            .add_node(Node::new("repl", "gen.replicas", NodeRole::Generator, Granularity::Process))
+            .unwrap();
+        g.set_parent(replica, gen).unwrap();
+        let e = g.add_invocation(caller, replica, sig()).unwrap();
+        g.edge_mut(e).unwrap().visibility = Visibility::Global;
+        let report = check_visibility(&g).unwrap_err();
+        assert!(report.violations[0].to_string().contains("load balancer"));
+    }
+
+    #[test]
+    fn dependency_edges_skip_visibility() {
+        let mut g = IrGraph::new("t");
+        let a = g.add_component("a", "svc", Granularity::Instance).unwrap();
+        let b = g.add_component("b", "svc", Granularity::Instance).unwrap();
+        let pa = g.add_namespace("pa", "ns.process", Granularity::Process).unwrap();
+        let pb = g.add_namespace("pb", "ns.process", Granularity::Process).unwrap();
+        g.set_parent(a, pa).unwrap();
+        g.set_parent(b, pb).unwrap();
+        g.add_edge(Edge::dependency(a, b)).unwrap();
+        check_visibility(&g).unwrap();
+    }
+
+    #[test]
+    fn structure_catches_foreign_modifier_chain_entries() {
+        // Constructing the inconsistency requires going around the public API;
+        // simulate by removing a modifier node underneath its component.
+        let mut g = IrGraph::new("t");
+        let s = g.add_component("s", "svc", Granularity::Instance).unwrap();
+        let m = g
+            .add_node(Node::new("m", "mod.x", NodeRole::Modifier, Granularity::Instance))
+            .unwrap();
+        g.attach_modifier(s, m).unwrap();
+        validate_structure(&g).unwrap();
+        g.remove_node(m).unwrap();
+        // After removal the chain is cleaned up, so validation still passes.
+        validate_structure(&g).unwrap();
+        assert!(g.node(s).unwrap().modifiers().is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests of IR graph invariants.
+
+use blueprint_ir::{
+    path, stats,
+    validate::{check_visibility, validate_structure},
+    Granularity, IrGraph, MethodSig, Node, NodeId, NodeRole, TypeRef, Visibility,
+};
+use proptest::prelude::*;
+
+/// A random-but-valid construction script for an IR graph.
+#[derive(Debug, Clone)]
+enum Op {
+    AddService(u8),
+    AddProcess(u8),
+    Place { svc: u8, proc_: u8 },
+    Invoke { from: u8, to: u8, widen: bool },
+    Modify { svc: u8 },
+    RemoveService(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16).prop_map(Op::AddService),
+        (0u8..8).prop_map(Op::AddProcess),
+        ((0u8..16), (0u8..8)).prop_map(|(svc, proc_)| Op::Place { svc, proc_ }),
+        ((0u8..16), (0u8..16), any::<bool>()).prop_map(|(from, to, widen)| Op::Invoke {
+            from,
+            to,
+            widen
+        }),
+        (0u8..16).prop_map(|svc| Op::Modify { svc }),
+        (0u8..16).prop_map(Op::RemoveService),
+    ]
+}
+
+/// Applies a script, ignoring operations that reference unknown nodes.
+fn build(ops: &[Op]) -> IrGraph {
+    let mut g = IrGraph::new("prop");
+    let mut services: Vec<NodeId> = Vec::new();
+    let mut procs: Vec<NodeId> = Vec::new();
+    let mut modc = 0usize;
+    for op in ops {
+        match op {
+            Op::AddService(i) => {
+                let name = format!("svc_{i}_{}", services.len());
+                if let Ok(id) = g.add_component(name, "workflow.service", Granularity::Instance) {
+                    services.push(id);
+                }
+            }
+            Op::AddProcess(i) => {
+                let name = format!("proc_{i}_{}", procs.len());
+                if let Ok(id) = g.add_namespace(name, "namespace.process", Granularity::Process) {
+                    procs.push(id);
+                }
+            }
+            Op::Place { svc, proc_ } => {
+                if let (Some(&s), Some(&p)) = (
+                    services.get(*svc as usize % services.len().max(1)),
+                    procs.get(*proc_ as usize % procs.len().max(1)),
+                ) {
+                    if g.node(s).is_ok() && g.node(p).is_ok() {
+                        let _ = g.set_parent(s, p);
+                    }
+                }
+            }
+            Op::Invoke { from, to, widen } => {
+                if services.len() >= 2 {
+                    let f = services[*from as usize % services.len()];
+                    let t = services[*to as usize % services.len()];
+                    if f != t && g.node(f).is_ok() && g.node(t).is_ok() {
+                        if let Ok(e) = g.add_invocation(
+                            f,
+                            t,
+                            vec![MethodSig::new("M", vec![], TypeRef::Unit)],
+                        ) {
+                            if *widen {
+                                g.edge_mut(e).unwrap().visibility = Visibility::Global;
+                            }
+                        }
+                    }
+                }
+            }
+            Op::Modify { svc } => {
+                if !services.is_empty() {
+                    let s = services[*svc as usize % services.len()];
+                    if g.node(s).is_ok() {
+                        modc += 1;
+                        let m = g
+                            .add_node(Node::new(
+                                format!("mod_{modc}"),
+                                "mod.trace",
+                                NodeRole::Modifier,
+                                Granularity::Instance,
+                            ))
+                            .unwrap();
+                        g.attach_modifier(s, m).unwrap();
+                    }
+                }
+            }
+            Op::RemoveService(i) => {
+                if !services.is_empty() {
+                    let s = services[*i as usize % services.len()];
+                    if g.node(s).is_ok() {
+                        let _ = g.remove_node(s);
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any graph produced through the public API passes structural validation.
+    #[test]
+    fn structure_always_valid(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let g = build(&ops);
+        validate_structure(&g).unwrap();
+    }
+
+    /// Visibility check only flags edges whose endpoints are in different
+    /// processes without widening — and never flags widened edges.
+    #[test]
+    fn visibility_violations_are_exactly_the_unwidened_cross_process_edges(
+        ops in proptest::collection::vec(op_strategy(), 0..60)
+    ) {
+        let g = build(&ops);
+        let expected = g
+            .edges()
+            .filter(|(_, e)| {
+                !e.visibility.satisfies(g.required_visibility(e.from, e.to))
+            })
+            .count();
+        match check_visibility(&g) {
+            Ok(()) => prop_assert_eq!(expected, 0),
+            Err(report) => prop_assert_eq!(report.violations.len(), expected),
+        }
+    }
+
+    /// Stats counters are consistent with direct recounts.
+    #[test]
+    fn stats_consistent(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let g = build(&ops);
+        let st = stats::stats(&g);
+        prop_assert_eq!(st.nodes, g.node_count());
+        prop_assert_eq!(st.edges, g.edge_count());
+        prop_assert!(st.services + st.backends <= st.components);
+        prop_assert_eq!(
+            st.invocation_edges,
+            g.edges().filter(|(_, e)| e.kind == blueprint_ir::EdgeKind::Invocation).count()
+        );
+    }
+
+    /// Reachability never escapes the live node set and always includes the start.
+    #[test]
+    fn reachable_is_live_and_rooted(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let g = build(&ops);
+        for start in g.live_node_ids() {
+            let r = path::reachable(&g, start);
+            prop_assert_eq!(r[0], start);
+            for n in r {
+                prop_assert!(g.node(n).is_ok());
+            }
+        }
+    }
+
+    /// Removing every service leaves no dangling edges.
+    #[test]
+    fn mass_removal_leaves_no_edges(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut g = build(&ops);
+        let svcs: Vec<NodeId> = g.nodes_with_kind_prefix("workflow.service");
+        for s in svcs {
+            g.remove_node(s).unwrap();
+        }
+        prop_assert_eq!(
+            g.edges().filter(|(_, e)| {
+                g.node(e.from).is_err() || g.node(e.to).is_err()
+            }).count(),
+            0
+        );
+        validate_structure(&g).unwrap();
+    }
+}

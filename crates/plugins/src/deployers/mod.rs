@@ -1,0 +1,73 @@
+//! Deployer plugins: Docker, Kubernetes, Ansible (paper Tab. 3).
+//!
+//! A deployer is a modifier listed in a service's server-modifier chain
+//! (Fig. 3's `normal_deployer = Docker()`); it declares how containers are
+//! built and placed on machines. The compiler's placement pass reads the
+//! cluster shape (`machines`, `cores`) from whichever deployer is present.
+
+pub mod ansible;
+pub mod docker;
+pub mod kubernetes;
+
+pub use ansible::AnsiblePlugin;
+pub use docker::DockerPlugin;
+pub use kubernetes::KubernetesPlugin;
+
+use blueprint_ir::{IrGraph, NodeId};
+
+/// Kind prefix shared by all deployer modifiers.
+pub const KIND_PREFIX: &str = "mod.deployer";
+
+/// The cluster shape declared by deployer nodes in a graph:
+/// `(machines, cores_per_machine)`. Defaults to the paper's testbed shape,
+/// scaled for simulation (8 machines; cores default 8, standing in for the
+/// 48-core boxes at the workload scale factor documented in `DESIGN.md`).
+pub fn cluster_shape(ir: &IrGraph) -> (usize, f64) {
+    for (_, n) in ir.nodes() {
+        if n.kind.starts_with(KIND_PREFIX) {
+            let machines = n.props.float_or("machines", 8.0) as usize;
+            let cores = n.props.float_or("cores", 8.0);
+            return (machines.max(1), cores.max(0.5));
+        }
+    }
+    (1, 8.0)
+}
+
+/// Whether any deployer modifier exists in the graph (controls whether the
+/// compiler containerizes processes at all — the monolith variants have no
+/// deployer).
+pub fn has_deployer(ir: &IrGraph) -> bool {
+    ir.nodes().any(|(_, n)| n.kind.starts_with(KIND_PREFIX))
+}
+
+/// Container namespaces in the graph, in id order (shared by the manifest
+/// generators).
+pub fn containers(ir: &IrGraph) -> Vec<NodeId> {
+    let mut v = ir.nodes_with_kind_prefix("namespace.container");
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_ir::{Granularity, Node, NodeRole};
+
+    #[test]
+    fn shape_defaults_without_deployer() {
+        let ir = IrGraph::new("t");
+        assert_eq!(cluster_shape(&ir), (1, 8.0));
+        assert!(!has_deployer(&ir));
+    }
+
+    #[test]
+    fn shape_reads_deployer_props() {
+        let mut ir = IrGraph::new("t");
+        let d = ir
+            .add_node(Node::new("dep", "mod.deployer.docker", NodeRole::Modifier, Granularity::Instance))
+            .unwrap();
+        ir.node_mut(d).unwrap().props.set("machines", 4.0).set("cores", 16.0);
+        assert_eq!(cluster_shape(&ir), (4, 16.0));
+        assert!(has_deployer(&ir));
+    }
+}

@@ -1,0 +1,35 @@
+//! Compiler plugins: scaffolding and instantiations (paper §4.1, Tabs. 2–4).
+//!
+//! Every concrete capability of the toolchain — RPC frameworks, backends,
+//! tracers, deployers, resilience scaffolding — is a [`api::Plugin`]. A
+//! plugin integrates with the compiler in the three places the paper lists:
+//!
+//! 1. it claims **wiring keywords** (`Memcached`, `GRPCServer`, ...) and
+//!    builds IR nodes for declarations using them;
+//! 2. it may run an **IR transformation pass** (e.g. replication duplicates
+//!    component nodes and inserts a load balancer);
+//! 3. it **generates artifacts** for the nodes it owns (wrapper classes, IDL,
+//!    Dockerfiles, manifests) and **lowers** them onto the simulation target
+//!    (transports, backend models, client policies).
+//!
+//! Plugins are mutually independent: none references another plugin's types,
+//! and the registry composes whatever set is provided. `X-Trace` and
+//! `CircuitBreaker` are implemented exactly as the paper describes — one-shot
+//! extensions added after the fact without touching any application
+//! (see `registry::extended()` and the UC3 tests).
+
+pub mod api;
+pub mod artifact;
+pub mod backends;
+pub mod deployers;
+pub mod loc;
+pub mod namespaces;
+pub mod registry;
+pub mod rpc;
+pub mod scaffolding;
+pub mod tracers;
+pub mod workflow_svc;
+
+pub use api::{BuildCtx, Plugin, PluginError, PluginResult};
+pub use artifact::{Artifact, ArtifactKind, ArtifactTree};
+pub use registry::Registry;

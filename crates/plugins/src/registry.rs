@@ -1,0 +1,170 @@
+//! The plugin registry: the set of compiler extensions enabled for a build.
+
+use crate::api::{BuildCtx, Plugin};
+use crate::backends::{MemcachedPlugin, MongoDbPlugin, MySqlPlugin, RabbitMqPlugin, RedisPlugin};
+use crate::deployers::{AnsiblePlugin, DockerPlugin, KubernetesPlugin};
+use crate::namespaces::NamespacePlugin;
+use crate::rpc::{GrpcPlugin, HttpPlugin, ThriftPlugin};
+use crate::scaffolding::{
+    CircuitBreakerPlugin, ClientPoolPlugin, LoadBalancerPlugin, ReplicatePlugin, RetryPlugin,
+    TimeoutPlugin,
+};
+use crate::tracers::{
+    JaegerTracerPlugin, TracerModifierPlugin, XTraceModifierPlugin, XTracerPlugin,
+    ZipkinTracerPlugin,
+};
+use crate::workflow_svc::WorkflowServicePlugin;
+
+/// An ordered set of plugins. Order matters only for transform passes, which
+/// run in registry order.
+pub struct Registry {
+    plugins: Vec<Box<dyn Plugin>>,
+}
+
+impl Registry {
+    /// An empty registry (for tests composing custom sets).
+    pub fn empty() -> Self {
+        Registry { plugins: Vec::new() }
+    }
+
+    /// The out-of-the-box plugin set: workflow services, namespaces, all
+    /// backends and tracers, RPC frameworks, deployers, and the standard
+    /// resilience scaffolding.
+    pub fn core() -> Self {
+        let mut r = Registry::empty();
+        r.register(WorkflowServicePlugin);
+        r.register(NamespacePlugin);
+        r.register(MemcachedPlugin);
+        r.register(RedisPlugin);
+        r.register(MongoDbPlugin);
+        r.register(MySqlPlugin);
+        r.register(RabbitMqPlugin);
+        r.register(ZipkinTracerPlugin);
+        r.register(JaegerTracerPlugin);
+        r.register(TracerModifierPlugin);
+        r.register(GrpcPlugin);
+        r.register(ThriftPlugin);
+        r.register(HttpPlugin);
+        r.register(DockerPlugin);
+        r.register(KubernetesPlugin);
+        r.register(AnsiblePlugin);
+        r.register(RetryPlugin);
+        r.register(TimeoutPlugin);
+        r.register(ClientPoolPlugin);
+        r.register(ReplicatePlugin);
+        r.register(LoadBalancerPlugin);
+        r
+    }
+
+    /// Core plus the after-the-fact extensions of the paper's UC3 studies:
+    /// X-Trace (the Sifter reproduction) and the CircuitBreaker prototype.
+    pub fn extended() -> Self {
+        let mut r = Registry::core();
+        r.register(XTracerPlugin);
+        r.register(XTraceModifierPlugin);
+        r.register(CircuitBreakerPlugin);
+        r
+    }
+
+    /// Registers an additional plugin.
+    pub fn register(&mut self, plugin: impl Plugin + 'static) {
+        self.plugins.push(Box::new(plugin));
+    }
+
+    /// Number of registered plugins.
+    pub fn len(&self) -> usize {
+        self.plugins.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plugins.is_empty()
+    }
+
+    /// Iterates over plugins in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Plugin> {
+        self.plugins.iter().map(Box::as_ref)
+    }
+
+    /// Finds the plugin claiming a wiring callee.
+    pub fn for_callee(&self, callee: &str, ctx: &BuildCtx<'_>) -> Option<&dyn Plugin> {
+        self.iter().find(|p| p.matches(callee, ctx))
+    }
+
+    /// Finds the plugin owning an IR node kind (longest kind-prefix match).
+    pub fn for_kind(&self, kind: &str) -> Option<&dyn Plugin> {
+        let mut best: Option<(&dyn Plugin, usize)> = None;
+        for p in self.iter() {
+            for owned in p.owns_kinds() {
+                let is_match =
+                    kind == owned || (kind.starts_with(owned) && kind[owned.len()..].starts_with('.'));
+                if is_match && best.map(|(_, l)| owned.len() > l).unwrap_or(true) {
+                    best = Some((p, owned.len()));
+                }
+            }
+        }
+        best.map(|(p, _)| p)
+    }
+
+    /// Finds a plugin by name.
+    pub fn by_name(&self, name: &str) -> Option<&dyn Plugin> {
+        self.iter().find(|p| p.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_wiring::WiringSpec;
+    use blueprint_workflow::WorkflowSpec;
+
+    #[test]
+    fn core_resolves_standard_keywords() {
+        let r = Registry::core();
+        let wf = WorkflowSpec::new("w");
+        let wiring = WiringSpec::new("w");
+        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        for kw in [
+            "Memcached", "Redis", "MongoDB", "MySQL", "RabbitMQ", "ZipkinTracer", "JaegerTracer",
+            "TracerModifier", "GRPCServer", "ThriftServer", "HTTPServer", "Docker", "Kubernetes",
+            "Ansible", "Retry", "Timeout", "ClientPool", "Replicate", "LoadBalancer", "Process",
+            "Container",
+        ] {
+            assert!(r.for_callee(kw, &ctx).is_some(), "missing keyword {kw}");
+        }
+        // Extensions are not in core.
+        assert!(r.for_callee("XTraceModifier", &ctx).is_none());
+        assert!(r.for_callee("CircuitBreaker", &ctx).is_none());
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn extended_adds_extensions() {
+        let r = Registry::extended();
+        let wf = WorkflowSpec::new("w");
+        let wiring = WiringSpec::new("w");
+        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        assert!(r.for_callee("XTraceModifier", &ctx).is_some());
+        assert!(r.for_callee("XTracer", &ctx).is_some());
+        assert!(r.for_callee("CircuitBreaker", &ctx).is_some());
+        assert_eq!(r.len(), Registry::core().len() + 3);
+    }
+
+    #[test]
+    fn kind_resolution_prefers_longest_prefix() {
+        let r = Registry::extended();
+        assert_eq!(r.for_kind("backend.cache.memcached").unwrap().name(), "memcached");
+        assert_eq!(r.for_kind("mod.rpc.grpc.server").unwrap().name(), "grpc");
+        assert_eq!(r.for_kind("mod.tracer.otel").unwrap().name(), "tracing");
+        assert_eq!(r.for_kind("mod.tracer.xtrace").unwrap().name(), "xtrace");
+        assert_eq!(r.for_kind("namespace.process").unwrap().name(), "namespaces");
+        assert!(r.for_kind("unknown.kind").is_none());
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        let r = Registry::core();
+        assert!(r.by_name("p-replication").is_some());
+        assert!(r.by_name("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! Resilience and topology scaffolding plugins (paper Tab. 4): Retry,
+//! Timeout, CircuitBreaker, ClientPool, p-Replication, LoadBalancer.
+
+pub mod circuit_breaker;
+pub mod clientpool;
+pub mod loadbalancer;
+pub mod replication;
+pub mod retry;
+pub mod timeout;
+
+pub use circuit_breaker::CircuitBreakerPlugin;
+pub use clientpool::ClientPoolPlugin;
+pub use loadbalancer::LoadBalancerPlugin;
+pub use replication::ReplicatePlugin;
+pub use retry::RetryPlugin;
+pub use timeout::TimeoutPlugin;
+
+#[cfg(test)]
+mod tests {
+    /// All scaffolding kinds use the `mod.` prefix so the compiler treats
+    /// them uniformly.
+    #[test]
+    fn kind_prefixes() {
+        assert!(super::retry::KIND.starts_with("mod."));
+        assert!(super::timeout::KIND.starts_with("mod."));
+        assert!(super::circuit_breaker::KIND.starts_with("mod."));
+        assert!(super::clientpool::KIND.starts_with("mod."));
+        assert!(super::replication::KIND.starts_with("mod."));
+        assert!(super::loadbalancer::KIND.starts_with("component."));
+    }
+}

@@ -1,0 +1,105 @@
+//! Retry scaffolding: clients of the modified service retry failed calls.
+
+use blueprint_ir::{IrGraph, NodeId};
+use blueprint_simrt::time::ms;
+use blueprint_simrt::ClientSpec;
+use blueprint_wiring::InstanceDecl;
+
+use crate::api::{BuildCtx, Plugin, PluginResult};
+use crate::rpc::server_modifier;
+
+/// Kind tag of retry modifiers.
+pub const KIND: &str = "mod.retry";
+
+/// The `Retry(max=10, backoff_ms=1)` plugin.
+///
+/// Attached to a callee service, it makes the generated *client* wrappers of
+/// that service retry failed or timed-out calls up to `max` times — the
+/// workload-amplification half of the metastability experiments (§6.2.1).
+pub struct RetryPlugin;
+
+impl Plugin for RetryPlugin {
+    fn name(&self) -> &'static str {
+        "retry"
+    }
+
+    fn keywords(&self) -> Vec<&'static str> {
+        vec!["Retry"]
+    }
+
+    fn owns_kinds(&self) -> Vec<&'static str> {
+        vec![KIND]
+    }
+
+    fn build_node(
+        &self,
+        decl: &InstanceDecl,
+        ir: &mut IrGraph,
+        _ctx: &BuildCtx<'_>,
+    ) -> PluginResult<NodeId> {
+        server_modifier(decl, ir, KIND, &["max", "backoff_ms"])
+    }
+
+    fn apply_client(&self, node: NodeId, ir: &IrGraph, client: &mut ClientSpec) {
+        if let Ok(n) = ir.node(node) {
+            client.retries = n.props.float_or("max", 3.0) as u32;
+            client.backoff_ns = ms(n.props.float_or("backoff_ms", 0.0) as u64);
+        }
+    }
+
+    fn source(&self) -> &'static str {
+        include_str!("retry.rs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_wiring::{Arg, WiringSpec};
+    use blueprint_workflow::WorkflowSpec;
+
+    #[test]
+    fn applies_retry_policy() {
+        let wf = WorkflowSpec::new("w");
+        let wiring = WiringSpec::new("w");
+        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let mut ir = IrGraph::new("t");
+        let decl = InstanceDecl {
+            name: "retry10".into(),
+            callee: "Retry".into(),
+            args: vec![],
+            kwargs: [
+                ("max".to_string(), Arg::Int(10)),
+                ("backoff_ms".to_string(), Arg::Int(2)),
+            ]
+            .into_iter()
+            .collect(),
+            server_modifiers: vec![],
+        };
+        let m = RetryPlugin.build_node(&decl, &mut ir, &ctx).unwrap();
+        let mut client = ClientSpec::local();
+        RetryPlugin.apply_client(m, &ir, &mut client);
+        assert_eq!(client.retries, 10);
+        assert_eq!(client.backoff_ns, ms(2));
+    }
+
+    #[test]
+    fn defaults() {
+        let wf = WorkflowSpec::new("w");
+        let wiring = WiringSpec::new("w");
+        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let mut ir = IrGraph::new("t");
+        let decl = InstanceDecl {
+            name: "retry".into(),
+            callee: "Retry".into(),
+            args: vec![],
+            kwargs: Default::default(),
+            server_modifiers: vec![],
+        };
+        let m = RetryPlugin.build_node(&decl, &mut ir, &ctx).unwrap();
+        let mut client = ClientSpec::local();
+        RetryPlugin.apply_client(m, &ir, &mut client);
+        assert_eq!(client.retries, 3);
+        assert_eq!(client.backoff_ns, 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Timeout scaffolding: clients of the modified service abandon slow calls.
+
+use blueprint_ir::{IrGraph, NodeId};
+use blueprint_simrt::time::ms;
+use blueprint_simrt::ClientSpec;
+use blueprint_wiring::InstanceDecl;
+
+use crate::api::{BuildCtx, Plugin, PluginResult};
+use crate::rpc::server_modifier;
+
+/// Kind tag of timeout modifiers.
+pub const KIND: &str = "mod.timeout";
+
+/// The `Timeout(ms=500)` plugin.
+///
+/// Abandoning a call does **not** cancel the server-side work — exactly the
+/// wasted-work semantics behind retry storms (paper §B.1 "Retry storm
+/// metastable failure").
+pub struct TimeoutPlugin;
+
+impl Plugin for TimeoutPlugin {
+    fn name(&self) -> &'static str {
+        "timeout"
+    }
+
+    fn keywords(&self) -> Vec<&'static str> {
+        vec!["Timeout"]
+    }
+
+    fn owns_kinds(&self) -> Vec<&'static str> {
+        vec![KIND]
+    }
+
+    fn build_node(
+        &self,
+        decl: &InstanceDecl,
+        ir: &mut IrGraph,
+        _ctx: &BuildCtx<'_>,
+    ) -> PluginResult<NodeId> {
+        server_modifier(decl, ir, KIND, &["ms"])
+    }
+
+    fn apply_client(&self, node: NodeId, ir: &IrGraph, client: &mut ClientSpec) {
+        if let Ok(n) = ir.node(node) {
+            client.timeout_ns = Some(ms(n.props.float_or("ms", 500.0) as u64));
+        }
+    }
+
+    fn source(&self) -> &'static str {
+        include_str!("timeout.rs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_wiring::{Arg, WiringSpec};
+    use blueprint_workflow::WorkflowSpec;
+
+    #[test]
+    fn applies_timeout() {
+        let wf = WorkflowSpec::new("w");
+        let wiring = WiringSpec::new("w");
+        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let mut ir = IrGraph::new("t");
+        let decl = InstanceDecl {
+            name: "to".into(),
+            callee: "Timeout".into(),
+            args: vec![],
+            kwargs: [("ms".to_string(), Arg::Int(750))].into_iter().collect(),
+            server_modifiers: vec![],
+        };
+        let m = TimeoutPlugin.build_node(&decl, &mut ir, &ctx).unwrap();
+        let mut client = ClientSpec::local();
+        TimeoutPlugin.apply_client(m, &ir, &mut client);
+        assert_eq!(client.timeout_ns, Some(ms(750)));
+    }
+}

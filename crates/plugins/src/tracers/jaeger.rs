@@ -1,0 +1,76 @@
+//! Jaeger tracer backend.
+
+use blueprint_ir::{IrGraph, NodeId};
+use blueprint_wiring::InstanceDecl;
+
+use crate::api::{BuildCtx, Plugin, PluginResult};
+use crate::artifact::ArtifactTree;
+use crate::backends::backend_container_artifacts;
+use crate::tracers::tracer_component;
+
+/// Kind tag of Jaeger server nodes.
+pub const KIND: &str = "backend.tracer.jaeger";
+
+/// The `JaegerTracer()` instantiation of the Tracer backend.
+pub struct JaegerTracerPlugin;
+
+impl Plugin for JaegerTracerPlugin {
+    fn name(&self) -> &'static str {
+        "jaeger"
+    }
+
+    fn keywords(&self) -> Vec<&'static str> {
+        vec!["JaegerTracer"]
+    }
+
+    fn owns_kinds(&self) -> Vec<&'static str> {
+        vec![KIND]
+    }
+
+    fn build_node(
+        &self,
+        decl: &InstanceDecl,
+        ir: &mut IrGraph,
+        _ctx: &BuildCtx<'_>,
+    ) -> PluginResult<NodeId> {
+        tracer_component(decl, ir, KIND)
+    }
+
+    fn generate(
+        &self,
+        node: NodeId,
+        ir: &IrGraph,
+        _ctx: &BuildCtx<'_>,
+        out: &mut ArtifactTree,
+    ) -> PluginResult<()> {
+        backend_container_artifacts(ir, node, "jaegertracing/all-in-one:1.49", 16686, out)
+    }
+
+    fn source(&self) -> &'static str {
+        include_str!("jaeger.rs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_wiring::WiringSpec;
+    use blueprint_workflow::WorkflowSpec;
+
+    #[test]
+    fn builds_jaeger_server() {
+        let wf = WorkflowSpec::new("w");
+        let wiring = WiringSpec::new("w");
+        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let mut ir = IrGraph::new("t");
+        let decl = InstanceDecl {
+            name: "jaeger".into(),
+            callee: "JaegerTracer".into(),
+            args: vec![],
+            kwargs: Default::default(),
+            server_modifiers: vec![],
+        };
+        let n = JaegerTracerPlugin.build_node(&decl, &mut ir, &ctx).unwrap();
+        assert_eq!(ir.node(n).unwrap().kind, KIND);
+    }
+}

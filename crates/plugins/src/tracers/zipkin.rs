@@ -1,0 +1,79 @@
+//! Zipkin tracer backend.
+
+use blueprint_ir::{IrGraph, NodeId};
+use blueprint_wiring::InstanceDecl;
+
+use crate::api::{BuildCtx, Plugin, PluginResult};
+use crate::artifact::ArtifactTree;
+use crate::backends::backend_container_artifacts;
+use crate::tracers::tracer_component;
+
+/// Kind tag of Zipkin server nodes.
+pub const KIND: &str = "backend.tracer.zipkin";
+
+/// The `ZipkinTracer()` instantiation of the Tracer backend.
+pub struct ZipkinTracerPlugin;
+
+impl Plugin for ZipkinTracerPlugin {
+    fn name(&self) -> &'static str {
+        "zipkin"
+    }
+
+    fn keywords(&self) -> Vec<&'static str> {
+        vec!["ZipkinTracer"]
+    }
+
+    fn owns_kinds(&self) -> Vec<&'static str> {
+        vec![KIND]
+    }
+
+    fn build_node(
+        &self,
+        decl: &InstanceDecl,
+        ir: &mut IrGraph,
+        _ctx: &BuildCtx<'_>,
+    ) -> PluginResult<NodeId> {
+        tracer_component(decl, ir, KIND)
+    }
+
+    fn generate(
+        &self,
+        node: NodeId,
+        ir: &IrGraph,
+        _ctx: &BuildCtx<'_>,
+        out: &mut ArtifactTree,
+    ) -> PluginResult<()> {
+        backend_container_artifacts(ir, node, "openzipkin/zipkin:2.24", 9411, out)
+    }
+
+    fn source(&self) -> &'static str {
+        include_str!("zipkin.rs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_wiring::WiringSpec;
+    use blueprint_workflow::WorkflowSpec;
+
+    #[test]
+    fn builds_tracer_server() {
+        let wf = WorkflowSpec::new("w");
+        let wiring = WiringSpec::new("w");
+        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let mut ir = IrGraph::new("t");
+        let decl = InstanceDecl {
+            name: "zipkin".into(),
+            callee: "ZipkinTracer".into(),
+            args: vec![],
+            kwargs: Default::default(),
+            server_modifiers: vec![],
+        };
+        let n = ZipkinTracerPlugin.build_node(&decl, &mut ir, &ctx).unwrap();
+        assert_eq!(ir.node(n).unwrap().kind, KIND);
+        let mut out = ArtifactTree::new();
+        ZipkinTracerPlugin.generate(n, &ir, &ctx, &mut out).unwrap();
+        assert!(out.get("docker/zipkin/Dockerfile").unwrap().content.contains("zipkin"));
+    }
+}

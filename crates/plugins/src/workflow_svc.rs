@@ -1,0 +1,360 @@
+//! The workflow-service plugin: application-level Go/Rust service instances.
+//!
+//! This is one of the "core concepts implemented as compiler plugins"
+//! (paper §4.1): it claims every service-implementation name declared in the
+//! workflow spec as a wiring keyword, creates the corresponding component
+//! nodes and dependency edges, and generates the service skeleton sources
+//! (interface trait, constructor with injected dependencies, and a null
+//! implementation for debugging, §7).
+
+use blueprint_ir::types::snake_case;
+use blueprint_ir::{Granularity, IrGraph, MethodSig, NodeId};
+use blueprint_wiring::InstanceDecl;
+use blueprint_workflow::{DepKind, ServiceImpl};
+
+use crate::api::{BuildCtx, Plugin, PluginError, PluginResult};
+use crate::artifact::{ArtifactKind, ArtifactTree};
+
+/// Kind tag of workflow service instance nodes.
+pub const KIND: &str = "workflow.service";
+
+/// The workflow-service plugin.
+pub struct WorkflowServicePlugin;
+
+impl WorkflowServicePlugin {
+    fn lookup<'a>(ctx: &'a BuildCtx<'_>, callee: &str) -> Option<&'a ServiceImpl> {
+        ctx.workflow.service(callee)
+    }
+
+    /// The methods `caller_impl` invokes on the dependency `dep_name`,
+    /// resolved against the callee interface.
+    fn invoked_methods(
+        caller: &ServiceImpl,
+        dep_name: &str,
+        callee_iface: &[MethodSig],
+    ) -> Vec<MethodSig> {
+        let mut names: Vec<&str> = caller
+            .behaviors
+            .values()
+            .flat_map(|b| b.calls())
+            .filter(|(d, _)| *d == dep_name)
+            .map(|(_, m)| m)
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        callee_iface.iter().filter(|m| names.contains(&m.name.as_str())).cloned().collect()
+    }
+}
+
+impl Plugin for WorkflowServicePlugin {
+    fn name(&self) -> &'static str {
+        "workflow"
+    }
+
+    fn matches(&self, callee: &str, ctx: &BuildCtx<'_>) -> bool {
+        Self::lookup(ctx, callee).is_some()
+    }
+
+    fn owns_kinds(&self) -> Vec<&'static str> {
+        vec![KIND]
+    }
+
+    fn build_node(
+        &self,
+        decl: &InstanceDecl,
+        ir: &mut IrGraph,
+        ctx: &BuildCtx<'_>,
+    ) -> PluginResult<NodeId> {
+        let imp = Self::lookup(ctx, &decl.callee).ok_or_else(|| PluginError::BadDecl {
+            instance: decl.name.clone(),
+            message: format!("unknown service implementation {}", decl.callee),
+        })?;
+        if decl.args.len() != imp.deps.len() {
+            return Err(PluginError::BadDecl {
+                instance: decl.name.clone(),
+                message: format!(
+                    "{} takes {} dependencies, got {} arguments",
+                    decl.callee,
+                    imp.deps.len(),
+                    decl.args.len()
+                ),
+            });
+        }
+        let node = ir.add_component(&decl.name, KIND, Granularity::Instance)?;
+        ir.node_mut(node)?.props.set("impl", decl.callee.as_str());
+
+        for (arg, dep) in decl.args.iter().zip(&imp.deps) {
+            let Some(target_name) = arg.as_ref_name() else {
+                return Err(PluginError::BadDecl {
+                    instance: decl.name.clone(),
+                    message: format!("dependency `{}` must be an instance reference", dep.name),
+                });
+            };
+            let Some(target) = ir.by_name(target_name) else {
+                return Err(PluginError::BadDecl {
+                    instance: decl.name.clone(),
+                    message: format!("unknown instance `{target_name}`"),
+                });
+            };
+            // Record the binding for main-generation and sim lowering.
+            ir.node_mut(node)?.props.set(format!("dep.{}", dep.name), target_name);
+            let methods = match &dep.kind {
+                DepKind::Service(iface) => {
+                    // A service dependency may also target a load balancer
+                    // fronting replicas; resolve the interface through the
+                    // first replica in that case.
+                    let resolve_node = if ir.node(target)?.kind == "component.loadbalancer" {
+                        ir.callees(target).first().copied().unwrap_or(target)
+                    } else {
+                        target
+                    };
+                    let target_impl = ir.node(resolve_node)?.props.str("impl").map(str::to_string);
+                    let callee_iface = target_impl
+                        .as_deref()
+                        .and_then(|i| ctx.workflow.service(i))
+                        .map(|s| s.interface.methods.clone())
+                        .unwrap_or_default();
+                    if callee_iface.is_empty() {
+                        return Err(PluginError::BadDecl {
+                            instance: decl.name.clone(),
+                            message: format!(
+                                "dependency `{}` expects a {iface} service instance, \
+                                 but `{target_name}` is not a workflow service",
+                                dep.name
+                            ),
+                        });
+                    }
+                    Self::invoked_methods(imp, &dep.name, &callee_iface)
+                }
+                DepKind::Backend(kind) => kind.interface().methods,
+            };
+            ir.add_invocation(node, target, methods)?;
+        }
+        Ok(node)
+    }
+
+    fn generate(
+        &self,
+        node: NodeId,
+        ir: &IrGraph,
+        ctx: &BuildCtx<'_>,
+        out: &mut ArtifactTree,
+    ) -> PluginResult<()> {
+        let n = ir.node(node)?;
+        let impl_name = n.props.str("impl").unwrap_or_default().to_string();
+        let Some(imp) = ctx.workflow.service(&impl_name) else {
+            return Err(PluginError::Internal(format!("missing workflow impl {impl_name}")));
+        };
+        let path = format!("services/{}.rs", snake_case(&impl_name));
+        if out.contains(&path) {
+            return Ok(()); // One artifact per implementation, not per instance.
+        }
+        out.put(path, ArtifactKind::RustSource, render_service(imp));
+        let null_path = format!("services/null/{}_null.rs", snake_case(&imp.interface.name));
+        if !out.contains(&null_path) {
+            out.put(null_path, ArtifactKind::RustSource, render_null_impl(imp));
+        }
+        Ok(())
+    }
+
+    fn source(&self) -> &'static str {
+        include_str!("workflow_svc.rs")
+    }
+}
+
+/// Renders the service skeleton: interface trait + struct with injected
+/// dependencies + method stubs delegating to the behavior program.
+fn render_service(imp: &ServiceImpl) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("//! Generated service skeleton for `{}`.\n\n", imp.name));
+    out.push_str(&imp.interface.rust_trait());
+    out.push('\n');
+    out.push_str(&format!("pub struct {} {{\n", imp.name));
+    for d in &imp.deps {
+        let ty = match &d.kind {
+            DepKind::Service(iface) => format!("Box<dyn {iface}>"),
+            DepKind::Backend(kind) => format!("Box<dyn {}>", kind.interface().name),
+        };
+        out.push_str(&format!("    {}: {},\n", snake_case(&d.name), ty));
+    }
+    out.push_str("}\n\n");
+    out.push_str(&format!("impl {} {{\n", imp.name));
+    out.push_str("    /// Dependency-injected constructor; instances are wired by the\n");
+    out.push_str("    /// Blueprint-generated process main, never by workflow code.\n");
+    out.push_str("    pub fn new(\n");
+    for d in &imp.deps {
+        let ty = match &d.kind {
+            DepKind::Service(iface) => format!("Box<dyn {iface}>"),
+            DepKind::Backend(kind) => format!("Box<dyn {}>", kind.interface().name),
+        };
+        out.push_str(&format!("        {}: {},\n", snake_case(&d.name), ty));
+    }
+    out.push_str("    ) -> Self {\n        Self {\n");
+    for d in &imp.deps {
+        out.push_str(&format!("            {},\n", snake_case(&d.name)));
+    }
+    out.push_str("        }\n    }\n}\n\n");
+    out.push_str(&format!("impl {} for {} {{\n", imp.interface.name, imp.name));
+    for m in &imp.interface.methods {
+        out.push_str(&format!("    {} {{\n", m.rust_decl()));
+        let size = imp.behaviors.get(&m.name).map(|b| b.size()).unwrap_or(0);
+        out.push_str(&format!(
+            "        // Behavior program `{}::{}` ({} steps) executes here.\n",
+            imp.name, m.name, size
+        ));
+        out.push_str("        ctx.run_behavior()\n    }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the null implementation used for workflow debugging (§7).
+fn render_null_impl(imp: &ServiceImpl) -> String {
+    let iface = &imp.interface;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "//! Null implementation of `{}` (debugging aid, paper §7).\n\n",
+        iface.name
+    ));
+    out.push_str(&format!("pub struct Null{};\n\n", iface.name));
+    out.push_str(&format!("impl {} for Null{} {{\n", iface.name, iface.name));
+    for m in &iface.methods {
+        out.push_str(&format!("    {} {{\n", m.rust_decl()));
+        out.push_str("        Ok(Default::default())\n    }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_ir::types::{Param, TypeRef};
+    use blueprint_wiring::WiringSpec;
+    use blueprint_workflow::{Behavior, KeyExpr, ServiceBuilder, ServiceInterface, WorkflowSpec};
+
+    fn workflow() -> WorkflowSpec {
+        let mut wf = WorkflowSpec::new("app");
+        let user = ServiceBuilder::new(
+            "UserServiceImpl",
+            ServiceInterface::new(
+                "UserService",
+                vec![
+                    MethodSig::new("Login", vec![Param::new("id", TypeRef::I64)], TypeRef::Bool),
+                    MethodSig::new("Logout", vec![], TypeRef::Unit),
+                ],
+            ),
+        )
+        .dep_nosql("user_db")
+        .method("Login", Behavior::build().db_read("user_db", KeyExpr::Entity).done())
+        .method("Logout", Behavior::build().compute(1000, 0).done())
+        .done()
+        .unwrap();
+        wf.add_service(user).unwrap();
+        let front = ServiceBuilder::new(
+            "FrontendImpl",
+            ServiceInterface::new(
+                "Frontend",
+                vec![MethodSig::new("Handle", vec![], TypeRef::Unit)],
+            ),
+        )
+        .dep_service("users", "UserService")
+        .method("Handle", Behavior::build().call("users", "Login").done())
+        .done()
+        .unwrap();
+        wf.add_service(front).unwrap();
+        wf
+    }
+
+    fn build_two(ir: &mut IrGraph) -> (NodeId, NodeId) {
+        let wf = workflow();
+        let mut wiring = WiringSpec::new("app");
+        wiring.define("user_db", "MongoDB", vec![]).unwrap();
+        wiring.service("us", "UserServiceImpl", &["user_db"], &[]).unwrap();
+        wiring.service("fe", "FrontendImpl", &["us"], &[]).unwrap();
+        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let p = WorkflowServicePlugin;
+        // The backend node would be built by the MongoDB plugin; fake it.
+        ir.add_component("user_db", "backend.nosql.mongodb", Granularity::Process).unwrap();
+        let us = p.build_node(ctx.wiring.decl("us").unwrap(), ir, &ctx).unwrap();
+        let fe = p.build_node(ctx.wiring.decl("fe").unwrap(), ir, &ctx).unwrap();
+        (us, fe)
+    }
+
+    #[test]
+    fn builds_nodes_and_edges() {
+        let mut ir = IrGraph::new("app");
+        let (us, fe) = build_two(&mut ir);
+        assert_eq!(ir.node(us).unwrap().kind, KIND);
+        // fe → us edge with only the invoked method (Login, not Logout).
+        let edges = ir.out_edges(fe);
+        assert_eq!(edges.len(), 1);
+        let e = ir.edge(edges[0]).unwrap();
+        assert_eq!(e.to, us);
+        assert_eq!(e.methods.len(), 1);
+        assert_eq!(e.methods[0].name, "Login");
+        // us → db edge with the backend interface.
+        let edges = ir.out_edges(us);
+        assert_eq!(edges.len(), 1);
+        assert!(ir.edge(edges[0]).unwrap().methods.iter().any(|m| m.name == "FindOne"));
+        // Dep bindings recorded.
+        assert_eq!(ir.node(fe).unwrap().props.str("dep.users"), Some("us"));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let wf = workflow();
+        let mut wiring = WiringSpec::new("app");
+        wiring.define("us", "UserServiceImpl", vec![]).unwrap(); // Missing db arg.
+        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let mut ir = IrGraph::new("app");
+        let err = WorkflowServicePlugin
+            .build_node(ctx.wiring.decl("us").unwrap(), &mut ir, &ctx)
+            .unwrap_err();
+        assert!(err.to_string().contains("takes 1 dependencies"), "{err}");
+    }
+
+    #[test]
+    fn non_service_target_for_service_dep_rejected() {
+        let wf = workflow();
+        let mut wiring = WiringSpec::new("app");
+        wiring.define("not_a_svc", "MongoDB", vec![]).unwrap();
+        wiring.service("fe", "FrontendImpl", &["not_a_svc"], &[]).unwrap();
+        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let mut ir = IrGraph::new("app");
+        ir.add_component("not_a_svc", "backend.nosql.mongodb", Granularity::Process).unwrap();
+        let err = WorkflowServicePlugin
+            .build_node(ctx.wiring.decl("fe").unwrap(), &mut ir, &ctx)
+            .unwrap_err();
+        assert!(err.to_string().contains("not a workflow service"), "{err}");
+    }
+
+    #[test]
+    fn generates_skeleton_and_null_impl_once() {
+        let mut ir = IrGraph::new("app");
+        let (us, _fe) = build_two(&mut ir);
+        let wf = workflow();
+        let wiring = WiringSpec::new("app");
+        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let mut out = ArtifactTree::new();
+        WorkflowServicePlugin.generate(us, &ir, &ctx, &mut out).unwrap();
+        WorkflowServicePlugin.generate(us, &ir, &ctx, &mut out).unwrap();
+        assert_eq!(out.paths_under("services/").len(), 2);
+        let svc = out.get("services/user_service_impl.rs").unwrap();
+        assert!(svc.content.contains("pub trait UserService"));
+        assert!(svc.content.contains("pub fn new("));
+        assert!(svc.content.contains("user_db: Box<dyn NoSQLDB>"));
+        let null = out.get("services/null/user_service_null.rs").unwrap();
+        assert!(null.content.contains("pub struct NullUserService;"));
+    }
+
+    #[test]
+    fn matches_only_workflow_impls() {
+        let wf = workflow();
+        let wiring = WiringSpec::new("app");
+        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let p = WorkflowServicePlugin;
+        assert!(p.matches("UserServiceImpl", &ctx));
+        assert!(!p.matches("Memcached", &ctx));
+    }
+}

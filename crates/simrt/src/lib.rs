@@ -1,0 +1,70 @@
+//! Deterministic discrete-event simulation runtime.
+//!
+//! This crate is the substitute for the paper's experimental testbed (eight
+//! 48-core machines running the generated systems in Docker containers; see
+//! `DESIGN.md` §4 for the substitution argument). The Blueprint compiler
+//! lowers an application's IR into a [`spec::SystemSpec`]; [`sim::Sim`]
+//! instantiates that spec as a virtual cluster and executes open-loop request
+//! workloads over virtual time with reproducible results.
+//!
+//! The simulator models, mechanistically rather than statistically, every
+//! effect the paper's evaluation depends on:
+//!
+//! * **CPU.** Each host is a processor-sharing queue ([`host`]): `n` active
+//!   jobs on `c` effective cores each progress at rate `min(1, c/n)`.
+//!   Overload directly inflates service times, which is what makes timeouts
+//!   fire and retry storms amplify (Fig. 6).
+//! * **Garbage collection.** Per-process heaps grow with request allocations;
+//!   crossing the GOGC threshold triggers a stop-the-world pause whose length
+//!   depends on heap size *and* CPU contention (Fig. 6b).
+//! * **Transports.** gRPC (multiplexed connection), Thrift (bounded client
+//!   pool with connection acquisition), HTTP, and in-process function calls
+//!   for monolith builds (Fig. 5).
+//! * **Client policies.** Timeouts that abandon the response but *not* the
+//!   server-side work (wasted work), bounded retries, circuit breakers with
+//!   failure-rate windows (Fig. 10), and round-robin load balancers over
+//!   replicas.
+//! * **Backends.** Caches with real key sets (flushable — Fig. 6d), key-value
+//!   stores with replica lag (cross-system inconsistency, Fig. 8), queues.
+//! * **Tracing.** Optional span recording with per-span CPU overhead, feeding
+//!   the trace collector and the Sifter reproduction (Fig. 9).
+//!
+//! Determinism: one seeded RNG, a single event queue ordered by
+//! `(time, sequence)`, and no wall-clock anywhere. The same spec + seed +
+//! driver script produces bit-identical results (tested).
+
+pub mod host;
+pub mod metrics;
+pub mod sim;
+pub mod spec;
+pub mod time;
+
+pub use sim::{Completion, Sim, SimConfig};
+pub use spec::{
+    BackendRtKind, BackendSpec, BreakerSpec, ClientSpec, DepBinding, EntrySpec, GcSpec, HostSpec,
+    LbPolicy, ProcessSpec, ServiceSpec, SystemSpec, TransportSpec,
+};
+pub use time::{ms, secs, us, SimTime};
+
+/// Errors raised when instantiating or driving a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The system spec referenced an out-of-range index or unknown name.
+    BadSpec(String),
+    /// A driver call referenced an unknown entity (service, backend, host).
+    Unknown(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::BadSpec(m) => write!(f, "bad system spec: {m}"),
+            SimError::Unknown(m) => write!(f, "unknown simulation entity: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result alias for simulation operations.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,106 @@
+//! Simulation-wide counters and per-backend statistics.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Global counters accumulated during a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimCounters {
+    /// Requests submitted at entry points.
+    pub submitted: u64,
+    /// Entry requests completed successfully.
+    pub completed_ok: u64,
+    /// Entry requests completed with an error.
+    pub completed_err: u64,
+    /// Client-side RPC timeouts fired (all levels).
+    pub timeouts: u64,
+    /// RPC retries issued (all levels).
+    pub retries: u64,
+    /// Calls rejected by an open circuit breaker.
+    pub breaker_rejections: u64,
+    /// Breaker state transitions to open.
+    pub breaker_opens: u64,
+    /// Requests fast-failed by service admission limits.
+    pub admission_rejections: u64,
+    /// Stop-the-world GC pauses.
+    pub gc_pauses: u64,
+    /// Total GC pause virtual time, ns.
+    pub gc_pause_ns: u64,
+    /// Spans recorded by tracers.
+    pub spans: u64,
+    /// Messages dropped by full queues.
+    pub queue_drops: u64,
+}
+
+/// Per-backend statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BackendStats {
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+    /// Reads (store) / gets (cache).
+    pub reads: u64,
+    /// Writes.
+    pub writes: u64,
+    /// Reads served by a stale replica (version behind primary).
+    pub stale_reads: u64,
+    /// Evictions due to capacity.
+    pub evictions: u64,
+}
+
+impl BackendStats {
+    /// Cache miss rate in `[0, 1]` (0 when no gets were issued).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// All metrics of a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Global counters.
+    pub counters: SimCounters,
+    /// Backend name → stats.
+    pub backends: BTreeMap<String, BackendStats>,
+}
+
+impl Metrics {
+    /// Stats entry for a backend, creating it if missing.
+    pub fn backend_mut(&mut self, name: &str) -> &mut BackendStats {
+        self.backends.entry(name.to_string()).or_default()
+    }
+
+    /// Stats for a backend, if recorded.
+    pub fn backend(&self, name: &str) -> Option<&BackendStats> {
+        self.backends.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate() {
+        let mut s = BackendStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backend_entry_created_on_demand() {
+        let mut m = Metrics::default();
+        m.backend_mut("c").hits += 1;
+        assert_eq!(m.backend("c").unwrap().hits, 1);
+        assert!(m.backend("zzz").is_none());
+    }
+}

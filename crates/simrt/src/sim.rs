@@ -1,0 +1,889 @@
+//! The simulation world: event engine, request frames, client policies,
+//! transports, backends, and GC.
+//!
+//! See the crate docs for the modeling overview. The implementation is a
+//! single-threaded discrete-event simulator: an event heap ordered by
+//! `(time, sequence)` dispatches into the [`Sim`] world state. Requests
+//! execute as **frames** — explicit interpreter states over the behavior
+//! programs of the workflow spec — so the simulator never recurses through
+//! the service call graph on the machine stack.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use blueprint_trace::{SpanId, TraceCollector, TraceId};
+use blueprint_workflow::{Behavior, CacheOp, DbOp, KeyExpr, Step};
+
+use crate::host::{JobId, PsHost, NO_PROC};
+use crate::metrics::Metrics;
+use crate::spec::{BackendRtKind, ClientSpec, DepBinding, LbPolicy, SystemSpec, TransportSpec};
+use crate::time::SimTime;
+use crate::{Result, SimError};
+
+// ---------------------------------------------------------------------------
+// Public configuration and results.
+// ---------------------------------------------------------------------------
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed; everything non-deterministic derives from it.
+    pub seed: u64,
+    /// Record spans for services that have tracing enabled.
+    pub record_traces: bool,
+    /// Hard cap on live frames; submissions beyond it fast-fail (memory
+    /// guard under extreme overload).
+    pub max_frames: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 1, record_traces: false, max_frames: 2_000_000 }
+    }
+}
+
+/// The completion record of one entry-point request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Entry name the request was submitted to.
+    pub entry: String,
+    /// Invoked method.
+    pub method: String,
+    /// Entity id the request concerned.
+    pub entity: u64,
+    /// Global submission sequence number (doubles as the write version the
+    /// request stamped into stores).
+    pub root_seq: u64,
+    /// Submission time.
+    pub submitted_ns: SimTime,
+    /// Completion time.
+    pub finished_ns: SimTime,
+    /// Whether the request succeeded end-to-end.
+    pub ok: bool,
+    /// Highest data version observed by any read along the request
+    /// (0 = nothing read). Used by the consistency experiments.
+    pub observed_version: u64,
+    /// Failure cause label for failed requests (`"timeout"`,
+    /// `"breaker_open"`, `"overload"`, `"downstream"`, ...).
+    pub failure: Option<&'static str>,
+}
+
+impl Completion {
+    /// End-to-end latency.
+    pub fn latency_ns(&self) -> SimTime {
+        self.finished_ns.saturating_sub(self.submitted_ns)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal identifiers and messages.
+// ---------------------------------------------------------------------------
+
+/// Generational frame handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct FrameId {
+    idx: u32,
+    gen: u32,
+}
+
+/// What a call targets.
+#[derive(Debug, Clone, PartialEq)]
+enum CallTarget {
+    /// Another service instance's method.
+    Service { svc: usize, method: Rc<str> },
+    /// A backend operation.
+    Backend { backend: usize, op: BackendOp },
+}
+
+/// A backend operation descriptor (keys already resolved).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BackendOp {
+    CacheGet { key: u64 },
+    CachePut { key: u64, version: u64 },
+    CacheDelete { key: u64 },
+    /// Multi-item cache op (extended interface); `write` selects push vs get.
+    CacheMulti { key: u64, items: u32, write: bool, version: u64 },
+    StoreRead { key: u64 },
+    StoreWrite { key: u64, version: u64 },
+    StoreScan { items: u32 },
+    QueuePush,
+    QueuePop,
+}
+
+/// Why a call attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallErr {
+    Timeout,
+    BreakerOpen,
+    Overload,
+    Downstream,
+    Fault,
+    QueueFull,
+}
+
+/// Result of a call attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CallOutcome {
+    ok: bool,
+    err: Option<CallErr>,
+    /// Highest version observed downstream.
+    version: u64,
+    /// For cache gets: whether the key was present.
+    cache_hit: Option<bool>,
+}
+
+impl CallErr {
+    /// Stable label surfaced in completion records.
+    fn label(self) -> &'static str {
+        match self {
+            CallErr::Timeout => "timeout",
+            CallErr::BreakerOpen => "breaker_open",
+            CallErr::Overload => "overload",
+            CallErr::Downstream => "downstream",
+            CallErr::Fault => "fault",
+            CallErr::QueueFull => "queue_full",
+        }
+    }
+}
+
+impl CallOutcome {
+    fn success(version: u64) -> Self {
+        CallOutcome { ok: true, err: None, version, cache_hit: None }
+    }
+
+    fn failure(err: CallErr) -> Self {
+        CallOutcome { ok: false, err: Some(err), version: 0, cache_hit: None }
+    }
+}
+
+/// Transport information needed to send a reply.
+#[derive(Debug, Clone, Copy)]
+struct ReplyRoute {
+    /// Serialization CPU on the server side, ns (0 for local calls).
+    serialize_ns: u64,
+    /// One-way network latency, ns (0 for local calls).
+    net_ns: u64,
+}
+
+/// A request in flight towards a service or backend.
+#[derive(Debug, Clone)]
+struct RequestMsg {
+    caller: FrameId,
+    seq: u32,
+    attempt: u32,
+    target: CallTarget,
+    entity: u64,
+    root_seq: u64,
+    reply: ReplyRoute,
+    parent_span: Option<(TraceId, SpanId)>,
+}
+
+// ---------------------------------------------------------------------------
+// Frames.
+// ---------------------------------------------------------------------------
+
+/// Interpreter context: a behavior with a program counter.
+#[derive(Debug, Clone)]
+struct ExecCtx {
+    behavior: Rc<Behavior>,
+    pc: usize,
+    /// Remaining extra iterations (for `Repeat`).
+    repeat_left: u32,
+}
+
+/// Where a frame's completion goes.
+#[derive(Debug, Clone)]
+enum FrameKind {
+    /// Workload-submitted entry request.
+    Entry { entry: Rc<str>, method: Rc<str>, submitted_ns: SimTime },
+    /// Serving an RPC; the reply routes back to the caller's call attempt.
+    Rpc { caller: FrameId, seq: u32, attempt: u32, reply: ReplyRoute },
+    /// A parallel branch of another frame on the same service.
+    SubTask { parent: FrameId },
+}
+
+/// An in-flight call issued by a frame.
+#[derive(Debug, Clone)]
+struct OutstandingCall {
+    seq: u32,
+    attempt: u32,
+    dep: Rc<str>,
+    target_method: Option<Rc<str>>,
+    backend_op: Option<BackendOp>,
+    /// Chosen replica index of this attempt (outstanding bookkeeping).
+    chosen: Option<usize>,
+    /// Whether this attempt holds a Thrift connection.
+    holds_conn: bool,
+    /// Whether this attempt already concluded (timeout fired or response
+    /// processed); stale events check this.
+    concluded: bool,
+    /// For cache get-or-fetch: what to run on a miss.
+    on_miss: Option<Rc<Behavior>>,
+    /// Request waiting for a free Thrift connection.
+    queued_msg: Option<RequestMsg>,
+}
+
+/// One executing request (or sub-request) on a service.
+#[derive(Debug)]
+struct Frame {
+    gen: u32,
+    service: usize,
+    stack: Vec<ExecCtx>,
+    entity: u64,
+    root_seq: u64,
+    kind: FrameKind,
+    call: Option<OutstandingCall>,
+    next_call_seq: u32,
+    pending_children: u32,
+    child_failed: bool,
+    failed: bool,
+    last_err: Option<CallErr>,
+    observed_version: u64,
+    /// Whether any read (cache/store) has completed in this frame; controls
+    /// which version a cache fill stores.
+    did_read: bool,
+    span: Option<(TraceId, SpanId)>,
+    /// Whether this frame owns (must end) its span.
+    span_owned: bool,
+    /// Whether the service admission counter was incremented for this frame.
+    counted_admission: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Events.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Ev {
+    HostCheck { host: usize, gen: u64 },
+    Resume { frame: FrameId },
+    Timeout { frame: FrameId, seq: u32, attempt: u32 },
+    RetryFire { frame: FrameId, seq: u32 },
+    DeliverRequest { req: RequestMsg },
+    DeliverResponse { frame: FrameId, seq: u32, attempt: u32, outcome: CallOutcome },
+    HogEnd { host: usize, milli_cores: u64 },
+    ConnFreed { svc: usize, dep: Rc<str> },
+    ReplicaApply { backend: usize, replica: usize, key: u64, version: u64 },
+}
+
+struct EvEntry {
+    time: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for EvEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for EvEntry {}
+impl PartialOrd for EvEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EvEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime structures.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BreakerState {
+    Closed,
+    Open { until: SimTime },
+    HalfOpen { successes: u32 },
+}
+
+/// Per-(service, dep) client runtime: breaker, pool, balancer state.
+#[derive(Debug)]
+struct ClientRt {
+    spec: ClientSpec,
+    binding: DepBinding,
+    // Circuit breaker sliding window.
+    window: VecDeque<bool>,
+    window_failures: u32,
+    breaker: BreakerState,
+    // Thrift connection pool.
+    conns_in_use: u32,
+    waiters: VecDeque<(FrameId, u32, u32)>,
+    // Balancer state.
+    rr: usize,
+    outstanding: Vec<u32>,
+}
+
+/// Per-process runtime (GC state).
+#[derive(Debug)]
+struct ProcRt {
+    host: usize,
+    heap: u64,
+    in_gc: bool,
+    gc_started_ns: SimTime,
+}
+
+/// Per-service runtime.
+struct SvcRt {
+    process: usize,
+    methods: BTreeMap<Rc<str>, Rc<Behavior>>,
+    active: u32,
+    max_concurrent: u32,
+    /// Requests served (frames created) by this service.
+    served: u64,
+    traced: bool,
+    overhead_behavior: Option<Rc<Behavior>>,
+}
+
+/// Cache runtime with O(1) random eviction.
+#[derive(Debug, Default)]
+struct CacheRt {
+    map: HashMap<u64, (usize, u64)>,
+    keys: Vec<u64>,
+}
+
+impl CacheRt {
+    fn get(&self, key: u64) -> Option<u64> {
+        self.map.get(&key).map(|(_, v)| *v)
+    }
+
+    /// Inserts, evicting random keys beyond `capacity`; returns evictions.
+    fn put(&mut self, key: u64, version: u64, capacity: u64, rng: &mut SmallRng) -> u64 {
+        if let Some(slot) = self.map.get_mut(&key) {
+            slot.1 = version;
+            return 0;
+        }
+        let mut evictions = 0;
+        while self.keys.len() as u64 >= capacity && !self.keys.is_empty() {
+            let victim_idx = rng.gen_range(0..self.keys.len());
+            let victim = self.keys.swap_remove(victim_idx);
+            self.map.remove(&victim);
+            if let Some(&moved) = self.keys.get(victim_idx) {
+                self.map.get_mut(&moved).expect("moved key present").0 = victim_idx;
+            }
+            evictions += 1;
+        }
+        self.map.insert(key, (self.keys.len(), version));
+        self.keys.push(key);
+        evictions
+    }
+
+    fn delete(&mut self, key: u64) {
+        if let Some((idx, _)) = self.map.remove(&key) {
+            self.keys.swap_remove(idx);
+            if let Some(&moved) = self.keys.get(idx) {
+                self.map.get_mut(&moved).expect("moved key present").0 = idx;
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        self.map.clear();
+        self.keys.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+/// Store runtime (primary + replicas).
+#[derive(Debug, Default)]
+struct StoreRt {
+    primary: HashMap<u64, u64>,
+    replicas: Vec<HashMap<u64, u64>>,
+    rr: usize,
+}
+
+/// Backend runtime.
+struct BackendRt {
+    name: Rc<str>,
+    process: usize,
+    kind: BackendRtKind,
+    cache: CacheRt,
+    store: StoreRt,
+    queue: VecDeque<u64>,
+}
+
+/// Continuation attached to a CPU job.
+enum JobCont {
+    /// Resume a frame's interpreter.
+    FrameStep(FrameId),
+    /// Client-side serialization finished; deliver after `net_ns`.
+    SendRequest(RequestMsg, u64),
+    /// Server-side serialization finished; deliver response after `net_ns`.
+    SendResponse { frame: FrameId, seq: u32, attempt: u32, outcome: CallOutcome, net_ns: u64 },
+    /// Backend CPU finished; apply the op and respond after `latency_ns`.
+    BackendExec { req: RequestMsg, latency_ns: u64 },
+    /// GC pause finished.
+    GcEnd { proc: usize },
+}
+
+// ---------------------------------------------------------------------------
+// The simulator.
+// ---------------------------------------------------------------------------
+
+/// A running simulated deployment.
+pub struct Sim {
+    cfg: SimConfig,
+    now: SimTime,
+    ev_seq: u64,
+    events: BinaryHeap<Reverse<EvEntry>>,
+    rng: SmallRng,
+
+    host_names: Vec<String>,
+    proc_names: Vec<String>,
+    hosts: Vec<PsHost>,
+    host_gen: Vec<u64>,
+    procs: Vec<ProcRt>,
+    gc_specs: Vec<Option<crate::spec::GcSpec>>,
+    services: Vec<SvcRt>,
+    svc_names: Vec<Rc<str>>,
+    backends: Vec<BackendRt>,
+    clients: HashMap<(usize, Rc<str>), ClientRt>,
+    entries: BTreeMap<String, usize>,
+
+    frames: Vec<Option<Frame>>,
+    frame_gens: Vec<u32>,
+    free_frames: Vec<u32>,
+    live_frames: usize,
+
+    jobs: HashMap<JobId, JobCont>,
+    next_job: u64,
+    next_root: u64,
+
+    completions: Vec<Completion>,
+    /// Aggregate metrics of the run.
+    pub metrics: Metrics,
+    /// Trace collector (populated when tracing is enabled).
+    pub traces: TraceCollector,
+
+    spec_name: String,
+}
+
+impl Sim {
+    /// Instantiates a spec as a virtual cluster.
+    pub fn new(spec: &SystemSpec, cfg: SimConfig) -> Result<Self> {
+        spec.validate()?;
+        let mut spec = spec.clone();
+
+        // Append the hidden workload host/process/services that drive entry
+        // points (the paper's separate workload-generator machine).
+        let wl_host = spec.hosts.len();
+        spec.hosts.push(crate::spec::HostSpec { name: "__workload_host".into(), cores: 512.0 });
+        let wl_proc = spec.processes.len();
+        spec.processes.push(crate::spec::ProcessSpec {
+            name: "__workload_proc".into(),
+            host: wl_host,
+            gc: None,
+        });
+        let mut entry_map = BTreeMap::new();
+        for (name, entry) in spec.entries.clone() {
+            let target = entry.service;
+            let mut svc = crate::spec::ServiceSpec::new(format!("__workload_{name}"), wl_proc);
+            svc.max_concurrent = u32::MAX;
+            for m in spec.services[target].methods.keys() {
+                svc.methods.insert(m.clone(), Behavior::build().call("target", m).done());
+            }
+            svc.deps.insert(
+                "target".into(),
+                DepBinding::Service { target, client: entry.client.clone() },
+            );
+            let idx = spec.services.len();
+            spec.services.push(svc);
+            entry_map.insert(name, idx);
+        }
+
+        let host_names: Vec<String> = spec.hosts.iter().map(|h| h.name.clone()).collect();
+        let proc_names: Vec<String> = spec.processes.iter().map(|p| p.name.clone()).collect();
+        let hosts: Vec<PsHost> = spec.hosts.iter().map(|h| PsHost::new(h.cores)).collect();
+        let procs: Vec<ProcRt> = spec
+            .processes
+            .iter()
+            .map(|p| ProcRt {
+                host: p.host,
+                heap: p.gc.as_ref().map(|g| g.base_heap_bytes).unwrap_or(0),
+                in_gc: false,
+                gc_started_ns: 0,
+            })
+            .collect();
+        let gc_specs: Vec<_> = spec.processes.iter().map(|p| p.gc.clone()).collect();
+
+        let mut services = Vec::new();
+        let mut svc_names = Vec::new();
+        let mut clients = HashMap::new();
+        for (si, s) in spec.services.iter().enumerate() {
+            let name: Rc<str> = Rc::from(s.name.as_str());
+            svc_names.push(name);
+            let methods: BTreeMap<Rc<str>, Rc<Behavior>> = s
+                .methods
+                .iter()
+                .map(|(k, v)| (Rc::from(k.as_str()), Rc::new(v.clone())))
+                .collect();
+            let overhead_behavior = s
+                .trace_overhead_ns
+                .filter(|ns| *ns > 0)
+                .map(|ns| Rc::new(Behavior::build().compute(ns, 256).done()));
+            services.push(SvcRt {
+                process: s.process,
+                methods,
+                active: 0,
+                max_concurrent: s.max_concurrent,
+                served: 0,
+                traced: s.trace_overhead_ns.is_some(),
+                overhead_behavior,
+            });
+            for (dep, binding) in &s.deps {
+                let n_targets = match binding {
+                    DepBinding::ReplicatedService { targets, .. } => targets.len(),
+                    _ => 1,
+                };
+                clients.insert(
+                    (si, Rc::from(dep.as_str())),
+                    ClientRt {
+                        spec: binding.client().clone(),
+                        binding: binding.clone(),
+                        window: VecDeque::new(),
+                        window_failures: 0,
+                        breaker: BreakerState::Closed,
+                        conns_in_use: 0,
+                        waiters: VecDeque::new(),
+                        rr: 0,
+                        outstanding: vec![0; n_targets],
+                    },
+                );
+            }
+        }
+
+        let backends = spec
+            .backends
+            .iter()
+            .map(|b| {
+                let mut store = StoreRt::default();
+                if let BackendRtKind::Store { replicas, .. } = &b.kind {
+                    store.replicas = vec![HashMap::new(); *replicas as usize];
+                }
+                BackendRt {
+                    name: Rc::from(b.name.as_str()),
+                    process: b.process,
+                    kind: b.kind.clone(),
+                    cache: CacheRt::default(),
+                    store,
+                    queue: VecDeque::new(),
+                }
+            })
+            .collect();
+
+        Ok(Sim {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            now: 0,
+            ev_seq: 0,
+            events: BinaryHeap::new(),
+            host_gen: vec![0; hosts.len()],
+            host_names,
+            proc_names,
+            hosts,
+            procs,
+            gc_specs,
+            services,
+            svc_names,
+            backends,
+            clients,
+            entries: entry_map,
+            frames: Vec::new(),
+            frame_gens: Vec::new(),
+            free_frames: Vec::new(),
+            live_frames: 0,
+            jobs: HashMap::new(),
+            next_job: 0,
+            // Root sequence numbers double as write versions; 0 is reserved
+            // for "absent".
+            next_root: 1,
+            completions: Vec::new(),
+            metrics: Metrics::default(),
+            traces: TraceCollector::new(),
+            spec_name: spec.name.clone(),
+        })
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Application/variant name.
+    pub fn name(&self) -> &str {
+        &self.spec_name
+    }
+
+    /// Number of live frames (in-flight work across the cluster).
+    pub fn inflight(&self) -> usize {
+        self.live_frames
+    }
+
+    /// Number of requests (frames) a service instance has served so far.
+    pub fn service_served(&self, name: &str) -> Option<u64> {
+        let idx = self.svc_names.iter().position(|n| &**n == name)?;
+        Some(self.services[idx].served)
+    }
+
+    /// Current heap bytes of a process (GC experiments).
+    pub fn process_heap(&self, proc_name: &str) -> Option<u64> {
+        // Process names were consumed at build time; index by position via
+        // the gc_specs/procs tables and the stored names.
+        let idx = self.proc_names.iter().position(|n| n == proc_name)?;
+        Some(self.procs[idx].heap)
+    }
+
+    fn push_ev(&mut self, time: SimTime, ev: Ev) {
+        let seq = self.ev_seq;
+        self.ev_seq += 1;
+        self.events.push(Reverse(EvEntry { time: time.max(self.now), seq, ev }));
+    }
+
+    // -- Public driver API ---------------------------------------------------
+
+    /// Submits a request to an entry point. Returns its root sequence number
+    /// (which is also the version any writes it performs will carry).
+    pub fn submit(&mut self, entry: &str, method: &str, entity: u64) -> Result<u64> {
+        let svc = *self
+            .entries
+            .get(entry)
+            .ok_or_else(|| SimError::Unknown(format!("entry {entry}")))?;
+        let root_seq = self.next_root;
+        self.next_root += 1;
+        self.metrics.counters.submitted += 1;
+
+        if self.live_frames >= self.cfg.max_frames {
+            self.metrics.counters.admission_rejections += 1;
+            self.metrics.counters.completed_err += 1;
+            self.completions.push(Completion {
+                entry: entry.to_string(),
+                method: method.to_string(),
+                entity,
+                root_seq,
+                submitted_ns: self.now,
+                finished_ns: self.now,
+                ok: false,
+                observed_version: 0,
+                failure: Some("shed"),
+            });
+            return Ok(root_seq);
+        }
+
+        let m: Rc<str> = Rc::from(method);
+        let behavior = self.services[svc]
+            .methods
+            .get(&m)
+            .ok_or_else(|| SimError::Unknown(format!("method {entry}.{method}")))?
+            .clone();
+        let kind = FrameKind::Entry { entry: Rc::from(entry), method: m, submitted_ns: self.now };
+        let fid = self.alloc_frame(svc, entity, root_seq, kind, behavior, None);
+        self.push_ev(self.now, Ev::Resume { frame: fid });
+        Ok(root_seq)
+    }
+
+    /// Runs the event loop until virtual time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(Reverse(entry)) = self.events.peek() {
+            if entry.time > t {
+                break;
+            }
+            let Reverse(entry) = self.events.pop().expect("peeked event exists");
+            self.now = entry.time;
+            self.dispatch(entry.ev);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Takes the completions recorded since the last drain.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Injects CPU contention on a host for a duration (the FIRM anomaly
+    /// injector substitute).
+    pub fn inject_cpu_hog(&mut self, host: &str, cores: f64, duration: SimTime) -> Result<()> {
+        let h = self
+            .host_names
+            .iter()
+            .position(|n| n == host)
+            .ok_or_else(|| SimError::Unknown(format!("host {host}")))?;
+        self.hosts[h].adjust_hog(self.now, cores);
+        self.touch_host(h);
+        self.push_ev(
+            self.now + duration,
+            Ev::HogEnd { host: h, milli_cores: (cores * 1000.0).round() as u64 },
+        );
+        Ok(())
+    }
+
+    /// Flushes a cache backend (the Type-4 metastability trigger).
+    pub fn cache_flush(&mut self, backend: &str) -> Result<()> {
+        let b = self.backend_idx(backend)?;
+        self.backends[b].cache.flush();
+        Ok(())
+    }
+
+    /// Pre-fills a cache with keys `0..n` at the given version.
+    pub fn cache_fill(&mut self, backend: &str, n: u64, version: u64) -> Result<()> {
+        let b = self.backend_idx(backend)?;
+        let capacity = match self.backends[b].kind {
+            BackendRtKind::Cache { capacity_items, .. } => capacity_items,
+            _ => return Err(SimError::Unknown(format!("{backend} is not a cache"))),
+        };
+        let backend_rt = &mut self.backends[b];
+        for k in 0..n.min(capacity) {
+            backend_rt.cache.put(k, version, capacity, &mut self.rng);
+        }
+        Ok(())
+    }
+
+    /// Number of resident keys in a cache.
+    pub fn cache_len(&self, backend: &str) -> Result<usize> {
+        let b = self.backend_idx(backend)?;
+        Ok(self.backends[b].cache.len())
+    }
+
+    /// Pre-fills a store (primary and all replicas) with keys `0..n`.
+    pub fn store_fill(&mut self, backend: &str, n: u64, version: u64) -> Result<()> {
+        let b = self.backend_idx(backend)?;
+        for k in 0..n {
+            self.backends[b].store.primary.insert(k, version);
+            for r in &mut self.backends[b].store.replicas {
+                r.insert(k, version);
+            }
+        }
+        Ok(())
+    }
+
+    /// The primary's version for a key (0 if absent).
+    pub fn store_primary_version(&self, backend: &str, key: u64) -> Result<u64> {
+        let b = self.backend_idx(backend)?;
+        Ok(self.backends[b].store.primary.get(&key).copied().unwrap_or(0))
+    }
+
+    /// The replicas' versions for a key (empty when unreplicated).
+    pub fn store_replica_versions(&self, backend: &str, key: u64) -> Result<Vec<u64>> {
+        let b = self.backend_idx(backend)?;
+        Ok(self
+            .backends[b]
+            .store
+            .replicas
+            .iter()
+            .map(|r| r.get(&key).copied().unwrap_or(0))
+            .collect())
+    }
+
+    fn backend_idx(&self, name: &str) -> Result<usize> {
+        self.backends
+            .iter()
+            .position(|b| &*b.name == name)
+            .ok_or_else(|| SimError::Unknown(format!("backend {name}")))
+    }
+
+    // -- Frame lifecycle ------------------------------------------------------
+
+    fn alloc_frame(
+        &mut self,
+        service: usize,
+        entity: u64,
+        root_seq: u64,
+        kind: FrameKind,
+        behavior: Rc<Behavior>,
+        parent_span: Option<(TraceId, SpanId)>,
+    ) -> FrameId {
+        let is_subtask = matches!(kind, FrameKind::SubTask { .. });
+        let mut stack = Vec::with_capacity(2);
+        stack.push(ExecCtx { behavior, pc: 0, repeat_left: 0 });
+        let (span, span_owned) = if !is_subtask
+            && self.cfg.record_traces
+            && self.services[service].traced
+        {
+            let op: Rc<str> = match &kind {
+                FrameKind::Entry { method, .. } => method.clone(),
+                FrameKind::Rpc { .. } | FrameKind::SubTask { .. } => Rc::from("rpc"),
+            };
+            let sid = self.traces.start_span(
+                TraceId(root_seq),
+                parent_span.map(|(_, s)| s),
+                &self.svc_names[service],
+                &op,
+                self.now,
+            );
+            self.metrics.counters.spans += 1;
+            if let Some(ob) = &self.services[service].overhead_behavior {
+                stack.push(ExecCtx { behavior: ob.clone(), pc: 0, repeat_left: 0 });
+            }
+            (Some((TraceId(root_seq), sid)), true)
+        } else {
+            (parent_span, false)
+        };
+
+        let frame = Frame {
+            gen: 0,
+            service,
+            stack,
+            entity,
+            root_seq,
+            kind,
+            call: None,
+            next_call_seq: 0,
+            pending_children: 0,
+            child_failed: false,
+            failed: false,
+            last_err: None,
+            observed_version: 0,
+            did_read: false,
+            span,
+            span_owned,
+            counted_admission: false,
+        };
+        self.live_frames += 1;
+        if let Some(idx) = self.free_frames.pop() {
+            let gen = self.frame_gens[idx as usize];
+            self.frames[idx as usize] = Some(Frame { gen, ..frame });
+            FrameId { idx, gen }
+        } else {
+            let idx = self.frames.len() as u32;
+            self.frames.push(Some(frame));
+            self.frame_gens.push(0);
+            FrameId { idx, gen: 0 }
+        }
+    }
+
+    fn frame(&mut self, id: FrameId) -> Option<&mut Frame> {
+        match self.frames.get_mut(id.idx as usize) {
+            Some(Some(f)) if f.gen == id.gen => Some(f),
+            _ => None,
+        }
+    }
+
+    fn free_frame(&mut self, id: FrameId) {
+        if let Some(slot) = self.frames.get_mut(id.idx as usize) {
+            if slot.as_ref().map(|f| f.gen == id.gen).unwrap_or(false) {
+                *slot = None;
+                self.frame_gens[id.idx as usize] = id.gen.wrapping_add(1);
+                self.free_frames.push(id.idx);
+                self.live_frames -= 1;
+            }
+        }
+    }
+
+}
+
+// The execution half (event dispatch + behavior interpreter) lives in
+// `sim_exec.rs` to keep file sizes reviewable.
+include!("sim_exec.rs");
+
+#[cfg(test)]
+#[path = "sim_tests.rs"]
+mod tests;

@@ -1,0 +1,1160 @@
+// Execution half of the simulator: event dispatch and the behavior
+// interpreter. Included by `sim.rs` (same module) to keep file sizes
+// reviewable while sharing all private types.
+
+impl Sim {
+    // ------------------------------------------------------------------
+    // Event dispatch.
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::HostCheck { host, gen } => {
+                if self.host_gen[host] != gen {
+                    return;
+                }
+                let done = self.hosts[host].collect_due(self.now);
+                for job in done {
+                    if let Some(cont) = self.jobs.remove(&job) {
+                        self.run_cont(cont);
+                    }
+                }
+                self.touch_host(host);
+            }
+            Ev::Resume { frame } => self.step_frame(frame),
+            Ev::Timeout { frame, seq, attempt } => self.on_timeout(frame, seq, attempt),
+            Ev::RetryFire { frame, seq } => self.on_retry_fire(frame, seq),
+            Ev::DeliverRequest { req } => self.on_deliver_request(req),
+            Ev::DeliverResponse { frame, seq, attempt, outcome } => {
+                self.on_deliver_response(frame, seq, attempt, outcome)
+            }
+            Ev::HogEnd { host, milli_cores } => {
+                self.hosts[host].adjust_hog(self.now, -(milli_cores as f64 / 1000.0));
+                self.touch_host(host);
+            }
+            Ev::ConnFreed { svc, dep } => {
+                let key = (svc, dep);
+                if let Some(c) = self.clients.get_mut(&key) {
+                    c.conns_in_use = c.conns_in_use.saturating_sub(1);
+                }
+                self.wake_waiters(key);
+            }
+            Ev::ReplicaApply { backend, replica, key, version } => {
+                let store = &mut self.backends[backend].store;
+                if let Some(r) = store.replicas.get_mut(replica) {
+                    let slot = r.entry(key).or_insert(0);
+                    if version > *slot {
+                        *slot = version;
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_cont(&mut self, cont: JobCont) {
+        match cont {
+            JobCont::FrameStep(fid) => self.step_frame(fid),
+            JobCont::SendRequest(req, net_ns) => {
+                let t = self.now + net_ns;
+                self.push_ev(t, Ev::DeliverRequest { req });
+            }
+            JobCont::SendResponse { frame, seq, attempt, outcome, net_ns } => {
+                let t = self.now + net_ns;
+                self.push_ev(t, Ev::DeliverResponse { frame, seq, attempt, outcome });
+            }
+            JobCont::BackendExec { req, latency_ns } => {
+                let outcome = self.apply_backend_op(&req);
+                let t = self.now + latency_ns + req.reply.net_ns;
+                self.push_ev(
+                    t,
+                    Ev::DeliverResponse {
+                        frame: req.caller,
+                        seq: req.seq,
+                        attempt: req.attempt,
+                        outcome,
+                    },
+                );
+            }
+            JobCont::GcEnd { proc } => {
+                let (host, base, started) = {
+                    let gc = self.gc_specs[proc].as_ref().expect("gc proc has spec");
+                    let p = &self.procs[proc];
+                    (p.host, gc.base_heap_bytes, p.gc_started_ns)
+                };
+                let p = &mut self.procs[proc];
+                p.heap = base;
+                p.in_gc = false;
+                self.metrics.counters.gc_pause_ns += self.now.saturating_sub(started);
+                self.hosts[host].unfreeze_proc(self.now, proc);
+                self.touch_host(host);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host/CPU plumbing.
+    // ------------------------------------------------------------------
+
+    /// Re-arms the completion check event for a host.
+    fn touch_host(&mut self, host: usize) {
+        self.host_gen[host] += 1;
+        if let Some(t) = self.hosts[host].next_completion(self.now) {
+            let gen = self.host_gen[host];
+            self.push_ev(t, Ev::HostCheck { host, gen });
+        }
+    }
+
+    fn alloc_job(&mut self, cont: JobCont) -> JobId {
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.jobs.insert(id, cont);
+        id
+    }
+
+    /// Adds a CPU job on `host` tagged with `proc_tag` (frozen if that
+    /// process is mid-GC).
+    fn add_job_on(&mut self, host: usize, proc_tag: usize, work_ns: f64, cont: JobCont) {
+        let job = self.alloc_job(cont);
+        let frozen = proc_tag != NO_PROC && self.procs[proc_tag].in_gc;
+        if frozen {
+            self.hosts[host].add_frozen(self.now, job, work_ns, proc_tag);
+        } else {
+            self.hosts[host].add(self.now, job, work_ns, proc_tag);
+        }
+        self.touch_host(host);
+    }
+
+    /// Adds a CPU job on the host of `proc`.
+    fn add_proc_job(&mut self, proc: usize, work_ns: f64, cont: JobCont) {
+        let host = self.procs[proc].host;
+        self.add_job_on(host, proc, work_ns, cont);
+    }
+
+    /// Records a heap allocation, potentially triggering a GC pause.
+    fn heap_alloc(&mut self, proc: usize, bytes: u64) {
+        let Some(gc) = self.gc_specs[proc].clone() else { return };
+        let p = &mut self.procs[proc];
+        p.heap += bytes;
+        let threshold = gc.base_heap_bytes as f64 * (1.0 + gc.gogc_percent / 100.0);
+        if !p.in_gc && p.heap as f64 >= threshold {
+            p.in_gc = true;
+            p.gc_started_ns = self.now;
+            let heap_mib = (p.heap >> 20).max(1);
+            let host = p.host;
+            self.metrics.counters.gc_pauses += 1;
+            self.hosts[host].freeze_proc(self.now, proc);
+            let pause_work = (gc.pause_cpu_ns_per_mib * heap_mib) as f64;
+            self.add_job_on(host, NO_PROC, pause_work, JobCont::GcEnd { proc });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Behavior interpreter.
+    // ------------------------------------------------------------------
+
+    /// Advances a frame until it blocks or completes.
+    fn step_frame(&mut self, fid: FrameId) {
+        loop {
+            // Resolve the next step under a short borrow.
+            enum Next {
+                Blocked,
+                Done(bool),
+                Step(Rc<Behavior>, usize),
+            }
+            let next = {
+                let Some(frame) = self.frame(fid) else { return };
+                if frame.pending_children > 0 {
+                    // Parallel join still outstanding.
+                    Next::Blocked
+                } else {
+                    loop {
+                        let Some(ctx) = frame.stack.last_mut() else { break };
+                        if ctx.pc < ctx.behavior.steps.len() {
+                            break;
+                        }
+                        if ctx.repeat_left > 0 {
+                            ctx.repeat_left -= 1;
+                            ctx.pc = 0;
+                        } else {
+                            frame.stack.pop();
+                        }
+                    }
+                    match frame.stack.last_mut() {
+                        None => Next::Done(!frame.failed),
+                        Some(ctx) => {
+                            let b = ctx.behavior.clone();
+                            let pc = ctx.pc;
+                            ctx.pc += 1;
+                            Next::Step(b, pc)
+                        }
+                    }
+                }
+            };
+            let (behavior, pc) = match next {
+                Next::Blocked => return,
+                Next::Done(ok) => {
+                    self.complete_frame(fid, ok);
+                    return;
+                }
+                Next::Step(b, pc) => (b, pc),
+            };
+
+            match &behavior.steps[pc] {
+                Step::Compute { cpu_ns, alloc_bytes } => {
+                    let svc = self.frame(fid).expect("frame alive").service;
+                    let proc = self.services[svc].process;
+                    self.heap_alloc(proc, *alloc_bytes);
+                    self.add_proc_job(proc, *cpu_ns as f64, JobCont::FrameStep(fid));
+                    return;
+                }
+                Step::Call { dep, method } => {
+                    self.begin_call(fid, dep, Some(Rc::from(method.as_str())), None, None);
+                    return;
+                }
+                Step::Cache { dep, op, key } => {
+                    let (entity, root) = self.frame_entity_root(fid);
+                    // A cache fill after a read stores the version that was
+                    // read (even "absent", version 0); a pure write path
+                    // stamps its own write version. This keeps version
+                    // propagation faithful for the consistency experiments.
+                    let root = {
+                        let f = self.frame(fid).expect("frame alive");
+                        if f.did_read {
+                            f.observed_version
+                        } else {
+                            root
+                        }
+                    };
+                    let k = self.resolve_key(*key, entity);
+                    let bop = match op {
+                        CacheOp::Get => BackendOp::CacheGet { key: k },
+                        CacheOp::Put => BackendOp::CachePut { key: k, version: root },
+                        CacheOp::Delete => BackendOp::CacheDelete { key: k },
+                        CacheOp::GetRange { items } => BackendOp::CacheMulti {
+                            key: k,
+                            items: *items,
+                            write: false,
+                            version: 0,
+                        },
+                        CacheOp::PushFront { items } => BackendOp::CacheMulti {
+                            key: k,
+                            items: *items,
+                            write: true,
+                            version: root,
+                        },
+                    };
+                    self.begin_call(fid, dep, None, Some(bop), None);
+                    return;
+                }
+                Step::CacheGetOrFetch { cache, key, on_miss } => {
+                    let (entity, _) = self.frame_entity_root(fid);
+                    let k = self.resolve_key(*key, entity);
+                    let miss = Rc::new(on_miss.clone());
+                    self.begin_call(
+                        fid,
+                        cache,
+                        None,
+                        Some(BackendOp::CacheGet { key: k }),
+                        Some(miss),
+                    );
+                    return;
+                }
+                Step::Db { dep, op, key } => {
+                    let (entity, root) = self.frame_entity_root(fid);
+                    let k = self.resolve_key(*key, entity);
+                    let bop = match op {
+                        DbOp::Read => BackendOp::StoreRead { key: k },
+                        DbOp::Write => BackendOp::StoreWrite { key: k, version: root },
+                        DbOp::Scan { items } => BackendOp::StoreScan { items: *items },
+                    };
+                    self.begin_call(fid, dep, None, Some(bop), None);
+                    return;
+                }
+                Step::QueuePush { dep } => {
+                    self.begin_call(fid, dep, None, Some(BackendOp::QueuePush), None);
+                    return;
+                }
+                Step::QueuePop { dep } => {
+                    self.begin_call(fid, dep, None, Some(BackendOp::QueuePop), None);
+                    return;
+                }
+                Step::Parallel(branches) => {
+                    let live: Vec<&Behavior> =
+                        branches.iter().filter(|b| !b.steps.is_empty()).collect();
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (service, entity, root, span) = {
+                        let frame = self.frame(fid).expect("frame alive");
+                        frame.pending_children = live.len() as u32;
+                        (frame.service, frame.entity, frame.root_seq, frame.span)
+                    };
+                    for b in live {
+                        let child = self.alloc_frame(
+                            service,
+                            entity,
+                            root,
+                            FrameKind::SubTask { parent: fid },
+                            Rc::new(b.clone()),
+                            span,
+                        );
+                        self.push_ev(self.now, Ev::Resume { frame: child });
+                    }
+                    return;
+                }
+                Step::Branch { prob, then, otherwise } => {
+                    let cond = self.rng.gen::<f64>() < *prob;
+                    let chosen = if cond { then } else { otherwise };
+                    if !chosen.steps.is_empty() {
+                        let ctx =
+                            ExecCtx { behavior: Rc::new(chosen.clone()), pc: 0, repeat_left: 0 };
+                        self.frame(fid).expect("frame alive").stack.push(ctx);
+                    }
+                }
+                Step::Repeat { times, body } => {
+                    if *times > 0 && !body.steps.is_empty() {
+                        let ctx = ExecCtx {
+                            behavior: Rc::new(body.clone()),
+                            pc: 0,
+                            repeat_left: times - 1,
+                        };
+                        self.frame(fid).expect("frame alive").stack.push(ctx);
+                    }
+                }
+                Step::Fail { prob } => {
+                    if self.rng.gen::<f64>() < *prob {
+                        if let Some(frame) = self.frame(fid) {
+                            frame.last_err = Some(CallErr::Fault);
+                        }
+                        self.fail_frame(fid);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn frame_entity_root(&mut self, fid: FrameId) -> (u64, u64) {
+        let frame = self.frame(fid).expect("frame alive");
+        (frame.entity, frame.root_seq)
+    }
+
+    fn resolve_key(&mut self, expr: KeyExpr, entity: u64) -> u64 {
+        match expr {
+            KeyExpr::Entity => entity,
+            KeyExpr::EntityMod(m) => entity % m.max(1),
+            KeyExpr::Const(k) => k,
+            KeyExpr::Random(m) => self.rng.gen_range(0..m.max(1)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Calls: attempts, transports, policies.
+    // ------------------------------------------------------------------
+
+    /// Starts a new call from `fid` to its dependency `dep`.
+    fn begin_call(
+        &mut self,
+        fid: FrameId,
+        dep: &str,
+        target_method: Option<Rc<str>>,
+        backend_op: Option<BackendOp>,
+        on_miss: Option<Rc<Behavior>>,
+    ) {
+        let (seq, dep_rc) = {
+            let Some(frame) = self.frame(fid) else { return };
+            let seq = frame.next_call_seq;
+            frame.next_call_seq += 1;
+            let dep_rc: Rc<str> = Rc::from(dep);
+            frame.call = Some(OutstandingCall {
+                seq,
+                attempt: 0,
+                dep: dep_rc.clone(),
+                target_method,
+                backend_op,
+                chosen: None,
+                holds_conn: false,
+                concluded: false,
+                on_miss,
+                queued_msg: None,
+            });
+            (seq, dep_rc)
+        };
+        let _ = dep_rc;
+        self.begin_attempt(fid, seq);
+    }
+
+    /// Issues one attempt of the frame's outstanding call.
+    fn begin_attempt(&mut self, fid: FrameId, seq: u32) {
+        // Gather everything under short borrows.
+        let Some(frame) = self.frame(fid) else { return };
+        let Some(call) = frame.call.clone() else { return };
+        if call.seq != seq || call.concluded {
+            return;
+        }
+        let svc = frame.service;
+        let entity = frame.entity;
+        let root_seq = frame.root_seq;
+        let span = frame.span;
+        let attempt = call.attempt;
+        let key = (svc, call.dep.clone());
+
+        let Some(client) = self.clients.get_mut(&key) else {
+            // Unbound dependency at runtime: fault.
+            self.push_ev(
+                self.now,
+                Ev::DeliverResponse {
+                    frame: fid,
+                    seq,
+                    attempt,
+                    outcome: CallOutcome::failure(CallErr::Fault),
+                },
+            );
+            return;
+        };
+        let spec = client.spec.clone();
+
+        // Circuit breaker.
+        if !self.breaker_allow(&key) {
+            self.metrics.counters.breaker_rejections += 1;
+            self.push_ev(
+                self.now,
+                Ev::DeliverResponse {
+                    frame: fid,
+                    seq,
+                    attempt,
+                    outcome: CallOutcome::failure(CallErr::BreakerOpen),
+                },
+            );
+            return;
+        }
+
+        // Arm the timeout.
+        if let Some(t) = spec.timeout_ns {
+            self.push_ev(self.now + t, Ev::Timeout { frame: fid, seq, attempt });
+        }
+
+        // Resolve the concrete target.
+        let client = self.clients.get_mut(&key).expect("client exists");
+        let (target, chosen) = match (&client.binding, &call.backend_op, &call.target_method) {
+            (DepBinding::Service { target, .. }, None, Some(m)) => {
+                (CallTarget::Service { svc: *target, method: m.clone() }, 0usize)
+            }
+            (DepBinding::ReplicatedService { targets, policy, .. }, None, Some(m)) => {
+                let idx = match policy {
+                    LbPolicy::RoundRobin => {
+                        let i = client.rr % targets.len();
+                        client.rr = client.rr.wrapping_add(1);
+                        i
+                    }
+                    LbPolicy::Random => self.rng.gen_range(0..targets.len()),
+                    LbPolicy::LeastOutstanding => client
+                        .outstanding
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, n)| **n)
+                        .map(|(i, _)| i)
+                        .unwrap_or(0),
+                };
+                (CallTarget::Service { svc: targets[idx], method: m.clone() }, idx)
+            }
+            (DepBinding::Backend { target, .. }, Some(op), None) => {
+                (CallTarget::Backend { backend: *target, op: *op }, 0usize)
+            }
+            _ => {
+                // Kind mismatch between the behavior step and the binding.
+                self.push_ev(
+                    self.now,
+                    Ev::DeliverResponse {
+                        frame: fid,
+                        seq,
+                        attempt,
+                        outcome: CallOutcome::failure(CallErr::Fault),
+                    },
+                );
+                return;
+            }
+        };
+        let client = self.clients.get_mut(&key).expect("client exists");
+        if let Some(slot) = client.outstanding.get_mut(chosen) {
+            *slot += 1;
+        }
+        if let Some(frame) = self.frame(fid) {
+            if let Some(c) = &mut frame.call {
+                c.chosen = Some(chosen);
+            }
+        }
+
+        // Transport.
+        let (client_ser, net_ns, reply) = match &spec.transport {
+            TransportSpec::Local => (0u64, 0u64, ReplyRoute { serialize_ns: 0, net_ns: 0 }),
+            TransportSpec::Grpc { serialize_ns, net_ns } => (
+                *serialize_ns,
+                *net_ns,
+                ReplyRoute { serialize_ns: *serialize_ns, net_ns: *net_ns },
+            ),
+            TransportSpec::Thrift { serialize_ns, net_ns, .. } => (
+                *serialize_ns,
+                *net_ns,
+                ReplyRoute { serialize_ns: *serialize_ns, net_ns: *net_ns },
+            ),
+            TransportSpec::Http { serialize_ns, net_ns } => (
+                *serialize_ns,
+                *net_ns,
+                ReplyRoute { serialize_ns: *serialize_ns, net_ns: *net_ns },
+            ),
+        };
+        let msg = RequestMsg {
+            caller: fid,
+            seq,
+            attempt,
+            target,
+            entity,
+            root_seq,
+            reply,
+            parent_span: span,
+        };
+        let total_client_work = client_ser + spec.client_overhead_ns;
+
+        match &spec.transport {
+            TransportSpec::Local => {
+                // In-process call: no network, but client-side per-call work
+                // (tracing wrappers, backend driver marshalling + syscalls)
+                // still burns CPU.
+                self.send_request_with_serialize(svc, msg, total_client_work, 0);
+            }
+            TransportSpec::Thrift { pool, .. } => {
+                let client = self.clients.get_mut(&key).expect("client exists");
+                if client.conns_in_use < *pool {
+                    client.conns_in_use += 1;
+                    if let Some(frame) = self.frame(fid) {
+                        if let Some(c) = &mut frame.call {
+                            c.holds_conn = true;
+                        }
+                    }
+                    self.send_request_with_serialize(svc, msg, total_client_work, net_ns);
+                } else {
+                    client.waiters.push_back((fid, seq, attempt));
+                    if let Some(frame) = self.frame(fid) {
+                        if let Some(c) = &mut frame.call {
+                            c.queued_msg = Some(msg);
+                        }
+                    }
+                }
+            }
+            _ => {
+                self.send_request_with_serialize(svc, msg, total_client_work, net_ns);
+            }
+        }
+    }
+
+    /// Runs the client-side serialization CPU, then delivers after `net_ns`.
+    fn send_request_with_serialize(
+        &mut self,
+        client_svc: usize,
+        msg: RequestMsg,
+        work_ns: u64,
+        net_ns: u64,
+    ) {
+        let proc = self.services[client_svc].process;
+        if work_ns == 0 {
+            self.push_ev(self.now + net_ns, Ev::DeliverRequest { req: msg });
+        } else {
+            self.add_proc_job(proc, work_ns as f64, JobCont::SendRequest(msg, net_ns));
+        }
+    }
+
+    /// Pops eligible waiters while connections are free.
+    fn wake_waiters(&mut self, key: (usize, Rc<str>)) {
+        loop {
+            let Some(client) = self.clients.get_mut(&key) else { return };
+            let TransportSpec::Thrift { pool, .. } = client.spec.transport else { return };
+            if client.conns_in_use >= pool {
+                return;
+            }
+            let Some((fid, seq, attempt)) = client.waiters.pop_front() else { return };
+            // Validate the waiter is still the current attempt.
+            let msg = {
+                let Some(frame) = self.frame(fid) else { continue };
+                let Some(call) = &mut frame.call else { continue };
+                if call.seq != seq || call.attempt != attempt || call.concluded {
+                    continue;
+                }
+                call.holds_conn = true;
+                call.queued_msg.take()
+            };
+            let Some(msg) = msg else { continue };
+            let client = self.clients.get_mut(&key).expect("client exists");
+            client.conns_in_use += 1;
+            let spec_overhead = client.spec.client_overhead_ns;
+            let (ser, net) = match client.spec.transport {
+                TransportSpec::Thrift { serialize_ns, net_ns, .. } => (serialize_ns, net_ns),
+                _ => (0, 0),
+            };
+            let svc = key.0;
+            self.send_request_with_serialize(svc, msg, ser + spec_overhead, net);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Server side.
+    // ------------------------------------------------------------------
+
+    fn on_deliver_request(&mut self, req: RequestMsg) {
+        match req.target.clone() {
+            CallTarget::Service { svc, method } => {
+                let s = &mut self.services[svc];
+                if s.active >= s.max_concurrent {
+                    self.metrics.counters.admission_rejections += 1;
+                    let t = self.now + req.reply.net_ns;
+                    self.push_ev(
+                        t,
+                        Ev::DeliverResponse {
+                            frame: req.caller,
+                            seq: req.seq,
+                            attempt: req.attempt,
+                            outcome: CallOutcome::failure(CallErr::Overload),
+                        },
+                    );
+                    return;
+                }
+                let Some(behavior) = s.methods.get(&method).cloned() else {
+                    let t = self.now + req.reply.net_ns;
+                    self.push_ev(
+                        t,
+                        Ev::DeliverResponse {
+                            frame: req.caller,
+                            seq: req.seq,
+                            attempt: req.attempt,
+                            outcome: CallOutcome::failure(CallErr::Fault),
+                        },
+                    );
+                    return;
+                };
+                s.active += 1;
+                s.served += 1;
+                let fid = self.alloc_frame(
+                    svc,
+                    req.entity,
+                    req.root_seq,
+                    FrameKind::Rpc {
+                        caller: req.caller,
+                        seq: req.seq,
+                        attempt: req.attempt,
+                        reply: req.reply,
+                    },
+                    behavior,
+                    req.parent_span,
+                );
+                self.frame(fid).expect("fresh frame").counted_admission = true;
+                self.step_frame(fid);
+            }
+            CallTarget::Backend { backend, op } => {
+                let (cpu, latency) = self.backend_cost(backend, &op);
+                let proc = self.backends[backend].process;
+                let host = self.procs[proc].host;
+                self.add_job_on(host, proc, cpu, JobCont::BackendExec { req, latency_ns: latency });
+            }
+        }
+    }
+
+    /// CPU work and fixed latency of a backend op.
+    fn backend_cost(&self, backend: usize, op: &BackendOp) -> (f64, u64) {
+        match &self.backends[backend].kind {
+            BackendRtKind::Cache { op_latency_ns, cpu_per_op_ns, cpu_per_item_ns, .. } => {
+                let items = match op {
+                    BackendOp::CacheMulti { items, .. } => *items as u64,
+                    _ => 0,
+                };
+                ((*cpu_per_op_ns + items * *cpu_per_item_ns) as f64, *op_latency_ns)
+            }
+            BackendRtKind::Store {
+                read_latency_ns,
+                write_latency_ns,
+                cpu_per_op_ns,
+                cpu_per_item_ns,
+                ..
+            } => {
+                let (items, latency) = match op {
+                    BackendOp::StoreScan { items } => (*items as u64, *read_latency_ns),
+                    BackendOp::StoreWrite { .. } => (0, *write_latency_ns),
+                    _ => (0, *read_latency_ns),
+                };
+                ((*cpu_per_op_ns + items * *cpu_per_item_ns) as f64, latency)
+            }
+            BackendRtKind::Queue { op_latency_ns, .. } => (2_000.0, *op_latency_ns),
+        }
+    }
+
+    /// Applies a backend op to its state, returning the outcome.
+    fn apply_backend_op(&mut self, req: &RequestMsg) -> CallOutcome {
+        let CallTarget::Backend { backend, op } = &req.target else {
+            return CallOutcome::failure(CallErr::Fault);
+        };
+        let b = *backend;
+        let name = self.backends[b].name.clone();
+        match op {
+            BackendOp::CacheGet { key } => {
+                let hit = self.backends[b].cache.get(*key);
+                let stats = self.metrics.backend_mut(&name);
+                stats.reads += 1;
+                match hit {
+                    Some(version) => {
+                        stats.hits += 1;
+                        CallOutcome { ok: true, err: None, version, cache_hit: Some(true) }
+                    }
+                    None => {
+                        stats.misses += 1;
+                        CallOutcome { ok: true, err: None, version: 0, cache_hit: Some(false) }
+                    }
+                }
+            }
+            BackendOp::CachePut { key, version } => {
+                let capacity = match self.backends[b].kind {
+                    BackendRtKind::Cache { capacity_items, .. } => capacity_items,
+                    _ => u64::MAX,
+                };
+                let backend_rt = &mut self.backends[b];
+                let evictions = backend_rt.cache.put(*key, *version, capacity, &mut self.rng);
+                let stats = self.metrics.backend_mut(&name);
+                stats.writes += 1;
+                stats.evictions += evictions;
+                CallOutcome::success(0)
+            }
+            BackendOp::CacheDelete { key } => {
+                self.backends[b].cache.delete(*key);
+                self.metrics.backend_mut(&name).writes += 1;
+                CallOutcome::success(0)
+            }
+            BackendOp::CacheMulti { key, write, version, .. } => {
+                let stats_write;
+                let outcome = if *write {
+                    let capacity = match self.backends[b].kind {
+                        BackendRtKind::Cache { capacity_items, .. } => capacity_items,
+                        _ => u64::MAX,
+                    };
+                    let backend_rt = &mut self.backends[b];
+                    backend_rt.cache.put(*key, *version, capacity, &mut self.rng);
+                    stats_write = true;
+                    CallOutcome::success(0)
+                } else {
+                    stats_write = false;
+                    let v = self.backends[b].cache.get(*key);
+                    CallOutcome {
+                        ok: true,
+                        err: None,
+                        version: v.unwrap_or(0),
+                        cache_hit: Some(v.is_some()),
+                    }
+                };
+                let stats = self.metrics.backend_mut(&name);
+                if stats_write {
+                    stats.writes += 1;
+                } else {
+                    stats.reads += 1;
+                    if outcome.cache_hit == Some(true) {
+                        stats.hits += 1;
+                    } else {
+                        stats.misses += 1;
+                    }
+                }
+                outcome
+            }
+            BackendOp::StoreRead { key } => {
+                let store = &mut self.backends[b].store;
+                let primary_version = store.primary.get(key).copied().unwrap_or(0);
+                let (version, from_replica) = if store.replicas.is_empty() {
+                    (primary_version, false)
+                } else {
+                    let i = store.rr % store.replicas.len();
+                    store.rr = store.rr.wrapping_add(1);
+                    (store.replicas[i].get(key).copied().unwrap_or(0), true)
+                };
+                let stats = self.metrics.backend_mut(&name);
+                stats.reads += 1;
+                if from_replica && version < primary_version {
+                    stats.stale_reads += 1;
+                }
+                CallOutcome::success(version)
+            }
+            BackendOp::StoreWrite { key, version } => {
+                let lag_range = match self.backends[b].kind {
+                    BackendRtKind::Store { replication_lag_ns, .. } => replication_lag_ns,
+                    _ => (0, 0),
+                };
+                let n_replicas = self.backends[b].store.replicas.len();
+                {
+                    let store = &mut self.backends[b].store;
+                    let slot = store.primary.entry(*key).or_insert(0);
+                    if *version > *slot {
+                        *slot = *version;
+                    }
+                }
+                for r in 0..n_replicas {
+                    let lag = if lag_range.1 > lag_range.0 {
+                        self.rng.gen_range(lag_range.0..=lag_range.1)
+                    } else {
+                        lag_range.0
+                    };
+                    self.push_ev(
+                        self.now + lag,
+                        Ev::ReplicaApply { backend: b, replica: r, key: *key, version: *version },
+                    );
+                }
+                self.metrics.backend_mut(&name).writes += 1;
+                CallOutcome::success(0)
+            }
+            BackendOp::StoreScan { .. } => {
+                self.metrics.backend_mut(&name).reads += 1;
+                CallOutcome::success(0)
+            }
+            BackendOp::QueuePush => {
+                let capacity = match self.backends[b].kind {
+                    BackendRtKind::Queue { capacity, .. } => capacity,
+                    _ => u64::MAX,
+                };
+                if self.backends[b].queue.len() as u64 >= capacity {
+                    self.metrics.counters.queue_drops += 1;
+                    CallOutcome::failure(CallErr::QueueFull)
+                } else {
+                    let entity = req.entity;
+                    self.backends[b].queue.push_back(entity);
+                    self.metrics.backend_mut(&name).writes += 1;
+                    CallOutcome::success(0)
+                }
+            }
+            BackendOp::QueuePop => {
+                self.backends[b].queue.pop_front();
+                self.metrics.backend_mut(&name).reads += 1;
+                CallOutcome::success(0)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client side: responses, timeouts, retries.
+    // ------------------------------------------------------------------
+
+    fn on_deliver_response(&mut self, fid: FrameId, seq: u32, attempt: u32, outcome: CallOutcome) {
+        // Validate freshness.
+        let (dep, chosen, holds_conn, on_miss, svc) = {
+            let Some(frame) = self.frame(fid) else { return };
+            let svc = frame.service;
+            let Some(call) = &mut frame.call else { return };
+            if call.seq != seq || call.attempt != attempt || call.concluded {
+                return;
+            }
+            call.concluded = true;
+            let holds = call.holds_conn;
+            call.holds_conn = false;
+            (call.dep.clone(), call.chosen.take(), holds, call.on_miss.clone(), svc)
+        };
+        let key = (svc, dep);
+        self.breaker_record(&key, outcome.ok);
+        if let Some(client) = self.clients.get_mut(&key) {
+            if let Some(ch) = chosen {
+                if let Some(slot) = client.outstanding.get_mut(ch) {
+                    *slot = slot.saturating_sub(1);
+                }
+            }
+            if holds_conn {
+                client.conns_in_use = client.conns_in_use.saturating_sub(1);
+            }
+        }
+        if holds_conn {
+            self.wake_waiters(key.clone());
+        }
+
+        if outcome.ok {
+            let push_miss = outcome.cache_hit == Some(false);
+            {
+                let frame = self.frame(fid).expect("frame alive");
+                let was_read = matches!(
+                    frame.call.as_ref().and_then(|c| c.backend_op),
+                    Some(BackendOp::CacheGet { .. })
+                        | Some(BackendOp::StoreRead { .. })
+                        | Some(BackendOp::CacheMulti { write: false, .. })
+                ) || matches!(
+                    frame.call.as_ref().and_then(|c| c.target_method.as_deref()),
+                    Some(_)
+                ) && outcome.version > 0;
+                if was_read {
+                    frame.did_read = true;
+                }
+                frame.observed_version = frame.observed_version.max(outcome.version);
+                if push_miss {
+                    if let Some(miss) = on_miss {
+                        frame.stack.push(ExecCtx { behavior: miss, pc: 0, repeat_left: 0 });
+                    }
+                }
+                frame.call = None;
+            }
+            self.step_frame(fid);
+        } else {
+            self.retry_or_fail(fid, seq, attempt, &key, outcome.err.unwrap_or(CallErr::Fault));
+        }
+    }
+
+    fn on_timeout(&mut self, fid: FrameId, seq: u32, attempt: u32) {
+        let (dep, chosen, holds_conn, svc) = {
+            let Some(frame) = self.frame(fid) else { return };
+            let svc = frame.service;
+            let Some(call) = &mut frame.call else { return };
+            if call.seq != seq || call.attempt != attempt || call.concluded {
+                return;
+            }
+            call.concluded = true;
+            let holds = call.holds_conn;
+            call.holds_conn = false;
+            (call.dep.clone(), call.chosen.take(), holds, svc)
+        };
+        self.metrics.counters.timeouts += 1;
+        let key = (svc, dep);
+        self.breaker_record(&key, false);
+        if let Some(client) = self.clients.get_mut(&key) {
+            if let Some(ch) = chosen {
+                if let Some(slot) = client.outstanding.get_mut(ch) {
+                    *slot = slot.saturating_sub(1);
+                }
+            }
+            if holds_conn {
+                // The abandoned connection is broken and re-established;
+                // it frees after the reconnect penalty.
+                let reconnect = match client.spec.transport {
+                    TransportSpec::Thrift { reconnect_ns, .. } => reconnect_ns,
+                    _ => 0,
+                };
+                let (svc, dep) = key.clone();
+                self.push_ev(self.now + reconnect, Ev::ConnFreed { svc, dep });
+            }
+        }
+        self.retry_or_fail(fid, seq, attempt, &key, CallErr::Timeout);
+    }
+
+    fn retry_or_fail(
+        &mut self,
+        fid: FrameId,
+        seq: u32,
+        attempt: u32,
+        key: &(usize, Rc<str>),
+        err: CallErr,
+    ) {
+        let (retries, backoff) = match self.clients.get(key) {
+            Some(c) => (c.spec.retries, c.spec.backoff_ns),
+            None => (0, 0),
+        };
+        if attempt < retries {
+            self.metrics.counters.retries += 1;
+            if let Some(frame) = self.frame(fid) {
+                if let Some(call) = &mut frame.call {
+                    call.attempt = attempt + 1;
+                    call.concluded = false;
+                    call.queued_msg = None;
+                }
+            }
+            self.push_ev(self.now + backoff, Ev::RetryFire { frame: fid, seq });
+        } else {
+            if let Some(frame) = self.frame(fid) {
+                frame.last_err = Some(err);
+            }
+            self.fail_frame(fid);
+        }
+    }
+
+    fn on_retry_fire(&mut self, fid: FrameId, seq: u32) {
+        let ok = {
+            let Some(frame) = self.frame(fid) else { return };
+            match &frame.call {
+                Some(call) => call.seq == seq && !call.concluded,
+                None => false,
+            }
+        };
+        if ok {
+            self.begin_attempt(fid, seq);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Circuit breaker.
+    // ------------------------------------------------------------------
+
+    fn breaker_allow(&mut self, key: &(usize, Rc<str>)) -> bool {
+        let now = self.now;
+        let Some(client) = self.clients.get_mut(key) else { return true };
+        if client.spec.breaker.is_none() {
+            return true;
+        }
+        match client.breaker {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen { .. } => true,
+            BreakerState::Open { until } => {
+                if now >= until {
+                    client.breaker = BreakerState::HalfOpen { successes: 0 };
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn breaker_record(&mut self, key: &(usize, Rc<str>), ok: bool) {
+        let now = self.now;
+        let mut opened = false;
+        {
+            let Some(client) = self.clients.get_mut(key) else { return };
+            let Some(spec) = client.spec.breaker.clone() else { return };
+            match client.breaker {
+                BreakerState::Open { .. } => {}
+                BreakerState::HalfOpen { successes } => {
+                    if ok {
+                        if successes + 1 >= spec.half_open_probes {
+                            client.breaker = BreakerState::Closed;
+                            client.window.clear();
+                            client.window_failures = 0;
+                        } else {
+                            client.breaker = BreakerState::HalfOpen { successes: successes + 1 };
+                        }
+                    } else {
+                        client.breaker = BreakerState::Open { until: now + spec.open_ns };
+                        opened = true;
+                    }
+                }
+                BreakerState::Closed => {
+                    client.window.push_back(ok);
+                    if !ok {
+                        client.window_failures += 1;
+                    }
+                    while client.window.len() > spec.window as usize {
+                        if let Some(old) = client.window.pop_front() {
+                            if !old {
+                                client.window_failures -= 1;
+                            }
+                        }
+                    }
+                    let n = client.window.len() as f64;
+                    if n >= (spec.window as f64 / 2.0).max(1.0)
+                        && client.window_failures as f64 / n >= spec.failure_threshold
+                    {
+                        client.breaker = BreakerState::Open { until: now + spec.open_ns };
+                        client.window.clear();
+                        client.window_failures = 0;
+                        opened = true;
+                    }
+                }
+            }
+        }
+        if opened {
+            self.metrics.counters.breaker_opens += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Frame completion.
+    // ------------------------------------------------------------------
+
+    fn fail_frame(&mut self, fid: FrameId) {
+        if let Some(frame) = self.frame(fid) {
+            frame.failed = true;
+        }
+        self.complete_frame(fid, false);
+    }
+
+    fn complete_frame(&mut self, fid: FrameId, ok: bool) {
+        // Extract everything needed, then free the slot.
+        let Some(frame) = self.frame(fid) else { return };
+        let service = frame.service;
+        let kind = frame.kind.clone();
+        let span = frame.span;
+        let span_owned = frame.span_owned;
+        let observed = frame.observed_version;
+        let last_err = frame.last_err;
+        let entity = frame.entity;
+        let root_seq = frame.root_seq;
+        let counted = frame.counted_admission;
+        self.free_frame(fid);
+
+        if counted {
+            let s = &mut self.services[service];
+            s.active = s.active.saturating_sub(1);
+        }
+        if span_owned {
+            if let Some((tid, sid)) = span {
+                self.traces.end_span(tid, sid, self.now, !ok);
+            }
+        }
+
+        match kind {
+            FrameKind::Entry { entry, method, submitted_ns } => {
+                if ok {
+                    self.metrics.counters.completed_ok += 1;
+                } else {
+                    self.metrics.counters.completed_err += 1;
+                }
+                self.completions.push(Completion {
+                    entry: entry.to_string(),
+                    method: method.to_string(),
+                    entity,
+                    root_seq,
+                    submitted_ns,
+                    finished_ns: self.now,
+                    ok,
+                    observed_version: observed,
+                    failure: if ok { None } else { Some(last_err.unwrap_or(CallErr::Downstream).label()) },
+                });
+            }
+            FrameKind::Rpc { caller, seq, attempt, reply } => {
+                let outcome = if ok {
+                    CallOutcome::success(observed)
+                } else {
+                    CallOutcome::failure(CallErr::Downstream)
+                };
+                if reply.serialize_ns > 0 {
+                    let proc = self.services[service].process;
+                    self.add_proc_job(
+                        proc,
+                        reply.serialize_ns as f64,
+                        JobCont::SendResponse {
+                            frame: caller,
+                            seq,
+                            attempt,
+                            outcome,
+                            net_ns: reply.net_ns,
+                        },
+                    );
+                } else {
+                    let t = self.now + reply.net_ns;
+                    self.push_ev(
+                        t,
+                        Ev::DeliverResponse { frame: caller, seq, attempt, outcome },
+                    );
+                }
+            }
+            FrameKind::SubTask { parent } => {
+                let resume = {
+                    let Some(p) = self.frame(parent) else { return };
+                    p.observed_version = p.observed_version.max(observed);
+                    if !ok {
+                        p.child_failed = true;
+                        if p.last_err.is_none() {
+                            p.last_err = last_err;
+                        }
+                    }
+                    p.pending_children = p.pending_children.saturating_sub(1);
+                    p.pending_children == 0
+                };
+                if resume {
+                    let failed = self
+                        .frame(parent)
+                        .map(|p| p.child_failed)
+                        .unwrap_or(false);
+                    if failed {
+                        self.fail_frame(parent);
+                    } else {
+                        self.step_frame(parent);
+                    }
+                }
+            }
+        }
+    }
+}

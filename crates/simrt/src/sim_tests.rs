@@ -1,0 +1,573 @@
+//! Unit tests of the simulation runtime.
+
+use super::*;
+use crate::spec::{
+    BackendRtKind, BackendSpec, BreakerSpec, ClientSpec, DepBinding, EntrySpec, GcSpec, HostSpec,
+    LbPolicy, ProcessSpec, ServiceSpec, SystemSpec, TransportSpec,
+};
+use crate::time::{ms, secs, us};
+use blueprint_workflow::{Behavior, CacheOp, KeyExpr};
+
+/// One host, one process, one entry service with the given behavior.
+fn single_service(behavior: Behavior) -> SystemSpec {
+    let mut spec = SystemSpec {
+        name: "t".into(),
+        hosts: vec![HostSpec { name: "h0".into(), cores: 4.0 }],
+        processes: vec![ProcessSpec { name: "p0".into(), host: 0, gc: None }],
+        ..Default::default()
+    };
+    let mut s = ServiceSpec::new("front", 0);
+    s.methods.insert("M".into(), behavior);
+    spec.services.push(s);
+    spec.entries.insert("front".into(), EntrySpec { service: 0, client: ClientSpec::local() });
+    spec
+}
+
+/// front --client--> back (each in its own process on its own host).
+fn two_tier(back_behavior: Behavior, client: ClientSpec) -> SystemSpec {
+    let mut spec = SystemSpec {
+        name: "t2".into(),
+        hosts: vec![
+            HostSpec { name: "h0".into(), cores: 4.0 },
+            HostSpec { name: "h1".into(), cores: 4.0 },
+        ],
+        processes: vec![
+            ProcessSpec { name: "p_front".into(), host: 0, gc: None },
+            ProcessSpec { name: "p_back".into(), host: 1, gc: None },
+        ],
+        ..Default::default()
+    };
+    let mut back = ServiceSpec::new("back", 1);
+    back.methods.insert("Work".into(), back_behavior);
+    let mut front = ServiceSpec::new("front", 0);
+    front.methods.insert("M".into(), Behavior::build().call("backend", "Work").done());
+    front.deps.insert("backend".into(), DepBinding::Service { target: 1, client });
+    spec.services.push(front);
+    spec.services.push(back);
+    spec.entries.insert("front".into(), EntrySpec { service: 0, client: ClientSpec::local() });
+    spec
+}
+
+fn run_one(spec: &SystemSpec, method: &str) -> (Sim, Completion) {
+    let mut sim = Sim::new(spec, SimConfig::default()).unwrap();
+    sim.submit("front", method, 1).unwrap();
+    sim.run_until(secs(10));
+    let mut done = sim.drain_completions();
+    assert_eq!(done.len(), 1, "request completed");
+    let c = done.pop().unwrap();
+    (sim, c)
+}
+
+#[test]
+fn compute_only_latency_matches_work() {
+    let spec = single_service(Behavior::build().compute(100_000, 0).done());
+    let (_, c) = run_one(&spec, "M");
+    assert!(c.ok);
+    assert_eq!(c.latency_ns(), 100_000);
+}
+
+#[test]
+fn unknown_entry_and_method_error() {
+    let spec = single_service(Behavior::build().compute(1, 0).done());
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    assert!(sim.submit("nope", "M", 1).is_err());
+    assert!(sim.submit("front", "Nope", 1).is_err());
+}
+
+#[test]
+fn grpc_adds_serialization_and_network_latency() {
+    let client = ClientSpec::over(TransportSpec::Grpc { serialize_ns: 10_000, net_ns: 50_000 });
+    let spec = two_tier(Behavior::build().compute(100_000, 0).done(), client);
+    let (_, c) = run_one(&spec, "M");
+    assert!(c.ok);
+    // client ser 10k + net 50k + server 100k + server ser 10k + net 50k.
+    assert_eq!(c.latency_ns(), 220_000);
+}
+
+#[test]
+fn local_transport_is_free() {
+    let spec = two_tier(Behavior::build().compute(100_000, 0).done(), ClientSpec::local());
+    let (_, c) = run_one(&spec, "M");
+    assert_eq!(c.latency_ns(), 100_000);
+}
+
+#[test]
+fn timeout_fails_request_and_counts() {
+    let client = ClientSpec { timeout_ns: Some(ms(1)), ..ClientSpec::local() };
+    let spec = two_tier(Behavior::build().compute(ms(10), 0).done(), client);
+    let (sim, c) = run_one(&spec, "M");
+    assert!(!c.ok);
+    assert_eq!(c.latency_ns(), ms(1));
+    assert_eq!(sim.metrics.counters.timeouts, 1);
+    assert_eq!(sim.metrics.counters.retries, 0);
+}
+
+#[test]
+fn retries_multiply_wasted_server_work() {
+    let client = ClientSpec { timeout_ns: Some(ms(1)), retries: 2, ..ClientSpec::local() };
+    let spec = two_tier(Behavior::build().compute(ms(10), 0).done(), client);
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.submit("front", "M", 1).unwrap();
+    sim.run_until(secs(30));
+    let c = sim.drain_completions().pop().unwrap();
+    assert!(!c.ok);
+    // 3 attempts, each timing out after 1 ms.
+    assert_eq!(c.latency_ns(), ms(3));
+    assert_eq!(sim.metrics.counters.timeouts, 3);
+    assert_eq!(sim.metrics.counters.retries, 2);
+    // Wasted work: the server processed all three attempts to completion.
+    assert_eq!(sim.service_served("back"), Some(3));
+}
+
+#[test]
+fn admission_limit_fast_fails() {
+    let client = ClientSpec::local();
+    let mut spec = two_tier(Behavior::build().compute(ms(10), 0).done(), client);
+    spec.services[1].max_concurrent = 1;
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.submit("front", "M", 1).unwrap();
+    sim.submit("front", "M", 2).unwrap();
+    sim.run_until(secs(1));
+    let done = sim.drain_completions();
+    assert_eq!(done.len(), 2);
+    assert_eq!(done.iter().filter(|c| c.ok).count(), 1);
+    assert_eq!(sim.metrics.counters.admission_rejections, 1);
+}
+
+#[test]
+fn breaker_opens_and_rejects() {
+    let client = ClientSpec {
+        breaker: Some(BreakerSpec {
+            window: 10,
+            failure_threshold: 0.5,
+            open_ns: secs(100),
+            half_open_probes: 1,
+        }),
+        ..ClientSpec::local()
+    };
+    let mut spec = two_tier(Behavior::build().compute(ms(1), 0).done(), client);
+    spec.services[1].max_concurrent = 0; // Every call overloads.
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    for i in 0..50 {
+        sim.submit("front", "M", i).unwrap();
+        sim.run_until(ms(10 * (i + 1)));
+    }
+    sim.run_until(secs(2));
+    assert!(sim.metrics.counters.breaker_opens >= 1);
+    assert!(sim.metrics.counters.breaker_rejections >= 30);
+    // Far fewer than 50 calls actually reached the server.
+    assert!(sim.metrics.counters.admission_rejections < 20);
+    let done = sim.drain_completions();
+    assert_eq!(done.len(), 50);
+    assert!(done.iter().all(|c| !c.ok));
+}
+
+#[test]
+fn thrift_pool_serializes_concurrent_calls() {
+    let client = ClientSpec::over(TransportSpec::Thrift {
+        pool: 1,
+        serialize_ns: 0,
+        net_ns: 0,
+        reconnect_ns: 0,
+    });
+    let spec = two_tier(Behavior::build().compute(ms(1), 0).done(), client);
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.submit("front", "M", 1).unwrap();
+    sim.submit("front", "M", 2).unwrap();
+    sim.run_until(secs(1));
+    let mut done = sim.drain_completions();
+    done.sort_by_key(|c| c.finished_ns);
+    assert_eq!(done.len(), 2);
+    // Server host has 4 cores, so without pooling both would finish at 1 ms.
+    assert_eq!(done[0].latency_ns(), ms(1));
+    assert_eq!(done[1].latency_ns(), ms(2));
+}
+
+#[test]
+fn grpc_multiplexes_without_queueing() {
+    let client = ClientSpec::over(TransportSpec::Grpc { serialize_ns: 0, net_ns: 0 });
+    let spec = two_tier(Behavior::build().compute(ms(1), 0).done(), client);
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.submit("front", "M", 1).unwrap();
+    sim.submit("front", "M", 2).unwrap();
+    sim.run_until(secs(1));
+    let done = sim.drain_completions();
+    assert!(done.iter().all(|c| c.latency_ns() == ms(1)));
+}
+
+#[test]
+fn gc_pauses_trigger_and_account() {
+    let gc = GcSpec { gogc_percent: 100.0, base_heap_bytes: 1 << 20, pause_cpu_ns_per_mib: ms(1) };
+    let mut spec = single_service(Behavior::build().compute(us(10), 512 << 10).done());
+    spec.processes[0].gc = Some(gc);
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    for i in 0..10 {
+        sim.submit("front", "M", i).unwrap();
+        sim.run_until(ms(5 * (i + 1)));
+    }
+    sim.run_until(secs(1));
+    // Heap grows 512 KiB per request over a 1 MiB base with GOGC=100 →
+    // collection every ~2 requests.
+    assert!(sim.metrics.counters.gc_pauses >= 3, "pauses={}", sim.metrics.counters.gc_pauses);
+    assert!(sim.metrics.counters.gc_pause_ns > 0);
+    assert_eq!(sim.drain_completions().len(), 10);
+    // Heap returned to base after the last collection.
+    assert!(sim.process_heap("p0").unwrap() <= (1 << 20) + 2 * (512 << 10));
+}
+
+#[test]
+fn parallel_branches_overlap() {
+    let spec = single_service(
+        Behavior::build()
+            .parallel(vec![
+                Behavior::build().compute(ms(1), 0).done(),
+                Behavior::build().compute(ms(1), 0).done(),
+            ])
+            .done(),
+    );
+    let (_, c) = run_one(&spec, "M");
+    assert!(c.ok);
+    // 4-core host: both branches run at full speed.
+    assert_eq!(c.latency_ns(), ms(1));
+}
+
+#[test]
+fn parallel_branch_failure_fails_request() {
+    let spec = single_service(
+        Behavior::build()
+            .parallel(vec![
+                Behavior::build().compute(ms(1), 0).done(),
+                Behavior::build().fail(1.0).done(),
+            ])
+            .done(),
+    );
+    let (_, c) = run_one(&spec, "M");
+    assert!(!c.ok);
+}
+
+#[test]
+fn branch_probabilities_respected() {
+    let spec = single_service(
+        Behavior::build()
+            .branch(0.25, Behavior::build().compute(ms(2), 0).done(), Behavior::build().compute(ms(1), 0).done())
+            .done(),
+    );
+    let mut sim = Sim::new(&spec, SimConfig { seed: 42, ..Default::default() }).unwrap();
+    for i in 0..200 {
+        sim.submit("front", "M", i).unwrap();
+        sim.run_until(ms(5 * (i + 1)));
+    }
+    sim.run_until(secs(5));
+    let done = sim.drain_completions();
+    let slow = done.iter().filter(|c| c.latency_ns() >= ms(2)).count();
+    assert!((30..=70).contains(&slow), "slow={slow} of {}", done.len());
+}
+
+fn cache_db_spec() -> SystemSpec {
+    let mut spec = SystemSpec {
+        name: "cdb".into(),
+        hosts: vec![
+            HostSpec { name: "h0".into(), cores: 4.0 },
+            HostSpec { name: "hdb".into(), cores: 4.0 },
+        ],
+        processes: vec![
+            ProcessSpec { name: "p0".into(), host: 0, gc: None },
+            ProcessSpec { name: "p_cache".into(), host: 1, gc: None },
+            ProcessSpec { name: "p_db".into(), host: 1, gc: None },
+        ],
+        ..Default::default()
+    };
+    spec.backends.push(BackendSpec {
+        name: "cache".into(),
+        process: 1,
+        kind: BackendRtKind::Cache {
+            capacity_items: 1000,
+            op_latency_ns: us(100),
+            cpu_per_op_ns: us(2),
+            cpu_per_item_ns: us(1),
+        },
+    });
+    spec.backends.push(BackendSpec {
+        name: "db".into(),
+        process: 2,
+        kind: BackendRtKind::Store {
+            read_latency_ns: ms(1),
+            write_latency_ns: ms(2),
+            cpu_per_op_ns: us(10),
+            cpu_per_item_ns: us(1),
+            replicas: 0,
+            replication_lag_ns: (0, 0),
+        },
+    });
+    let mut s = ServiceSpec::new("front", 0);
+    s.methods.insert(
+        "Read".into(),
+        Behavior::build()
+            .cache_get_or_fetch(
+                "c",
+                KeyExpr::Entity,
+                Behavior::build()
+                    .db_read("d", KeyExpr::Entity)
+                    .cache_put("c", KeyExpr::Entity)
+                    .done(),
+            )
+            .done(),
+    );
+    s.methods.insert(
+        "Write".into(),
+        Behavior::build().db_write("d", KeyExpr::Entity).cache_put("c", KeyExpr::Entity).done(),
+    );
+    s.deps.insert("c".into(), DepBinding::Backend { target: 0, client: ClientSpec::local() });
+    s.deps.insert("d".into(), DepBinding::Backend { target: 1, client: ClientSpec::local() });
+    spec.services.push(s);
+    spec.entries.insert("front".into(), EntrySpec { service: 0, client: ClientSpec::local() });
+    spec
+}
+
+#[test]
+fn cache_aside_miss_then_hit() {
+    let spec = cache_db_spec();
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.submit("front", "Read", 7).unwrap();
+    sim.run_until(secs(1));
+    sim.submit("front", "Read", 7).unwrap();
+    sim.run_until(secs(2));
+    let done = sim.drain_completions();
+    assert_eq!(done.len(), 2);
+    assert!(done.iter().all(|c| c.ok));
+    let cache = sim.metrics.backend("cache").unwrap();
+    assert_eq!(cache.misses, 1);
+    assert_eq!(cache.hits, 1);
+    let db = sim.metrics.backend("db").unwrap();
+    assert_eq!(db.reads, 1, "second read served from cache");
+    // The miss path is slower than the hit path.
+    assert!(done[0].latency_ns() > done[1].latency_ns());
+}
+
+#[test]
+fn cache_flush_forces_misses() {
+    let spec = cache_db_spec();
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.submit("front", "Read", 7).unwrap();
+    sim.run_until(secs(1));
+    assert_eq!(sim.cache_len("cache").unwrap(), 1);
+    sim.cache_flush("cache").unwrap();
+    assert_eq!(sim.cache_len("cache").unwrap(), 0);
+    sim.submit("front", "Read", 7).unwrap();
+    sim.run_until(secs(2));
+    assert_eq!(sim.metrics.backend("cache").unwrap().misses, 2);
+}
+
+#[test]
+fn cache_fill_prepopulates() {
+    let spec = cache_db_spec();
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.cache_fill("cache", 100, 1).unwrap();
+    assert_eq!(sim.cache_len("cache").unwrap(), 100);
+    sim.submit("front", "Read", 7).unwrap();
+    sim.run_until(secs(1));
+    assert_eq!(sim.metrics.backend("cache").unwrap().hits, 1);
+    assert_eq!(sim.metrics.backend("db").map(|b| b.reads).unwrap_or(0), 0);
+}
+
+#[test]
+fn replicated_store_reads_can_be_stale() {
+    let mut spec = cache_db_spec();
+    spec.backends[1].kind = BackendRtKind::Store {
+        read_latency_ns: us(100),
+        write_latency_ns: us(100),
+        cpu_per_op_ns: us(1),
+        cpu_per_item_ns: 0,
+        replicas: 2,
+        replication_lag_ns: (ms(100), ms(100)),
+    };
+    // Bypass the cache for reads in this test.
+    spec.services[0].methods.insert(
+        "ReadDb".into(),
+        Behavior::build().db_read("d", KeyExpr::Entity).done(),
+    );
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    let wv = sim.submit("front", "Write", 7).unwrap();
+    sim.run_until(ms(10));
+    assert_eq!(sim.store_primary_version("db", 7).unwrap(), wv);
+    assert_eq!(sim.store_replica_versions("db", 7).unwrap(), vec![0, 0]);
+    // Read before replication lag elapses → stale (version 0).
+    sim.submit("front", "ReadDb", 7).unwrap();
+    sim.run_until(ms(50));
+    let c = sim.drain_completions().pop().unwrap();
+    assert_eq!(c.observed_version, 0);
+    assert_eq!(sim.metrics.backend("db").unwrap().stale_reads, 1);
+    // After the lag, replicas caught up.
+    sim.run_until(ms(200));
+    assert_eq!(sim.store_replica_versions("db", 7).unwrap(), vec![wv, wv]);
+    sim.submit("front", "ReadDb", 7).unwrap();
+    sim.run_until(ms(300));
+    let c = sim.drain_completions().pop().unwrap();
+    assert_eq!(c.observed_version, wv);
+}
+
+#[test]
+fn queue_capacity_drops() {
+    let mut spec = cache_db_spec();
+    spec.backends.push(BackendSpec {
+        name: "q".into(),
+        process: 1,
+        kind: BackendRtKind::Queue { capacity: 1, op_latency_ns: us(10) },
+    });
+    spec.services[0].methods.insert("Push".into(), Behavior::build().queue_push("q").done());
+    spec.services[0]
+        .deps
+        .insert("q".into(), DepBinding::Backend { target: 2, client: ClientSpec::local() });
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.submit("front", "Push", 1).unwrap();
+    sim.run_until(secs(1));
+    sim.submit("front", "Push", 2).unwrap();
+    sim.run_until(secs(2));
+    let done = sim.drain_completions();
+    assert!(done[0].ok);
+    assert!(!done[1].ok);
+    assert_eq!(sim.metrics.counters.queue_drops, 1);
+}
+
+#[test]
+fn replicated_service_round_robin_balances() {
+    let mut spec = SystemSpec {
+        name: "lb".into(),
+        hosts: vec![HostSpec { name: "h0".into(), cores: 8.0 }],
+        processes: vec![ProcessSpec { name: "p0".into(), host: 0, gc: None }],
+        ..Default::default()
+    };
+    for i in 0..3 {
+        let mut r = ServiceSpec::new(format!("back_{i}"), 0);
+        r.methods.insert("Work".into(), Behavior::build().compute(us(10), 0).done());
+        spec.services.push(r);
+    }
+    let mut front = ServiceSpec::new("front", 0);
+    front.methods.insert("M".into(), Behavior::build().call("backend", "Work").done());
+    front.deps.insert(
+        "backend".into(),
+        DepBinding::ReplicatedService {
+            targets: vec![0, 1, 2],
+            policy: LbPolicy::RoundRobin,
+            client: ClientSpec::local(),
+        },
+    );
+    spec.services.push(front);
+    spec.entries.insert("front".into(), EntrySpec { service: 3, client: ClientSpec::local() });
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    for i in 0..30 {
+        sim.submit("front", "M", i).unwrap();
+        sim.run_until(ms(i + 1));
+    }
+    sim.run_until(secs(1));
+    for i in 0..3 {
+        assert_eq!(sim.service_served(&format!("back_{i}")), Some(10));
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = |seed: u64| {
+        let spec = cache_db_spec();
+        let mut sim = Sim::new(&spec, SimConfig { seed, ..Default::default() }).unwrap();
+        for i in 0..50 {
+            sim.submit("front", if i % 3 == 0 { "Write" } else { "Read" }, i % 11).unwrap();
+            sim.run_until(ms(2 * (i + 1)));
+        }
+        sim.run_until(secs(5));
+        (sim.drain_completions(), sim.metrics.clone())
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    let c = run(8);
+    // Different seed still completes everything.
+    assert_eq!(c.0.len(), 50);
+}
+
+#[test]
+fn tracing_records_spans_with_structure() {
+    let client = ClientSpec::over(TransportSpec::Grpc { serialize_ns: 1000, net_ns: 1000 });
+    let mut spec = two_tier(Behavior::build().compute(us(50), 0).done(), client);
+    spec.services[0].trace_overhead_ns = Some(2_000);
+    spec.services[1].trace_overhead_ns = Some(2_000);
+    let cfg = SimConfig { record_traces: true, ..Default::default() };
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    sim.submit("front", "M", 1).unwrap();
+    sim.run_until(secs(1));
+    let traces = sim.traces.drain_finished();
+    assert_eq!(traces.len(), 1);
+    let t = &traces[0];
+    assert_eq!(t.len(), 2);
+    assert_eq!(t.root().unwrap().service, "front");
+    assert_eq!(t.depth(), 2);
+    assert!(sim.metrics.counters.spans >= 2);
+}
+
+#[test]
+fn max_frames_guard_sheds_load() {
+    let spec = single_service(Behavior::build().compute(secs(1), 0).done());
+    let cfg = SimConfig { max_frames: 2, ..Default::default() };
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    for i in 0..5 {
+        sim.submit("front", "M", i).unwrap();
+    }
+    sim.run_until(secs(30));
+    let done = sim.drain_completions();
+    assert_eq!(done.len(), 5);
+    assert!(done.iter().filter(|c| !c.ok).count() >= 3);
+    assert!(sim.metrics.counters.admission_rejections >= 3);
+}
+
+#[test]
+fn repeat_runs_body_n_times() {
+    // 5 sequential cache gets via the generic interface.
+    let mut spec = cache_db_spec();
+    spec.services[0].methods.insert(
+        "Multi".into(),
+        Behavior::build()
+            .repeat(5, Behavior::build().cache_get("c", KeyExpr::Entity).done())
+            .done(),
+    );
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.cache_fill("cache", 10, 1).unwrap();
+    sim.submit("front", "Multi", 3).unwrap();
+    sim.run_until(secs(1));
+    assert_eq!(sim.metrics.backend("cache").unwrap().hits, 5);
+}
+
+#[test]
+fn extended_cache_multi_op_is_single_round_trip() {
+    let mut spec = cache_db_spec();
+    spec.services[0].methods.insert(
+        "Range".into(),
+        Behavior::build()
+            .cache_op("c", CacheOp::GetRange { items: 5 }, KeyExpr::Entity)
+            .done(),
+    );
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.cache_fill("cache", 10, 1).unwrap();
+    sim.submit("front", "Range", 3).unwrap();
+    sim.run_until(secs(1));
+    let stats = sim.metrics.backend("cache").unwrap();
+    assert_eq!(stats.reads, 1, "one round trip");
+    assert_eq!(stats.hits, 1);
+}
+
+#[test]
+fn hog_slows_processing() {
+    let spec = single_service(Behavior::build().compute(ms(1), 0).done());
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.inject_cpu_hog("h0", 3.5, secs(1)).unwrap();
+    sim.submit("front", "M", 1).unwrap();
+    sim.run_until(secs(5));
+    let c = sim.drain_completions().pop().unwrap();
+    // 0.5 effective cores → 2 ms.
+    assert_eq!(c.latency_ns(), ms(2));
+    // After the hog ends, latency recovers.
+    sim.submit("front", "M", 2).unwrap();
+    sim.run_until(secs(10));
+    let c = sim.drain_completions().pop().unwrap();
+    assert_eq!(c.latency_ns(), ms(1));
+}

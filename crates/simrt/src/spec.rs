@@ -1,0 +1,510 @@
+//! System specs: the deployable description of a simulated cluster.
+//!
+//! A [`SystemSpec`] is what the Blueprint compiler produces when lowering an
+//! application's IR for the simulation target — the moral equivalent of the
+//! container images + compose file the real toolchain emits. Tests and
+//! experiments may also build specs by hand.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use blueprint_workflow::Behavior;
+
+use crate::time::SimTime;
+use crate::{Result, SimError};
+
+/// A simulated machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Host name (unique).
+    pub name: String,
+    /// Number of cores (fractional allowed for cgroup-limited containers).
+    pub cores: f64,
+}
+
+/// Garbage-collection model of a process (Go runtime flavored).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GcSpec {
+    /// GOGC percentage: a collection triggers when the heap grows by this
+    /// percentage over the post-collection base (Go default: 100).
+    pub gogc_percent: f64,
+    /// Post-collection live heap, bytes.
+    pub base_heap_bytes: u64,
+    /// Stop-the-world pause cost: CPU-nanoseconds per MiB of heap at trigger
+    /// time. The pause is executed as a host job, so CPU contention stretches
+    /// it (the Type-2 metastability mechanism).
+    pub pause_cpu_ns_per_mib: u64,
+}
+
+impl Default for GcSpec {
+    fn default() -> Self {
+        GcSpec { gogc_percent: 100.0, base_heap_bytes: 64 << 20, pause_cpu_ns_per_mib: 30_000 }
+    }
+}
+
+/// A simulated OS process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessSpec {
+    /// Process name (unique).
+    pub name: String,
+    /// Index into [`SystemSpec::hosts`].
+    pub host: usize,
+    /// Garbage collection model; `None` disables GC effects (e.g. C++
+    /// baseline profiles in the Fig. 11 realism comparison).
+    pub gc: Option<GcSpec>,
+}
+
+/// Transport used by one client binding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TransportSpec {
+    /// Same-process function call: no serialization, no network.
+    Local,
+    /// gRPC: HTTP/2 multiplexing on one connection — no pool limit.
+    Grpc {
+        /// Client+server serialization CPU per call, ns.
+        serialize_ns: u64,
+        /// One-way network latency, ns.
+        net_ns: u64,
+    },
+    /// Thrift: a bounded pool of connections; requests queue for a free
+    /// connection (the clientpool dimension of Fig. 5).
+    Thrift {
+        /// Pool size (connections).
+        pool: u32,
+        /// Client+server serialization CPU per call, ns.
+        serialize_ns: u64,
+        /// One-way network latency, ns.
+        net_ns: u64,
+        /// Cost of (re-)establishing a connection after a timeout abandons
+        /// one, ns.
+        reconnect_ns: u64,
+    },
+    /// Plain HTTP/1.1 with JSON-ish payloads (the Go `net/http` plugin).
+    Http {
+        /// Client+server serialization CPU per call, ns.
+        serialize_ns: u64,
+        /// One-way network latency, ns.
+        net_ns: u64,
+    },
+}
+
+impl TransportSpec {
+    /// Default gRPC parameters used by the plugins.
+    pub fn grpc_default() -> Self {
+        TransportSpec::Grpc { serialize_ns: 12_000, net_ns: 50_000 }
+    }
+
+    /// Default Thrift parameters with the given pool size.
+    pub fn thrift_default(pool: u32) -> Self {
+        TransportSpec::Thrift { pool, serialize_ns: 15_000, net_ns: 50_000, reconnect_ns: 200_000 }
+    }
+
+    /// Default HTTP parameters.
+    pub fn http_default() -> Self {
+        TransportSpec::Http { serialize_ns: 25_000, net_ns: 60_000 }
+    }
+}
+
+/// Circuit breaker configuration (paper §6.3 "Prototyping New Solutions").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakerSpec {
+    /// Size of the sliding outcome window (calls).
+    pub window: u32,
+    /// Open the breaker when the windowed failure rate exceeds this.
+    pub failure_threshold: f64,
+    /// How long the breaker stays open before half-opening, ns.
+    pub open_ns: SimTime,
+    /// Probe calls allowed in half-open state; all must succeed to close.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerSpec {
+    fn default() -> Self {
+        BreakerSpec {
+            window: 50,
+            failure_threshold: 0.5,
+            open_ns: crate::time::secs(5),
+            half_open_probes: 3,
+        }
+    }
+}
+
+/// Per-binding client policy: what the generated client wrapper stack does.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientSpec {
+    /// Transport to the callee.
+    pub transport: TransportSpec,
+    /// RPC timeout; `None` waits forever.
+    pub timeout_ns: Option<SimTime>,
+    /// Maximum retries after the first attempt (paper's "up to 10 retries"
+    /// is `retries: 10`).
+    pub retries: u32,
+    /// Fixed backoff between attempts, ns.
+    pub backoff_ns: SimTime,
+    /// Optional circuit breaker.
+    pub breaker: Option<BreakerSpec>,
+    /// Extra client-side CPU per call, ns: tracing context injection,
+    /// backend driver marshalling (redis/mongo protocol encode + syscalls).
+    pub client_overhead_ns: u64,
+}
+
+impl Default for ClientSpec {
+    fn default() -> Self {
+        ClientSpec {
+            transport: TransportSpec::Local,
+            timeout_ns: None,
+            retries: 0,
+            backoff_ns: 0,
+            breaker: None,
+            client_overhead_ns: 0,
+        }
+    }
+}
+
+impl ClientSpec {
+    /// A local (same-process) call with no policies.
+    pub fn local() -> Self {
+        ClientSpec::default()
+    }
+
+    /// A client over the given transport with no policies.
+    pub fn over(transport: TransportSpec) -> Self {
+        ClientSpec { transport, ..ClientSpec::default() }
+    }
+}
+
+/// Load-balancing policy over replicated targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LbPolicy {
+    /// Round-robin across replicas.
+    #[default]
+    RoundRobin,
+    /// Uniformly random replica.
+    Random,
+    /// Pick the replica with the fewest outstanding requests from this
+    /// client.
+    LeastOutstanding,
+}
+
+/// How a declared dependency is bound at runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DepBinding {
+    /// A single service instance.
+    Service {
+        /// Index into [`SystemSpec::services`].
+        target: usize,
+        /// Client policy stack.
+        client: ClientSpec,
+    },
+    /// A replicated set of service instances behind a load balancer.
+    ReplicatedService {
+        /// Indices into [`SystemSpec::services`].
+        targets: Vec<usize>,
+        /// Balancing policy.
+        policy: LbPolicy,
+        /// Client policy stack.
+        client: ClientSpec,
+    },
+    /// A backend instance.
+    Backend {
+        /// Index into [`SystemSpec::backends`].
+        target: usize,
+        /// Client policy stack.
+        client: ClientSpec,
+    },
+}
+
+impl DepBinding {
+    /// The client spec of this binding.
+    pub fn client(&self) -> &ClientSpec {
+        match self {
+            DepBinding::Service { client, .. }
+            | DepBinding::ReplicatedService { client, .. }
+            | DepBinding::Backend { client, .. } => client,
+        }
+    }
+}
+
+/// A simulated service instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSpec {
+    /// Instance name (unique).
+    pub name: String,
+    /// Index into [`SystemSpec::processes`].
+    pub process: usize,
+    /// Method name → behavior program.
+    pub methods: BTreeMap<String, Behavior>,
+    /// Behavior dependency name → binding.
+    pub deps: BTreeMap<String, DepBinding>,
+    /// Admission limit: concurrent requests accepted before fast-failing
+    /// (listen backlog analog).
+    pub max_concurrent: u32,
+    /// If set, spans are recorded for this service's method executions with
+    /// the given per-span CPU overhead (ns).
+    pub trace_overhead_ns: Option<u64>,
+}
+
+impl ServiceSpec {
+    /// A service with defaults (no tracing, generous admission limit).
+    pub fn new(name: impl Into<String>, process: usize) -> Self {
+        ServiceSpec {
+            name: name.into(),
+            process,
+            methods: BTreeMap::new(),
+            deps: BTreeMap::new(),
+            max_concurrent: 20_000,
+            trace_overhead_ns: None,
+        }
+    }
+}
+
+/// Backend runtime flavors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BackendRtKind {
+    /// Key-value cache with a bounded key set.
+    Cache {
+        /// Maximum resident keys (random eviction beyond this).
+        capacity_items: u64,
+        /// Fixed per-op latency (memory access + protocol), ns.
+        op_latency_ns: u64,
+        /// CPU per operation on the backend host, ns.
+        cpu_per_op_ns: u64,
+        /// Extra per-item CPU for multi-item (`GetRange`/`PushFront`) ops, ns.
+        cpu_per_item_ns: u64,
+    },
+    /// Durable store (NoSQL or relational), optionally replicated with lag.
+    Store {
+        /// Fixed read latency, ns.
+        read_latency_ns: u64,
+        /// Fixed write latency, ns.
+        write_latency_ns: u64,
+        /// CPU per operation on the backend host, ns.
+        cpu_per_op_ns: u64,
+        /// Extra CPU per scanned item, ns.
+        cpu_per_item_ns: u64,
+        /// Number of read replicas in addition to the primary (0 = none).
+        replicas: u32,
+        /// Replication lag range `[min, max]` ns, uniformly sampled per write
+        /// per replica.
+        replication_lag_ns: (SimTime, SimTime),
+    },
+    /// FIFO message queue.
+    Queue {
+        /// Maximum queued messages before `Send` fails.
+        capacity: u64,
+        /// Fixed per-op latency, ns.
+        op_latency_ns: u64,
+    },
+}
+
+/// A simulated backend instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendSpec {
+    /// Instance name (unique).
+    pub name: String,
+    /// Index into [`SystemSpec::processes`].
+    pub process: usize,
+    /// Flavor + parameters.
+    pub kind: BackendRtKind,
+}
+
+/// An externally callable API endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntrySpec {
+    /// Index into [`SystemSpec::services`].
+    pub service: usize,
+    /// Client policy used by the workload generator to reach the entry
+    /// service (the paper's workload generator runs on a separate machine).
+    pub client: ClientSpec,
+}
+
+/// The full description of a simulated deployment.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// Application/variant name.
+    pub name: String,
+    /// Machines.
+    pub hosts: Vec<HostSpec>,
+    /// Processes.
+    pub processes: Vec<ProcessSpec>,
+    /// Service instances.
+    pub services: Vec<ServiceSpec>,
+    /// Backend instances.
+    pub backends: Vec<BackendSpec>,
+    /// Entry points keyed by exposed name (usually the service name).
+    pub entries: BTreeMap<String, EntrySpec>,
+}
+
+impl SystemSpec {
+    /// Validates all cross-references.
+    pub fn validate(&self) -> Result<()> {
+        for p in &self.processes {
+            if p.host >= self.hosts.len() {
+                return Err(SimError::BadSpec(format!("process {} host index", p.name)));
+            }
+        }
+        for s in &self.services {
+            if s.process >= self.processes.len() {
+                return Err(SimError::BadSpec(format!("service {} process index", s.name)));
+            }
+            for (dep, b) in &s.deps {
+                match b {
+                    DepBinding::Service { target, .. } => {
+                        if *target >= self.services.len() {
+                            return Err(SimError::BadSpec(format!(
+                                "service {} dep {dep} target index",
+                                s.name
+                            )));
+                        }
+                    }
+                    DepBinding::ReplicatedService { targets, .. } => {
+                        if targets.is_empty() {
+                            return Err(SimError::BadSpec(format!(
+                                "service {} dep {dep} has no replicas",
+                                s.name
+                            )));
+                        }
+                        for t in targets {
+                            if *t >= self.services.len() {
+                                return Err(SimError::BadSpec(format!(
+                                    "service {} dep {dep} replica index",
+                                    s.name
+                                )));
+                            }
+                        }
+                    }
+                    DepBinding::Backend { target, .. } => {
+                        if *target >= self.backends.len() {
+                            return Err(SimError::BadSpec(format!(
+                                "service {} dep {dep} backend index",
+                                s.name
+                            )));
+                        }
+                    }
+                }
+            }
+            // Behaviors must only use bound deps.
+            for (m, b) in &s.methods {
+                for (dep, _family) in b.dep_uses() {
+                    if !s.deps.contains_key(dep) {
+                        return Err(SimError::BadSpec(format!(
+                            "service {} method {m} uses unbound dep {dep}",
+                            s.name
+                        )));
+                    }
+                }
+            }
+        }
+        for b in &self.backends {
+            if b.process >= self.processes.len() {
+                return Err(SimError::BadSpec(format!("backend {} process index", b.name)));
+            }
+        }
+        for (name, e) in &self.entries {
+            if e.service >= self.services.len() {
+                return Err(SimError::BadSpec(format!("entry {name} service index")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Finds a service index by name.
+    pub fn service_index(&self, name: &str) -> Option<usize> {
+        self.services.iter().position(|s| s.name == name)
+    }
+
+    /// Finds a backend index by name.
+    pub fn backend_index(&self, name: &str) -> Option<usize> {
+        self.backends.iter().position(|b| b.name == name)
+    }
+
+    /// Finds a host index by name.
+    pub fn host_index(&self, name: &str) -> Option<usize> {
+        self.hosts.iter().position(|h| h.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_workflow::Behavior;
+
+    fn tiny() -> SystemSpec {
+        let mut spec = SystemSpec {
+            name: "tiny".into(),
+            hosts: vec![HostSpec { name: "h0".into(), cores: 4.0 }],
+            processes: vec![ProcessSpec { name: "p0".into(), host: 0, gc: None }],
+            ..Default::default()
+        };
+        let mut s = ServiceSpec::new("a", 0);
+        s.methods.insert("M".into(), Behavior::build().compute(1000, 0).done());
+        spec.services.push(s);
+        spec.entries
+            .insert("a".into(), EntrySpec { service: 0, client: ClientSpec::local() });
+        spec
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_indices_caught() {
+        let mut s = tiny();
+        s.services[0].process = 9;
+        assert!(s.validate().is_err());
+
+        let mut s = tiny();
+        s.entries.get_mut("a").unwrap().service = 4;
+        assert!(s.validate().is_err());
+
+        let mut s = tiny();
+        s.processes[0].host = 2;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn unbound_dep_caught() {
+        let mut s = tiny();
+        s.services[0]
+            .methods
+            .insert("N".into(), Behavior::build().call("ghost", "X").done());
+        let err = s.validate().unwrap_err();
+        assert!(err.to_string().contains("unbound dep ghost"), "{err}");
+    }
+
+    #[test]
+    fn empty_replica_set_caught() {
+        let mut s = tiny();
+        s.services[0].deps.insert(
+            "r".into(),
+            DepBinding::ReplicatedService {
+                targets: vec![],
+                policy: LbPolicy::RoundRobin,
+                client: ClientSpec::local(),
+            },
+        );
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn lookups() {
+        let s = tiny();
+        assert_eq!(s.service_index("a"), Some(0));
+        assert_eq!(s.service_index("zz"), None);
+        assert_eq!(s.host_index("h0"), Some(0));
+        assert_eq!(s.backend_index("none"), None);
+    }
+
+    #[test]
+    fn transport_defaults() {
+        assert!(matches!(TransportSpec::grpc_default(), TransportSpec::Grpc { .. }));
+        assert!(matches!(TransportSpec::thrift_default(8), TransportSpec::Thrift { pool: 8, .. }));
+        assert!(matches!(TransportSpec::http_default(), TransportSpec::Http { .. }));
+        let c = ClientSpec::over(TransportSpec::grpc_default());
+        assert_eq!(c.retries, 0);
+        assert!(c.timeout_ns.is_none());
+    }
+}

@@ -1,0 +1,43 @@
+//! Virtual time: nanoseconds since simulation start.
+
+/// Simulation time in nanoseconds.
+pub type SimTime = u64;
+
+/// Microseconds → [`SimTime`].
+pub const fn us(v: u64) -> SimTime {
+    v * 1_000
+}
+
+/// Milliseconds → [`SimTime`].
+pub const fn ms(v: u64) -> SimTime {
+    v * 1_000_000
+}
+
+/// Seconds → [`SimTime`].
+pub const fn secs(v: u64) -> SimTime {
+    v * 1_000_000_000
+}
+
+/// Formats a time as fractional seconds for reports.
+pub fn fmt_secs(t: SimTime) -> String {
+    format!("{:.3}", t as f64 / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(us(1), 1_000);
+        assert_eq!(ms(1), 1_000_000);
+        assert_eq!(secs(1), 1_000_000_000);
+        assert_eq!(secs(2) + ms(500), 2_500_000_000);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(ms(1500)), "1.500");
+        assert_eq!(fmt_secs(0), "0.000");
+    }
+}

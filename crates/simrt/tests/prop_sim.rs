@@ -1,0 +1,214 @@
+//! Property tests of the simulation runtime: determinism, conservation, and
+//! latency sanity over randomized scenarios.
+
+use blueprint_simrt::time::{ms, secs, us};
+use blueprint_simrt::{
+    BackendRtKind, BackendSpec, ClientSpec, DepBinding, EntrySpec, HostSpec, ProcessSpec,
+    ServiceSpec, Sim, SimConfig, SystemSpec, TransportSpec,
+};
+use blueprint_workflow::{Behavior, KeyExpr};
+use proptest::prelude::*;
+
+/// A randomized 2-tier system: front → back (+ cache + db), with optional
+/// policies.
+#[derive(Debug, Clone)]
+struct Scenario {
+    cores: f64,
+    back_cpu_us: u64,
+    timeout_ms: Option<u64>,
+    retries: u32,
+    thrift_pool: Option<u32>,
+    n_requests: u64,
+    gap_us: u64,
+    seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        1u32..=8,
+        50u64..2_000,
+        prop_oneof![Just(None), (1u64..50).prop_map(Some)],
+        0u32..4,
+        prop_oneof![Just(None), (1u32..8).prop_map(Some)],
+        1u64..150,
+        100u64..5_000,
+        any::<u64>(),
+    )
+        .prop_map(|(cores, back_cpu_us, timeout_ms, retries, thrift_pool, n, gap, seed)| {
+            Scenario {
+                cores: cores as f64,
+                back_cpu_us,
+                timeout_ms,
+                retries,
+                thrift_pool,
+                n_requests: n,
+                gap_us: gap,
+                seed,
+            }
+        })
+}
+
+fn build(s: &Scenario) -> SystemSpec {
+    let mut spec = SystemSpec {
+        name: "prop".into(),
+        hosts: vec![
+            HostSpec { name: "h0".into(), cores: s.cores },
+            HostSpec { name: "h1".into(), cores: s.cores },
+        ],
+        processes: vec![
+            ProcessSpec { name: "p_front".into(), host: 0, gc: None },
+            ProcessSpec { name: "p_back".into(), host: 1, gc: None },
+            ProcessSpec { name: "p_be".into(), host: 1, gc: None },
+        ],
+        ..Default::default()
+    };
+    spec.backends.push(BackendSpec {
+        name: "cache".into(),
+        process: 2,
+        kind: BackendRtKind::Cache {
+            capacity_items: 10_000,
+            op_latency_ns: us(100),
+            cpu_per_op_ns: us(2),
+            cpu_per_item_ns: us(1),
+        },
+    });
+    spec.backends.push(BackendSpec {
+        name: "db".into(),
+        process: 2,
+        kind: BackendRtKind::Store {
+            read_latency_ns: us(500),
+            write_latency_ns: us(800),
+            cpu_per_op_ns: us(5),
+            cpu_per_item_ns: us(1),
+            replicas: 0,
+            replication_lag_ns: (0, 0),
+        },
+    });
+    let mut back = ServiceSpec::new("back", 1);
+    back.methods.insert(
+        "Work".into(),
+        Behavior::build()
+            .compute(s.back_cpu_us * 1_000, 4 << 10)
+            .cache_get_or_fetch(
+                "c",
+                KeyExpr::Entity,
+                Behavior::build()
+                    .db_read("d", KeyExpr::Entity)
+                    .cache_put("c", KeyExpr::Entity)
+                    .done(),
+            )
+            .done(),
+    );
+    back.deps.insert("c".into(), DepBinding::Backend { target: 0, client: ClientSpec::local() });
+    back.deps.insert("d".into(), DepBinding::Backend { target: 1, client: ClientSpec::local() });
+    let transport = match s.thrift_pool {
+        Some(pool) => TransportSpec::thrift_default(pool),
+        None => TransportSpec::grpc_default(),
+    };
+    let client = ClientSpec {
+        transport,
+        timeout_ns: s.timeout_ms.map(ms),
+        retries: s.retries,
+        backoff_ns: ms(1),
+        breaker: None,
+        client_overhead_ns: 0,
+    };
+    let mut front = ServiceSpec::new("front", 0);
+    front
+        .methods
+        .insert("Go".into(), Behavior::build().compute(us(20), 1 << 10).call("b", "Work").done());
+    front.deps.insert("b".into(), DepBinding::Service { target: 0, client });
+    spec.services.push(back);
+    spec.services.push(front);
+    spec.entries.insert("front".into(), EntrySpec { service: 1, client: ClientSpec::local() });
+    spec
+}
+
+fn run(s: &Scenario) -> (Vec<blueprint_simrt::Completion>, blueprint_simrt::metrics::Metrics) {
+    let spec = build(s);
+    let mut sim = Sim::new(&spec, SimConfig { seed: s.seed, ..Default::default() }).unwrap();
+    for i in 0..s.n_requests {
+        sim.submit("front", "Go", i % 64).unwrap();
+        let t = sim.now() + us(s.gap_us);
+        sim.run_until(t);
+    }
+    sim.run_until(sim.now() + secs(120));
+    (sim.drain_completions(), sim.metrics.clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every submitted request completes exactly once (ok or failed), and
+    /// the counters agree with the completion records.
+    #[test]
+    fn conservation(s in scenario()) {
+        let (done, metrics) = run(&s);
+        prop_assert_eq!(done.len() as u64, s.n_requests);
+        let ok = done.iter().filter(|c| c.ok).count() as u64;
+        let err = done.len() as u64 - ok;
+        prop_assert_eq!(metrics.counters.completed_ok, ok);
+        prop_assert_eq!(metrics.counters.completed_err, err);
+        prop_assert_eq!(metrics.counters.submitted, s.n_requests);
+        // Without timeouts there can be no timeout-caused failures.
+        if s.timeout_ms.is_none() {
+            prop_assert_eq!(metrics.counters.timeouts, 0);
+            prop_assert_eq!(ok, s.n_requests);
+        }
+    }
+
+    /// Same scenario, same seed → bit-identical results.
+    #[test]
+    fn determinism(s in scenario()) {
+        let a = run(&s);
+        let b = run(&s);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+    }
+
+    /// Latency lower bound: no successful request can finish faster than the
+    /// back service's CPU time (its minimum service demand).
+    #[test]
+    fn latency_lower_bound(s in scenario()) {
+        let (done, _) = run(&s);
+        for c in done.iter().filter(|c| c.ok) {
+            prop_assert!(
+                c.latency_ns() >= s.back_cpu_us * 1_000,
+                "latency {} < service demand {}",
+                c.latency_ns(),
+                s.back_cpu_us * 1_000
+            );
+        }
+    }
+
+    /// Failed requests with timeouts never take longer than
+    /// attempts × (timeout + backoff) plus scheduling slack.
+    #[test]
+    fn timeout_upper_bound(s in scenario()) {
+        prop_assume!(s.timeout_ms.is_some());
+        let (done, _) = run(&s);
+        let timeout = ms(s.timeout_ms.unwrap());
+        let attempts = (s.retries + 1) as u64;
+        let bound = attempts * (timeout + ms(1)) + ms(5);
+        for c in done.iter().filter(|c| !c.ok && c.failure == Some("timeout")) {
+            prop_assert!(
+                c.latency_ns() <= bound,
+                "failed request took {} > bound {}",
+                c.latency_ns(),
+                bound
+            );
+        }
+    }
+
+    /// Cache stats are consistent: gets = hits + misses, and misses trigger
+    /// exactly that many db reads.
+    #[test]
+    fn cache_db_consistency(s in scenario()) {
+        let (_, metrics) = run(&s);
+        if let Some(cache) = metrics.backend("cache") {
+            prop_assert_eq!(cache.reads, cache.hits + cache.misses);
+            let db_reads = metrics.backend("db").map(|d| d.reads).unwrap_or(0);
+            prop_assert_eq!(db_reads, cache.misses);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! In-memory trace collector: the simulated tracing backend
+//! (Zipkin/Jaeger/X-Trace server) that Blueprint's tracer modifiers report to.
+
+use std::collections::BTreeMap;
+
+use crate::span::{Span, SpanId, Trace, TraceId};
+
+/// Collects spans as they begin/end and assembles finished traces.
+///
+/// The collector is single-threaded (the simulation is deterministic and
+/// single-threaded); concurrency-safety is provided by the simulation engine
+/// owning the collector.
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    /// Open traces being assembled.
+    open: BTreeMap<TraceId, Trace>,
+    /// Outstanding span counts per open trace.
+    outstanding: BTreeMap<TraceId, usize>,
+    /// Completed traces, in completion order.
+    finished: Vec<Trace>,
+    next_span: BTreeMap<TraceId, u32>,
+    /// Total spans recorded (monotonic; used for overhead accounting).
+    pub spans_recorded: u64,
+}
+
+impl TraceCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a span; returns its id for later [`TraceCollector::end_span`].
+    pub fn start_span(
+        &mut self,
+        trace: TraceId,
+        parent: Option<SpanId>,
+        service: &str,
+        operation: &str,
+        now_ns: u64,
+    ) -> SpanId {
+        let next = self.next_span.entry(trace).or_insert(0);
+        let id = SpanId(*next);
+        *next += 1;
+        let t = self.open.entry(trace).or_insert_with(|| Trace { id: trace, spans: Vec::new() });
+        t.spans.push(Span {
+            id,
+            parent,
+            service: service.to_string(),
+            operation: operation.to_string(),
+            start_ns: now_ns,
+            end_ns: now_ns,
+            error: false,
+        });
+        *self.outstanding.entry(trace).or_insert(0) += 1;
+        self.spans_recorded += 1;
+        id
+    }
+
+    /// Ends a span. When the last outstanding span of a trace ends, the trace
+    /// moves to the finished list.
+    pub fn end_span(&mut self, trace: TraceId, span: SpanId, now_ns: u64, error: bool) {
+        let mut done = false;
+        if let Some(t) = self.open.get_mut(&trace) {
+            if let Some(s) = t.spans.iter_mut().find(|s| s.id == span) {
+                s.end_ns = now_ns;
+                s.error = error;
+            }
+            if let Some(n) = self.outstanding.get_mut(&trace) {
+                *n = n.saturating_sub(1);
+                done = *n == 0;
+            }
+        }
+        if done {
+            if let Some(t) = self.open.remove(&trace) {
+                self.finished.push(t);
+            }
+            self.outstanding.remove(&trace);
+            self.next_span.remove(&trace);
+        }
+    }
+
+    /// Finished traces collected so far.
+    pub fn finished(&self) -> &[Trace] {
+        &self.finished
+    }
+
+    /// Drains and returns the finished traces.
+    pub fn drain_finished(&mut self) -> Vec<Trace> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Number of traces still being assembled.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_nested_trace() {
+        let mut c = TraceCollector::new();
+        let tid = TraceId(42);
+        let root = c.start_span(tid, None, "frontend", "Handle", 0);
+        let child = c.start_span(tid, Some(root), "user", "Login", 10);
+        c.end_span(tid, child, 20, false);
+        assert_eq!(c.finished().len(), 0, "root still open");
+        assert_eq!(c.open_count(), 1);
+        c.end_span(tid, root, 30, false);
+        assert_eq!(c.finished().len(), 1);
+        assert_eq!(c.open_count(), 0);
+        let t = &c.finished()[0];
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.root().unwrap().operation, "Handle");
+        assert_eq!(t.children(root)[0].service, "user");
+        assert_eq!(t.latency_ns(), 30);
+        assert_eq!(c.spans_recorded, 2);
+    }
+
+    #[test]
+    fn interleaved_traces_do_not_mix() {
+        let mut c = TraceCollector::new();
+        let a = TraceId(1);
+        let b = TraceId(2);
+        let ra = c.start_span(a, None, "s", "A", 0);
+        let rb = c.start_span(b, None, "s", "B", 0);
+        c.end_span(b, rb, 5, true);
+        c.end_span(a, ra, 9, false);
+        let finished = c.drain_finished();
+        assert_eq!(finished.len(), 2);
+        assert_eq!(finished[0].id, b);
+        assert!(finished[0].has_error());
+        assert!(!finished[1].has_error());
+        assert!(c.finished().is_empty());
+    }
+
+    #[test]
+    fn span_ids_are_per_trace() {
+        let mut c = TraceCollector::new();
+        let s1 = c.start_span(TraceId(1), None, "x", "m", 0);
+        let s2 = c.start_span(TraceId(2), None, "x", "m", 0);
+        assert_eq!(s1, SpanId(0));
+        assert_eq!(s2, SpanId(0));
+    }
+
+    #[test]
+    fn ending_unknown_span_is_ignored() {
+        let mut c = TraceCollector::new();
+        c.end_span(TraceId(9), SpanId(3), 10, false);
+        assert!(c.finished().is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! Distributed trace model and the Sifter trace sampler.
+//!
+//! Blueprint's tracing scaffolding (Zipkin/Jaeger/X-Trace plugins) emits spans
+//! into a collector; the Sifter case study (paper §6.3, Fig. 9) consumes those
+//! traces with a loss-weighted sampler. Both the span model and the sampler
+//! are implemented here from scratch:
+//!
+//! * [`span`] — spans, traces, tree reconstruction, structural signatures;
+//! * [`collector`] — an in-memory trace collector (the simulated
+//!   Zipkin/Jaeger/X-Trace server);
+//! * [`sifter`] — the Sifter algorithm: traces are encoded as token
+//!   sequences, a low-dimensional embedding model is trained online
+//!   (CBOW-style with negative sampling), and each trace's sampling
+//!   probability is proportional to its model loss relative to recent
+//!   traces — so structurally anomalous traces spike in probability.
+
+pub mod collector;
+pub mod sifter;
+pub mod span;
+
+pub use collector::TraceCollector;
+pub use sifter::{Sifter, SifterConfig};
+pub use span::{Span, SpanId, Trace, TraceId};

@@ -1,0 +1,337 @@
+//! Sifter: biased trace sampling without feature engineering
+//! (Las-Casas et al., SoCC 2019; reproduced for paper §6.3 / Fig. 9).
+//!
+//! Sifter maintains a low-dimensional model of the common-case trace
+//! structure and samples each incoming trace with probability proportional to
+//! the model's *loss* on that trace: traces the model predicts well (common
+//! structures) get low probability, anomalous traces spike.
+//!
+//! The model is CBOW-style: each structural token (span enter/exit labels,
+//! see [`crate::span::Trace::token_stream`]) has an input embedding and an
+//! output vector; for every sliding window the model predicts the middle
+//! token from the averaged context embeddings, trained online by SGD with
+//! negative sampling. Per-trace loss is the mean window loss; the sampling
+//! probability normalizes that loss against the most recent `window` traces.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Sifter hyperparameters.
+#[derive(Debug, Clone)]
+pub struct SifterConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Sliding n-gram window size (must be odd, middle token predicted).
+    pub ngram: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Negative samples per window.
+    pub negatives: usize,
+    /// Number of recent traces the probability is normalized against.
+    pub window: usize,
+    /// Expected number of sampled traces per `window` recent traces
+    /// (the sampling budget).
+    pub budget: f64,
+    /// RNG seed (determinism).
+    pub seed: u64,
+}
+
+impl Default for SifterConfig {
+    fn default() -> Self {
+        SifterConfig {
+            dim: 8,
+            ngram: 3,
+            learning_rate: 0.025,
+            negatives: 4,
+            window: 100,
+            budget: 5.0,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Per-trace sampling decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleDecision {
+    /// The model loss on this trace.
+    pub loss: f64,
+    /// The computed sampling probability, in `[0, 1]`.
+    pub probability: f64,
+    /// Whether the trace was sampled.
+    pub sampled: bool,
+}
+
+/// The Sifter sampler.
+#[derive(Debug)]
+pub struct Sifter {
+    cfg: SifterConfig,
+    vocab: HashMap<String, usize>,
+    emb: Vec<Vec<f32>>,
+    out: Vec<Vec<f32>>,
+    recent_losses: VecDeque<f64>,
+    rng: SmallRng,
+    seen: u64,
+}
+
+impl Sifter {
+    /// Creates a sampler with the given configuration.
+    pub fn new(cfg: SifterConfig) -> Self {
+        assert!(cfg.ngram >= 3 && cfg.ngram % 2 == 1, "ngram must be odd and >= 3");
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        Sifter {
+            cfg,
+            vocab: HashMap::new(),
+            emb: Vec::new(),
+            out: Vec::new(),
+            recent_losses: VecDeque::new(),
+            rng,
+            seen: 0,
+        }
+    }
+
+    /// Creates a sampler with default configuration.
+    pub fn with_seed(seed: u64) -> Self {
+        Sifter::new(SifterConfig { seed, ..SifterConfig::default() })
+    }
+
+    fn token_id(&mut self, tok: &str) -> usize {
+        if let Some(&id) = self.vocab.get(tok) {
+            return id;
+        }
+        let id = self.emb.len();
+        self.vocab.insert(tok.to_string(), id);
+        let dim = self.cfg.dim;
+        // Small deterministic init derived from the RNG.
+        let emb: Vec<f32> = (0..dim).map(|_| (self.rng.gen::<f32>() - 0.5) / dim as f32).collect();
+        let out: Vec<f32> = (0..dim).map(|_| (self.rng.gen::<f32>() - 0.5) / dim as f32).collect();
+        self.emb.push(emb);
+        self.out.push(out);
+        id
+    }
+
+    /// Processes one trace (as a token stream): computes its loss, derives a
+    /// sampling probability, flips a (seeded) coin, and updates the model.
+    pub fn observe(&mut self, tokens: &[String]) -> SampleDecision {
+        self.seen += 1;
+        let ids: Vec<usize> = tokens.iter().map(|t| self.token_id(t)).collect();
+        let loss = self.trace_loss_and_update(&ids);
+
+        // Normalize against recent traces to form a probability.
+        let recent_sum: f64 = self.recent_losses.iter().sum::<f64>() + loss;
+        let n = (self.recent_losses.len() + 1) as f64;
+        let probability = if recent_sum <= 0.0 {
+            (self.cfg.budget / self.cfg.window as f64).min(1.0)
+        } else {
+            // Expected samples over the window ≈ budget: p_i = budget * l_i / Σl.
+            (self.cfg.budget * loss * n / (recent_sum * self.cfg.window as f64)).clamp(0.0, 1.0)
+        };
+        self.recent_losses.push_back(loss);
+        while self.recent_losses.len() > self.cfg.window {
+            self.recent_losses.pop_front();
+        }
+        let sampled = self.rng.gen::<f64>() < probability;
+        SampleDecision { loss, probability, sampled }
+    }
+
+    /// Convenience: observe a [`crate::span::Trace`].
+    pub fn observe_trace(&mut self, trace: &crate::span::Trace) -> SampleDecision {
+        self.observe(&trace.token_stream())
+    }
+
+    /// Number of traces observed.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Vocabulary size (distinct structural tokens).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Computes the loss over all windows and applies one SGD step per window.
+    fn trace_loss_and_update(&mut self, ids: &[usize]) -> f64 {
+        let n = self.cfg.ngram;
+        if ids.len() < n {
+            // Degenerate short trace: give it the neutral loss 0.7 (≈ -ln σ(0)).
+            return 0.6931;
+        }
+        let half = n / 2;
+        let dim = self.cfg.dim;
+        let lr = self.cfg.learning_rate;
+        let mut total = 0.0f64;
+        let mut windows = 0usize;
+        for mid in half..ids.len() - half {
+            let target = ids[mid];
+            // Context = average of surrounding embeddings.
+            let mut ctx = vec![0.0f32; dim];
+            let mut cnt = 0.0f32;
+            for off in 1..=half {
+                for &tok in &[ids[mid - off], ids[mid + off]] {
+                    for d in 0..dim {
+                        ctx[d] += self.emb[tok][d];
+                    }
+                    cnt += 1.0;
+                }
+            }
+            for c in ctx.iter_mut() {
+                *c /= cnt;
+            }
+            // Positive example.
+            let mut window_loss = 0.0f64;
+            let mut ctx_grad = vec![0.0f32; dim];
+            {
+                let score: f32 = dot(&ctx, &self.out[target]);
+                let p = sigmoid(score);
+                window_loss += -(p.max(1e-7) as f64).ln();
+                let g = (p - 1.0) * lr;
+                for d in 0..dim {
+                    ctx_grad[d] += g * self.out[target][d];
+                    self.out[target][d] -= g * ctx[d];
+                }
+            }
+            // Negative samples.
+            for _ in 0..self.cfg.negatives {
+                let neg = self.rng.gen_range(0..self.emb.len());
+                if neg == target {
+                    continue;
+                }
+                let score: f32 = dot(&ctx, &self.out[neg]);
+                let p = sigmoid(score);
+                window_loss += -((1.0 - p).max(1e-7) as f64).ln();
+                let g = p * lr;
+                for d in 0..dim {
+                    ctx_grad[d] += g * self.out[neg][d];
+                    self.out[neg][d] -= g * ctx[d];
+                }
+            }
+            // Propagate to context embeddings.
+            for off in 1..=half {
+                for &tok in &[ids[mid - off], ids[mid + off]] {
+                    for d in 0..dim {
+                        self.emb[tok][d] -= ctx_grad[d] / cnt;
+                    }
+                }
+            }
+            total += window_loss;
+            windows += 1;
+        }
+        total / windows.max(1) as f64
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn common_tokens() -> Vec<String> {
+        ["+f:H", "+u:L", "-u:L", "+p:S", "+d:W", "-d:W", "-p:S", "-f:H"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    fn anomalous_tokens() -> Vec<String> {
+        // Error markers + an extra retry subtree make the structure novel.
+        [
+            "+f:H", "+u:L!", "-u:L", "+u:L!", "-u:L", "+p:S", "+d:W!", "-d:W", "+d:W!", "-d:W",
+            "-p:S", "-f:H",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    #[test]
+    fn loss_decreases_on_repeated_structure() {
+        let mut s = Sifter::with_seed(7);
+        let first = s.observe(&common_tokens()).loss;
+        let mut last = first;
+        for _ in 0..300 {
+            last = s.observe(&common_tokens()).loss;
+        }
+        assert!(last < first * 0.7, "loss should shrink: first={first:.4} last={last:.4}");
+        assert_eq!(s.seen(), 301);
+        assert!(s.vocab_size() >= 4);
+    }
+
+    #[test]
+    fn anomalous_trace_spikes_probability() {
+        let mut s = Sifter::with_seed(11);
+        for _ in 0..400 {
+            s.observe(&common_tokens());
+        }
+        let common = s.observe(&common_tokens());
+        let anomaly = s.observe(&anomalous_tokens());
+        assert!(
+            anomaly.probability > common.probability * 3.0,
+            "anomaly p={:.4} vs common p={:.4}",
+            anomaly.probability,
+            common.probability
+        );
+        assert!(anomaly.loss > common.loss);
+    }
+
+    #[test]
+    fn probabilities_are_valid_and_budgeted() {
+        let mut s = Sifter::with_seed(3);
+        let mut psum = 0.0;
+        let n = 500;
+        for i in 0..n {
+            let d = if i % 50 == 0 {
+                s.observe(&anomalous_tokens())
+            } else {
+                s.observe(&common_tokens())
+            };
+            assert!((0.0..=1.0).contains(&d.probability), "p={}", d.probability);
+            psum += d.probability;
+        }
+        // Expected samples per window ≈ budget → over n traces ≈ budget * n / window.
+        let cfg = SifterConfig::default();
+        let expected = cfg.budget * n as f64 / cfg.window as f64;
+        assert!(
+            psum < expected * 3.0 && psum > expected * 0.2,
+            "sum p = {psum:.2}, expected ≈ {expected:.2}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let run = || {
+            let mut s = Sifter::with_seed(99);
+            let mut decisions = Vec::new();
+            for i in 0..50 {
+                let d = if i % 10 == 3 {
+                    s.observe(&anomalous_tokens())
+                } else {
+                    s.observe(&common_tokens())
+                };
+                decisions.push((d.loss, d.probability, d.sampled));
+            }
+            decisions
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn short_traces_get_neutral_loss() {
+        let mut s = Sifter::with_seed(1);
+        let d = s.observe(&["+a".to_string()]);
+        assert!((d.loss - 0.6931).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ngram must be odd")]
+    fn even_ngram_panics() {
+        let _ = Sifter::new(SifterConfig { ngram: 4, ..SifterConfig::default() });
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests of the trace model and the Sifter sampler.
+
+use blueprint_trace::{Sifter, SifterConfig, Span, SpanId, Trace, TraceCollector, TraceId};
+use proptest::prelude::*;
+
+/// Builds a random span tree with `n` spans (parents precede children).
+fn random_tree(n: usize, seed: u64) -> Trace {
+    let mut spans = Vec::new();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..n {
+        let parent = if i == 0 { None } else { Some(SpanId((next() % i as u64) as u32)) };
+        spans.push(Span {
+            id: SpanId(i as u32),
+            parent,
+            service: format!("s{}", next() % 5),
+            operation: format!("m{}", next() % 3),
+            start_ns: i as u64 * 10,
+            end_ns: i as u64 * 10 + 100,
+            error: next() % 10 == 0,
+        });
+    }
+    Trace { id: TraceId(seed), spans }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Token streams are balanced (every `+label` has a matching `-label`)
+    /// and visit every span exactly once when the tree is connected.
+    #[test]
+    fn token_stream_balanced(n in 1usize..40, seed in any::<u64>()) {
+        let t = random_tree(n, seed);
+        let toks = t.token_stream();
+        prop_assert_eq!(toks.len(), 2 * t.len());
+        let mut depth: i64 = 0;
+        for tok in &toks {
+            if tok.starts_with('+') {
+                depth += 1;
+            } else {
+                depth -= 1;
+            }
+            prop_assert!(depth >= 0);
+        }
+        prop_assert_eq!(depth, 0);
+    }
+
+    /// Signature depth never exceeds the span count, and equal trees have
+    /// equal signatures.
+    #[test]
+    fn signature_is_structural(n in 1usize..40, seed in any::<u64>()) {
+        let a = random_tree(n, seed);
+        let b = random_tree(n, seed);
+        prop_assert_eq!(a.signature(), b.signature());
+        prop_assert!(a.depth() <= n);
+        prop_assert!(a.depth() >= 1);
+    }
+
+    /// The collector reassembles an interleaved batch of traces losslessly.
+    #[test]
+    fn collector_reassembles(sizes in proptest::collection::vec(1usize..8, 1..6)) {
+        let mut c = TraceCollector::new();
+        let mut open: Vec<(TraceId, Vec<SpanId>)> = Vec::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let tid = TraceId(i as u64);
+            let root = c.start_span(tid, None, "root", "op", 0);
+            let mut ids = vec![root];
+            for k in 1..n {
+                let parent = ids[k / 2];
+                ids.push(c.start_span(tid, Some(parent), "svc", "op", k as u64));
+            }
+            open.push((tid, ids));
+        }
+        // Close all spans, children-first, interleaved across traces.
+        let max_len = open.iter().map(|(_, v)| v.len()).max().unwrap();
+        for k in (0..max_len).rev() {
+            for (tid, ids) in &open {
+                if let Some(span) = ids.get(k) {
+                    c.end_span(*tid, *span, 1_000 + k as u64, false);
+                }
+            }
+        }
+        let finished = c.drain_finished();
+        prop_assert_eq!(finished.len(), sizes.len());
+        for t in finished {
+            let expect = sizes[t.id.0 as usize];
+            prop_assert_eq!(t.len(), expect);
+            prop_assert!(t.root().is_some());
+        }
+        prop_assert_eq!(c.open_count(), 0);
+    }
+
+    /// Sifter probabilities are always valid and deterministic in the seed.
+    #[test]
+    fn sifter_probabilities_valid(seeds in proptest::collection::vec(any::<u64>(), 5..30)) {
+        let run = || {
+            let mut s = Sifter::new(SifterConfig { seed: 5, ..Default::default() });
+            let mut ps = Vec::new();
+            for &seed in &seeds {
+                let t = random_tree(1 + (seed % 20) as usize, seed);
+                let d = s.observe_trace(&t);
+                prop_assert!((0.0..=1.0).contains(&d.probability));
+                prop_assert!(d.loss.is_finite() && d.loss >= 0.0);
+                ps.push((d.loss, d.probability, d.sampled));
+            }
+            Ok(ps)
+        };
+        prop_assert_eq!(run()?, run()?);
+    }
+}

@@ -1,0 +1,109 @@
+//! Line diffs between wiring specs.
+//!
+//! The evaluation repeatedly reports "LoC changed in the wiring spec" for a
+//! mutation (e.g. §6.1: enabling Thrift instead of gRPC, §6.2: adding
+//! replication — 4 LoC). This module computes that number mechanically from
+//! two spec values via an LCS diff over rendered lines.
+
+use crate::ast::WiringSpec;
+use crate::render::render;
+
+/// Summary of a line diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffStats {
+    /// Lines only in the new spec.
+    pub added: usize,
+    /// Lines only in the old spec.
+    pub removed: usize,
+    /// Lines common to both.
+    pub unchanged: usize,
+}
+
+impl DiffStats {
+    /// Total changed lines (added + removed); the "LoC change" the paper
+    /// reports for wiring mutations.
+    pub fn changed(&self) -> usize {
+        self.added + self.removed
+    }
+}
+
+/// Diffs two wiring specs, returning line-level change counts.
+pub fn spec_diff(old: &WiringSpec, new: &WiringSpec) -> DiffStats {
+    let a = render(old);
+    let b = render(new);
+    line_diff(&a, &b)
+}
+
+/// LCS-based line diff of two texts.
+pub fn line_diff(old: &str, new: &str) -> DiffStats {
+    let a: Vec<&str> = old.lines().filter(|l| !l.trim().is_empty()).collect();
+    let b: Vec<&str> = new.lines().filter(|l| !l.trim().is_empty()).collect();
+    let lcs = lcs_len(&a, &b);
+    DiffStats { added: b.len() - lcs, removed: a.len() - lcs, unchanged: lcs }
+}
+
+/// Classic O(n·m) LCS length over line slices; wiring specs are tiny.
+fn lcs_len(a: &[&str], b: &[&str]) -> usize {
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            cur[j] = if a[i - 1] == b[j - 1] {
+                prev[j - 1] + 1
+            } else {
+                prev[j].max(cur[j - 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Arg, WiringSpec};
+
+    fn base() -> WiringSpec {
+        let mut w = WiringSpec::new("app");
+        w.define("deployer", "Docker", vec![]).unwrap();
+        w.define("rpc", "GRPCServer", vec![]).unwrap();
+        w.define("db", "MongoDB", vec![]).unwrap();
+        w.service("s", "Impl", &["db"], &["rpc", "deployer"]).unwrap();
+        w
+    }
+
+    #[test]
+    fn identical_specs_have_no_changes() {
+        let d = spec_diff(&base(), &base());
+        assert_eq!(d.changed(), 0);
+        assert_eq!(d.unchanged, 5); // Header + 4 declarations.
+    }
+
+    #[test]
+    fn one_line_mutation_counts_two_changed_lines() {
+        // Swapping the RPC framework = 1 removed + 1 added line.
+        let mut new = base();
+        new.decl_mut("rpc").unwrap().callee = "ThriftServer".into();
+        let d = spec_diff(&base(), &new);
+        assert_eq!(d.added, 1);
+        assert_eq!(d.removed, 1);
+        assert_eq!(d.unchanged, 4);
+    }
+
+    #[test]
+    fn pure_addition() {
+        let mut new = base();
+        new.define_kw("cb", "CircuitBreaker", vec![], vec![("threshold", Arg::Float(0.5))])
+            .unwrap();
+        let d = spec_diff(&base(), &new);
+        assert_eq!(d.added, 1);
+        assert_eq!(d.removed, 0);
+    }
+
+    #[test]
+    fn line_diff_ignores_blank_lines() {
+        let d = line_diff("a\n\nb\n", "a\nb");
+        assert_eq!(d.changed(), 0);
+    }
+}

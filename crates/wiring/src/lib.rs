@@ -1,0 +1,84 @@
+//! Wiring spec DSL (paper §4.1, Fig. 3).
+//!
+//! The *wiring spec* declares the topology of the application, applies
+//! scaffolding, and configures instantiations — without touching workflow
+//! code. A typical wiring spec is tens of lines; variants of an application
+//! differ by as little as one line.
+//!
+//! Two equivalent front-ends are provided:
+//!
+//! * a **programmatic builder** ([`WiringSpec`] methods), used by the ported
+//!   applications and by mutation helpers, and
+//! * a **textual DSL** ([`parse::parse()`](parse::parse)) with C-style macro support
+//!   (`#define`, `#ifdef`/`#else`/`#endif`, `#undef`), mirroring the paper's
+//!   Python-based DSL (Fig. 3). The renderer ([`render::render`]) converts
+//!   specs back to text; parse/render round-trips are tested property-based.
+//!
+//! The wiring spec is *plugin-agnostic*: callee names such as `Memcached` or
+//! `GRPCServer` are plain identifiers here and only resolve to compiler
+//! plugins at compile time. This is what lets new plugins introduce new
+//! keywords without changes to this crate (paper §4.1 "Compiler Plugins").
+
+pub mod ast;
+pub mod diff;
+pub mod mutate;
+pub mod parse;
+pub mod render;
+
+pub use ast::{Arg, InstanceDecl, WiringSpec};
+pub use diff::line_diff;
+pub use parse::parse;
+pub use render::render;
+
+/// Errors raised while building, parsing, or mutating wiring specs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WiringError {
+    /// Two instances share a name.
+    DuplicateName(String),
+    /// A reference was used before (or without) being defined.
+    UndefinedRef {
+        /// The instance whose arguments contain the reference.
+        instance: String,
+        /// The missing name.
+        referenced: String,
+    },
+    /// Parse error with 1-based line number.
+    Parse {
+        /// Line of the error.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Macro-processing error with 1-based line number.
+    Macro {
+        /// Line of the error.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A mutation targeted an unknown instance.
+    UnknownInstance(String),
+}
+
+impl std::fmt::Display for WiringError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WiringError::DuplicateName(n) => write!(f, "duplicate wiring instance `{n}`"),
+            WiringError::UndefinedRef { instance, referenced } => {
+                write!(f, "instance `{instance}` references undefined name `{referenced}`")
+            }
+            WiringError::Parse { line, message } => {
+                write!(f, "wiring parse error (line {line}): {message}")
+            }
+            WiringError::Macro { line, message } => {
+                write!(f, "wiring macro error (line {line}): {message}")
+            }
+            WiringError::UnknownInstance(n) => write!(f, "unknown wiring instance `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for WiringError {}
+
+/// Result alias for wiring operations.
+pub type Result<T> = std::result::Result<T, WiringError>;

@@ -1,0 +1,313 @@
+//! Mutation helpers: the 1-line wiring changes of UC1 (paper §3.1, §6.1).
+//!
+//! Each helper performs one of the survey's common mutations (switch RPC
+//! framework, enable/disable tracing, add replication, monolithify) as an
+//! in-place edit of a [`WiringSpec`], so experiments can measure how few
+//! lines change between variants via [`crate::diff::spec_diff`].
+
+use crate::ast::{Arg, InstanceDecl, WiringSpec};
+use crate::{Result, WiringError};
+
+/// Replaces the callee of an instance (e.g. `GRPCServer` → `ThriftServer`,
+/// `Memcached` → `Redis`). This is the paper's canonical 1-LoC instantiation
+/// swap.
+pub fn swap_callee(spec: &mut WiringSpec, instance: &str, new_callee: &str) -> Result<()> {
+    let d = spec
+        .decl_mut(instance)
+        .ok_or_else(|| WiringError::UnknownInstance(instance.to_string()))?;
+    d.callee = new_callee.to_string();
+    Ok(())
+}
+
+/// Sets (or replaces) a keyword argument on an instance (e.g. the Thrift
+/// `clientpool` size swept in Fig. 5).
+pub fn set_kwarg(spec: &mut WiringSpec, instance: &str, key: &str, value: Arg) -> Result<()> {
+    let d = spec
+        .decl_mut(instance)
+        .ok_or_else(|| WiringError::UnknownInstance(instance.to_string()))?;
+    d.kwargs.insert(key.to_string(), value);
+    Ok(())
+}
+
+/// Removes an instance and scrubs every reference to it (from argument lists
+/// and server-modifier lists). Used to disable scaffolding, e.g. removing the
+/// tracer + tracer modifier (the "disable tracing" mutation, §6.1).
+pub fn remove_instance(spec: &mut WiringSpec, instance: &str) -> Result<()> {
+    if spec.decl(instance).is_none() {
+        return Err(WiringError::UnknownInstance(instance.to_string()));
+    }
+    spec.decls.retain(|d| d.name != instance);
+    for d in &mut spec.decls {
+        d.args.retain(|a| a.as_ref_name() != Some(instance));
+        for a in &mut d.args {
+            scrub_list(a, instance);
+        }
+        d.kwargs.retain(|_, v| v.as_ref_name() != Some(instance));
+        for v in d.kwargs.values_mut() {
+            scrub_list(v, instance);
+        }
+        d.server_modifiers.retain(|m| m != instance);
+    }
+    Ok(())
+}
+
+fn scrub_list(a: &mut Arg, instance: &str) {
+    if let Arg::List(items) = a {
+        items.retain(|i| i.as_ref_name() != Some(instance));
+        for i in items {
+            scrub_list(i, instance);
+        }
+    }
+}
+
+/// Stable topological reorder: moves declarations as little as possible so
+/// every reference is declared before use. Mutation helpers call this after
+/// edits that may have introduced forward references (e.g. attaching a
+/// freshly declared modifier to an earlier service).
+pub fn reorder(spec: &mut WiringSpec) -> Result<()> {
+    let decls = std::mem::take(&mut spec.decls);
+    let mut emitted: Vec<InstanceDecl> = Vec::with_capacity(decls.len());
+    let mut pending: Vec<InstanceDecl> = decls;
+    while !pending.is_empty() {
+        let before = pending.len();
+        let mut i = 0;
+        while i < pending.len() {
+            let ready = pending[i]
+                .referenced()
+                .iter()
+                .all(|r| emitted.iter().any(|d| d.name == *r));
+            if ready {
+                emitted.push(pending.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if pending.len() == before {
+            let cyclic = pending[0].name.clone();
+            spec.decls = emitted;
+            spec.decls.extend(pending);
+            return Err(WiringError::UndefinedRef {
+                instance: cyclic.clone(),
+                referenced: format!("<cyclic or missing dependency of {cyclic}>"),
+            });
+        }
+    }
+    spec.decls = emitted;
+    Ok(())
+}
+
+/// Appends a modifier to the server-modifier chain of `instance`
+/// (e.g. enabling a circuit breaker or X-Trace on one service: 1 LoC to
+/// declare the modifier + this call per service).
+pub fn add_server_modifier(spec: &mut WiringSpec, instance: &str, modifier: &str) -> Result<()> {
+    if spec.decl(modifier).is_none() {
+        return Err(WiringError::UndefinedRef {
+            instance: instance.to_string(),
+            referenced: modifier.to_string(),
+        });
+    }
+    let d = spec
+        .decl_mut(instance)
+        .ok_or_else(|| WiringError::UnknownInstance(instance.to_string()))?;
+    if !d.server_modifiers.iter().any(|m| m == modifier) {
+        d.server_modifiers.push(modifier.to_string());
+    }
+    reorder(spec)
+}
+
+/// Appends a modifier to every declaration that already carries server
+/// modifiers (i.e. every deployed service). This is the "enable tracing for
+/// all services" mutation.
+pub fn add_modifier_to_all_services(spec: &mut WiringSpec, modifier: &str) -> Result<()> {
+    if spec.decl(modifier).is_none() {
+        return Err(WiringError::UnknownInstance(modifier.to_string()));
+    }
+    let targets: Vec<String> = spec
+        .decls
+        .iter()
+        .filter(|d| !d.server_modifiers.is_empty() && d.name != modifier)
+        .map(|d| d.name.clone())
+        .collect();
+    for t in targets {
+        let d = spec.decl_mut(&t).expect("target exists");
+        if !d.server_modifiers.iter().any(|m| m == modifier) {
+            d.server_modifiers.push(modifier.to_string());
+        }
+    }
+    reorder(spec)
+}
+
+/// Removes a modifier from every server-modifier chain (but keeps its
+/// declaration; combine with [`remove_instance`] to fully disable it).
+pub fn remove_modifier_from_all_services(spec: &mut WiringSpec, modifier: &str) {
+    for d in &mut spec.decls {
+        d.server_modifiers.retain(|m| m != modifier);
+    }
+}
+
+/// Adds p-Replication to an instance: declares `"{instance}_replicas" =
+/// Replicate(count=n)` right before the instance and attaches it as a server
+/// modifier. This is the §6.2.2 cross-system-inconsistency mutation.
+pub fn replicate(spec: &mut WiringSpec, instance: &str, count: i64) -> Result<String> {
+    let pos = spec
+        .decls
+        .iter()
+        .position(|d| d.name == instance)
+        .ok_or_else(|| WiringError::UnknownInstance(instance.to_string()))?;
+    let mod_name = format!("{instance}_replicas");
+    if spec.decl(&mod_name).is_some() {
+        return Err(WiringError::DuplicateName(mod_name));
+    }
+    let decl = InstanceDecl {
+        name: mod_name.clone(),
+        callee: "Replicate".into(),
+        args: vec![],
+        kwargs: [("count".to_string(), Arg::Int(count))].into_iter().collect(),
+        server_modifiers: vec![],
+    };
+    spec.decls.insert(pos, decl);
+    spec.decl_mut(instance)
+        .expect("instance present")
+        .server_modifiers
+        .push(mod_name.clone());
+    Ok(mod_name)
+}
+
+/// The service-instance names of a spec, by the repo-wide convention that
+/// workflow service callees end in `Impl` (as in the paper's Fig. 3).
+pub fn service_names(spec: &WiringSpec) -> Vec<String> {
+    spec.decls
+        .iter()
+        .filter(|d| d.callee.ends_with("Impl"))
+        .map(|d| d.name.clone())
+        .collect()
+}
+
+/// Converts the spec to a monolith variant (paper §6.1 "monolithic
+/// versions"): strips RPC server and deployer modifiers from all services and
+/// groups every service instance into a single `Process`, so calls compile to
+/// plain function calls.
+///
+/// `infra_callees` lists modifier callees to strip (RPC servers, deployers).
+pub fn monolithify(spec: &mut WiringSpec, infra_callees: &[&str]) -> Result<()> {
+    let infra: Vec<String> = spec
+        .decls
+        .iter()
+        .filter(|d| infra_callees.contains(&d.callee.as_str()))
+        .map(|d| d.name.clone())
+        .collect();
+    for m in &infra {
+        remove_modifier_from_all_services(spec, m);
+        remove_instance(spec, m)?;
+    }
+    let services = service_names(spec);
+    let refs: Vec<&str> = services.iter().map(String::as_str).collect();
+    spec.process("monolith", &refs)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::spec_diff;
+
+    fn base() -> WiringSpec {
+        let mut w = WiringSpec::new("app");
+        w.define("deployer", "Docker", vec![]).unwrap();
+        w.define("rpc", "GRPCServer", vec![]).unwrap();
+        w.define("tracer", "ZipkinTracer", vec![]).unwrap();
+        w.define_kw("tracer_mod", "TracerModifier", vec![], vec![("tracer", Arg::r("tracer"))])
+            .unwrap();
+        w.define("db", "MongoDB", vec![]).unwrap();
+        w.service("a", "AServiceImpl", &["db"], &["rpc", "deployer", "tracer_mod"]).unwrap();
+        w.service("b", "BServiceImpl", &["a"], &["rpc", "deployer", "tracer_mod"]).unwrap();
+        w
+    }
+
+    #[test]
+    fn rpc_swap_is_one_line() {
+        let old = base();
+        let mut new = base();
+        swap_callee(&mut new, "rpc", "ThriftServer").unwrap();
+        set_kwarg(&mut new, "rpc", "clientpool", Arg::Int(4)).unwrap();
+        new.validate().unwrap();
+        let d = spec_diff(&old, &new);
+        assert_eq!(d.removed, 1);
+        assert_eq!(d.added, 1);
+    }
+
+    #[test]
+    fn disable_tracing_scrubs_references() {
+        let mut w = base();
+        remove_modifier_from_all_services(&mut w, "tracer_mod");
+        remove_instance(&mut w, "tracer_mod").unwrap();
+        remove_instance(&mut w, "tracer").unwrap();
+        w.validate().unwrap();
+        assert!(w.decl("tracer").is_none());
+        assert!(w.decl("a").unwrap().server_modifiers.iter().all(|m| m != "tracer_mod"));
+        let d = spec_diff(&base(), &w);
+        // 2 removed declarations + 2 rewritten service lines.
+        assert_eq!(d.removed, 4);
+        assert_eq!(d.added, 2);
+    }
+
+    #[test]
+    fn replicate_inserts_before_instance() {
+        let mut w = base();
+        let m = replicate(&mut w, "a", 3).unwrap();
+        assert_eq!(m, "a_replicas");
+        w.validate().unwrap();
+        let a = w.decl("a").unwrap();
+        assert!(a.server_modifiers.contains(&"a_replicas".to_string()));
+        assert_eq!(w.decl("a_replicas").unwrap().kwarg("count").unwrap().as_int(), Some(3));
+        // Only 1 added declaration + 1 rewritten service line.
+        let d = spec_diff(&base(), &w);
+        assert_eq!(d.added, 2);
+        assert_eq!(d.removed, 1);
+    }
+
+    #[test]
+    fn monolithify_groups_services() {
+        let mut w = base();
+        monolithify(&mut w, &["GRPCServer", "Docker"]).unwrap();
+        w.validate().unwrap();
+        assert!(w.decl("rpc").is_none());
+        assert!(w.decl("deployer").is_none());
+        let mono = w.decl("monolith").unwrap();
+        assert_eq!(mono.callee, "Process");
+        assert_eq!(mono.args.len(), 2);
+        // Tracer remains — monolith keeps tracing.
+        assert!(w.decl("tracer_mod").is_some());
+    }
+
+    #[test]
+    fn add_modifier_to_all_services_is_idempotent() {
+        let mut w = base();
+        w.define("cb", "CircuitBreaker", vec![]).unwrap();
+        add_modifier_to_all_services(&mut w, "cb").unwrap();
+        add_modifier_to_all_services(&mut w, "cb").unwrap();
+        assert_eq!(w.decl("a").unwrap().server_modifiers.iter().filter(|m| *m == "cb").count(), 1);
+        assert_eq!(w.decl("b").unwrap().server_modifiers.last().unwrap(), "cb");
+    }
+
+    #[test]
+    fn unknown_targets_error() {
+        let mut w = base();
+        assert!(matches!(
+            swap_callee(&mut w, "zzz", "X").unwrap_err(),
+            WiringError::UnknownInstance(_)
+        ));
+        assert!(matches!(
+            add_server_modifier(&mut w, "a", "zzz").unwrap_err(),
+            WiringError::UndefinedRef { .. }
+        ));
+        assert!(remove_instance(&mut w, "zzz").is_err());
+        assert!(replicate(&mut w, "zzz", 2).is_err());
+    }
+
+    #[test]
+    fn service_names_by_convention() {
+        let w = base();
+        assert_eq!(service_names(&w), vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,585 @@
+//! Textual wiring DSL: preprocessor (C-style macros) + lexer + parser.
+//!
+//! Grammar (one declaration per line):
+//!
+//! ```text
+//! spec        := [ "app" IDENT ] decl*
+//! decl        := IDENT "=" IDENT "(" args? ")" chain*
+//! chain       := "." ("with_server" | "WithServer") "(" args? ")"
+//! args        := arg ("," arg)*
+//! arg         := IDENT | STRING | NUMBER | "true" | "false"
+//!              | "[" args? "]" | IDENT "=" arg
+//! ```
+//!
+//! Preprocessor directives: `#define NAME <tokens>`, `#undef NAME`,
+//! `#ifdef NAME`, `#ifndef NAME`, `#else`, `#endif`. `//` and `#`-prefixed
+//! lines (that are not directives) are comments.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Arg, InstanceDecl, WiringSpec};
+use crate::{Result, WiringError};
+
+/// Parses a wiring spec from DSL text.
+pub fn parse(src: &str) -> Result<WiringSpec> {
+    parse_with_defines(src, &[])
+}
+
+/// Parses with externally supplied macro definitions (the CLI-flag analog of
+/// `-DNAME` used to toggle variant sections).
+pub fn parse_with_defines(src: &str, defines: &[&str]) -> Result<WiringSpec> {
+    let lines = preprocess(src, defines)?;
+    let mut spec = WiringSpec::new("app");
+    let mut saw_header = false;
+    for (lineno, line) in lines {
+        let toks = lex(&line, lineno)?;
+        if toks.is_empty() {
+            continue;
+        }
+        if !saw_header {
+            if let [Tok::Ident(kw), Tok::Ident(name)] = toks.as_slice() {
+                if kw == "app" {
+                    spec.app_name = name.clone();
+                    saw_header = true;
+                    continue;
+                }
+            }
+        }
+        let decl = parse_decl(&toks, lineno)?;
+        spec.add(decl).map_err(|e| match e {
+            WiringError::DuplicateName(n) => WiringError::Parse {
+                line: lineno,
+                message: format!("duplicate instance `{n}`"),
+            },
+            WiringError::UndefinedRef { instance, referenced } => WiringError::Parse {
+                line: lineno,
+                message: format!("`{instance}` references undefined `{referenced}`"),
+            },
+            other => other,
+        })?;
+    }
+    Ok(spec)
+}
+
+// ---------------------------------------------------------------------------
+// Preprocessor.
+// ---------------------------------------------------------------------------
+
+/// Expands macros and conditional sections; returns `(line-number, text)`
+/// pairs for the surviving non-comment lines.
+fn preprocess(src: &str, defines: &[&str]) -> Result<Vec<(usize, String)>> {
+    let mut macros: BTreeMap<String, String> = defines
+        .iter()
+        .map(|d| match d.split_once('=') {
+            Some((k, v)) => (k.trim().to_string(), v.trim().to_string()),
+            None => (d.trim().to_string(), String::new()),
+        })
+        .collect();
+    // Stack of (taken?, seen_else?, line) for nested #ifdef.
+    let mut cond: Vec<(bool, bool, usize)> = Vec::new();
+    let mut out = Vec::new();
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let active = cond.iter().all(|(t, _, _)| *t);
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut parts = rest.splitn(2, char::is_whitespace);
+            let directive = parts.next().unwrap_or("");
+            let body = parts.next().unwrap_or("").trim();
+            match directive {
+                "define" => {
+                    if active {
+                        let mut dp = body.splitn(2, char::is_whitespace);
+                        let name = dp.next().unwrap_or("").trim();
+                        if name.is_empty() || !is_ident(name) {
+                            return Err(WiringError::Macro {
+                                line: lineno,
+                                message: "#define needs an identifier".into(),
+                            });
+                        }
+                        macros.insert(name.to_string(), dp.next().unwrap_or("").trim().to_string());
+                    }
+                }
+                "undef" => {
+                    if active {
+                        macros.remove(body);
+                    }
+                }
+                "ifdef" | "ifndef" => {
+                    let defined = macros.contains_key(body);
+                    let taken = if directive == "ifdef" { defined } else { !defined };
+                    cond.push((taken, false, lineno));
+                }
+                "else" => match cond.last_mut() {
+                    Some((taken, seen_else, _)) if !*seen_else => {
+                        *taken = !*taken;
+                        *seen_else = true;
+                    }
+                    _ => {
+                        return Err(WiringError::Macro {
+                            line: lineno,
+                            message: "#else without matching #ifdef".into(),
+                        });
+                    }
+                },
+                "endif" => {
+                    if cond.pop().is_none() {
+                        return Err(WiringError::Macro {
+                            line: lineno,
+                            message: "#endif without matching #ifdef".into(),
+                        });
+                    }
+                }
+                _ => {
+                    // Unknown `#...` line: treated as a comment for
+                    // compatibility with `# comment` style.
+                }
+            }
+            continue;
+        }
+        if active {
+            out.push((lineno, substitute(&line, &macros)));
+        }
+    }
+    if let Some((_, _, line)) = cond.last() {
+        return Err(WiringError::Macro { line: *line, message: "unterminated #ifdef".into() });
+    }
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `//` starts a comment outside string literals.
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Whole-identifier macro substitution, applied iteratively (macros may
+/// reference other macros; expansion depth is bounded to catch cycles).
+fn substitute(line: &str, macros: &BTreeMap<String, String>) -> String {
+    let mut cur = line.to_string();
+    for _ in 0..8 {
+        let next = substitute_once(&cur, macros);
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+fn substitute_once(line: &str, macros: &BTreeMap<String, String>) -> String {
+    let mut out = String::with_capacity(line.len());
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    let mut in_str = false;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '"' {
+            in_str = !in_str;
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        if !in_str && (c.is_ascii_alphabetic() || c == '_') {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            match macros.get(&word) {
+                Some(replacement) if !replacement.is_empty() => out.push_str(replacement),
+                _ => out.push_str(&word),
+            }
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lexer.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Sym(char),
+}
+
+fn lex(line: &str, lineno: usize) -> Result<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok::Ident(chars[start..i].iter().collect()));
+        } else if c.is_ascii_digit() || (c == '-' && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())) {
+            let start = i;
+            i += 1;
+            let mut is_float = false;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == '_') {
+                if chars[i] == '.' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().filter(|c| **c != '_').collect();
+            if is_float {
+                let v = text.parse::<f64>().map_err(|_| WiringError::Parse {
+                    line: lineno,
+                    message: format!("bad float literal `{text}`"),
+                })?;
+                toks.push(Tok::Float(v));
+            } else {
+                let v = text.parse::<i64>().map_err(|_| WiringError::Parse {
+                    line: lineno,
+                    message: format!("bad int literal `{text}`"),
+                })?;
+                toks.push(Tok::Int(v));
+            }
+        } else if c == '"' {
+            let start = i + 1;
+            i += 1;
+            while i < chars.len() && chars[i] != '"' {
+                i += 1;
+            }
+            if i >= chars.len() {
+                return Err(WiringError::Parse {
+                    line: lineno,
+                    message: "unterminated string literal".into(),
+                });
+            }
+            toks.push(Tok::Str(chars[start..i].iter().collect()));
+            i += 1;
+        } else if "=()[],.".contains(c) {
+            toks.push(Tok::Sym(c));
+            i += 1;
+        } else {
+            return Err(WiringError::Parse {
+                line: lineno,
+                message: format!("unexpected character `{c}`"),
+            });
+        }
+    }
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+struct P<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> P<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<()> {
+        match self.next().cloned() {
+            Some(Tok::Sym(s)) if s == c => Ok(()),
+            other => Err(self.err(format!("expected `{c}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next().cloned() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn err(&self, message: String) -> WiringError {
+        WiringError::Parse { line: self.line, message }
+    }
+}
+
+fn parse_decl(toks: &[Tok], line: usize) -> Result<InstanceDecl> {
+    let mut p = P { toks, pos: 0, line };
+    let name = p.expect_ident()?;
+    p.expect_sym('=')?;
+    let callee = p.expect_ident()?;
+    p.expect_sym('(')?;
+    let (args, kwargs) = parse_args(&mut p, ')')?;
+    let mut server_modifiers = Vec::new();
+    while let Some(Tok::Sym('.')) = p.peek() {
+        p.next();
+        let method = p.expect_ident()?;
+        p.expect_sym('(')?;
+        let (margs, mkwargs) = parse_args(&mut p, ')')?;
+        if !mkwargs.is_empty() {
+            return Err(p.err(format!("`{method}` takes no keyword arguments")));
+        }
+        match method.as_str() {
+            "with_server" | "WithServer" => {
+                for a in flatten_list(margs) {
+                    match a {
+                        Arg::Ref(r) => server_modifiers.push(r),
+                        other => {
+                            return Err(p.err(format!(
+                                "with_server expects modifier references, found {other:?}"
+                            )));
+                        }
+                    }
+                }
+            }
+            other => return Err(p.err(format!("unknown chained method `{other}`"))),
+        }
+    }
+    if p.peek().is_some() {
+        return Err(p.err("trailing tokens after declaration".into()));
+    }
+    Ok(InstanceDecl {
+        name,
+        callee,
+        args,
+        kwargs: kwargs.into_iter().collect(),
+        server_modifiers,
+    })
+}
+
+/// `with_server([a, b])` and `with_server(a, b)` are both accepted.
+fn flatten_list(args: Vec<Arg>) -> Vec<Arg> {
+    if args.len() == 1 {
+        if let Arg::List(items) = &args[0] {
+            return items.clone();
+        }
+    }
+    args
+}
+
+fn parse_args(p: &mut P<'_>, close: char) -> Result<(Vec<Arg>, Vec<(String, Arg)>)> {
+    let mut args = Vec::new();
+    let mut kwargs = Vec::new();
+    loop {
+        match p.peek() {
+            Some(Tok::Sym(c)) if *c == close => {
+                p.next();
+                break;
+            }
+            None => return Err(p.err(format!("expected `{close}`"))),
+            _ => {}
+        }
+        // Keyword argument: IDENT '=' arg.
+        if let (Some(Tok::Ident(k)), Some(Tok::Sym('='))) = (p.toks.get(p.pos), p.toks.get(p.pos + 1))
+        {
+            let key = k.clone();
+            p.pos += 2;
+            let v = parse_arg(p)?;
+            kwargs.push((key, v));
+        } else {
+            if !kwargs.is_empty() {
+                return Err(p.err("positional argument after keyword argument".into()));
+            }
+            args.push(parse_arg(p)?);
+        }
+        match p.peek() {
+            Some(Tok::Sym(',')) => {
+                p.next();
+            }
+            Some(Tok::Sym(c)) if *c == close => {}
+            other => return Err(p.err(format!("expected `,` or `{close}`, found {other:?}"))),
+        }
+    }
+    Ok((args, kwargs))
+}
+
+fn parse_arg(p: &mut P<'_>) -> Result<Arg> {
+    match p.next().cloned() {
+        Some(Tok::Ident(s)) if s == "true" => Ok(Arg::Bool(true)),
+        Some(Tok::Ident(s)) if s == "false" => Ok(Arg::Bool(false)),
+        Some(Tok::Ident(s)) => Ok(Arg::Ref(s)),
+        Some(Tok::Str(s)) => Ok(Arg::Str(s)),
+        Some(Tok::Int(v)) => Ok(Arg::Int(v)),
+        Some(Tok::Float(v)) => Ok(Arg::Float(v)),
+        Some(Tok::Sym('[')) => {
+            let (items, kw) = parse_args(p, ']')?;
+            if !kw.is_empty() {
+                return Err(p.err("keyword arguments not allowed inside lists".into()));
+            }
+            Ok(Arg::List(items))
+        }
+        other => Err(p.err(format!("expected argument, found {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG3: &str = r#"
+app dsb_sn_excerpt
+
+// Scaffolding and instantiation choices.
+#define SERVER_MODS [rpc_server, normal_deployer, tracer_mod]
+
+normal_deployer = Docker()
+rpc_server = GRPCServer()
+tracer = ZipkinTracer()
+tracer_mod = TracerModifier(tracer=tracer)
+
+post_cache = Memcached()
+post_db = MongoDB()
+user_db = MongoDB()
+us = UserServiceImpl(user_db).with_server(SERVER_MODS)
+ps = PostStorageServiceImpl(post_cache, post_db).with_server(SERVER_MODS)
+c1 = Container(ps, post_cache)
+cs = ComposePostServiceImpl(ps, us).with_server(SERVER_MODS)
+"#;
+
+    #[test]
+    fn parses_fig3() {
+        let spec = parse(FIG3).unwrap();
+        assert_eq!(spec.app_name, "dsb_sn_excerpt");
+        assert_eq!(spec.loc(), 11);
+        let cs = spec.decl("cs").unwrap();
+        assert_eq!(cs.callee, "ComposePostServiceImpl");
+        assert_eq!(cs.args, vec![Arg::r("ps"), Arg::r("us")]);
+        assert_eq!(cs.server_modifiers, vec!["rpc_server", "normal_deployer", "tracer_mod"]);
+        let tm = spec.decl("tracer_mod").unwrap();
+        assert_eq!(tm.kwarg("tracer").unwrap(), &Arg::r("tracer"));
+    }
+
+    #[test]
+    fn ifdef_sections_toggle_with_external_defines() {
+        let src = r#"
+#ifdef USE_THRIFT
+rpc = ThriftServer(clientpool=4)
+#else
+rpc = GRPCServer()
+#endif
+"#;
+        let grpc = parse(src).unwrap();
+        assert_eq!(grpc.decl("rpc").unwrap().callee, "GRPCServer");
+        let thrift = parse_with_defines(src, &["USE_THRIFT"]).unwrap();
+        assert_eq!(thrift.decl("rpc").unwrap().callee, "ThriftServer");
+        assert_eq!(thrift.decl("rpc").unwrap().kwarg("clientpool").unwrap().as_int(), Some(4));
+    }
+
+    #[test]
+    fn ifndef_and_undef() {
+        let src = r#"
+#define FOO bar_impl
+#undef FOO
+#ifndef FOO
+x = Docker()
+#endif
+"#;
+        let spec = parse(src).unwrap();
+        assert!(spec.decl("x").is_some());
+    }
+
+    #[test]
+    fn macro_substitutes_whole_tokens_only() {
+        let src = r#"
+#define N 3
+cacheN = Memcached(shards=N)
+"#;
+        let spec = parse(src).unwrap();
+        // `cacheN` must not be rewritten, only the standalone `N`.
+        let d = spec.decl("cacheN").unwrap();
+        assert_eq!(d.kwarg("shards").unwrap().as_int(), Some(3));
+    }
+
+    #[test]
+    fn macros_do_not_rewrite_strings() {
+        let src = r#"
+#define IMG nope
+x = Docker(image="IMG latest")
+"#;
+        let spec = parse(src).unwrap();
+        assert_eq!(spec.decl("x").unwrap().kwarg("image").unwrap().as_str(), Some("IMG latest"));
+    }
+
+    #[test]
+    fn literals_parse() {
+        let spec = parse(
+            "x = Thing(1, -2, 0.5, \"s\", true, false, [1, 2], nested=[a_ref])\na_ref = Docker()",
+        );
+        // `a_ref` referenced before definition → parse error.
+        assert!(spec.is_err());
+        let spec = parse(
+            "a_ref = Docker()\nx = Thing(1, -2, 0.5, \"s\", true, false, [1, 2], nested=[a_ref])",
+        )
+        .unwrap();
+        let x = spec.decl("x").unwrap();
+        assert_eq!(x.args[0], Arg::Int(1));
+        assert_eq!(x.args[1], Arg::Int(-2));
+        assert_eq!(x.args[2], Arg::Float(0.5));
+        assert_eq!(x.args[3], Arg::Str("s".into()));
+        assert_eq!(x.args[4], Arg::Bool(true));
+        assert_eq!(x.args[5], Arg::Bool(false));
+        assert_eq!(x.args[6], Arg::List(vec![Arg::Int(1), Arg::Int(2)]));
+        assert_eq!(x.kwarg("nested").unwrap(), &Arg::List(vec![Arg::r("a_ref")]));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("x = Docker()\ny = ???").unwrap_err();
+        match err {
+            WiringError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = parse("#ifdef X\nx = Docker()").unwrap_err();
+        assert!(matches!(err, WiringError::Macro { line: 1, .. }), "{err:?}");
+        let err = parse("#endif").unwrap_err();
+        assert!(matches!(err, WiringError::Macro { line: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_chain_rejected() {
+        let err = parse("x = Docker()\ny = Svc().with_magic(x)").unwrap_err();
+        assert!(err.to_string().contains("with_magic"), "{err}");
+    }
+
+    #[test]
+    fn with_server_variadic_equals_list() {
+        let a = parse("m = Docker()\ns = Impl().with_server([m])").unwrap();
+        let b = parse("m = Docker()\ns = Impl().with_server(m)").unwrap();
+        assert_eq!(a.decl("s").unwrap().server_modifiers, b.decl("s").unwrap().server_modifiers);
+    }
+}

@@ -1,0 +1,102 @@
+//! Workflow spec model (paper §4.1).
+//!
+//! The *workflow spec* is the application-level half of a Blueprint
+//! application: service interfaces with typed methods, implementations of
+//! those methods, and declared dependencies on other services and backends.
+//! Blueprint imposes a **dependency injection** pattern: a service may invoke
+//! its dependencies but may not instantiate them — dependencies arrive as
+//! constructor parameters and are bound by the compiler at build time.
+//!
+//! ## Substitution note (see `DESIGN.md` §4)
+//!
+//! In the paper, method implementations are arbitrary Go code, opaque to the
+//! compiler. Here method bodies are **behavior programs** ([`behavior`]):
+//! small step programs (`compute`, `call`, cache/db/queue operations,
+//! parallel blocks, probabilistic branches) that keep exactly the information
+//! the toolchain and the evaluation exercise — call structure, backend access
+//! patterns, CPU and allocation cost — while remaining executable on the
+//! simulation substrate. The compiler treats them as opaque except for
+//! dependency extraction, mirroring the paper's contract.
+
+pub mod backend;
+pub mod behavior;
+pub mod interface;
+pub mod service;
+pub mod spec;
+
+pub use backend::BackendKind;
+pub use behavior::{Behavior, CacheOp, DbOp, KeyExpr, Step};
+pub use interface::ServiceInterface;
+pub use service::{DepDecl, DepKind, ServiceBuilder, ServiceImpl};
+pub use spec::WorkflowSpec;
+
+/// Errors raised while building or validating a workflow spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowError {
+    /// A behavior referenced a dependency that was never declared.
+    UnknownDep {
+        /// Service implementation name.
+        service: String,
+        /// Method whose behavior is at fault.
+        method: String,
+        /// The undeclared dependency name.
+        dep: String,
+    },
+    /// A behavior step used a dependency with the wrong kind (e.g. a cache
+    /// operation against a declared service dependency).
+    DepKindMismatch {
+        /// Service implementation name.
+        service: String,
+        /// The dependency name.
+        dep: String,
+        /// What the step required.
+        expected: String,
+        /// What was declared.
+        found: String,
+    },
+    /// A behavior was provided for a method not present in the interface.
+    UnknownMethod {
+        /// Service implementation name.
+        service: String,
+        /// The offending method name.
+        method: String,
+    },
+    /// An interface method has no behavior implementation.
+    MissingBehavior {
+        /// Service implementation name.
+        service: String,
+        /// The unimplemented method.
+        method: String,
+    },
+    /// General structural error (duplicate names, empty interface, ...).
+    Invalid(String),
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::UnknownDep { service, method, dep } => {
+                write!(
+                    f,
+                    "{service}.{method}: undeclared dependency `{dep}` \
+                     (services may only use constructor-injected dependencies)"
+                )
+            }
+            WorkflowError::DepKindMismatch { service, dep, expected, found } => {
+                write!(f, "{service}: dependency `{dep}` is a {found}, expected {expected}")
+            }
+            WorkflowError::UnknownMethod { service, method } => {
+                write!(f, "{service}: behavior for `{method}` not in interface")
+            }
+            WorkflowError::MissingBehavior { service, method } => {
+                write!(f, "{service}: interface method `{method}` has no implementation")
+            }
+            WorkflowError::Invalid(m) => write!(f, "invalid workflow spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+/// Result alias for workflow spec operations.
+pub type Result<T> = std::result::Result<T, WorkflowError>;

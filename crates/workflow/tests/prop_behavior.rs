@@ -1,0 +1,137 @@
+//! Property tests over behavior programs and workflow-spec validation.
+
+use blueprint_ir::types::{MethodSig, TypeRef};
+use blueprint_workflow::{
+    Behavior, BackendKind, KeyExpr, ServiceBuilder, ServiceInterface, Step, WorkflowSpec,
+};
+use proptest::prelude::*;
+
+/// Generates random (possibly nested) behaviors over a fixed dep vocabulary.
+fn behavior(depth: u32) -> BoxedStrategy<Behavior> {
+    let leaf_step = prop_oneof![
+        (1_000u64..1_000_000, 0u64..65_536)
+            .prop_map(|(cpu_ns, alloc_bytes)| Step::Compute { cpu_ns, alloc_bytes }),
+        Just(Step::Call { dep: "svc".into(), method: "M".into() }),
+        Just(Step::Cache {
+            dep: "cache".into(),
+            op: blueprint_workflow::CacheOp::Get,
+            key: KeyExpr::Entity
+        }),
+        Just(Step::Db {
+            dep: "db".into(),
+            op: blueprint_workflow::DbOp::Write,
+            key: KeyExpr::Const(3)
+        }),
+        Just(Step::QueuePush { dep: "q".into() }),
+        (0.0f64..1.0).prop_map(|prob| Step::Fail { prob }),
+    ];
+    if depth == 0 {
+        proptest::collection::vec(leaf_step, 0..5)
+            .prop_map(|steps| Behavior { steps })
+            .boxed()
+    } else {
+        let inner = behavior(depth - 1);
+        let nested = prop_oneof![
+            leaf_step.clone(),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Step::Parallel),
+            (0.0f64..1.0, inner.clone(), inner.clone())
+                .prop_map(|(prob, then, otherwise)| Step::Branch { prob, then, otherwise }),
+            (1u32..4, inner.clone()).prop_map(|(times, body)| Step::Repeat { times, body }),
+            inner.clone().prop_map(|on_miss| Step::CacheGetOrFetch {
+                cache: "cache".into(),
+                key: KeyExpr::Entity,
+                on_miss
+            }),
+        ];
+        proptest::collection::vec(nested, 0..5).prop_map(|steps| Behavior { steps }).boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `size` counts at least one per step and dominates `calls`/`dep_uses`.
+    #[test]
+    fn size_dominates_collections(b in behavior(2)) {
+        let size = b.size();
+        prop_assert!(size >= b.steps.len());
+        prop_assert!(b.calls().len() <= size);
+        prop_assert!(b.dep_uses().len() <= size);
+    }
+
+    /// Every dep a behavior uses belongs to the fixed vocabulary, and a
+    /// service declaring exactly that vocabulary always validates.
+    #[test]
+    fn declared_vocabulary_validates(b in behavior(2)) {
+        for (dep, family) in b.dep_uses() {
+            let expected = match dep {
+                "svc" => "service",
+                "cache" => "cache",
+                "db" => "db",
+                "q" => "queue",
+                other => panic!("unexpected dep {other}"),
+            };
+            prop_assert_eq!(family, expected);
+        }
+        let svc = ServiceBuilder::new(
+            "SImpl",
+            ServiceInterface::new("S", vec![MethodSig::new("Run", vec![], TypeRef::Unit)]),
+        )
+        .dep_service("svc", "T")
+        .dep_cache("cache")
+        .dep_nosql("db")
+        .dep_backend("q", BackendKind::Queue)
+        .method("Run", b)
+        .done();
+        prop_assert!(svc.is_ok(), "{:?}", svc.err());
+    }
+
+    /// Dropping a dependency declaration used by the behavior always fails
+    /// validation with the right error.
+    #[test]
+    fn missing_dep_always_caught(b in behavior(2)) {
+        prop_assume!(b.dep_uses().iter().any(|(d, _)| *d == "cache"));
+        let svc = ServiceBuilder::new(
+            "SImpl",
+            ServiceInterface::new("S", vec![MethodSig::new("Run", vec![], TypeRef::Unit)]),
+        )
+        .dep_service("svc", "T")
+        .dep_nosql("db")
+        .dep_backend("q", BackendKind::Queue)
+        .method("Run", b)
+        .done();
+        let caught =
+            matches!(svc, Err(blueprint_workflow::WorkflowError::UnknownDep { .. }));
+        prop_assert!(caught);
+    }
+
+    /// Whole-spec validation accepts a two-service spec whose frontend runs
+    /// a random behavior against a matching leaf.
+    #[test]
+    fn spec_level_validation(b in behavior(1)) {
+        // Rewrite calls to target the leaf's real method name.
+        prop_assume!(b.calls().iter().all(|(_, m)| *m == "M"));
+        let mut spec = WorkflowSpec::new("p");
+        let leaf = ServiceBuilder::new(
+            "TImpl",
+            ServiceInterface::new("T", vec![MethodSig::new("M", vec![], TypeRef::Unit)]),
+        )
+        .method("M", Behavior::build().compute(1_000, 0).done())
+        .done()
+        .unwrap();
+        spec.add_service(leaf).unwrap();
+        let front = ServiceBuilder::new(
+            "SImpl",
+            ServiceInterface::new("S", vec![MethodSig::new("Run", vec![], TypeRef::Unit)]),
+        )
+        .dep_service("svc", "T")
+        .dep_cache("cache")
+        .dep_nosql("db")
+        .dep_backend("q", BackendKind::Queue)
+        .method("Run", b)
+        .done()
+        .unwrap();
+        spec.add_service(front).unwrap();
+        prop_assert!(spec.validate().is_ok());
+    }
+}

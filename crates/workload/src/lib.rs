@@ -1,0 +1,28 @@
+//! Workload generation, measurement, and experiment driving.
+//!
+//! The paper's experimental setup uses "a simple open-loop workload generator
+//! that can be configured to exercise APIs of the generated system with a
+//! specified request rate and API distribution" (§6). This crate is that
+//! generator, plus the measurement and experiment-orchestration machinery the
+//! figures need:
+//!
+//! * [`generator`] — phased open-loop arrivals (Poisson or uniform) with an
+//!   API mix and an entity-id distribution;
+//! * [`quantile`] — exact and P² streaming quantile estimators;
+//! * [`recorder`] — per-interval latency/error/goodput time series (the data
+//!   behind every latency-over-time figure);
+//! * [`driver`] — runs a workload against a [`blueprint_simrt::Sim`],
+//!   executing scheduled actions (CPU contention, cache flushes — the FIRM
+//!   anomaly injector substitute) at the right virtual times;
+//! * [`sweep`] — latency–throughput sweeps (Figs. 5, 11, 12) and the
+//!   metastability vulnerability grid (Fig. 7).
+
+pub mod driver;
+pub mod generator;
+pub mod quantile;
+pub mod recorder;
+pub mod sweep;
+
+pub use driver::{run_experiment, Action, ExperimentSpec};
+pub use generator::{ApiMix, Arrival, OpenLoopGen, Phase};
+pub use recorder::{IntervalStats, Recorder};

@@ -1,0 +1,202 @@
+//! Per-interval latency/error time series.
+
+use blueprint_simrt::time::SimTime;
+use blueprint_simrt::Completion;
+
+use crate::quantile::exact_quantile;
+
+/// Statistics of one recording interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalStats {
+    /// Interval start.
+    pub start_ns: SimTime,
+    /// Completions in the interval.
+    pub count: usize,
+    /// Successful completions (goodput).
+    pub ok: usize,
+    /// Failed completions.
+    pub errors: usize,
+    /// Mean latency over all completions, ns.
+    pub mean_ns: f64,
+    /// Median latency, ns.
+    pub p50_ns: u64,
+    /// 99th percentile latency, ns.
+    pub p99_ns: u64,
+    /// Timeout-caused failures.
+    pub timeouts: usize,
+}
+
+impl IntervalStats {
+    /// Error fraction in `[0, 1]`.
+    pub fn error_rate(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.count as f64
+        }
+    }
+}
+
+/// Bins completions (by completion time) into fixed intervals and computes
+/// per-interval statistics.
+#[derive(Debug)]
+pub struct Recorder {
+    interval_ns: SimTime,
+    bins: Vec<Bin>,
+}
+
+#[derive(Debug, Default)]
+struct Bin {
+    latencies: Vec<u64>,
+    ok: usize,
+    errors: usize,
+    timeouts: usize,
+}
+
+impl Recorder {
+    /// Creates a recorder with the given interval width.
+    pub fn new(interval_ns: SimTime) -> Self {
+        assert!(interval_ns > 0);
+        Recorder { interval_ns, bins: Vec::new() }
+    }
+
+    /// Records one completion.
+    pub fn record(&mut self, c: &Completion) {
+        let idx = (c.finished_ns / self.interval_ns) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize_with(idx + 1, Bin::default);
+        }
+        let bin = &mut self.bins[idx];
+        bin.latencies.push(c.latency_ns());
+        if c.ok {
+            bin.ok += 1;
+        } else {
+            bin.errors += 1;
+            if c.failure == Some("timeout") {
+                bin.timeouts += 1;
+            }
+        }
+    }
+
+    /// Records a batch.
+    pub fn record_all<'a>(&mut self, cs: impl IntoIterator<Item = &'a Completion>) {
+        for c in cs {
+            self.record(c);
+        }
+    }
+
+    /// Produces the interval series.
+    pub fn series(&self) -> Vec<IntervalStats> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let count = b.latencies.len();
+                let mean = if count == 0 {
+                    0.0
+                } else {
+                    b.latencies.iter().map(|l| *l as f64).sum::<f64>() / count as f64
+                };
+                IntervalStats {
+                    start_ns: i as SimTime * self.interval_ns,
+                    count,
+                    ok: b.ok,
+                    errors: b.errors,
+                    mean_ns: mean,
+                    p50_ns: exact_quantile(&b.latencies, 0.5).unwrap_or(0),
+                    p99_ns: exact_quantile(&b.latencies, 0.99).unwrap_or(0),
+                    timeouts: b.timeouts,
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregate stats over a time window `[from, to)` (for sweep points).
+    pub fn window(&self, from_ns: SimTime, to_ns: SimTime) -> IntervalStats {
+        let mut lat = Vec::new();
+        let mut ok = 0;
+        let mut errors = 0;
+        let mut timeouts = 0;
+        for (i, b) in self.bins.iter().enumerate() {
+            let start = i as SimTime * self.interval_ns;
+            if start >= from_ns && start < to_ns {
+                lat.extend_from_slice(&b.latencies);
+                ok += b.ok;
+                errors += b.errors;
+                timeouts += b.timeouts;
+            }
+        }
+        let count = lat.len();
+        let mean =
+            if count == 0 { 0.0 } else { lat.iter().map(|l| *l as f64).sum::<f64>() / count as f64 };
+        IntervalStats {
+            start_ns: from_ns,
+            count,
+            ok,
+            errors,
+            mean_ns: mean,
+            p50_ns: exact_quantile(&lat, 0.5).unwrap_or(0),
+            p99_ns: exact_quantile(&lat, 0.99).unwrap_or(0),
+            timeouts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(finish_ms: u64, lat_ms: u64, ok: bool) -> Completion {
+        Completion {
+            entry: "e".into(),
+            method: "m".into(),
+            entity: 0,
+            root_seq: 0,
+            submitted_ns: finish_ms * 1_000_000 - lat_ms * 1_000_000,
+            finished_ns: finish_ms * 1_000_000,
+            ok,
+            observed_version: 0,
+            failure: if ok { None } else { Some("timeout") },
+        }
+    }
+
+    #[test]
+    fn bins_by_completion_time() {
+        let mut r = Recorder::new(1_000_000_000);
+        r.record(&c(500, 10, true));
+        r.record(&c(999, 20, true));
+        r.record(&c(1500, 30, false));
+        let s = r.series();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].count, 2);
+        assert_eq!(s[0].ok, 2);
+        assert_eq!(s[1].errors, 1);
+        assert_eq!(s[1].timeouts, 1);
+        assert!((s[0].mean_ns - 15.0e6).abs() < 1.0);
+        assert_eq!(s[1].error_rate(), 1.0);
+    }
+
+    #[test]
+    fn window_aggregates() {
+        let mut r = Recorder::new(1_000_000_000);
+        for t in 0..10 {
+            r.record(&c(t * 1000 + 500, (t + 1) * 10, true));
+        }
+        let w = r.window(2_000_000_000, 5_000_000_000);
+        assert_eq!(w.count, 3);
+        // Latencies 30, 40, 50 ms.
+        assert!((w.mean_ns - 40.0e6).abs() < 1.0);
+        assert_eq!(w.p50_ns, 40_000_000);
+    }
+
+    #[test]
+    fn empty_bins_are_zeroed() {
+        let mut r = Recorder::new(1_000_000_000);
+        r.record(&c(2500, 10, true));
+        let s = r.series();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].count, 0);
+        assert_eq!(s[0].p99_ns, 0);
+        assert_eq!(s[0].error_rate(), 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Parameter sweeps: latency–throughput profiles (Figs. 5, 11, 12) and the
+//! metastability vulnerability grid (Fig. 7).
+
+use blueprint_simrt::time::{secs, SimTime};
+use blueprint_simrt::{Sim, SimConfig, SimError, SystemSpec};
+
+use crate::driver::{run_experiment, ExperimentSpec};
+use crate::generator::{ApiMix, OpenLoopGen, Phase};
+
+/// One point of a latency–throughput sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Offered load, requests/second.
+    pub offered_rps: f64,
+    /// Achieved goodput, requests/second.
+    pub goodput_rps: f64,
+    /// Mean latency, ms.
+    pub mean_ms: f64,
+    /// Median latency, ms.
+    pub p50_ms: f64,
+    /// p99 latency, ms.
+    pub p99_ms: f64,
+    /// Error fraction.
+    pub error_rate: f64,
+}
+
+/// Runs a latency–throughput sweep: for each rate, a fresh simulation of
+/// `system` runs `duration_s` of the given mix; stats come from the steady
+/// half of the run (paper: 1-minute runs per rate).
+pub fn latency_throughput(
+    system: &SystemSpec,
+    mix: &ApiMix,
+    rates_rps: &[f64],
+    duration_s: u64,
+    entities: u64,
+    seed: u64,
+) -> Result<Vec<SweepPoint>, SimError> {
+    let mut out = Vec::new();
+    for (i, &rps) in rates_rps.iter().enumerate() {
+        let mut sim = Sim::new(system, SimConfig { seed: seed + i as u64, ..Default::default() })?;
+        let gen = OpenLoopGen::new(
+            vec![Phase::new(duration_s, rps)],
+            mix.clone(),
+            entities,
+            seed + i as u64,
+        );
+        let rec = run_experiment(&mut sim, ExperimentSpec::new(gen))?;
+        // Skip the first quarter as warmup (rounded up to a whole recorder
+        // bin so bin-boundary truncation does not bias goodput).
+        let warmup_s = duration_s.div_ceil(4);
+        // Measure only completions inside the arrival window: including the
+        // drain tail would credit backlog completions to a shorter
+        // denominator and overstate goodput under saturation.
+        let w = rec.window(secs(warmup_s), secs(duration_s));
+        // Goodput normalizes by the arrival window the measurements cover;
+        // the drain tail only adds completions of requests submitted within
+        // that window.
+        let window_s = (duration_s - warmup_s) as f64;
+        out.push(SweepPoint {
+            offered_rps: rps,
+            goodput_rps: w.ok as f64 / window_s,
+            mean_ms: w.mean_ns / 1e6,
+            p50_ms: w.p50_ns as f64 / 1e6,
+            p99_ms: w.p99_ns as f64 / 1e6,
+            error_rate: w.error_rate(),
+        });
+    }
+    Ok(out)
+}
+
+/// Outcome of one vulnerability-grid cell (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// System returned to a healthy state after the trigger.
+    Recovered,
+    /// System remained in a metastable failure state.
+    Metastable,
+}
+
+/// Result of [`trigger_recovery`]: the post-trigger observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriggerResult {
+    /// Error rate in the final observation window.
+    pub final_error_rate: f64,
+    /// Mean latency in the final observation window, ms.
+    pub final_mean_ms: f64,
+    /// Classification.
+    pub outcome: CellOutcome,
+}
+
+/// Runs a load + trigger scenario and classifies recovery: steady load for
+/// `total_s` seconds, a CPU-contention trigger on `trigger_host` during
+/// `[trigger_at_s, trigger_at_s + trigger_dur_s)`, and classification based
+/// on the last `observe_s` seconds (recovered ⇔ error rate below
+/// `recover_error_threshold`).
+#[allow(clippy::too_many_arguments)]
+pub fn trigger_recovery(
+    system: &SystemSpec,
+    mix: &ApiMix,
+    rps: f64,
+    total_s: u64,
+    trigger_host: &str,
+    trigger_cores: f64,
+    trigger_at_s: u64,
+    trigger_dur_s: u64,
+    observe_s: u64,
+    recover_error_threshold: f64,
+    seed: u64,
+) -> Result<TriggerResult, SimError> {
+    let mut sim = Sim::new(system, SimConfig { seed, ..Default::default() })?;
+    let gen = OpenLoopGen::new(
+        vec![Phase::new(total_s, rps)],
+        mix.clone(),
+        10_000,
+        seed,
+    );
+    let exp = ExperimentSpec::new(gen).at(
+        secs(trigger_at_s),
+        crate::driver::Action::CpuHog {
+            host: trigger_host.to_string(),
+            cores: trigger_cores,
+            duration_ns: secs(trigger_dur_s),
+        },
+    );
+    let rec = run_experiment(&mut sim, exp)?;
+    let from: SimTime = secs(total_s - observe_s);
+    let w = rec.window(from, secs(total_s) + secs(5));
+    let err = w.error_rate();
+    Ok(TriggerResult {
+        final_error_rate: err,
+        final_mean_ms: w.mean_ns / 1e6,
+        outcome: if err <= recover_error_threshold && w.count > 0 {
+            CellOutcome::Recovered
+        } else {
+            CellOutcome::Metastable
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_simrt::{ClientSpec, EntrySpec, HostSpec, ProcessSpec, ServiceSpec};
+    use blueprint_workflow::Behavior;
+
+    fn system(compute_ns: u64) -> SystemSpec {
+        let mut spec = SystemSpec {
+            name: "t".into(),
+            hosts: vec![HostSpec { name: "h0".into(), cores: 1.0 }],
+            processes: vec![ProcessSpec { name: "p0".into(), host: 0, gc: None }],
+            ..Default::default()
+        };
+        let mut s = ServiceSpec::new("front", 0);
+        s.methods.insert("M".into(), Behavior::build().compute(compute_ns, 0).done());
+        spec.services.push(s);
+        spec.entries
+            .insert("front".into(), EntrySpec { service: 0, client: ClientSpec::local() });
+        spec
+    }
+
+    #[test]
+    fn latency_rises_near_saturation() {
+        // Capacity = 1 core / 1 ms per request = 1000 rps.
+        let sys = system(1_000_000);
+        let pts = latency_throughput(
+            &sys,
+            &ApiMix::single("front", "M"),
+            &[200.0, 900.0],
+            10,
+            100,
+            1,
+        )
+        .unwrap();
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].mean_ms < pts[1].mean_ms, "{pts:?}");
+        assert!(pts[0].goodput_rps > 150.0);
+        assert!(pts[1].p99_ms >= pts[1].p50_ms);
+    }
+
+    #[test]
+    fn trigger_recovery_classifies_light_load_as_recovered() {
+        let sys = system(100_000);
+        let r = trigger_recovery(
+            &sys,
+            &ApiMix::single("front", "M"),
+            100.0,
+            20,
+            "h0",
+            0.9,
+            5,
+            2,
+            5,
+            0.05,
+            1,
+        )
+        .unwrap();
+        assert_eq!(r.outcome, CellOutcome::Recovered, "{r:?}");
+    }
+}

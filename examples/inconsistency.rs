@@ -1,0 +1,69 @@
+//! UC2 — cross-system inconsistency (paper §6.2.2, Fig. 8): enable
+//! replication for SocialNetwork's user-timeline plane with a handful of
+//! wiring lines, then observe stale reads whose frequency falls as the
+//! reader waits past the replication lag.
+//!
+//! Run with: `cargo run --release --example inconsistency`
+
+use blueprint::apps::{social_network as sn, WiringOpts};
+use blueprint::core::Blueprint;
+use blueprint::simrt::time::{ms, secs};
+
+fn measure(app: &blueprint::core::CompiledApp, wait_ms: u64, pairs: u64, seed: u64) -> (u64, u64) {
+    let mut sim = app.simulation(seed).unwrap();
+    let mut stale = 0;
+    let mut total = 0;
+    for k in 0..pairs {
+        let entity = 9_000_000 + wait_ms * 1_000 + k;
+        let wv = sim.submit("gateway", "ComposePost", entity).unwrap();
+        // Step until the compose completes so the wait starts from there.
+        let deadline = sim.now() + secs(2);
+        let mut composed = false;
+        while sim.now() < deadline && !composed {
+            let t = sim.now() + ms(2);
+            sim.run_until(t);
+            composed = sim.drain_completions().iter().any(|c| c.root_seq == wv && c.ok);
+        }
+        let t = sim.now() + ms(wait_ms);
+        sim.run_until(t);
+        sim.submit("gateway", "ReadUserTimeline", entity).unwrap();
+        let t = sim.now() + secs(1);
+        sim.run_until(t);
+        for c in sim.drain_completions() {
+            if c.method == "ReadUserTimeline" && c.ok {
+                total += 1;
+                if c.observed_version < wv {
+                    stale += 1;
+                }
+            }
+        }
+    }
+    (stale, total)
+}
+
+fn main() {
+    let opts = WiringOpts::default().without_tracing();
+    let base = sn::wiring(&opts);
+    let replicated = sn::wiring_inconsistency(&opts, 100, 600);
+    let delta = blueprint::wiring::diff::spec_diff(&base, &replicated);
+    println!(
+        "replication enabled by changing {} wiring lines (paper: 4 LoC)\n",
+        delta.changed()
+    );
+
+    let base_app = Blueprint::new().without_artifacts().compile(&sn::workflow(), &base).unwrap();
+    let repl_app =
+        Blueprint::new().without_artifacts().compile(&sn::workflow(), &replicated).unwrap();
+
+    println!("{:>8} {:>22} {:>22}", "wait ms", "replicated stale", "non-replicated stale");
+    for wait in [0u64, 200, 400, 800] {
+        let (rs, rt) = measure(&repl_app, wait, 25, 11);
+        let (bs, bt) = measure(&base_app, wait, 25, 12);
+        println!(
+            "{:>8} {:>15} / {:<4} {:>15} / {:<4}",
+            wait, rs, rt, bs, bt
+        );
+    }
+    println!("\nThe non-replicated variant always reads its own writes; the replicated");
+    println!("variant shows stale reads that disappear once the wait exceeds the lag.");
+}

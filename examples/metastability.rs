@@ -1,0 +1,115 @@
+//! UC2 + UC3 — elicit a retry-storm metastable failure (paper §6.2.1,
+//! Type 1) on a small two-tier system, then fix it by enabling the
+//! circuit-breaker plugin with a two-line wiring change (paper §6.3,
+//! Fig. 10).
+//!
+//! Run with: `cargo run --release --example metastability`
+
+use blueprint::core::Blueprint;
+use blueprint::ir::{MethodSig, Param, TypeRef};
+use blueprint::simrt::time::ms;
+use blueprint::wiring::{mutate, Arg, WiringSpec};
+use blueprint::workflow::{Behavior, ServiceBuilder, ServiceInterface, WorkflowSpec};
+use blueprint::workload::generator::{ApiMix, OpenLoopGen, Phase};
+use blueprint::workload::{run_experiment, ExperimentSpec};
+
+fn workflow() -> WorkflowSpec {
+    let mut wf = WorkflowSpec::new("twotier");
+    wf.add_service(
+        ServiceBuilder::new(
+            "WorkerImpl",
+            ServiceInterface::new(
+                "Worker",
+                vec![MethodSig::new("Work", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit)],
+            ),
+        )
+        .method("Work", Behavior::build().compute(1_000_000, 16 << 10).done())
+        .done()
+        .unwrap(),
+    )
+    .unwrap();
+    wf.add_service(
+        ServiceBuilder::new(
+            "FrontImpl",
+            ServiceInterface::new(
+                "Front",
+                vec![MethodSig::new("Handle", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit)],
+            ),
+        )
+        .dep_service("worker", "Worker")
+        .method("Handle", Behavior::build().compute(30_000, 4 << 10).call("worker", "Work").done())
+        .done()
+        .unwrap(),
+    )
+    .unwrap();
+    wf
+}
+
+/// Timeouts + retries on every RPC: the metastability preconditions.
+fn wiring() -> WiringSpec {
+    let mut w = WiringSpec::new("twotier");
+    w.define_kw("deployer", "Docker", vec![], vec![("machines", Arg::Int(2)), ("cores", Arg::Float(2.0))])
+        .unwrap();
+    w.define("rpc", "GRPCServer", vec![]).unwrap();
+    w.define_kw("to", "Timeout", vec![], vec![("ms", Arg::Int(100))]).unwrap();
+    w.define_kw("retry", "Retry", vec![], vec![("max", Arg::Int(8)), ("backoff_ms", Arg::Int(1))])
+        .unwrap();
+    let mods = ["rpc", "deployer", "to", "retry"];
+    w.service("worker", "WorkerImpl", &[], &mods).unwrap();
+    w.service("front", "FrontImpl", &["worker"], &mods).unwrap();
+    w
+}
+
+fn run(label: &str, wiring: &WiringSpec) {
+    let app = Blueprint::new().without_artifacts().compile(&workflow(), wiring).unwrap();
+    let mut sim = app.simulation(3).unwrap();
+    // Base load, a 2x-overload spike, then back to base: capacity is
+    // ~2000 rps (2 cores x 1 ms/request).
+    let gen = OpenLoopGen::new(
+        vec![Phase::new(10, 1_200.0), Phase::new(5, 4_000.0), Phase::new(20, 1_200.0)],
+        ApiMix::single("front", "Handle"),
+        1_000,
+        3,
+    );
+    let rec = run_experiment(&mut sim, ExperimentSpec::new(gen)).unwrap();
+    println!("--- {label} ---");
+    println!("{:>5} {:>11} {:>9} {:>9}", "t(s)", "mean ms", "err", "goodput");
+    for s in rec.series().iter().filter(|s| s.count > 0) {
+        println!(
+            "{:>5} {:>11.2} {:>9.3} {:>9}",
+            s.start_ns / 1_000_000_000,
+            s.mean_ns / 1e6,
+            s.error_rate(),
+            s.ok
+        );
+    }
+    let tail = rec.window(ms(28_000), ms(40_000));
+    println!(
+        "after the spike: error rate {:.3} → {}\n",
+        tail.error_rate(),
+        if tail.error_rate() > 0.5 { "METASTABLE (never recovered)" } else { "recovered" }
+    );
+}
+
+fn main() {
+    // Variant 1: timeouts + retries only — the spike tips the system into a
+    // metastable failure state that persists after load returns to normal.
+    run("timeouts + retries (Type 1 metastability)", &wiring());
+
+    // Variant 2: the UC3 fix — enable the circuit-breaker plugin with a
+    // 2-line wiring mutation; the system sheds load during the spike and
+    // recovers afterwards.
+    let mut fixed = wiring();
+    fixed
+        .define_kw(
+            "breaker",
+            "CircuitBreaker",
+            vec![],
+            vec![("threshold", Arg::Float(0.5)), ("open_ms", Arg::Int(1_000))],
+        )
+        .unwrap();
+    mutate::add_modifier_to_all_services(&mut fixed, "breaker").unwrap();
+    let delta = blueprint::wiring::diff::spec_diff(&wiring(), &fixed);
+    println!("(circuit breaker enabled with {} changed wiring lines)\n", delta.changed());
+    run("with circuit breaker (the prototype solution)", &fixed);
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the Blueprint reproduction.
+//!
+//! Re-exports the public surface of every sub-crate so that examples and
+//! integration tests can use a single `blueprint::` prefix. See `README.md`
+//! for a tour and `DESIGN.md` for the system inventory.
+
+pub use blueprint_apps as apps;
+pub use blueprint_compiler as compiler;
+pub use blueprint_core as core;
+pub use blueprint_ir as ir;
+pub use blueprint_plugins as plugins;
+pub use blueprint_simrt as simrt;
+pub use blueprint_trace as trace;
+pub use blueprint_wiring as wiring;
+pub use blueprint_workflow as workflow;
+pub use blueprint_workload as workload;

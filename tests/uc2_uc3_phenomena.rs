@@ -1,0 +1,184 @@
+//! Integration: UC2/UC3 — emergent phenomena reproduce at small scale, and
+//! the prototype improvements change the outcome (paper §6.2, §6.3).
+//!
+//! These tests run the full toolchain (workflow + wiring → compile →
+//! simulate) on deliberately small clusters so they are fast in debug mode;
+//! the full-scale figure reproductions live in `crates/bench`.
+
+use blueprint::apps::{social_network as sn, WiringOpts};
+use blueprint::core::Blueprint;
+use blueprint::ir::{MethodSig, Param, TypeRef};
+use blueprint::simrt::time::{ms, secs};
+use blueprint::wiring::{mutate, Arg, WiringSpec};
+use blueprint::workflow::{Behavior, ServiceBuilder, ServiceInterface, WorkflowSpec};
+use blueprint::workload::generator::{ApiMix, OpenLoopGen, Phase};
+use blueprint::workload::{run_experiment, ExperimentSpec};
+
+/// A two-tier app on a tiny cluster: capacity ≈ 1000 rps.
+fn small_system() -> (WorkflowSpec, WiringSpec) {
+    let mut wf = WorkflowSpec::new("small");
+    wf.add_service(
+        ServiceBuilder::new(
+            "WorkerImpl",
+            ServiceInterface::new(
+                "Worker",
+                vec![MethodSig::new("Work", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit)],
+            ),
+        )
+        .method("Work", Behavior::build().compute(1_000_000, 8 << 10).done())
+        .done()
+        .unwrap(),
+    )
+    .unwrap();
+    wf.add_service(
+        ServiceBuilder::new(
+            "FrontImpl",
+            ServiceInterface::new(
+                "Front",
+                vec![MethodSig::new("Go", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit)],
+            ),
+        )
+        .dep_service("worker", "Worker")
+        .method("Go", Behavior::build().compute(20_000, 1 << 10).call("worker", "Work").done())
+        .done()
+        .unwrap(),
+    )
+    .unwrap();
+
+    let mut w = WiringSpec::new("small");
+    w.define_kw("deployer", "Docker", vec![], vec![("machines", Arg::Int(2)), ("cores", Arg::Float(1.0))])
+        .unwrap();
+    w.define("rpc", "GRPCServer", vec![]).unwrap();
+    w.define_kw("to", "Timeout", vec![], vec![("ms", Arg::Int(80))]).unwrap();
+    w.define_kw("retry", "Retry", vec![], vec![("max", Arg::Int(8)), ("backoff_ms", Arg::Int(1))])
+        .unwrap();
+    let mods = ["rpc", "deployer", "to", "retry"];
+    w.service("worker", "WorkerImpl", &[], &mods).unwrap();
+    w.service("front", "FrontImpl", &["worker"], &mods).unwrap();
+    (wf, w)
+}
+
+fn spike_phases() -> Vec<Phase> {
+    vec![Phase::new(5, 500.0), Phase::new(4, 2_000.0), Phase::new(12, 500.0)]
+}
+
+#[test]
+fn uc2_type1_metastability_reproduces_through_the_toolchain() {
+    let (wf, w) = small_system();
+    let app = Blueprint::new().without_artifacts().compile(&wf, &w).unwrap();
+    let mut sim = app.simulation(17).unwrap();
+    let gen = OpenLoopGen::new(spike_phases(), ApiMix::single("front", "Go"), 500, 17);
+    let rec = run_experiment(&mut sim, ExperimentSpec::new(gen)).unwrap();
+    let pre = rec.window(secs(2), secs(5));
+    assert!(pre.error_rate() < 0.05, "healthy before the spike: {:.3}", pre.error_rate());
+    let post = rec.window(secs(15), secs(21));
+    assert!(
+        post.error_rate() > 0.5,
+        "metastable after the spike: error rate {:.3}",
+        post.error_rate()
+    );
+    assert!(sim.metrics.counters.retries > 1_000);
+}
+
+#[test]
+fn uc3_circuit_breaker_prevents_the_metastable_state() {
+    let (wf, mut w) = small_system();
+    // The 2-line UC3 mutation.
+    w.define_kw(
+        "breaker",
+        "CircuitBreaker",
+        vec![],
+        vec![("threshold", Arg::Float(0.5)), ("open_ms", Arg::Int(500))],
+    )
+    .unwrap();
+    mutate::add_modifier_to_all_services(&mut w, "breaker").unwrap();
+
+    let app = Blueprint::new().without_artifacts().compile(&wf, &w).unwrap();
+    let mut sim = app.simulation(17).unwrap();
+    let gen = OpenLoopGen::new(spike_phases(), ApiMix::single("front", "Go"), 500, 17);
+    let rec = run_experiment(&mut sim, ExperimentSpec::new(gen)).unwrap();
+    let post = rec.window(secs(15), secs(21));
+    assert!(
+        post.error_rate() < 0.2,
+        "breaker recovers the system: error rate {:.3}",
+        post.error_rate()
+    );
+    assert!(sim.metrics.counters.breaker_opens >= 1, "breaker actually tripped");
+}
+
+#[test]
+fn uc2_cross_system_inconsistency_reproduces_and_disappears_past_the_lag() {
+    let opts = WiringOpts::default().without_tracing();
+    let app = Blueprint::new()
+        .without_artifacts()
+        .compile(&sn::workflow(), &sn::wiring_inconsistency(&opts, 150, 350))
+        .unwrap();
+    let mut sim = app.simulation(23).unwrap();
+
+    let mut measure = |wait_ms: u64, n: u64| -> (u64, u64) {
+        let mut stale = 0;
+        let mut total = 0;
+        for k in 0..n {
+            let entity = 70_000_000 + wait_ms * 1_000 + k;
+            let wv = sim.submit("gateway", "ComposePost", entity).unwrap();
+            let deadline = sim.now() + secs(2);
+            let mut composed = false;
+            while sim.now() < deadline && !composed {
+                let t = sim.now() + ms(2);
+                sim.run_until(t);
+                composed = sim.drain_completions().iter().any(|c| c.root_seq == wv && c.ok);
+            }
+            assert!(composed, "compose finished");
+            let t = sim.now() + ms(wait_ms);
+            sim.run_until(t);
+            sim.submit("gateway", "ReadUserTimeline", entity).unwrap();
+            let t = sim.now() + secs(2);
+            sim.run_until(t);
+            for c in sim.drain_completions() {
+                if c.method == "ReadUserTimeline" && c.ok {
+                    total += 1;
+                    if c.observed_version < wv {
+                        stale += 1;
+                    }
+                }
+            }
+        }
+        (stale, total)
+    };
+
+    let (stale_0, total_0) = measure(0, 30);
+    assert!(total_0 >= 25);
+    assert!(stale_0 > 0, "immediate reads must hit stale replicas sometimes");
+    // Past the maximum replication lag, reads are consistent again.
+    let (stale_late, total_late) = measure(600, 30);
+    assert!(total_late >= 25);
+    assert_eq!(stale_late, 0, "no staleness beyond the maximum lag");
+}
+
+#[test]
+fn uc3_xtrace_extension_is_a_three_line_wiring_change() {
+    use blueprint::apps::TracerChoice;
+    let jaeger = sn::wiring(&WiringOpts::default());
+    let xtrace = sn::wiring(&WiringOpts {
+        tracing: Some(TracerChoice::XTrace),
+        ..WiringOpts::default()
+    });
+    let d = blueprint::wiring::diff::spec_diff(&jaeger, &xtrace);
+    // Tracer server + modifier decl + the modifier name in 12 service lines.
+    assert!(d.removed <= 14 && d.added <= 14, "{d:?}");
+
+    // Compiles only with the extension registered (paper: 1-time extension).
+    assert!(Blueprint::core_only().compile(&sn::workflow(), &xtrace).is_err());
+    let app = Blueprint::new().compile(&sn::workflow(), &xtrace).unwrap();
+    assert!(app
+        .artifacts()
+        .iter()
+        .any(|(p, _)| p.contains("xtrace_tracer")), "X-Trace wrappers generated");
+    let mut sim = app
+        .simulation_with(blueprint::simrt::SimConfig { seed: 3, record_traces: true, ..Default::default() })
+        .unwrap();
+    sim.submit("gateway", "ComposePost", 1).unwrap();
+    sim.run_until(secs(3));
+    assert!(sim.drain_completions()[0].ok);
+    assert!(!sim.traces.drain_finished().is_empty(), "X-Trace spans recorded");
+}

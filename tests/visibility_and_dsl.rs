@@ -1,0 +1,126 @@
+//! Integration: the visibility check gates addressability (paper §4.3.2),
+//! and the textual wiring DSL drives the full pipeline (Fig. 3).
+
+use blueprint::core::Blueprint;
+use blueprint::ir::{MethodSig, Param, TypeRef};
+use blueprint::wiring;
+use blueprint::workflow::{Behavior, ServiceBuilder, ServiceInterface, WorkflowSpec};
+
+fn two_service_workflow() -> WorkflowSpec {
+    let mut wf = WorkflowSpec::new("pair");
+    wf.add_service(
+        ServiceBuilder::new(
+            "BackImpl",
+            ServiceInterface::new(
+                "Back",
+                vec![MethodSig::new("Work", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit)],
+            ),
+        )
+        .method("Work", Behavior::build().compute(10_000, 128).done())
+        .done()
+        .unwrap(),
+    )
+    .unwrap();
+    wf.add_service(
+        ServiceBuilder::new(
+            "FrontImpl",
+            ServiceInterface::new(
+                "Front",
+                vec![MethodSig::new("Go", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit)],
+            ),
+        )
+        .dep_service("back", "Back")
+        .method("Go", Behavior::build().call("back", "Work").done())
+        .done()
+        .unwrap(),
+    )
+    .unwrap();
+    wf
+}
+
+#[test]
+fn cross_process_call_without_rpc_server_is_a_compile_error() {
+    let wf = two_service_workflow();
+    // Containerized (deployer present) but no RPC server on `back`.
+    let mut w = wiring::WiringSpec::new("pair");
+    w.define("deployer", "Docker", vec![]).unwrap();
+    w.service("back", "BackImpl", &[], &["deployer"]).unwrap();
+    w.service("front", "FrontImpl", &["back"], &["deployer"]).unwrap();
+    let err = Blueprint::new().compile(&wf, &w).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("lacks the necessary visibility"), "got: {msg}");
+    assert!(msg.contains("front") && msg.contains("back"), "names the edge: {msg}");
+}
+
+#[test]
+fn adding_the_rpc_server_fixes_the_visibility_error() {
+    let wf = two_service_workflow();
+    let mut w = wiring::WiringSpec::new("pair");
+    w.define("deployer", "Docker", vec![]).unwrap();
+    w.define("rpc", "GRPCServer", vec![]).unwrap();
+    w.service("back", "BackImpl", &[], &["rpc", "deployer"]).unwrap();
+    w.service("front", "FrontImpl", &["back"], &["rpc", "deployer"]).unwrap();
+    Blueprint::new().compile(&wf, &w).unwrap();
+}
+
+#[test]
+fn same_process_grouping_also_fixes_it() {
+    let wf = two_service_workflow();
+    let mut w = wiring::WiringSpec::new("pair");
+    w.service("back", "BackImpl", &[], &[]).unwrap();
+    w.service("front", "FrontImpl", &["back"], &[]).unwrap();
+    w.process("mono", &["back", "front"]).unwrap();
+    let app = Blueprint::new().compile(&wf, &w).unwrap();
+    assert_eq!(app.system().hosts.len(), 1);
+}
+
+/// The Fig. 3-style textual DSL drives the same pipeline, including C-style
+/// macros and conditional sections.
+#[test]
+fn textual_wiring_spec_compiles_end_to_end() {
+    let wf = two_service_workflow();
+    let src = r#"
+app pair
+
+// Scaffolding choices, macro-expanded into every service declaration.
+#define SERVER_MODS [rpc_server, normal_deployer, tracer_mod]
+
+normal_deployer = Docker(machines=4, cores=4.0)
+#ifdef USE_THRIFT
+rpc_server = ThriftServer(clientpool=8)
+#else
+rpc_server = GRPCServer()
+#endif
+tracer = ZipkinTracer()
+tracer_mod = TracerModifier(tracer=tracer)
+
+back = BackImpl().with_server(SERVER_MODS)
+front = FrontImpl(back).with_server(SERVER_MODS)
+"#;
+    let w = wiring::parse(src).unwrap();
+    let app = Blueprint::new().compile(&wf, &w).unwrap();
+    assert_eq!(app.system().hosts.len(), 4);
+    assert!(app.artifacts().contains("proto/back.proto"));
+
+    // Toggle the conditional section like a -D flag.
+    let w = wiring::parse::parse_with_defines(src, &["USE_THRIFT"]).unwrap();
+    let app = Blueprint::new().compile(&wf, &w).unwrap();
+    assert!(app.artifacts().contains("idl/back.thrift"));
+    assert!(!app.artifacts().contains("proto/back.proto"));
+}
+
+#[test]
+fn run_artifacts_to_disk_roundtrip() {
+    let wf = two_service_workflow();
+    let mut w = wiring::WiringSpec::new("pair");
+    w.define("deployer", "Docker", vec![]).unwrap();
+    w.define("rpc", "GRPCServer", vec![]).unwrap();
+    w.service("back", "BackImpl", &[], &["rpc", "deployer"]).unwrap();
+    w.service("front", "FrontImpl", &["back"], &["rpc", "deployer"]).unwrap();
+    let app = Blueprint::new().compile(&wf, &w).unwrap();
+    let dir = std::env::temp_dir().join(format!("bp_it_{}", std::process::id()));
+    app.artifacts().write_to(&dir).unwrap();
+    assert!(dir.join("docker-compose.yml").exists());
+    assert!(dir.join("services/front_impl.rs").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
