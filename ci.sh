@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Repo CI gate: build, test, lint, format, and a quick simulator bench smoke.
+# Run from the repo root. Fails fast on the first broken step.
+set -eu
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> bench smoke (sim_engine, quick test mode)"
+# Criterion's --test mode runs each bench once to confirm it executes,
+# without the full sampling run.
+cargo bench -p blueprint-bench --bench sim_engine -- --test
+
+echo "==> completion-stream identity check"
+cargo run --release --example stream_checksum
+
+echo "CI OK"

@@ -66,20 +66,29 @@ pub fn topology(services: usize, seed: u64) -> (WorkflowSpec, WiringSpec) {
         edges[i] = targets;
     }
 
-    for i in 0..services {
+    for (i, deps) in edges.iter().enumerate().take(services) {
         let iface = ServiceInterface::new(
             format!("Svc{i}"),
-            vec![MethodSig::new("Call", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit)],
+            vec![MethodSig::new(
+                "Call",
+                vec![Param::new("reqID", TypeRef::I64)],
+                TypeRef::Unit,
+            )],
         );
         let mut builder = ServiceBuilder::new(format!("Svc{i}Impl"), iface);
         let mut b = Behavior::build().compute(cost::LIGHT_NS, cost::ALLOC);
-        for &t in &edges[i] {
+        for &t in deps {
             let dep = format!("d{t}");
             builder = builder.dep_service(&dep, &format!("Svc{t}"));
             b = b.call(&dep, "Call");
         }
-        wf.add_service(builder.method("Call", b.done()).done().expect("valid service"))
-            .expect("synthetic service");
+        wf.add_service(
+            builder
+                .method("Call", b.done())
+                .done()
+                .expect("valid service"),
+        )
+        .expect("synthetic service");
     }
     wf.validate().expect("synthetic workflow consistent");
 
@@ -88,10 +97,11 @@ pub fn topology(services: usize, seed: u64) -> (WorkflowSpec, WiringSpec) {
     let mut w = WiringSpec::new("alibaba_traceset");
     let mods = standard_scaffolding(&mut w, &opts).expect("scaffolding");
     let mods: Vec<&str> = mods.iter().map(String::as_str).collect();
-    for i in 0..services {
-        let deps: Vec<String> = edges[i].iter().map(|t| format!("svc{t}")).collect();
+    for (i, dep_ids) in edges.iter().enumerate().take(services) {
+        let deps: Vec<String> = dep_ids.iter().map(|t| format!("svc{t}")).collect();
         let refs: Vec<&str> = deps.iter().map(String::as_str).collect();
-        w.service(&format!("svc{i}"), &format!("Svc{i}Impl"), &refs, &mods).expect("wiring");
+        w.service(&format!("svc{i}"), &format!("Svc{i}Impl"), &refs, &mods)
+            .expect("wiring");
     }
     (wf, w)
 }
@@ -114,7 +124,10 @@ mod tests {
     #[test]
     fn small_scale_compiles_and_has_hubs() {
         let (wf, w) = topology(150, 3);
-        let app = Blueprint::new().without_artifacts().compile(&wf, &w).unwrap();
+        let app = Blueprint::new()
+            .without_artifacts()
+            .compile(&wf, &w)
+            .unwrap();
         assert_eq!(app.system().services.len(), 150);
         // Heavy-tailed fan-in: some service has many callers.
         let ir = app.ir();

@@ -101,7 +101,12 @@ pub fn standard_scaffolding(w: &mut WiringSpec, opts: &WiringOpts) -> WiringResu
             w.define("rpc_server", "GRPCServer", vec![])?;
         }
         RpcChoice::Thrift { pool } => {
-            w.define_kw("rpc_server", "ThriftServer", vec![], vec![("clientpool", Arg::Int(pool as i64))])?;
+            w.define_kw(
+                "rpc_server",
+                "ThriftServer",
+                vec![],
+                vec![("clientpool", Arg::Int(pool as i64))],
+            )?;
         }
         RpcChoice::Http => {
             w.define("rpc_server", "HTTPServer", vec![])?;
@@ -113,7 +118,10 @@ pub fn standard_scaffolding(w: &mut WiringSpec, opts: &WiringOpts) -> WiringResu
             "deployer",
             "Docker",
             vec![],
-            vec![("machines", Arg::Int(opts.cluster.0)), ("cores", Arg::Float(opts.cluster.1))],
+            vec![
+                ("machines", Arg::Int(opts.cluster.0)),
+                ("cores", Arg::Float(opts.cluster.1)),
+            ],
         )?;
         mods.push("deployer".into());
     }
@@ -124,7 +132,12 @@ pub fn standard_scaffolding(w: &mut WiringSpec, opts: &WiringOpts) -> WiringResu
             TracerChoice::XTrace => ("XTracer", "XTraceModifier"),
         };
         w.define("tracer", server_kw, vec![])?;
-        w.define_kw(mod_kw.to_lowercase().as_str(), mod_kw, vec![], vec![("tracer", Arg::r("tracer"))])?;
+        w.define_kw(
+            mod_kw.to_lowercase().as_str(),
+            mod_kw,
+            vec![],
+            vec![("tracer", Arg::r("tracer"))],
+        )?;
         mods.push(mod_kw.to_lowercase());
     }
     if let Some(ms) = opts.timeout_ms {
@@ -136,7 +149,10 @@ pub fn standard_scaffolding(w: &mut WiringSpec, opts: &WiringOpts) -> WiringResu
             "retry_all",
             "Retry",
             vec![],
-            vec![("max", Arg::Int(opts.retries as i64)), ("backoff_ms", Arg::Int(1))],
+            vec![
+                ("max", Arg::Int(opts.retries as i64)),
+                ("backoff_ms", Arg::Int(1)),
+            ],
         )?;
         mods.push("retry_all".into());
     }
@@ -179,20 +195,48 @@ mod tests {
         let mut w = WiringSpec::new("t");
         let opts = WiringOpts::default().with_timeout_retries(500, 10);
         let mods = standard_scaffolding(&mut w, &opts).unwrap();
-        assert_eq!(mods, vec!["rpc_server", "deployer", "tracermodifier", "timeout_all", "retry_all"]);
+        assert_eq!(
+            mods,
+            vec![
+                "rpc_server",
+                "deployer",
+                "tracermodifier",
+                "timeout_all",
+                "retry_all"
+            ]
+        );
         assert_eq!(w.decl("rpc_server").unwrap().callee, "GRPCServer");
-        assert_eq!(w.decl("deployer").unwrap().kwarg("machines").unwrap().as_int(), Some(8));
-        assert_eq!(w.decl("timeout_all").unwrap().kwarg("ms").unwrap().as_int(), Some(500));
+        assert_eq!(
+            w.decl("deployer")
+                .unwrap()
+                .kwarg("machines")
+                .unwrap()
+                .as_int(),
+            Some(8)
+        );
+        assert_eq!(
+            w.decl("timeout_all").unwrap().kwarg("ms").unwrap().as_int(),
+            Some(500)
+        );
     }
 
     #[test]
     fn thrift_pool_and_monolith() {
         let mut w = WiringSpec::new("t");
-        let opts = WiringOpts::default().with_rpc(RpcChoice::Thrift { pool: 16 }).monolith();
+        let opts = WiringOpts::default()
+            .with_rpc(RpcChoice::Thrift { pool: 16 })
+            .monolith();
         let mods = standard_scaffolding(&mut w, &opts).unwrap();
         // Monolith: no rpc/deployer in the chain, but tracing still applies.
         assert_eq!(mods, vec!["tracermodifier"]);
-        assert_eq!(w.decl("rpc_server").unwrap().kwarg("clientpool").unwrap().as_int(), Some(16));
+        assert_eq!(
+            w.decl("rpc_server")
+                .unwrap()
+                .kwarg("clientpool")
+                .unwrap()
+                .as_int(),
+            Some(16)
+        );
         assert!(w.decl("deployer").is_none());
     }
 

@@ -197,7 +197,12 @@ pub fn workflow() -> WorkflowSpec {
             "FrontendServiceImpl",
             ServiceInterface::new(
                 "FrontendService",
-                vec![sig("SearchHotels"), sig("Recommend"), sig("Reserve"), sig("Login")],
+                vec![
+                    sig("SearchHotels"),
+                    sig("Recommend"),
+                    sig("Reserve"),
+                    sig("Login"),
+                ],
             ),
         )
         .dep_service("search", "SearchService")
@@ -242,7 +247,8 @@ pub fn workflow() -> WorkflowSpec {
     )
     .expect("frontend");
 
-    wf.validate().expect("hotel reservation workflow consistent");
+    wf.validate()
+        .expect("hotel reservation workflow consistent");
     wf
 }
 
@@ -255,23 +261,55 @@ pub fn wiring_with(opts: &WiringOpts, gogc_reservation: Option<i64>) -> WiringSp
     let mods = standard_scaffolding(&mut w, opts).expect("scaffolding");
     let mods: Vec<&str> = mods.iter().map(String::as_str).collect();
 
-    for db in ["geo_db", "rate_db", "profile_db", "rec_db", "res_db", "user_db"] {
+    for db in [
+        "geo_db",
+        "rate_db",
+        "profile_db",
+        "rec_db",
+        "res_db",
+        "user_db",
+    ] {
         w.define(db, "MongoDB", vec![]).expect("wiring");
     }
     for cache in ["rate_cache", "profile_cache", "res_cache"] {
-        w.define_kw(cache, "Memcached", vec![], vec![("capacity", Arg::Int(200_000))])
-            .expect("wiring");
+        w.define_kw(
+            cache,
+            "Memcached",
+            vec![],
+            vec![("capacity", Arg::Int(200_000))],
+        )
+        .expect("wiring");
     }
 
-    w.service("geo", "GeoServiceImpl", &["geo_db"], &mods).expect("wiring");
-    w.service("rate", "RateServiceImpl", &["rate_cache", "rate_db"], &mods).expect("wiring");
-    w.service("profile", "ProfileServiceImpl", &["profile_cache", "profile_db"], &mods)
+    w.service("geo", "GeoServiceImpl", &["geo_db"], &mods)
         .expect("wiring");
-    w.service("recommendation", "RecommendationServiceImpl", &["rec_db"], &mods).expect("wiring");
-    w.service("reservation", "ReservationServiceImpl", &["res_cache", "res_db"], &mods)
+    w.service("rate", "RateServiceImpl", &["rate_cache", "rate_db"], &mods)
         .expect("wiring");
-    w.service("user", "UserServiceImpl", &["user_db"], &mods).expect("wiring");
-    w.service("search", "SearchServiceImpl", &["geo", "rate"], &mods).expect("wiring");
+    w.service(
+        "profile",
+        "ProfileServiceImpl",
+        &["profile_cache", "profile_db"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service(
+        "recommendation",
+        "RecommendationServiceImpl",
+        &["rec_db"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service(
+        "reservation",
+        "ReservationServiceImpl",
+        &["res_cache", "res_db"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service("user", "UserServiceImpl", &["user_db"], &mods)
+        .expect("wiring");
+    w.service("search", "SearchServiceImpl", &["geo", "rate"], &mods)
+        .expect("wiring");
     w.service(
         "frontend",
         "FrontendServiceImpl",
@@ -339,7 +377,10 @@ mod tests {
         let w = wiring(&WiringOpts::default());
         let app = Blueprint::new().compile(&wf, &w).unwrap();
         let mut sim = app.simulation(2).unwrap();
-        for (i, m) in ["SearchHotels", "Recommend", "Reserve", "Login"].iter().enumerate() {
+        for (i, m) in ["SearchHotels", "Recommend", "Reserve", "Login"]
+            .iter()
+            .enumerate()
+        {
             sim.submit("frontend", m, i as u64).unwrap();
         }
         sim.run_until(secs(5));
@@ -368,12 +409,26 @@ mod tests {
         let wf = workflow();
         let w = wiring_with(&WiringOpts::default(), Some(75));
         let app = Blueprint::new().compile(&wf, &w).unwrap();
-        let res = app.system().services.iter().find(|s| s.name == "reservation").unwrap();
+        let res = app
+            .system()
+            .services
+            .iter()
+            .find(|s| s.name == "reservation")
+            .unwrap();
         let proc_ = &app.system().processes[res.process];
         assert_eq!(proc_.gc.as_ref().unwrap().gogc_percent, 75.0);
-        let user = app.system().services.iter().find(|s| s.name == "user").unwrap();
+        let user = app
+            .system()
+            .services
+            .iter()
+            .find(|s| s.name == "user")
+            .unwrap();
         assert_eq!(
-            app.system().processes[user.process].gc.as_ref().unwrap().gogc_percent,
+            app.system().processes[user.process]
+                .gc
+                .as_ref()
+                .unwrap()
+                .gogc_percent,
             100.0
         );
     }
@@ -383,7 +438,12 @@ mod tests {
         let wf = workflow();
         let w = wiring(&WiringOpts::default().with_timeout_retries(500, 10));
         let app = Blueprint::new().compile(&wf, &w).unwrap();
-        let fe = app.system().services.iter().find(|s| s.name == "frontend").unwrap();
+        let fe = app
+            .system()
+            .services
+            .iter()
+            .find(|s| s.name == "frontend")
+            .unwrap();
         for b in fe.deps.values() {
             assert_eq!(b.client().timeout_ns, Some(500_000_000));
             assert_eq!(b.client().retries, 10);

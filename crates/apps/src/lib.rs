@@ -25,8 +25,8 @@ pub mod alibaba;
 pub mod common;
 pub mod hotel_reservation;
 pub mod media;
-pub mod sock_shop;
 pub mod social_network;
+pub mod sock_shop;
 pub mod train_ticket;
 
 pub use common::{RpcChoice, TracerChoice, WiringOpts};
@@ -49,15 +49,30 @@ pub mod loc {
                 8_209,
                 1_478,
             ),
-            ("DSB Media", source_loc(include_str!("media.rs")), 7_794, 1_401),
+            (
+                "DSB Media",
+                source_loc(include_str!("media.rs")),
+                7_794,
+                1_401,
+            ),
             (
                 "DSB HotelReservation",
                 source_loc(include_str!("hotel_reservation.rs")),
                 5_160,
                 679,
             ),
-            ("TrainTicket", source_loc(include_str!("train_ticket.rs")), 54_466, 9_639),
-            ("SockShop", source_loc(include_str!("sock_shop.rs")), 13_987, 2_261),
+            (
+                "TrainTicket",
+                source_loc(include_str!("train_ticket.rs")),
+                54_466,
+                9_639,
+            ),
+            (
+                "SockShop",
+                source_loc(include_str!("sock_shop.rs")),
+                13_987,
+                2_261,
+            ),
         ]
     }
 }

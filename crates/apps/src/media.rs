@@ -62,13 +62,23 @@ pub fn workflow() -> WorkflowSpec {
             "UniqueIdServiceImpl",
             ServiceInterface::new("UniqueIdService", vec![sig("UploadUniqueId")]),
         )
-        .method("UploadUniqueId", Behavior::build().compute(cost::LIGHT_NS, 4 << 10).done())
+        .method(
+            "UploadUniqueId",
+            Behavior::build().compute(cost::LIGHT_NS, 4 << 10).done(),
+        )
         .done()
         .expect("valid service"),
     )
     .expect("unique id");
 
-    cached_reader(&mut wf, "MovieIdServiceImpl", "MovieIdService", "UploadMovieId", "movie_id_cache", "movie_id_db");
+    cached_reader(
+        &mut wf,
+        "MovieIdServiceImpl",
+        "MovieIdService",
+        "UploadMovieId",
+        "movie_id_cache",
+        "movie_id_db",
+    );
 
     wf.add_service(
         ServiceBuilder::new(
@@ -77,7 +87,9 @@ pub fn workflow() -> WorkflowSpec {
         )
         .method(
             "UploadText",
-            Behavior::build().compute(cost::MEDIUM_NS, cost::ALLOC_BIG).done(),
+            Behavior::build()
+                .compute(cost::MEDIUM_NS, cost::ALLOC_BIG)
+                .done(),
         )
         .done()
         .expect("valid service"),
@@ -102,7 +114,14 @@ pub fn workflow() -> WorkflowSpec {
     )
     .expect("rating");
 
-    cached_reader(&mut wf, "UserServiceImpl", "UserService", "UploadUser", "user_cache", "user_db");
+    cached_reader(
+        &mut wf,
+        "UserServiceImpl",
+        "UserService",
+        "UploadUser",
+        "user_cache",
+        "user_db",
+    );
 
     // Review storage + indexes.
     wf.add_service(
@@ -192,7 +211,14 @@ pub fn workflow() -> WorkflowSpec {
     }
 
     // Movie metadata plane.
-    cached_reader(&mut wf, "PlotServiceImpl", "PlotService", "ReadPlot", "plot_cache", "plot_db");
+    cached_reader(
+        &mut wf,
+        "PlotServiceImpl",
+        "PlotService",
+        "ReadPlot",
+        "plot_cache",
+        "plot_db",
+    );
     wf.add_service(
         ServiceBuilder::new(
             "CastInfoServiceImpl",
@@ -262,8 +288,12 @@ pub fn workflow() -> WorkflowSpec {
                 ])
                 .call("review_storage", "StoreReview")
                 .parallel(vec![
-                    Behavior::build().call("movie_review", "UploadMovieReview").done(),
-                    Behavior::build().call("user_review", "UploadUserReview").done(),
+                    Behavior::build()
+                        .call("movie_review", "UploadMovieReview")
+                        .done(),
+                    Behavior::build()
+                        .call("user_review", "UploadUserReview")
+                        .done(),
                 ])
                 .done(),
         )
@@ -278,7 +308,12 @@ pub fn workflow() -> WorkflowSpec {
             "GatewayServiceImpl",
             ServiceInterface::new(
                 "GatewayService",
-                vec![sig("ComposeReview"), sig("ReadMovieReviews"), sig("ReadMovieInfo"), sig("ReadUserReviews")],
+                vec![
+                    sig("ComposeReview"),
+                    sig("ReadMovieReviews"),
+                    sig("ReadMovieInfo"),
+                    sig("ReadUserReviews"),
+                ],
             ),
         )
         .dep_service("compose", "ComposeReviewService")
@@ -340,19 +375,44 @@ pub fn wiring(opts: &WiringOpts) -> WiringSpec {
     ] {
         w.define(db, "MongoDB", vec![]).expect("wiring");
     }
-    for cache in ["movie_id_cache", "user_cache", "review_cache", "rating_cache", "plot_cache"] {
-        w.define_kw(cache, "Redis", vec![], vec![("capacity", Arg::Int(200_000))])
-            .expect("wiring");
+    for cache in [
+        "movie_id_cache",
+        "user_cache",
+        "review_cache",
+        "rating_cache",
+        "plot_cache",
+    ] {
+        w.define_kw(
+            cache,
+            "Redis",
+            vec![],
+            vec![("capacity", Arg::Int(200_000))],
+        )
+        .expect("wiring");
     }
 
-    w.service("unique_id", "UniqueIdServiceImpl", &[], &mods).expect("wiring");
-    w.service("movie_id", "MovieIdServiceImpl", &["movie_id_cache", "movie_id_db"], &mods)
+    w.service("unique_id", "UniqueIdServiceImpl", &[], &mods)
         .expect("wiring");
-    w.service("text", "TextServiceImpl", &[], &mods).expect("wiring");
-    w.service("rating", "RatingServiceImpl", &["rating_cache"], &mods).expect("wiring");
-    w.service("user", "UserServiceImpl", &["user_cache", "user_db"], &mods).expect("wiring");
-    w.service("review_storage", "ReviewStorageServiceImpl", &["review_cache", "review_db"], &mods)
+    w.service(
+        "movie_id",
+        "MovieIdServiceImpl",
+        &["movie_id_cache", "movie_id_db"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service("text", "TextServiceImpl", &[], &mods)
         .expect("wiring");
+    w.service("rating", "RatingServiceImpl", &["rating_cache"], &mods)
+        .expect("wiring");
+    w.service("user", "UserServiceImpl", &["user_cache", "user_db"], &mods)
+        .expect("wiring");
+    w.service(
+        "review_storage",
+        "ReviewStorageServiceImpl",
+        &["review_cache", "review_db"],
+        &mods,
+    )
+    .expect("wiring");
     w.service(
         "movie_review",
         "MovieReviewServiceImpl",
@@ -360,12 +420,24 @@ pub fn wiring(opts: &WiringOpts) -> WiringSpec {
         &mods,
     )
     .expect("wiring");
-    w.service("user_review", "UserReviewServiceImpl", &["user_review_db", "review_storage"], &mods)
+    w.service(
+        "user_review",
+        "UserReviewServiceImpl",
+        &["user_review_db", "review_storage"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service("plot", "PlotServiceImpl", &["plot_cache", "plot_db"], &mods)
         .expect("wiring");
-    w.service("plot", "PlotServiceImpl", &["plot_cache", "plot_db"], &mods).expect("wiring");
-    w.service("cast_info", "CastInfoServiceImpl", &["cast_db"], &mods).expect("wiring");
-    w.service("movie_info", "MovieInfoServiceImpl", &["movie_info_db", "plot", "cast_info"], &mods)
+    w.service("cast_info", "CastInfoServiceImpl", &["cast_db"], &mods)
         .expect("wiring");
+    w.service(
+        "movie_info",
+        "MovieInfoServiceImpl",
+        &["movie_info_db", "plot", "cast_info"],
+        &mods,
+    )
+    .expect("wiring");
     w.service(
         "compose_review",
         "ComposeReviewServiceImpl",
@@ -385,7 +457,12 @@ pub fn wiring(opts: &WiringOpts) -> WiringSpec {
     w.service(
         "gateway",
         "GatewayServiceImpl",
-        &["compose_review", "movie_review", "user_review", "movie_info"],
+        &[
+            "compose_review",
+            "movie_review",
+            "user_review",
+            "movie_info",
+        ],
         &mods,
     )
     .expect("wiring");
@@ -423,9 +500,14 @@ mod tests {
         assert_eq!(app.system().services.len(), 13);
         assert_eq!(app.system().backends.len(), 13);
         let mut sim = app.simulation(2).unwrap();
-        for (i, m) in ["ComposeReview", "ReadMovieReviews", "ReadMovieInfo", "ReadUserReviews"]
-            .iter()
-            .enumerate()
+        for (i, m) in [
+            "ComposeReview",
+            "ReadMovieReviews",
+            "ReadMovieInfo",
+            "ReadUserReviews",
+        ]
+        .iter()
+        .enumerate()
         {
             sim.submit("gateway", m, i as u64).unwrap();
         }

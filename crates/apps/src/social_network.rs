@@ -51,7 +51,10 @@ pub fn workflow_with(extended_cache: bool) -> WorkflowSpec {
             "UniqueIdServiceImpl",
             ServiceInterface::new("UniqueIdService", vec![sig("UploadUniqueId")]),
         )
-        .method("UploadUniqueId", Behavior::build().compute(cost::LIGHT_NS, 4 << 10).done())
+        .method(
+            "UploadUniqueId",
+            Behavior::build().compute(cost::LIGHT_NS, 4 << 10).done(),
+        )
         .done()
         .expect("valid service"),
     )
@@ -89,7 +92,9 @@ pub fn workflow_with(extended_cache: bool) -> WorkflowSpec {
                 .cache_get_or_fetch(
                     "user_cache",
                     KeyExpr::EntityMod(ENTITIES),
-                    Behavior::build().db_read("user_db", KeyExpr::EntityMod(ENTITIES)).done(),
+                    Behavior::build()
+                        .db_read("user_db", KeyExpr::EntityMod(ENTITIES))
+                        .done(),
                 )
                 .done(),
         )
@@ -206,7 +211,9 @@ pub fn workflow_with(extended_cache: bool) -> WorkflowSpec {
                 .compute(cost::MEDIUM_NS, cost::ALLOC)
                 .parallel(vec![
                     Behavior::build().call("url_shorten", "ShortenUrls").done(),
-                    Behavior::build().call("user_mention", "UploadUserMentions").done(),
+                    Behavior::build()
+                        .call("user_mention", "UploadUserMentions")
+                        .done(),
                 ])
                 .done(),
         )
@@ -221,7 +228,9 @@ pub fn workflow_with(extended_cache: bool) -> WorkflowSpec {
             .compute(cost::LIGHT_NS, cost::ALLOC)
             .cache_op(
                 "post_cache",
-                CacheOp::GetRange { items: TIMELINE_POSTS },
+                CacheOp::GetRange {
+                    items: TIMELINE_POSTS,
+                },
                 KeyExpr::Random(ENTITIES),
             )
             .done()
@@ -353,7 +362,9 @@ pub fn workflow_with(extended_cache: bool) -> WorkflowSpec {
                 .call("social_graph", "GetFollowers")
                 .repeat(
                     3,
-                    Behavior::build().cache_put("ht_cache", KeyExpr::Random(ENTITIES)).done(),
+                    Behavior::build()
+                        .cache_put("ht_cache", KeyExpr::Random(ENTITIES))
+                        .done(),
                 )
                 .done(),
         )
@@ -383,12 +394,18 @@ pub fn workflow_with(extended_cache: bool) -> WorkflowSpec {
                     Behavior::build().call("text", "UploadText").done(),
                     Behavior::build().call("unique_id", "UploadUniqueId").done(),
                     Behavior::build().call("media", "UploadMedia").done(),
-                    Behavior::build().call("user", "UploadCreatorWithUserId").done(),
+                    Behavior::build()
+                        .call("user", "UploadCreatorWithUserId")
+                        .done(),
                 ])
                 .call("post_storage", "StorePost")
                 .parallel(vec![
-                    Behavior::build().call("user_timeline", "WriteUserTimeline").done(),
-                    Behavior::build().call("home_timeline", "WriteHomeTimeline").done(),
+                    Behavior::build()
+                        .call("user_timeline", "WriteUserTimeline")
+                        .done(),
+                    Behavior::build()
+                        .call("home_timeline", "WriteHomeTimeline")
+                        .done(),
                 ])
                 .done(),
         )
@@ -403,7 +420,11 @@ pub fn workflow_with(extended_cache: bool) -> WorkflowSpec {
             "GatewayServiceImpl",
             ServiceInterface::new(
                 "GatewayService",
-                vec![sig("ComposePost"), sig("ReadHomeTimeline"), sig("ReadUserTimeline")],
+                vec![
+                    sig("ComposePost"),
+                    sig("ReadHomeTimeline"),
+                    sig("ReadUserTimeline"),
+                ],
             ),
         )
         .dep_service("compose", "ComposePostService")
@@ -411,7 +432,10 @@ pub fn workflow_with(extended_cache: bool) -> WorkflowSpec {
         .dep_service("user_timeline", "UserTimelineService")
         .method(
             "ComposePost",
-            Behavior::build().compute(cost::LIGHT_NS, cost::ALLOC).call("compose", "ComposePost").done(),
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .call("compose", "ComposePost")
+                .done(),
         )
         .method(
             "ReadHomeTimeline",
@@ -444,14 +468,34 @@ fn declare_backends(w: &mut WiringSpec) {
     w.define("media_db", "MongoDB", vec![]).expect("wiring");
     w.define("post_db", "MongoDB", vec![]).expect("wiring");
     w.define("sg_db", "MongoDB", vec![]).expect("wiring");
-    w.define_kw("user_cache", "Memcached", vec![], vec![("capacity", Arg::Int(200_000))])
-        .expect("wiring");
-    w.define_kw("post_cache", "Redis", vec![], vec![("capacity", Arg::Int(500_000))])
-        .expect("wiring");
-    w.define_kw("sg_cache", "Redis", vec![], vec![("capacity", Arg::Int(200_000))])
-        .expect("wiring");
-    w.define_kw("ht_cache", "Redis", vec![], vec![("capacity", Arg::Int(200_000))])
-        .expect("wiring");
+    w.define_kw(
+        "user_cache",
+        "Memcached",
+        vec![],
+        vec![("capacity", Arg::Int(200_000))],
+    )
+    .expect("wiring");
+    w.define_kw(
+        "post_cache",
+        "Redis",
+        vec![],
+        vec![("capacity", Arg::Int(500_000))],
+    )
+    .expect("wiring");
+    w.define_kw(
+        "sg_cache",
+        "Redis",
+        vec![],
+        vec![("capacity", Arg::Int(200_000))],
+    )
+    .expect("wiring");
+    w.define_kw(
+        "ht_cache",
+        "Redis",
+        vec![],
+        vec![("capacity", Arg::Int(200_000))],
+    )
+    .expect("wiring");
 }
 
 /// The standard wiring spec.
@@ -460,21 +504,52 @@ pub fn wiring(opts: &WiringOpts) -> WiringSpec {
     let mods = standard_scaffolding(&mut w, opts).expect("scaffolding");
     let mods: Vec<&str> = mods.iter().map(String::as_str).collect();
     declare_backends(&mut w);
-    w.define_kw("ut_db", "MongoDB", vec![], vec![]).expect("wiring");
-    w.define_kw("ut_cache", "Redis", vec![], vec![("capacity", Arg::Int(200_000))])
+    w.define_kw("ut_db", "MongoDB", vec![], vec![])
         .expect("wiring");
+    w.define_kw(
+        "ut_cache",
+        "Redis",
+        vec![],
+        vec![("capacity", Arg::Int(200_000))],
+    )
+    .expect("wiring");
 
-    w.service("unique_id", "UniqueIdServiceImpl", &[], &mods).expect("wiring");
-    w.service("url_shorten", "UrlShortenServiceImpl", &["url_db"], &mods).expect("wiring");
-    w.service("user_mention", "UserMentionServiceImpl", &["user_cache", "user_db"], &mods)
+    w.service("unique_id", "UniqueIdServiceImpl", &[], &mods)
         .expect("wiring");
-    w.service("media", "MediaServiceImpl", &["media_db"], &mods).expect("wiring");
-    w.service("user", "UserServiceImpl", &["user_cache", "user_db"], &mods).expect("wiring");
-    w.service("social_graph", "SocialGraphServiceImpl", &["sg_cache", "sg_db"], &mods)
+    w.service("url_shorten", "UrlShortenServiceImpl", &["url_db"], &mods)
         .expect("wiring");
-    w.service("text", "TextServiceImpl", &["url_shorten", "user_mention"], &mods).expect("wiring");
-    w.service("post_storage", "PostStorageServiceImpl", &["post_cache", "post_db"], &mods)
+    w.service(
+        "user_mention",
+        "UserMentionServiceImpl",
+        &["user_cache", "user_db"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service("media", "MediaServiceImpl", &["media_db"], &mods)
         .expect("wiring");
+    w.service("user", "UserServiceImpl", &["user_cache", "user_db"], &mods)
+        .expect("wiring");
+    w.service(
+        "social_graph",
+        "SocialGraphServiceImpl",
+        &["sg_cache", "sg_db"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service(
+        "text",
+        "TextServiceImpl",
+        &["url_shorten", "user_mention"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service(
+        "post_storage",
+        "PostStorageServiceImpl",
+        &["post_cache", "post_db"],
+        &mods,
+    )
+    .expect("wiring");
     w.service(
         "user_timeline",
         "UserTimelineServiceImpl",
@@ -492,7 +567,15 @@ pub fn wiring(opts: &WiringOpts) -> WiringSpec {
     w.service(
         "compose_post",
         "ComposePostServiceImpl",
-        &["text", "unique_id", "media", "user", "post_storage", "user_timeline", "home_timeline"],
+        &[
+            "text",
+            "unique_id",
+            "media",
+            "user",
+            "post_storage",
+            "user_timeline",
+            "home_timeline",
+        ],
         &mods,
     )
     .expect("wiring");
@@ -518,7 +601,10 @@ pub fn wiring(opts: &WiringOpts) -> WiringSpec {
 /// `timeout_all`/`retry_all` scaffolding instances this variant attaches to
 /// the database).
 pub fn wiring_type4(opts: &WiringOpts, db_cpu_us: i64) -> WiringSpec {
-    assert!(opts.timeout_ms.is_some() && opts.retries > 0, "type4 needs timeouts + retries");
+    assert!(
+        opts.timeout_ms.is_some() && opts.retries > 0,
+        "type4 needs timeouts + retries"
+    );
     let mut w = WiringSpec::new("dsb_social_network_type4");
     let mods = standard_scaffolding(&mut w, opts).expect("scaffolding");
     let mods: Vec<&str> = mods.iter().map(String::as_str).collect();
@@ -532,20 +618,50 @@ pub fn wiring_type4(opts: &WiringOpts, db_cpu_us: i64) -> WiringSpec {
         &["timeout_all", "retry_all"],
     )
     .expect("wiring");
-    w.define_kw("ut_cache", "Redis", vec![], vec![("capacity", Arg::Int(200_000))])
-        .expect("wiring");
+    w.define_kw(
+        "ut_cache",
+        "Redis",
+        vec![],
+        vec![("capacity", Arg::Int(200_000))],
+    )
+    .expect("wiring");
 
-    w.service("unique_id", "UniqueIdServiceImpl", &[], &mods).expect("wiring");
-    w.service("url_shorten", "UrlShortenServiceImpl", &["url_db"], &mods).expect("wiring");
-    w.service("user_mention", "UserMentionServiceImpl", &["user_cache", "user_db"], &mods)
+    w.service("unique_id", "UniqueIdServiceImpl", &[], &mods)
         .expect("wiring");
-    w.service("media", "MediaServiceImpl", &["media_db"], &mods).expect("wiring");
-    w.service("user", "UserServiceImpl", &["user_cache", "user_db"], &mods).expect("wiring");
-    w.service("social_graph", "SocialGraphServiceImpl", &["sg_cache", "sg_db"], &mods)
+    w.service("url_shorten", "UrlShortenServiceImpl", &["url_db"], &mods)
         .expect("wiring");
-    w.service("text", "TextServiceImpl", &["url_shorten", "user_mention"], &mods).expect("wiring");
-    w.service("post_storage", "PostStorageServiceImpl", &["post_cache", "post_db"], &mods)
+    w.service(
+        "user_mention",
+        "UserMentionServiceImpl",
+        &["user_cache", "user_db"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service("media", "MediaServiceImpl", &["media_db"], &mods)
         .expect("wiring");
+    w.service("user", "UserServiceImpl", &["user_cache", "user_db"], &mods)
+        .expect("wiring");
+    w.service(
+        "social_graph",
+        "SocialGraphServiceImpl",
+        &["sg_cache", "sg_db"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service(
+        "text",
+        "TextServiceImpl",
+        &["url_shorten", "user_mention"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service(
+        "post_storage",
+        "PostStorageServiceImpl",
+        &["post_cache", "post_db"],
+        &mods,
+    )
+    .expect("wiring");
     w.service(
         "user_timeline",
         "UserTimelineServiceImpl",
@@ -563,7 +679,15 @@ pub fn wiring_type4(opts: &WiringOpts, db_cpu_us: i64) -> WiringSpec {
     w.service(
         "compose_post",
         "ComposePostServiceImpl",
-        &["text", "unique_id", "media", "user", "post_storage", "user_timeline", "home_timeline"],
+        &[
+            "text",
+            "unique_id",
+            "media",
+            "user",
+            "post_storage",
+            "user_timeline",
+            "home_timeline",
+        ],
         &mods,
     )
     .expect("wiring");
@@ -600,22 +724,57 @@ pub fn wiring_inconsistency(opts: &WiringOpts, lag_min_ms: i64, lag_max_ms: i64)
         ],
     )
     .expect("wiring");
-    w.define_kw("ut_cache_a", "Redis", vec![], vec![("capacity", Arg::Int(200_000))])
-        .expect("wiring");
-    w.define_kw("ut_cache_b", "Redis", vec![], vec![("capacity", Arg::Int(200_000))])
-        .expect("wiring");
+    w.define_kw(
+        "ut_cache_a",
+        "Redis",
+        vec![],
+        vec![("capacity", Arg::Int(200_000))],
+    )
+    .expect("wiring");
+    w.define_kw(
+        "ut_cache_b",
+        "Redis",
+        vec![],
+        vec![("capacity", Arg::Int(200_000))],
+    )
+    .expect("wiring");
 
-    w.service("unique_id", "UniqueIdServiceImpl", &[], &mods).expect("wiring");
-    w.service("url_shorten", "UrlShortenServiceImpl", &["url_db"], &mods).expect("wiring");
-    w.service("user_mention", "UserMentionServiceImpl", &["user_cache", "user_db"], &mods)
+    w.service("unique_id", "UniqueIdServiceImpl", &[], &mods)
         .expect("wiring");
-    w.service("media", "MediaServiceImpl", &["media_db"], &mods).expect("wiring");
-    w.service("user", "UserServiceImpl", &["user_cache", "user_db"], &mods).expect("wiring");
-    w.service("social_graph", "SocialGraphServiceImpl", &["sg_cache", "sg_db"], &mods)
+    w.service("url_shorten", "UrlShortenServiceImpl", &["url_db"], &mods)
         .expect("wiring");
-    w.service("text", "TextServiceImpl", &["url_shorten", "user_mention"], &mods).expect("wiring");
-    w.service("post_storage", "PostStorageServiceImpl", &["post_cache", "post_db"], &mods)
+    w.service(
+        "user_mention",
+        "UserMentionServiceImpl",
+        &["user_cache", "user_db"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service("media", "MediaServiceImpl", &["media_db"], &mods)
         .expect("wiring");
+    w.service("user", "UserServiceImpl", &["user_cache", "user_db"], &mods)
+        .expect("wiring");
+    w.service(
+        "social_graph",
+        "SocialGraphServiceImpl",
+        &["sg_cache", "sg_db"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service(
+        "text",
+        "TextServiceImpl",
+        &["url_shorten", "user_mention"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service(
+        "post_storage",
+        "PostStorageServiceImpl",
+        &["post_cache", "post_db"],
+        &mods,
+    )
+    .expect("wiring");
     // Two user-timeline replicas with their own caches, behind an LB.
     w.service(
         "user_timeline_a",
@@ -648,7 +807,15 @@ pub fn wiring_inconsistency(opts: &WiringOpts, lag_min_ms: i64, lag_max_ms: i64)
     w.service(
         "compose_post",
         "ComposePostServiceImpl",
-        &["text", "unique_id", "media", "user", "post_storage", "user_timeline", "home_timeline"],
+        &[
+            "text",
+            "unique_id",
+            "media",
+            "user",
+            "post_storage",
+            "user_timeline",
+            "home_timeline",
+        ],
         &mods,
     )
     .expect("wiring");

@@ -52,7 +52,10 @@ pub fn workflow() -> WorkflowSpec {
     wf.add_service(
         ServiceBuilder::new(
             "CartsServiceImpl",
-            ServiceInterface::new("CartsService", vec![sig("AddItem"), sig("GetCart"), sig("DeleteCart")]),
+            ServiceInterface::new(
+                "CartsService",
+                vec![sig("AddItem"), sig("GetCart"), sig("DeleteCart")],
+            ),
         )
         .dep_nosql("carts_db")
         .method(
@@ -201,7 +204,12 @@ pub fn workflow() -> WorkflowSpec {
             "FrontendServiceImpl",
             ServiceInterface::new(
                 "FrontendService",
-                vec![sig("Browse"), sig("AddToCart"), sig("Checkout"), sig("Login")],
+                vec![
+                    sig("Browse"),
+                    sig("AddToCart"),
+                    sig("Checkout"),
+                    sig("Login"),
+                ],
             ),
         )
         .dep_service("catalogue", "CatalogueService")
@@ -233,7 +241,10 @@ pub fn workflow() -> WorkflowSpec {
         )
         .method(
             "Login",
-            Behavior::build().compute(cost::LIGHT_NS, cost::ALLOC).call("user", "Login").done(),
+            Behavior::build()
+                .compute(cost::LIGHT_NS, cost::ALLOC)
+                .call("user", "Login")
+                .done(),
         )
         .done()
         .expect("valid service"),
@@ -255,23 +266,57 @@ pub fn wiring(opts: &WiringOpts) -> WiringSpec {
     for db in ["carts_db", "orders_db", "user_db"] {
         w.define(db, "MongoDB", vec![]).expect("wiring");
     }
-    w.define_kw("shipping_queue", "RabbitMQ", vec![], vec![("capacity", Arg::Int(50_000))])
-        .expect("wiring");
+    w.define_kw(
+        "shipping_queue",
+        "RabbitMQ",
+        vec![],
+        vec![("capacity", Arg::Int(50_000))],
+    )
+    .expect("wiring");
 
-    w.service("catalogue", "CatalogueServiceImpl", &["catalogue_db"], &mods).expect("wiring");
-    w.service("carts", "CartsServiceImpl", &["carts_db"], &mods).expect("wiring");
-    w.service("user", "UserServiceImpl", &["user_db"], &mods).expect("wiring");
-    w.service("payment", "PaymentServiceImpl", &[], &mods).expect("wiring");
-    w.service("shipping", "ShippingServiceImpl", &["shipping_queue"], &mods).expect("wiring");
-    w.service("queue_master", "QueueMasterServiceImpl", &["shipping_queue"], &mods)
+    w.service(
+        "catalogue",
+        "CatalogueServiceImpl",
+        &["catalogue_db"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service("carts", "CartsServiceImpl", &["carts_db"], &mods)
         .expect("wiring");
-    w.service("orders", "OrdersServiceImpl", &["orders_db", "carts", "user", "payment", "shipping"], &mods)
+    w.service("user", "UserServiceImpl", &["user_db"], &mods)
         .expect("wiring");
+    w.service("payment", "PaymentServiceImpl", &[], &mods)
+        .expect("wiring");
+    w.service(
+        "shipping",
+        "ShippingServiceImpl",
+        &["shipping_queue"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service(
+        "queue_master",
+        "QueueMasterServiceImpl",
+        &["shipping_queue"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service(
+        "orders",
+        "OrdersServiceImpl",
+        &["orders_db", "carts", "user", "payment", "shipping"],
+        &mods,
+    )
+    .expect("wiring");
     // The front-end serves HTTP regardless of the inner RPC choice.
     if opts.containerized {
-        w.define("http_server", "HTTPServer", vec![]).expect("wiring");
-        let mut fe_mods: Vec<&str> =
-            mods.iter().copied().filter(|m| *m != "rpc_server").collect();
+        w.define("http_server", "HTTPServer", vec![])
+            .expect("wiring");
+        let mut fe_mods: Vec<&str> = mods
+            .iter()
+            .copied()
+            .filter(|m| *m != "rpc_server")
+            .collect();
         fe_mods.insert(0, "http_server");
         w.service(
             "frontend",
@@ -325,7 +370,10 @@ mod tests {
         assert!(app.system().entries.contains_key("frontend"));
         assert!(app.system().entries.contains_key("queue_master"));
         let mut sim = app.simulation(2).unwrap();
-        for (i, m) in ["Browse", "AddToCart", "Checkout", "Login"].iter().enumerate() {
+        for (i, m) in ["Browse", "AddToCart", "Checkout", "Login"]
+            .iter()
+            .enumerate()
+        {
             sim.submit("frontend", m, i as u64).unwrap();
         }
         sim.submit("queue_master", "DrainOne", 0).unwrap();

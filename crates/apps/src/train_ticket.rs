@@ -69,17 +69,55 @@ const ORCHESTRATORS: &[(&str, bool, &[&str])] = &[
     (
         "preserve",
         false,
-        &["security", "contacts", "travel", "assurance", "food", "consign", "user", "order", "notification"],
+        &[
+            "security",
+            "contacts",
+            "travel",
+            "assurance",
+            "food",
+            "consign",
+            "user",
+            "order",
+            "notification",
+        ],
     ),
     (
         "preserve_other",
         false,
-        &["security", "contacts", "travel2", "assurance", "food", "consign", "user", "order_other", "notification"],
+        &[
+            "security",
+            "contacts",
+            "travel2",
+            "assurance",
+            "food",
+            "consign",
+            "user",
+            "order_other",
+            "notification",
+        ],
     ),
-    ("cancel", false, &["order", "order_other", "inside_payment", "notification", "user"]),
-    ("rebook", false, &["order", "travel", "seat", "inside_payment"]),
+    (
+        "cancel",
+        false,
+        &[
+            "order",
+            "order_other",
+            "inside_payment",
+            "notification",
+            "user",
+        ],
+    ),
+    (
+        "rebook",
+        false,
+        &["order", "travel", "seat", "inside_payment"],
+    ),
     ("execute", false, &["order", "order_other"]),
-    ("admin_basic", false, &["station", "train", "config", "price", "contacts"]),
+    (
+        "admin_basic",
+        false,
+        &["station", "train", "config", "price", "contacts"],
+    ),
     ("admin_order", false, &["order", "order_other"]),
     ("admin_route", false, &["route"]),
     ("admin_travel", false, &["travel", "travel2"]),
@@ -161,8 +199,13 @@ pub fn workflow() -> WorkflowSpec {
             builder = builder.dep_nosql(&db);
             b = b.db_write(&db, KeyExpr::Entity);
         }
-        wf.add_service(builder.method("Do", b.done()).done().expect("valid orchestrator"))
-            .expect("orchestrator");
+        wf.add_service(
+            builder
+                .method("Do", b.done())
+                .done()
+                .expect("valid orchestrator"),
+        )
+        .expect("orchestrator");
     }
 
     // UI gateway.
@@ -188,7 +231,8 @@ pub fn workflow() -> WorkflowSpec {
                 .done(),
         );
     }
-    wf.add_service(builder.done().expect("valid gateway")).expect("gateway");
+    wf.add_service(builder.done().expect("valid gateway"))
+        .expect("gateway");
 
     wf.validate().expect("train ticket workflow consistent");
     wf
@@ -202,17 +246,24 @@ pub fn wiring(opts: &WiringOpts) -> WiringSpec {
     let mods: Vec<&str> = mods.iter().map(String::as_str).collect();
 
     for leaf in LEAVES {
-        w.define(&format!("{leaf}_db"), "MongoDB", vec![]).expect("wiring");
+        w.define(&format!("{leaf}_db"), "MongoDB", vec![])
+            .expect("wiring");
     }
     for (name, has_db, _) in ORCHESTRATORS {
         if *has_db {
-            w.define(&format!("{name}_db"), "MongoDB", vec![]).expect("wiring");
+            w.define(&format!("{name}_db"), "MongoDB", vec![])
+                .expect("wiring");
         }
     }
     for leaf in LEAVES {
         let db = format!("{leaf}_db");
-        w.service(&format!("ts_{leaf}"), &impl_name(leaf), &[db.as_str()], &mods)
-            .expect("wiring");
+        w.service(
+            &format!("ts_{leaf}"),
+            &impl_name(leaf),
+            &[db.as_str()],
+            &mods,
+        )
+        .expect("wiring");
     }
     for (name, has_db, downstream) in ORCHESTRATORS {
         let mut deps: Vec<String> = downstream.iter().map(|d| format!("ts_{d}")).collect();
@@ -220,14 +271,16 @@ pub fn wiring(opts: &WiringOpts) -> WiringSpec {
             deps.push(format!("{name}_db"));
         }
         let refs: Vec<&str> = deps.iter().map(String::as_str).collect();
-        w.service(&format!("ts_{name}"), &impl_name(name), &refs, &mods).expect("wiring");
+        w.service(&format!("ts_{name}"), &impl_name(name), &refs, &mods)
+            .expect("wiring");
     }
     let mut targets: Vec<&str> = APIS.iter().map(|(_, t)| *t).collect();
     targets.sort_unstable();
     targets.dedup();
     let gw_deps: Vec<String> = targets.iter().map(|t| format!("ts_{t}")).collect();
     let refs: Vec<&str> = gw_deps.iter().map(String::as_str).collect();
-    w.service("ts_ui_gateway", "TsUiGatewayServiceImpl", &refs, &mods).expect("wiring");
+    w.service("ts_ui_gateway", "TsUiGatewayServiceImpl", &refs, &mods)
+        .expect("wiring");
     finish_monolith(&mut w, opts).expect("monolith grouping");
     w
 }

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use blueprint_apps::{
-    alibaba, hotel_reservation, sock_shop, social_network, train_ticket, WiringOpts,
+    alibaba, hotel_reservation, social_network, sock_shop, train_ticket, WiringOpts,
 };
 use blueprint_core::Blueprint;
 
@@ -14,7 +14,10 @@ fn bench_apps(c: &mut Criterion) {
     let mut group = c.benchmark_group("gen_time_apps");
     group.sample_size(20);
 
-    let hr = (hotel_reservation::workflow(), hotel_reservation::wiring(&opts));
+    let hr = (
+        hotel_reservation::workflow(),
+        hotel_reservation::wiring(&opts),
+    );
     group.bench_function("hotel_reservation", |b| {
         b.iter(|| Blueprint::new().compile(&hr.0, &hr.1).expect("compiles"))
     });

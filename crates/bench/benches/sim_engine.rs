@@ -35,6 +35,37 @@ fn bench_ps_host(c: &mut Criterion) {
     });
 }
 
+/// Per-request dispatch microbenchmark: one booted system, one request per
+/// iteration, run to completion. This isolates the per-event hot path (entry
+/// and method resolution, frame allocation, client routing) from workload
+/// generation and boot cost, so interning/pooling changes show up directly.
+fn bench_per_request(c: &mut Criterion) {
+    let app = Blueprint::new()
+        .without_artifacts()
+        .compile(&hr::workflow(), &hr::wiring(&WiringOpts::default()))
+        .expect("compiles");
+    let mut sim = app
+        .simulation_with(SimConfig {
+            seed: 7,
+            ..Default::default()
+        })
+        .expect("boots");
+    let mut entity = 0u64;
+    let mut t = 0u64;
+    c.bench_function("hotel_reservation_per_request", |b| {
+        b.iter(|| {
+            entity = (entity + 1) % hr::ENTITIES;
+            sim.submit("frontend", "SearchHotels", entity)
+                .expect("submit");
+            // One request finishes well within 100ms of simulated time.
+            t += 100_000_000;
+            sim.run_until(t);
+            let done = sim.drain_completions();
+            assert_eq!(done.len(), 1);
+        })
+    });
+}
+
 fn bench_sim_second(c: &mut Criterion) {
     let app = Blueprint::new()
         .without_artifacts()
@@ -45,7 +76,10 @@ fn bench_sim_second(c: &mut Criterion) {
     group.bench_function("hotel_reservation_5s_at_2krps", |b| {
         b.iter(|| {
             let mut sim = app
-                .simulation_with(SimConfig { seed: 5, ..Default::default() })
+                .simulation_with(SimConfig {
+                    seed: 5,
+                    ..Default::default()
+                })
                 .expect("boots");
             let gen = OpenLoopGen::new(
                 vec![Phase::new(5, 2_000.0)],
@@ -60,5 +94,5 @@ fn bench_sim_second(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ps_host, bench_sim_second);
+criterion_group!(benches, bench_ps_host, bench_per_request, bench_sim_second);
 criterion_main!(benches);

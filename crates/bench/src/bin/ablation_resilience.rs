@@ -18,7 +18,9 @@ use blueprint_workload::{run_experiment, ExperimentSpec};
 fn run_cell(retries: u32, backoff_ms: i64, mode: Mode) -> (f64, u64) {
     let opts = WiringOpts {
         cluster: (8, 2.0),
-        ..WiringOpts::default().without_tracing().with_timeout_retries(500, retries.max(1))
+        ..WiringOpts::default()
+            .without_tracing()
+            .with_timeout_retries(500, retries.max(1))
     };
     let mut wiring = hr::wiring(&opts);
     if retries == 0 {
@@ -28,7 +30,10 @@ fn run_cell(retries: u32, backoff_ms: i64, mode: Mode) -> (f64, u64) {
         mutate::set_kwarg(&mut wiring, "retry_all", "backoff_ms", Arg::Int(backoff_ms))
             .expect("backoff kwarg");
     }
-    let app = Blueprint::new().without_artifacts().compile(&hr::workflow(), &wiring).unwrap();
+    let app = Blueprint::new()
+        .without_artifacts()
+        .compile(&hr::workflow(), &wiring)
+        .unwrap();
     let mut sim = app.simulation(71).unwrap();
     let phases = vec![
         Phase::new(mode.secs(30), 2_500.0),
@@ -48,15 +53,17 @@ fn run_cell(retries: u32, backoff_ms: i64, mode: Mode) -> (f64, u64) {
 fn main() {
     let mode = Mode::from_args();
     let mut rows = Vec::new();
-    for (retries, backoff_ms) in
-        [(0u32, 0i64), (3, 0), (3, 100), (10, 0), (10, 10), (10, 200)]
-    {
+    for (retries, backoff_ms) in [(0u32, 0i64), (3, 0), (3, 100), (10, 0), (10, 10), (10, 200)] {
         let (err, total_retries) = run_cell(retries, backoff_ms, mode);
         rows.push(vec![
             retries.to_string(),
             backoff_ms.to_string(),
             report::f3(err),
-            if err > 0.5 { "METASTABLE".into() } else { "recovered".into() },
+            if err > 0.5 {
+                "METASTABLE".into()
+            } else {
+                "recovered".into()
+            },
             total_retries.to_string(),
         ]);
     }
@@ -64,7 +71,13 @@ fn main() {
         "{}",
         report::table(
             "Ablation — retry policy vs Type-1 metastability (post-spike window)",
-            &["retries", "backoff ms", "final err", "outcome", "total retries"],
+            &[
+                "retries",
+                "backoff ms",
+                "final err",
+                "outcome",
+                "total retries"
+            ],
             &rows,
         )
     );

@@ -3,7 +3,10 @@
 use blueprint_bench::{figures::fig6, Mode};
 fn main() {
     let mode = Mode::from_args();
-    let which: Vec<String> = std::env::args().skip(1).filter(|a| a != "--quick").collect();
+    let which: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--quick")
+        .collect();
     let all = which.is_empty();
     let wants = |t: &str| all || which.iter().any(|w| w == t);
     if wants("type1") {

@@ -3,5 +3,8 @@ use blueprint_bench::{figures::fig9, Mode};
 fn main() {
     let samples = fig9::run(Mode::from_args());
     print!("{}", fig9::print(&samples));
-    println!("anomalies spike above normals: {}", fig9::spikes_at_anomalies(&samples));
+    println!(
+        "anomalies spike above normals: {}",
+        fig9::spikes_at_anomalies(&samples)
+    );
 }

@@ -2,6 +2,10 @@
 //! Alibaba topology).
 use blueprint_bench::Mode;
 fn main() {
-    let scale = if Mode::from_args().quick() { 300 } else { blueprint_apps::alibaba::PAPER_SCALE };
+    let scale = if Mode::from_args().quick() {
+        300
+    } else {
+        blueprint_apps::alibaba::PAPER_SCALE
+    };
     print!("{}", blueprint_bench::tables::table5(scale));
 }

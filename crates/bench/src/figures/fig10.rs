@@ -32,7 +32,9 @@ pub struct BreakerComparison {
 pub fn run(mode: Mode) -> BreakerComparison {
     let opts = WiringOpts {
         cluster: (8, 2.0),
-        ..WiringOpts::default().without_tracing().with_timeout_retries(500, 10)
+        ..WiringOpts::default()
+            .without_tracing()
+            .with_timeout_retries(500, 10)
     };
     let base_wiring = hr::wiring(&opts);
 

@@ -44,15 +44,31 @@ pub fn native_profile(sys: &SystemSpec) -> SystemSpec {
             };
             client.client_overhead_ns = 0;
             client.transport = match client.transport.clone() {
-                TransportSpec::Grpc { serialize_ns, net_ns } => {
-                    TransportSpec::Grpc { serialize_ns: serialize_ns / 2, net_ns }
-                }
-                TransportSpec::Thrift { pool, serialize_ns, net_ns, reconnect_ns } => {
-                    TransportSpec::Thrift { pool, serialize_ns: serialize_ns / 2, net_ns, reconnect_ns }
-                }
-                TransportSpec::Http { serialize_ns, net_ns } => {
-                    TransportSpec::Http { serialize_ns: serialize_ns / 2, net_ns }
-                }
+                TransportSpec::Grpc {
+                    serialize_ns,
+                    net_ns,
+                } => TransportSpec::Grpc {
+                    serialize_ns: serialize_ns / 2,
+                    net_ns,
+                },
+                TransportSpec::Thrift {
+                    pool,
+                    serialize_ns,
+                    net_ns,
+                    reconnect_ns,
+                } => TransportSpec::Thrift {
+                    pool,
+                    serialize_ns: serialize_ns / 2,
+                    net_ns,
+                    reconnect_ns,
+                },
+                TransportSpec::Http {
+                    serialize_ns,
+                    net_ns,
+                } => TransportSpec::Http {
+                    serialize_ns: serialize_ns / 2,
+                    net_ns,
+                },
                 other => other,
             };
         }
@@ -73,16 +89,32 @@ pub fn run(mode: Mode) -> Vec<Comparison> {
     let hr_rates: Vec<f64> = if mode.quick() {
         vec![4_000.0, 16_000.0, 24_000.0]
     } else {
-        vec![2_000.0, 6_000.0, 10_000.0, 14_000.0, 18_000.0, 22_000.0, 26_000.0]
+        vec![
+            2_000.0, 6_000.0, 10_000.0, 14_000.0, 18_000.0, 22_000.0, 26_000.0,
+        ]
     };
     let hr_bp = super::compile(&hr::workflow(), &hr::wiring(&opts));
     let hr_orig = super::compile(&hr::workflow(), &hr::wiring(&opts.without_tracing()));
     let hr_cmp = Comparison {
         app: "HotelReservation".into(),
-        blueprint: latency_throughput(hr_bp.system(), &hr::paper_mix(), &hr_rates, duration, hr::ENTITIES, 2)
-            .expect("sweep"),
-        original: latency_throughput(hr_orig.system(), &hr::paper_mix(), &hr_rates, duration, hr::ENTITIES, 2)
-            .expect("sweep"),
+        blueprint: latency_throughput(
+            hr_bp.system(),
+            &hr::paper_mix(),
+            &hr_rates,
+            duration,
+            hr::ENTITIES,
+            2,
+        )
+        .expect("sweep"),
+        original: latency_throughput(
+            hr_orig.system(),
+            &hr::paper_mix(),
+            &hr_rates,
+            duration,
+            hr::ENTITIES,
+            2,
+        )
+        .expect("sweep"),
     };
 
     // SocialNetwork: original is C++/nginx with specialized Redis ops.
@@ -92,14 +124,31 @@ pub fn run(mode: Mode) -> Vec<Comparison> {
         vec![1_000.0, 2_000.0, 3_000.0, 4_000.0, 5_000.0, 6_000.0]
     };
     let sn_bp = super::compile(&sn::workflow(), &sn::wiring(&opts));
-    let sn_native = super::compile(&sn::workflow_with(true), &sn::wiring(&opts.without_tracing()));
+    let sn_native = super::compile(
+        &sn::workflow_with(true),
+        &sn::wiring(&opts.without_tracing()),
+    );
     let native_sys = native_profile(sn_native.system());
     let sn_cmp = Comparison {
         app: "SocialNetwork".into(),
-        blueprint: latency_throughput(sn_bp.system(), &sn::paper_mix(), &sn_rates, duration, sn::ENTITIES, 2)
-            .expect("sweep"),
-        original: latency_throughput(&native_sys, &sn::paper_mix(), &sn_rates, duration, sn::ENTITIES, 2)
-            .expect("sweep"),
+        blueprint: latency_throughput(
+            sn_bp.system(),
+            &sn::paper_mix(),
+            &sn_rates,
+            duration,
+            sn::ENTITIES,
+            2,
+        )
+        .expect("sweep"),
+        original: latency_throughput(
+            &native_sys,
+            &sn::paper_mix(),
+            &sn_rates,
+            duration,
+            sn::ENTITIES,
+            2,
+        )
+        .expect("sweep"),
     };
     vec![hr_cmp, sn_cmp]
 }
@@ -120,7 +169,13 @@ pub fn print(cmps: &[Comparison]) -> String {
         }
         out.push_str(&report::table(
             &format!("Fig. 11 — {} (Blueprint vs original profile)", c.app),
-            &["offered rps", "bp p50 ms", "orig p50 ms", "bp p99 ms", "orig p99 ms"],
+            &[
+                "offered rps",
+                "bp p50 ms",
+                "orig p50 ms",
+                "bp p99 ms",
+                "orig p99 ms",
+            ],
             &rows,
         ));
         out.push('\n');

@@ -25,7 +25,9 @@ pub fn run(mode: Mode) -> CacheComparison {
     let rates: Vec<f64> = if mode.quick() {
         vec![5_000.0, 7_000.0, 9_000.0]
     } else {
-        vec![2_000.0, 4_000.0, 5_000.0, 6_000.0, 7_000.0, 8_000.0, 9_000.0, 10_000.0]
+        vec![
+            2_000.0, 4_000.0, 5_000.0, 6_000.0, 7_000.0, 8_000.0, 9_000.0, 10_000.0,
+        ]
     };
     let mix = ApiMix::single("gateway", "ReadHomeTimeline");
     // The cost study runs on the CPU-reduced cluster so the per-operation
@@ -37,10 +39,24 @@ pub fn run(mode: Mode) -> CacheComparison {
     let generic_app = super::compile(&sn::workflow_with(false), &sn::wiring(&opts));
     let extended_app = super::compile(&sn::workflow_with(true), &sn::wiring(&opts));
     CacheComparison {
-        generic: latency_throughput(generic_app.system(), &mix, &rates, duration, sn::ENTITIES, 3)
-            .expect("sweep"),
-        extended: latency_throughput(extended_app.system(), &mix, &rates, duration, sn::ENTITIES, 3)
-            .expect("sweep"),
+        generic: latency_throughput(
+            generic_app.system(),
+            &mix,
+            &rates,
+            duration,
+            sn::ENTITIES,
+            3,
+        )
+        .expect("sweep"),
+        extended: latency_throughput(
+            extended_app.system(),
+            &mix,
+            &rates,
+            duration,
+            sn::ENTITIES,
+            3,
+        )
+        .expect("sweep"),
     }
 }
 
@@ -48,9 +64,7 @@ pub fn run(mode: Mode) -> CacheComparison {
 /// offered rate where the generic variant is saturated or degraded.
 pub fn throughput_gain(c: &CacheComparison) -> f64 {
     // Take the best achieved goodput of each variant over the sweep.
-    let best = |pts: &[SweepPoint]| {
-        pts.iter().map(|p| p.goodput_rps).fold(0.0f64, f64::max)
-    };
+    let best = |pts: &[SweepPoint]| pts.iter().map(|p| p.goodput_rps).fold(0.0f64, f64::max);
     let g = best(&c.generic);
     let e = best(&c.extended);
     if g <= 0.0 {

@@ -27,9 +27,18 @@ fn variants() -> Vec<(String, WiringOpts)> {
     let base = WiringOpts::default().without_tracing();
     vec![
         ("grpc".into(), base),
-        ("thrift(pool=16)".into(), base.with_rpc(RpcChoice::Thrift { pool: 16 })),
-        ("thrift(pool=64)".into(), base.with_rpc(RpcChoice::Thrift { pool: 64 })),
-        ("thrift(pool=256)".into(), base.with_rpc(RpcChoice::Thrift { pool: 256 })),
+        (
+            "thrift(pool=16)".into(),
+            base.with_rpc(RpcChoice::Thrift { pool: 16 }),
+        ),
+        (
+            "thrift(pool=64)".into(),
+            base.with_rpc(RpcChoice::Thrift { pool: 64 }),
+        ),
+        (
+            "thrift(pool=256)".into(),
+            base.with_rpc(RpcChoice::Thrift { pool: 256 }),
+        ),
         ("monolith".into(), base.monolith()),
     ]
 }
@@ -50,7 +59,10 @@ fn explore(
         let app = super::compile(workflow, &wiring_of(&opts));
         let points = latency_throughput(app.system(), mix, rates, duration, entities, 1)
             .expect("sweep runs");
-        out.push(VariantSweep { variant: format!("{app_name}/{label}"), points });
+        out.push(VariantSweep {
+            variant: format!("{app_name}/{label}"),
+            points,
+        });
     }
     out
 }
@@ -60,7 +72,9 @@ pub fn run(mode: Mode) -> Vec<VariantSweep> {
     let hr_rates: Vec<f64> = if mode.quick() {
         vec![2_000.0, 10_000.0, 20_000.0]
     } else {
-        vec![2_000.0, 6_000.0, 10_000.0, 14_000.0, 18_000.0, 22_000.0, 26_000.0]
+        vec![
+            2_000.0, 6_000.0, 10_000.0, 14_000.0, 18_000.0, 22_000.0, 26_000.0,
+        ]
     };
     let sn_rates: Vec<f64> = if mode.quick() {
         vec![1_000.0, 4_000.0, 7_000.0]
@@ -108,7 +122,14 @@ pub fn print(sweeps: &[VariantSweep]) -> String {
             .collect();
         out.push_str(&report::table(
             &format!("Fig. 5 — {}", s.variant),
-            &["offered rps", "goodput", "mean ms", "p50 ms", "p99 ms", "err"],
+            &[
+                "offered rps",
+                "goodput",
+                "mean ms",
+                "p50 ms",
+                "p99 ms",
+                "err",
+            ],
             &rows,
         ));
         out.push('\n');
@@ -124,7 +145,9 @@ pub fn print(sweeps: &[VariantSweep]) -> String {
 /// throughput comparisons against it are not meaningful.)
 pub fn shape_holds(sweeps: &[VariantSweep], app_prefix: &str) -> bool {
     let low = |label: &str| -> Option<f64> {
-        let s = sweeps.iter().find(|s| s.variant == format!("{app_prefix}/{label}"))?;
+        let s = sweeps
+            .iter()
+            .find(|s| s.variant == format!("{app_prefix}/{label}"))?;
         Some(s.points.first()?.p50_ms)
     };
     match (low("monolith"), low("grpc"), low("thrift(pool=64)")) {

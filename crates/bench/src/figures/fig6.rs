@@ -85,7 +85,9 @@ impl MetaResult {
 fn opts_with(timeout_ms: i64, retries: u32) -> WiringOpts {
     WiringOpts {
         cluster: META_CLUSTER,
-        ..WiringOpts::default().without_tracing().with_timeout_retries(timeout_ms, retries)
+        ..WiringOpts::default()
+            .without_tracing()
+            .with_timeout_retries(timeout_ms, retries)
     }
 }
 
@@ -114,8 +116,10 @@ pub fn type1(mode: Mode) -> MetaResult {
 /// Type 2: load spike trigger, capacity degradation amplification (GOGC=75 +
 /// CPU contention on the ReservationService's machine).
 pub fn type2(mode: Mode) -> MetaResult {
-    let app =
-        super::compile(&hr::workflow(), &hr::wiring_with(&opts_with(500, 10), Some(75)));
+    let app = super::compile(
+        &hr::workflow(),
+        &hr::wiring_with(&opts_with(500, 10), Some(75)),
+    );
     let host = super::host_of_service(&app, "reservation");
     let mut sim = super::boot(&app, 62);
     let total = mode.secs(150);
@@ -127,7 +131,11 @@ pub fn type2(mode: Mode) -> MetaResult {
     );
     let exp = ExperimentSpec::new(gen).at(
         secs(mode.secs(60)),
-        Action::CpuHog { host, cores: 1.7, duration_ns: secs(mode.secs(30)) },
+        Action::CpuHog {
+            host,
+            cores: 1.7,
+            duration_ns: secs(mode.secs(30)),
+        },
     );
     let rec = run_experiment(&mut sim, exp).expect("experiment runs");
     MetaResult {
@@ -155,7 +163,11 @@ pub fn type3(mode: Mode) -> MetaResult {
     );
     let exp = ExperimentSpec::new(gen).at(
         secs(mode.secs(60)),
-        Action::CpuHog { host, cores: 1.7, duration_ns: secs(mode.secs(30)) },
+        Action::CpuHog {
+            host,
+            cores: 1.7,
+            duration_ns: secs(mode.secs(30)),
+        },
     );
     let rec = run_experiment(&mut sim, exp).expect("experiment runs");
     MetaResult {
@@ -172,7 +184,9 @@ pub fn type3(mode: Mode) -> MetaResult {
 pub fn type4(mode: Mode) -> MetaResult {
     let opts = WiringOpts {
         cluster: META_CLUSTER,
-        ..WiringOpts::default().without_tracing().with_timeout_retries(1_000, 10)
+        ..WiringOpts::default()
+            .without_tracing()
+            .with_timeout_retries(1_000, 10)
     };
     let app = super::compile(&sn::workflow(), &sn::wiring_type4(&opts, 1_500));
     let mut sim = super::boot(&app, 64);
@@ -182,7 +196,8 @@ pub fn type4(mode: Mode) -> MetaResult {
     // the database melts down.
     const TIMELINES: u64 = 200_000;
     sim.store_fill("ut_db", TIMELINES, 1).expect("db fill");
-    sim.cache_fill("ut_cache", TIMELINES, 1).expect("cache fill");
+    sim.cache_fill("ut_cache", TIMELINES, 1)
+        .expect("cache fill");
 
     let total = mode.secs(120);
     let gen = OpenLoopGen::new(
@@ -196,7 +211,9 @@ pub fn type4(mode: Mode) -> MetaResult {
     let samples: Rc<RefCell<Vec<(f64, u64, u64)>>> = Rc::new(RefCell::new(Vec::new()));
     let mut exp = ExperimentSpec::new(gen).at(
         secs(mode.secs(60)),
-        Action::CacheFlush { backend: "ut_cache".into() },
+        Action::CacheFlush {
+            backend: "ut_cache".into(),
+        },
     );
     for t in 1..=total {
         let s = samples.clone();
@@ -221,7 +238,11 @@ pub fn type4(mode: Mode) -> MetaResult {
         let dh = h - prev.0;
         let dm = m - prev.1;
         prev = (*h, *m);
-        let rate = if dh + dm == 0 { 0.0 } else { dm as f64 / (dh + dm) as f64 };
+        let rate = if dh + dm == 0 {
+            0.0
+        } else {
+            dm as f64 / (dh + dm) as f64
+        };
         miss_rate.push((*t, rate));
     }
     MetaResult {
@@ -242,8 +263,7 @@ pub fn print(r: &MetaResult) -> String {
         &super::latency_rows(&r.series),
     );
     if !r.miss_rate.is_empty() {
-        let rows: Vec<(f64, Vec<f64>)> =
-            r.miss_rate.iter().map(|(t, m)| (*t, vec![*m])).collect();
+        let rows: Vec<(f64, Vec<f64>)> = r.miss_rate.iter().map(|(t, m)| (*t, vec![*m])).collect();
         out.push_str(&report::series("cache miss rate", &["miss rate"], &rows));
     }
     out.push_str(&format!(

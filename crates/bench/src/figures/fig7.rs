@@ -32,11 +32,17 @@ pub fn run(mode: Mode) -> Vec<Cell> {
     let (rates, durations, retries): (Vec<f64>, Vec<u64>, Vec<u32>) = if mode.quick() {
         (vec![1_000.0, 4_000.0], vec![2, 10], vec![2, 10])
     } else {
-        (vec![1_000.0, 2_500.0, 4_000.0, 5_500.0], vec![2, 5, 10, 20], vec![2, 6, 10])
+        (
+            vec![1_000.0, 2_500.0, 4_000.0, 5_500.0],
+            vec![2, 5, 10, 20],
+            vec![2, 6, 10],
+        )
     };
     let opts = WiringOpts {
         cluster: (8, 2.0),
-        ..WiringOpts::default().without_tracing().with_timeout_retries(1_000, 0)
+        ..WiringOpts::default()
+            .without_tracing()
+            .with_timeout_retries(1_000, 0)
     };
     let total = mode.secs(90);
     let mut cells = Vec::new();

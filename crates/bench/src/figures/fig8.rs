@@ -35,7 +35,9 @@ fn measure(app: &CompiledApp, wait_ms: u64, pairs: u64, seed: u64) -> f64 {
     let base_entity = 50_000_000 + wait_ms * 10_000;
     for k in 0..pairs {
         let entity = base_entity + k;
-        let wv = sim.submit("gateway", "ComposePost", entity).expect("compose");
+        let wv = sim
+            .submit("gateway", "ComposePost", entity)
+            .expect("compose");
         // Advance in small steps until the compose completes, so the wait
         // below starts exactly at compose completion (the paper measures the
         // wait from the successful request).
@@ -44,14 +46,18 @@ fn measure(app: &CompiledApp, wait_ms: u64, pairs: u64, seed: u64) -> f64 {
         while sim.now() < deadline && !composed {
             let t = sim.now() + ms(2);
             sim.run_until(t);
-            composed = sim.drain_completions().iter().any(|c| c.root_seq == wv && c.ok);
+            composed = sim
+                .drain_completions()
+                .iter()
+                .any(|c| c.root_seq == wv && c.ok);
         }
         if !composed {
             continue;
         }
         let t = sim.now() + ms(wait_ms);
         sim.run_until(t);
-        sim.submit("gateway", "ReadUserTimeline", entity).expect("read");
+        sim.submit("gateway", "ReadUserTimeline", entity)
+            .expect("read");
         sim.run_until(sim.now() + secs(2));
         for c in sim.drain_completions() {
             if c.method == "ReadUserTimeline" && c.ok {
@@ -94,7 +100,11 @@ pub fn print(points: &[Point]) -> String {
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
-            vec![p.wait_ms.to_string(), report::f3(p.replicated), report::f3(p.baseline)]
+            vec![
+                p.wait_ms.to_string(),
+                report::f3(p.replicated),
+                report::f3(p.baseline),
+            ]
         })
         .collect();
     report::table(

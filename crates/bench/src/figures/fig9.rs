@@ -58,7 +58,9 @@ pub fn run(mode: Mode) -> Vec<RequestSample> {
     // structural change Sifter keys on.
     let mut order: Vec<(u64, bool)> = Vec::new();
     for i in 0..warm {
-        let root = sim.submit("gateway", "ComposePost", 90_000 + i as u64).expect("submit");
+        let root = sim
+            .submit("gateway", "ComposePost", 90_000 + i as u64)
+            .expect("submit");
         order.push((root, false));
         let t = sim.now() + ms(50);
         sim.run_until(t);
@@ -70,7 +72,9 @@ pub fn run(mode: Mode) -> Vec<RequestSample> {
                 sim.inject_cpu_hog(h, 7.95, ms(400)).expect("hog");
             }
         }
-        let root = sim.submit("gateway", "ComposePost", 10_000 + i as u64).expect("submit");
+        let root = sim
+            .submit("gateway", "ComposePost", 10_000 + i as u64)
+            .expect("submit");
         order.push((root, anomalous));
         let t = sim.now() + if anomalous { secs(2) } else { ms(50) };
         sim.run_until(t);
@@ -82,10 +86,16 @@ pub fn run(mode: Mode) -> Vec<RequestSample> {
     let traces = sim.traces.drain_finished();
     let by_root: std::collections::HashMap<u64, &blueprint_trace::Trace> =
         traces.iter().map(|t| (t.id.0, t)).collect();
-    let mut sifter = Sifter::new(SifterConfig { seed: 91, learning_rate: 0.08, ..SifterConfig::default() });
+    let mut sifter = Sifter::new(SifterConfig {
+        seed: 91,
+        learning_rate: 0.08,
+        ..SifterConfig::default()
+    });
     let mut out = Vec::new();
     for (i, (root, anomalous)) in order.iter().enumerate() {
-        let Some(trace) = by_root.get(root) else { continue };
+        let Some(trace) = by_root.get(root) else {
+            continue;
+        };
         let d = sifter.observe_trace(trace);
         if i < warm {
             continue; // Warmup traces train the model but are not reported.
@@ -102,8 +112,12 @@ pub fn run(mode: Mode) -> Vec<RequestSample> {
 
 /// Renders a sparse view: every 25th request plus all anomalies.
 pub fn print(samples: &[RequestSample]) -> String {
-    let mut out = String::from("== Fig. 9 — Sifter sampling probability over ComposePost requests ==\n");
-    out.push_str(&format!("{:>6}  {:>10}  {:>12}  {}\n", "index", "loss", "probability", "anomalous"));
+    let mut out =
+        String::from("== Fig. 9 — Sifter sampling probability over ComposePost requests ==\n");
+    out.push_str(&format!(
+        "{:>6}  {:>10}  {:>12}  {}\n",
+        "index", "loss", "probability", "anomalous"
+    ));
     for s in samples {
         if s.anomalous || s.index % 25 == 0 {
             out.push_str(&format!(

@@ -19,12 +19,19 @@ use blueprint_workload::recorder::IntervalStats;
 
 /// Compiles an app for simulation only.
 pub fn compile(workflow: &WorkflowSpec, wiring: &WiringSpec) -> CompiledApp {
-    Blueprint::new().without_artifacts().compile(workflow, wiring).expect("variant compiles")
+    Blueprint::new()
+        .without_artifacts()
+        .compile(workflow, wiring)
+        .expect("variant compiles")
 }
 
 /// Boots a compiled app with the given seed.
 pub fn boot(app: &CompiledApp, seed: u64) -> Sim {
-    app.simulation_with(SimConfig { seed, ..Default::default() }).expect("simulation boots")
+    app.simulation_with(SimConfig {
+        seed,
+        ..Default::default()
+    })
+    .expect("simulation boots")
 }
 
 /// Converts an interval series into `(t_secs, [mean_ms, p99_ms, error_rate,
@@ -36,7 +43,12 @@ pub fn latency_rows(series: &[IntervalStats]) -> Vec<(f64, Vec<f64>)> {
         .map(|s| {
             (
                 s.start_ns as f64 / 1e9,
-                vec![s.mean_ns / 1e6, s.p99_ns as f64 / 1e6, s.error_rate(), s.ok as f64],
+                vec![
+                    s.mean_ns / 1e6,
+                    s.p99_ns as f64 / 1e6,
+                    s.error_rate(),
+                    s.ok as f64,
+                ],
             )
         })
         .collect()

@@ -70,7 +70,10 @@ mod tests {
         let out = table(
             "T",
             &["name", "v"],
-            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
         );
         assert!(out.contains("== T =="));
         let lines: Vec<&str> = out.lines().collect();
@@ -81,7 +84,11 @@ mod tests {
 
     #[test]
     fn series_renders_points() {
-        let out = series("S", &["mean", "p99"], &[(0.0, vec![1.0, 2.0]), (1.0, vec![3.0, 4.0])]);
+        let out = series(
+            "S",
+            &["mean", "p99"],
+            &[(0.0, vec![1.0, 2.0]), (1.0, vec![3.0, 4.0])],
+        );
         assert!(out.contains("mean"));
         assert!(out.lines().count() == 4);
     }

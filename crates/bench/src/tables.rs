@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use blueprint_apps::{
-    alibaba, hotel_reservation, media, sock_shop, social_network, train_ticket, WiringOpts,
+    alibaba, hotel_reservation, media, social_network, sock_shop, train_ticket, WiringOpts,
 };
 use blueprint_core::Blueprint;
 use blueprint_plugins::{loc, Registry};
@@ -28,8 +28,18 @@ fn app_list() -> Vec<(&'static str, WorkflowSpec, WiringSpec, usize)> {
             hotel_reservation::wiring(&opts),
             5_160,
         ),
-        ("TrainTicket", train_ticket::workflow(), train_ticket::wiring(&opts), 54_466),
-        ("SockShop", sock_shop::workflow(), sock_shop::wiring(&opts), 13_987),
+        (
+            "TrainTicket",
+            train_ticket::workflow(),
+            train_ticket::wiring(&opts),
+            54_466,
+        ),
+        (
+            "SockShop",
+            sock_shop::workflow(),
+            sock_shop::wiring(&opts),
+            13_987,
+        ),
     ]
 }
 
@@ -47,7 +57,9 @@ pub fn table1() -> String {
             .iter()
             .find(|(n, _, _, _)| *n == name)
             .expect("app in spec_loc table");
-        let app = Blueprint::new().compile(&wf, &wiring).expect("app compiles");
+        let app = Blueprint::new()
+            .compile(&wf, &wiring)
+            .expect("app compiles");
         let generated = app.artifacts().total_loc();
         let total_ours = spec_loc + wiring.loc();
         let reduction = (total_ours + generated) as f64 / total_ours as f64;
@@ -63,7 +75,14 @@ pub fn table1() -> String {
     }
     report::table(
         "Tab. 1 — LoC of Blueprint implementations (spec + wiring) vs generated scaffolding",
-        &["system", "spec LoC", "wiring LoC", "generated LoC", "reduction", "paper"],
+        &[
+            "system",
+            "spec LoC",
+            "wiring LoC",
+            "generated LoC",
+            "reduction",
+            "paper",
+        ],
         &rows,
     )
 }
@@ -135,9 +154,14 @@ pub fn table5_rows(alibaba_scale: usize) -> Vec<GenTimeRow> {
         ("SockShop", 0.925),
     ];
     for (name, wf, wiring, _) in app_list() {
-        let app = Blueprint::new().compile(&wf, &wiring).expect("app compiles");
-        let paper_secs =
-            paper.iter().find(|(n, _)| *n == name).map(|(_, s)| *s).unwrap_or(0.0);
+        let app = Blueprint::new()
+            .compile(&wf, &wiring)
+            .expect("app compiles");
+        let paper_secs = paper
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0);
         rows.push(GenTimeRow {
             system: name.to_string(),
             gen_time: app.gen_time(),
@@ -146,7 +170,9 @@ pub fn table5_rows(alibaba_scale: usize) -> Vec<GenTimeRow> {
         });
     }
     let (wf, wiring) = alibaba::topology(alibaba_scale, 42);
-    let app = Blueprint::new().compile(&wf, &wiring).expect("alibaba compiles");
+    let app = Blueprint::new()
+        .compile(&wf, &wiring)
+        .expect("alibaba compiles");
     rows.push(GenTimeRow {
         system: format!("Alibaba-TraceSet ({alibaba_scale})"),
         gen_time: app.gen_time(),

@@ -81,10 +81,21 @@ mod tests {
         w.define("deployer", "Docker", vec![]).unwrap();
         w.define("rpc", "GRPCServer", vec![]).unwrap();
         w.define("tracer", "ZipkinTracer", vec![]).unwrap();
-        w.define_kw("tm", "TracerModifier", vec![], vec![("tracer", blueprint_wiring::Arg::r("tracer"))])
-            .unwrap();
+        w.define_kw(
+            "tm",
+            "TracerModifier",
+            vec![],
+            vec![("tracer", blueprint_wiring::Arg::r("tracer"))],
+        )
+        .unwrap();
         w.define("user_db", "MongoDB", vec![]).unwrap();
-        w.service("us", "UserServiceImpl", &["user_db"], &["rpc", "deployer", "tm"]).unwrap();
+        w.service(
+            "us",
+            "UserServiceImpl",
+            &["user_db"],
+            &["rpc", "deployer", "tm"],
+        )
+        .unwrap();
         (wf, w)
     }
 
@@ -92,7 +103,10 @@ mod tests {
     fn builds_graph_with_cloned_modifiers() {
         let (wf, w) = fixtures();
         let registry = Registry::core();
-        let ctx = BuildCtx { workflow: &wf, wiring: &w };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &w,
+        };
         let ir = build_ir(&registry, &ctx).unwrap();
         let us = ir.by_name("us").unwrap();
         let mods = ir.node(us).unwrap().modifiers().to_vec();
@@ -114,7 +128,10 @@ mod tests {
         let (wf, mut w) = fixtures();
         w.define("mystery", "FluxCapacitor", vec![]).unwrap();
         let registry = Registry::core();
-        let ctx = BuildCtx { workflow: &wf, wiring: &w };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &w,
+        };
         let err = build_ir(&registry, &ctx).unwrap_err();
         match err {
             CompileError::UnknownCallee { callee, .. } => assert_eq!(callee, "FluxCapacitor"),
@@ -128,12 +145,18 @@ mod tests {
         w.define("cb", "CircuitBreaker", vec![]).unwrap();
         let core_ctx_err = {
             let registry = Registry::core();
-            let ctx = BuildCtx { workflow: &wf, wiring: &w };
+            let ctx = BuildCtx {
+                workflow: &wf,
+                wiring: &w,
+            };
             build_ir(&registry, &ctx).is_err()
         };
         assert!(core_ctx_err);
         let registry = Registry::extended();
-        let ctx = BuildCtx { workflow: &wf, wiring: &w };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &w,
+        };
         assert!(build_ir(&registry, &ctx).is_ok());
     }
 }

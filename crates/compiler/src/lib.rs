@@ -59,7 +59,10 @@ impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CompileError::UnknownCallee { instance, callee } => {
-                write!(f, "wiring instance `{instance}`: no plugin provides `{callee}`")
+                write!(
+                    f,
+                    "wiring instance `{instance}`: no plugin provides `{callee}`"
+                )
             }
             CompileError::Plugin(e) => write!(f, "{e}"),
             CompileError::Ir(e) => write!(f, "{e}"),
@@ -120,7 +123,10 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { generate_artifacts: true, lower_simulation: true }
+        CompileOptions {
+            generate_artifacts: true,
+            lower_simulation: true,
+        }
     }
 }
 
@@ -193,6 +199,11 @@ impl Compiler {
         } else {
             SystemSpec::default()
         };
-        Ok(CompiledApp { ir, artifacts, system, gen_time: start.elapsed() })
+        Ok(CompiledApp {
+            ir,
+            artifacts,
+            system,
+            gen_time: start.elapsed(),
+        })
     }
 }

@@ -160,10 +160,9 @@ pub fn widen_visibility(registry: &Registry, ir: &mut IrGraph) -> Result<()> {
 /// "edge lacks the necessary visibility" diagnostics.
 pub fn validate(ir: &IrGraph) -> Result<()> {
     blueprint_ir::validate::validate_structure(ir)?;
-    blueprint_ir::validate::check_visibility(ir)
-        .map_err(|report| {
-            CompileError::Visibility(report.violations.iter().map(|e| e.to_string()).collect())
-        })
+    blueprint_ir::validate::check_visibility(ir).map_err(|report| {
+        CompileError::Visibility(report.violations.iter().map(|e| e.to_string()).collect())
+    })
 }
 
 #[cfg(test)]
@@ -172,7 +171,8 @@ mod tests {
     use blueprint_ir::{Node, NodeId};
 
     fn service(ir: &mut IrGraph, name: &str) -> NodeId {
-        ir.add_component(name, "workflow.service", Granularity::Instance).unwrap()
+        ir.add_component(name, "workflow.service", Granularity::Instance)
+            .unwrap()
     }
 
     #[test]
@@ -206,11 +206,16 @@ mod tests {
                     Granularity::Instance,
                 ))
                 .unwrap();
-            ir.node_mut(d).unwrap().props.set("machines", 3.0).set("cores", 4.0);
+            ir.node_mut(d)
+                .unwrap()
+                .props
+                .set("machines", 3.0)
+                .set("cores", 4.0);
             ir.attach_modifier(s, d).unwrap();
         }
         // A backend too.
-        ir.add_component("db", "backend.nosql.mongodb", Granularity::Process).unwrap();
+        ir.add_component("db", "backend.nosql.mongodb", Granularity::Process)
+            .unwrap();
         assign_namespaces(&mut ir).unwrap();
         let containers = ir.nodes_with_kind_prefix("namespace.container");
         assert_eq!(containers.len(), 7, "six services + one backend");
@@ -227,7 +232,9 @@ mod tests {
         let mut ir = IrGraph::new("t");
         let a = service(&mut ir, "a");
         let b = service(&mut ir, "b");
-        let p = ir.add_namespace("mono", "namespace.process", Granularity::Process).unwrap();
+        let p = ir
+            .add_namespace("mono", "namespace.process", Granularity::Process)
+            .unwrap();
         ir.set_parent(a, p).unwrap();
         ir.set_parent(b, p).unwrap();
         assign_namespaces(&mut ir).unwrap();
@@ -241,17 +248,28 @@ mod tests {
         let mut ir = IrGraph::new("t");
         let a = service(&mut ir, "a");
         let b = service(&mut ir, "b");
-        let db = ir.add_component("db", "backend.cache.memcached", Granularity::Process).unwrap();
+        let db = ir
+            .add_component("db", "backend.cache.memcached", Granularity::Process)
+            .unwrap();
         let e_svc = ir.add_invocation(a, b, vec![]).unwrap();
         let e_db = ir.add_invocation(a, db, vec![]).unwrap();
         // b gets an rpc server modifier.
         let m = ir
-            .add_node(Node::new("b_rpc", "mod.rpc.grpc.server", NodeRole::Modifier, Granularity::Instance))
+            .add_node(Node::new(
+                "b_rpc",
+                "mod.rpc.grpc.server",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
             .unwrap();
         ir.attach_modifier(b, m).unwrap();
         widen_visibility(&registry, &mut ir).unwrap();
         assert_eq!(ir.edge(e_svc).unwrap().visibility, Visibility::Global);
-        assert_eq!(ir.edge(e_db).unwrap().visibility, Visibility::Global, "backend widens itself");
+        assert_eq!(
+            ir.edge(e_db).unwrap().visibility,
+            Visibility::Global,
+            "backend widens itself"
+        );
     }
 
     #[test]
@@ -280,7 +298,9 @@ mod tests {
         let a = service(&mut ir, "a");
         let b = service(&mut ir, "b");
         ir.add_invocation(a, b, vec![]).unwrap();
-        let p = ir.add_namespace("mono", "namespace.process", Granularity::Process).unwrap();
+        let p = ir
+            .add_namespace("mono", "namespace.process", Granularity::Process)
+            .unwrap();
         ir.set_parent(a, p).unwrap();
         ir.set_parent(b, p).unwrap();
         assign_namespaces(&mut ir).unwrap();

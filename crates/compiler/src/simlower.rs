@@ -22,7 +22,10 @@ use crate::Result;
 
 /// Lowers a validated IR graph to a [`SystemSpec`].
 pub fn lower(registry: &Registry, ir: &IrGraph, ctx: &BuildCtx<'_>) -> Result<SystemSpec> {
-    let mut spec = SystemSpec { name: ir.app_name.clone(), ..Default::default() };
+    let mut spec = SystemSpec {
+        name: ir.app_name.clone(),
+        ..Default::default()
+    };
 
     // ---- Hosts -----------------------------------------------------------
     let mut machines: Vec<NodeId> = ir.nodes_with_kind_prefix("namespace.machine");
@@ -31,15 +34,25 @@ pub fn lower(registry: &Registry, ir: &IrGraph, ctx: &BuildCtx<'_>) -> Result<Sy
     for m in &machines {
         let n = ir.node(*m)?;
         host_ix.insert(*m, spec.hosts.len());
-        spec.hosts.push(HostSpec { name: n.name.clone(), cores: n.props.float_or("cores", 8.0) });
+        spec.hosts.push(HostSpec {
+            name: n.name.clone(),
+            cores: n.props.float_or("cores", 8.0),
+        });
     }
     if spec.hosts.is_empty() {
-        spec.hosts.push(HostSpec { name: "machine_0".into(), cores: 8.0 });
+        spec.hosts.push(HostSpec {
+            name: "machine_0".into(),
+            cores: 8.0,
+        });
     }
     let machine_of = |node: NodeId| -> usize {
         ir.ancestors(node)
             .into_iter()
-            .find(|a| ir.node(*a).map(|n| n.kind == "namespace.machine").unwrap_or(false))
+            .find(|a| {
+                ir.node(*a)
+                    .map(|n| n.kind == "namespace.machine")
+                    .unwrap_or(false)
+            })
             .and_then(|m| host_ix.get(&m).copied())
             .unwrap_or(0)
     };
@@ -50,11 +63,14 @@ pub fn lower(registry: &Registry, ir: &IrGraph, ctx: &BuildCtx<'_>) -> Result<Sy
     let mut proc_ix: HashMap<NodeId, usize> = HashMap::new();
     for p in &procs {
         let n = ir.node(*p)?;
-        let hosts_services = n
-            .children()
-            .iter()
-            .any(|c| ir.node(*c).map(|cn| cn.kind.starts_with("workflow.")).unwrap_or(false));
-        let mut lowering = ProcessLowering { gc: hosts_services.then(GcSpec::default) };
+        let hosts_services = n.children().iter().any(|c| {
+            ir.node(*c)
+                .map(|cn| cn.kind.starts_with("workflow."))
+                .unwrap_or(false)
+        });
+        let mut lowering = ProcessLowering {
+            gc: hosts_services.then(GcSpec::default),
+        };
         if let Some(plugin) = registry.for_kind(&n.kind) {
             plugin.apply_process(*p, ir, &mut lowering);
         }
@@ -77,12 +93,13 @@ pub fn lower(registry: &Registry, ir: &IrGraph, ctx: &BuildCtx<'_>) -> Result<Sy
             // records traces centrally, so no runtime backend is needed.
             continue;
         }
-        let Some(kind) = registry.for_kind(&n.kind).and_then(|p| p.lower_backend(*b, ir)) else {
-            return Err(PluginError::Internal(format!(
-                "no plugin lowers backend kind {}",
-                n.kind
-            ))
-            .into());
+        let Some(kind) = registry
+            .for_kind(&n.kind)
+            .and_then(|p| p.lower_backend(*b, ir))
+        else {
+            return Err(
+                PluginError::Internal(format!("no plugin lowers backend kind {}", n.kind)).into(),
+            );
         };
         let process = spec.processes.len();
         spec.processes.push(ProcessSpec {
@@ -91,7 +108,11 @@ pub fn lower(registry: &Registry, ir: &IrGraph, ctx: &BuildCtx<'_>) -> Result<Sy
             gc: None,
         });
         backend_ix.insert(*b, spec.backends.len());
-        spec.backends.push(blueprint_simrt::BackendSpec { name: n.name.clone(), process, kind });
+        spec.backends.push(blueprint_simrt::BackendSpec {
+            name: n.name.clone(),
+            process,
+            kind,
+        });
     }
 
     // ---- Services ---------------------------------------------------------
@@ -147,7 +168,15 @@ pub fn lower(registry: &Registry, ir: &IrGraph, ctx: &BuildCtx<'_>) -> Result<Sy
                 .into());
             };
             let actual = resolve_actual_target(ir, *s, declared);
-            let binding = make_binding(registry, ir, *s, actual, dep.kind.clone(), &svc_ix, &backend_ix)?;
+            let binding = make_binding(
+                registry,
+                ir,
+                *s,
+                actual,
+                dep.kind.clone(),
+                &svc_ix,
+                &backend_ix,
+            )?;
             spec.services[my_ix].deps.insert(dep.name.clone(), binding);
         }
     }
@@ -158,13 +187,21 @@ pub fn lower(registry: &Registry, ir: &IrGraph, ctx: &BuildCtx<'_>) -> Result<Sy
             .in_edges(*s)
             .iter()
             .filter(|e| {
-                ir.edge(**e).map(|e| e.kind == blueprint_ir::EdgeKind::Invocation).unwrap_or(false)
+                ir.edge(**e)
+                    .map(|e| e.kind == blueprint_ir::EdgeKind::Invocation)
+                    .unwrap_or(false)
             })
             .count();
         if inbound_invocations == 0 {
             let n = ir.node(*s)?;
             let client = assemble_client(registry, ir, None, *s);
-            spec.entries.insert(n.name.clone(), EntrySpec { service: svc_ix[s], client });
+            spec.entries.insert(
+                n.name.clone(),
+                EntrySpec {
+                    service: svc_ix[s],
+                    client,
+                },
+            );
         }
     }
 
@@ -227,23 +264,29 @@ fn make_binding(
                 .unwrap_or_default();
             // Policies come from the replicas' shared modifier chain.
             let client = assemble_client(registry, ir, Some(caller), replicas[0]);
-            Ok(DepBinding::ReplicatedService { targets, policy, client })
+            Ok(DepBinding::ReplicatedService {
+                targets,
+                policy,
+                client,
+            })
         }
         (DepKind::Service(_), k) if k.starts_with("workflow.") => {
             let Some(&ix) = svc_ix.get(&target) else {
-                return Err(
-                    PluginError::Internal(format!("unlowered service {}", t.name)).into()
-                );
+                return Err(PluginError::Internal(format!("unlowered service {}", t.name)).into());
             };
-            Ok(DepBinding::Service { target: ix, client: assemble_client(registry, ir, Some(caller), target) })
+            Ok(DepBinding::Service {
+                target: ix,
+                client: assemble_client(registry, ir, Some(caller), target),
+            })
         }
         (DepKind::Backend(_), k) if k.starts_with("backend.") => {
             let Some(&ix) = backend_ix.get(&target) else {
-                return Err(
-                    PluginError::Internal(format!("unlowered backend {}", t.name)).into()
-                );
+                return Err(PluginError::Internal(format!("unlowered backend {}", t.name)).into());
             };
-            Ok(DepBinding::Backend { target: ix, client: assemble_client(registry, ir, Some(caller), target) })
+            Ok(DepBinding::Backend {
+                target: ix,
+                client: assemble_client(registry, ir, Some(caller), target),
+            })
         }
         (dk, k) => Err(PluginError::Internal(format!(
             "dependency kind mismatch: workflow declares {dk:?} but `{}` is {k}",
@@ -279,9 +322,15 @@ fn assemble_client(
 ) -> ClientSpec {
     let mut client = ClientSpec::local();
     let same_process = caller
-        .map(|c| ir.node(c).is_ok() && ir.node(callee).is_ok() && ir.boundary_between(c, callee).is_none())
+        .map(|c| {
+            ir.node(c).is_ok()
+                && ir.node(callee).is_ok()
+                && ir.boundary_between(c, callee).is_none()
+        })
         .unwrap_or(false);
-    let Ok(n) = ir.node(callee) else { return client };
+    let Ok(n) = ir.node(callee) else {
+        return client;
+    };
     if !same_process {
         for m in n.modifiers() {
             if let Ok(mn) = ir.node(*m) {
@@ -329,7 +378,10 @@ mod tests {
                 ),
             )
             .dep_nosql("db")
-            .method("Login", Behavior::build().db_read("db", KeyExpr::Entity).done())
+            .method(
+                "Login",
+                Behavior::build().db_read("db", KeyExpr::Entity).done(),
+            )
             .done()
             .unwrap(),
         )
@@ -355,16 +407,21 @@ mod tests {
         let mut w = WiringSpec::new("app");
         w.define("deployer", "Docker", vec![]).unwrap();
         w.define("rpc", "GRPCServer", vec![]).unwrap();
-        w.define_kw("to", "Timeout", vec![], vec![("ms", Arg::Int(500))]).unwrap();
-        w.define_kw("retry", "Retry", vec![], vec![("max", Arg::Int(10))]).unwrap();
+        w.define_kw("to", "Timeout", vec![], vec![("ms", Arg::Int(500))])
+            .unwrap();
+        w.define_kw("retry", "Retry", vec![], vec![("max", Arg::Int(10))])
+            .unwrap();
         w.define("user_db", "MongoDB", vec![]).unwrap();
         let mut mods = vec!["rpc", "deployer", "to", "retry"];
         if replicate_users {
-            w.define_kw("repl", "Replicate", vec![], vec![("count", Arg::Int(3))]).unwrap();
+            w.define_kw("repl", "Replicate", vec![], vec![("count", Arg::Int(3))])
+                .unwrap();
             mods.push("repl");
         }
-        w.service("us", "UserServiceImpl", &["user_db"], &mods).unwrap();
-        w.service("fe", "FrontendImpl", &["us"], &["rpc", "deployer"]).unwrap();
+        w.service("us", "UserServiceImpl", &["user_db"], &mods)
+            .unwrap();
+        w.service("fe", "FrontendImpl", &["us"], &["rpc", "deployer"])
+            .unwrap();
         w
     }
 
@@ -372,7 +429,10 @@ mod tests {
         let wf = workflow();
         let w = wiring(replicate);
         let registry = Registry::core();
-        let ctx = BuildCtx { workflow: &wf, wiring: &w };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &w,
+        };
         let mut ir = crate::build::build_ir(&registry, &ctx).unwrap();
         crate::passes::run_transforms(&registry, &mut ir, &ctx).unwrap();
         crate::passes::assign_namespaces(&mut ir).unwrap();
@@ -393,7 +453,10 @@ mod tests {
         };
         assert_eq!(spec.services[*target].name, "us");
         // Cross-process → gRPC transport; timeout+retry from us's chain.
-        assert!(matches!(client.transport, blueprint_simrt::TransportSpec::Grpc { .. }));
+        assert!(matches!(
+            client.transport,
+            blueprint_simrt::TransportSpec::Grpc { .. }
+        ));
         assert_eq!(client.timeout_ns, Some(500_000_000));
         assert_eq!(client.retries, 10);
         // us's db binding is local-transport (latency folded into backend).
@@ -401,7 +464,10 @@ mod tests {
         let DepBinding::Backend { client, .. } = &us.deps["db"] else {
             panic!("expected backend binding");
         };
-        assert!(matches!(client.transport, blueprint_simrt::TransportSpec::Local));
+        assert!(matches!(
+            client.transport,
+            blueprint_simrt::TransportSpec::Local
+        ));
         // fe is the only entry.
         assert_eq!(spec.entries.len(), 1);
         assert!(spec.entries.contains_key("fe"));
@@ -418,7 +484,12 @@ mod tests {
         // Two extra replicas.
         assert_eq!(spec.services.len(), 4);
         let fe = spec.services.iter().find(|s| s.name == "fe").unwrap();
-        let DepBinding::ReplicatedService { targets, policy, client } = &fe.deps["users"] else {
+        let DepBinding::ReplicatedService {
+            targets,
+            policy,
+            client,
+        } = &fe.deps["users"]
+        else {
             panic!("expected replicated binding, got {:?}", fe.deps["users"]);
         };
         assert_eq!(targets.len(), 3);
@@ -435,11 +506,15 @@ mod tests {
         let wf = workflow();
         let mut w = WiringSpec::new("app");
         w.define("user_db", "MongoDB", vec![]).unwrap();
-        w.service("us", "UserServiceImpl", &["user_db"], &[]).unwrap();
+        w.service("us", "UserServiceImpl", &["user_db"], &[])
+            .unwrap();
         w.service("fe", "FrontendImpl", &["us"], &[]).unwrap();
         w.process("mono", &["us", "fe"]).unwrap();
         let registry = Registry::core();
-        let ctx = BuildCtx { workflow: &wf, wiring: &w };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &w,
+        };
         let mut ir = crate::build::build_ir(&registry, &ctx).unwrap();
         crate::passes::run_transforms(&registry, &mut ir, &ctx).unwrap();
         crate::passes::assign_namespaces(&mut ir).unwrap();
@@ -451,6 +526,9 @@ mod tests {
         let DepBinding::Service { client, .. } = &fe.deps["users"] else {
             panic!("expected service binding");
         };
-        assert!(matches!(client.transport, blueprint_simrt::TransportSpec::Local));
+        assert!(matches!(
+            client.transport,
+            blueprint_simrt::TransportSpec::Local
+        ));
     }
 }

@@ -87,7 +87,13 @@ impl CompiledApp {
 
     /// Boots the variant on the simulation substrate with the given seed.
     pub fn simulation(&self, seed: u64) -> blueprint_simrt::Result<Sim> {
-        Sim::new(&self.inner.system, SimConfig { seed, ..Default::default() })
+        Sim::new(
+            &self.inner.system,
+            SimConfig {
+                seed,
+                ..Default::default()
+            },
+        )
     }
 
     /// Boots the variant with a custom simulation configuration.
@@ -119,18 +125,27 @@ impl Default for Blueprint {
 impl Blueprint {
     /// A toolchain with all plugins (core + X-Trace + CircuitBreaker).
     pub fn new() -> Self {
-        Blueprint { compiler: Compiler::extended(), options: CompileOptions::default() }
+        Blueprint {
+            compiler: Compiler::extended(),
+            options: CompileOptions::default(),
+        }
     }
 
     /// A toolchain with only the out-of-the-box plugin set (no extensions) —
     /// used by the UC3 tests to demonstrate that extensions are additive.
     pub fn core_only() -> Self {
-        Blueprint { compiler: Compiler::core(), options: CompileOptions::default() }
+        Blueprint {
+            compiler: Compiler::core(),
+            options: CompileOptions::default(),
+        }
     }
 
     /// A toolchain with a custom plugin registry.
     pub fn with_registry(registry: Registry) -> Self {
-        Blueprint { compiler: Compiler::new(registry), options: CompileOptions::default() }
+        Blueprint {
+            compiler: Compiler::new(registry),
+            options: CompileOptions::default(),
+        }
     }
 
     /// Skips artifact generation (faster, for simulation-only experiments).
@@ -147,7 +162,9 @@ impl Blueprint {
 
     /// Compiles an application variant.
     pub fn compile(&self, workflow: &WorkflowSpec, wiring: &WiringSpec) -> Result<CompiledApp> {
-        Ok(CompiledApp { inner: self.compiler.compile(workflow, wiring, &self.options)? })
+        Ok(CompiledApp {
+            inner: self.compiler.compile(workflow, wiring, &self.options)?,
+        })
     }
 
     /// The underlying compiler (plugin registry access).
@@ -180,7 +197,8 @@ mod tests {
         let mut w = WiringSpec::new("hello");
         w.define("deployer", "Docker", vec![]).unwrap();
         w.define("rpc", "GRPCServer", vec![]).unwrap();
-        w.service("hello", "HelloServiceImpl", &[], &["rpc", "deployer"]).unwrap();
+        w.service("hello", "HelloServiceImpl", &[], &["rpc", "deployer"])
+            .unwrap();
         (wf, w)
     }
 
@@ -201,10 +219,16 @@ mod tests {
     #[test]
     fn option_toggles() {
         let (wf, w) = hello();
-        let app = Blueprint::new().without_artifacts().compile(&wf, &w).unwrap();
+        let app = Blueprint::new()
+            .without_artifacts()
+            .compile(&wf, &w)
+            .unwrap();
         assert!(app.artifacts().is_empty());
         assert!(!app.system().services.is_empty());
-        let app = Blueprint::new().without_simulation().compile(&wf, &w).unwrap();
+        let app = Blueprint::new()
+            .without_simulation()
+            .compile(&wf, &w)
+            .unwrap();
         assert!(app.system().services.is_empty());
         assert!(!app.artifacts().is_empty());
     }

@@ -40,7 +40,14 @@ pub fn to_dot(g: &IrGraph) -> String {
         let label = if e.methods.is_empty() {
             String::new()
         } else {
-            format!(" label=\"{}\"", e.methods.iter().map(|m| m.name.as_str()).collect::<Vec<_>>().join(","))
+            format!(
+                " label=\"{}\"",
+                e.methods
+                    .iter()
+                    .map(|m| m.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
         };
         let _ = writeln!(out, "  {} -> {} [style={style}{label}];", e.from, e.to);
     }
@@ -112,15 +119,27 @@ mod tests {
     #[test]
     fn dot_contains_clusters_nodes_and_edges() {
         let mut g = IrGraph::new("demo");
-        let a = g.add_component("svc_a", "workflow.service", Granularity::Instance).unwrap();
-        let b = g.add_component("svc_b", "workflow.service", Granularity::Instance).unwrap();
-        let p = g.add_namespace("proc_a", "namespace.process", Granularity::Process).unwrap();
+        let a = g
+            .add_component("svc_a", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let b = g
+            .add_component("svc_b", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let p = g
+            .add_namespace("proc_a", "namespace.process", Granularity::Process)
+            .unwrap();
         g.set_parent(a, p).unwrap();
         let m = g
-            .add_node(Node::new("tracer", "mod.trace", NodeRole::Modifier, Granularity::Instance))
+            .add_node(Node::new(
+                "tracer",
+                "mod.trace",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
             .unwrap();
         g.attach_modifier(a, m).unwrap();
-        g.add_invocation(a, b, vec![MethodSig::new("Get", vec![], TypeRef::Unit)]).unwrap();
+        g.add_invocation(a, b, vec![MethodSig::new("Get", vec![], TypeRef::Unit)])
+            .unwrap();
 
         let dot = to_dot(&g);
         assert!(dot.contains("digraph \"demo\""));
@@ -134,8 +153,12 @@ mod tests {
     fn dot_is_deterministic() {
         let build = || {
             let mut g = IrGraph::new("d");
-            let a = g.add_component("a", "workflow.service", Granularity::Instance).unwrap();
-            let b = g.add_component("b", "workflow.service", Granularity::Instance).unwrap();
+            let a = g
+                .add_component("a", "workflow.service", Granularity::Instance)
+                .unwrap();
+            let b = g
+                .add_component("b", "workflow.service", Granularity::Instance)
+                .unwrap();
             g.add_invocation(a, b, vec![]).unwrap();
             to_dot(&g)
         };

@@ -31,7 +31,10 @@ pub struct IrGraph {
 impl IrGraph {
     /// Creates an empty graph for the named application.
     pub fn new(app_name: impl Into<String>) -> Self {
-        IrGraph { app_name: app_name.into(), ..Default::default() }
+        IrGraph {
+            app_name: app_name.into(),
+            ..Default::default()
+        }
     }
 
     // ------------------------------------------------------------------
@@ -41,7 +44,10 @@ impl IrGraph {
     /// Adds a node, enforcing name uniqueness among live nodes.
     pub fn add_node(&mut self, node: Node) -> Result<NodeId> {
         if self.by_name.contains_key(&node.name) {
-            return Err(IrError::Invalid(format!("duplicate node name: {}", node.name)));
+            return Err(IrError::Invalid(format!(
+                "duplicate node name: {}",
+                node.name
+            )));
         }
         let id = NodeId(self.nodes.len() as u32);
         self.by_name.insert(node.name.clone(), id);
@@ -146,7 +152,10 @@ impl IrGraph {
 
     /// Live nodes with the given role.
     pub fn nodes_with_role(&self, role: NodeRole) -> Vec<NodeId> {
-        self.nodes().filter(|(_, n)| n.role == role).map(|(i, _)| i).collect()
+        self.nodes()
+            .filter(|(_, n)| n.role == role)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Live nodes whose kind starts with `prefix` (kinds are dotted paths,
@@ -154,7 +163,8 @@ impl IrGraph {
     pub fn nodes_with_kind_prefix(&self, prefix: &str) -> Vec<NodeId> {
         self.nodes()
             .filter(|(_, n)| {
-                n.kind == prefix || n.kind.starts_with(prefix) && n.kind[prefix.len()..].starts_with('.')
+                n.kind == prefix
+                    || n.kind.starts_with(prefix) && n.kind[prefix.len()..].starts_with('.')
             })
             .map(|(i, _)| i)
             .collect()
@@ -231,9 +241,11 @@ impl IrGraph {
 
     /// The nearest enclosing generator node, if any.
     pub fn enclosing_generator(&self, id: NodeId) -> Option<NodeId> {
-        self.ancestors(id)
-            .into_iter()
-            .find(|a| self.node(*a).map(|n| n.role == NodeRole::Generator).unwrap_or(false))
+        self.ancestors(id).into_iter().find(|a| {
+            self.node(*a)
+                .map(|n| n.role == NodeRole::Generator)
+                .unwrap_or(false)
+        })
     }
 
     /// The coarsest namespace boundary separating `a` and `b`.
@@ -429,7 +441,12 @@ impl IrGraph {
     pub fn out_edges(&self, id: NodeId) -> Vec<EdgeId> {
         self.out_adj
             .get(id.index())
-            .map(|v| v.iter().copied().filter(|e| !self.edges[e.index()].dead).collect())
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|e| !self.edges[e.index()].dead)
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -437,7 +454,12 @@ impl IrGraph {
     pub fn in_edges(&self, id: NodeId) -> Vec<EdgeId> {
         self.in_adj
             .get(id.index())
-            .map(|v| v.iter().copied().filter(|e| !self.edges[e.index()].dead).collect())
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|e| !self.edges[e.index()].dead)
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -478,10 +500,18 @@ mod tests {
 
     fn two_services_in_processes() -> (IrGraph, NodeId, NodeId, NodeId, NodeId) {
         let mut g = IrGraph::new("test");
-        let a = g.add_component("svc_a", "workflow.service", Granularity::Instance).unwrap();
-        let b = g.add_component("svc_b", "workflow.service", Granularity::Instance).unwrap();
-        let pa = g.add_namespace("proc_a", "namespace.process", Granularity::Process).unwrap();
-        let pb = g.add_namespace("proc_b", "namespace.process", Granularity::Process).unwrap();
+        let a = g
+            .add_component("svc_a", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let b = g
+            .add_component("svc_b", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let pa = g
+            .add_namespace("proc_a", "namespace.process", Granularity::Process)
+            .unwrap();
+        let pb = g
+            .add_namespace("proc_b", "namespace.process", Granularity::Process)
+            .unwrap();
         g.set_parent(a, pa).unwrap();
         g.set_parent(b, pb).unwrap();
         (g, a, b, pa, pb)
@@ -491,7 +521,9 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut g = IrGraph::new("t");
         g.add_component("x", "k", Granularity::Instance).unwrap();
-        let err = g.add_component("x", "k", Granularity::Instance).unwrap_err();
+        let err = g
+            .add_component("x", "k", Granularity::Instance)
+            .unwrap_err();
         assert!(matches!(err, IrError::Invalid(_)));
     }
 
@@ -499,8 +531,12 @@ mod tests {
     fn containment_typing_enforced() {
         let mut g = IrGraph::new("t");
         let inst = g.add_component("i", "k", Granularity::Instance).unwrap();
-        let proc_ = g.add_namespace("p", "namespace.process", Granularity::Process).unwrap();
-        let cont = g.add_namespace("c", "namespace.container", Granularity::Container).unwrap();
+        let proc_ = g
+            .add_namespace("p", "namespace.process", Granularity::Process)
+            .unwrap();
+        let cont = g
+            .add_namespace("c", "namespace.container", Granularity::Container)
+            .unwrap();
         // Instance into process: ok; process into container: ok.
         g.set_parent(inst, proc_).unwrap();
         g.set_parent(proc_, cont).unwrap();
@@ -508,7 +544,9 @@ mod tests {
         let err = g.set_parent(cont, proc_).unwrap_err();
         assert!(matches!(err, IrError::GranularityMismatch { .. }));
         // Component cannot be a parent.
-        let other = g.add_namespace("p2", "namespace.process", Granularity::Process).unwrap();
+        let other = g
+            .add_namespace("p2", "namespace.process", Granularity::Process)
+            .unwrap();
         let err = g.set_parent(other, inst).unwrap_err();
         assert!(matches!(err, IrError::GranularityMismatch { .. }));
     }
@@ -533,7 +571,9 @@ mod tests {
         let (mut g2, _a, b) = g2;
         // Now try to reparent b under something below itself — granularity
         // rules already forbid it, so force the cycle check with equal chain:
-        let c = g2.add_namespace("c", "ns", Granularity::Deployment).unwrap();
+        let c = g2
+            .add_namespace("c", "ns", Granularity::Deployment)
+            .unwrap();
         g2.set_parent(b, c).unwrap();
         // c under a would be granularity violation; cycle check still guards
         // deeper structures (tested indirectly through validate module).
@@ -547,22 +587,32 @@ mod tests {
         assert_eq!(g.required_visibility(a, b), Visibility::Container);
 
         // Same process: no boundary.
-        let a2 = g.add_component("svc_a2", "workflow.service", Granularity::Instance).unwrap();
+        let a2 = g
+            .add_component("svc_a2", "workflow.service", Granularity::Instance)
+            .unwrap();
         g.set_parent(a2, pa).unwrap();
         assert_eq!(g.boundary_between(a, a2), None);
         assert_eq!(g.required_visibility(a, a2), Visibility::Local);
 
         // Separate containers widen the requirement.
-        let ca = g.add_namespace("cont_a", "ns.container", Granularity::Container).unwrap();
-        let cb = g.add_namespace("cont_b", "ns.container", Granularity::Container).unwrap();
+        let ca = g
+            .add_namespace("cont_a", "ns.container", Granularity::Container)
+            .unwrap();
+        let cb = g
+            .add_namespace("cont_b", "ns.container", Granularity::Container)
+            .unwrap();
         g.set_parent(pa, ca).unwrap();
         g.set_parent(g.by_name("proc_b").unwrap(), cb).unwrap();
         assert_eq!(g.boundary_between(a, b), Some(Granularity::Container));
         assert_eq!(g.required_visibility(a, b), Visibility::Machine);
 
         // Separate machines.
-        let ma = g.add_namespace("mach_a", "ns.machine", Granularity::Machine).unwrap();
-        let mb = g.add_namespace("mach_b", "ns.machine", Granularity::Machine).unwrap();
+        let ma = g
+            .add_namespace("mach_a", "ns.machine", Granularity::Machine)
+            .unwrap();
+        let mb = g
+            .add_namespace("mach_b", "ns.machine", Granularity::Machine)
+            .unwrap();
         g.set_parent(ca, ma).unwrap();
         g.set_parent(cb, mb).unwrap();
         assert_eq!(g.required_visibility(a, b), Visibility::Region);
@@ -577,12 +627,23 @@ mod tests {
     #[test]
     fn modifiers_attach_in_order() {
         let mut g = IrGraph::new("t");
-        let s = g.add_component("svc", "workflow.service", Granularity::Instance).unwrap();
-        let t =
-            g.add_node(Node::new("tracer", "mod.trace", NodeRole::Modifier, Granularity::Instance));
+        let s = g
+            .add_component("svc", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let t = g.add_node(Node::new(
+            "tracer",
+            "mod.trace",
+            NodeRole::Modifier,
+            Granularity::Instance,
+        ));
         let t = t.unwrap();
         let r = g
-            .add_node(Node::new("rpc", "rpc.grpc.server", NodeRole::Modifier, Granularity::Instance))
+            .add_node(Node::new(
+                "rpc",
+                "rpc.grpc.server",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
             .unwrap();
         g.attach_modifier(s, t).unwrap();
         g.attach_modifier(s, r).unwrap();
@@ -599,10 +660,20 @@ mod tests {
     fn modifier_on_modifier_rejected() {
         let mut g = IrGraph::new("t");
         let m1 = g
-            .add_node(Node::new("m1", "mod.a", NodeRole::Modifier, Granularity::Instance))
+            .add_node(Node::new(
+                "m1",
+                "mod.a",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
             .unwrap();
         let m2 = g
-            .add_node(Node::new("m2", "mod.b", NodeRole::Modifier, Granularity::Instance))
+            .add_node(Node::new(
+                "m2",
+                "mod.b",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
             .unwrap();
         let err = g.attach_modifier(m1, m2).unwrap_err();
         assert!(matches!(err, IrError::BadModifier { .. }));
@@ -624,7 +695,9 @@ mod tests {
     #[test]
     fn retarget_edge_moves_adjacency() {
         let (mut g, a, b, _, _) = two_services_in_processes();
-        let c = g.add_component("svc_c", "workflow.service", Granularity::Instance).unwrap();
+        let c = g
+            .add_component("svc_c", "workflow.service", Granularity::Instance)
+            .unwrap();
         let e = g.add_invocation(a, b, vec![sig("Get")]).unwrap();
         g.retarget_edge(e, c).unwrap();
         assert_eq!(g.edge(e).unwrap().to, c);
@@ -641,7 +714,8 @@ mod tests {
         assert!(g.edge(e).is_err());
         assert!(g.by_name("svc_b").is_none());
         // Name can be reused after deletion.
-        g.add_component("svc_b", "workflow.service", Granularity::Instance).unwrap();
+        g.add_component("svc_b", "workflow.service", Granularity::Instance)
+            .unwrap();
     }
 
     #[test]
@@ -654,9 +728,12 @@ mod tests {
     #[test]
     fn kind_prefix_matching() {
         let mut g = IrGraph::new("t");
-        g.add_component("c1", "backend.cache.memcached", Granularity::Process).unwrap();
-        g.add_component("c2", "backend.cache.redis", Granularity::Process).unwrap();
-        g.add_component("d1", "backend.nosql.mongodb", Granularity::Process).unwrap();
+        g.add_component("c1", "backend.cache.memcached", Granularity::Process)
+            .unwrap();
+        g.add_component("c2", "backend.cache.redis", Granularity::Process)
+            .unwrap();
+        g.add_component("d1", "backend.nosql.mongodb", Granularity::Process)
+            .unwrap();
         assert_eq!(g.nodes_with_kind_prefix("backend.cache").len(), 2);
         assert_eq!(g.nodes_with_kind_prefix("backend").len(), 3);
         assert_eq!(g.nodes_with_kind_prefix("backend.cache.redis").len(), 1);
@@ -666,9 +743,16 @@ mod tests {
     #[test]
     fn enclosing_generator_found() {
         let mut g = IrGraph::new("t");
-        let s = g.add_component("s", "workflow.service", Granularity::Instance).unwrap();
+        let s = g
+            .add_component("s", "workflow.service", Granularity::Instance)
+            .unwrap();
         let gen = g
-            .add_node(Node::new("repl", "gen.replicas", NodeRole::Generator, Granularity::Process))
+            .add_node(Node::new(
+                "repl",
+                "gen.replicas",
+                NodeRole::Generator,
+                Granularity::Process,
+            ))
             .unwrap();
         g.set_parent(s, gen).unwrap();
         assert_eq!(g.enclosing_generator(s), Some(gen));

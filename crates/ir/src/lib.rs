@@ -94,14 +94,23 @@ impl std::fmt::Display for IrError {
         match self {
             IrError::UnknownNode(n) => write!(f, "unknown IR node: {n}"),
             IrError::UnknownEdge(e) => write!(f, "unknown IR edge: {e}"),
-            IrError::GranularityMismatch { parent, child, detail } => {
+            IrError::GranularityMismatch {
+                parent,
+                child,
+                detail,
+            } => {
                 write!(f, "granularity mismatch: {child} in {parent}: {detail}")
             }
             IrError::ContainmentCycle(n) => write!(f, "namespace containment cycle via {n}"),
             IrError::BadModifier { modifier, detail } => {
                 write!(f, "bad modifier {modifier}: {detail}")
             }
-            IrError::VisibilityViolation { from, to, required, actual } => write!(
+            IrError::VisibilityViolation {
+                from,
+                to,
+                required,
+                actual,
+            } => write!(
                 f,
                 "edge {from} -> {to} lacks the necessary visibility: \
                  must cross a {required:?} boundary but is only {actual:?}-visible \

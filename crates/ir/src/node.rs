@@ -89,14 +89,20 @@ impl Granularity {
     /// Returns the next-coarser granularity, if any.
     pub fn coarser(self) -> Option<Granularity> {
         let all = Self::ALL;
-        let idx = all.iter().position(|g| *g == self).expect("granularity in ALL");
+        let idx = all
+            .iter()
+            .position(|g| *g == self)
+            .expect("granularity in ALL");
         all.get(idx + 1).copied()
     }
 
     /// Returns the next-finer granularity, if any.
     pub fn finer(self) -> Option<Granularity> {
         let all = Self::ALL;
-        let idx = all.iter().position(|g| *g == self).expect("granularity in ALL");
+        let idx = all
+            .iter()
+            .position(|g| *g == self)
+            .expect("granularity in ALL");
         idx.checked_sub(1).map(|i| all[i])
     }
 }
@@ -219,7 +225,12 @@ mod tests {
 
     #[test]
     fn new_node_is_detached() {
-        let n = Node::new("svc", "workflow.service", NodeRole::Component, Granularity::Instance);
+        let n = Node::new(
+            "svc",
+            "workflow.service",
+            NodeRole::Component,
+            Granularity::Instance,
+        );
         assert!(n.parent().is_none());
         assert!(n.children().is_empty());
         assert!(n.modifiers().is_empty());

@@ -18,9 +18,11 @@ pub fn entry_points(g: &IrGraph) -> Vec<NodeId> {
         .filter(|(id, n)| {
             n.role == NodeRole::Component
                 && n.kind.starts_with("workflow.")
-                && g.in_edges(*id)
-                    .iter()
-                    .all(|e| g.edge(*e).map(|e| e.kind != EdgeKind::Invocation).unwrap_or(true))
+                && g.in_edges(*id).iter().all(|e| {
+                    g.edge(*e)
+                        .map(|e| e.kind != EdgeKind::Invocation)
+                        .unwrap_or(true)
+                })
         })
         .map(|(id, _)| id)
         .collect()
@@ -73,7 +75,12 @@ pub fn invocation_cycles(g: &IrGraph) -> Vec<Vec<NodeId>> {
         Black,
     }
     let ids: Vec<NodeId> = g.live_node_ids().collect();
-    let max_idx = ids.iter().map(|i| i.index()).max().map(|m| m + 1).unwrap_or(0);
+    let max_idx = ids
+        .iter()
+        .map(|i| i.index())
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0);
     let mut marks = vec![Mark::White; max_idx];
     let mut cycles = Vec::new();
 
@@ -156,10 +163,18 @@ mod tests {
     #[test]
     fn depth_handles_diamond() {
         let mut g = IrGraph::new("t");
-        let a = g.add_component("a", "workflow.service", Granularity::Instance).unwrap();
-        let b = g.add_component("b", "workflow.service", Granularity::Instance).unwrap();
-        let c = g.add_component("c", "workflow.service", Granularity::Instance).unwrap();
-        let d = g.add_component("d", "workflow.service", Granularity::Instance).unwrap();
+        let a = g
+            .add_component("a", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let b = g
+            .add_component("b", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let c = g
+            .add_component("c", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let d = g
+            .add_component("d", "workflow.service", Granularity::Instance)
+            .unwrap();
         g.add_invocation(a, b, sig()).unwrap();
         g.add_invocation(a, c, sig()).unwrap();
         g.add_invocation(b, d, sig()).unwrap();

@@ -61,9 +61,16 @@ pub fn stats(g: &IrGraph) -> GraphStats {
             NodeRole::Generator => generators += 1,
         }
     }
-    let invocation_edges = g.edges().filter(|(_, e)| e.kind == EdgeKind::Invocation).count();
+    let invocation_edges = g
+        .edges()
+        .filter(|(_, e)| e.kind == EdgeKind::Invocation)
+        .count();
     let entries = path::entry_points(g);
-    let max_call_depth = entries.iter().map(|e| path::max_call_depth(g, *e)).max().unwrap_or(0);
+    let max_call_depth = entries
+        .iter()
+        .map(|e| path::max_call_depth(g, *e))
+        .max()
+        .unwrap_or(0);
     GraphStats {
         nodes: g.node_count(),
         edges: g.edge_count(),
@@ -76,7 +83,11 @@ pub fn stats(g: &IrGraph) -> GraphStats {
         invocation_edges,
         entry_points: entries.len(),
         max_call_depth,
-        density: if components == 0 { 0.0 } else { invocation_edges as f64 / components as f64 },
+        density: if components == 0 {
+            0.0
+        } else {
+            invocation_edges as f64 / components as f64
+        },
     }
 }
 
@@ -89,13 +100,26 @@ mod tests {
     #[test]
     fn counts_by_role_and_kind() {
         let mut g = IrGraph::new("t");
-        let s1 = g.add_component("s1", "workflow.service", Granularity::Instance).unwrap();
-        let s2 = g.add_component("s2", "workflow.service", Granularity::Instance).unwrap();
-        let c = g.add_component("cache", "backend.cache.memcached", Granularity::Process).unwrap();
-        let p = g.add_namespace("p", "ns.process", Granularity::Process).unwrap();
+        let s1 = g
+            .add_component("s1", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let s2 = g
+            .add_component("s2", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let c = g
+            .add_component("cache", "backend.cache.memcached", Granularity::Process)
+            .unwrap();
+        let p = g
+            .add_namespace("p", "ns.process", Granularity::Process)
+            .unwrap();
         g.set_parent(s1, p).unwrap();
         let m = g
-            .add_node(Node::new("m", "mod.trace", NodeRole::Modifier, Granularity::Instance))
+            .add_node(Node::new(
+                "m",
+                "mod.trace",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
             .unwrap();
         g.attach_modifier(s1, m).unwrap();
         let sig = vec![MethodSig::new("M", vec![], TypeRef::Unit)];

@@ -89,7 +89,10 @@ pub struct Param {
 impl Param {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: TypeRef) -> Self {
-        Param { name: name.into(), ty }
+        Param {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -112,7 +115,11 @@ pub struct MethodSig {
 impl MethodSig {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, params: Vec<Param>, ret: TypeRef) -> Self {
-        MethodSig { name: name.into(), params, ret }
+        MethodSig {
+            name: name.into(),
+            params,
+            ret,
+        }
     }
 
     /// Renders a Rust trait-method signature, e.g.
@@ -136,7 +143,8 @@ pub fn snake_case(name: &str) -> String {
     let chars: Vec<char> = name.chars().collect();
     for (i, &c) in chars.iter().enumerate() {
         if c.is_ascii_uppercase() {
-            let prev_lower = i > 0 && (chars[i - 1].is_ascii_lowercase() || chars[i - 1].is_ascii_digit());
+            let prev_lower =
+                i > 0 && (chars[i - 1].is_ascii_lowercase() || chars[i - 1].is_ascii_digit());
             let next_lower = chars.get(i + 1).is_some_and(|n| n.is_ascii_lowercase());
             if i > 0 && (prev_lower || (next_lower && chars[i - 1] != '_')) && !out.ends_with('_') {
                 out.push('_');
@@ -206,7 +214,10 @@ mod tests {
     fn rust_decl_renders() {
         let m = MethodSig::new(
             "ComposePost",
-            vec![Param::new("reqID", TypeRef::I64), Param::new("text", TypeRef::Str)],
+            vec![
+                Param::new("reqID", TypeRef::I64),
+                Param::new("text", TypeRef::Str),
+            ],
             TypeRef::Unit,
         );
         assert_eq!(

@@ -46,7 +46,10 @@ pub fn validate_structure(g: &IrGraph) -> Result<()> {
             if mn.role != NodeRole::Modifier {
                 return Err(IrError::BadModifier {
                     modifier: mn.name.clone(),
-                    detail: format!("listed in modifier chain of {} but is not a modifier", n.name),
+                    detail: format!(
+                        "listed in modifier chain of {} but is not a modifier",
+                        n.name
+                    ),
                 });
             }
             if mn.attached_to() != Some(id) {
@@ -125,7 +128,9 @@ pub fn check_visibility(g: &IrGraph) -> std::result::Result<(), VisibilityReport
 }
 
 fn node_name(g: &IrGraph, id: NodeId) -> String {
-    g.node(id).map(|n| n.name.clone()).unwrap_or_else(|_| id.to_string())
+    g.node(id)
+        .map(|n| n.name.clone())
+        .unwrap_or_else(|_| id.to_string())
 }
 
 #[cfg(test)]
@@ -144,7 +149,9 @@ mod tests {
     fn valid_graph_passes() {
         let mut g = IrGraph::new("t");
         let a = g.add_component("a", "svc", Granularity::Instance).unwrap();
-        let p = g.add_namespace("p", "ns.process", Granularity::Process).unwrap();
+        let p = g
+            .add_namespace("p", "ns.process", Granularity::Process)
+            .unwrap();
         g.set_parent(a, p).unwrap();
         validate_structure(&g).unwrap();
         check_visibility(&g).unwrap();
@@ -155,8 +162,12 @@ mod tests {
         let mut g = IrGraph::new("t");
         let a = g.add_component("a", "svc", Granularity::Instance).unwrap();
         let b = g.add_component("b", "svc", Granularity::Instance).unwrap();
-        let pa = g.add_namespace("pa", "ns.process", Granularity::Process).unwrap();
-        let pb = g.add_namespace("pb", "ns.process", Granularity::Process).unwrap();
+        let pa = g
+            .add_namespace("pa", "ns.process", Granularity::Process)
+            .unwrap();
+        let pb = g
+            .add_namespace("pb", "ns.process", Granularity::Process)
+            .unwrap();
         g.set_parent(a, pa).unwrap();
         g.set_parent(b, pb).unwrap();
         g.add_invocation(a, b, sig()).unwrap();
@@ -171,8 +182,12 @@ mod tests {
         let mut g = IrGraph::new("t");
         let a = g.add_component("a", "svc", Granularity::Instance).unwrap();
         let b = g.add_component("b", "svc", Granularity::Instance).unwrap();
-        let pa = g.add_namespace("pa", "ns.process", Granularity::Process).unwrap();
-        let pb = g.add_namespace("pb", "ns.process", Granularity::Process).unwrap();
+        let pa = g
+            .add_namespace("pa", "ns.process", Granularity::Process)
+            .unwrap();
+        let pb = g
+            .add_namespace("pb", "ns.process", Granularity::Process)
+            .unwrap();
         g.set_parent(a, pa).unwrap();
         g.set_parent(b, pb).unwrap();
         let e = g.add_invocation(a, b, sig()).unwrap();
@@ -183,10 +198,19 @@ mod tests {
     #[test]
     fn edge_into_generator_is_reported() {
         let mut g = IrGraph::new("t");
-        let caller = g.add_component("caller", "svc", Granularity::Instance).unwrap();
-        let replica = g.add_component("replica", "svc", Granularity::Instance).unwrap();
+        let caller = g
+            .add_component("caller", "svc", Granularity::Instance)
+            .unwrap();
+        let replica = g
+            .add_component("replica", "svc", Granularity::Instance)
+            .unwrap();
         let gen = g
-            .add_node(Node::new("repl", "gen.replicas", NodeRole::Generator, Granularity::Process))
+            .add_node(Node::new(
+                "repl",
+                "gen.replicas",
+                NodeRole::Generator,
+                Granularity::Process,
+            ))
             .unwrap();
         g.set_parent(replica, gen).unwrap();
         let e = g.add_invocation(caller, replica, sig()).unwrap();
@@ -200,8 +224,12 @@ mod tests {
         let mut g = IrGraph::new("t");
         let a = g.add_component("a", "svc", Granularity::Instance).unwrap();
         let b = g.add_component("b", "svc", Granularity::Instance).unwrap();
-        let pa = g.add_namespace("pa", "ns.process", Granularity::Process).unwrap();
-        let pb = g.add_namespace("pb", "ns.process", Granularity::Process).unwrap();
+        let pa = g
+            .add_namespace("pa", "ns.process", Granularity::Process)
+            .unwrap();
+        let pb = g
+            .add_namespace("pb", "ns.process", Granularity::Process)
+            .unwrap();
         g.set_parent(a, pa).unwrap();
         g.set_parent(b, pb).unwrap();
         g.add_edge(Edge::dependency(a, b)).unwrap();
@@ -215,7 +243,12 @@ mod tests {
         let mut g = IrGraph::new("t");
         let s = g.add_component("s", "svc", Granularity::Instance).unwrap();
         let m = g
-            .add_node(Node::new("m", "mod.x", NodeRole::Modifier, Granularity::Instance))
+            .add_node(Node::new(
+                "m",
+                "mod.x",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
             .unwrap();
         g.attach_modifier(s, m).unwrap();
         validate_structure(&g).unwrap();

@@ -100,16 +100,37 @@ mod tests {
 
     #[test]
     fn required_for_each_boundary() {
-        assert_eq!(Visibility::required_for_boundary(Granularity::Instance), Visibility::Local);
-        assert_eq!(Visibility::required_for_boundary(Granularity::Process), Visibility::Container);
-        assert_eq!(Visibility::required_for_boundary(Granularity::Container), Visibility::Machine);
-        assert_eq!(Visibility::required_for_boundary(Granularity::Machine), Visibility::Region);
-        assert_eq!(Visibility::required_for_boundary(Granularity::Region), Visibility::Global);
+        assert_eq!(
+            Visibility::required_for_boundary(Granularity::Instance),
+            Visibility::Local
+        );
+        assert_eq!(
+            Visibility::required_for_boundary(Granularity::Process),
+            Visibility::Container
+        );
+        assert_eq!(
+            Visibility::required_for_boundary(Granularity::Container),
+            Visibility::Machine
+        );
+        assert_eq!(
+            Visibility::required_for_boundary(Granularity::Machine),
+            Visibility::Region
+        );
+        assert_eq!(
+            Visibility::required_for_boundary(Granularity::Region),
+            Visibility::Global
+        );
     }
 
     #[test]
     fn widen_takes_max() {
-        assert_eq!(Visibility::Local.widen(Visibility::Machine), Visibility::Machine);
-        assert_eq!(Visibility::Global.widen(Visibility::Local), Visibility::Global);
+        assert_eq!(
+            Visibility::Local.widen(Visibility::Machine),
+            Visibility::Machine
+        );
+        assert_eq!(
+            Visibility::Global.widen(Visibility::Local),
+            Visibility::Global
+        );
     }
 }

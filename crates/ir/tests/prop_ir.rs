@@ -68,11 +68,9 @@ fn build(ops: &[Op]) -> IrGraph {
                     let f = services[*from as usize % services.len()];
                     let t = services[*to as usize % services.len()];
                     if f != t && g.node(f).is_ok() && g.node(t).is_ok() {
-                        if let Ok(e) = g.add_invocation(
-                            f,
-                            t,
-                            vec![MethodSig::new("M", vec![], TypeRef::Unit)],
-                        ) {
+                        if let Ok(e) =
+                            g.add_invocation(f, t, vec![MethodSig::new("M", vec![], TypeRef::Unit)])
+                        {
                             if *widen {
                                 g.edge_mut(e).unwrap().visibility = Visibility::Global;
                             }

@@ -181,7 +181,10 @@ mod tests {
     fn default_matches_uses_keywords() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let p = Nop;
         assert!(p.matches("Nop", &ctx));
         assert!(!p.matches("Other", &ctx));
@@ -191,7 +194,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = PluginError::BadDecl { instance: "x".into(), message: "boom".into() };
+        let e = PluginError::BadDecl {
+            instance: "x".into(),
+            message: "boom".into(),
+        };
         assert!(e.to_string().contains("`x`"));
         let e: PluginError = blueprint_ir::IrError::UnknownNode("n1".into()).into();
         assert!(matches!(e, PluginError::Internal(_)));

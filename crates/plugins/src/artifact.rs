@@ -47,7 +47,10 @@ pub struct Artifact {
 impl Artifact {
     /// Non-blank lines of this artifact.
     pub fn loc(&self) -> usize {
-        self.content.lines().filter(|l| !l.trim().is_empty()).count()
+        self.content
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
     }
 }
 
@@ -65,7 +68,13 @@ impl ArtifactTree {
 
     /// Adds (or replaces) a file.
     pub fn put(&mut self, path: impl Into<String>, kind: ArtifactKind, content: impl Into<String>) {
-        self.files.insert(path.into(), Artifact { content: content.into(), kind });
+        self.files.insert(
+            path.into(),
+            Artifact {
+                content: content.into(),
+                kind,
+            },
+        );
     }
 
     /// Appends content to a file, creating it if missing.
@@ -93,7 +102,11 @@ impl ArtifactTree {
 
     /// Paths matching a prefix.
     pub fn paths_under(&self, prefix: &str) -> Vec<&str> {
-        self.files.keys().filter(|p| p.starts_with(prefix)).map(String::as_str).collect()
+        self.files
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .map(String::as_str)
+            .collect()
     }
 
     /// Number of files.
@@ -150,7 +163,11 @@ mod tests {
     #[test]
     fn put_get_loc() {
         let mut t = ArtifactTree::new();
-        t.put("a/b.rs", ArtifactKind::RustSource, "fn main() {}\n\nstruct X;\n");
+        t.put(
+            "a/b.rs",
+            ArtifactKind::RustSource,
+            "fn main() {}\n\nstruct X;\n",
+        );
         assert!(t.contains("a/b.rs"));
         assert_eq!(t.get("a/b.rs").unwrap().loc(), 2);
         assert_eq!(t.total_loc(), 2);

@@ -68,10 +68,13 @@ impl Plugin for MemcachedPlugin {
         })
     }
 
-
     fn apply_client(&self, node: NodeId, ir: &IrGraph, client: &mut blueprint_simrt::ClientSpec) {
         // Client-driver cost per operation: protocol encoding + syscalls.
-        let us = ir.node(node).ok().and_then(|n| n.props.float("client_op_us")).unwrap_or(12.0);
+        let us = ir
+            .node(node)
+            .ok()
+            .and_then(|n| n.props.float("client_op_us"))
+            .unwrap_or(12.0);
         client.client_overhead_ns += (us * 1000.0) as u64;
     }
 
@@ -95,7 +98,10 @@ mod tests {
     fn builds_and_lowers() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
         let decl = InstanceDecl {
             name: "post_cache".into(),
@@ -107,7 +113,11 @@ mod tests {
         let n = MemcachedPlugin.build_node(&decl, &mut ir, &ctx).unwrap();
         assert_eq!(ir.node(n).unwrap().kind, KIND);
         match MemcachedPlugin.lower_backend(n, &ir).unwrap() {
-            BackendRtKind::Cache { capacity_items, op_latency_ns, .. } => {
+            BackendRtKind::Cache {
+                capacity_items,
+                op_latency_ns,
+                ..
+            } => {
                 assert_eq!(capacity_items, 1_000_000);
                 assert_eq!(op_latency_ns, 120_000);
             }

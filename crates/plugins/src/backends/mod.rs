@@ -75,7 +75,13 @@ pub fn backend_container_artifacts(
     out.append(
         "config/addresses.env",
         ArtifactKind::Config,
-        &format!("{}_ADDRESS={}\n{}_PORT={}\n", n.name.to_uppercase(), n.name, n.name.to_uppercase(), port),
+        &format!(
+            "{}_ADDRESS={}\n{}_PORT={}\n",
+            n.name.to_uppercase(),
+            n.name,
+            n.name.to_uppercase(),
+            port
+        ),
     );
     Ok(())
 }
@@ -101,14 +107,19 @@ mod tests {
             name: "c1".into(),
             callee: "Memcached".into(),
             args: vec![],
-            kwargs: [("capacity".to_string(), Arg::Int(5000))].into_iter().collect(),
+            kwargs: [("capacity".to_string(), Arg::Int(5000))]
+                .into_iter()
+                .collect(),
             server_modifiers: vec![],
         };
         let n = backend_node(
             &decl,
             &mut ir,
             "backend.cache.memcached",
-            &[("capacity", PropValue::Int(1_000_000)), ("op_latency_us", PropValue::Float(100.0))],
+            &[
+                ("capacity", PropValue::Int(1_000_000)),
+                ("op_latency_us", PropValue::Float(100.0)),
+            ],
         )
         .unwrap();
         let node = ir.node(n).unwrap();
@@ -124,7 +135,9 @@ mod tests {
             name: "c1".into(),
             callee: "X".into(),
             args: vec![],
-            kwargs: [("xs".to_string(), Arg::List(vec![]))].into_iter().collect(),
+            kwargs: [("xs".to_string(), Arg::List(vec![]))]
+                .into_iter()
+                .collect(),
             server_modifiers: vec![],
         };
         assert!(backend_node(&decl, &mut ir, "backend.x", &[]).is_err());
@@ -133,10 +146,16 @@ mod tests {
     #[test]
     fn container_artifacts_emitted() {
         let mut ir = IrGraph::new("t");
-        let n = ir.add_component("post_db", "backend.nosql.mongodb", Granularity::Process).unwrap();
+        let n = ir
+            .add_component("post_db", "backend.nosql.mongodb", Granularity::Process)
+            .unwrap();
         let mut out = ArtifactTree::new();
         backend_container_artifacts(&ir, n, "mongo:6.0", 27017, &mut out).unwrap();
-        assert!(out.get("docker/post_db/Dockerfile").unwrap().content.contains("FROM mongo:6.0"));
+        assert!(out
+            .get("docker/post_db/Dockerfile")
+            .unwrap()
+            .content
+            .contains("FROM mongo:6.0"));
         assert!(out
             .get("config/addresses.env")
             .unwrap()
@@ -147,7 +166,9 @@ mod tests {
     #[test]
     fn prop_us_conversion() {
         let mut ir = IrGraph::new("t");
-        let n = ir.add_component("c", "backend.cache.redis", Granularity::Process).unwrap();
+        let n = ir
+            .add_component("c", "backend.cache.redis", Granularity::Process)
+            .unwrap();
         ir.node_mut(n).unwrap().props.set("lat_us", 2.5);
         assert_eq!(prop_us_to_ns(&ir, n, "lat_us", 999), 2500);
         assert_eq!(prop_us_to_ns(&ir, n, "missing", 999), 999);

@@ -90,10 +90,13 @@ impl Plugin for MongoDbPlugin {
         })
     }
 
-
     fn apply_client(&self, node: NodeId, ir: &IrGraph, client: &mut blueprint_simrt::ClientSpec) {
         // Client-driver cost per operation: protocol encoding + syscalls.
-        let us = ir.node(node).ok().and_then(|n| n.props.float("client_op_us")).unwrap_or(20.0);
+        let us = ir
+            .node(node)
+            .ok()
+            .and_then(|n| n.props.float("client_op_us"))
+            .unwrap_or(20.0);
         client.client_overhead_ns += (us * 1000.0) as u64;
     }
 
@@ -116,7 +119,10 @@ mod tests {
     fn replication_kwargs_lower_to_store_replicas() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
         let decl = InstanceDecl {
             name: "tl_db".into(),
@@ -132,8 +138,11 @@ mod tests {
             server_modifiers: vec![],
         };
         let n = MongoDbPlugin.build_node(&decl, &mut ir, &ctx).unwrap();
-        let BackendRtKind::Store { replicas, replication_lag_ns, .. } =
-            MongoDbPlugin.lower_backend(n, &ir).unwrap()
+        let BackendRtKind::Store {
+            replicas,
+            replication_lag_ns,
+            ..
+        } = MongoDbPlugin.lower_backend(n, &ir).unwrap()
         else {
             panic!("not a store");
         };
@@ -141,6 +150,10 @@ mod tests {
         assert_eq!(replication_lag_ns, (ms(100), ms(400)));
         let mut out = ArtifactTree::new();
         MongoDbPlugin.generate(n, &ir, &ctx, &mut out).unwrap();
-        assert!(out.get("config/tl_db_replset.conf").unwrap().content.contains("members=3"));
+        assert!(out
+            .get("config/tl_db_replset.conf")
+            .unwrap()
+            .content
+            .contains("members=3"));
     }
 }

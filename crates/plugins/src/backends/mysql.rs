@@ -78,10 +78,13 @@ impl Plugin for MySqlPlugin {
         })
     }
 
-
     fn apply_client(&self, node: NodeId, ir: &IrGraph, client: &mut blueprint_simrt::ClientSpec) {
         // Client-driver cost per operation: protocol encoding + syscalls.
-        let us = ir.node(node).ok().and_then(|n| n.props.float("client_op_us")).unwrap_or(25.0);
+        let us = ir
+            .node(node)
+            .ok()
+            .and_then(|n| n.props.float("client_op_us"))
+            .unwrap_or(25.0);
         client.client_overhead_ns += (us * 1000.0) as u64;
     }
 
@@ -104,7 +107,10 @@ mod tests {
     fn mysql_costs_more_cpu_than_mongo() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
         let decl = InstanceDecl {
             name: "orders_db".into(),

@@ -39,7 +39,10 @@ impl Plugin for RabbitMqPlugin {
             decl,
             ir,
             KIND,
-            &[("capacity", PropValue::Int(100_000)), ("op_latency_us", PropValue::Float(250.0))],
+            &[
+                ("capacity", PropValue::Int(100_000)),
+                ("op_latency_us", PropValue::Float(250.0)),
+            ],
         )
     }
 
@@ -61,10 +64,13 @@ impl Plugin for RabbitMqPlugin {
         })
     }
 
-
     fn apply_client(&self, node: NodeId, ir: &IrGraph, client: &mut blueprint_simrt::ClientSpec) {
         // Client-driver cost per operation: protocol encoding + syscalls.
-        let us = ir.node(node).ok().and_then(|n| n.props.float("client_op_us")).unwrap_or(15.0);
+        let us = ir
+            .node(node)
+            .ok()
+            .and_then(|n| n.props.float("client_op_us"))
+            .unwrap_or(15.0);
         client.client_overhead_ns += (us * 1000.0) as u64;
     }
 
@@ -87,13 +93,18 @@ mod tests {
     fn capacity_kwarg_respected() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
         let decl = InstanceDecl {
             name: "q".into(),
             callee: "RabbitMQ".into(),
             args: vec![],
-            kwargs: [("capacity".to_string(), Arg::Int(5))].into_iter().collect(),
+            kwargs: [("capacity".to_string(), Arg::Int(5))]
+                .into_iter()
+                .collect(),
             server_modifiers: vec![],
         };
         let n = RabbitMqPlugin.build_node(&decl, &mut ir, &ctx).unwrap();

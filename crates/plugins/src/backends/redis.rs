@@ -72,10 +72,13 @@ impl Plugin for RedisPlugin {
         })
     }
 
-
     fn apply_client(&self, node: NodeId, ir: &IrGraph, client: &mut blueprint_simrt::ClientSpec) {
         // Client-driver cost per operation: protocol encoding + syscalls.
-        let us = ir.node(node).ok().and_then(|n| n.props.float("client_op_us")).unwrap_or(12.0);
+        let us = ir
+            .node(node)
+            .ok()
+            .and_then(|n| n.props.float("client_op_us"))
+            .unwrap_or(12.0);
         client.client_overhead_ns += (us * 1000.0) as u64;
     }
 
@@ -98,7 +101,10 @@ mod tests {
     fn redis_lowers_to_cache_with_cheaper_items() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
         let decl = InstanceDecl {
             name: "tl_cache".into(),
@@ -108,7 +114,9 @@ mod tests {
             server_modifiers: vec![],
         };
         let n = RedisPlugin.build_node(&decl, &mut ir, &ctx).unwrap();
-        let BackendRtKind::Cache { cpu_per_item_ns, .. } = RedisPlugin.lower_backend(n, &ir).unwrap()
+        let BackendRtKind::Cache {
+            cpu_per_item_ns, ..
+        } = RedisPlugin.lower_backend(n, &ir).unwrap()
         else {
             panic!("not a cache");
         };

@@ -85,17 +85,26 @@ mod tests {
     fn inventory_and_round_robin_placement() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
         for i in 0..3 {
-            ir.add_namespace(format!("cont_{i}"), "namespace.container", Granularity::Container)
-                .unwrap();
+            ir.add_namespace(
+                format!("cont_{i}"),
+                "namespace.container",
+                Granularity::Container,
+            )
+            .unwrap();
         }
         let decl = InstanceDecl {
             name: "deployer".into(),
             callee: "Ansible".into(),
             args: vec![],
-            kwargs: [("machines".to_string(), Arg::Int(2))].into_iter().collect(),
+            kwargs: [("machines".to_string(), Arg::Int(2))]
+                .into_iter()
+                .collect(),
             server_modifiers: vec![],
         };
         let d = AnsiblePlugin.build_node(&decl, &mut ir, &ctx).unwrap();

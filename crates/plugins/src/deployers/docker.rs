@@ -88,10 +88,15 @@ mod tests {
     fn compose_lists_containers() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
-        ir.add_namespace("cont_user", "namespace.container", Granularity::Container).unwrap();
-        ir.add_namespace("cont_post", "namespace.container", Granularity::Container).unwrap();
+        ir.add_namespace("cont_user", "namespace.container", Granularity::Container)
+            .unwrap();
+        ir.add_namespace("cont_post", "namespace.container", Granularity::Container)
+            .unwrap();
         let decl = InstanceDecl {
             name: "deployer".into(),
             callee: "Docker".into(),

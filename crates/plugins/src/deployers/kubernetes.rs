@@ -58,10 +58,14 @@ impl Plugin for KubernetesPlugin {
             y.push_str("  template:\n    metadata:\n      labels:\n");
             y.push_str(&format!("        app: {name}\n"));
             y.push_str("    spec:\n      containers:\n");
-            y.push_str(&format!("        - name: {name}\n          image: blueprint/{name}:latest\n"));
+            y.push_str(&format!(
+                "        - name: {name}\n          image: blueprint/{name}:latest\n"
+            ));
             y.push_str("          envFrom:\n            - configMapRef:\n                name: addresses\n");
             y.push_str("---\napiVersion: v1\nkind: Service\n");
-            y.push_str(&format!("metadata:\n  name: {name}\nspec:\n  selector:\n    app: {name}\n"));
+            y.push_str(&format!(
+                "metadata:\n  name: {name}\nspec:\n  selector:\n    app: {name}\n"
+            ));
             y.push_str("  ports:\n    - port: 80\n");
             out.put(path, ArtifactKind::K8s, y);
         }
@@ -84,9 +88,13 @@ mod tests {
     fn manifests_per_container() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
-        ir.add_namespace("cont_user", "namespace.container", Granularity::Container).unwrap();
+        ir.add_namespace("cont_user", "namespace.container", Granularity::Container)
+            .unwrap();
         let decl = InstanceDecl {
             name: "deployer".into(),
             callee: "Kubernetes".into(),

@@ -64,9 +64,18 @@ mod tests {
     fn shape_reads_deployer_props() {
         let mut ir = IrGraph::new("t");
         let d = ir
-            .add_node(Node::new("dep", "mod.deployer.docker", NodeRole::Modifier, Granularity::Instance))
+            .add_node(Node::new(
+                "dep",
+                "mod.deployer.docker",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
             .unwrap();
-        ir.node_mut(d).unwrap().props.set("machines", 4.0).set("cores", 16.0);
+        ir.node_mut(d)
+            .unwrap()
+            .props
+            .set("machines", 4.0)
+            .set("cores", 16.0);
         assert_eq!(cluster_shape(&ir), (4, 16.0));
         assert!(has_deployer(&ir));
     }

@@ -17,6 +17,21 @@
 //! `CircuitBreaker` are implemented exactly as the paper describes — one-shot
 //! extensions added after the fact without touching any application
 //! (see `registry::extended()` and the UC3 tests).
+//!
+//! **Kwarg validation.** Wiring-spec kwargs arrive as `f64`; plugins that
+//! consume them validate rather than cast blindly. The resilience plugins
+//! ([`scaffolding::retry::RetryPlugin`], [`scaffolding::timeout::TimeoutPlugin`])
+//! apply these rules:
+//!
+//! * non-finite (`NaN`/`±inf`) or non-positive values are rejected and the
+//!   client falls back to the safe floor — zero retries / zero backoff / no
+//!   timeout — instead of wrapping or saturating to a surprising value
+//!   (`Timeout(ms=-5)` must not mean "every call times out instantly");
+//! * count-like kwargs (`Retry(max=...)`) are rounded to the nearest integer,
+//!   never truncated (`max=2.6` → 3 attempts, not 2);
+//! * duration kwargs (`Timeout(ms=...)`, `Retry(backoff_ms=...)`) keep
+//!   sub-millisecond fractions — they are scaled to nanoseconds before
+//!   rounding.
 
 pub mod api;
 pub mod artifact;

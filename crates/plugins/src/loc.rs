@@ -68,9 +68,24 @@ pub fn table2_backend_interfaces() -> Vec<LocRow> {
             ours: shared_backend,
             paper: 0,
         },
-        LocRow { category: "compiler".into(), name: "Deployer".into(), ours: source_loc(include_str!("deployers/mod.rs")), paper: 46 },
-        LocRow { category: "compiler".into(), name: "RPC".into(), ours: shared_rpc, paper: 152 },
-        LocRow { category: "compiler".into(), name: "HTTP".into(), ours: 0, paper: 146 },
+        LocRow {
+            category: "compiler".into(),
+            name: "Deployer".into(),
+            ours: source_loc(include_str!("deployers/mod.rs")),
+            paper: 46,
+        },
+        LocRow {
+            category: "compiler".into(),
+            name: "RPC".into(),
+            ours: shared_rpc,
+            paper: 152,
+        },
+        LocRow {
+            category: "compiler".into(),
+            name: "HTTP".into(),
+            ours: 0,
+            paper: 146,
+        },
     ]
 }
 
@@ -96,7 +111,10 @@ pub fn table3_instantiations(registry: &crate::Registry) -> Vec<LocRow> {
         .map(|(cat, name, paper)| LocRow {
             category: cat.to_string(),
             name: name.to_string(),
-            ours: registry.by_name(name).map(|p| source_loc(p.source())).unwrap_or(0),
+            ours: registry
+                .by_name(name)
+                .map(|p| source_loc(p.source()))
+                .unwrap_or(0),
             paper,
         })
         .collect()
@@ -118,7 +136,10 @@ pub fn table4_plugins(registry: &crate::Registry) -> Vec<LocRow> {
         .map(|(cat, name, paper)| LocRow {
             category: cat.to_string(),
             name: name.to_string(),
-            ours: registry.by_name(name).map(|p| source_loc(p.source())).unwrap_or(0),
+            ours: registry
+                .by_name(name)
+                .map(|p| source_loc(p.source()))
+                .unwrap_or(0),
             paper,
         })
         .collect()
@@ -141,7 +162,11 @@ mod tests {
             let row = rows.iter().find(|r| r.name == name).expect("row exists");
             assert!(row.ours > 0, "{name} interface empty");
             // Interfaces are small — that is the point of Tab. 2.
-            assert!(row.ours < 100, "{name} interface suspiciously large: {}", row.ours);
+            assert!(
+                row.ours < 100,
+                "{name} interface suspiciously large: {}",
+                row.ours
+            );
         }
     }
 

@@ -92,7 +92,11 @@ impl Plugin for NamespacePlugin {
         let n = ir.node(node)?;
         if n.kind == PROCESS_KIND {
             let path = format!("procs/{}/main.rs", snake_case(&n.name));
-            out.put(path, ArtifactKind::RustSource, render_process_main(node, ir)?);
+            out.put(
+                path,
+                ArtifactKind::RustSource,
+                render_process_main(node, ir)?,
+            );
         }
         Ok(())
     }
@@ -148,7 +152,11 @@ fn render_process_main(node: NodeId, ir: &IrGraph) -> PluginResult<String> {
         let before = remaining.len();
         remaining.retain(|&m| {
             let deps_ready = ir.callees(m).iter().all(|d| {
-                constructed.contains(d) || ir.node(*d).map(|t| t.parent() != Some(node)).unwrap_or(true)
+                constructed.contains(d)
+                    || ir
+                        .node(*d)
+                        .map(|t| t.parent() != Some(node))
+                        .unwrap_or(true)
             });
             if deps_ready {
                 let mn = ir.node(m).expect("member exists");
@@ -190,7 +198,8 @@ fn render_process_main(node: NodeId, ir: &IrGraph) -> PluginResult<String> {
     for &m in &members {
         let mn = ir.node(m)?;
         if mn.modifiers().iter().any(|&md| {
-            ir.node(md).map(|x| x.kind.starts_with("mod.rpc") || x.kind.starts_with("mod.http"))
+            ir.node(md)
+                .map(|x| x.kind.starts_with("mod.rpc") || x.kind.starts_with("mod.http"))
                 .unwrap_or(false)
         }) {
             out.push_str(&format!(
@@ -254,10 +263,17 @@ mod tests {
     #[test]
     fn groups_members_into_process() {
         let (wf, wiring) = ctx_fixtures();
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
-        let a = ir.add_component("a", "workflow.service", Granularity::Instance).unwrap();
-        let b = ir.add_component("b", "workflow.service", Granularity::Instance).unwrap();
+        let a = ir
+            .add_component("a", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let b = ir
+            .add_component("b", "workflow.service", Granularity::Instance)
+            .unwrap();
         let decl = InstanceDecl {
             name: "p1".into(),
             callee: "Process".into(),
@@ -278,7 +294,10 @@ mod tests {
     #[test]
     fn unknown_member_rejected() {
         let (wf, wiring) = ctx_fixtures();
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
         let decl = InstanceDecl {
             name: "p1".into(),
@@ -287,33 +306,53 @@ mod tests {
             kwargs: Default::default(),
             server_modifiers: vec![],
         };
-        let err = NamespacePlugin.build_node(&decl, &mut ir, &ctx).unwrap_err();
+        let err = NamespacePlugin
+            .build_node(&decl, &mut ir, &ctx)
+            .unwrap_err();
         assert!(err.to_string().contains("ghost"));
     }
 
     #[test]
     fn process_main_constructs_in_dependency_order() {
         let (wf, wiring) = ctx_fixtures();
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
-        let a = ir.add_component("svc_a", "workflow.service", Granularity::Instance).unwrap();
-        let b = ir.add_component("svc_b", "workflow.service", Granularity::Instance).unwrap();
+        let a = ir
+            .add_component("svc_a", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let b = ir
+            .add_component("svc_b", "workflow.service", Granularity::Instance)
+            .unwrap();
         ir.node_mut(a).unwrap().props.set("impl", "AImpl");
         ir.node_mut(b).unwrap().props.set("impl", "BImpl");
         // a calls b: b must be constructed first.
-        ir.add_invocation(a, b, vec![MethodSig::new("M", vec![], TypeRef::Unit)]).unwrap();
+        ir.add_invocation(a, b, vec![MethodSig::new("M", vec![], TypeRef::Unit)])
+            .unwrap();
         let m = ir
-            .add_node(Node::new("svc_a_rpc", "mod.rpc.grpc.server", NodeRole::Modifier, Granularity::Instance))
+            .add_node(Node::new(
+                "svc_a_rpc",
+                "mod.rpc.grpc.server",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
             .unwrap();
         ir.attach_modifier(a, m).unwrap();
-        let ns = ir.add_namespace("p1", PROCESS_KIND, Granularity::Process).unwrap();
+        let ns = ir
+            .add_namespace("p1", PROCESS_KIND, Granularity::Process)
+            .unwrap();
         ir.set_parent(a, ns).unwrap();
         ir.set_parent(b, ns).unwrap();
         let mut out = ArtifactTree::new();
         NamespacePlugin.generate(ns, &ir, &ctx, &mut out).unwrap();
         let main = out.get("procs/p1/main.rs").unwrap();
         let b_pos = main.content.find("let svc_b = BImpl::new()").unwrap();
-        let a_pos = main.content.find("let svc_a = GrpcWrapper::wrap(AImpl::new(svc_b))").unwrap();
+        let a_pos = main
+            .content
+            .find("let svc_a = GrpcWrapper::wrap(AImpl::new(svc_b))")
+            .unwrap();
         assert!(b_pos < a_pos, "{}", main.content);
         assert!(main.content.contains("serve_env(\"SVC_A_ADDRESS\""));
     }
@@ -321,35 +360,57 @@ mod tests {
     #[test]
     fn remote_deps_become_clients() {
         let (wf, wiring) = ctx_fixtures();
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
-        let a = ir.add_component("svc_a", "workflow.service", Granularity::Instance).unwrap();
-        let remote = ir.add_component("svc_r", "workflow.service", Granularity::Instance).unwrap();
+        let a = ir
+            .add_component("svc_a", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let remote = ir
+            .add_component("svc_r", "workflow.service", Granularity::Instance)
+            .unwrap();
         ir.node_mut(a).unwrap().props.set("impl", "AImpl");
         ir.add_invocation(a, remote, vec![]).unwrap();
-        let ns = ir.add_namespace("p1", PROCESS_KIND, Granularity::Process).unwrap();
+        let ns = ir
+            .add_namespace("p1", PROCESS_KIND, Granularity::Process)
+            .unwrap();
         ir.set_parent(a, ns).unwrap();
         let mut out = ArtifactTree::new();
         NamespacePlugin.generate(ns, &ir, &ctx, &mut out).unwrap();
         let main = out.get("procs/p1/main.rs").unwrap();
-        assert!(main.content.contains("let svc_r_client = dial_env(\"SVC_R_ADDRESS\""));
+        assert!(main
+            .content
+            .contains("let svc_r_client = dial_env(\"SVC_R_ADDRESS\""));
         assert!(main.content.contains("AImpl::new(svc_r_client)"));
     }
 
     #[test]
     fn cycle_in_process_reported() {
         let (wf, wiring) = ctx_fixtures();
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
-        let a = ir.add_component("a", "workflow.service", Granularity::Instance).unwrap();
-        let b = ir.add_component("b", "workflow.service", Granularity::Instance).unwrap();
+        let a = ir
+            .add_component("a", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let b = ir
+            .add_component("b", "workflow.service", Granularity::Instance)
+            .unwrap();
         ir.add_invocation(a, b, vec![]).unwrap();
         ir.add_invocation(b, a, vec![]).unwrap();
-        let ns = ir.add_namespace("p1", PROCESS_KIND, Granularity::Process).unwrap();
+        let ns = ir
+            .add_namespace("p1", PROCESS_KIND, Granularity::Process)
+            .unwrap();
         ir.set_parent(a, ns).unwrap();
         ir.set_parent(b, ns).unwrap();
         let mut out = ArtifactTree::new();
-        let err = NamespacePlugin.generate(ns, &ir, &ctx, &mut out).unwrap_err();
+        let err = NamespacePlugin
+            .generate(ns, &ir, &ctx, &mut out)
+            .unwrap_err();
         assert!(err.to_string().contains("cycle"));
     }
 }

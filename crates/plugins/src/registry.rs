@@ -24,7 +24,9 @@ pub struct Registry {
 impl Registry {
     /// An empty registry (for tests composing custom sets).
     pub fn empty() -> Self {
-        Registry { plugins: Vec::new() }
+        Registry {
+            plugins: Vec::new(),
+        }
     }
 
     /// The out-of-the-box plugin set: workflow services, namespaces, all
@@ -96,8 +98,8 @@ impl Registry {
         let mut best: Option<(&dyn Plugin, usize)> = None;
         for p in self.iter() {
             for owned in p.owns_kinds() {
-                let is_match =
-                    kind == owned || (kind.starts_with(owned) && kind[owned.len()..].starts_with('.'));
+                let is_match = kind == owned
+                    || (kind.starts_with(owned) && kind[owned.len()..].starts_with('.'));
                 if is_match && best.map(|(_, l)| owned.len() > l).unwrap_or(true) {
                     best = Some((p, owned.len()));
                 }
@@ -123,11 +125,31 @@ mod tests {
         let r = Registry::core();
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         for kw in [
-            "Memcached", "Redis", "MongoDB", "MySQL", "RabbitMQ", "ZipkinTracer", "JaegerTracer",
-            "TracerModifier", "GRPCServer", "ThriftServer", "HTTPServer", "Docker", "Kubernetes",
-            "Ansible", "Retry", "Timeout", "ClientPool", "Replicate", "LoadBalancer", "Process",
+            "Memcached",
+            "Redis",
+            "MongoDB",
+            "MySQL",
+            "RabbitMQ",
+            "ZipkinTracer",
+            "JaegerTracer",
+            "TracerModifier",
+            "GRPCServer",
+            "ThriftServer",
+            "HTTPServer",
+            "Docker",
+            "Kubernetes",
+            "Ansible",
+            "Retry",
+            "Timeout",
+            "ClientPool",
+            "Replicate",
+            "LoadBalancer",
+            "Process",
             "Container",
         ] {
             assert!(r.for_callee(kw, &ctx).is_some(), "missing keyword {kw}");
@@ -143,7 +165,10 @@ mod tests {
         let r = Registry::extended();
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         assert!(r.for_callee("XTraceModifier", &ctx).is_some());
         assert!(r.for_callee("XTracer", &ctx).is_some());
         assert!(r.for_callee("CircuitBreaker", &ctx).is_some());
@@ -153,11 +178,17 @@ mod tests {
     #[test]
     fn kind_resolution_prefers_longest_prefix() {
         let r = Registry::extended();
-        assert_eq!(r.for_kind("backend.cache.memcached").unwrap().name(), "memcached");
+        assert_eq!(
+            r.for_kind("backend.cache.memcached").unwrap().name(),
+            "memcached"
+        );
         assert_eq!(r.for_kind("mod.rpc.grpc.server").unwrap().name(), "grpc");
         assert_eq!(r.for_kind("mod.tracer.otel").unwrap().name(), "tracing");
         assert_eq!(r.for_kind("mod.tracer.xtrace").unwrap().name(), "xtrace");
-        assert_eq!(r.for_kind("namespace.process").unwrap().name(), "namespaces");
+        assert_eq!(
+            r.for_kind("namespace.process").unwrap().name(),
+            "namespaces"
+        );
         assert!(r.for_kind("unknown.kind").is_none());
     }
 

@@ -59,7 +59,12 @@ impl Plugin for GrpcPlugin {
         for m in &methods {
             proto.push_str(&format!("message {}Request {{\n", m.name));
             for (i, p) in m.params.iter().enumerate() {
-                proto.push_str(&format!("  {} {} = {};\n", p.ty.proto(), snake_case(&p.name), i + 1));
+                proto.push_str(&format!(
+                    "  {} {} = {};\n",
+                    p.ty.proto(),
+                    snake_case(&p.name),
+                    i + 1
+                ));
             }
             proto.push_str("}\n");
             proto.push_str(&format!(
@@ -68,12 +73,22 @@ impl Plugin for GrpcPlugin {
                 m.ret.proto()
             ));
         }
-        proto.push_str(&format!("service {} {{\n", blueprint_ir::types::camel_case(&snake_case(&service))));
+        proto.push_str(&format!(
+            "service {} {{\n",
+            blueprint_ir::types::camel_case(&snake_case(&service))
+        ));
         for m in &methods {
-            proto.push_str(&format!("  rpc {} ({}Request) returns ({}Response);\n", m.name, m.name, m.name));
+            proto.push_str(&format!(
+                "  rpc {} ({}Request) returns ({}Response);\n",
+                m.name, m.name, m.name
+            ));
         }
         proto.push_str("}\n");
-        out.put(format!("proto/{}.proto", snake_case(&service)), ArtifactKind::Proto, proto);
+        out.put(
+            format!("proto/{}.proto", snake_case(&service)),
+            ArtifactKind::Proto,
+            proto,
+        );
         out.put(
             format!("wrappers/{}_grpc.rs", snake_case(&service)),
             ArtifactKind::RustSource,
@@ -111,14 +126,25 @@ mod tests {
     fn generates_proto_and_wrappers() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
-        let svc = ir.add_component("user_service", "workflow.service", Granularity::Instance).unwrap();
-        let caller = ir.add_component("gw", "workflow.service", Granularity::Instance).unwrap();
+        let svc = ir
+            .add_component("user_service", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let caller = ir
+            .add_component("gw", "workflow.service", Granularity::Instance)
+            .unwrap();
         ir.add_invocation(
             caller,
             svc,
-            vec![MethodSig::new("Login", vec![Param::new("id", TypeRef::I64)], TypeRef::Bool)],
+            vec![MethodSig::new(
+                "Login",
+                vec![Param::new("id", TypeRef::I64)],
+                TypeRef::Bool,
+            )],
         )
         .unwrap();
         let decl = InstanceDecl {
@@ -135,7 +161,9 @@ mod tests {
         let proto = out.get("proto/user_service.proto").unwrap();
         assert!(proto.content.contains("message LoginRequest"));
         assert!(proto.content.contains("int64 id = 1;"));
-        assert!(proto.content.contains("rpc Login (LoginRequest) returns (LoginResponse);"));
+        assert!(proto
+            .content
+            .contains("rpc Login (LoginRequest) returns (LoginResponse);"));
         assert!(out.contains("wrappers/user_service_grpc.rs"));
     }
 
@@ -143,7 +171,10 @@ mod tests {
     fn transport_defaults_and_widen() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
         let decl = InstanceDecl {
             name: "rpc".into(),
@@ -154,7 +185,10 @@ mod tests {
         };
         let m = GrpcPlugin.build_node(&decl, &mut ir, &ctx).unwrap();
         match GrpcPlugin.transport(m, &ir).unwrap() {
-            TransportSpec::Grpc { serialize_ns, net_ns } => {
+            TransportSpec::Grpc {
+                serialize_ns,
+                net_ns,
+            } => {
                 assert_eq!(serialize_ns, 12_000);
                 assert_eq!(net_ns, 50_000);
             }

@@ -56,9 +56,17 @@ impl Plugin for HttpPlugin {
         // Route table artifact.
         let mut routes = String::new();
         for m in &methods {
-            routes.push_str(&format!("POST /api/{}/{}\n", snake_case(&service), snake_case(&m.name)));
+            routes.push_str(&format!(
+                "POST /api/{}/{}\n",
+                snake_case(&service),
+                snake_case(&m.name)
+            ));
         }
-        out.put(format!("http/{}_routes.txt", snake_case(&service)), ArtifactKind::Config, routes);
+        out.put(
+            format!("http/{}_routes.txt", snake_case(&service)),
+            ArtifactKind::Config,
+            routes,
+        );
         out.put(
             format!("wrappers/{}_http.rs", snake_case(&service)),
             ArtifactKind::RustSource,
@@ -95,12 +103,23 @@ mod tests {
     fn routes_and_transport() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
-        let svc = ir.add_component("gateway", "workflow.service", Granularity::Instance).unwrap();
-        let c = ir.add_component("wl", "workflow.service", Granularity::Instance).unwrap();
-        ir.add_invocation(c, svc, vec![MethodSig::new("ReadHomeTimeline", vec![], TypeRef::Unit)])
+        let svc = ir
+            .add_component("gateway", "workflow.service", Granularity::Instance)
             .unwrap();
+        let c = ir
+            .add_component("wl", "workflow.service", Granularity::Instance)
+            .unwrap();
+        ir.add_invocation(
+            c,
+            svc,
+            vec![MethodSig::new("ReadHomeTimeline", vec![], TypeRef::Unit)],
+        )
+        .unwrap();
         let decl = InstanceDecl {
             name: "web".into(),
             callee: "HTTPServer".into(),
@@ -117,7 +136,10 @@ mod tests {
             .unwrap()
             .content
             .contains("POST /api/gateway/read_home_timeline"));
-        assert!(matches!(HttpPlugin.transport(m, &ir), Some(TransportSpec::Http { .. })));
+        assert!(matches!(
+            HttpPlugin.transport(m, &ir),
+            Some(TransportSpec::Http { .. })
+        ));
         assert_eq!(HttpPlugin.widen(m, &ir), Some(Visibility::Global));
     }
 }

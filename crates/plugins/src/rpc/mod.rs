@@ -27,8 +27,12 @@ pub fn server_modifier(
     kind: &str,
     numeric_kwargs: &[&str],
 ) -> PluginResult<NodeId> {
-    let node =
-        ir.add_node(Node::new(&decl.name, kind, NodeRole::Modifier, Granularity::Instance))?;
+    let node = ir.add_node(Node::new(
+        &decl.name,
+        kind,
+        NodeRole::Modifier,
+        Granularity::Instance,
+    ))?;
     for key in numeric_kwargs {
         if let Some(v) = decl.kwarg(key).and_then(|a| a.as_float()) {
             ir.node_mut(node)?.props.set(*key, v);
@@ -79,7 +83,9 @@ pub fn render_wrappers(framework: &str, service: &str, methods: &[MethodSig]) ->
     let snake = snake_case(service);
     let camel = blueprint_ir::types::camel_case(&snake);
     let mut out = format!("//! Generated {framework} server and client for `{service}`.\n\n");
-    out.push_str(&format!("pub struct {camel}{framework}Server<S> {{\n    service: S,\n}}\n\n"));
+    out.push_str(&format!(
+        "pub struct {camel}{framework}Server<S> {{\n    service: S,\n}}\n\n"
+    ));
     out.push_str(&format!("impl<S> {camel}{framework}Server<S> {{\n"));
     out.push_str(&format!(
         "    pub fn serve(service: S) -> Result<(), Error> {{\n        \
@@ -105,7 +111,9 @@ pub fn render_wrappers(framework: &str, service: &str, methods: &[MethodSig]) ->
         ));
     }
     out.push_str("}\n\n");
-    out.push_str(&format!("pub struct {camel}{framework}Client {{\n    conn: Connection,\n}}\n\n"));
+    out.push_str(&format!(
+        "pub struct {camel}{framework}Client {{\n    conn: Connection,\n}}\n\n"
+    ));
     out.push_str(&format!("impl {camel}{framework}Client {{\n"));
     out.push_str(&format!(
         "    pub fn dial() -> Result<Self, Error> {{\n        \
@@ -137,7 +145,9 @@ mod tests {
             name: "rpc".into(),
             callee: "GRPCServer".into(),
             args: vec![],
-            kwargs: [("bogus".to_string(), blueprint_wiring::Arg::Int(1))].into_iter().collect(),
+            kwargs: [("bogus".to_string(), blueprint_wiring::Arg::Int(1))]
+                .into_iter()
+                .collect(),
             server_modifiers: vec![],
         };
         let err = server_modifier(&decl, &mut ir, "mod.rpc.grpc.server", &["net_us"]).unwrap_err();
@@ -147,17 +157,33 @@ mod tests {
     #[test]
     fn exposed_methods_come_from_inbound_edges() {
         let mut ir = IrGraph::new("t");
-        let svc = ir.add_component("s", "workflow.service", Granularity::Instance).unwrap();
-        let a = ir.add_component("a", "workflow.service", Granularity::Instance).unwrap();
-        let b = ir.add_component("b", "workflow.service", Granularity::Instance).unwrap();
-        ir.add_invocation(a, svc, vec![MethodSig::new("X", vec![], TypeRef::Unit)]).unwrap();
-        ir.add_invocation(b, svc, vec![
-            MethodSig::new("X", vec![], TypeRef::Unit),
-            MethodSig::new("Y", vec![], TypeRef::Unit),
-        ])
+        let svc = ir
+            .add_component("s", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let a = ir
+            .add_component("a", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let b = ir
+            .add_component("b", "workflow.service", Granularity::Instance)
+            .unwrap();
+        ir.add_invocation(a, svc, vec![MethodSig::new("X", vec![], TypeRef::Unit)])
+            .unwrap();
+        ir.add_invocation(
+            b,
+            svc,
+            vec![
+                MethodSig::new("X", vec![], TypeRef::Unit),
+                MethodSig::new("Y", vec![], TypeRef::Unit),
+            ],
+        )
         .unwrap();
         let m = ir
-            .add_node(Node::new("rpc", "mod.rpc.grpc.server", NodeRole::Modifier, Granularity::Instance))
+            .add_node(Node::new(
+                "rpc",
+                "mod.rpc.grpc.server",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
             .unwrap();
         ir.attach_modifier(svc, m).unwrap();
         let methods = exposed_methods(m, &ir);

@@ -39,7 +39,12 @@ impl Plugin for ThriftPlugin {
         ir: &mut IrGraph,
         _ctx: &BuildCtx<'_>,
     ) -> PluginResult<NodeId> {
-        server_modifier(decl, ir, KIND, &["clientpool", "serialize_us", "net_us", "reconnect_us"])
+        server_modifier(
+            decl,
+            ir,
+            KIND,
+            &["clientpool", "serialize_us", "net_us", "reconnect_us"],
+        )
     }
 
     fn generate(
@@ -66,10 +71,19 @@ impl Plugin for ThriftPlugin {
                 .enumerate()
                 .map(|(i, p)| format!("{}: {} {}", i + 1, p.ty.thrift(), snake_case(&p.name)))
                 .collect();
-            idl.push_str(&format!("  {} {}({})\n", m.ret.thrift(), m.name, params.join(", ")));
+            idl.push_str(&format!(
+                "  {} {}({})\n",
+                m.ret.thrift(),
+                m.name,
+                params.join(", ")
+            ));
         }
         idl.push_str("}\n");
-        out.put(format!("idl/{}.thrift", snake_case(&service)), ArtifactKind::ThriftIdl, idl);
+        out.put(
+            format!("idl/{}.thrift", snake_case(&service)),
+            ArtifactKind::ThriftIdl,
+            idl,
+        );
         out.put(
             format!("wrappers/{}_thrift.rs", snake_case(&service)),
             ArtifactKind::RustSource,
@@ -109,21 +123,34 @@ mod tests {
     fn idl_and_pool_transport() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
-        let svc = ir.add_component("search", "workflow.service", Granularity::Instance).unwrap();
-        let caller = ir.add_component("gw", "workflow.service", Granularity::Instance).unwrap();
+        let svc = ir
+            .add_component("search", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let caller = ir
+            .add_component("gw", "workflow.service", Granularity::Instance)
+            .unwrap();
         ir.add_invocation(
             caller,
             svc,
-            vec![MethodSig::new("Nearby", vec![Param::new("lat", TypeRef::F64)], TypeRef::Str)],
+            vec![MethodSig::new(
+                "Nearby",
+                vec![Param::new("lat", TypeRef::F64)],
+                TypeRef::Str,
+            )],
         )
         .unwrap();
         let decl = InstanceDecl {
             name: "rpc".into(),
             callee: "ThriftServer".into(),
             args: vec![],
-            kwargs: [("clientpool".to_string(), Arg::Int(16))].into_iter().collect(),
+            kwargs: [("clientpool".to_string(), Arg::Int(16))]
+                .into_iter()
+                .collect(),
             server_modifiers: vec![],
         };
         let m = ThriftPlugin.build_node(&decl, &mut ir, &ctx).unwrap();

@@ -41,7 +41,12 @@ impl Plugin for CircuitBreakerPlugin {
         ir: &mut IrGraph,
         _ctx: &BuildCtx<'_>,
     ) -> PluginResult<NodeId> {
-        server_modifier(decl, ir, KIND, &["threshold", "window", "open_ms", "probes"])
+        server_modifier(
+            decl,
+            ir,
+            KIND,
+            &["threshold", "window", "open_ms", "probes"],
+        )
     }
 
     fn apply_client(&self, node: NodeId, ir: &IrGraph, client: &mut ClientSpec) {
@@ -70,7 +75,10 @@ mod tests {
     fn applies_breaker_policy() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
         let decl = InstanceDecl {
             name: "cb".into(),
@@ -84,7 +92,9 @@ mod tests {
             .collect(),
             server_modifiers: vec![],
         };
-        let m = CircuitBreakerPlugin.build_node(&decl, &mut ir, &ctx).unwrap();
+        let m = CircuitBreakerPlugin
+            .build_node(&decl, &mut ir, &ctx)
+            .unwrap();
         let mut client = ClientSpec::local();
         CircuitBreakerPlugin.apply_client(m, &ir, &mut client);
         let b = client.breaker.unwrap();

@@ -63,7 +63,10 @@ mod tests {
         let mut ir = IrGraph::new("t");
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let decl = InstanceDecl {
             name: "pool".into(),
             callee: "ClientPool".into(),

@@ -73,7 +73,10 @@ impl Plugin for LoadBalancerPlugin {
         ir: &mut IrGraph,
         _ctx: &BuildCtx<'_>,
     ) -> PluginResult<NodeId> {
-        let policy = decl.kwarg("policy").and_then(|a| a.as_str()).unwrap_or("round_robin");
+        let policy = decl
+            .kwarg("policy")
+            .and_then(|a| a.as_str())
+            .unwrap_or("round_robin");
         if Self::parse_policy(policy).is_none() {
             return Err(PluginError::BadDecl {
                 instance: decl.name.clone(),
@@ -113,8 +116,12 @@ impl Plugin for LoadBalancerPlugin {
         out: &mut ArtifactTree,
     ) -> PluginResult<()> {
         let n = ir.node(node)?;
-        let mut conf = format!("# load balancer `{}` ({})\nupstream {} {{\n", n.name,
-            n.props.str("policy").unwrap_or("round_robin"), n.name);
+        let mut conf = format!(
+            "# load balancer `{}` ({})\nupstream {} {{\n",
+            n.name,
+            n.props.str("policy").unwrap_or("round_robin"),
+            n.name
+        );
         for callee in ir.callees(node) {
             let c = ir.node(callee)?;
             conf.push_str(&format!("  server {};\n", c.name));
@@ -144,10 +151,15 @@ mod tests {
     fn builds_with_targets_and_policy() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
-        ir.add_component("r0", "workflow.service", Granularity::Instance).unwrap();
-        ir.add_component("r1", "workflow.service", Granularity::Instance).unwrap();
+        ir.add_component("r0", "workflow.service", Granularity::Instance)
+            .unwrap();
+        ir.add_component("r1", "workflow.service", Granularity::Instance)
+            .unwrap();
         let decl = InstanceDecl {
             name: "lb".into(),
             callee: "LoadBalancer".into(),
@@ -159,23 +171,37 @@ mod tests {
         };
         let lb = LoadBalancerPlugin.build_node(&decl, &mut ir, &ctx).unwrap();
         assert_eq!(ir.callees(lb).len(), 2);
-        assert_eq!(LoadBalancerPlugin::policy(&ir, lb), LbPolicy::LeastOutstanding);
+        assert_eq!(
+            LoadBalancerPlugin::policy(&ir, lb),
+            LbPolicy::LeastOutstanding
+        );
         let mut out = ArtifactTree::new();
-        LoadBalancerPlugin.generate(lb, &ir, &ctx, &mut out).unwrap();
-        assert!(out.get("lb/lb.conf").unwrap().content.contains("server r0;"));
+        LoadBalancerPlugin
+            .generate(lb, &ir, &ctx, &mut out)
+            .unwrap();
+        assert!(out
+            .get("lb/lb.conf")
+            .unwrap()
+            .content
+            .contains("server r0;"));
     }
 
     #[test]
     fn rejects_bad_policy_and_empty_targets() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
         let decl = InstanceDecl {
             name: "lb".into(),
             callee: "LoadBalancer".into(),
             args: vec![],
-            kwargs: [("policy".to_string(), Arg::Str("zzz".into()))].into_iter().collect(),
+            kwargs: [("policy".to_string(), Arg::Str("zzz".into()))]
+                .into_iter()
+                .collect(),
             server_modifiers: vec![],
         };
         assert!(LoadBalancerPlugin.build_node(&decl, &mut ir, &ctx).is_err());
@@ -186,6 +212,8 @@ mod tests {
             kwargs: Default::default(),
             server_modifiers: vec![],
         };
-        assert!(LoadBalancerPlugin.build_node(&decl2, &mut ir, &ctx).is_err());
+        assert!(LoadBalancerPlugin
+            .build_node(&decl2, &mut ir, &ctx)
+            .is_err());
     }
 }

@@ -64,8 +64,10 @@ impl Plugin for ReplicatePlugin {
                     .iter()
                     .find(|m| ir.node(**m).map(|mn| mn.kind == KIND).unwrap_or(false))
                     .map(|m| {
-                        let count =
-                            ir.node(*m).map(|mn| mn.props.float_or("count", 2.0)).unwrap_or(2.0);
+                        let count = ir
+                            .node(*m)
+                            .map(|mn| mn.props.float_or("count", 2.0))
+                            .unwrap_or(2.0);
                         (id, *m, count as u32)
                     })
             })
@@ -109,8 +111,7 @@ fn replicate_component(
         for &m in ir.node(component)?.modifiers().to_vec().iter() {
             let mn = ir.node(m)?.clone();
             let clone_name = ir.fresh_name(&format!("{name}_{}", tail(&mn.kind)));
-            let mc =
-                ir.add_node(Node::new(&clone_name, &*mn.kind, mn.role, mn.granularity))?;
+            let mc = ir.add_node(Node::new(&clone_name, &*mn.kind, mn.role, mn.granularity))?;
             ir.node_mut(mc)?.props = mn.props.clone();
             for e in ir.out_edges(m) {
                 let edge = ir.edge(e)?.clone();
@@ -149,13 +150,27 @@ mod tests {
 
     fn setup() -> (IrGraph, NodeId, NodeId, NodeId) {
         let mut ir = IrGraph::new("t");
-        let caller = ir.add_component("gw", "workflow.service", Granularity::Instance).unwrap();
-        let svc = ir.add_component("user_tl", "workflow.service", Granularity::Instance).unwrap();
-        let db = ir.add_component("tl_db", "backend.nosql.mongodb", Granularity::Process).unwrap();
-        ir.add_invocation(caller, svc, vec![MethodSig::new("Read", vec![], TypeRef::Unit)])
+        let caller = ir
+            .add_component("gw", "workflow.service", Granularity::Instance)
             .unwrap();
-        ir.add_invocation(svc, db, vec![MethodSig::new("FindOne", vec![], TypeRef::Unit)])
+        let svc = ir
+            .add_component("user_tl", "workflow.service", Granularity::Instance)
             .unwrap();
+        let db = ir
+            .add_component("tl_db", "backend.nosql.mongodb", Granularity::Process)
+            .unwrap();
+        ir.add_invocation(
+            caller,
+            svc,
+            vec![MethodSig::new("Read", vec![], TypeRef::Unit)],
+        )
+        .unwrap();
+        ir.add_invocation(
+            svc,
+            db,
+            vec![MethodSig::new("FindOne", vec![], TypeRef::Unit)],
+        )
+        .unwrap();
         (ir, caller, svc, db)
     }
 
@@ -164,7 +179,9 @@ mod tests {
             name: "repl".into(),
             callee: "Replicate".into(),
             args: vec![],
-            kwargs: [("count".to_string(), Arg::Int(count))].into_iter().collect(),
+            kwargs: [("count".to_string(), Arg::Int(count))]
+                .into_iter()
+                .collect(),
             server_modifiers: vec![],
         }
     }
@@ -174,13 +191,23 @@ mod tests {
         let (mut ir, caller, svc, db) = setup();
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         // Also give the service another modifier to verify chain cloning.
         let rpc = ir
-            .add_node(Node::new("rpc", "mod.rpc.grpc.server", NodeRole::Modifier, Granularity::Instance))
+            .add_node(Node::new(
+                "rpc",
+                "mod.rpc.grpc.server",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
             .unwrap();
         ir.attach_modifier(svc, rpc).unwrap();
-        let m = ReplicatePlugin.build_node(&replicate_decl(3), &mut ir, &ctx).unwrap();
+        let m = ReplicatePlugin
+            .build_node(&replicate_decl(3), &mut ir, &ctx)
+            .unwrap();
         ir.attach_modifier(svc, m).unwrap();
 
         ReplicatePlugin.transform(&mut ir, &ctx).unwrap();
@@ -196,8 +223,14 @@ mod tests {
         // Each replica still calls the db and kept the rpc modifier.
         for r in fronted {
             assert!(ir.callees(r).contains(&db));
-            assert!(ir.has_modifier(r, "mod.rpc.grpc.server"), "replica missing rpc modifier");
-            assert!(!ir.has_modifier(r, KIND), "replicate modifier must be consumed");
+            assert!(
+                ir.has_modifier(r, "mod.rpc.grpc.server"),
+                "replica missing rpc modifier"
+            );
+            assert!(
+                !ir.has_modifier(r, KIND),
+                "replicate modifier must be consumed"
+            );
         }
     }
 
@@ -206,8 +239,13 @@ mod tests {
         let (mut ir, caller, _svc, _db) = setup();
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
-        let m = ReplicatePlugin.build_node(&replicate_decl(1), &mut ir, &ctx).unwrap();
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
+        let m = ReplicatePlugin
+            .build_node(&replicate_decl(1), &mut ir, &ctx)
+            .unwrap();
         let svc = ir.by_name("user_tl").unwrap();
         ir.attach_modifier(svc, m).unwrap();
         ReplicatePlugin.transform(&mut ir, &ctx).unwrap();
@@ -220,7 +258,12 @@ mod tests {
         let mut ir = IrGraph::new("t");
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
-        assert!(ReplicatePlugin.build_node(&replicate_decl(0), &mut ir, &ctx).is_err());
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
+        assert!(ReplicatePlugin
+            .build_node(&replicate_decl(0), &mut ir, &ctx)
+            .is_err());
     }
 }

@@ -16,6 +16,10 @@ pub const KIND: &str = "mod.retry";
 /// Attached to a callee service, it makes the generated *client* wrappers of
 /// that service retry failed or timed-out calls up to `max` times — the
 /// workload-amplification half of the metastability experiments (§6.2.1).
+///
+/// Kwarg validation: `max` is rounded to the nearest whole attempt count
+/// (never truncated), and non-finite or non-positive `max`/`backoff_ms`
+/// values fall back to no retries / no backoff rather than wrapping.
 pub struct RetryPlugin;
 
 impl Plugin for RetryPlugin {
@@ -42,8 +46,23 @@ impl Plugin for RetryPlugin {
 
     fn apply_client(&self, node: NodeId, ir: &IrGraph, client: &mut ClientSpec) {
         if let Ok(n) = ir.node(node) {
-            client.retries = n.props.float_or("max", 3.0) as u32;
-            client.backoff_ns = ms(n.props.float_or("backoff_ms", 0.0) as u64);
+            // Kwargs arrive as floats; `as u32`/`as u64` would truncate
+            // fractions (max=2.6 → 2) and collapse negatives to 0 silently.
+            // Round attempt counts to the nearest integer and reject
+            // non-finite or negative values by falling back to the safe
+            // floor (no retries / no backoff).
+            let max = n.props.float_or("max", 3.0);
+            client.retries = if max.is_finite() && max > 0.0 {
+                max.round().min(u32::MAX as f64) as u32
+            } else {
+                0
+            };
+            let backoff_ms = n.props.float_or("backoff_ms", 0.0);
+            client.backoff_ns = if backoff_ms.is_finite() && backoff_ms > 0.0 {
+                (backoff_ms * ms(1) as f64).round() as u64
+            } else {
+                0
+            };
         }
     }
 
@@ -62,7 +81,10 @@ mod tests {
     fn applies_retry_policy() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
         let decl = InstanceDecl {
             name: "retry10".into(),
@@ -84,10 +106,58 @@ mod tests {
     }
 
     #[test]
+    fn invalid_kwargs_are_clamped() {
+        let wf = WorkflowSpec::new("w");
+        let wiring = WiringSpec::new("w");
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
+        let mut ir = IrGraph::new("t");
+        let mut node_seq = 0u32;
+        let mut case = |max: Arg, backoff: Arg| {
+            node_seq += 1;
+            let decl = InstanceDecl {
+                name: format!("retry{node_seq}"),
+                callee: "Retry".into(),
+                args: vec![],
+                kwargs: [
+                    ("max".to_string(), max),
+                    ("backoff_ms".to_string(), backoff),
+                ]
+                .into_iter()
+                .collect(),
+                server_modifiers: vec![],
+            };
+            let m = RetryPlugin.build_node(&decl, &mut ir, &ctx).unwrap();
+            let mut client = ClientSpec::local();
+            RetryPlugin.apply_client(m, &ir, &mut client);
+            client
+        };
+        // Negative values are rejected, not wrapped/saturated into something
+        // surprising.
+        let c = case(Arg::Int(-4), Arg::Int(-2));
+        assert_eq!(c.retries, 0);
+        assert_eq!(c.backoff_ns, 0);
+        // Fractional counts round to the nearest attempt, fractional
+        // milliseconds keep sub-ms precision instead of truncating to 0.
+        let c = case(Arg::Float(2.6), Arg::Float(0.5));
+        assert_eq!(c.retries, 3);
+        assert_eq!(c.backoff_ns, 500_000);
+        // Non-finite input falls back to the safe floor.
+        let c = case(Arg::Float(f64::NAN), Arg::Float(f64::INFINITY));
+        assert_eq!(c.retries, 0);
+        assert_eq!(c.backoff_ns, 0);
+    }
+
+    #[test]
     fn defaults() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
         let decl = InstanceDecl {
             name: "retry".into(),

@@ -16,6 +16,10 @@ pub const KIND: &str = "mod.timeout";
 /// Abandoning a call does **not** cancel the server-side work — exactly the
 /// wasted-work semantics behind retry storms (paper §B.1 "Retry storm
 /// metastable failure").
+///
+/// Kwarg validation: only finite, positive `ms` deadlines are applied
+/// (sub-millisecond fractions preserved); anything else leaves the client
+/// without a timeout instead of timing out instantly.
 pub struct TimeoutPlugin;
 
 impl Plugin for TimeoutPlugin {
@@ -42,7 +46,14 @@ impl Plugin for TimeoutPlugin {
 
     fn apply_client(&self, node: NodeId, ir: &IrGraph, client: &mut ClientSpec) {
         if let Ok(n) = ir.node(node) {
-            client.timeout_ns = Some(ms(n.props.float_or("ms", 500.0) as u64));
+            // `as u64` saturates negative kwargs to 0, turning Timeout(ms=-5)
+            // into "every call times out instantly". Only apply finite,
+            // positive deadlines (with sub-millisecond fractions preserved);
+            // reject anything else and leave the client untouched.
+            let deadline_ms = n.props.float_or("ms", 500.0);
+            if deadline_ms.is_finite() && deadline_ms > 0.0 {
+                client.timeout_ns = Some((deadline_ms * ms(1) as f64).round() as u64);
+            }
         }
     }
 
@@ -61,7 +72,10 @@ mod tests {
     fn applies_timeout() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
         let decl = InstanceDecl {
             name: "to".into(),
@@ -74,5 +88,38 @@ mod tests {
         let mut client = ClientSpec::local();
         TimeoutPlugin.apply_client(m, &ir, &mut client);
         assert_eq!(client.timeout_ns, Some(ms(750)));
+    }
+
+    #[test]
+    fn invalid_or_fractional_deadlines() {
+        let wf = WorkflowSpec::new("w");
+        let wiring = WiringSpec::new("w");
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
+        let mut ir = IrGraph::new("t");
+        let mut node_seq = 0u32;
+        let mut case = |v: Arg| {
+            node_seq += 1;
+            let decl = InstanceDecl {
+                name: format!("to{node_seq}"),
+                callee: "Timeout".into(),
+                args: vec![],
+                kwargs: [("ms".to_string(), v)].into_iter().collect(),
+                server_modifiers: vec![],
+            };
+            let m = TimeoutPlugin.build_node(&decl, &mut ir, &ctx).unwrap();
+            let mut client = ClientSpec::local();
+            TimeoutPlugin.apply_client(m, &ir, &mut client);
+            client.timeout_ns
+        };
+        // A negative deadline used to saturate to Some(0) — every call timing
+        // out at t+0. It must be rejected instead.
+        assert_eq!(case(Arg::Int(-5)), None);
+        assert_eq!(case(Arg::Int(0)), None);
+        assert_eq!(case(Arg::Float(f64::NAN)), None);
+        // Sub-millisecond deadlines survive with full precision.
+        assert_eq!(case(Arg::Float(0.25)), Some(250_000));
     }
 }

@@ -61,7 +61,10 @@ mod tests {
     fn builds_jaeger_server() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
         let decl = InstanceDecl {
             name: "jaeger".into(),

@@ -21,11 +21,7 @@ use crate::artifact::{ArtifactKind, ArtifactTree};
 pub const MODIFIER_KIND: &str = "mod.tracer.otel";
 
 /// Builds a tracer-server component node (shared by all tracer backends).
-pub fn tracer_component(
-    decl: &InstanceDecl,
-    ir: &mut IrGraph,
-    kind: &str,
-) -> PluginResult<NodeId> {
+pub fn tracer_component(decl: &InstanceDecl, ir: &mut IrGraph, kind: &str) -> PluginResult<NodeId> {
     let node = ir.add_component(&decl.name, kind, Granularity::Process)?;
     if let Some(rate) = decl.kwarg("sample_rate").and_then(|a| a.as_float()) {
         ir.node_mut(node)?.props.set("sample_rate", rate);
@@ -60,9 +56,16 @@ impl TracerModifierPlugin {
                 message: format!("unknown tracer `{tracer_name}`"),
             });
         };
-        let node =
-            ir.add_node(Node::new(&decl.name, kind, NodeRole::Modifier, Granularity::Instance))?;
-        let overhead = decl.kwarg("overhead_us").and_then(|a| a.as_float()).unwrap_or(default_overhead_us);
+        let node = ir.add_node(Node::new(
+            &decl.name,
+            kind,
+            NodeRole::Modifier,
+            Granularity::Instance,
+        ))?;
+        let overhead = decl
+            .kwarg("overhead_us")
+            .and_then(|a| a.as_float())
+            .unwrap_or(default_overhead_us);
         ir.node_mut(node)?.props.set("overhead_us", overhead);
         ir.node_mut(node)?.props.set("tracer", tracer_name);
         ir.add_edge(Edge::dependency(node, tracer))?;
@@ -86,7 +89,10 @@ impl TracerModifierPlugin {
             "//! Generated {flavor} tracing wrapper for `{}` (cf. paper Fig. 13a).\n\n",
             t.name
         );
-        src.push_str(&format!("pub struct {}Tracer<S> {{\n    service: S,\n    tracer: TracerClient,\n}}\n\n", camel(&t.name)));
+        src.push_str(&format!(
+            "pub struct {}Tracer<S> {{\n    service: S,\n    tracer: TracerClient,\n}}\n\n",
+            camel(&t.name)
+        ));
         src.push_str(&format!("impl<S> {}Tracer<S> {{\n", camel(&t.name)));
         // One wrapped method per inbound invocation signature.
         let mut methods: Vec<String> = ir
@@ -105,8 +111,13 @@ impl TracerModifierPlugin {
                 "    pub fn {}(&self, ctx: &mut Ctx) -> Result<(), Error> {{\n",
                 snake_case(m)
             ));
-            src.push_str(&format!("        let span = self.tracer.start_span(\"{m}\", ctx.remote_span());\n"));
-            src.push_str(&format!("        let ret = self.service.{}(ctx);\n", snake_case(m)));
+            src.push_str(&format!(
+                "        let span = self.tracer.start_span(\"{m}\", ctx.remote_span());\n"
+            ));
+            src.push_str(&format!(
+                "        let ret = self.service.{}(ctx);\n",
+                snake_case(m)
+            ));
             src.push_str("        if let Err(e) = &ret { span.record_error(e); }\n");
             src.push_str("        span.end();\n        ret\n    }\n");
         }
@@ -184,7 +195,10 @@ mod tests {
             name: "tracer_mod".into(),
             callee: "TracerModifier".into(),
             args: vec![],
-            kwargs: kwargs.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            kwargs: kwargs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
             server_modifiers: vec![],
         }
     }
@@ -193,9 +207,14 @@ mod tests {
     fn requires_tracer_reference() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
-        let err = TracerModifierPlugin.build_node(&decl(vec![]), &mut ir, &ctx).unwrap_err();
+        let err = TracerModifierPlugin
+            .build_node(&decl(vec![]), &mut ir, &ctx)
+            .unwrap_err();
         assert!(err.to_string().contains("tracer="));
     }
 
@@ -203,14 +222,30 @@ mod tests {
     fn builds_with_dependency_edge_and_lowers() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
-        let tracer = ir.add_component("zipkin", "backend.tracer.zipkin", Granularity::Process).unwrap();
+        let tracer = ir
+            .add_component("zipkin", "backend.tracer.zipkin", Granularity::Process)
+            .unwrap();
         let m = TracerModifierPlugin
-            .build_node(&decl(vec![("tracer", Arg::r("zipkin")), ("overhead_us", Arg::Int(20))]), &mut ir, &ctx)
+            .build_node(
+                &decl(vec![
+                    ("tracer", Arg::r("zipkin")),
+                    ("overhead_us", Arg::Int(20)),
+                ]),
+                &mut ir,
+                &ctx,
+            )
             .unwrap();
         assert_eq!(ir.node(m).unwrap().role, NodeRole::Modifier);
-        assert_eq!(ir.callees(m).len(), 0, "dependency edges are not invocations");
+        assert_eq!(
+            ir.callees(m).len(),
+            0,
+            "dependency edges are not invocations"
+        );
         assert_eq!(ir.out_edges(m).len(), 1);
         assert_eq!(ir.edge(ir.out_edges(m)[0]).unwrap().to, tracer);
 
@@ -226,19 +261,33 @@ mod tests {
     fn wrapper_generated_for_attached_service() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
-        ir.add_component("zipkin", "backend.tracer.zipkin", Granularity::Process).unwrap();
-        let svc = ir.add_component("compose_post", "workflow.service", Granularity::Instance).unwrap();
-        let caller = ir.add_component("gw", "workflow.service", Granularity::Instance).unwrap();
-        ir.add_invocation(caller, svc, vec![MethodSig::new("ComposePost", vec![], TypeRef::Unit)])
+        ir.add_component("zipkin", "backend.tracer.zipkin", Granularity::Process)
             .unwrap();
+        let svc = ir
+            .add_component("compose_post", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let caller = ir
+            .add_component("gw", "workflow.service", Granularity::Instance)
+            .unwrap();
+        ir.add_invocation(
+            caller,
+            svc,
+            vec![MethodSig::new("ComposePost", vec![], TypeRef::Unit)],
+        )
+        .unwrap();
         let m = TracerModifierPlugin
             .build_node(&decl(vec![("tracer", Arg::r("zipkin"))]), &mut ir, &ctx)
             .unwrap();
         ir.attach_modifier(svc, m).unwrap();
         let mut out = ArtifactTree::new();
-        TracerModifierPlugin.generate(m, &ir, &ctx, &mut out).unwrap();
+        TracerModifierPlugin
+            .generate(m, &ir, &ctx, &mut out)
+            .unwrap();
         let w = out.get("wrappers/compose_post_otel_tracer.rs").unwrap();
         assert!(w.content.contains("start_span(\"ComposePost\""));
         assert!(w.content.contains("record_error"));

@@ -128,9 +128,13 @@ mod tests {
     fn xtrace_is_heavier_than_otel() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
-        ir.add_component("xt", SERVER_KIND, Granularity::Process).unwrap();
+        ir.add_component("xt", SERVER_KIND, Granularity::Process)
+            .unwrap();
         let decl = InstanceDecl {
             name: "xt_mod".into(),
             callee: "XTraceModifier".into(),
@@ -138,7 +142,9 @@ mod tests {
             kwargs: [("tracer".to_string(), Arg::r("xt"))].into_iter().collect(),
             server_modifiers: vec![],
         };
-        let m = XTraceModifierPlugin.build_node(&decl, &mut ir, &ctx).unwrap();
+        let m = XTraceModifierPlugin
+            .build_node(&decl, &mut ir, &ctx)
+            .unwrap();
         let mut svc = ServiceLowering::default();
         XTraceModifierPlugin.apply_service(m, &ir, &mut svc);
         assert_eq!(svc.trace_overhead_ns, Some(25_000));

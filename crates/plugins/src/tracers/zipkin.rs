@@ -61,7 +61,10 @@ mod tests {
     fn builds_tracer_server() {
         let wf = WorkflowSpec::new("w");
         let wiring = WiringSpec::new("w");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("t");
         let decl = InstanceDecl {
             name: "zipkin".into(),
@@ -74,6 +77,10 @@ mod tests {
         assert_eq!(ir.node(n).unwrap().kind, KIND);
         let mut out = ArtifactTree::new();
         ZipkinTracerPlugin.generate(n, &ir, &ctx, &mut out).unwrap();
-        assert!(out.get("docker/zipkin/Dockerfile").unwrap().content.contains("zipkin"));
+        assert!(out
+            .get("docker/zipkin/Dockerfile")
+            .unwrap()
+            .content
+            .contains("zipkin"));
     }
 }

@@ -42,7 +42,11 @@ impl WorkflowServicePlugin {
             .collect();
         names.sort_unstable();
         names.dedup();
-        callee_iface.iter().filter(|m| names.contains(&m.name.as_str())).cloned().collect()
+        callee_iface
+            .iter()
+            .filter(|m| names.contains(&m.name.as_str()))
+            .cloned()
+            .collect()
     }
 }
 
@@ -97,7 +101,9 @@ impl Plugin for WorkflowServicePlugin {
                 });
             };
             // Record the binding for main-generation and sim lowering.
-            ir.node_mut(node)?.props.set(format!("dep.{}", dep.name), target_name);
+            ir.node_mut(node)?
+                .props
+                .set(format!("dep.{}", dep.name), target_name);
             let methods = match &dep.kind {
                 DepKind::Service(iface) => {
                     // A service dependency may also target a load balancer
@@ -143,7 +149,9 @@ impl Plugin for WorkflowServicePlugin {
         let n = ir.node(node)?;
         let impl_name = n.props.str("impl").unwrap_or_default().to_string();
         let Some(imp) = ctx.workflow.service(&impl_name) else {
-            return Err(PluginError::Internal(format!("missing workflow impl {impl_name}")));
+            return Err(PluginError::Internal(format!(
+                "missing workflow impl {impl_name}"
+            )));
         };
         let path = format!("services/{}.rs", snake_case(&impl_name));
         if out.contains(&path) {
@@ -166,7 +174,10 @@ impl Plugin for WorkflowServicePlugin {
 /// dependencies + method stubs delegating to the behavior program.
 fn render_service(imp: &ServiceImpl) -> String {
     let mut out = String::new();
-    out.push_str(&format!("//! Generated service skeleton for `{}`.\n\n", imp.name));
+    out.push_str(&format!(
+        "//! Generated service skeleton for `{}`.\n\n",
+        imp.name
+    ));
     out.push_str(&imp.interface.rust_trait());
     out.push('\n');
     out.push_str(&format!("pub struct {} {{\n", imp.name));
@@ -194,7 +205,10 @@ fn render_service(imp: &ServiceImpl) -> String {
         out.push_str(&format!("            {},\n", snake_case(&d.name)));
     }
     out.push_str("        }\n    }\n}\n\n");
-    out.push_str(&format!("impl {} for {} {{\n", imp.interface.name, imp.name));
+    out.push_str(&format!(
+        "impl {} for {} {{\n",
+        imp.interface.name, imp.name
+    ));
     for m in &imp.interface.methods {
         out.push_str(&format!("    {} {{\n", m.rust_decl()));
         let size = imp.behaviors.get(&m.name).map(|b| b.size()).unwrap_or(0);
@@ -246,7 +260,10 @@ mod tests {
             ),
         )
         .dep_nosql("user_db")
-        .method("Login", Behavior::build().db_read("user_db", KeyExpr::Entity).done())
+        .method(
+            "Login",
+            Behavior::build().db_read("user_db", KeyExpr::Entity).done(),
+        )
         .method("Logout", Behavior::build().compute(1000, 0).done())
         .done()
         .unwrap();
@@ -270,14 +287,24 @@ mod tests {
         let wf = workflow();
         let mut wiring = WiringSpec::new("app");
         wiring.define("user_db", "MongoDB", vec![]).unwrap();
-        wiring.service("us", "UserServiceImpl", &["user_db"], &[]).unwrap();
+        wiring
+            .service("us", "UserServiceImpl", &["user_db"], &[])
+            .unwrap();
         wiring.service("fe", "FrontendImpl", &["us"], &[]).unwrap();
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let p = WorkflowServicePlugin;
         // The backend node would be built by the MongoDB plugin; fake it.
-        ir.add_component("user_db", "backend.nosql.mongodb", Granularity::Process).unwrap();
-        let us = p.build_node(ctx.wiring.decl("us").unwrap(), ir, &ctx).unwrap();
-        let fe = p.build_node(ctx.wiring.decl("fe").unwrap(), ir, &ctx).unwrap();
+        ir.add_component("user_db", "backend.nosql.mongodb", Granularity::Process)
+            .unwrap();
+        let us = p
+            .build_node(ctx.wiring.decl("us").unwrap(), ir, &ctx)
+            .unwrap();
+        let fe = p
+            .build_node(ctx.wiring.decl("fe").unwrap(), ir, &ctx)
+            .unwrap();
         (us, fe)
     }
 
@@ -296,7 +323,12 @@ mod tests {
         // us → db edge with the backend interface.
         let edges = ir.out_edges(us);
         assert_eq!(edges.len(), 1);
-        assert!(ir.edge(edges[0]).unwrap().methods.iter().any(|m| m.name == "FindOne"));
+        assert!(ir
+            .edge(edges[0])
+            .unwrap()
+            .methods
+            .iter()
+            .any(|m| m.name == "FindOne"));
         // Dep bindings recorded.
         assert_eq!(ir.node(fe).unwrap().props.str("dep.users"), Some("us"));
     }
@@ -306,7 +338,10 @@ mod tests {
         let wf = workflow();
         let mut wiring = WiringSpec::new("app");
         wiring.define("us", "UserServiceImpl", vec![]).unwrap(); // Missing db arg.
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("app");
         let err = WorkflowServicePlugin
             .build_node(ctx.wiring.decl("us").unwrap(), &mut ir, &ctx)
@@ -319,10 +354,16 @@ mod tests {
         let wf = workflow();
         let mut wiring = WiringSpec::new("app");
         wiring.define("not_a_svc", "MongoDB", vec![]).unwrap();
-        wiring.service("fe", "FrontendImpl", &["not_a_svc"], &[]).unwrap();
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        wiring
+            .service("fe", "FrontendImpl", &["not_a_svc"], &[])
+            .unwrap();
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut ir = IrGraph::new("app");
-        ir.add_component("not_a_svc", "backend.nosql.mongodb", Granularity::Process).unwrap();
+        ir.add_component("not_a_svc", "backend.nosql.mongodb", Granularity::Process)
+            .unwrap();
         let err = WorkflowServicePlugin
             .build_node(ctx.wiring.decl("fe").unwrap(), &mut ir, &ctx)
             .unwrap_err();
@@ -335,10 +376,17 @@ mod tests {
         let (us, _fe) = build_two(&mut ir);
         let wf = workflow();
         let wiring = WiringSpec::new("app");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let mut out = ArtifactTree::new();
-        WorkflowServicePlugin.generate(us, &ir, &ctx, &mut out).unwrap();
-        WorkflowServicePlugin.generate(us, &ir, &ctx, &mut out).unwrap();
+        WorkflowServicePlugin
+            .generate(us, &ir, &ctx, &mut out)
+            .unwrap();
+        WorkflowServicePlugin
+            .generate(us, &ir, &ctx, &mut out)
+            .unwrap();
         assert_eq!(out.paths_under("services/").len(), 2);
         let svc = out.get("services/user_service_impl.rs").unwrap();
         assert!(svc.content.contains("pub trait UserService"));
@@ -352,7 +400,10 @@ mod tests {
     fn matches_only_workflow_impls() {
         let wf = workflow();
         let wiring = WiringSpec::new("app");
-        let ctx = BuildCtx { workflow: &wf, wiring: &wiring };
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
         let p = WorkflowServicePlugin;
         assert!(p.matches("UserServiceImpl", &ctx));
         assert!(!p.matches("Memcached", &ctx));

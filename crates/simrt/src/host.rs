@@ -132,8 +132,7 @@ impl PsHost {
         // Tolerance: one femto-fraction of v to absorb f64 rounding from the
         // time quantization in `next_completion`.
         let cutoff = self.v * (1.0 + 1e-12) + 1e-6;
-        loop {
-            let Some((&(k, job), &deadline)) = self.queue.iter().next() else { break };
+        while let Some((&(k, job), &deadline)) = self.queue.iter().next() {
             if deadline <= cutoff {
                 self.queue.remove(&(k, job));
                 self.deadlines.remove(&job);
@@ -170,7 +169,10 @@ impl PsHost {
             .map(|(j, _)| *j)
             .collect();
         for job in victims {
-            let d = self.deadlines.remove(&job).expect("active job has deadline");
+            let d = self
+                .deadlines
+                .remove(&job)
+                .expect("active job has deadline");
             self.queue.remove(&(key(d), job));
             self.job_proc.remove(&job);
             let residual = (d - self.v).max(0.0);

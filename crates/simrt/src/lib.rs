@@ -39,7 +39,7 @@ pub mod sim;
 pub mod spec;
 pub mod time;
 
-pub use sim::{Completion, Sim, SimConfig};
+pub use sim::{Completion, EntryHandle, Sim, SimConfig};
 pub use spec::{
     BackendRtKind, BackendSpec, BreakerSpec, ClientSpec, DepBinding, EntrySpec, GcSpec, HostSpec,
     LbPolicy, ProcessSpec, ServiceSpec, SystemSpec, TransportSpec,

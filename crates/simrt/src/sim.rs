@@ -7,6 +7,14 @@
 //! execute as **frames** — explicit interpreter states over the behavior
 //! programs of the workflow spec — so the simulator never recurses through
 //! the service call graph on the machine stack.
+//!
+//! At boot the workflow `Behavior` programs are compiled into [`CProg`]s:
+//! every dependency name is resolved to a dense `u32` client id, every target
+//! method to a dense per-service method index, and nested bodies (branches,
+//! loops, parallel blocks, cache-miss continuations) become shared `Rc`
+//! sub-programs. The per-event hot path therefore never hashes a string,
+//! never clones behavior text, and reuses frame slots and interpreter stacks
+//! through free lists.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
@@ -19,7 +27,7 @@ use blueprint_trace::{SpanId, TraceCollector, TraceId};
 use blueprint_workflow::{Behavior, CacheOp, DbOp, KeyExpr, Step};
 
 use crate::host::{JobId, PsHost, NO_PROC};
-use crate::metrics::Metrics;
+use crate::metrics::{BackendStats, Metrics};
 use crate::spec::{BackendRtKind, ClientSpec, DepBinding, LbPolicy, SystemSpec, TransportSpec};
 use crate::time::SimTime;
 use crate::{Result, SimError};
@@ -42,7 +50,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 1, record_traces: false, max_frames: 2_000_000 }
+        SimConfig {
+            seed: 1,
+            record_traces: false,
+            max_frames: 2_000_000,
+        }
     }
 }
 
@@ -79,6 +91,17 @@ impl Completion {
     }
 }
 
+/// A pre-resolved entry point, for hot submission loops.
+///
+/// Obtained from [`Sim::entry_handle`]; submitting through a handle with
+/// [`Sim::submit_handle`] skips the per-request name lookups entirely.
+/// Handles are only meaningful for the `Sim` that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryHandle {
+    entry: u32,
+    method: u32,
+}
+
 // ---------------------------------------------------------------------------
 // Internal identifiers and messages.
 // ---------------------------------------------------------------------------
@@ -91,10 +114,10 @@ struct FrameId {
 }
 
 /// What a call targets.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum CallTarget {
-    /// Another service instance's method.
-    Service { svc: usize, method: Rc<str> },
+    /// Another service instance's method (dense index into its method table).
+    Service { svc: usize, method: u32 },
     /// A backend operation.
     Backend { backend: usize, op: BackendOp },
 }
@@ -102,14 +125,33 @@ enum CallTarget {
 /// A backend operation descriptor (keys already resolved).
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum BackendOp {
-    CacheGet { key: u64 },
-    CachePut { key: u64, version: u64 },
-    CacheDelete { key: u64 },
+    CacheGet {
+        key: u64,
+    },
+    CachePut {
+        key: u64,
+        version: u64,
+    },
+    CacheDelete {
+        key: u64,
+    },
     /// Multi-item cache op (extended interface); `write` selects push vs get.
-    CacheMulti { key: u64, items: u32, write: bool, version: u64 },
-    StoreRead { key: u64 },
-    StoreWrite { key: u64, version: u64 },
-    StoreScan { items: u32 },
+    CacheMulti {
+        key: u64,
+        items: u32,
+        write: bool,
+        version: u64,
+    },
+    StoreRead {
+        key: u64,
+    },
+    StoreWrite {
+        key: u64,
+        version: u64,
+    },
+    StoreScan {
+        items: u32,
+    },
     QueuePush,
     QueuePop,
 }
@@ -152,11 +194,21 @@ impl CallErr {
 
 impl CallOutcome {
     fn success(version: u64) -> Self {
-        CallOutcome { ok: true, err: None, version, cache_hit: None }
+        CallOutcome {
+            ok: true,
+            err: None,
+            version,
+            cache_hit: None,
+        }
     }
 
     fn failure(err: CallErr) -> Self {
-        CallOutcome { ok: false, err: Some(err), version: 0, cache_hit: None }
+        CallOutcome {
+            ok: false,
+            err: Some(err),
+            version: 0,
+            cache_hit: None,
+        }
     }
 }
 
@@ -170,7 +222,7 @@ struct ReplyRoute {
 }
 
 /// A request in flight towards a service or backend.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct RequestMsg {
     caller: FrameId,
     seq: u32,
@@ -183,13 +235,254 @@ struct RequestMsg {
 }
 
 // ---------------------------------------------------------------------------
+// Compiled behavior programs.
+// ---------------------------------------------------------------------------
+
+/// Sentinel client id for dependencies with no binding.
+const UNBOUND_CLIENT: u32 = u32::MAX;
+/// Sentinel method index for calls to a method the target does not define.
+const MISSING_METHOD: u32 = u32::MAX;
+
+/// Where a compiled call step routes, resolved once at boot.
+#[derive(Debug, Clone)]
+enum CallDest {
+    /// Dependency name had no binding; faults at call time.
+    Unbound,
+    /// Single service target.
+    Svc { svc: usize, method: u32 },
+    /// Replicated service target; one replica is picked per attempt.
+    Replicated {
+        policy: LbPolicy,
+        targets: Rc<[(usize, u32)]>,
+    },
+    /// Backend target.
+    Backend { backend: usize },
+    /// Step kind and binding kind disagree; faults at call time.
+    Mismatch,
+}
+
+/// One compiled behavior step. Mirrors [`Step`] with all names resolved to
+/// dense indices and nested bodies shared via `Rc`.
+#[derive(Debug)]
+enum CStep {
+    Compute {
+        cpu_ns: u64,
+        alloc_bytes: u64,
+    },
+    Call {
+        client: u32,
+        dest: CallDest,
+    },
+    Cache {
+        client: u32,
+        dest: CallDest,
+        op: CacheOp,
+        key: KeyExpr,
+    },
+    CacheGetOrFetch {
+        client: u32,
+        dest: CallDest,
+        key: KeyExpr,
+        on_miss: Rc<CProg>,
+    },
+    Db {
+        client: u32,
+        dest: CallDest,
+        op: DbOp,
+        key: KeyExpr,
+    },
+    Queue {
+        client: u32,
+        dest: CallDest,
+        op: BackendOp,
+    },
+    Parallel(Vec<Rc<CProg>>),
+    Branch {
+        prob: f64,
+        then: Rc<CProg>,
+        otherwise: Rc<CProg>,
+    },
+    Repeat {
+        times: u32,
+        body: Rc<CProg>,
+    },
+    Fail {
+        prob: f64,
+    },
+}
+
+/// A compiled behavior program.
+#[derive(Debug)]
+struct CProg {
+    steps: Vec<CStep>,
+}
+
+/// Boot-time compiler from workflow [`Behavior`]s to [`CProg`]s.
+///
+/// Owns the interning tables: per-service method name → dense method index,
+/// and `(service, dep name)` → dense client id. Every id resolved here is an
+/// array index at run time.
+struct ProgCompiler<'a> {
+    spec: &'a SystemSpec,
+    method_ids: Vec<BTreeMap<&'a str, u32>>,
+    client_ids: HashMap<(usize, &'a str), u32>,
+}
+
+impl<'a> ProgCompiler<'a> {
+    fn new(spec: &'a SystemSpec) -> Self {
+        let method_ids = spec
+            .services
+            .iter()
+            .map(|s| {
+                s.methods
+                    .keys()
+                    .enumerate()
+                    .map(|(i, m)| (m.as_str(), i as u32))
+                    .collect()
+            })
+            .collect();
+        let mut client_ids = HashMap::new();
+        let mut next = 0u32;
+        for (si, s) in spec.services.iter().enumerate() {
+            for dep in s.deps.keys() {
+                client_ids.insert((si, dep.as_str()), next);
+                next += 1;
+            }
+        }
+        ProgCompiler {
+            spec,
+            method_ids,
+            client_ids,
+        }
+    }
+
+    fn client(&self, si: usize, dep: &str) -> u32 {
+        self.client_ids
+            .get(&(si, dep))
+            .copied()
+            .unwrap_or(UNBOUND_CLIENT)
+    }
+
+    fn method_id(&self, svc: usize, method: &str) -> u32 {
+        self.method_ids[svc]
+            .get(method)
+            .copied()
+            .unwrap_or(MISSING_METHOD)
+    }
+
+    /// Destination of a `Call` step (expects a service-kind binding).
+    fn service_dest(&self, si: usize, dep: &str, method: &str) -> CallDest {
+        match self.spec.services[si].deps.get(dep) {
+            None => CallDest::Unbound,
+            Some(DepBinding::Service { target, .. }) => CallDest::Svc {
+                svc: *target,
+                method: self.method_id(*target, method),
+            },
+            Some(DepBinding::ReplicatedService {
+                targets, policy, ..
+            }) => CallDest::Replicated {
+                policy: *policy,
+                targets: targets
+                    .iter()
+                    .map(|t| (*t, self.method_id(*t, method)))
+                    .collect(),
+            },
+            Some(DepBinding::Backend { .. }) => CallDest::Mismatch,
+        }
+    }
+
+    /// Destination of a cache/db/queue step (expects a backend binding).
+    fn backend_dest(&self, si: usize, dep: &str) -> CallDest {
+        match self.spec.services[si].deps.get(dep) {
+            None => CallDest::Unbound,
+            Some(DepBinding::Backend { target, .. }) => CallDest::Backend { backend: *target },
+            Some(_) => CallDest::Mismatch,
+        }
+    }
+
+    fn compile(&self, si: usize, b: &Behavior) -> CProg {
+        CProg {
+            steps: b.steps.iter().map(|s| self.compile_step(si, s)).collect(),
+        }
+    }
+
+    fn compile_step(&self, si: usize, step: &Step) -> CStep {
+        match step {
+            Step::Compute {
+                cpu_ns,
+                alloc_bytes,
+            } => CStep::Compute {
+                cpu_ns: *cpu_ns,
+                alloc_bytes: *alloc_bytes,
+            },
+            Step::Call { dep, method } => CStep::Call {
+                client: self.client(si, dep),
+                dest: self.service_dest(si, dep, method),
+            },
+            Step::Cache { dep, op, key } => CStep::Cache {
+                client: self.client(si, dep),
+                dest: self.backend_dest(si, dep),
+                op: *op,
+                key: *key,
+            },
+            Step::CacheGetOrFetch {
+                cache,
+                key,
+                on_miss,
+            } => CStep::CacheGetOrFetch {
+                client: self.client(si, cache),
+                dest: self.backend_dest(si, cache),
+                key: *key,
+                on_miss: Rc::new(self.compile(si, on_miss)),
+            },
+            Step::Db { dep, op, key } => CStep::Db {
+                client: self.client(si, dep),
+                dest: self.backend_dest(si, dep),
+                op: *op,
+                key: *key,
+            },
+            Step::QueuePush { dep } => CStep::Queue {
+                client: self.client(si, dep),
+                dest: self.backend_dest(si, dep),
+                op: BackendOp::QueuePush,
+            },
+            Step::QueuePop { dep } => CStep::Queue {
+                client: self.client(si, dep),
+                dest: self.backend_dest(si, dep),
+                op: BackendOp::QueuePop,
+            },
+            Step::Parallel(branches) => CStep::Parallel(
+                branches
+                    .iter()
+                    .map(|b| Rc::new(self.compile(si, b)))
+                    .collect(),
+            ),
+            Step::Branch {
+                prob,
+                then,
+                otherwise,
+            } => CStep::Branch {
+                prob: *prob,
+                then: Rc::new(self.compile(si, then)),
+                otherwise: Rc::new(self.compile(si, otherwise)),
+            },
+            Step::Repeat { times, body } => CStep::Repeat {
+                times: *times,
+                body: Rc::new(self.compile(si, body)),
+            },
+            Step::Fail { prob } => CStep::Fail { prob: *prob },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Frames.
 // ---------------------------------------------------------------------------
 
-/// Interpreter context: a behavior with a program counter.
+/// Interpreter context: a compiled program with a program counter.
 #[derive(Debug, Clone)]
 struct ExecCtx {
-    behavior: Rc<Behavior>,
+    prog: Rc<CProg>,
     pc: usize,
     /// Remaining extra iterations (for `Repeat`).
     repeat_left: u32,
@@ -199,9 +492,18 @@ struct ExecCtx {
 #[derive(Debug, Clone)]
 enum FrameKind {
     /// Workload-submitted entry request.
-    Entry { entry: Rc<str>, method: Rc<str>, submitted_ns: SimTime },
+    Entry {
+        entry: Rc<str>,
+        method: Rc<str>,
+        submitted_ns: SimTime,
+    },
     /// Serving an RPC; the reply routes back to the caller's call attempt.
-    Rpc { caller: FrameId, seq: u32, attempt: u32, reply: ReplyRoute },
+    Rpc {
+        caller: FrameId,
+        seq: u32,
+        attempt: u32,
+        reply: ReplyRoute,
+    },
     /// A parallel branch of another frame on the same service.
     SubTask { parent: FrameId },
 }
@@ -211,8 +513,10 @@ enum FrameKind {
 struct OutstandingCall {
     seq: u32,
     attempt: u32,
-    dep: Rc<str>,
-    target_method: Option<Rc<str>>,
+    /// Dense client id of the dependency (UNBOUND_CLIENT if unbound).
+    client: u32,
+    /// Pre-resolved destination.
+    dest: CallDest,
     backend_op: Option<BackendOp>,
     /// Chosen replica index of this attempt (outstanding bookkeeping).
     chosen: Option<usize>,
@@ -222,7 +526,7 @@ struct OutstandingCall {
     /// processed); stale events check this.
     concluded: bool,
     /// For cache get-or-fetch: what to run on a miss.
-    on_miss: Option<Rc<Behavior>>,
+    on_miss: Option<Rc<CProg>>,
     /// Request waiting for a free Thrift connection.
     queued_msg: Option<RequestMsg>,
 }
@@ -259,15 +563,44 @@ struct Frame {
 
 #[derive(Debug)]
 enum Ev {
-    HostCheck { host: usize, gen: u64 },
-    Resume { frame: FrameId },
-    Timeout { frame: FrameId, seq: u32, attempt: u32 },
-    RetryFire { frame: FrameId, seq: u32 },
-    DeliverRequest { req: RequestMsg },
-    DeliverResponse { frame: FrameId, seq: u32, attempt: u32, outcome: CallOutcome },
-    HogEnd { host: usize, milli_cores: u64 },
-    ConnFreed { svc: usize, dep: Rc<str> },
-    ReplicaApply { backend: usize, replica: usize, key: u64, version: u64 },
+    HostCheck {
+        host: usize,
+        gen: u64,
+    },
+    Resume {
+        frame: FrameId,
+    },
+    Timeout {
+        frame: FrameId,
+        seq: u32,
+        attempt: u32,
+    },
+    RetryFire {
+        frame: FrameId,
+        seq: u32,
+    },
+    DeliverRequest {
+        req: RequestMsg,
+    },
+    DeliverResponse {
+        frame: FrameId,
+        seq: u32,
+        attempt: u32,
+        outcome: CallOutcome,
+    },
+    HogEnd {
+        host: usize,
+        milli_cores: u64,
+    },
+    ConnFreed {
+        client: u32,
+    },
+    ReplicaApply {
+        backend: usize,
+        replica: usize,
+        key: u64,
+        version: u64,
+    },
 }
 
 struct EvEntry {
@@ -305,10 +638,12 @@ enum BreakerState {
 }
 
 /// Per-(service, dep) client runtime: breaker, pool, balancer state.
+/// Addressed by dense client id assigned at boot.
 #[derive(Debug)]
 struct ClientRt {
+    /// Service that owns this client (its process runs the client-side CPU).
+    owner: usize,
     spec: ClientSpec,
-    binding: DepBinding,
     // Circuit breaker sliding window.
     window: VecDeque<bool>,
     window_failures: u32,
@@ -330,16 +665,25 @@ struct ProcRt {
     gc_started_ns: SimTime,
 }
 
-/// Per-service runtime.
+/// Per-service runtime. Methods are dense: index `i` of `methods` and
+/// `method_names` is the method id used in [`CallTarget::Service`].
 struct SvcRt {
     process: usize,
-    methods: BTreeMap<Rc<str>, Rc<Behavior>>,
+    methods: Vec<Rc<CProg>>,
+    method_names: Vec<Rc<str>>,
     active: u32,
     max_concurrent: u32,
     /// Requests served (frames created) by this service.
     served: u64,
     traced: bool,
-    overhead_behavior: Option<Rc<Behavior>>,
+    overhead_prog: Option<Rc<CProg>>,
+}
+
+/// Per-entry-point runtime: the shim service plus its method name table.
+struct EntryRt {
+    name: Rc<str>,
+    svc: usize,
+    methods: BTreeMap<String, u32>,
 }
 
 /// Cache runtime with O(1) random eviction.
@@ -402,7 +746,8 @@ struct StoreRt {
     rr: usize,
 }
 
-/// Backend runtime.
+/// Backend runtime. Stats accumulate densely here and are mirrored into the
+/// name-keyed [`Metrics`] map at the end of each `run_until` slice.
 struct BackendRt {
     name: Rc<str>,
     process: usize,
@@ -410,6 +755,9 @@ struct BackendRt {
     cache: CacheRt,
     store: StoreRt,
     queue: VecDeque<u64>,
+    stats: BackendStats,
+    /// Whether any op has touched `stats` (controls metrics-map visibility).
+    stats_dirty: bool,
 }
 
 /// Continuation attached to a CPU job.
@@ -419,7 +767,13 @@ enum JobCont {
     /// Client-side serialization finished; deliver after `net_ns`.
     SendRequest(RequestMsg, u64),
     /// Server-side serialization finished; deliver response after `net_ns`.
-    SendResponse { frame: FrameId, seq: u32, attempt: u32, outcome: CallOutcome, net_ns: u64 },
+    SendResponse {
+        frame: FrameId,
+        seq: u32,
+        attempt: u32,
+        outcome: CallOutcome,
+        net_ns: u64,
+    },
     /// Backend CPU finished; apply the op and respond after `latency_ns`.
     BackendExec { req: RequestMsg, latency_ns: u64 },
     /// GC pause finished.
@@ -447,13 +801,16 @@ pub struct Sim {
     services: Vec<SvcRt>,
     svc_names: Vec<Rc<str>>,
     backends: Vec<BackendRt>,
-    clients: HashMap<(usize, Rc<str>), ClientRt>,
-    entries: BTreeMap<String, usize>,
+    clients: Vec<ClientRt>,
+    entries: BTreeMap<String, u32>,
+    entry_rts: Vec<EntryRt>,
 
     frames: Vec<Option<Frame>>,
     frame_gens: Vec<u32>,
     free_frames: Vec<u32>,
     live_frames: usize,
+    /// Recycled interpreter stacks of completed frames.
+    stack_pool: Vec<Vec<ExecCtx>>,
 
     jobs: HashMap<JobId, JobCont>,
     next_job: u64,
@@ -477,7 +834,10 @@ impl Sim {
         // Append the hidden workload host/process/services that drive entry
         // points (the paper's separate workload-generator machine).
         let wl_host = spec.hosts.len();
-        spec.hosts.push(crate::spec::HostSpec { name: "__workload_host".into(), cores: 512.0 });
+        spec.hosts.push(crate::spec::HostSpec {
+            name: "__workload_host".into(),
+            cores: 512.0,
+        });
         let wl_proc = spec.processes.len();
         spec.processes.push(crate::spec::ProcessSpec {
             name: "__workload_proc".into(),
@@ -490,11 +850,15 @@ impl Sim {
             let mut svc = crate::spec::ServiceSpec::new(format!("__workload_{name}"), wl_proc);
             svc.max_concurrent = u32::MAX;
             for m in spec.services[target].methods.keys() {
-                svc.methods.insert(m.clone(), Behavior::build().call("target", m).done());
+                svc.methods
+                    .insert(m.clone(), Behavior::build().call("target", m).done());
             }
             svc.deps.insert(
                 "target".into(),
-                DepBinding::Service { target, client: entry.client.clone() },
+                DepBinding::Service {
+                    target,
+                    client: entry.client.clone(),
+                },
             );
             let idx = spec.services.len();
             spec.services.push(svc);
@@ -516,50 +880,78 @@ impl Sim {
             .collect();
         let gc_specs: Vec<_> = spec.processes.iter().map(|p| p.gc.clone()).collect();
 
-        let mut services = Vec::new();
-        let mut svc_names = Vec::new();
-        let mut clients = HashMap::new();
+        // Intern names and compile behaviors. Client ids are assigned in
+        // (service index, dep name) order; method ids per service in method
+        // name order — both deterministic.
+        let compiler = ProgCompiler::new(&spec);
+
+        let mut clients = Vec::new();
         for (si, s) in spec.services.iter().enumerate() {
-            let name: Rc<str> = Rc::from(s.name.as_str());
-            svc_names.push(name);
-            let methods: BTreeMap<Rc<str>, Rc<Behavior>> = s
-                .methods
-                .iter()
-                .map(|(k, v)| (Rc::from(k.as_str()), Rc::new(v.clone())))
-                .collect();
-            let overhead_behavior = s
-                .trace_overhead_ns
-                .filter(|ns| *ns > 0)
-                .map(|ns| Rc::new(Behavior::build().compute(ns, 256).done()));
-            services.push(SvcRt {
-                process: s.process,
-                methods,
-                active: 0,
-                max_concurrent: s.max_concurrent,
-                served: 0,
-                traced: s.trace_overhead_ns.is_some(),
-                overhead_behavior,
-            });
-            for (dep, binding) in &s.deps {
+            for binding in s.deps.values() {
                 let n_targets = match binding {
                     DepBinding::ReplicatedService { targets, .. } => targets.len(),
                     _ => 1,
                 };
-                clients.insert(
-                    (si, Rc::from(dep.as_str())),
-                    ClientRt {
-                        spec: binding.client().clone(),
-                        binding: binding.clone(),
-                        window: VecDeque::new(),
-                        window_failures: 0,
-                        breaker: BreakerState::Closed,
-                        conns_in_use: 0,
-                        waiters: VecDeque::new(),
-                        rr: 0,
-                        outstanding: vec![0; n_targets],
-                    },
-                );
+                clients.push(ClientRt {
+                    owner: si,
+                    spec: binding.client().clone(),
+                    window: VecDeque::new(),
+                    window_failures: 0,
+                    breaker: BreakerState::Closed,
+                    conns_in_use: 0,
+                    waiters: VecDeque::new(),
+                    rr: 0,
+                    outstanding: vec![0; n_targets],
+                });
             }
+        }
+
+        let mut services = Vec::new();
+        let mut svc_names = Vec::new();
+        for (si, s) in spec.services.iter().enumerate() {
+            svc_names.push(Rc::from(s.name.as_str()));
+            let method_names: Vec<Rc<str>> =
+                s.methods.keys().map(|k| Rc::from(k.as_str())).collect();
+            let methods: Vec<Rc<CProg>> = s
+                .methods
+                .values()
+                .map(|b| Rc::new(compiler.compile(si, b)))
+                .collect();
+            let overhead_prog = s.trace_overhead_ns.filter(|ns| *ns > 0).map(|ns| {
+                Rc::new(CProg {
+                    steps: vec![CStep::Compute {
+                        cpu_ns: ns,
+                        alloc_bytes: 256,
+                    }],
+                })
+            });
+            services.push(SvcRt {
+                process: s.process,
+                methods,
+                method_names,
+                active: 0,
+                max_concurrent: s.max_concurrent,
+                served: 0,
+                traced: s.trace_overhead_ns.is_some(),
+                overhead_prog,
+            });
+        }
+
+        let mut entries = BTreeMap::new();
+        let mut entry_rts = Vec::new();
+        for (name, svc) in entry_map {
+            let methods: BTreeMap<String, u32> = spec.services[svc]
+                .methods
+                .keys()
+                .enumerate()
+                .map(|(i, m)| (m.clone(), i as u32))
+                .collect();
+            entries.insert(name.clone(), entry_rts.len() as u32);
+            entry_rts.push(EntryRt {
+                name: Rc::from(name.as_str()),
+                svc,
+                methods,
+            });
         }
 
         let backends = spec
@@ -577,6 +969,8 @@ impl Sim {
                     cache: CacheRt::default(),
                     store,
                     queue: VecDeque::new(),
+                    stats: BackendStats::default(),
+                    stats_dirty: false,
                 }
             })
             .collect();
@@ -597,11 +991,13 @@ impl Sim {
             svc_names,
             backends,
             clients,
-            entries: entry_map,
+            entries,
+            entry_rts,
             frames: Vec::new(),
             frame_gens: Vec::new(),
             free_frames: Vec::new(),
             live_frames: 0,
+            stack_pool: Vec::new(),
             jobs: HashMap::new(),
             next_job: 0,
             // Root sequence numbers double as write versions; 0 is reserved
@@ -646,7 +1042,11 @@ impl Sim {
     fn push_ev(&mut self, time: SimTime, ev: Ev) {
         let seq = self.ev_seq;
         self.ev_seq += 1;
-        self.events.push(Reverse(EvEntry { time: time.max(self.now), seq, ev }));
+        self.events.push(Reverse(EvEntry {
+            time: time.max(self.now),
+            seq,
+            ev,
+        }));
     }
 
     // -- Public driver API ---------------------------------------------------
@@ -654,10 +1054,58 @@ impl Sim {
     /// Submits a request to an entry point. Returns its root sequence number
     /// (which is also the version any writes it performs will carry).
     pub fn submit(&mut self, entry: &str, method: &str, entity: u64) -> Result<u64> {
-        let svc = *self
+        let e = *self
             .entries
             .get(entry)
             .ok_or_else(|| SimError::Unknown(format!("entry {entry}")))?;
+        let method_id = self.entry_rts[e as usize].methods.get(method).copied();
+        self.submit_resolved(e, method_id, method, entity)
+    }
+
+    /// Resolves an entry point once so hot submission loops can use
+    /// [`Sim::submit_handle`] without any name lookups.
+    pub fn entry_handle(&self, entry: &str, method: &str) -> Result<EntryHandle> {
+        let e = *self
+            .entries
+            .get(entry)
+            .ok_or_else(|| SimError::Unknown(format!("entry {entry}")))?;
+        let m = *self.entry_rts[e as usize]
+            .methods
+            .get(method)
+            .ok_or_else(|| SimError::Unknown(format!("method {entry}.{method}")))?;
+        Ok(EntryHandle {
+            entry: e,
+            method: m,
+        })
+    }
+
+    /// Submits via a pre-resolved handle (see [`Sim::entry_handle`]).
+    pub fn submit_handle(&mut self, h: EntryHandle, entity: u64) -> Result<u64> {
+        let valid = self
+            .entry_rts
+            .get(h.entry as usize)
+            .map(|er| (h.method as usize) < self.services[er.svc].methods.len())
+            .unwrap_or(false);
+        if !valid {
+            return Err(SimError::Unknown(format!(
+                "entry handle {}.{}",
+                h.entry, h.method
+            )));
+        }
+        self.submit_resolved(h.entry, Some(h.method), "", entity)
+    }
+
+    /// Shared submission path. `method_id` is `None` when the method name did
+    /// not resolve — the error is deferred past the shed check to preserve
+    /// submission accounting (matching the string API's historic order).
+    fn submit_resolved(
+        &mut self,
+        entry: u32,
+        method_id: Option<u32>,
+        method: &str,
+        entity: u64,
+    ) -> Result<u64> {
+        let svc = self.entry_rts[entry as usize].svc;
         let root_seq = self.next_root;
         self.next_root += 1;
         self.metrics.counters.submitted += 1;
@@ -665,9 +1113,13 @@ impl Sim {
         if self.live_frames >= self.cfg.max_frames {
             self.metrics.counters.admission_rejections += 1;
             self.metrics.counters.completed_err += 1;
+            let method_name = match method_id {
+                Some(m) => self.services[svc].method_names[m as usize].to_string(),
+                None => method.to_string(),
+            };
             self.completions.push(Completion {
-                entry: entry.to_string(),
-                method: method.to_string(),
+                entry: self.entry_rts[entry as usize].name.to_string(),
+                method: method_name,
                 entity,
                 root_seq,
                 submitted_ns: self.now,
@@ -679,14 +1131,18 @@ impl Sim {
             return Ok(root_seq);
         }
 
-        let m: Rc<str> = Rc::from(method);
-        let behavior = self.services[svc]
-            .methods
-            .get(&m)
-            .ok_or_else(|| SimError::Unknown(format!("method {entry}.{method}")))?
-            .clone();
-        let kind = FrameKind::Entry { entry: Rc::from(entry), method: m, submitted_ns: self.now };
-        let fid = self.alloc_frame(svc, entity, root_seq, kind, behavior, None);
+        let Some(m) = method_id else {
+            let entry_name = self.entry_rts[entry as usize].name.clone();
+            return Err(SimError::Unknown(format!("method {entry_name}.{method}")));
+        };
+        let prog = self.services[svc].methods[m as usize].clone();
+        let method_name = self.services[svc].method_names[m as usize].clone();
+        let kind = FrameKind::Entry {
+            entry: self.entry_rts[entry as usize].name.clone(),
+            method: method_name,
+            submitted_ns: self.now,
+        };
+        let fid = self.alloc_frame(svc, entity, root_seq, kind, prog, None);
         self.push_ev(self.now, Ev::Resume { frame: fid });
         Ok(root_seq)
     }
@@ -702,6 +1158,25 @@ impl Sim {
             self.dispatch(entry.ev);
         }
         self.now = self.now.max(t);
+        self.sync_backend_metrics();
+    }
+
+    /// Mirrors dense per-backend stats into the name-keyed metrics map.
+    /// Entries appear only for backends that have seen at least one op,
+    /// matching the old on-demand-creation semantics.
+    fn sync_backend_metrics(&mut self) {
+        for b in &self.backends {
+            if !b.stats_dirty {
+                continue;
+            }
+            if let Some(slot) = self.metrics.backends.get_mut(&*b.name) {
+                slot.clone_from(&b.stats);
+            } else {
+                self.metrics
+                    .backends
+                    .insert(b.name.to_string(), b.stats.clone());
+            }
+        }
     }
 
     /// Takes the completions recorded since the last drain.
@@ -721,7 +1196,10 @@ impl Sim {
         self.touch_host(h);
         self.push_ev(
             self.now + duration,
-            Ev::HogEnd { host: h, milli_cores: (cores * 1000.0).round() as u64 },
+            Ev::HogEnd {
+                host: h,
+                milli_cores: (cores * 1000.0).round() as u64,
+            },
         );
         Ok(())
     }
@@ -768,14 +1246,18 @@ impl Sim {
     /// The primary's version for a key (0 if absent).
     pub fn store_primary_version(&self, backend: &str, key: u64) -> Result<u64> {
         let b = self.backend_idx(backend)?;
-        Ok(self.backends[b].store.primary.get(&key).copied().unwrap_or(0))
+        Ok(self.backends[b]
+            .store
+            .primary
+            .get(&key)
+            .copied()
+            .unwrap_or(0))
     }
 
     /// The replicas' versions for a key (empty when unreplicated).
     pub fn store_replica_versions(&self, backend: &str, key: u64) -> Result<Vec<u64>> {
         let b = self.backend_idx(backend)?;
-        Ok(self
-            .backends[b]
+        Ok(self.backends[b]
             .store
             .replicas
             .iter()
@@ -798,35 +1280,44 @@ impl Sim {
         entity: u64,
         root_seq: u64,
         kind: FrameKind,
-        behavior: Rc<Behavior>,
+        prog: Rc<CProg>,
         parent_span: Option<(TraceId, SpanId)>,
     ) -> FrameId {
         let is_subtask = matches!(kind, FrameKind::SubTask { .. });
-        let mut stack = Vec::with_capacity(2);
-        stack.push(ExecCtx { behavior, pc: 0, repeat_left: 0 });
-        let (span, span_owned) = if !is_subtask
-            && self.cfg.record_traces
-            && self.services[service].traced
-        {
-            let op: Rc<str> = match &kind {
-                FrameKind::Entry { method, .. } => method.clone(),
-                FrameKind::Rpc { .. } | FrameKind::SubTask { .. } => Rc::from("rpc"),
+        let mut stack = self
+            .stack_pool
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(2));
+        stack.push(ExecCtx {
+            prog,
+            pc: 0,
+            repeat_left: 0,
+        });
+        let (span, span_owned) =
+            if !is_subtask && self.cfg.record_traces && self.services[service].traced {
+                let op: Rc<str> = match &kind {
+                    FrameKind::Entry { method, .. } => method.clone(),
+                    FrameKind::Rpc { .. } | FrameKind::SubTask { .. } => Rc::from("rpc"),
+                };
+                let sid = self.traces.start_span(
+                    TraceId(root_seq),
+                    parent_span.map(|(_, s)| s),
+                    &self.svc_names[service],
+                    &op,
+                    self.now,
+                );
+                self.metrics.counters.spans += 1;
+                if let Some(ob) = &self.services[service].overhead_prog {
+                    stack.push(ExecCtx {
+                        prog: ob.clone(),
+                        pc: 0,
+                        repeat_left: 0,
+                    });
+                }
+                (Some((TraceId(root_seq), sid)), true)
+            } else {
+                (parent_span, false)
             };
-            let sid = self.traces.start_span(
-                TraceId(root_seq),
-                parent_span.map(|(_, s)| s),
-                &self.svc_names[service],
-                &op,
-                self.now,
-            );
-            self.metrics.counters.spans += 1;
-            if let Some(ob) = &self.services[service].overhead_behavior {
-                stack.push(ExecCtx { behavior: ob.clone(), pc: 0, repeat_left: 0 });
-            }
-            (Some((TraceId(root_seq), sid)), true)
-        } else {
-            (parent_span, false)
-        };
 
         let frame = Frame {
             gen: 0,
@@ -867,17 +1358,22 @@ impl Sim {
         }
     }
 
-    fn free_frame(&mut self, id: FrameId) {
-        if let Some(slot) = self.frames.get_mut(id.idx as usize) {
-            if slot.as_ref().map(|f| f.gen == id.gen).unwrap_or(false) {
-                *slot = None;
-                self.frame_gens[id.idx as usize] = id.gen.wrapping_add(1);
-                self.free_frames.push(id.idx);
-                self.live_frames -= 1;
-            }
+    /// Removes a frame, recycling its slot and interpreter stack.
+    fn take_frame(&mut self, id: FrameId) -> Option<Frame> {
+        let slot = self.frames.get_mut(id.idx as usize)?;
+        if slot.as_ref().map(|f| f.gen == id.gen).unwrap_or(false) {
+            let mut frame = slot.take().expect("generation checked");
+            self.frame_gens[id.idx as usize] = id.gen.wrapping_add(1);
+            self.free_frames.push(id.idx);
+            self.live_frames -= 1;
+            let mut stack = std::mem::take(&mut frame.stack);
+            stack.clear();
+            self.stack_pool.push(stack);
+            Some(frame)
+        } else {
+            None
         }
     }
-
 }
 
 // The execution half (event dispatch + behavior interpreter) lives in

@@ -32,12 +32,11 @@ impl Sim {
                 self.hosts[host].adjust_hog(self.now, -(milli_cores as f64 / 1000.0));
                 self.touch_host(host);
             }
-            Ev::ConnFreed { svc, dep } => {
-                let key = (svc, dep);
-                if let Some(c) = self.clients.get_mut(&key) {
+            Ev::ConnFreed { client } => {
+                if let Some(c) = self.clients.get_mut(client as usize) {
                     c.conns_in_use = c.conns_in_use.saturating_sub(1);
                 }
-                self.wake_waiters(key);
+                self.wake_waiters(client);
             }
             Ev::ReplicaApply { backend, replica, key, version } => {
                 let store = &mut self.backends[backend].store;
@@ -159,7 +158,7 @@ impl Sim {
             enum Next {
                 Blocked,
                 Done(bool),
-                Step(Rc<Behavior>, usize),
+                Step(Rc<CProg>, usize),
             }
             let next = {
                 let Some(frame) = self.frame(fid) else { return };
@@ -167,9 +166,8 @@ impl Sim {
                     // Parallel join still outstanding.
                     Next::Blocked
                 } else {
-                    loop {
-                        let Some(ctx) = frame.stack.last_mut() else { break };
-                        if ctx.pc < ctx.behavior.steps.len() {
+                    while let Some(ctx) = frame.stack.last_mut() {
+                        if ctx.pc < ctx.prog.steps.len() {
                             break;
                         }
                         if ctx.repeat_left > 0 {
@@ -182,36 +180,36 @@ impl Sim {
                     match frame.stack.last_mut() {
                         None => Next::Done(!frame.failed),
                         Some(ctx) => {
-                            let b = ctx.behavior.clone();
+                            let p = ctx.prog.clone();
                             let pc = ctx.pc;
                             ctx.pc += 1;
-                            Next::Step(b, pc)
+                            Next::Step(p, pc)
                         }
                     }
                 }
             };
-            let (behavior, pc) = match next {
+            let (prog, pc) = match next {
                 Next::Blocked => return,
                 Next::Done(ok) => {
                     self.complete_frame(fid, ok);
                     return;
                 }
-                Next::Step(b, pc) => (b, pc),
+                Next::Step(p, pc) => (p, pc),
             };
 
-            match &behavior.steps[pc] {
-                Step::Compute { cpu_ns, alloc_bytes } => {
+            match &prog.steps[pc] {
+                CStep::Compute { cpu_ns, alloc_bytes } => {
                     let svc = self.frame(fid).expect("frame alive").service;
                     let proc = self.services[svc].process;
                     self.heap_alloc(proc, *alloc_bytes);
                     self.add_proc_job(proc, *cpu_ns as f64, JobCont::FrameStep(fid));
                     return;
                 }
-                Step::Call { dep, method } => {
-                    self.begin_call(fid, dep, Some(Rc::from(method.as_str())), None, None);
+                CStep::Call { client, dest } => {
+                    self.begin_call(fid, *client, dest.clone(), None, None);
                     return;
                 }
-                Step::Cache { dep, op, key } => {
+                CStep::Cache { client, dest, op, key } => {
                     let (entity, root) = self.frame_entity_root(fid);
                     // A cache fill after a read stores the version that was
                     // read (even "absent", version 0); a pure write path
@@ -243,23 +241,22 @@ impl Sim {
                             version: root,
                         },
                     };
-                    self.begin_call(fid, dep, None, Some(bop), None);
+                    self.begin_call(fid, *client, dest.clone(), Some(bop), None);
                     return;
                 }
-                Step::CacheGetOrFetch { cache, key, on_miss } => {
+                CStep::CacheGetOrFetch { client, dest, key, on_miss } => {
                     let (entity, _) = self.frame_entity_root(fid);
                     let k = self.resolve_key(*key, entity);
-                    let miss = Rc::new(on_miss.clone());
                     self.begin_call(
                         fid,
-                        cache,
-                        None,
+                        *client,
+                        dest.clone(),
                         Some(BackendOp::CacheGet { key: k }),
-                        Some(miss),
+                        Some(on_miss.clone()),
                     );
                     return;
                 }
-                Step::Db { dep, op, key } => {
+                CStep::Db { client, dest, op, key } => {
                     let (entity, root) = self.frame_entity_root(fid);
                     let k = self.resolve_key(*key, entity);
                     let bop = match op {
@@ -267,19 +264,15 @@ impl Sim {
                         DbOp::Write => BackendOp::StoreWrite { key: k, version: root },
                         DbOp::Scan { items } => BackendOp::StoreScan { items: *items },
                     };
-                    self.begin_call(fid, dep, None, Some(bop), None);
+                    self.begin_call(fid, *client, dest.clone(), Some(bop), None);
                     return;
                 }
-                Step::QueuePush { dep } => {
-                    self.begin_call(fid, dep, None, Some(BackendOp::QueuePush), None);
+                CStep::Queue { client, dest, op } => {
+                    self.begin_call(fid, *client, dest.clone(), Some(*op), None);
                     return;
                 }
-                Step::QueuePop { dep } => {
-                    self.begin_call(fid, dep, None, Some(BackendOp::QueuePop), None);
-                    return;
-                }
-                Step::Parallel(branches) => {
-                    let live: Vec<&Behavior> =
+                CStep::Parallel(branches) => {
+                    let live: Vec<&Rc<CProg>> =
                         branches.iter().filter(|b| !b.steps.is_empty()).collect();
                     if live.is_empty() {
                         continue;
@@ -295,33 +288,29 @@ impl Sim {
                             entity,
                             root,
                             FrameKind::SubTask { parent: fid },
-                            Rc::new(b.clone()),
+                            b.clone(),
                             span,
                         );
                         self.push_ev(self.now, Ev::Resume { frame: child });
                     }
                     return;
                 }
-                Step::Branch { prob, then, otherwise } => {
+                CStep::Branch { prob, then, otherwise } => {
                     let cond = self.rng.gen::<f64>() < *prob;
                     let chosen = if cond { then } else { otherwise };
                     if !chosen.steps.is_empty() {
-                        let ctx =
-                            ExecCtx { behavior: Rc::new(chosen.clone()), pc: 0, repeat_left: 0 };
+                        let ctx = ExecCtx { prog: chosen.clone(), pc: 0, repeat_left: 0 };
                         self.frame(fid).expect("frame alive").stack.push(ctx);
                     }
                 }
-                Step::Repeat { times, body } => {
+                CStep::Repeat { times, body } => {
                     if *times > 0 && !body.steps.is_empty() {
-                        let ctx = ExecCtx {
-                            behavior: Rc::new(body.clone()),
-                            pc: 0,
-                            repeat_left: times - 1,
-                        };
+                        let ctx =
+                            ExecCtx { prog: body.clone(), pc: 0, repeat_left: times - 1 };
                         self.frame(fid).expect("frame alive").stack.push(ctx);
                     }
                 }
-                Step::Fail { prob } => {
+                CStep::Fail { prob } => {
                     if self.rng.gen::<f64>() < *prob {
                         if let Some(frame) = self.frame(fid) {
                             frame.last_err = Some(CallErr::Fault);
@@ -352,25 +341,24 @@ impl Sim {
     // Calls: attempts, transports, policies.
     // ------------------------------------------------------------------
 
-    /// Starts a new call from `fid` to its dependency `dep`.
+    /// Starts a new call from `fid` through client `client` towards `dest`.
     fn begin_call(
         &mut self,
         fid: FrameId,
-        dep: &str,
-        target_method: Option<Rc<str>>,
+        client: u32,
+        dest: CallDest,
         backend_op: Option<BackendOp>,
-        on_miss: Option<Rc<Behavior>>,
+        on_miss: Option<Rc<CProg>>,
     ) {
-        let (seq, dep_rc) = {
+        let seq = {
             let Some(frame) = self.frame(fid) else { return };
             let seq = frame.next_call_seq;
             frame.next_call_seq += 1;
-            let dep_rc: Rc<str> = Rc::from(dep);
             frame.call = Some(OutstandingCall {
                 seq,
                 attempt: 0,
-                dep: dep_rc.clone(),
-                target_method,
+                client,
+                dest,
                 backend_op,
                 chosen: None,
                 holds_conn: false,
@@ -378,28 +366,33 @@ impl Sim {
                 on_miss,
                 queued_msg: None,
             });
-            (seq, dep_rc)
+            seq
         };
-        let _ = dep_rc;
         self.begin_attempt(fid, seq);
     }
 
     /// Issues one attempt of the frame's outstanding call.
     fn begin_attempt(&mut self, fid: FrameId, seq: u32) {
         // Gather everything under short borrows.
-        let Some(frame) = self.frame(fid) else { return };
-        let Some(call) = frame.call.clone() else { return };
-        if call.seq != seq || call.concluded {
-            return;
-        }
-        let svc = frame.service;
-        let entity = frame.entity;
-        let root_seq = frame.root_seq;
-        let span = frame.span;
-        let attempt = call.attempt;
-        let key = (svc, call.dep.clone());
+        let (svc, entity, root_seq, span, attempt, client_id, backend_op, dest) = {
+            let Some(frame) = self.frame(fid) else { return };
+            let Some(call) = &frame.call else { return };
+            if call.seq != seq || call.concluded {
+                return;
+            }
+            (
+                frame.service,
+                frame.entity,
+                frame.root_seq,
+                frame.span,
+                call.attempt,
+                call.client,
+                call.backend_op,
+                call.dest.clone(),
+            )
+        };
 
-        let Some(client) = self.clients.get_mut(&key) else {
+        if matches!(dest, CallDest::Unbound) {
             // Unbound dependency at runtime: fault.
             self.push_ev(
                 self.now,
@@ -411,11 +404,14 @@ impl Sim {
                 },
             );
             return;
+        }
+        let (timeout_ns, transport, client_overhead_ns) = {
+            let spec = &self.clients[client_id as usize].spec;
+            (spec.timeout_ns, spec.transport.clone(), spec.client_overhead_ns)
         };
-        let spec = client.spec.clone();
 
         // Circuit breaker.
-        if !self.breaker_allow(&key) {
+        if !self.breaker_allow(client_id) {
             self.metrics.counters.breaker_rejections += 1;
             self.push_ev(
                 self.now,
@@ -430,25 +426,25 @@ impl Sim {
         }
 
         // Arm the timeout.
-        if let Some(t) = spec.timeout_ns {
+        if let Some(t) = timeout_ns {
             self.push_ev(self.now + t, Ev::Timeout { frame: fid, seq, attempt });
         }
 
         // Resolve the concrete target.
-        let client = self.clients.get_mut(&key).expect("client exists");
-        let (target, chosen) = match (&client.binding, &call.backend_op, &call.target_method) {
-            (DepBinding::Service { target, .. }, None, Some(m)) => {
-                (CallTarget::Service { svc: *target, method: m.clone() }, 0usize)
+        let (target, chosen) = match (&dest, backend_op) {
+            (CallDest::Svc { svc: target, method }, None) => {
+                (CallTarget::Service { svc: *target, method: *method }, 0usize)
             }
-            (DepBinding::ReplicatedService { targets, policy, .. }, None, Some(m)) => {
+            (CallDest::Replicated { policy, targets }, None) => {
                 let idx = match policy {
                     LbPolicy::RoundRobin => {
+                        let client = &mut self.clients[client_id as usize];
                         let i = client.rr % targets.len();
                         client.rr = client.rr.wrapping_add(1);
                         i
                     }
                     LbPolicy::Random => self.rng.gen_range(0..targets.len()),
-                    LbPolicy::LeastOutstanding => client
+                    LbPolicy::LeastOutstanding => self.clients[client_id as usize]
                         .outstanding
                         .iter()
                         .enumerate()
@@ -456,10 +452,11 @@ impl Sim {
                         .map(|(i, _)| i)
                         .unwrap_or(0),
                 };
-                (CallTarget::Service { svc: targets[idx], method: m.clone() }, idx)
+                let (tsvc, method) = targets[idx];
+                (CallTarget::Service { svc: tsvc, method }, idx)
             }
-            (DepBinding::Backend { target, .. }, Some(op), None) => {
-                (CallTarget::Backend { backend: *target, op: *op }, 0usize)
+            (CallDest::Backend { backend }, Some(op)) => {
+                (CallTarget::Backend { backend: *backend, op }, 0usize)
             }
             _ => {
                 // Kind mismatch between the behavior step and the binding.
@@ -475,7 +472,7 @@ impl Sim {
                 return;
             }
         };
-        let client = self.clients.get_mut(&key).expect("client exists");
+        let client = &mut self.clients[client_id as usize];
         if let Some(slot) = client.outstanding.get_mut(chosen) {
             *slot += 1;
         }
@@ -486,7 +483,7 @@ impl Sim {
         }
 
         // Transport.
-        let (client_ser, net_ns, reply) = match &spec.transport {
+        let (client_ser, net_ns, reply) = match &transport {
             TransportSpec::Local => (0u64, 0u64, ReplyRoute { serialize_ns: 0, net_ns: 0 }),
             TransportSpec::Grpc { serialize_ns, net_ns } => (
                 *serialize_ns,
@@ -514,9 +511,9 @@ impl Sim {
             reply,
             parent_span: span,
         };
-        let total_client_work = client_ser + spec.client_overhead_ns;
+        let total_client_work = client_ser + client_overhead_ns;
 
-        match &spec.transport {
+        match &transport {
             TransportSpec::Local => {
                 // In-process call: no network, but client-side per-call work
                 // (tracing wrappers, backend driver marshalling + syscalls)
@@ -524,21 +521,26 @@ impl Sim {
                 self.send_request_with_serialize(svc, msg, total_client_work, 0);
             }
             TransportSpec::Thrift { pool, .. } => {
-                let client = self.clients.get_mut(&key).expect("client exists");
-                if client.conns_in_use < *pool {
-                    client.conns_in_use += 1;
+                let got_conn = {
+                    let client = &mut self.clients[client_id as usize];
+                    if client.conns_in_use < *pool {
+                        client.conns_in_use += 1;
+                        true
+                    } else {
+                        client.waiters.push_back((fid, seq, attempt));
+                        false
+                    }
+                };
+                if got_conn {
                     if let Some(frame) = self.frame(fid) {
                         if let Some(c) = &mut frame.call {
                             c.holds_conn = true;
                         }
                     }
                     self.send_request_with_serialize(svc, msg, total_client_work, net_ns);
-                } else {
-                    client.waiters.push_back((fid, seq, attempt));
-                    if let Some(frame) = self.frame(fid) {
-                        if let Some(c) = &mut frame.call {
-                            c.queued_msg = Some(msg);
-                        }
+                } else if let Some(frame) = self.frame(fid) {
+                    if let Some(c) = &mut frame.call {
+                        c.queued_msg = Some(msg);
                     }
                 }
             }
@@ -565,14 +567,17 @@ impl Sim {
     }
 
     /// Pops eligible waiters while connections are free.
-    fn wake_waiters(&mut self, key: (usize, Rc<str>)) {
+    fn wake_waiters(&mut self, client_id: u32) {
         loop {
-            let Some(client) = self.clients.get_mut(&key) else { return };
-            let TransportSpec::Thrift { pool, .. } = client.spec.transport else { return };
-            if client.conns_in_use >= pool {
-                return;
-            }
-            let Some((fid, seq, attempt)) = client.waiters.pop_front() else { return };
+            let (fid, seq, attempt) = {
+                let Some(client) = self.clients.get_mut(client_id as usize) else { return };
+                let TransportSpec::Thrift { pool, .. } = client.spec.transport else { return };
+                if client.conns_in_use >= pool {
+                    return;
+                }
+                let Some(w) = client.waiters.pop_front() else { return };
+                w
+            };
             // Validate the waiter is still the current attempt.
             let msg = {
                 let Some(frame) = self.frame(fid) else { continue };
@@ -584,15 +589,15 @@ impl Sim {
                 call.queued_msg.take()
             };
             let Some(msg) = msg else { continue };
-            let client = self.clients.get_mut(&key).expect("client exists");
+            let client = &mut self.clients[client_id as usize];
             client.conns_in_use += 1;
             let spec_overhead = client.spec.client_overhead_ns;
             let (ser, net) = match client.spec.transport {
                 TransportSpec::Thrift { serialize_ns, net_ns, .. } => (serialize_ns, net_ns),
                 _ => (0, 0),
             };
-            let svc = key.0;
-            self.send_request_with_serialize(svc, msg, ser + spec_overhead, net);
+            let owner = client.owner;
+            self.send_request_with_serialize(owner, msg, ser + spec_overhead, net);
         }
     }
 
@@ -601,7 +606,7 @@ impl Sim {
     // ------------------------------------------------------------------
 
     fn on_deliver_request(&mut self, req: RequestMsg) {
-        match req.target.clone() {
+        match req.target {
             CallTarget::Service { svc, method } => {
                 let s = &mut self.services[svc];
                 if s.active >= s.max_concurrent {
@@ -618,7 +623,7 @@ impl Sim {
                     );
                     return;
                 }
-                let Some(behavior) = s.methods.get(&method).cloned() else {
+                let Some(prog) = s.methods.get(method as usize).cloned() else {
                     let t = self.now + req.reply.net_ns;
                     self.push_ev(
                         t,
@@ -643,7 +648,7 @@ impl Sim {
                         attempt: req.attempt,
                         reply: req.reply,
                     },
-                    behavior,
+                    prog,
                     req.parent_span,
                 );
                 self.frame(fid).expect("fresh frame").counted_admission = true;
@@ -686,17 +691,19 @@ impl Sim {
         }
     }
 
-    /// Applies a backend op to its state, returning the outcome.
+    /// Applies a backend op to its state, returning the outcome. Stats go to
+    /// the backend's dense counters (mirrored into `metrics` per run slice).
     fn apply_backend_op(&mut self, req: &RequestMsg) -> CallOutcome {
         let CallTarget::Backend { backend, op } = &req.target else {
             return CallOutcome::failure(CallErr::Fault);
         };
         let b = *backend;
-        let name = self.backends[b].name.clone();
+        self.backends[b].stats_dirty = true;
         match op {
             BackendOp::CacheGet { key } => {
-                let hit = self.backends[b].cache.get(*key);
-                let stats = self.metrics.backend_mut(&name);
+                let backend_rt = &mut self.backends[b];
+                let hit = backend_rt.cache.get(*key);
+                let stats = &mut backend_rt.stats;
                 stats.reads += 1;
                 match hit {
                     Some(version) => {
@@ -716,52 +723,48 @@ impl Sim {
                 };
                 let backend_rt = &mut self.backends[b];
                 let evictions = backend_rt.cache.put(*key, *version, capacity, &mut self.rng);
-                let stats = self.metrics.backend_mut(&name);
+                let stats = &mut backend_rt.stats;
                 stats.writes += 1;
                 stats.evictions += evictions;
                 CallOutcome::success(0)
             }
             BackendOp::CacheDelete { key } => {
-                self.backends[b].cache.delete(*key);
-                self.metrics.backend_mut(&name).writes += 1;
+                let backend_rt = &mut self.backends[b];
+                backend_rt.cache.delete(*key);
+                backend_rt.stats.writes += 1;
                 CallOutcome::success(0)
             }
             BackendOp::CacheMulti { key, write, version, .. } => {
-                let stats_write;
-                let outcome = if *write {
+                if *write {
                     let capacity = match self.backends[b].kind {
                         BackendRtKind::Cache { capacity_items, .. } => capacity_items,
                         _ => u64::MAX,
                     };
                     let backend_rt = &mut self.backends[b];
                     backend_rt.cache.put(*key, *version, capacity, &mut self.rng);
-                    stats_write = true;
+                    backend_rt.stats.writes += 1;
                     CallOutcome::success(0)
                 } else {
-                    stats_write = false;
-                    let v = self.backends[b].cache.get(*key);
+                    let backend_rt = &mut self.backends[b];
+                    let v = backend_rt.cache.get(*key);
+                    let stats = &mut backend_rt.stats;
+                    stats.reads += 1;
+                    if v.is_some() {
+                        stats.hits += 1;
+                    } else {
+                        stats.misses += 1;
+                    }
                     CallOutcome {
                         ok: true,
                         err: None,
                         version: v.unwrap_or(0),
                         cache_hit: Some(v.is_some()),
                     }
-                };
-                let stats = self.metrics.backend_mut(&name);
-                if stats_write {
-                    stats.writes += 1;
-                } else {
-                    stats.reads += 1;
-                    if outcome.cache_hit == Some(true) {
-                        stats.hits += 1;
-                    } else {
-                        stats.misses += 1;
-                    }
                 }
-                outcome
             }
             BackendOp::StoreRead { key } => {
-                let store = &mut self.backends[b].store;
+                let backend_rt = &mut self.backends[b];
+                let store = &mut backend_rt.store;
                 let primary_version = store.primary.get(key).copied().unwrap_or(0);
                 let (version, from_replica) = if store.replicas.is_empty() {
                     (primary_version, false)
@@ -770,7 +773,7 @@ impl Sim {
                     store.rr = store.rr.wrapping_add(1);
                     (store.replicas[i].get(key).copied().unwrap_or(0), true)
                 };
-                let stats = self.metrics.backend_mut(&name);
+                let stats = &mut backend_rt.stats;
                 stats.reads += 1;
                 if from_replica && version < primary_version {
                     stats.stale_reads += 1;
@@ -801,11 +804,11 @@ impl Sim {
                         Ev::ReplicaApply { backend: b, replica: r, key: *key, version: *version },
                     );
                 }
-                self.metrics.backend_mut(&name).writes += 1;
+                self.backends[b].stats.writes += 1;
                 CallOutcome::success(0)
             }
             BackendOp::StoreScan { .. } => {
-                self.metrics.backend_mut(&name).reads += 1;
+                self.backends[b].stats.reads += 1;
                 CallOutcome::success(0)
             }
             BackendOp::QueuePush => {
@@ -818,14 +821,16 @@ impl Sim {
                     CallOutcome::failure(CallErr::QueueFull)
                 } else {
                     let entity = req.entity;
-                    self.backends[b].queue.push_back(entity);
-                    self.metrics.backend_mut(&name).writes += 1;
+                    let backend_rt = &mut self.backends[b];
+                    backend_rt.queue.push_back(entity);
+                    backend_rt.stats.writes += 1;
                     CallOutcome::success(0)
                 }
             }
             BackendOp::QueuePop => {
-                self.backends[b].queue.pop_front();
-                self.metrics.backend_mut(&name).reads += 1;
+                let backend_rt = &mut self.backends[b];
+                backend_rt.queue.pop_front();
+                backend_rt.stats.reads += 1;
                 CallOutcome::success(0)
             }
         }
@@ -837,9 +842,8 @@ impl Sim {
 
     fn on_deliver_response(&mut self, fid: FrameId, seq: u32, attempt: u32, outcome: CallOutcome) {
         // Validate freshness.
-        let (dep, chosen, holds_conn, on_miss, svc) = {
+        let (client_id, chosen, holds_conn, on_miss) = {
             let Some(frame) = self.frame(fid) else { return };
-            let svc = frame.service;
             let Some(call) = &mut frame.call else { return };
             if call.seq != seq || call.attempt != attempt || call.concluded {
                 return;
@@ -847,11 +851,10 @@ impl Sim {
             call.concluded = true;
             let holds = call.holds_conn;
             call.holds_conn = false;
-            (call.dep.clone(), call.chosen.take(), holds, call.on_miss.clone(), svc)
+            (call.client, call.chosen.take(), holds, call.on_miss.clone())
         };
-        let key = (svc, dep);
-        self.breaker_record(&key, outcome.ok);
-        if let Some(client) = self.clients.get_mut(&key) {
+        self.breaker_record(client_id, outcome.ok);
+        if let Some(client) = self.clients.get_mut(client_id as usize) {
             if let Some(ch) = chosen {
                 if let Some(slot) = client.outstanding.get_mut(ch) {
                     *slot = slot.saturating_sub(1);
@@ -862,43 +865,45 @@ impl Sim {
             }
         }
         if holds_conn {
-            self.wake_waiters(key.clone());
+            self.wake_waiters(client_id);
         }
 
         if outcome.ok {
             let push_miss = outcome.cache_hit == Some(false);
             {
                 let frame = self.frame(fid).expect("frame alive");
-                let was_read = matches!(
-                    frame.call.as_ref().and_then(|c| c.backend_op),
-                    Some(BackendOp::CacheGet { .. })
-                        | Some(BackendOp::StoreRead { .. })
-                        | Some(BackendOp::CacheMulti { write: false, .. })
-                ) || matches!(
-                    frame.call.as_ref().and_then(|c| c.target_method.as_deref()),
-                    Some(_)
-                ) && outcome.version > 0;
+                let was_read = {
+                    let call = frame.call.as_ref();
+                    matches!(
+                        call.and_then(|c| c.backend_op),
+                        Some(BackendOp::CacheGet { .. })
+                            | Some(BackendOp::StoreRead { .. })
+                            | Some(BackendOp::CacheMulti { write: false, .. })
+                    ) || matches!(
+                        call.map(|c| &c.dest),
+                        Some(CallDest::Svc { .. } | CallDest::Replicated { .. })
+                    ) && outcome.version > 0
+                };
                 if was_read {
                     frame.did_read = true;
                 }
                 frame.observed_version = frame.observed_version.max(outcome.version);
                 if push_miss {
                     if let Some(miss) = on_miss {
-                        frame.stack.push(ExecCtx { behavior: miss, pc: 0, repeat_left: 0 });
+                        frame.stack.push(ExecCtx { prog: miss, pc: 0, repeat_left: 0 });
                     }
                 }
                 frame.call = None;
             }
             self.step_frame(fid);
         } else {
-            self.retry_or_fail(fid, seq, attempt, &key, outcome.err.unwrap_or(CallErr::Fault));
+            self.retry_or_fail(fid, seq, attempt, client_id, outcome.err.unwrap_or(CallErr::Fault));
         }
     }
 
     fn on_timeout(&mut self, fid: FrameId, seq: u32, attempt: u32) {
-        let (dep, chosen, holds_conn, svc) = {
+        let (client_id, chosen, holds_conn) = {
             let Some(frame) = self.frame(fid) else { return };
-            let svc = frame.service;
             let Some(call) = &mut frame.call else { return };
             if call.seq != seq || call.attempt != attempt || call.concluded {
                 return;
@@ -906,12 +911,11 @@ impl Sim {
             call.concluded = true;
             let holds = call.holds_conn;
             call.holds_conn = false;
-            (call.dep.clone(), call.chosen.take(), holds, svc)
+            (call.client, call.chosen.take(), holds)
         };
         self.metrics.counters.timeouts += 1;
-        let key = (svc, dep);
-        self.breaker_record(&key, false);
-        if let Some(client) = self.clients.get_mut(&key) {
+        self.breaker_record(client_id, false);
+        if let Some(client) = self.clients.get_mut(client_id as usize) {
             if let Some(ch) = chosen {
                 if let Some(slot) = client.outstanding.get_mut(ch) {
                     *slot = slot.saturating_sub(1);
@@ -924,22 +928,14 @@ impl Sim {
                     TransportSpec::Thrift { reconnect_ns, .. } => reconnect_ns,
                     _ => 0,
                 };
-                let (svc, dep) = key.clone();
-                self.push_ev(self.now + reconnect, Ev::ConnFreed { svc, dep });
+                self.push_ev(self.now + reconnect, Ev::ConnFreed { client: client_id });
             }
         }
-        self.retry_or_fail(fid, seq, attempt, &key, CallErr::Timeout);
+        self.retry_or_fail(fid, seq, attempt, client_id, CallErr::Timeout);
     }
 
-    fn retry_or_fail(
-        &mut self,
-        fid: FrameId,
-        seq: u32,
-        attempt: u32,
-        key: &(usize, Rc<str>),
-        err: CallErr,
-    ) {
-        let (retries, backoff) = match self.clients.get(key) {
+    fn retry_or_fail(&mut self, fid: FrameId, seq: u32, attempt: u32, client_id: u32, err: CallErr) {
+        let (retries, backoff) = match self.clients.get(client_id as usize) {
             Some(c) => (c.spec.retries, c.spec.backoff_ns),
             None => (0, 0),
         };
@@ -978,9 +974,9 @@ impl Sim {
     // Circuit breaker.
     // ------------------------------------------------------------------
 
-    fn breaker_allow(&mut self, key: &(usize, Rc<str>)) -> bool {
+    fn breaker_allow(&mut self, client_id: u32) -> bool {
         let now = self.now;
-        let Some(client) = self.clients.get_mut(key) else { return true };
+        let Some(client) = self.clients.get_mut(client_id as usize) else { return true };
         if client.spec.breaker.is_none() {
             return true;
         }
@@ -998,17 +994,19 @@ impl Sim {
         }
     }
 
-    fn breaker_record(&mut self, key: &(usize, Rc<str>), ok: bool) {
+    fn breaker_record(&mut self, client_id: u32, ok: bool) {
         let now = self.now;
         let mut opened = false;
         {
-            let Some(client) = self.clients.get_mut(key) else { return };
-            let Some(spec) = client.spec.breaker.clone() else { return };
+            let Some(client) = self.clients.get_mut(client_id as usize) else { return };
+            let Some(spec) = &client.spec.breaker else { return };
+            let (window, failure_threshold, open_ns, half_open_probes) =
+                (spec.window, spec.failure_threshold, spec.open_ns, spec.half_open_probes);
             match client.breaker {
                 BreakerState::Open { .. } => {}
                 BreakerState::HalfOpen { successes } => {
                     if ok {
-                        if successes + 1 >= spec.half_open_probes {
+                        if successes + 1 >= half_open_probes {
                             client.breaker = BreakerState::Closed;
                             client.window.clear();
                             client.window_failures = 0;
@@ -1016,7 +1014,7 @@ impl Sim {
                             client.breaker = BreakerState::HalfOpen { successes: successes + 1 };
                         }
                     } else {
-                        client.breaker = BreakerState::Open { until: now + spec.open_ns };
+                        client.breaker = BreakerState::Open { until: now + open_ns };
                         opened = true;
                     }
                 }
@@ -1025,7 +1023,7 @@ impl Sim {
                     if !ok {
                         client.window_failures += 1;
                     }
-                    while client.window.len() > spec.window as usize {
+                    while client.window.len() > window as usize {
                         if let Some(old) = client.window.pop_front() {
                             if !old {
                                 client.window_failures -= 1;
@@ -1033,10 +1031,10 @@ impl Sim {
                         }
                     }
                     let n = client.window.len() as f64;
-                    if n >= (spec.window as f64 / 2.0).max(1.0)
-                        && client.window_failures as f64 / n >= spec.failure_threshold
+                    if n >= (window as f64 / 2.0).max(1.0)
+                        && client.window_failures as f64 / n >= failure_threshold
                     {
-                        client.breaker = BreakerState::Open { until: now + spec.open_ns };
+                        client.breaker = BreakerState::Open { until: now + open_ns };
                         client.window.clear();
                         client.window_failures = 0;
                         opened = true;
@@ -1061,18 +1059,21 @@ impl Sim {
     }
 
     fn complete_frame(&mut self, fid: FrameId, ok: bool) {
-        // Extract everything needed, then free the slot.
-        let Some(frame) = self.frame(fid) else { return };
-        let service = frame.service;
-        let kind = frame.kind.clone();
-        let span = frame.span;
-        let span_owned = frame.span_owned;
-        let observed = frame.observed_version;
-        let last_err = frame.last_err;
-        let entity = frame.entity;
-        let root_seq = frame.root_seq;
-        let counted = frame.counted_admission;
-        self.free_frame(fid);
+        // Take the frame out (its slot and stack are recycled), then route
+        // the result without cloning the kind.
+        let Some(frame) = self.take_frame(fid) else { return };
+        let Frame {
+            service,
+            kind,
+            span,
+            span_owned,
+            observed_version: observed,
+            last_err,
+            entity,
+            root_seq,
+            counted_admission: counted,
+            ..
+        } = frame;
 
         if counted {
             let s = &mut self.services[service];

@@ -12,14 +12,27 @@ use blueprint_workflow::{Behavior, CacheOp, KeyExpr};
 fn single_service(behavior: Behavior) -> SystemSpec {
     let mut spec = SystemSpec {
         name: "t".into(),
-        hosts: vec![HostSpec { name: "h0".into(), cores: 4.0 }],
-        processes: vec![ProcessSpec { name: "p0".into(), host: 0, gc: None }],
+        hosts: vec![HostSpec {
+            name: "h0".into(),
+            cores: 4.0,
+        }],
+        processes: vec![ProcessSpec {
+            name: "p0".into(),
+            host: 0,
+            gc: None,
+        }],
         ..Default::default()
     };
     let mut s = ServiceSpec::new("front", 0);
     s.methods.insert("M".into(), behavior);
     spec.services.push(s);
-    spec.entries.insert("front".into(), EntrySpec { service: 0, client: ClientSpec::local() });
+    spec.entries.insert(
+        "front".into(),
+        EntrySpec {
+            service: 0,
+            client: ClientSpec::local(),
+        },
+    );
     spec
 }
 
@@ -28,23 +41,47 @@ fn two_tier(back_behavior: Behavior, client: ClientSpec) -> SystemSpec {
     let mut spec = SystemSpec {
         name: "t2".into(),
         hosts: vec![
-            HostSpec { name: "h0".into(), cores: 4.0 },
-            HostSpec { name: "h1".into(), cores: 4.0 },
+            HostSpec {
+                name: "h0".into(),
+                cores: 4.0,
+            },
+            HostSpec {
+                name: "h1".into(),
+                cores: 4.0,
+            },
         ],
         processes: vec![
-            ProcessSpec { name: "p_front".into(), host: 0, gc: None },
-            ProcessSpec { name: "p_back".into(), host: 1, gc: None },
+            ProcessSpec {
+                name: "p_front".into(),
+                host: 0,
+                gc: None,
+            },
+            ProcessSpec {
+                name: "p_back".into(),
+                host: 1,
+                gc: None,
+            },
         ],
         ..Default::default()
     };
     let mut back = ServiceSpec::new("back", 1);
     back.methods.insert("Work".into(), back_behavior);
     let mut front = ServiceSpec::new("front", 0);
-    front.methods.insert("M".into(), Behavior::build().call("backend", "Work").done());
-    front.deps.insert("backend".into(), DepBinding::Service { target: 1, client });
+    front
+        .methods
+        .insert("M".into(), Behavior::build().call("backend", "Work").done());
+    front
+        .deps
+        .insert("backend".into(), DepBinding::Service { target: 1, client });
     spec.services.push(front);
     spec.services.push(back);
-    spec.entries.insert("front".into(), EntrySpec { service: 0, client: ClientSpec::local() });
+    spec.entries.insert(
+        "front".into(),
+        EntrySpec {
+            service: 0,
+            client: ClientSpec::local(),
+        },
+    );
     spec
 }
 
@@ -76,7 +113,10 @@ fn unknown_entry_and_method_error() {
 
 #[test]
 fn grpc_adds_serialization_and_network_latency() {
-    let client = ClientSpec::over(TransportSpec::Grpc { serialize_ns: 10_000, net_ns: 50_000 });
+    let client = ClientSpec::over(TransportSpec::Grpc {
+        serialize_ns: 10_000,
+        net_ns: 50_000,
+    });
     let spec = two_tier(Behavior::build().compute(100_000, 0).done(), client);
     let (_, c) = run_one(&spec, "M");
     assert!(c.ok);
@@ -86,14 +126,20 @@ fn grpc_adds_serialization_and_network_latency() {
 
 #[test]
 fn local_transport_is_free() {
-    let spec = two_tier(Behavior::build().compute(100_000, 0).done(), ClientSpec::local());
+    let spec = two_tier(
+        Behavior::build().compute(100_000, 0).done(),
+        ClientSpec::local(),
+    );
     let (_, c) = run_one(&spec, "M");
     assert_eq!(c.latency_ns(), 100_000);
 }
 
 #[test]
 fn timeout_fails_request_and_counts() {
-    let client = ClientSpec { timeout_ns: Some(ms(1)), ..ClientSpec::local() };
+    let client = ClientSpec {
+        timeout_ns: Some(ms(1)),
+        ..ClientSpec::local()
+    };
     let spec = two_tier(Behavior::build().compute(ms(10), 0).done(), client);
     let (sim, c) = run_one(&spec, "M");
     assert!(!c.ok);
@@ -104,7 +150,11 @@ fn timeout_fails_request_and_counts() {
 
 #[test]
 fn retries_multiply_wasted_server_work() {
-    let client = ClientSpec { timeout_ns: Some(ms(1)), retries: 2, ..ClientSpec::local() };
+    let client = ClientSpec {
+        timeout_ns: Some(ms(1)),
+        retries: 2,
+        ..ClientSpec::local()
+    };
     let spec = two_tier(Behavior::build().compute(ms(10), 0).done(), client);
     let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
     sim.submit("front", "M", 1).unwrap();
@@ -185,7 +235,10 @@ fn thrift_pool_serializes_concurrent_calls() {
 
 #[test]
 fn grpc_multiplexes_without_queueing() {
-    let client = ClientSpec::over(TransportSpec::Grpc { serialize_ns: 0, net_ns: 0 });
+    let client = ClientSpec::over(TransportSpec::Grpc {
+        serialize_ns: 0,
+        net_ns: 0,
+    });
     let spec = two_tier(Behavior::build().compute(ms(1), 0).done(), client);
     let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
     sim.submit("front", "M", 1).unwrap();
@@ -197,7 +250,11 @@ fn grpc_multiplexes_without_queueing() {
 
 #[test]
 fn gc_pauses_trigger_and_account() {
-    let gc = GcSpec { gogc_percent: 100.0, base_heap_bytes: 1 << 20, pause_cpu_ns_per_mib: ms(1) };
+    let gc = GcSpec {
+        gogc_percent: 100.0,
+        base_heap_bytes: 1 << 20,
+        pause_cpu_ns_per_mib: ms(1),
+    };
     let mut spec = single_service(Behavior::build().compute(us(10), 512 << 10).done());
     spec.processes[0].gc = Some(gc);
     let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
@@ -208,7 +265,11 @@ fn gc_pauses_trigger_and_account() {
     sim.run_until(secs(1));
     // Heap grows 512 KiB per request over a 1 MiB base with GOGC=100 →
     // collection every ~2 requests.
-    assert!(sim.metrics.counters.gc_pauses >= 3, "pauses={}", sim.metrics.counters.gc_pauses);
+    assert!(
+        sim.metrics.counters.gc_pauses >= 3,
+        "pauses={}",
+        sim.metrics.counters.gc_pauses
+    );
     assert!(sim.metrics.counters.gc_pause_ns > 0);
     assert_eq!(sim.drain_completions().len(), 10);
     // Heap returned to base after the last collection.
@@ -249,10 +310,21 @@ fn parallel_branch_failure_fails_request() {
 fn branch_probabilities_respected() {
     let spec = single_service(
         Behavior::build()
-            .branch(0.25, Behavior::build().compute(ms(2), 0).done(), Behavior::build().compute(ms(1), 0).done())
+            .branch(
+                0.25,
+                Behavior::build().compute(ms(2), 0).done(),
+                Behavior::build().compute(ms(1), 0).done(),
+            )
             .done(),
     );
-    let mut sim = Sim::new(&spec, SimConfig { seed: 42, ..Default::default() }).unwrap();
+    let mut sim = Sim::new(
+        &spec,
+        SimConfig {
+            seed: 42,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     for i in 0..200 {
         sim.submit("front", "M", i).unwrap();
         sim.run_until(ms(5 * (i + 1)));
@@ -267,13 +339,31 @@ fn cache_db_spec() -> SystemSpec {
     let mut spec = SystemSpec {
         name: "cdb".into(),
         hosts: vec![
-            HostSpec { name: "h0".into(), cores: 4.0 },
-            HostSpec { name: "hdb".into(), cores: 4.0 },
+            HostSpec {
+                name: "h0".into(),
+                cores: 4.0,
+            },
+            HostSpec {
+                name: "hdb".into(),
+                cores: 4.0,
+            },
         ],
         processes: vec![
-            ProcessSpec { name: "p0".into(), host: 0, gc: None },
-            ProcessSpec { name: "p_cache".into(), host: 1, gc: None },
-            ProcessSpec { name: "p_db".into(), host: 1, gc: None },
+            ProcessSpec {
+                name: "p0".into(),
+                host: 0,
+                gc: None,
+            },
+            ProcessSpec {
+                name: "p_cache".into(),
+                host: 1,
+                gc: None,
+            },
+            ProcessSpec {
+                name: "p_db".into(),
+                host: 1,
+                gc: None,
+            },
         ],
         ..Default::default()
     };
@@ -315,12 +405,33 @@ fn cache_db_spec() -> SystemSpec {
     );
     s.methods.insert(
         "Write".into(),
-        Behavior::build().db_write("d", KeyExpr::Entity).cache_put("c", KeyExpr::Entity).done(),
+        Behavior::build()
+            .db_write("d", KeyExpr::Entity)
+            .cache_put("c", KeyExpr::Entity)
+            .done(),
     );
-    s.deps.insert("c".into(), DepBinding::Backend { target: 0, client: ClientSpec::local() });
-    s.deps.insert("d".into(), DepBinding::Backend { target: 1, client: ClientSpec::local() });
+    s.deps.insert(
+        "c".into(),
+        DepBinding::Backend {
+            target: 0,
+            client: ClientSpec::local(),
+        },
+    );
+    s.deps.insert(
+        "d".into(),
+        DepBinding::Backend {
+            target: 1,
+            client: ClientSpec::local(),
+        },
+    );
     spec.services.push(s);
-    spec.entries.insert("front".into(), EntrySpec { service: 0, client: ClientSpec::local() });
+    spec.entries.insert(
+        "front".into(),
+        EntrySpec {
+            service: 0,
+            client: ClientSpec::local(),
+        },
+    );
     spec
 }
 
@@ -412,12 +523,21 @@ fn queue_capacity_drops() {
     spec.backends.push(BackendSpec {
         name: "q".into(),
         process: 1,
-        kind: BackendRtKind::Queue { capacity: 1, op_latency_ns: us(10) },
+        kind: BackendRtKind::Queue {
+            capacity: 1,
+            op_latency_ns: us(10),
+        },
     });
-    spec.services[0].methods.insert("Push".into(), Behavior::build().queue_push("q").done());
     spec.services[0]
-        .deps
-        .insert("q".into(), DepBinding::Backend { target: 2, client: ClientSpec::local() });
+        .methods
+        .insert("Push".into(), Behavior::build().queue_push("q").done());
+    spec.services[0].deps.insert(
+        "q".into(),
+        DepBinding::Backend {
+            target: 2,
+            client: ClientSpec::local(),
+        },
+    );
     let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
     sim.submit("front", "Push", 1).unwrap();
     sim.run_until(secs(1));
@@ -433,17 +553,27 @@ fn queue_capacity_drops() {
 fn replicated_service_round_robin_balances() {
     let mut spec = SystemSpec {
         name: "lb".into(),
-        hosts: vec![HostSpec { name: "h0".into(), cores: 8.0 }],
-        processes: vec![ProcessSpec { name: "p0".into(), host: 0, gc: None }],
+        hosts: vec![HostSpec {
+            name: "h0".into(),
+            cores: 8.0,
+        }],
+        processes: vec![ProcessSpec {
+            name: "p0".into(),
+            host: 0,
+            gc: None,
+        }],
         ..Default::default()
     };
     for i in 0..3 {
         let mut r = ServiceSpec::new(format!("back_{i}"), 0);
-        r.methods.insert("Work".into(), Behavior::build().compute(us(10), 0).done());
+        r.methods
+            .insert("Work".into(), Behavior::build().compute(us(10), 0).done());
         spec.services.push(r);
     }
     let mut front = ServiceSpec::new("front", 0);
-    front.methods.insert("M".into(), Behavior::build().call("backend", "Work").done());
+    front
+        .methods
+        .insert("M".into(), Behavior::build().call("backend", "Work").done());
     front.deps.insert(
         "backend".into(),
         DepBinding::ReplicatedService {
@@ -453,7 +583,13 @@ fn replicated_service_round_robin_balances() {
         },
     );
     spec.services.push(front);
-    spec.entries.insert("front".into(), EntrySpec { service: 3, client: ClientSpec::local() });
+    spec.entries.insert(
+        "front".into(),
+        EntrySpec {
+            service: 3,
+            client: ClientSpec::local(),
+        },
+    );
     let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
     for i in 0..30 {
         sim.submit("front", "M", i).unwrap();
@@ -469,9 +605,17 @@ fn replicated_service_round_robin_balances() {
 fn deterministic_across_runs() {
     let run = |seed: u64| {
         let spec = cache_db_spec();
-        let mut sim = Sim::new(&spec, SimConfig { seed, ..Default::default() }).unwrap();
+        let mut sim = Sim::new(
+            &spec,
+            SimConfig {
+                seed,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         for i in 0..50 {
-            sim.submit("front", if i % 3 == 0 { "Write" } else { "Read" }, i % 11).unwrap();
+            sim.submit("front", if i % 3 == 0 { "Write" } else { "Read" }, i % 11)
+                .unwrap();
             sim.run_until(ms(2 * (i + 1)));
         }
         sim.run_until(secs(5));
@@ -488,11 +632,17 @@ fn deterministic_across_runs() {
 
 #[test]
 fn tracing_records_spans_with_structure() {
-    let client = ClientSpec::over(TransportSpec::Grpc { serialize_ns: 1000, net_ns: 1000 });
+    let client = ClientSpec::over(TransportSpec::Grpc {
+        serialize_ns: 1000,
+        net_ns: 1000,
+    });
     let mut spec = two_tier(Behavior::build().compute(us(50), 0).done(), client);
     spec.services[0].trace_overhead_ns = Some(2_000);
     spec.services[1].trace_overhead_ns = Some(2_000);
-    let cfg = SimConfig { record_traces: true, ..Default::default() };
+    let cfg = SimConfig {
+        record_traces: true,
+        ..Default::default()
+    };
     let mut sim = Sim::new(&spec, cfg).unwrap();
     sim.submit("front", "M", 1).unwrap();
     sim.run_until(secs(1));
@@ -508,7 +658,10 @@ fn tracing_records_spans_with_structure() {
 #[test]
 fn max_frames_guard_sheds_load() {
     let spec = single_service(Behavior::build().compute(secs(1), 0).done());
-    let cfg = SimConfig { max_frames: 2, ..Default::default() };
+    let cfg = SimConfig {
+        max_frames: 2,
+        ..Default::default()
+    };
     let mut sim = Sim::new(&spec, cfg).unwrap();
     for i in 0..5 {
         sim.submit("front", "M", i).unwrap();

@@ -39,7 +39,11 @@ pub struct GcSpec {
 
 impl Default for GcSpec {
     fn default() -> Self {
-        GcSpec { gogc_percent: 100.0, base_heap_bytes: 64 << 20, pause_cpu_ns_per_mib: 30_000 }
+        GcSpec {
+            gogc_percent: 100.0,
+            base_heap_bytes: 64 << 20,
+            pause_cpu_ns_per_mib: 30_000,
+        }
     }
 }
 
@@ -92,17 +96,28 @@ pub enum TransportSpec {
 impl TransportSpec {
     /// Default gRPC parameters used by the plugins.
     pub fn grpc_default() -> Self {
-        TransportSpec::Grpc { serialize_ns: 12_000, net_ns: 50_000 }
+        TransportSpec::Grpc {
+            serialize_ns: 12_000,
+            net_ns: 50_000,
+        }
     }
 
     /// Default Thrift parameters with the given pool size.
     pub fn thrift_default(pool: u32) -> Self {
-        TransportSpec::Thrift { pool, serialize_ns: 15_000, net_ns: 50_000, reconnect_ns: 200_000 }
+        TransportSpec::Thrift {
+            pool,
+            serialize_ns: 15_000,
+            net_ns: 50_000,
+            reconnect_ns: 200_000,
+        }
     }
 
     /// Default HTTP parameters.
     pub fn http_default() -> Self {
-        TransportSpec::Http { serialize_ns: 25_000, net_ns: 60_000 }
+        TransportSpec::Http {
+            serialize_ns: 25_000,
+            net_ns: 60_000,
+        }
     }
 }
 
@@ -170,7 +185,10 @@ impl ClientSpec {
 
     /// A client over the given transport with no policies.
     pub fn over(transport: TransportSpec) -> Self {
-        ClientSpec { transport, ..ClientSpec::default() }
+        ClientSpec {
+            transport,
+            ..ClientSpec::default()
+        }
     }
 }
 
@@ -346,7 +364,10 @@ impl SystemSpec {
         }
         for s in &self.services {
             if s.process >= self.processes.len() {
-                return Err(SimError::BadSpec(format!("service {} process index", s.name)));
+                return Err(SimError::BadSpec(format!(
+                    "service {} process index",
+                    s.name
+                )));
             }
             for (dep, b) in &s.deps {
                 match b {
@@ -398,7 +419,10 @@ impl SystemSpec {
         }
         for b in &self.backends {
             if b.process >= self.processes.len() {
-                return Err(SimError::BadSpec(format!("backend {} process index", b.name)));
+                return Err(SimError::BadSpec(format!(
+                    "backend {} process index",
+                    b.name
+                )));
             }
         }
         for (name, e) in &self.entries {
@@ -433,15 +457,28 @@ mod tests {
     fn tiny() -> SystemSpec {
         let mut spec = SystemSpec {
             name: "tiny".into(),
-            hosts: vec![HostSpec { name: "h0".into(), cores: 4.0 }],
-            processes: vec![ProcessSpec { name: "p0".into(), host: 0, gc: None }],
+            hosts: vec![HostSpec {
+                name: "h0".into(),
+                cores: 4.0,
+            }],
+            processes: vec![ProcessSpec {
+                name: "p0".into(),
+                host: 0,
+                gc: None,
+            }],
             ..Default::default()
         };
         let mut s = ServiceSpec::new("a", 0);
-        s.methods.insert("M".into(), Behavior::build().compute(1000, 0).done());
+        s.methods
+            .insert("M".into(), Behavior::build().compute(1000, 0).done());
         spec.services.push(s);
-        spec.entries
-            .insert("a".into(), EntrySpec { service: 0, client: ClientSpec::local() });
+        spec.entries.insert(
+            "a".into(),
+            EntrySpec {
+                service: 0,
+                client: ClientSpec::local(),
+            },
+        );
         spec
     }
 
@@ -500,9 +537,18 @@ mod tests {
 
     #[test]
     fn transport_defaults() {
-        assert!(matches!(TransportSpec::grpc_default(), TransportSpec::Grpc { .. }));
-        assert!(matches!(TransportSpec::thrift_default(8), TransportSpec::Thrift { pool: 8, .. }));
-        assert!(matches!(TransportSpec::http_default(), TransportSpec::Http { .. }));
+        assert!(matches!(
+            TransportSpec::grpc_default(),
+            TransportSpec::Grpc { .. }
+        ));
+        assert!(matches!(
+            TransportSpec::thrift_default(8),
+            TransportSpec::Thrift { pool: 8, .. }
+        ));
+        assert!(matches!(
+            TransportSpec::http_default(),
+            TransportSpec::Http { .. }
+        ));
         let c = ClientSpec::over(TransportSpec::grpc_default());
         assert_eq!(c.retries, 0);
         assert!(c.timeout_ns.is_none());

@@ -34,8 +34,8 @@ fn scenario() -> impl Strategy<Value = Scenario> {
         100u64..5_000,
         any::<u64>(),
     )
-        .prop_map(|(cores, back_cpu_us, timeout_ms, retries, thrift_pool, n, gap, seed)| {
-            Scenario {
+        .prop_map(
+            |(cores, back_cpu_us, timeout_ms, retries, thrift_pool, n, gap, seed)| Scenario {
                 cores: cores as f64,
                 back_cpu_us,
                 timeout_ms,
@@ -44,21 +44,39 @@ fn scenario() -> impl Strategy<Value = Scenario> {
                 n_requests: n,
                 gap_us: gap,
                 seed,
-            }
-        })
+            },
+        )
 }
 
 fn build(s: &Scenario) -> SystemSpec {
     let mut spec = SystemSpec {
         name: "prop".into(),
         hosts: vec![
-            HostSpec { name: "h0".into(), cores: s.cores },
-            HostSpec { name: "h1".into(), cores: s.cores },
+            HostSpec {
+                name: "h0".into(),
+                cores: s.cores,
+            },
+            HostSpec {
+                name: "h1".into(),
+                cores: s.cores,
+            },
         ],
         processes: vec![
-            ProcessSpec { name: "p_front".into(), host: 0, gc: None },
-            ProcessSpec { name: "p_back".into(), host: 1, gc: None },
-            ProcessSpec { name: "p_be".into(), host: 1, gc: None },
+            ProcessSpec {
+                name: "p_front".into(),
+                host: 0,
+                gc: None,
+            },
+            ProcessSpec {
+                name: "p_back".into(),
+                host: 1,
+                gc: None,
+            },
+            ProcessSpec {
+                name: "p_be".into(),
+                host: 1,
+                gc: None,
+            },
         ],
         ..Default::default()
     };
@@ -99,8 +117,20 @@ fn build(s: &Scenario) -> SystemSpec {
             )
             .done(),
     );
-    back.deps.insert("c".into(), DepBinding::Backend { target: 0, client: ClientSpec::local() });
-    back.deps.insert("d".into(), DepBinding::Backend { target: 1, client: ClientSpec::local() });
+    back.deps.insert(
+        "c".into(),
+        DepBinding::Backend {
+            target: 0,
+            client: ClientSpec::local(),
+        },
+    );
+    back.deps.insert(
+        "d".into(),
+        DepBinding::Backend {
+            target: 1,
+            client: ClientSpec::local(),
+        },
+    );
     let transport = match s.thrift_pool {
         Some(pool) => TransportSpec::thrift_default(pool),
         None => TransportSpec::grpc_default(),
@@ -114,19 +144,43 @@ fn build(s: &Scenario) -> SystemSpec {
         client_overhead_ns: 0,
     };
     let mut front = ServiceSpec::new("front", 0);
+    front.methods.insert(
+        "Go".into(),
+        Behavior::build()
+            .compute(us(20), 1 << 10)
+            .call("b", "Work")
+            .done(),
+    );
     front
-        .methods
-        .insert("Go".into(), Behavior::build().compute(us(20), 1 << 10).call("b", "Work").done());
-    front.deps.insert("b".into(), DepBinding::Service { target: 0, client });
+        .deps
+        .insert("b".into(), DepBinding::Service { target: 0, client });
     spec.services.push(back);
     spec.services.push(front);
-    spec.entries.insert("front".into(), EntrySpec { service: 1, client: ClientSpec::local() });
+    spec.entries.insert(
+        "front".into(),
+        EntrySpec {
+            service: 1,
+            client: ClientSpec::local(),
+        },
+    );
     spec
 }
 
-fn run(s: &Scenario) -> (Vec<blueprint_simrt::Completion>, blueprint_simrt::metrics::Metrics) {
+fn run(
+    s: &Scenario,
+) -> (
+    Vec<blueprint_simrt::Completion>,
+    blueprint_simrt::metrics::Metrics,
+) {
     let spec = build(s);
-    let mut sim = Sim::new(&spec, SimConfig { seed: s.seed, ..Default::default() }).unwrap();
+    let mut sim = Sim::new(
+        &spec,
+        SimConfig {
+            seed: s.seed,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     for i in 0..s.n_requests {
         sim.submit("front", "Go", i % 64).unwrap();
         let t = sim.now() + us(s.gap_us);

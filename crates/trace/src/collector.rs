@@ -41,7 +41,10 @@ impl TraceCollector {
         let next = self.next_span.entry(trace).or_insert(0);
         let id = SpanId(*next);
         *next += 1;
-        let t = self.open.entry(trace).or_insert_with(|| Trace { id: trace, spans: Vec::new() });
+        let t = self.open.entry(trace).or_insert_with(|| Trace {
+            id: trace,
+            spans: Vec::new(),
+        });
         t.spans.push(Span {
             id,
             parent,

@@ -78,7 +78,10 @@ pub struct Sifter {
 impl Sifter {
     /// Creates a sampler with the given configuration.
     pub fn new(cfg: SifterConfig) -> Self {
-        assert!(cfg.ngram >= 3 && cfg.ngram % 2 == 1, "ngram must be odd and >= 3");
+        assert!(
+            cfg.ngram >= 3 && cfg.ngram % 2 == 1,
+            "ngram must be odd and >= 3"
+        );
         let rng = SmallRng::seed_from_u64(cfg.seed);
         Sifter {
             cfg,
@@ -93,7 +96,10 @@ impl Sifter {
 
     /// Creates a sampler with default configuration.
     pub fn with_seed(seed: u64) -> Self {
-        Sifter::new(SifterConfig { seed, ..SifterConfig::default() })
+        Sifter::new(SifterConfig {
+            seed,
+            ..SifterConfig::default()
+        })
     }
 
     fn token_id(&mut self, tok: &str) -> usize {
@@ -104,8 +110,12 @@ impl Sifter {
         self.vocab.insert(tok.to_string(), id);
         let dim = self.cfg.dim;
         // Small deterministic init derived from the RNG.
-        let emb: Vec<f32> = (0..dim).map(|_| (self.rng.gen::<f32>() - 0.5) / dim as f32).collect();
-        let out: Vec<f32> = (0..dim).map(|_| (self.rng.gen::<f32>() - 0.5) / dim as f32).collect();
+        let emb: Vec<f32> = (0..dim)
+            .map(|_| (self.rng.gen::<f32>() - 0.5) / dim as f32)
+            .collect();
+        let out: Vec<f32> = (0..dim)
+            .map(|_| (self.rng.gen::<f32>() - 0.5) / dim as f32)
+            .collect();
         self.emb.push(emb);
         self.out.push(out);
         id
@@ -132,7 +142,11 @@ impl Sifter {
             self.recent_losses.pop_front();
         }
         let sampled = self.rng.gen::<f64>() < probability;
-        SampleDecision { loss, probability, sampled }
+        SampleDecision {
+            loss,
+            probability,
+            sampled,
+        }
     }
 
     /// Convenience: observe a [`crate::span::Trace`].
@@ -154,8 +168,8 @@ impl Sifter {
     fn trace_loss_and_update(&mut self, ids: &[usize]) -> f64 {
         let n = self.cfg.ngram;
         if ids.len() < n {
-            // Degenerate short trace: give it the neutral loss 0.7 (≈ -ln σ(0)).
-            return 0.6931;
+            // Degenerate short trace: give it the neutral loss -ln σ(0) = ln 2.
+            return std::f64::consts::LN_2;
         }
         let half = n / 2;
         let dim = self.cfg.dim;
@@ -169,8 +183,8 @@ impl Sifter {
             let mut cnt = 0.0f32;
             for off in 1..=half {
                 for &tok in &[ids[mid - off], ids[mid + off]] {
-                    for d in 0..dim {
-                        ctx[d] += self.emb[tok][d];
+                    for (c, e) in ctx.iter_mut().zip(&self.emb[tok]) {
+                        *c += *e;
                     }
                     cnt += 1.0;
                 }
@@ -209,8 +223,8 @@ impl Sifter {
             // Propagate to context embeddings.
             for off in 1..=half {
                 for &tok in &[ids[mid - off], ids[mid + off]] {
-                    for d in 0..dim {
-                        self.emb[tok][d] -= ctx_grad[d] / cnt;
+                    for (e, g) in self.emb[tok].iter_mut().zip(&ctx_grad) {
+                        *e -= *g / cnt;
                     }
                 }
             }
@@ -234,10 +248,12 @@ mod tests {
     use super::*;
 
     fn common_tokens() -> Vec<String> {
-        ["+f:H", "+u:L", "-u:L", "+p:S", "+d:W", "-d:W", "-p:S", "-f:H"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "+f:H", "+u:L", "-u:L", "+p:S", "+d:W", "-d:W", "-p:S", "-f:H",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     }
 
     fn anomalous_tokens() -> Vec<String> {
@@ -259,7 +275,10 @@ mod tests {
         for _ in 0..300 {
             last = s.observe(&common_tokens()).loss;
         }
-        assert!(last < first * 0.7, "loss should shrink: first={first:.4} last={last:.4}");
+        assert!(
+            last < first * 0.7,
+            "loss should shrink: first={first:.4} last={last:.4}"
+        );
         assert_eq!(s.seen(), 301);
         assert!(s.vocab_size() >= 4);
     }
@@ -267,7 +286,10 @@ mod tests {
     #[test]
     fn anomalous_trace_spikes_probability() {
         let mut s = Sifter::with_seed(11);
-        for _ in 0..400 {
+        // 800 training passes puts the anomaly/common ratio well past the
+        // asserted 3x for any reasonable RNG stream (at 400 it sits near the
+        // threshold and flips with the generator's exact output).
+        for _ in 0..800 {
             s.observe(&common_tokens());
         }
         let common = s.observe(&common_tokens());
@@ -326,12 +348,15 @@ mod tests {
     fn short_traces_get_neutral_loss() {
         let mut s = Sifter::with_seed(1);
         let d = s.observe(&["+a".to_string()]);
-        assert!((d.loss - 0.6931).abs() < 1e-3);
+        assert!((d.loss - std::f64::consts::LN_2).abs() < 1e-3);
     }
 
     #[test]
     #[should_panic(expected = "ngram must be odd")]
     fn even_ngram_panics() {
-        let _ = Sifter::new(SifterConfig { ngram: 4, ..SifterConfig::default() });
+        let _ = Sifter::new(SifterConfig {
+            ngram: 4,
+            ..SifterConfig::default()
+        });
     }
 }

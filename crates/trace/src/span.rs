@@ -58,7 +58,10 @@ impl Trace {
 
     /// Child spans of `parent`, in creation order.
     pub fn children(&self, parent: SpanId) -> Vec<&Span> {
-        self.spans.iter().filter(|s| s.parent == Some(parent)).collect()
+        self.spans
+            .iter()
+            .filter(|s| s.parent == Some(parent))
+            .collect()
     }
 
     /// Whether any span errored.
@@ -74,7 +77,12 @@ impl Trace {
     /// Maximum span depth (root = 1; 0 for empty traces).
     pub fn depth(&self) -> usize {
         fn depth_of(t: &Trace, s: &Span) -> usize {
-            1 + t.children(s.id).iter().map(|c| depth_of(t, c)).max().unwrap_or(0)
+            1 + t
+                .children(s.id)
+                .iter()
+                .map(|c| depth_of(t, c))
+                .max()
+                .unwrap_or(0)
         }
         self.root().map(|r| depth_of(self, r)).unwrap_or(0)
     }
@@ -220,7 +228,10 @@ mod tests {
 
     #[test]
     fn empty_trace_is_harmless() {
-        let t = Trace { id: TraceId(0), spans: vec![] };
+        let t = Trace {
+            id: TraceId(0),
+            spans: vec![],
+        };
         assert_eq!(t.signature(), "");
         assert_eq!(t.depth(), 0);
         assert_eq!(t.latency_ns(), 0);

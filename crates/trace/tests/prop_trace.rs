@@ -14,7 +14,11 @@ fn random_tree(n: usize, seed: u64) -> Trace {
         state
     };
     for i in 0..n {
-        let parent = if i == 0 { None } else { Some(SpanId((next() % i as u64) as u32)) };
+        let parent = if i == 0 {
+            None
+        } else {
+            Some(SpanId((next() % i as u64) as u32))
+        };
         spans.push(Span {
             id: SpanId(i as u32),
             parent,
@@ -25,7 +29,10 @@ fn random_tree(n: usize, seed: u64) -> Trace {
             error: next() % 10 == 0,
         });
     }
-    Trace { id: TraceId(seed), spans }
+    Trace {
+        id: TraceId(seed),
+        spans,
+    }
 }
 
 proptest! {

@@ -120,7 +120,10 @@ pub struct WiringSpec {
 impl WiringSpec {
     /// Creates an empty wiring spec.
     pub fn new(app_name: impl Into<String>) -> Self {
-        WiringSpec { app_name: app_name.into(), decls: Vec::new() }
+        WiringSpec {
+            app_name: app_name.into(),
+            decls: Vec::new(),
+        }
     }
 
     /// Adds a declaration, checking name uniqueness and define-before-use.
@@ -164,7 +167,10 @@ impl WiringSpec {
             name: name.into(),
             callee: callee.into(),
             args,
-            kwargs: kwargs.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            kwargs: kwargs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
             server_modifiers: Vec::new(),
         })
     }
@@ -184,7 +190,10 @@ impl WiringSpec {
             name: name.into(),
             callee: callee.into(),
             args,
-            kwargs: kwargs.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            kwargs: kwargs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
             server_modifiers: server_modifiers.iter().map(|m| m.to_string()).collect(),
         })
     }
@@ -209,7 +218,11 @@ impl WiringSpec {
 
     /// Convenience: group instances into a container namespace.
     pub fn container(&mut self, name: &str, members: &[&str]) -> Result<()> {
-        self.define(name, "Container", members.iter().map(|m| Arg::r(m)).collect())
+        self.define(
+            name,
+            "Container",
+            members.iter().map(|m| Arg::r(m)).collect(),
+        )
     }
 
     /// Convenience: group instances into a process namespace.
@@ -268,16 +281,29 @@ mod tests {
         w.define("normal_deployer", "Docker", vec![]).unwrap();
         w.define("rpc_server", "GRPCServer", vec![]).unwrap();
         w.define("tracer", "ZipkinTracer", vec![]).unwrap();
-        w.define_kw("tracer_mod", "TracerModifier", vec![], vec![("tracer", Arg::r("tracer"))])
-            .unwrap();
+        w.define_kw(
+            "tracer_mod",
+            "TracerModifier",
+            vec![],
+            vec![("tracer", Arg::r("tracer"))],
+        )
+        .unwrap();
         w.define("post_cache", "Memcached", vec![]).unwrap();
         w.define("post_db", "MongoDB", vec![]).unwrap();
         w.define("user_db", "MongoDB", vec![]).unwrap();
         let mods = ["rpc_server", "normal_deployer", "tracer_mod"];
-        w.service("us", "UserServiceImpl", &["user_db"], &mods).unwrap();
-        w.service("ps", "PostStorageServiceImpl", &["post_cache", "post_db"], &mods).unwrap();
+        w.service("us", "UserServiceImpl", &["user_db"], &mods)
+            .unwrap();
+        w.service(
+            "ps",
+            "PostStorageServiceImpl",
+            &["post_cache", "post_db"],
+            &mods,
+        )
+        .unwrap();
         w.container("c1", &["ps", "post_cache"]).unwrap();
-        w.service("cs", "ComposePostServiceImpl", &["ps", "us"], &mods).unwrap();
+        w.service("cs", "ComposePostServiceImpl", &["ps", "us"], &mods)
+            .unwrap();
         w
     }
 
@@ -288,7 +314,10 @@ mod tests {
         assert_eq!(w.loc(), 11);
         assert_eq!(w.decls_with_callee("MongoDB").len(), 2);
         let cs = w.decl("cs").unwrap();
-        assert_eq!(cs.server_modifiers, vec!["rpc_server", "normal_deployer", "tracer_mod"]);
+        assert_eq!(
+            cs.server_modifiers,
+            vec!["rpc_server", "normal_deployer", "tracer_mod"]
+        );
         assert_eq!(cs.args, vec![Arg::r("ps"), Arg::r("us")]);
     }
 
@@ -330,6 +359,9 @@ mod tests {
         let mut w = fig3_spec();
         // Mutate an arg to reference a name declared later than the use site.
         w.decl_mut("us").unwrap().args[0] = Arg::r("cs");
-        assert!(matches!(w.validate().unwrap_err(), WiringError::UndefinedRef { .. }));
+        assert!(matches!(
+            w.validate().unwrap_err(),
+            WiringError::UndefinedRef { .. }
+        ));
     }
 }

@@ -39,7 +39,11 @@ pub fn line_diff(old: &str, new: &str) -> DiffStats {
     let a: Vec<&str> = old.lines().filter(|l| !l.trim().is_empty()).collect();
     let b: Vec<&str> = new.lines().filter(|l| !l.trim().is_empty()).collect();
     let lcs = lcs_len(&a, &b);
-    DiffStats { added: b.len() - lcs, removed: a.len() - lcs, unchanged: lcs }
+    DiffStats {
+        added: b.len() - lcs,
+        removed: a.len() - lcs,
+        unchanged: lcs,
+    }
 }
 
 /// Classic O(n·m) LCS length over line slices; wiring specs are tiny.
@@ -69,7 +73,8 @@ mod tests {
         w.define("deployer", "Docker", vec![]).unwrap();
         w.define("rpc", "GRPCServer", vec![]).unwrap();
         w.define("db", "MongoDB", vec![]).unwrap();
-        w.service("s", "Impl", &["db"], &["rpc", "deployer"]).unwrap();
+        w.service("s", "Impl", &["db"], &["rpc", "deployer"])
+            .unwrap();
         w
     }
 
@@ -94,8 +99,13 @@ mod tests {
     #[test]
     fn pure_addition() {
         let mut new = base();
-        new.define_kw("cb", "CircuitBreaker", vec![], vec![("threshold", Arg::Float(0.5))])
-            .unwrap();
+        new.define_kw(
+            "cb",
+            "CircuitBreaker",
+            vec![],
+            vec![("threshold", Arg::Float(0.5))],
+        )
+        .unwrap();
         let d = spec_diff(&base(), &new);
         assert_eq!(d.added, 1);
         assert_eq!(d.removed, 0);

@@ -64,8 +64,14 @@ impl std::fmt::Display for WiringError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WiringError::DuplicateName(n) => write!(f, "duplicate wiring instance `{n}`"),
-            WiringError::UndefinedRef { instance, referenced } => {
-                write!(f, "instance `{instance}` references undefined name `{referenced}`")
+            WiringError::UndefinedRef {
+                instance,
+                referenced,
+            } => {
+                write!(
+                    f,
+                    "instance `{instance}` references undefined name `{referenced}`"
+                )
             }
             WiringError::Parse { line, message } => {
                 write!(f, "wiring parse error (line {line}): {message}")

@@ -162,7 +162,9 @@ pub fn replicate(spec: &mut WiringSpec, instance: &str, count: i64) -> Result<St
         name: mod_name.clone(),
         callee: "Replicate".into(),
         args: vec![],
-        kwargs: [("count".to_string(), Arg::Int(count))].into_iter().collect(),
+        kwargs: [("count".to_string(), Arg::Int(count))]
+            .into_iter()
+            .collect(),
         server_modifiers: vec![],
     };
     spec.decls.insert(pos, decl);
@@ -216,11 +218,28 @@ mod tests {
         w.define("deployer", "Docker", vec![]).unwrap();
         w.define("rpc", "GRPCServer", vec![]).unwrap();
         w.define("tracer", "ZipkinTracer", vec![]).unwrap();
-        w.define_kw("tracer_mod", "TracerModifier", vec![], vec![("tracer", Arg::r("tracer"))])
-            .unwrap();
+        w.define_kw(
+            "tracer_mod",
+            "TracerModifier",
+            vec![],
+            vec![("tracer", Arg::r("tracer"))],
+        )
+        .unwrap();
         w.define("db", "MongoDB", vec![]).unwrap();
-        w.service("a", "AServiceImpl", &["db"], &["rpc", "deployer", "tracer_mod"]).unwrap();
-        w.service("b", "BServiceImpl", &["a"], &["rpc", "deployer", "tracer_mod"]).unwrap();
+        w.service(
+            "a",
+            "AServiceImpl",
+            &["db"],
+            &["rpc", "deployer", "tracer_mod"],
+        )
+        .unwrap();
+        w.service(
+            "b",
+            "BServiceImpl",
+            &["a"],
+            &["rpc", "deployer", "tracer_mod"],
+        )
+        .unwrap();
         w
     }
 
@@ -244,7 +263,12 @@ mod tests {
         remove_instance(&mut w, "tracer").unwrap();
         w.validate().unwrap();
         assert!(w.decl("tracer").is_none());
-        assert!(w.decl("a").unwrap().server_modifiers.iter().all(|m| m != "tracer_mod"));
+        assert!(w
+            .decl("a")
+            .unwrap()
+            .server_modifiers
+            .iter()
+            .all(|m| m != "tracer_mod"));
         let d = spec_diff(&base(), &w);
         // 2 removed declarations + 2 rewritten service lines.
         assert_eq!(d.removed, 4);
@@ -259,7 +283,14 @@ mod tests {
         w.validate().unwrap();
         let a = w.decl("a").unwrap();
         assert!(a.server_modifiers.contains(&"a_replicas".to_string()));
-        assert_eq!(w.decl("a_replicas").unwrap().kwarg("count").unwrap().as_int(), Some(3));
+        assert_eq!(
+            w.decl("a_replicas")
+                .unwrap()
+                .kwarg("count")
+                .unwrap()
+                .as_int(),
+            Some(3)
+        );
         // Only 1 added declaration + 1 rewritten service line.
         let d = spec_diff(&base(), &w);
         assert_eq!(d.added, 2);
@@ -286,7 +317,15 @@ mod tests {
         w.define("cb", "CircuitBreaker", vec![]).unwrap();
         add_modifier_to_all_services(&mut w, "cb").unwrap();
         add_modifier_to_all_services(&mut w, "cb").unwrap();
-        assert_eq!(w.decl("a").unwrap().server_modifiers.iter().filter(|m| *m == "cb").count(), 1);
+        assert_eq!(
+            w.decl("a")
+                .unwrap()
+                .server_modifiers
+                .iter()
+                .filter(|m| *m == "cb")
+                .count(),
+            1
+        );
         assert_eq!(w.decl("b").unwrap().server_modifiers.last().unwrap(), "cb");
     }
 

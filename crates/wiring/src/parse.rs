@@ -51,7 +51,10 @@ pub fn parse_with_defines(src: &str, defines: &[&str]) -> Result<WiringSpec> {
                 line: lineno,
                 message: format!("duplicate instance `{n}`"),
             },
-            WiringError::UndefinedRef { instance, referenced } => WiringError::Parse {
+            WiringError::UndefinedRef {
+                instance,
+                referenced,
+            } => WiringError::Parse {
                 line: lineno,
                 message: format!("`{instance}` references undefined `{referenced}`"),
             },
@@ -91,27 +94,27 @@ fn preprocess(src: &str, defines: &[&str]) -> Result<Vec<(usize, String)>> {
             let directive = parts.next().unwrap_or("");
             let body = parts.next().unwrap_or("").trim();
             match directive {
-                "define" => {
-                    if active {
-                        let mut dp = body.splitn(2, char::is_whitespace);
-                        let name = dp.next().unwrap_or("").trim();
-                        if name.is_empty() || !is_ident(name) {
-                            return Err(WiringError::Macro {
-                                line: lineno,
-                                message: "#define needs an identifier".into(),
-                            });
-                        }
-                        macros.insert(name.to_string(), dp.next().unwrap_or("").trim().to_string());
+                "define" if active => {
+                    let mut dp = body.splitn(2, char::is_whitespace);
+                    let name = dp.next().unwrap_or("").trim();
+                    if name.is_empty() || !is_ident(name) {
+                        return Err(WiringError::Macro {
+                            line: lineno,
+                            message: "#define needs an identifier".into(),
+                        });
                     }
+                    macros.insert(name.to_string(), dp.next().unwrap_or("").trim().to_string());
                 }
-                "undef" => {
-                    if active {
-                        macros.remove(body);
-                    }
+                "undef" if active => {
+                    macros.remove(body);
                 }
                 "ifdef" | "ifndef" => {
                     let defined = macros.contains_key(body);
-                    let taken = if directive == "ifdef" { defined } else { !defined };
+                    let taken = if directive == "ifdef" {
+                        defined
+                    } else {
+                        !defined
+                    };
                     cond.push((taken, false, lineno));
                 }
                 "else" => match cond.last_mut() {
@@ -127,7 +130,8 @@ fn preprocess(src: &str, defines: &[&str]) -> Result<Vec<(usize, String)>> {
                     }
                 },
                 "endif" => {
-                    if cond.pop().is_none() {
+                    let closed = cond.pop();
+                    if closed.is_none() {
                         return Err(WiringError::Macro {
                             line: lineno,
                             message: "#endif without matching #ifdef".into(),
@@ -146,7 +150,10 @@ fn preprocess(src: &str, defines: &[&str]) -> Result<Vec<(usize, String)>> {
         }
     }
     if let Some((_, _, line)) = cond.last() {
-        return Err(WiringError::Macro { line: *line, message: "unterminated #ifdef".into() });
+        return Err(WiringError::Macro {
+            line: *line,
+            message: "unterminated #ifdef".into(),
+        });
     }
     Ok(out)
 }
@@ -171,7 +178,9 @@ fn strip_comment(line: &str) -> &str {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -247,11 +256,15 @@ fn lex(line: &str, lineno: usize) -> Result<Vec<Tok>> {
                 i += 1;
             }
             toks.push(Tok::Ident(chars[start..i].iter().collect()));
-        } else if c.is_ascii_digit() || (c == '-' && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())) {
+        } else if c.is_ascii_digit()
+            || (c == '-' && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit()))
+        {
             let start = i;
             i += 1;
             let mut is_float = false;
-            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == '_') {
+            while i < chars.len()
+                && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == '_')
+            {
                 if chars[i] == '.' {
                     is_float = true;
                 }
@@ -334,7 +347,10 @@ impl<'a> P<'a> {
     }
 
     fn err(&self, message: String) -> WiringError {
-        WiringError::Parse { line: self.line, message }
+        WiringError::Parse {
+            line: self.line,
+            message,
+        }
     }
 }
 
@@ -392,7 +408,10 @@ fn flatten_list(args: Vec<Arg>) -> Vec<Arg> {
     args
 }
 
-fn parse_args(p: &mut P<'_>, close: char) -> Result<(Vec<Arg>, Vec<(String, Arg)>)> {
+/// Positional arguments plus `key=value` pairs in declaration order.
+type ParsedArgs = (Vec<Arg>, Vec<(String, Arg)>);
+
+fn parse_args(p: &mut P<'_>, close: char) -> Result<ParsedArgs> {
     let mut args = Vec::new();
     let mut kwargs = Vec::new();
     loop {
@@ -405,7 +424,8 @@ fn parse_args(p: &mut P<'_>, close: char) -> Result<(Vec<Arg>, Vec<(String, Arg)
             _ => {}
         }
         // Keyword argument: IDENT '=' arg.
-        if let (Some(Tok::Ident(k)), Some(Tok::Sym('='))) = (p.toks.get(p.pos), p.toks.get(p.pos + 1))
+        if let (Some(Tok::Ident(k)), Some(Tok::Sym('='))) =
+            (p.toks.get(p.pos), p.toks.get(p.pos + 1))
         {
             let key = k.clone();
             p.pos += 2;
@@ -479,7 +499,10 @@ cs = ComposePostServiceImpl(ps, us).with_server(SERVER_MODS)
         let cs = spec.decl("cs").unwrap();
         assert_eq!(cs.callee, "ComposePostServiceImpl");
         assert_eq!(cs.args, vec![Arg::r("ps"), Arg::r("us")]);
-        assert_eq!(cs.server_modifiers, vec!["rpc_server", "normal_deployer", "tracer_mod"]);
+        assert_eq!(
+            cs.server_modifiers,
+            vec!["rpc_server", "normal_deployer", "tracer_mod"]
+        );
         let tm = spec.decl("tracer_mod").unwrap();
         assert_eq!(tm.kwarg("tracer").unwrap(), &Arg::r("tracer"));
     }
@@ -497,7 +520,15 @@ rpc = GRPCServer()
         assert_eq!(grpc.decl("rpc").unwrap().callee, "GRPCServer");
         let thrift = parse_with_defines(src, &["USE_THRIFT"]).unwrap();
         assert_eq!(thrift.decl("rpc").unwrap().callee, "ThriftServer");
-        assert_eq!(thrift.decl("rpc").unwrap().kwarg("clientpool").unwrap().as_int(), Some(4));
+        assert_eq!(
+            thrift
+                .decl("rpc")
+                .unwrap()
+                .kwarg("clientpool")
+                .unwrap()
+                .as_int(),
+            Some(4)
+        );
     }
 
     #[test]
@@ -532,7 +563,10 @@ cacheN = Memcached(shards=N)
 x = Docker(image="IMG latest")
 "#;
         let spec = parse(src).unwrap();
-        assert_eq!(spec.decl("x").unwrap().kwarg("image").unwrap().as_str(), Some("IMG latest"));
+        assert_eq!(
+            spec.decl("x").unwrap().kwarg("image").unwrap().as_str(),
+            Some("IMG latest")
+        );
     }
 
     #[test]
@@ -554,7 +588,10 @@ x = Docker(image="IMG latest")
         assert_eq!(x.args[4], Arg::Bool(true));
         assert_eq!(x.args[5], Arg::Bool(false));
         assert_eq!(x.args[6], Arg::List(vec![Arg::Int(1), Arg::Int(2)]));
-        assert_eq!(x.kwarg("nested").unwrap(), &Arg::List(vec![Arg::r("a_ref")]));
+        assert_eq!(
+            x.kwarg("nested").unwrap(),
+            &Arg::List(vec![Arg::r("a_ref")])
+        );
     }
 
     #[test]
@@ -580,6 +617,9 @@ x = Docker(image="IMG latest")
     fn with_server_variadic_equals_list() {
         let a = parse("m = Docker()\ns = Impl().with_server([m])").unwrap();
         let b = parse("m = Docker()\ns = Impl().with_server(m)").unwrap();
-        assert_eq!(a.decl("s").unwrap().server_modifiers, b.decl("s").unwrap().server_modifiers);
+        assert_eq!(
+            a.decl("s").unwrap().server_modifiers,
+            b.decl("s").unwrap().server_modifiers
+        );
     }
 }

@@ -79,7 +79,12 @@ mod tests {
         w.define_kw(
             "t",
             "ThriftServer",
-            vec![Arg::Int(3), Arg::Float(2.0), Arg::Str("x".into()), Arg::Bool(true)],
+            vec![
+                Arg::Int(3),
+                Arg::Float(2.0),
+                Arg::Str("x".into()),
+                Arg::Bool(true),
+            ],
             vec![("pool", Arg::Int(16)), ("mode", Arg::Str("fast".into()))],
         )
         .unwrap();
@@ -99,7 +104,13 @@ mod tests {
     fn render_decl_shape_matches_fig3_style() {
         let mut w = WiringSpec::new("x");
         w.define("tracer", "ZipkinTracer", vec![]).unwrap();
-        w.define_kw("tm", "TracerModifier", vec![], vec![("tracer", Arg::r("tracer"))]).unwrap();
+        w.define_kw(
+            "tm",
+            "TracerModifier",
+            vec![],
+            vec![("tracer", Arg::r("tracer"))],
+        )
+        .unwrap();
         w.service("us", "UserServiceImpl", &[], &["tm"]).unwrap();
         let text = render(&w);
         assert!(text.contains("tm = TracerModifier(tracer=tracer)"));

@@ -74,11 +74,22 @@ pub fn cache_interface() -> ServiceInterface {
         vec![
             MethodSig::new(
                 "Put",
-                vec![Param::new("key", TypeRef::Bytes), Param::new("value", TypeRef::Bytes)],
+                vec![
+                    Param::new("key", TypeRef::Bytes),
+                    Param::new("value", TypeRef::Bytes),
+                ],
                 TypeRef::Unit,
             ),
-            MethodSig::new("Get", vec![Param::new("key", TypeRef::Bytes)], TypeRef::Bytes),
-            MethodSig::new("Delete", vec![Param::new("key", TypeRef::Bytes)], TypeRef::Unit),
+            MethodSig::new(
+                "Get",
+                vec![Param::new("key", TypeRef::Bytes)],
+                TypeRef::Bytes,
+            ),
+            MethodSig::new(
+                "Delete",
+                vec![Param::new("key", TypeRef::Bytes)],
+                TypeRef::Unit,
+            ),
             MethodSig::new("Flush", vec![], TypeRef::Unit),
         ],
     )
@@ -119,17 +130,26 @@ pub fn nosql_interface() -> ServiceInterface {
         vec![
             MethodSig::new(
                 "InsertOne",
-                vec![Param::new("collection", TypeRef::Str), Param::new("doc", doc.clone())],
+                vec![
+                    Param::new("collection", TypeRef::Str),
+                    Param::new("doc", doc.clone()),
+                ],
                 TypeRef::Unit,
             ),
             MethodSig::new(
                 "FindOne",
-                vec![Param::new("collection", TypeRef::Str), Param::new("filter", doc.clone())],
+                vec![
+                    Param::new("collection", TypeRef::Str),
+                    Param::new("filter", doc.clone()),
+                ],
                 doc.clone(),
             ),
             MethodSig::new(
                 "FindMany",
-                vec![Param::new("collection", TypeRef::Str), Param::new("filter", doc.clone())],
+                vec![
+                    Param::new("collection", TypeRef::Str),
+                    Param::new("filter", doc.clone()),
+                ],
                 TypeRef::List(Box::new(doc.clone())),
             ),
             MethodSig::new(
@@ -143,7 +163,10 @@ pub fn nosql_interface() -> ServiceInterface {
             ),
             MethodSig::new(
                 "DeleteOne",
-                vec![Param::new("collection", TypeRef::Str), Param::new("filter", doc)],
+                vec![
+                    Param::new("collection", TypeRef::Str),
+                    Param::new("filter", doc),
+                ],
                 TypeRef::Unit,
             ),
         ],
@@ -158,17 +181,31 @@ pub fn reldb_interface() -> ServiceInterface {
         vec![
             MethodSig::new(
                 "Query",
-                vec![Param::new("sql", TypeRef::Str), Param::new("args", TypeRef::List(Box::new(TypeRef::Bytes)))],
+                vec![
+                    Param::new("sql", TypeRef::Str),
+                    Param::new("args", TypeRef::List(Box::new(TypeRef::Bytes))),
+                ],
                 TypeRef::List(Box::new(row)),
             ),
             MethodSig::new(
                 "Exec",
-                vec![Param::new("sql", TypeRef::Str), Param::new("args", TypeRef::List(Box::new(TypeRef::Bytes)))],
+                vec![
+                    Param::new("sql", TypeRef::Str),
+                    Param::new("args", TypeRef::List(Box::new(TypeRef::Bytes))),
+                ],
                 TypeRef::I64,
             ),
             MethodSig::new("Begin", vec![], TypeRef::I64),
-            MethodSig::new("Commit", vec![Param::new("tx", TypeRef::I64)], TypeRef::Unit),
-            MethodSig::new("Rollback", vec![Param::new("tx", TypeRef::I64)], TypeRef::Unit),
+            MethodSig::new(
+                "Commit",
+                vec![Param::new("tx", TypeRef::I64)],
+                TypeRef::Unit,
+            ),
+            MethodSig::new(
+                "Rollback",
+                vec![Param::new("tx", TypeRef::I64)],
+                TypeRef::Unit,
+            ),
         ],
     )
 }
@@ -180,10 +217,17 @@ pub fn queue_interface() -> ServiceInterface {
         vec![
             MethodSig::new(
                 "Send",
-                vec![Param::new("topic", TypeRef::Str), Param::new("msg", TypeRef::Bytes)],
+                vec![
+                    Param::new("topic", TypeRef::Str),
+                    Param::new("msg", TypeRef::Bytes),
+                ],
                 TypeRef::Unit,
             ),
-            MethodSig::new("Recv", vec![Param::new("topic", TypeRef::Str)], TypeRef::Bytes),
+            MethodSig::new(
+                "Recv",
+                vec![Param::new("topic", TypeRef::Str)],
+                TypeRef::Bytes,
+            ),
         ],
     )
 }
@@ -195,17 +239,35 @@ pub fn tracer_interface() -> ServiceInterface {
         vec![
             MethodSig::new(
                 "StartSpan",
-                vec![Param::new("name", TypeRef::Str), Param::new("parent", TypeRef::Bytes)],
+                vec![
+                    Param::new("name", TypeRef::Str),
+                    Param::new("parent", TypeRef::Bytes),
+                ],
                 TypeRef::Bytes,
             ),
-            MethodSig::new("EndSpan", vec![Param::new("span", TypeRef::Bytes)], TypeRef::Unit),
             MethodSig::new(
-                "RecordError",
-                vec![Param::new("span", TypeRef::Bytes), Param::new("msg", TypeRef::Str)],
+                "EndSpan",
+                vec![Param::new("span", TypeRef::Bytes)],
                 TypeRef::Unit,
             ),
-            MethodSig::new("Extract", vec![Param::new("carrier", TypeRef::Bytes)], TypeRef::Bytes),
-            MethodSig::new("Inject", vec![Param::new("span", TypeRef::Bytes)], TypeRef::Bytes),
+            MethodSig::new(
+                "RecordError",
+                vec![
+                    Param::new("span", TypeRef::Bytes),
+                    Param::new("msg", TypeRef::Str),
+                ],
+                TypeRef::Unit,
+            ),
+            MethodSig::new(
+                "Extract",
+                vec![Param::new("carrier", TypeRef::Bytes)],
+                TypeRef::Bytes,
+            ),
+            MethodSig::new(
+                "Inject",
+                vec![Param::new("span", TypeRef::Bytes)],
+                TypeRef::Bytes,
+            ),
         ],
     )
 }

@@ -189,7 +189,9 @@ impl Behavior {
                         b.collect_deps(out);
                     }
                 }
-                Step::Branch { then, otherwise, .. } => {
+                Step::Branch {
+                    then, otherwise, ..
+                } => {
                     then.collect_deps(out);
                     otherwise.collect_deps(out);
                 }
@@ -216,7 +218,9 @@ impl Behavior {
                         b.collect_calls(out);
                     }
                 }
-                Step::Branch { then, otherwise, .. } => {
+                Step::Branch {
+                    then, otherwise, ..
+                } => {
                     then.collect_calls(out);
                     otherwise.collect_calls(out);
                 }
@@ -233,7 +237,9 @@ impl Behavior {
             .iter()
             .map(|s| match s {
                 Step::Parallel(bs) => 1 + bs.iter().map(Behavior::size).sum::<usize>(),
-                Step::Branch { then, otherwise, .. } => 1 + then.size() + otherwise.size(),
+                Step::Branch {
+                    then, otherwise, ..
+                } => 1 + then.size() + otherwise.size(),
                 Step::Repeat { body, .. } => 1 + body.size(),
                 Step::CacheGetOrFetch { on_miss, .. } => 1 + on_miss.size(),
                 _ => 1,
@@ -251,55 +257,89 @@ pub struct BehaviorBuilder {
 impl BehaviorBuilder {
     /// Appends a compute step.
     pub fn compute(mut self, cpu_ns: u64, alloc_bytes: u64) -> Self {
-        self.steps.push(Step::Compute { cpu_ns, alloc_bytes });
+        self.steps.push(Step::Compute {
+            cpu_ns,
+            alloc_bytes,
+        });
         self
     }
 
     /// Appends a service call step.
     pub fn call(mut self, dep: &str, method: &str) -> Self {
-        self.steps.push(Step::Call { dep: dep.into(), method: method.into() });
+        self.steps.push(Step::Call {
+            dep: dep.into(),
+            method: method.into(),
+        });
         self
     }
 
     /// Appends a cache get.
     pub fn cache_get(mut self, dep: &str, key: KeyExpr) -> Self {
-        self.steps.push(Step::Cache { dep: dep.into(), op: CacheOp::Get, key });
+        self.steps.push(Step::Cache {
+            dep: dep.into(),
+            op: CacheOp::Get,
+            key,
+        });
         self
     }
 
     /// Appends a cache put.
     pub fn cache_put(mut self, dep: &str, key: KeyExpr) -> Self {
-        self.steps.push(Step::Cache { dep: dep.into(), op: CacheOp::Put, key });
+        self.steps.push(Step::Cache {
+            dep: dep.into(),
+            op: CacheOp::Put,
+            key,
+        });
         self
     }
 
     /// Appends an arbitrary cache operation.
     pub fn cache_op(mut self, dep: &str, op: CacheOp, key: KeyExpr) -> Self {
-        self.steps.push(Step::Cache { dep: dep.into(), op, key });
+        self.steps.push(Step::Cache {
+            dep: dep.into(),
+            op,
+            key,
+        });
         self
     }
 
     /// Appends a cache-aside get-or-fetch.
     pub fn cache_get_or_fetch(mut self, cache: &str, key: KeyExpr, on_miss: Behavior) -> Self {
-        self.steps.push(Step::CacheGetOrFetch { cache: cache.into(), key, on_miss });
+        self.steps.push(Step::CacheGetOrFetch {
+            cache: cache.into(),
+            key,
+            on_miss,
+        });
         self
     }
 
     /// Appends a DB read.
     pub fn db_read(mut self, dep: &str, key: KeyExpr) -> Self {
-        self.steps.push(Step::Db { dep: dep.into(), op: DbOp::Read, key });
+        self.steps.push(Step::Db {
+            dep: dep.into(),
+            op: DbOp::Read,
+            key,
+        });
         self
     }
 
     /// Appends a DB write.
     pub fn db_write(mut self, dep: &str, key: KeyExpr) -> Self {
-        self.steps.push(Step::Db { dep: dep.into(), op: DbOp::Write, key });
+        self.steps.push(Step::Db {
+            dep: dep.into(),
+            op: DbOp::Write,
+            key,
+        });
         self
     }
 
     /// Appends a DB scan.
     pub fn db_scan(mut self, dep: &str, key: KeyExpr, items: u32) -> Self {
-        self.steps.push(Step::Db { dep: dep.into(), op: DbOp::Scan { items }, key });
+        self.steps.push(Step::Db {
+            dep: dep.into(),
+            op: DbOp::Scan { items },
+            key,
+        });
         self
     }
 
@@ -323,7 +363,11 @@ impl BehaviorBuilder {
 
     /// Appends a probabilistic branch.
     pub fn branch(mut self, prob: f64, then: Behavior, otherwise: Behavior) -> Self {
-        self.steps.push(Step::Branch { prob, then, otherwise });
+        self.steps.push(Step::Branch {
+            prob,
+            then,
+            otherwise,
+        });
         self
     }
 
@@ -403,7 +447,10 @@ mod tests {
                 Behavior::build().call("a", "X").done(),
                 Behavior::build().queue_push("q").done(),
             )
-            .repeat(3, Behavior::build().cache_get("c", KeyExpr::Const(1)).done())
+            .repeat(
+                3,
+                Behavior::build().cache_get("c", KeyExpr::Const(1)).done(),
+            )
             .done();
         let deps = b.dep_uses();
         assert!(deps.contains(&("a", "service")));

@@ -20,7 +20,10 @@ pub struct ServiceInterface {
 impl ServiceInterface {
     /// Creates an interface.
     pub fn new(name: impl Into<String>, methods: Vec<MethodSig>) -> Self {
-        ServiceInterface { name: name.into(), methods }
+        ServiceInterface {
+            name: name.into(),
+            methods,
+        }
     }
 
     /// Looks a method up by name.
@@ -64,7 +67,10 @@ mod tests {
             vec![
                 MethodSig::new(
                     "ComposePost",
-                    vec![Param::new("reqID", TypeRef::I64), Param::new("text", TypeRef::Str)],
+                    vec![
+                        Param::new("reqID", TypeRef::I64),
+                        Param::new("text", TypeRef::Str),
+                    ],
                     TypeRef::Unit,
                 ),
                 MethodSig::new("Health", vec![], TypeRef::Bool),

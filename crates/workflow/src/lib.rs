@@ -75,21 +75,36 @@ pub enum WorkflowError {
 impl std::fmt::Display for WorkflowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            WorkflowError::UnknownDep { service, method, dep } => {
+            WorkflowError::UnknownDep {
+                service,
+                method,
+                dep,
+            } => {
                 write!(
                     f,
                     "{service}.{method}: undeclared dependency `{dep}` \
                      (services may only use constructor-injected dependencies)"
                 )
             }
-            WorkflowError::DepKindMismatch { service, dep, expected, found } => {
-                write!(f, "{service}: dependency `{dep}` is a {found}, expected {expected}")
+            WorkflowError::DepKindMismatch {
+                service,
+                dep,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "{service}: dependency `{dep}` is a {found}, expected {expected}"
+                )
             }
             WorkflowError::UnknownMethod { service, method } => {
                 write!(f, "{service}: behavior for `{method}` not in interface")
             }
             WorkflowError::MissingBehavior { service, method } => {
-                write!(f, "{service}: interface method `{method}` has no implementation")
+                write!(
+                    f,
+                    "{service}: interface method `{method}` has no implementation"
+                )
             }
             WorkflowError::Invalid(m) => write!(f, "invalid workflow spec: {m}"),
         }

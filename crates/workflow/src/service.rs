@@ -127,18 +127,29 @@ pub struct ServiceBuilder {
 impl ServiceBuilder {
     /// Starts building an implementation of `interface`.
     pub fn new(name: impl Into<String>, interface: ServiceInterface) -> Self {
-        ServiceBuilder { name: name.into(), interface, deps: Vec::new(), behaviors: BTreeMap::new() }
+        ServiceBuilder {
+            name: name.into(),
+            interface,
+            deps: Vec::new(),
+            behaviors: BTreeMap::new(),
+        }
     }
 
     /// Declares a dependency on another service by interface name.
     pub fn dep_service(mut self, name: &str, interface: &str) -> Self {
-        self.deps.push(DepDecl { name: name.into(), kind: DepKind::Service(interface.into()) });
+        self.deps.push(DepDecl {
+            name: name.into(),
+            kind: DepKind::Service(interface.into()),
+        });
         self
     }
 
     /// Declares a dependency on a backend.
     pub fn dep_backend(mut self, name: &str, kind: BackendKind) -> Self {
-        self.deps.push(DepDecl { name: name.into(), kind: DepKind::Backend(kind) });
+        self.deps.push(DepDecl {
+            name: name.into(),
+            kind: DepKind::Backend(kind),
+        });
         self
     }
 
@@ -239,11 +250,17 @@ mod tests {
     fn dep_kind_mismatch_rejected() {
         let err = ServiceBuilder::new("S", iface())
             .dep_cache("thing")
-            .method("StorePost", Behavior::build().db_write("thing", KeyExpr::Entity).done())
+            .method(
+                "StorePost",
+                Behavior::build().db_write("thing", KeyExpr::Entity).done(),
+            )
             .method("ReadPost", Behavior::empty())
             .done()
             .unwrap_err();
-        assert!(matches!(err, WorkflowError::DepKindMismatch { .. }), "{err}");
+        assert!(
+            matches!(err, WorkflowError::DepKindMismatch { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -252,7 +269,10 @@ mod tests {
             .method("StorePost", Behavior::empty())
             .done()
             .unwrap_err();
-        assert!(matches!(err, WorkflowError::MissingBehavior { .. }), "{err}");
+        assert!(
+            matches!(err, WorkflowError::MissingBehavior { .. }),
+            "{err}"
+        );
     }
 
     #[test]

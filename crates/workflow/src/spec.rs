@@ -20,7 +20,10 @@ pub struct WorkflowSpec {
 impl WorkflowSpec {
     /// Creates an empty spec.
     pub fn new(name: impl Into<String>) -> Self {
-        WorkflowSpec { name: name.into(), services: BTreeMap::new() }
+        WorkflowSpec {
+            name: name.into(),
+            services: BTreeMap::new(),
+        }
     }
 
     /// Adds a service implementation.
@@ -43,7 +46,10 @@ impl WorkflowSpec {
 
     /// Finds the implementations of a given interface name.
     pub fn impls_of(&self, interface: &str) -> Vec<&ServiceImpl> {
-        self.services.values().filter(|s| s.interface.name == interface).collect()
+        self.services
+            .values()
+            .filter(|s| s.interface.name == interface)
+            .collect()
     }
 
     /// Validates cross-service consistency:
@@ -70,7 +76,9 @@ impl WorkflowSpec {
                 for (dep, called) in behavior.calls() {
                     let Some(decl) = svc.dep(dep) else { continue };
                     if let DepKind::Service(iface) = &decl.kind {
-                        let Some(target) = self.impls_of(iface).first().copied() else { continue };
+                        let Some(target) = self.impls_of(iface).first().copied() else {
+                            continue;
+                        };
                         if !target.interface.has_method(called) {
                             return Err(WorkflowError::Invalid(format!(
                                 "{}.{method}: calls {dep}.{called}, but interface {iface} \
@@ -87,7 +95,10 @@ impl WorkflowSpec {
 
     /// Total number of interface methods across all services.
     pub fn method_count(&self) -> usize {
-        self.services.values().map(|s| s.interface.methods.len()).sum()
+        self.services
+            .values()
+            .map(|s| s.interface.methods.len())
+            .sum()
     }
 
     /// Total behavior size (step count) across all services — a rough
@@ -122,7 +133,8 @@ mod tests {
     #[test]
     fn spec_with_resolved_deps_validates() {
         let mut spec = WorkflowSpec::new("app");
-        spec.add_service(leaf("UserServiceImpl", "UserService", "Login")).unwrap();
+        spec.add_service(leaf("UserServiceImpl", "UserService", "Login"))
+            .unwrap();
         let front = ServiceBuilder::new(
             "FrontendImpl",
             ServiceInterface::new(
@@ -157,13 +169,18 @@ mod tests {
         .unwrap();
         spec.add_service(front).unwrap();
         let err = spec.validate().unwrap_err();
-        assert!(err.to_string().contains("no service in the spec implements"), "{err}");
+        assert!(
+            err.to_string()
+                .contains("no service in the spec implements"),
+            "{err}"
+        );
     }
 
     #[test]
     fn bad_target_method_rejected() {
         let mut spec = WorkflowSpec::new("app");
-        spec.add_service(leaf("UserServiceImpl", "UserService", "Login")).unwrap();
+        spec.add_service(leaf("UserServiceImpl", "UserService", "Login"))
+            .unwrap();
         let front = ServiceBuilder::new(
             "FrontendImpl",
             ServiceInterface::new(

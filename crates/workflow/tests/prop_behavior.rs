@@ -2,16 +2,21 @@
 
 use blueprint_ir::types::{MethodSig, TypeRef};
 use blueprint_workflow::{
-    Behavior, BackendKind, KeyExpr, ServiceBuilder, ServiceInterface, Step, WorkflowSpec,
+    BackendKind, Behavior, KeyExpr, ServiceBuilder, ServiceInterface, Step, WorkflowSpec,
 };
 use proptest::prelude::*;
 
 /// Generates random (possibly nested) behaviors over a fixed dep vocabulary.
 fn behavior(depth: u32) -> BoxedStrategy<Behavior> {
     let leaf_step = prop_oneof![
-        (1_000u64..1_000_000, 0u64..65_536)
-            .prop_map(|(cpu_ns, alloc_bytes)| Step::Compute { cpu_ns, alloc_bytes }),
-        Just(Step::Call { dep: "svc".into(), method: "M".into() }),
+        (1_000u64..1_000_000, 0u64..65_536).prop_map(|(cpu_ns, alloc_bytes)| Step::Compute {
+            cpu_ns,
+            alloc_bytes
+        }),
+        Just(Step::Call {
+            dep: "svc".into(),
+            method: "M".into()
+        }),
         Just(Step::Cache {
             dep: "cache".into(),
             op: blueprint_workflow::CacheOp::Get,
@@ -34,8 +39,13 @@ fn behavior(depth: u32) -> BoxedStrategy<Behavior> {
         let nested = prop_oneof![
             leaf_step.clone(),
             proptest::collection::vec(inner.clone(), 1..3).prop_map(Step::Parallel),
-            (0.0f64..1.0, inner.clone(), inner.clone())
-                .prop_map(|(prob, then, otherwise)| Step::Branch { prob, then, otherwise }),
+            (0.0f64..1.0, inner.clone(), inner.clone()).prop_map(|(prob, then, otherwise)| {
+                Step::Branch {
+                    prob,
+                    then,
+                    otherwise,
+                }
+            }),
             (1u32..4, inner.clone()).prop_map(|(times, body)| Step::Repeat { times, body }),
             inner.clone().prop_map(|on_miss| Step::CacheGetOrFetch {
                 cache: "cache".into(),
@@ -43,7 +53,9 @@ fn behavior(depth: u32) -> BoxedStrategy<Behavior> {
                 on_miss
             }),
         ];
-        proptest::collection::vec(nested, 0..5).prop_map(|steps| Behavior { steps }).boxed()
+        proptest::collection::vec(nested, 0..5)
+            .prop_map(|steps| Behavior { steps })
+            .boxed()
     }
 }
 

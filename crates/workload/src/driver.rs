@@ -3,7 +3,7 @@
 //! evaluation).
 
 use blueprint_simrt::time::SimTime;
-use blueprint_simrt::{Sim, SimError};
+use blueprint_simrt::{EntryHandle, Sim, SimError};
 
 use crate::generator::OpenLoopGen;
 use crate::recorder::Recorder;
@@ -31,15 +31,20 @@ pub enum Action {
 impl std::fmt::Debug for Action {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Action::CpuHog { host, cores, duration_ns } => f
+            Action::CpuHog {
+                host,
+                cores,
+                duration_ns,
+            } => f
                 .debug_struct("CpuHog")
                 .field("host", host)
                 .field("cores", cores)
                 .field("duration_ns", duration_ns)
                 .finish(),
-            Action::CacheFlush { backend } => {
-                f.debug_struct("CacheFlush").field("backend", backend).finish()
-            }
+            Action::CacheFlush { backend } => f
+                .debug_struct("CacheFlush")
+                .field("backend", backend)
+                .finish(),
             Action::Custom(_) => f.write_str("Custom(..)"),
         }
     }
@@ -99,21 +104,40 @@ pub fn run_experiment(sim: &mut Sim, spec: ExperimentSpec) -> Result<Recorder, S
     let mut actions = actions.into_iter().peekable();
     let end = spec.generator.duration_ns();
 
+    // Entry points are few; resolve each (entry, method) pair once and
+    // submit through handles so the per-arrival path does no name lookups.
+    let mut handles: Vec<(String, String, EntryHandle)> = Vec::new();
+
     for arrival in spec.generator {
         // Execute actions due before this arrival.
-        while actions.peek().map(|(t, _)| *t <= arrival.at_ns).unwrap_or(false) {
+        while actions
+            .peek()
+            .map(|(t, _)| *t <= arrival.at_ns)
+            .unwrap_or(false)
+        {
             let (t, action) = actions.next().expect("peeked");
             sim.run_until(t);
             apply(sim, action)?;
         }
         sim.run_until(arrival.at_ns);
-        sim.submit(&arrival.entry, &arrival.method, arrival.entity)?;
+        let handle = match handles
+            .iter()
+            .find(|(e, m, _)| *e == arrival.entry && *m == arrival.method)
+        {
+            Some((_, _, h)) => *h,
+            None => {
+                let h = sim.entry_handle(&arrival.entry, &arrival.method)?;
+                handles.push((arrival.entry.clone(), arrival.method.clone(), h));
+                h
+            }
+        };
+        sim.submit_handle(handle, arrival.entity)?;
         for c in sim.drain_completions() {
             recorder.record(&c);
         }
     }
     // Remaining actions, then drain.
-    while let Some((t, action)) = actions.next() {
+    for (t, action) in actions {
         sim.run_until(t);
         apply(sim, action)?;
     }
@@ -126,9 +150,11 @@ pub fn run_experiment(sim: &mut Sim, spec: ExperimentSpec) -> Result<Recorder, S
 
 fn apply(sim: &mut Sim, action: Action) -> Result<(), SimError> {
     match action {
-        Action::CpuHog { host, cores, duration_ns } => {
-            sim.inject_cpu_hog(&host, cores, duration_ns)
-        }
+        Action::CpuHog {
+            host,
+            cores,
+            duration_ns,
+        } => sim.inject_cpu_hog(&host, cores, duration_ns),
         Action::CacheFlush { backend } => sim.cache_flush(&backend),
         Action::Custom(mut f) => {
             f(sim);
@@ -149,14 +175,28 @@ mod tests {
     fn spec() -> SystemSpec {
         let mut spec = SystemSpec {
             name: "t".into(),
-            hosts: vec![HostSpec { name: "h0".into(), cores: 2.0 }],
-            processes: vec![ProcessSpec { name: "p0".into(), host: 0, gc: None }],
+            hosts: vec![HostSpec {
+                name: "h0".into(),
+                cores: 2.0,
+            }],
+            processes: vec![ProcessSpec {
+                name: "p0".into(),
+                host: 0,
+                gc: None,
+            }],
             ..Default::default()
         };
         let mut s = ServiceSpec::new("front", 0);
-        s.methods.insert("M".into(), Behavior::build().compute(100_000, 0).done());
+        s.methods
+            .insert("M".into(), Behavior::build().compute(100_000, 0).done());
         spec.services.push(s);
-        spec.entries.insert("front".into(), EntrySpec { service: 0, client: ClientSpec::local() });
+        spec.entries.insert(
+            "front".into(),
+            EntrySpec {
+                service: 0,
+                client: ClientSpec::local(),
+            },
+        );
         spec
     }
 
@@ -189,12 +229,14 @@ mod tests {
             2,
         )
         .deterministic();
-        let exp = ExperimentSpec::new(gen)
-            .at(1_000_000_000, Action::CpuHog {
+        let exp = ExperimentSpec::new(gen).at(
+            1_000_000_000,
+            Action::CpuHog {
                 host: "h0".into(),
                 cores: 1.9,
                 duration_ns: 1_000_000_000,
-            });
+            },
+        );
         let rec = run_experiment(&mut sim, exp).unwrap();
         let series = rec.series();
         // Second 0: fast; second 1: hog slows things by ~20x.

@@ -17,7 +17,10 @@ pub struct Phase {
 impl Phase {
     /// Convenience constructor with seconds + rps.
     pub fn new(duration_s: u64, rps: f64) -> Self {
-        Phase { duration_ns: duration_s * 1_000_000_000, rps }
+        Phase {
+            duration_ns: duration_s * 1_000_000_000,
+            rps,
+        }
     }
 }
 
@@ -41,7 +44,8 @@ impl ApiMix {
     pub fn add(mut self, entry: &str, method: &str, weight: f64) -> Self {
         assert!(weight > 0.0);
         self.total += weight;
-        self.entries.push((entry.to_string(), method.to_string(), weight));
+        self.entries
+            .push((entry.to_string(), method.to_string(), weight));
         self
     }
 
@@ -164,7 +168,12 @@ impl Iterator for OpenLoopGen {
                 (e.to_string(), m.to_string())
             };
             let entity = self.rng.gen_range(0..self.entities);
-            return Some(Arrival { at_ns, entry, method, entity });
+            return Some(Arrival {
+                at_ns,
+                entry,
+                method,
+                entity,
+            });
         }
     }
 }
@@ -190,8 +199,12 @@ mod tests {
 
     #[test]
     fn poisson_rate_is_close() {
-        let gen =
-            OpenLoopGen::new(vec![Phase::new(5, 2000.0)], ApiMix::single("f", "M"), 10, 42);
+        let gen = OpenLoopGen::new(
+            vec![Phase::new(5, 2000.0)],
+            ApiMix::single("f", "M"),
+            10,
+            42,
+        );
         let n = gen.count();
         assert!((8_000..=12_000).contains(&n), "n={n}");
     }

@@ -9,8 +9,19 @@ pub fn exact_quantile(samples: &[u64], q: f64) -> Option<u64> {
     }
     let mut v: Vec<u64> = samples.to_vec();
     v.sort_unstable();
-    let rank = ((q.clamp(0.0, 1.0)) * (v.len() - 1) as f64).round() as usize;
-    Some(v[rank.min(v.len() - 1)])
+    Some(v[nearest_rank_index(v.len(), q)])
+}
+
+/// Nearest-rank index: the smallest index i such that at least `q * n` of the
+/// samples are ≤ sorted[i], i.e. `ceil(q·n)` as a 0-based index.
+///
+/// The previous `(q * (n-1)).round()` formulation over-shot small samples
+/// (e.g. p90 of 2 elements picked the max but p50 did too), under-covered
+/// the definition "smallest value with P(X ≤ x) ≥ q", and was sensitive to
+/// `round`'s half-away-from-zero behavior.
+fn nearest_rank_index(n: usize, q: f64) -> usize {
+    let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+    rank.clamp(1, n) - 1
 }
 
 /// The P² streaming quantile estimator (Jain & Chlamtac, 1985).
@@ -58,7 +69,8 @@ impl P2Quantile {
         if self.initial.len() < 5 {
             self.initial.push(x);
             if self.initial.len() == 5 {
-                self.initial.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 for (i, v) in self.initial.iter().enumerate() {
                     self.heights[i] = *v;
                 }
@@ -128,8 +140,7 @@ impl P2Quantile {
         if self.initial.len() < 5 {
             let mut v = self.initial.clone();
             v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            let rank = (self.q * (v.len() - 1) as f64).round() as usize;
-            return Some(v[rank.min(v.len() - 1)]);
+            return Some(v[nearest_rank_index(v.len(), self.q)]);
         }
         Some(self.heights[2])
     }
@@ -153,6 +164,53 @@ mod tests {
     }
 
     #[test]
+    fn exact_quantile_nearest_rank_regressions() {
+        // 1 element: every quantile is that element.
+        for q in [0.0, 0.01, 0.5, 0.9, 1.0] {
+            assert_eq!(exact_quantile(&[42], q), Some(42), "q={q}");
+        }
+        // 2 elements: by nearest-rank, q <= 0.5 is the lower sample and
+        // anything above is the upper. The old round()-based formula put the
+        // median at the *upper* element.
+        assert_eq!(exact_quantile(&[10, 20], 0.0), Some(10));
+        assert_eq!(exact_quantile(&[10, 20], 0.5), Some(10));
+        assert_eq!(exact_quantile(&[10, 20], 0.51), Some(20));
+        assert_eq!(exact_quantile(&[10, 20], 0.99), Some(20));
+        assert_eq!(exact_quantile(&[10, 20], 1.0), Some(20));
+        // 100 elements 1..=100: rank q·100 is exact — p99 must be 99, not
+        // rounded up to 100.
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(exact_quantile(&v, 0.50), Some(50));
+        assert_eq!(exact_quantile(&v, 0.90), Some(90));
+        assert_eq!(exact_quantile(&v, 0.99), Some(99));
+        assert_eq!(exact_quantile(&v, 0.999), Some(100));
+        // Out-of-range q clamps rather than panics.
+        assert_eq!(exact_quantile(&v, -0.5), Some(1));
+        assert_eq!(exact_quantile(&v, 1.5), Some(100));
+    }
+
+    #[test]
+    fn p2_small_sample_path_matches_exact_quantile() {
+        // Below five observations P² falls back to the exact computation;
+        // the two implementations must agree.
+        let samples = [9.0, 2.0, 7.0, 4.0];
+        for k in 1..=samples.len() {
+            for q in [0.25, 0.5, 0.75, 0.99] {
+                let mut p2 = P2Quantile::new(q);
+                for &x in &samples[..k] {
+                    p2.observe(x);
+                }
+                let ints: Vec<u64> = samples[..k].iter().map(|&x| x as u64).collect();
+                assert_eq!(
+                    p2.value().map(|v| v as u64),
+                    exact_quantile(&ints, q),
+                    "k={k} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn p2_matches_exact_on_uniform() {
         let mut rng = SmallRng::seed_from_u64(3);
         let mut p2 = P2Quantile::new(0.99);
@@ -164,7 +222,10 @@ mod tests {
         }
         let est = p2.value().unwrap();
         let exact = exact_quantile(&all, 0.99).unwrap() as f64;
-        assert!((est - exact).abs() / exact < 0.05, "est={est} exact={exact}");
+        assert!(
+            (est - exact).abs() / exact < 0.05,
+            "est={est} exact={exact}"
+        );
         assert_eq!(p2.count(), 20_000);
     }
 

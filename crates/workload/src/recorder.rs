@@ -57,7 +57,10 @@ impl Recorder {
     /// Creates a recorder with the given interval width.
     pub fn new(interval_ns: SimTime) -> Self {
         assert!(interval_ns > 0);
-        Recorder { interval_ns, bins: Vec::new() }
+        Recorder {
+            interval_ns,
+            bins: Vec::new(),
+        }
     }
 
     /// Records one completion.
@@ -127,8 +130,11 @@ impl Recorder {
             }
         }
         let count = lat.len();
-        let mean =
-            if count == 0 { 0.0 } else { lat.iter().map(|l| *l as f64).sum::<f64>() / count as f64 };
+        let mean = if count == 0 {
+            0.0
+        } else {
+            lat.iter().map(|l| *l as f64).sum::<f64>() / count as f64
+        };
         IntervalStats {
             start_ns: from_ns,
             count,

@@ -37,7 +37,13 @@ pub fn latency_throughput(
 ) -> Result<Vec<SweepPoint>, SimError> {
     let mut out = Vec::new();
     for (i, &rps) in rates_rps.iter().enumerate() {
-        let mut sim = Sim::new(system, SimConfig { seed: seed + i as u64, ..Default::default() })?;
+        let mut sim = Sim::new(
+            system,
+            SimConfig {
+                seed: seed + i as u64,
+                ..Default::default()
+            },
+        )?;
         let gen = OpenLoopGen::new(
             vec![Phase::new(duration_s, rps)],
             mix.clone(),
@@ -107,13 +113,14 @@ pub fn trigger_recovery(
     recover_error_threshold: f64,
     seed: u64,
 ) -> Result<TriggerResult, SimError> {
-    let mut sim = Sim::new(system, SimConfig { seed, ..Default::default() })?;
-    let gen = OpenLoopGen::new(
-        vec![Phase::new(total_s, rps)],
-        mix.clone(),
-        10_000,
-        seed,
-    );
+    let mut sim = Sim::new(
+        system,
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    )?;
+    let gen = OpenLoopGen::new(vec![Phase::new(total_s, rps)], mix.clone(), 10_000, seed);
     let exp = ExperimentSpec::new(gen).at(
         secs(trigger_at_s),
         crate::driver::Action::CpuHog {
@@ -146,15 +153,28 @@ mod tests {
     fn system(compute_ns: u64) -> SystemSpec {
         let mut spec = SystemSpec {
             name: "t".into(),
-            hosts: vec![HostSpec { name: "h0".into(), cores: 1.0 }],
-            processes: vec![ProcessSpec { name: "p0".into(), host: 0, gc: None }],
+            hosts: vec![HostSpec {
+                name: "h0".into(),
+                cores: 1.0,
+            }],
+            processes: vec![ProcessSpec {
+                name: "p0".into(),
+                host: 0,
+                gc: None,
+            }],
             ..Default::default()
         };
         let mut s = ServiceSpec::new("front", 0);
-        s.methods.insert("M".into(), Behavior::build().compute(compute_ns, 0).done());
+        s.methods
+            .insert("M".into(), Behavior::build().compute(compute_ns, 0).done());
         spec.services.push(s);
-        spec.entries
-            .insert("front".into(), EntrySpec { service: 0, client: ClientSpec::local() });
+        spec.entries.insert(
+            "front".into(),
+            EntrySpec {
+                service: 0,
+                client: ClientSpec::local(),
+            },
+        );
         spec
     }
 

@@ -17,20 +17,37 @@ fn system(timeout_retries: Option<(u64, u32)>) -> SystemSpec {
     let mut spec = SystemSpec {
         name: "meta".into(),
         hosts: vec![
-            HostSpec { name: "h_front".into(), cores: 8.0 },
-            HostSpec { name: "h_back".into(), cores: 2.0 },
+            HostSpec {
+                name: "h_front".into(),
+                cores: 8.0,
+            },
+            HostSpec {
+                name: "h_back".into(),
+                cores: 2.0,
+            },
         ],
         processes: vec![
-            ProcessSpec { name: "p_front".into(), host: 0, gc: None },
-            ProcessSpec { name: "p_back".into(), host: 1, gc: None },
+            ProcessSpec {
+                name: "p_front".into(),
+                host: 0,
+                gc: None,
+            },
+            ProcessSpec {
+                name: "p_back".into(),
+                host: 1,
+                gc: None,
+            },
         ],
         ..Default::default()
     };
     let mut back = ServiceSpec::new("back", 1);
-    back.methods.insert("Work".into(), Behavior::build().compute(ms(1), 0).done());
+    back.methods
+        .insert("Work".into(), Behavior::build().compute(ms(1), 0).done());
     back.max_concurrent = 500;
     let mut front = ServiceSpec::new("front", 0);
-    front.methods.insert("M".into(), Behavior::build().call("backend", "Work").done());
+    front
+        .methods
+        .insert("M".into(), Behavior::build().call("backend", "Work").done());
     let client = match timeout_retries {
         Some((timeout_ms, retries)) => ClientSpec {
             timeout_ns: Some(ms(timeout_ms)),
@@ -40,20 +57,30 @@ fn system(timeout_retries: Option<(u64, u32)>) -> SystemSpec {
         },
         None => ClientSpec::local(),
     };
-    front.deps.insert("backend".into(), blueprint_simrt::DepBinding::Service {
-        target: 1,
-        client,
-    });
+    front.deps.insert(
+        "backend".into(),
+        blueprint_simrt::DepBinding::Service { target: 1, client },
+    );
     spec.services.push(front);
     spec.services.push(back);
-    spec.entries.insert("front".into(), EntrySpec { service: 0, client: ClientSpec::local() });
+    spec.entries.insert(
+        "front".into(),
+        EntrySpec {
+            service: 0,
+            client: ClientSpec::local(),
+        },
+    );
     spec
 }
 
 /// 10 s at 1200 rps, 5 s spike at 3000 rps, 15 s back at 1200 rps.
 fn spike_workload(seed: u64) -> OpenLoopGen {
     OpenLoopGen::new(
-        vec![Phase::new(10, 1200.0), Phase::new(5, 3000.0), Phase::new(15, 1200.0)],
+        vec![
+            Phase::new(10, 1200.0),
+            Phase::new(5, 3000.0),
+            Phase::new(15, 1200.0),
+        ],
         ApiMix::single("front", "M"),
         1000,
         seed,
@@ -69,8 +96,16 @@ fn retry_storm_keeps_system_metastable_after_spike() {
 
     // Healthy before the spike.
     let pre = &series[8];
-    assert!(pre.error_rate() < 0.05, "pre-spike errors: {:.3}", pre.error_rate());
-    assert!(pre.mean_ns < ms(20) as f64, "pre-spike mean {:.1}ms", pre.mean_ns / 1e6);
+    assert!(
+        pre.error_rate() < 0.05,
+        "pre-spike errors: {:.3}",
+        pre.error_rate()
+    );
+    assert!(
+        pre.mean_ns < ms(20) as f64,
+        "pre-spike mean {:.1}ms",
+        pre.mean_ns / 1e6
+    );
 
     // Still failing hard well after the spike ended (t=15 s): metastable.
     let late = rec.window(secs(25), secs(30));
@@ -92,7 +127,11 @@ fn without_retries_the_system_recovers() {
 
     // Degraded during the spike.
     let during = rec.window(secs(11), secs(15));
-    assert!(during.error_rate() > 0.1, "spike should hurt: {:.3}", during.error_rate());
+    assert!(
+        during.error_rate() > 0.1,
+        "spike should hurt: {:.3}",
+        during.error_rate()
+    );
 
     // Recovered well after the spike.
     let late = rec.window(secs(25), secs(30));
@@ -102,7 +141,11 @@ fn without_retries_the_system_recovers() {
         late.error_rate()
     );
     let pre = rec.window(secs(5), secs(10));
-    assert!(late.mean_ns < pre.mean_ns * 5.0, "late mean {:.2}ms", late.mean_ns / 1e6);
+    assert!(
+        late.mean_ns < pre.mean_ns * 5.0,
+        "late mean {:.2}ms",
+        late.mean_ns / 1e6
+    );
 }
 
 #[test]
@@ -110,7 +153,11 @@ fn without_timeouts_no_metastability_just_queueing() {
     let spec = system(None);
     let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
     let gen = OpenLoopGen::new(
-        vec![Phase::new(5, 1000.0), Phase::new(3, 2500.0), Phase::new(10, 1000.0)],
+        vec![
+            Phase::new(5, 1000.0),
+            Phase::new(3, 2500.0),
+            Phase::new(10, 1000.0),
+        ],
         ApiMix::single("front", "M"),
         1000,
         3,
@@ -118,6 +165,10 @@ fn without_timeouts_no_metastability_just_queueing() {
     let rec = run_experiment(&mut sim, ExperimentSpec::new(gen)).unwrap();
     let late = rec.window(secs(14), secs(18));
     // Queue drains: under capacity again, requests eventually succeed.
-    assert!(late.error_rate() < 0.5, "late errors {:.3}", late.error_rate());
+    assert!(
+        late.error_rate() < 0.5,
+        "late errors {:.3}",
+        late.error_rate()
+    );
     assert_eq!(sim.metrics.counters.timeouts, 0);
 }

@@ -11,9 +11,22 @@ use blueprint::workload::sweep::latency_throughput;
 fn main() {
     let variants = [
         ("grpc", WiringOpts::default().without_tracing()),
-        ("thrift(pool=16)", WiringOpts::default().without_tracing().with_rpc(RpcChoice::Thrift { pool: 16 })),
-        ("thrift(pool=64)", WiringOpts::default().without_tracing().with_rpc(RpcChoice::Thrift { pool: 64 })),
-        ("monolith", WiringOpts::default().without_tracing().monolith()),
+        (
+            "thrift(pool=16)",
+            WiringOpts::default()
+                .without_tracing()
+                .with_rpc(RpcChoice::Thrift { pool: 16 }),
+        ),
+        (
+            "thrift(pool=64)",
+            WiringOpts::default()
+                .without_tracing()
+                .with_rpc(RpcChoice::Thrift { pool: 64 }),
+        ),
+        (
+            "monolith",
+            WiringOpts::default().without_tracing().monolith(),
+        ),
     ];
     let workflow = hr::workflow();
     let rates = [2_000.0, 8_000.0];
@@ -24,10 +37,12 @@ fn main() {
     );
     for (label, opts) in variants {
         let wiring = hr::wiring(&opts);
-        let app = Blueprint::new().without_artifacts().compile(&workflow, &wiring).unwrap();
+        let app = Blueprint::new()
+            .without_artifacts()
+            .compile(&workflow, &wiring)
+            .unwrap();
         let pts =
-            latency_throughput(app.system(), &hr::paper_mix(), &rates, 5, hr::ENTITIES, 1)
-                .unwrap();
+            latency_throughput(app.system(), &hr::paper_mix(), &rates, 5, hr::ENTITIES, 1).unwrap();
         for p in pts {
             println!(
                 "{:<16} {:>10.0} {:>10.0} {:>9.2} {:>9.2}",

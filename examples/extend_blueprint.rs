@@ -66,13 +66,28 @@ fn main() {
     let workflow = sock_shop::workflow();
     let mut wiring = sock_shop::wiring(&WiringOpts::default().without_tracing());
     wiring
-        .define_kw("admission", "AdmissionControl", vec![], vec![("limit", Arg::Int(8))])
+        .define_kw(
+            "admission",
+            "AdmissionControl",
+            vec![],
+            vec![("limit", Arg::Int(8))],
+        )
         .unwrap();
     mutate::add_server_modifier(&mut wiring, "orders", "admission").unwrap();
 
-    let app = toolchain.compile(&workflow, &wiring).expect("compiles with the extension");
-    let orders = app.system().services.iter().find(|s| s.name == "orders").unwrap();
-    println!("orders.max_concurrent = {} (set by the new plugin)", orders.max_concurrent);
+    let app = toolchain
+        .compile(&workflow, &wiring)
+        .expect("compiles with the extension");
+    let orders = app
+        .system()
+        .services
+        .iter()
+        .find(|s| s.name == "orders")
+        .unwrap();
+    println!(
+        "orders.max_concurrent = {} (set by the new plugin)",
+        orders.max_concurrent
+    );
 
     // Overload the orders service: beyond the admission limit, requests
     // fast-fail instead of queueing.
@@ -83,13 +98,18 @@ fn main() {
     }
     sim.run_until(secs(10));
     let done = sim.drain_completions();
-    let shed = done.iter().filter(|c| c.failure == Some("overload") || c.failure == Some("downstream")).count();
+    let shed = done
+        .iter()
+        .filter(|c| c.failure == Some("overload") || c.failure == Some("downstream"))
+        .count();
     println!(
         "checkout burst of {}: {} accepted, {} shed by admission control",
         done.len(),
         done.iter().filter(|c| c.ok).count(),
         shed
     );
-    println!("admission rejections counted by the runtime: {}",
-        sim.metrics.counters.admission_rejections);
+    println!(
+        "admission rejections counted by the runtime: {}",
+        sim.metrics.counters.admission_rejections
+    );
 }

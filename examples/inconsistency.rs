@@ -22,7 +22,10 @@ fn measure(app: &blueprint::core::CompiledApp, wait_ms: u64, pairs: u64, seed: u
         while sim.now() < deadline && !composed {
             let t = sim.now() + ms(2);
             sim.run_until(t);
-            composed = sim.drain_completions().iter().any(|c| c.root_seq == wv && c.ok);
+            composed = sim
+                .drain_completions()
+                .iter()
+                .any(|c| c.root_seq == wv && c.ok);
         }
         let t = sim.now() + ms(wait_ms);
         sim.run_until(t);
@@ -51,18 +54,23 @@ fn main() {
         delta.changed()
     );
 
-    let base_app = Blueprint::new().without_artifacts().compile(&sn::workflow(), &base).unwrap();
-    let repl_app =
-        Blueprint::new().without_artifacts().compile(&sn::workflow(), &replicated).unwrap();
+    let base_app = Blueprint::new()
+        .without_artifacts()
+        .compile(&sn::workflow(), &base)
+        .unwrap();
+    let repl_app = Blueprint::new()
+        .without_artifacts()
+        .compile(&sn::workflow(), &replicated)
+        .unwrap();
 
-    println!("{:>8} {:>22} {:>22}", "wait ms", "replicated stale", "non-replicated stale");
+    println!(
+        "{:>8} {:>22} {:>22}",
+        "wait ms", "replicated stale", "non-replicated stale"
+    );
     for wait in [0u64, 200, 400, 800] {
         let (rs, rt) = measure(&repl_app, wait, 25, 11);
         let (bs, bt) = measure(&base_app, wait, 25, 12);
-        println!(
-            "{:>8} {:>15} / {:<4} {:>15} / {:<4}",
-            wait, rs, rt, bs, bt
-        );
+        println!("{:>8} {:>15} / {:<4} {:>15} / {:<4}", wait, rs, rt, bs, bt);
     }
     println!("\nThe non-replicated variant always reads its own writes; the replicated");
     println!("variant shows stale reads that disappear once the wait exceeds the lag.");

@@ -20,10 +20,17 @@ fn workflow() -> WorkflowSpec {
             "WorkerImpl",
             ServiceInterface::new(
                 "Worker",
-                vec![MethodSig::new("Work", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit)],
+                vec![MethodSig::new(
+                    "Work",
+                    vec![Param::new("reqID", TypeRef::I64)],
+                    TypeRef::Unit,
+                )],
             ),
         )
-        .method("Work", Behavior::build().compute(1_000_000, 16 << 10).done())
+        .method(
+            "Work",
+            Behavior::build().compute(1_000_000, 16 << 10).done(),
+        )
         .done()
         .unwrap(),
     )
@@ -33,11 +40,21 @@ fn workflow() -> WorkflowSpec {
             "FrontImpl",
             ServiceInterface::new(
                 "Front",
-                vec![MethodSig::new("Handle", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit)],
+                vec![MethodSig::new(
+                    "Handle",
+                    vec![Param::new("reqID", TypeRef::I64)],
+                    TypeRef::Unit,
+                )],
             ),
         )
         .dep_service("worker", "Worker")
-        .method("Handle", Behavior::build().compute(30_000, 4 << 10).call("worker", "Work").done())
+        .method(
+            "Handle",
+            Behavior::build()
+                .compute(30_000, 4 << 10)
+                .call("worker", "Work")
+                .done(),
+        )
         .done()
         .unwrap(),
     )
@@ -48,12 +65,23 @@ fn workflow() -> WorkflowSpec {
 /// Timeouts + retries on every RPC: the metastability preconditions.
 fn wiring() -> WiringSpec {
     let mut w = WiringSpec::new("twotier");
-    w.define_kw("deployer", "Docker", vec![], vec![("machines", Arg::Int(2)), ("cores", Arg::Float(2.0))])
-        .unwrap();
+    w.define_kw(
+        "deployer",
+        "Docker",
+        vec![],
+        vec![("machines", Arg::Int(2)), ("cores", Arg::Float(2.0))],
+    )
+    .unwrap();
     w.define("rpc", "GRPCServer", vec![]).unwrap();
-    w.define_kw("to", "Timeout", vec![], vec![("ms", Arg::Int(100))]).unwrap();
-    w.define_kw("retry", "Retry", vec![], vec![("max", Arg::Int(8)), ("backoff_ms", Arg::Int(1))])
+    w.define_kw("to", "Timeout", vec![], vec![("ms", Arg::Int(100))])
         .unwrap();
+    w.define_kw(
+        "retry",
+        "Retry",
+        vec![],
+        vec![("max", Arg::Int(8)), ("backoff_ms", Arg::Int(1))],
+    )
+    .unwrap();
     let mods = ["rpc", "deployer", "to", "retry"];
     w.service("worker", "WorkerImpl", &[], &mods).unwrap();
     w.service("front", "FrontImpl", &["worker"], &mods).unwrap();
@@ -61,19 +89,29 @@ fn wiring() -> WiringSpec {
 }
 
 fn run(label: &str, wiring: &WiringSpec) {
-    let app = Blueprint::new().without_artifacts().compile(&workflow(), wiring).unwrap();
+    let app = Blueprint::new()
+        .without_artifacts()
+        .compile(&workflow(), wiring)
+        .unwrap();
     let mut sim = app.simulation(3).unwrap();
     // Base load, a 2x-overload spike, then back to base: capacity is
     // ~2000 rps (2 cores x 1 ms/request).
     let gen = OpenLoopGen::new(
-        vec![Phase::new(10, 1_200.0), Phase::new(5, 4_000.0), Phase::new(20, 1_200.0)],
+        vec![
+            Phase::new(10, 1_200.0),
+            Phase::new(5, 4_000.0),
+            Phase::new(20, 1_200.0),
+        ],
         ApiMix::single("front", "Handle"),
         1_000,
         3,
     );
     let rec = run_experiment(&mut sim, ExperimentSpec::new(gen)).unwrap();
     println!("--- {label} ---");
-    println!("{:>5} {:>11} {:>9} {:>9}", "t(s)", "mean ms", "err", "goodput");
+    println!(
+        "{:>5} {:>11} {:>9} {:>9}",
+        "t(s)", "mean ms", "err", "goodput"
+    );
     for s in rec.series().iter().filter(|s| s.count > 0) {
         println!(
             "{:>5} {:>11.2} {:>9.3} {:>9}",
@@ -87,7 +125,11 @@ fn run(label: &str, wiring: &WiringSpec) {
     println!(
         "after the spike: error rate {:.3} → {}\n",
         tail.error_rate(),
-        if tail.error_rate() > 0.5 { "METASTABLE (never recovered)" } else { "recovered" }
+        if tail.error_rate() > 0.5 {
+            "METASTABLE (never recovered)"
+        } else {
+            "recovered"
+        }
     );
 }
 
@@ -110,6 +152,9 @@ fn main() {
         .unwrap();
     mutate::add_modifier_to_all_services(&mut fixed, "breaker").unwrap();
     let delta = blueprint::wiring::diff::spec_diff(&wiring(), &fixed);
-    println!("(circuit breaker enabled with {} changed wiring lines)\n", delta.changed());
+    println!(
+        "(circuit breaker enabled with {} changed wiring lines)\n",
+        delta.changed()
+    );
     run("with circuit breaker (the prototype solution)", &fixed);
 }

@@ -23,8 +23,16 @@ fn main() {
         ServiceInterface::new(
             "EntryStorage",
             vec![
-                MethodSig::new("Store", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit),
-                MethodSig::new("Read", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Bytes),
+                MethodSig::new(
+                    "Store",
+                    vec![Param::new("reqID", TypeRef::I64)],
+                    TypeRef::Unit,
+                ),
+                MethodSig::new(
+                    "Read",
+                    vec![Param::new("reqID", TypeRef::I64)],
+                    TypeRef::Bytes,
+                ),
             ],
         ),
     )
@@ -61,14 +69,34 @@ fn main() {
         ServiceInterface::new(
             "GuestbookFrontend",
             vec![
-                MethodSig::new("Sign", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit),
-                MethodSig::new("View", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit),
+                MethodSig::new(
+                    "Sign",
+                    vec![Param::new("reqID", TypeRef::I64)],
+                    TypeRef::Unit,
+                ),
+                MethodSig::new(
+                    "View",
+                    vec![Param::new("reqID", TypeRef::I64)],
+                    TypeRef::Unit,
+                ),
             ],
         ),
     )
     .dep_service("storage", "EntryStorage")
-    .method("Sign", Behavior::build().compute(50_000, 8 << 10).call("storage", "Store").done())
-    .method("View", Behavior::build().compute(30_000, 4 << 10).call("storage", "Read").done())
+    .method(
+        "Sign",
+        Behavior::build()
+            .compute(50_000, 8 << 10)
+            .call("storage", "Store")
+            .done(),
+    )
+    .method(
+        "View",
+        Behavior::build()
+            .compute(30_000, 4 << 10)
+            .call("storage", "Read")
+            .done(),
+    )
     .done()
     .expect("frontend service");
     workflow.add_service(frontend).expect("add frontend");
@@ -81,20 +109,40 @@ fn main() {
     wiring.define("rpc", "GRPCServer", vec![]).unwrap();
     wiring.define("tracer", "JaegerTracer", vec![]).unwrap();
     wiring
-        .define_kw("tm", "TracerModifier", vec![], vec![("tracer", Arg::r("tracer"))])
+        .define_kw(
+            "tm",
+            "TracerModifier",
+            vec![],
+            vec![("tracer", Arg::r("tracer"))],
+        )
         .unwrap();
     wiring.define("entry_db", "MongoDB", vec![]).unwrap();
     wiring.define("entry_cache", "Memcached", vec![]).unwrap();
     let mods = ["rpc", "deployer", "tm"];
-    wiring.service("storage", "EntryStorageImpl", &["entry_cache", "entry_db"], &mods).unwrap();
-    wiring.service("front", "GuestbookFrontendImpl", &["storage"], &mods).unwrap();
+    wiring
+        .service(
+            "storage",
+            "EntryStorageImpl",
+            &["entry_cache", "entry_db"],
+            &mods,
+        )
+        .unwrap();
+    wiring
+        .service("front", "GuestbookFrontendImpl", &["storage"], &mods)
+        .unwrap();
 
     // ------------------------------------------------------------------
     // 3. Compile: IR → artifacts + a deployable (simulated) system.
     // ------------------------------------------------------------------
-    let app = Blueprint::new().compile(&workflow, &wiring).expect("compiles");
+    let app = Blueprint::new()
+        .compile(&workflow, &wiring)
+        .expect("compiles");
     println!("compiled `guestbook` in {:?}", app.gen_time());
-    println!("generated {} artifacts ({} LoC), e.g.:", app.artifacts().len(), app.artifacts().total_loc());
+    println!(
+        "generated {} artifacts ({} LoC), e.g.:",
+        app.artifacts().len(),
+        app.artifacts().total_loc()
+    );
     for (path, _) in app.artifacts().iter().take(8) {
         println!("  {path}");
     }
@@ -104,15 +152,20 @@ fn main() {
     // ------------------------------------------------------------------
     let mut sim = app.simulation(7).expect("boots");
     for i in 0..200u64 {
-        sim.submit("front", if i % 5 == 0 { "Sign" } else { "View" }, i % 40).unwrap();
+        sim.submit("front", if i % 5 == 0 { "Sign" } else { "View" }, i % 40)
+            .unwrap();
         sim.run_until(ms(5 * (i + 1)));
     }
     sim.run_until(secs(3));
     let done = sim.drain_completions();
     let ok = done.iter().filter(|c| c.ok).count();
-    let mean_ms =
-        done.iter().map(|c| c.latency_ns() as f64).sum::<f64>() / done.len() as f64 / 1e6;
-    println!("\nran {} requests: {} ok, mean latency {:.2} ms", done.len(), ok, mean_ms);
+    let mean_ms = done.iter().map(|c| c.latency_ns() as f64).sum::<f64>() / done.len() as f64 / 1e6;
+    println!(
+        "\nran {} requests: {} ok, mean latency {:.2} ms",
+        done.len(),
+        ok,
+        mean_ms
+    );
 
     // ------------------------------------------------------------------
     // 5. Mutate the design: swap the RPC framework with one line, and
@@ -121,7 +174,9 @@ fn main() {
     let mut thrift_wiring = wiring.clone();
     mutate::swap_callee(&mut thrift_wiring, "rpc", "ThriftServer").unwrap();
     let diff = blueprint::wiring::diff::spec_diff(&wiring, &thrift_wiring);
-    let variant = Blueprint::new().compile(&workflow, &thrift_wiring).expect("variant compiles");
+    let variant = Blueprint::new()
+        .compile(&workflow, &thrift_wiring)
+        .expect("variant compiles");
     println!(
         "\nmutated to Thrift with {} changed wiring line(s); regenerated {} artifacts; \
          now has {}",

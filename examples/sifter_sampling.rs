@@ -21,7 +21,11 @@ fn main() {
         .compile(&sn::workflow(), &sn::wiring(&opts))
         .unwrap();
     let mut sim = app
-        .simulation_with(SimConfig { seed: 9, record_traces: true, ..Default::default() })
+        .simulation_with(SimConfig {
+            seed: 9,
+            record_traces: true,
+            ..Default::default()
+        })
         .unwrap();
 
     // 200 ComposePost requests; 3 of them hit a briefly saturated machine
@@ -35,7 +39,9 @@ fn main() {
             sim.inject_cpu_hog("machine_0", 7.9, ms(400)).unwrap();
             sim.inject_cpu_hog("machine_1", 7.9, ms(400)).unwrap();
         }
-        let root = sim.submit("gateway", "ComposePost", 5_000 + i as u64).unwrap();
+        let root = sim
+            .submit("gateway", "ComposePost", 5_000 + i as u64)
+            .unwrap();
         order.push((root, anomalous));
         let t = sim.now() + if anomalous { secs(2) } else { ms(60) };
         sim.run_until(t);
@@ -43,12 +49,16 @@ fn main() {
     sim.run_until(sim.now() + secs(5));
 
     let traces = sim.traces.drain_finished();
-    let by_root: std::collections::HashMap<u64, _> =
-        traces.iter().map(|t| (t.id.0, t)).collect();
-    let mut sifter = Sifter::new(SifterConfig { seed: 9, ..Default::default() });
+    let by_root: std::collections::HashMap<u64, _> = traces.iter().map(|t| (t.id.0, t)).collect();
+    let mut sifter = Sifter::new(SifterConfig {
+        seed: 9,
+        ..Default::default()
+    });
     println!("{:>6} {:>10} {:>13}  note", "index", "loss", "P(sample)");
     for (i, (root, anomalous)) in order.iter().enumerate() {
-        let Some(trace) = by_root.get(root) else { continue };
+        let Some(trace) = by_root.get(root) else {
+            continue;
+        };
         let d = sifter.observe_trace(trace);
         if *anomalous || i % 20 == 0 {
             println!(
@@ -56,7 +66,11 @@ fn main() {
                 i,
                 d.loss,
                 d.probability,
-                if *anomalous { "<== anomalous request" } else { "" }
+                if *anomalous {
+                    "<== anomalous request"
+                } else {
+                    ""
+                }
             );
         }
     }

@@ -1,0 +1,51 @@
+//! Prints an FNV-1a checksum of the HotelReservation completion stream for a
+//! fixed (seed, duration, rate). Used to verify engine refactors preserve
+//! byte-identical behavior across builds.
+
+use blueprint::apps::{hotel_reservation as hr, WiringOpts};
+use blueprint::core::Blueprint;
+use blueprint::simrt::SimConfig;
+use blueprint::workload::generator::{OpenLoopGen, Phase};
+
+fn main() {
+    let app = Blueprint::new()
+        .without_artifacts()
+        .compile(&hr::workflow(), &hr::wiring(&WiringOpts::default()))
+        .expect("compiles");
+    let mut sim = app
+        .simulation_with(SimConfig {
+            seed: 5,
+            ..Default::default()
+        })
+        .expect("boots");
+    let gen = OpenLoopGen::new(
+        vec![Phase::new(5, 2_000.0)],
+        hr::paper_mix(),
+        hr::ENTITIES,
+        5,
+    );
+    let end = gen.duration_ns();
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut fnv = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    let mut n = 0u64;
+    for arrival in gen {
+        sim.run_until(arrival.at_ns);
+        sim.submit(&arrival.entry, &arrival.method, arrival.entity)
+            .expect("submit");
+        for c in sim.drain_completions() {
+            fnv(format!("{c:?}").as_bytes());
+            n += 1;
+        }
+    }
+    sim.run_until(end + 5_000_000_000);
+    for c in sim.drain_completions() {
+        fnv(format!("{c:?}").as_bytes());
+        n += 1;
+    }
+    println!("completions={n} checksum={h:016x}");
+}

@@ -3,18 +3,34 @@
 //! artifact families, and does so deterministically.
 
 use blueprint::apps::{
-    hotel_reservation, media, sock_shop, social_network, train_ticket, RpcChoice, WiringOpts,
+    hotel_reservation, media, social_network, sock_shop, train_ticket, RpcChoice, WiringOpts,
 };
 use blueprint::core::Blueprint;
 use blueprint::ir::stats::stats;
 
-fn apps() -> Vec<(&'static str, blueprint::workflow::WorkflowSpec, blueprint::wiring::WiringSpec)> {
+fn apps() -> Vec<(
+    &'static str,
+    blueprint::workflow::WorkflowSpec,
+    blueprint::wiring::WiringSpec,
+)> {
     let opts = WiringOpts::default();
     vec![
-        ("social_network", social_network::workflow(), social_network::wiring(&opts)),
+        (
+            "social_network",
+            social_network::workflow(),
+            social_network::wiring(&opts),
+        ),
         ("media", media::workflow(), media::wiring(&opts)),
-        ("hotel_reservation", hotel_reservation::workflow(), hotel_reservation::wiring(&opts)),
-        ("train_ticket", train_ticket::workflow(), train_ticket::wiring(&opts)),
+        (
+            "hotel_reservation",
+            hotel_reservation::workflow(),
+            hotel_reservation::wiring(&opts),
+        ),
+        (
+            "train_ticket",
+            train_ticket::workflow(),
+            train_ticket::wiring(&opts),
+        ),
         ("sock_shop", sock_shop::workflow(), sock_shop::wiring(&opts)),
     ]
 }
@@ -28,7 +44,10 @@ fn all_apps_compile_with_artifacts_and_sim() {
         let st = stats(app.ir());
         assert!(st.services >= 8, "{name}: services {}", st.services);
         assert!(st.invocation_edges >= st.services, "{name}: sparse graph");
-        assert!(!app.system().services.is_empty(), "{name}: no lowered services");
+        assert!(
+            !app.system().services.is_empty(),
+            "{name}: no lowered services"
+        );
         assert!(!app.system().entries.is_empty(), "{name}: no entries");
 
         // Artifact families every containerized variant must produce.
@@ -36,11 +55,23 @@ fn all_apps_compile_with_artifacts_and_sim() {
         assert!(a.contains("docker-compose.yml"), "{name}: no compose file");
         assert!(a.contains("graph.dot"), "{name}: no IR dump");
         assert!(a.contains("config/addresses.env"), "{name}: no address env");
-        assert!(!a.paths_under("services/").is_empty(), "{name}: no service skeletons");
+        assert!(
+            !a.paths_under("services/").is_empty(),
+            "{name}: no service skeletons"
+        );
         assert!(!a.paths_under("proto/").is_empty(), "{name}: no gRPC IDL");
-        assert!(!a.paths_under("wrappers/").is_empty(), "{name}: no wrappers");
-        assert!(!a.paths_under("procs/").is_empty(), "{name}: no process mains");
-        assert!(a.total_loc() > 500, "{name}: suspiciously few generated LoC");
+        assert!(
+            !a.paths_under("wrappers/").is_empty(),
+            "{name}: no wrappers"
+        );
+        assert!(
+            !a.paths_under("procs/").is_empty(),
+            "{name}: no process mains"
+        );
+        assert!(
+            a.total_loc() > 500,
+            "{name}: suspiciously few generated LoC"
+        );
     }
 }
 
@@ -48,10 +79,16 @@ fn all_apps_compile_with_artifacts_and_sim() {
 fn compilation_is_deterministic() {
     let opts = WiringOpts::default();
     let once = Blueprint::new()
-        .compile(&hotel_reservation::workflow(), &hotel_reservation::wiring(&opts))
+        .compile(
+            &hotel_reservation::workflow(),
+            &hotel_reservation::wiring(&opts),
+        )
         .unwrap();
     let twice = Blueprint::new()
-        .compile(&hotel_reservation::workflow(), &hotel_reservation::wiring(&opts))
+        .compile(
+            &hotel_reservation::workflow(),
+            &hotel_reservation::wiring(&opts),
+        )
         .unwrap();
     assert_eq!(once.artifacts(), twice.artifacts());
     assert_eq!(once.system(), twice.system());
@@ -72,11 +109,18 @@ fn thrift_variant_generates_thrift_idl_instead_of_proto() {
 fn monolith_variant_has_one_process_main_and_no_compose() {
     let opts = WiringOpts::default().monolith().without_tracing();
     let app = Blueprint::new()
-        .compile(&hotel_reservation::workflow(), &hotel_reservation::wiring(&opts))
+        .compile(
+            &hotel_reservation::workflow(),
+            &hotel_reservation::wiring(&opts),
+        )
         .unwrap();
     assert_eq!(app.system().hosts.len(), 1);
     let mains = app.artifacts().paths_under("procs/");
-    assert_eq!(mains.len(), 1, "monolith has exactly one process main: {mains:?}");
+    assert_eq!(
+        mains.len(),
+        1,
+        "monolith has exactly one process main: {mains:?}"
+    );
     assert!(!app.artifacts().contains("docker-compose.yml"));
 }
 
@@ -103,7 +147,10 @@ fn generated_process_mains_wire_dependencies() {
             &hotel_reservation::wiring(&WiringOpts::default()),
         )
         .unwrap();
-    let main = app.artifacts().get("procs/proc_frontend/main.rs").expect("frontend main");
+    let main = app
+        .artifacts()
+        .get("procs/proc_frontend/main.rs")
+        .expect("frontend main");
     // The frontend dials its five dependencies and serves itself.
     for dep in ["search", "profile", "recommendation", "reservation", "user"] {
         assert!(

@@ -23,23 +23,44 @@ fn disabling_tracing_removes_generated_scaffolding() {
     let traced = hr::wiring(&WiringOpts::default());
     let untraced = hr::wiring(&WiringOpts::default().without_tracing());
     let d = spec_diff(&traced, &untraced);
-    assert!(d.changed() <= 2 + 2 * 8 + 8, "wiring delta too large: {d:?}");
+    assert!(
+        d.changed() <= 2 + 2 * 8 + 8,
+        "wiring delta too large: {d:?}"
+    );
 
     let wf = hr::workflow();
     let with = Blueprint::new().compile(&wf, &traced).unwrap();
     let without = Blueprint::new().compile(&wf, &untraced).unwrap();
-    let with_tracing_files = with.artifacts().iter().filter(|(p, _)| p.contains("tracer")).count();
-    let without_tracing_files =
-        without.artifacts().iter().filter(|(p, _)| p.contains("tracer")).count();
-    assert!(with_tracing_files >= 8, "tracing wrappers generated: {with_tracing_files}");
+    let with_tracing_files = with
+        .artifacts()
+        .iter()
+        .filter(|(p, _)| p.contains("tracer"))
+        .count();
+    let without_tracing_files = without
+        .artifacts()
+        .iter()
+        .filter(|(p, _)| p.contains("tracer"))
+        .count();
+    assert!(
+        with_tracing_files >= 8,
+        "tracing wrappers generated: {with_tracing_files}"
+    );
     assert_eq!(without_tracing_files, 0);
     assert!(
         with.artifacts().total_loc() > without.artifacts().total_loc() + 100,
         "tracing scaffolding should account for a visible LoC drop"
     );
     // And the lowered systems differ exactly in tracing overhead.
-    assert!(with.system().services.iter().all(|s| s.trace_overhead_ns.is_some()));
-    assert!(without.system().services.iter().all(|s| s.trace_overhead_ns.is_none()));
+    assert!(with
+        .system()
+        .services
+        .iter()
+        .all(|s| s.trace_overhead_ns.is_some()));
+    assert!(without
+        .system()
+        .services
+        .iter()
+        .all(|s| s.trace_overhead_ns.is_none()));
 }
 
 #[test]
@@ -99,8 +120,16 @@ fn swapping_cache_instantiation_is_one_line() {
         .find(|b| b.name == "post_cache")
         .unwrap()
         .kind;
-    assert!(matches!(kind, blueprint::simrt::BackendRtKind::Cache { .. }));
-    assert!(app.artifacts().get("docker/post_cache/Dockerfile").unwrap().content.contains("memcached"));
+    assert!(matches!(
+        kind,
+        blueprint::simrt::BackendRtKind::Cache { .. }
+    ));
+    assert!(app
+        .artifacts()
+        .get("docker/post_cache/Dockerfile")
+        .unwrap()
+        .content
+        .contains("memcached"));
 }
 
 #[test]
@@ -109,9 +138,18 @@ fn database_parameters_are_wiring_kwargs() {
     mutate::set_kwarg(&mut wiring, "ut_db", "replicas", Arg::Int(2)).unwrap();
     mutate::set_kwarg(&mut wiring, "ut_db", "lag_max_ms", Arg::Int(300)).unwrap();
     let app = Blueprint::new().compile(&sn::workflow(), &wiring).unwrap();
-    let db = app.system().backends.iter().find(|b| b.name == "ut_db").unwrap();
+    let db = app
+        .system()
+        .backends
+        .iter()
+        .find(|b| b.name == "ut_db")
+        .unwrap();
     match &db.kind {
-        blueprint::simrt::BackendRtKind::Store { replicas, replication_lag_ns, .. } => {
+        blueprint::simrt::BackendRtKind::Store {
+            replicas,
+            replication_lag_ns,
+            ..
+        } => {
             assert_eq!(*replicas, 2);
             assert_eq!(replication_lag_ns.1, 300_000_000);
         }
@@ -123,8 +161,11 @@ fn database_parameters_are_wiring_kwargs() {
 fn monolithify_mutation_compiles_and_runs() {
     use blueprint::simrt::time::secs;
     let mut wiring = hr::wiring(&WiringOpts::default().without_tracing());
-    mutate::monolithify(&mut wiring, &["GRPCServer", "ThriftServer", "HTTPServer", "Docker"])
-        .unwrap();
+    mutate::monolithify(
+        &mut wiring,
+        &["GRPCServer", "ThriftServer", "HTTPServer", "Docker"],
+    )
+    .unwrap();
     wiring.validate().unwrap();
     let app = Blueprint::new().compile(&hr::workflow(), &wiring).unwrap();
     assert_eq!(app.system().hosts.len(), 1);

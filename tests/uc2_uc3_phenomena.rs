@@ -22,7 +22,11 @@ fn small_system() -> (WorkflowSpec, WiringSpec) {
             "WorkerImpl",
             ServiceInterface::new(
                 "Worker",
-                vec![MethodSig::new("Work", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit)],
+                vec![MethodSig::new(
+                    "Work",
+                    vec![Param::new("reqID", TypeRef::I64)],
+                    TypeRef::Unit,
+                )],
             ),
         )
         .method("Work", Behavior::build().compute(1_000_000, 8 << 10).done())
@@ -35,23 +39,44 @@ fn small_system() -> (WorkflowSpec, WiringSpec) {
             "FrontImpl",
             ServiceInterface::new(
                 "Front",
-                vec![MethodSig::new("Go", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit)],
+                vec![MethodSig::new(
+                    "Go",
+                    vec![Param::new("reqID", TypeRef::I64)],
+                    TypeRef::Unit,
+                )],
             ),
         )
         .dep_service("worker", "Worker")
-        .method("Go", Behavior::build().compute(20_000, 1 << 10).call("worker", "Work").done())
+        .method(
+            "Go",
+            Behavior::build()
+                .compute(20_000, 1 << 10)
+                .call("worker", "Work")
+                .done(),
+        )
         .done()
         .unwrap(),
     )
     .unwrap();
 
     let mut w = WiringSpec::new("small");
-    w.define_kw("deployer", "Docker", vec![], vec![("machines", Arg::Int(2)), ("cores", Arg::Float(1.0))])
-        .unwrap();
+    w.define_kw(
+        "deployer",
+        "Docker",
+        vec![],
+        vec![("machines", Arg::Int(2)), ("cores", Arg::Float(1.0))],
+    )
+    .unwrap();
     w.define("rpc", "GRPCServer", vec![]).unwrap();
-    w.define_kw("to", "Timeout", vec![], vec![("ms", Arg::Int(80))]).unwrap();
-    w.define_kw("retry", "Retry", vec![], vec![("max", Arg::Int(8)), ("backoff_ms", Arg::Int(1))])
+    w.define_kw("to", "Timeout", vec![], vec![("ms", Arg::Int(80))])
         .unwrap();
+    w.define_kw(
+        "retry",
+        "Retry",
+        vec![],
+        vec![("max", Arg::Int(8)), ("backoff_ms", Arg::Int(1))],
+    )
+    .unwrap();
     let mods = ["rpc", "deployer", "to", "retry"];
     w.service("worker", "WorkerImpl", &[], &mods).unwrap();
     w.service("front", "FrontImpl", &["worker"], &mods).unwrap();
@@ -59,18 +84,29 @@ fn small_system() -> (WorkflowSpec, WiringSpec) {
 }
 
 fn spike_phases() -> Vec<Phase> {
-    vec![Phase::new(5, 500.0), Phase::new(4, 2_000.0), Phase::new(12, 500.0)]
+    vec![
+        Phase::new(5, 500.0),
+        Phase::new(4, 2_000.0),
+        Phase::new(12, 500.0),
+    ]
 }
 
 #[test]
 fn uc2_type1_metastability_reproduces_through_the_toolchain() {
     let (wf, w) = small_system();
-    let app = Blueprint::new().without_artifacts().compile(&wf, &w).unwrap();
+    let app = Blueprint::new()
+        .without_artifacts()
+        .compile(&wf, &w)
+        .unwrap();
     let mut sim = app.simulation(17).unwrap();
     let gen = OpenLoopGen::new(spike_phases(), ApiMix::single("front", "Go"), 500, 17);
     let rec = run_experiment(&mut sim, ExperimentSpec::new(gen)).unwrap();
     let pre = rec.window(secs(2), secs(5));
-    assert!(pre.error_rate() < 0.05, "healthy before the spike: {:.3}", pre.error_rate());
+    assert!(
+        pre.error_rate() < 0.05,
+        "healthy before the spike: {:.3}",
+        pre.error_rate()
+    );
     let post = rec.window(secs(15), secs(21));
     assert!(
         post.error_rate() > 0.5,
@@ -93,7 +129,10 @@ fn uc3_circuit_breaker_prevents_the_metastable_state() {
     .unwrap();
     mutate::add_modifier_to_all_services(&mut w, "breaker").unwrap();
 
-    let app = Blueprint::new().without_artifacts().compile(&wf, &w).unwrap();
+    let app = Blueprint::new()
+        .without_artifacts()
+        .compile(&wf, &w)
+        .unwrap();
     let mut sim = app.simulation(17).unwrap();
     let gen = OpenLoopGen::new(spike_phases(), ApiMix::single("front", "Go"), 500, 17);
     let rec = run_experiment(&mut sim, ExperimentSpec::new(gen)).unwrap();
@@ -103,7 +142,10 @@ fn uc3_circuit_breaker_prevents_the_metastable_state() {
         "breaker recovers the system: error rate {:.3}",
         post.error_rate()
     );
-    assert!(sim.metrics.counters.breaker_opens >= 1, "breaker actually tripped");
+    assert!(
+        sim.metrics.counters.breaker_opens >= 1,
+        "breaker actually tripped"
+    );
 }
 
 #[test]
@@ -126,7 +168,10 @@ fn uc2_cross_system_inconsistency_reproduces_and_disappears_past_the_lag() {
             while sim.now() < deadline && !composed {
                 let t = sim.now() + ms(2);
                 sim.run_until(t);
-                composed = sim.drain_completions().iter().any(|c| c.root_seq == wv && c.ok);
+                composed = sim
+                    .drain_completions()
+                    .iter()
+                    .any(|c| c.root_seq == wv && c.ok);
             }
             assert!(composed, "compose finished");
             let t = sim.now() + ms(wait_ms);
@@ -148,7 +193,10 @@ fn uc2_cross_system_inconsistency_reproduces_and_disappears_past_the_lag() {
 
     let (stale_0, total_0) = measure(0, 30);
     assert!(total_0 >= 25);
-    assert!(stale_0 > 0, "immediate reads must hit stale replicas sometimes");
+    assert!(
+        stale_0 > 0,
+        "immediate reads must hit stale replicas sometimes"
+    );
     // Past the maximum replication lag, reads are consistent again.
     let (stale_late, total_late) = measure(600, 30);
     assert!(total_late >= 25);
@@ -168,17 +216,28 @@ fn uc3_xtrace_extension_is_a_three_line_wiring_change() {
     assert!(d.removed <= 14 && d.added <= 14, "{d:?}");
 
     // Compiles only with the extension registered (paper: 1-time extension).
-    assert!(Blueprint::core_only().compile(&sn::workflow(), &xtrace).is_err());
+    assert!(Blueprint::core_only()
+        .compile(&sn::workflow(), &xtrace)
+        .is_err());
     let app = Blueprint::new().compile(&sn::workflow(), &xtrace).unwrap();
-    assert!(app
-        .artifacts()
-        .iter()
-        .any(|(p, _)| p.contains("xtrace_tracer")), "X-Trace wrappers generated");
+    assert!(
+        app.artifacts()
+            .iter()
+            .any(|(p, _)| p.contains("xtrace_tracer")),
+        "X-Trace wrappers generated"
+    );
     let mut sim = app
-        .simulation_with(blueprint::simrt::SimConfig { seed: 3, record_traces: true, ..Default::default() })
+        .simulation_with(blueprint::simrt::SimConfig {
+            seed: 3,
+            record_traces: true,
+            ..Default::default()
+        })
         .unwrap();
     sim.submit("gateway", "ComposePost", 1).unwrap();
     sim.run_until(secs(3));
     assert!(sim.drain_completions()[0].ok);
-    assert!(!sim.traces.drain_finished().is_empty(), "X-Trace spans recorded");
+    assert!(
+        !sim.traces.drain_finished().is_empty(),
+        "X-Trace spans recorded"
+    );
 }

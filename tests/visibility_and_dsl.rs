@@ -13,7 +13,11 @@ fn two_service_workflow() -> WorkflowSpec {
             "BackImpl",
             ServiceInterface::new(
                 "Back",
-                vec![MethodSig::new("Work", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit)],
+                vec![MethodSig::new(
+                    "Work",
+                    vec![Param::new("reqID", TypeRef::I64)],
+                    TypeRef::Unit,
+                )],
             ),
         )
         .method("Work", Behavior::build().compute(10_000, 128).done())
@@ -26,7 +30,11 @@ fn two_service_workflow() -> WorkflowSpec {
             "FrontImpl",
             ServiceInterface::new(
                 "Front",
-                vec![MethodSig::new("Go", vec![Param::new("reqID", TypeRef::I64)], TypeRef::Unit)],
+                vec![MethodSig::new(
+                    "Go",
+                    vec![Param::new("reqID", TypeRef::I64)],
+                    TypeRef::Unit,
+                )],
             ),
         )
         .dep_service("back", "Back")
@@ -45,11 +53,15 @@ fn cross_process_call_without_rpc_server_is_a_compile_error() {
     let mut w = wiring::WiringSpec::new("pair");
     w.define("deployer", "Docker", vec![]).unwrap();
     w.service("back", "BackImpl", &[], &["deployer"]).unwrap();
-    w.service("front", "FrontImpl", &["back"], &["deployer"]).unwrap();
+    w.service("front", "FrontImpl", &["back"], &["deployer"])
+        .unwrap();
     let err = Blueprint::new().compile(&wf, &w).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("lacks the necessary visibility"), "got: {msg}");
-    assert!(msg.contains("front") && msg.contains("back"), "names the edge: {msg}");
+    assert!(
+        msg.contains("front") && msg.contains("back"),
+        "names the edge: {msg}"
+    );
 }
 
 #[test]
@@ -58,8 +70,10 @@ fn adding_the_rpc_server_fixes_the_visibility_error() {
     let mut w = wiring::WiringSpec::new("pair");
     w.define("deployer", "Docker", vec![]).unwrap();
     w.define("rpc", "GRPCServer", vec![]).unwrap();
-    w.service("back", "BackImpl", &[], &["rpc", "deployer"]).unwrap();
-    w.service("front", "FrontImpl", &["back"], &["rpc", "deployer"]).unwrap();
+    w.service("back", "BackImpl", &[], &["rpc", "deployer"])
+        .unwrap();
+    w.service("front", "FrontImpl", &["back"], &["rpc", "deployer"])
+        .unwrap();
     Blueprint::new().compile(&wf, &w).unwrap();
 }
 
@@ -115,8 +129,10 @@ fn run_artifacts_to_disk_roundtrip() {
     let mut w = wiring::WiringSpec::new("pair");
     w.define("deployer", "Docker", vec![]).unwrap();
     w.define("rpc", "GRPCServer", vec![]).unwrap();
-    w.service("back", "BackImpl", &[], &["rpc", "deployer"]).unwrap();
-    w.service("front", "FrontImpl", &["back"], &["rpc", "deployer"]).unwrap();
+    w.service("back", "BackImpl", &[], &["rpc", "deployer"])
+        .unwrap();
+    w.service("front", "FrontImpl", &["back"], &["rpc", "deployer"])
+        .unwrap();
     let app = Blueprint::new().compile(&wf, &w).unwrap();
     let dir = std::env::temp_dir().join(format!("bp_it_{}", std::process::id()));
     app.artifacts().write_to(&dir).unwrap();

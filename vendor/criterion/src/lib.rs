@@ -1,0 +1,304 @@
+//! Offline stand-in for `criterion` (API subset of criterion 0.5).
+//!
+//! Implements `Criterion`, benchmark groups, `Bencher::iter`, `BenchmarkId`,
+//! and the `criterion_group!`/`criterion_main!` macros with a simple
+//! warmup-then-sample wall-clock measurement. Results print as
+//! `name  time: [mean ± stddev]  (N samples of M iters)`.
+//!
+//! Environment / CLI knobs:
+//! - `BENCH_QUICK=1` (or `--quick`): cut warmup and samples for CI smoke runs.
+//! - a positional CLI argument filters benchmarks by substring (as
+//!   `cargo bench -- <filter>` does).
+//! - `--bench`/`--test`/flags passed by cargo are accepted and ignored
+//!   (`--test` additionally switches to quick mode so `cargo test --benches`
+//!   stays fast).
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement configuration shared by `Criterion` and groups.
+#[derive(Debug, Clone)]
+struct MeasureCfg {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement_time: Duration,
+}
+
+impl MeasureCfg {
+    fn quick() -> Self {
+        MeasureCfg {
+            sample_size: 10,
+            warm_up: Duration::from_millis(50),
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+
+    fn full() -> Self {
+        MeasureCfg {
+            sample_size: 30,
+            warm_up: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    cfg: MeasureCfg,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("BENCH_QUICK")
+            .map(|v| v != "0")
+            .unwrap_or(false);
+        Criterion {
+            cfg: if quick {
+                MeasureCfg::quick()
+            } else {
+                MeasureCfg::full()
+            },
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments (filter string, `--quick`; cargo flags ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" | "--test" => self.cfg = MeasureCfg::quick(),
+                "--bench" | "--benches" => {}
+                s if s.starts_with("--") => {
+                    // Skip a value for known value-taking cargo/criterion flags.
+                    if matches!(
+                        s,
+                        "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size"
+                    ) {
+                        let _ = args.next();
+                    }
+                }
+                other => self.filter = Some(other.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Overrides the sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the per-benchmark measurement time.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&self.cfg, self.filter.as_deref(), name, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            cfg: self.cfg.clone(),
+            filter: self.filter.clone(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Identifier for parameterized benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks (shares config overrides).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: MeasureCfg,
+    filter: Option<String>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&self.cfg, self.filter.as_deref(), &full, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&self.cfg, self.filter.as_deref(), &full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream-API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the routine.
+pub struct Bencher {
+    /// Iterations to run this sample.
+    iters: u64,
+    /// Measured time for the sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(cfg: &MeasureCfg, filter: Option<&str>, name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+
+    // Warmup: discover the per-iteration cost.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < cfg.warm_up || warm_iters == 0 {
+        f(&mut b);
+        warm_iters += b.iters;
+        // Grow geometrically so cheap routines don't spin on timer reads.
+        b.iters = (b.iters * 2).min(1 << 20);
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+    // Sampling: split measurement_time across sample_size samples.
+    let samples = cfg.sample_size.max(2);
+    let target_sample = cfg.measurement_time.as_secs_f64() / samples as f64;
+    let iters_per_sample = ((target_sample / per_iter.max(1e-12)) as u64).max(1);
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut s = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut s);
+        times.push(s.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / times.len() as f64;
+    let sd = var.sqrt();
+    println!(
+        "{name:<50} time: [{} ± {}]  ({} samples of {} iters)",
+        fmt_time(mean),
+        fmt_time(sd),
+        samples,
+        iters_per_sample
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.2} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

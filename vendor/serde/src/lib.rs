@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, and nothing in the workspace
+//! actually serializes: the `Serialize`/`Deserialize` derives are only
+//! attached as markers for future artifact emission. This crate therefore
+//! provides blanket-implemented marker traits and re-exports no-op derive
+//! macros, keeping every `#[derive(Serialize, Deserialize)]` in the tree
+//! compiling unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types. Blanket-implemented: with no real data
+/// format in the tree, every type is trivially "serializable".
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types (mirrors serde's lifetime parameter).
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker for types deserializable without borrowing.
+pub trait DeserializeOwned: Sized {}
+impl<T> DeserializeOwned for T {}

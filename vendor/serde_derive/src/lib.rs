@@ -1,0 +1,19 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! The sibling `serde` crate blanket-implements its marker traits, so the
+//! derives have nothing to emit; they exist only so `#[derive(Serialize)]`
+//! and `#[serde(...)]` attributes parse.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (accepts and ignores `#[serde(...)]` attributes).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (accepts and ignores `#[serde(...)]` attributes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
