@@ -20,6 +20,20 @@ echo "==> bench smoke (sim_engine, quick test mode)"
 # without the full sampling run.
 cargo bench -p blueprint-bench --bench sim_engine -- --test
 
+echo "==> parallel-engine determinism (BLUEPRINT_THREADS=1 vs =4)"
+# The same experiment suite must produce identical results whatever the
+# default worker count is; the test itself also pins the 1-vs-4 equality.
+BLUEPRINT_THREADS=1 cargo test --release --test parallel_determinism -q
+BLUEPRINT_THREADS=4 cargo test --release --test parallel_determinism -q
+
+echo "==> parallel-engine wall-clock smoke (fig7 grid, 1 vs 4 threads)"
+# --test mode times the quick grid at 1 and 4 worker threads only; the full
+# 1/2/4/8 sweep is recorded in results/par_speedup.txt. Timings land in
+# results/ci_par_sweep.txt for comparison across runs.
+mkdir -p results
+cargo bench -p blueprint-bench --bench par_sweep -- --test \
+    | tee results/ci_par_sweep.txt
+
 echo "==> completion-stream identity check"
 cargo run --release --example stream_checksum
 

@@ -1,0 +1,54 @@
+//! Wall-clock harness for the parallel experiment engine: times the Fig. 7
+//! vulnerability grid (quick mode) at 1/2/4/8 worker threads, checks that
+//! every thread count reproduces the sequential grid exactly, and reports
+//! speedup over the sequential path.
+//!
+//! `harness = false`: run with `cargo bench -p blueprint-bench --bench
+//! par_sweep`; the full 1/2/4/8 sweep is recorded in
+//! `results/par_speedup.txt`. In `--test` mode (passed by `cargo test` and
+//! by the CI smoke) only the 1-vs-4-thread pair runs.
+//!
+//! Speedup is bounded by the physical core count — on a single-CPU host all
+//! thread counts time roughly the same (the engine then only proves it adds
+//! no overhead); the available parallelism is printed with the results so
+//! the numbers can be read in context.
+
+use std::time::Instant;
+
+use blueprint_bench::figures::fig7;
+use blueprint_bench::Mode;
+use blueprint_workload::parallel::Threads;
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let counts: &[usize] = if test_mode { &[1, 4] } else { &[1, 2, 4, 8] };
+
+    println!("par_sweep — Fig. 7 grid (quick) wall-clock by worker-thread count");
+    println!("host available parallelism: {cores}");
+
+    let mut baseline: Option<(f64, Vec<fig7::Cell>)> = None;
+    for &n in counts {
+        let start = Instant::now();
+        let cells = fig7::run_with(Mode::Quick, Threads::new(n));
+        let secs = start.elapsed().as_secs_f64();
+        match &baseline {
+            None => {
+                println!("threads={n:<2}  {secs:8.2} s  speedup 1.00x  (baseline)");
+                baseline = Some((secs, cells));
+            }
+            Some((base_secs, base_cells)) => {
+                assert_eq!(
+                    &cells, base_cells,
+                    "grid at {n} threads diverged from sequential"
+                );
+                println!(
+                    "threads={n:<2}  {secs:8.2} s  speedup {:.2}x  (identical cells)",
+                    base_secs / secs
+                );
+            }
+        }
+    }
+}

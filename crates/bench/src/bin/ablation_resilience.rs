@@ -11,8 +11,10 @@
 use blueprint_apps::{hotel_reservation as hr, WiringOpts};
 use blueprint_bench::{report, Mode};
 use blueprint_core::Blueprint;
+use blueprint_simrt::SimError;
 use blueprint_wiring::{mutate, Arg};
 use blueprint_workload::generator::{OpenLoopGen, Phase};
+use blueprint_workload::parallel::{par_run, Threads};
 use blueprint_workload::{run_experiment, ExperimentSpec};
 
 fn run_cell(retries: u32, backoff_ms: i64, mode: Mode) -> (f64, u64) {
@@ -52,10 +54,13 @@ fn run_cell(retries: u32, backoff_ms: i64, mode: Mode) -> (f64, u64) {
 
 fn main() {
     let mode = Mode::from_args();
-    let mut rows = Vec::new();
-    for (retries, backoff_ms) in [(0u32, 0i64), (3, 0), (3, 100), (10, 0), (10, 10), (10, 200)] {
+    // Each ablation arm compiles its own variant and runs its own seeded
+    // simulation — independent jobs, run as one parallel batch.
+    let arms = [(0u32, 0i64), (3, 0), (3, 100), (10, 0), (10, 10), (10, 200)];
+    let rows = par_run(arms.len(), Threads::from_env(), |i| {
+        let (retries, backoff_ms) = arms[i];
         let (err, total_retries) = run_cell(retries, backoff_ms, mode);
-        rows.push(vec![
+        Ok::<_, SimError>(vec![
             retries.to_string(),
             backoff_ms.to_string(),
             report::f3(err),
@@ -65,8 +70,9 @@ fn main() {
                 "recovered".into()
             },
             total_retries.to_string(),
-        ]);
-    }
+        ])
+    })
+    .expect("ablation arms run");
     print!(
         "{}",
         report::table(

@@ -12,7 +12,8 @@
 
 use blueprint_apps::{hotel_reservation as hr, social_network as sn, WiringOpts};
 use blueprint_simrt::{SystemSpec, TransportSpec};
-use blueprint_workload::sweep::{latency_throughput, SweepPoint};
+use blueprint_workload::parallel::Threads;
+use blueprint_workload::sweep::{latency_throughput_many, SweepPoint, SweepSpec};
 
 use crate::{report, Mode};
 
@@ -95,27 +96,6 @@ pub fn run(mode: Mode) -> Vec<Comparison> {
     };
     let hr_bp = super::compile(&hr::workflow(), &hr::wiring(&opts));
     let hr_orig = super::compile(&hr::workflow(), &hr::wiring(&opts.without_tracing()));
-    let hr_cmp = Comparison {
-        app: "HotelReservation".into(),
-        blueprint: latency_throughput(
-            hr_bp.system(),
-            &hr::paper_mix(),
-            &hr_rates,
-            duration,
-            hr::ENTITIES,
-            2,
-        )
-        .expect("sweep"),
-        original: latency_throughput(
-            hr_orig.system(),
-            &hr::paper_mix(),
-            &hr_rates,
-            duration,
-            hr::ENTITIES,
-            2,
-        )
-        .expect("sweep"),
-    };
 
     // SocialNetwork: original is C++/nginx with specialized Redis ops.
     let sn_rates: Vec<f64> = if mode.quick() {
@@ -129,28 +109,51 @@ pub fn run(mode: Mode) -> Vec<Comparison> {
         &sn::wiring(&opts.without_tracing()),
     );
     let native_sys = native_profile(sn_native.system());
-    let sn_cmp = Comparison {
-        app: "SocialNetwork".into(),
-        blueprint: latency_throughput(
-            sn_bp.system(),
-            &sn::paper_mix(),
-            &sn_rates,
-            duration,
-            sn::ENTITIES,
-            2,
-        )
-        .expect("sweep"),
-        original: latency_throughput(
-            &native_sys,
-            &sn::paper_mix(),
-            &sn_rates,
-            duration,
-            sn::ENTITIES,
-            2,
-        )
-        .expect("sweep"),
-    };
-    vec![hr_cmp, sn_cmp]
+
+    // All four profile sweeps run as one flat parallel batch (every
+    // (system, rate) cell is an independent seeded run).
+    let hr_mix = hr::paper_mix();
+    let sn_mix = sn::paper_mix();
+    fn spec<'a>(
+        system: &'a SystemSpec,
+        mix: &'a blueprint_workload::generator::ApiMix,
+        rates_rps: &'a [f64],
+        entities: u64,
+        duration_s: u64,
+    ) -> SweepSpec<'a> {
+        SweepSpec {
+            system,
+            mix,
+            rates_rps,
+            duration_s,
+            entities,
+            seed: 2,
+        }
+    }
+    let mut grouped = latency_throughput_many(
+        &[
+            spec(hr_bp.system(), &hr_mix, &hr_rates, hr::ENTITIES, duration),
+            spec(hr_orig.system(), &hr_mix, &hr_rates, hr::ENTITIES, duration),
+            spec(sn_bp.system(), &sn_mix, &sn_rates, sn::ENTITIES, duration),
+            spec(&native_sys, &sn_mix, &sn_rates, sn::ENTITIES, duration),
+        ],
+        Threads::from_env(),
+    )
+    .expect("sweep")
+    .into_iter();
+    let mut next = || grouped.next().expect("four sweeps");
+    vec![
+        Comparison {
+            app: "HotelReservation".into(),
+            blueprint: next(),
+            original: next(),
+        },
+        Comparison {
+            app: "SocialNetwork".into(),
+            blueprint: next(),
+            original: next(),
+        },
+    ]
 }
 
 /// Renders both comparisons.

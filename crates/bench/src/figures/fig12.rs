@@ -6,7 +6,8 @@
 
 use blueprint_apps::{social_network as sn, WiringOpts};
 use blueprint_workload::generator::ApiMix;
-use blueprint_workload::sweep::{latency_throughput, SweepPoint};
+use blueprint_workload::parallel::Threads;
+use blueprint_workload::sweep::{latency_throughput_many, SweepPoint, SweepSpec};
 
 use crate::{report, Mode};
 
@@ -38,25 +39,24 @@ pub fn run(mode: Mode) -> CacheComparison {
     };
     let generic_app = super::compile(&sn::workflow_with(false), &sn::wiring(&opts));
     let extended_app = super::compile(&sn::workflow_with(true), &sn::wiring(&opts));
+    // Both interface variants sweep as one flat parallel batch.
+    let spec = |system| SweepSpec {
+        system,
+        mix: &mix,
+        rates_rps: rates.as_slice(),
+        duration_s: duration,
+        entities: sn::ENTITIES,
+        seed: 3,
+    };
+    let mut grouped = latency_throughput_many(
+        &[spec(generic_app.system()), spec(extended_app.system())],
+        Threads::from_env(),
+    )
+    .expect("sweep")
+    .into_iter();
     CacheComparison {
-        generic: latency_throughput(
-            generic_app.system(),
-            &mix,
-            &rates,
-            duration,
-            sn::ENTITIES,
-            3,
-        )
-        .expect("sweep"),
-        extended: latency_throughput(
-            extended_app.system(),
-            &mix,
-            &rates,
-            duration,
-            sn::ENTITIES,
-            3,
-        )
-        .expect("sweep"),
+        generic: grouped.next().expect("generic sweep"),
+        extended: grouped.next().expect("extended sweep"),
     }
 }
 

@@ -7,8 +7,10 @@
 //! outperforms the microservice decomposition.
 
 use blueprint_apps::{hotel_reservation as hr, social_network as sn, RpcChoice, WiringOpts};
+use blueprint_simrt::SimError;
 use blueprint_workload::generator::ApiMix;
-use blueprint_workload::sweep::{latency_throughput, SweepPoint};
+use blueprint_workload::parallel::{par_run, Threads};
+use blueprint_workload::sweep::{latency_throughput_many, SweepPoint, SweepSpec};
 
 use crate::report;
 use crate::Mode;
@@ -44,31 +46,52 @@ fn variants() -> Vec<(String, WiringOpts)> {
 }
 
 /// Runs the exploration for one app given its workflow/wiring constructors.
+///
+/// Variants compile in parallel, then every `(variant, rate)` cell runs as
+/// one flat parallel batch — seeding matches the historical per-variant
+/// sequential sweeps, so the output is byte-identical.
+#[allow(clippy::too_many_arguments)]
 fn explore(
     app_name: &str,
     workflow: &blueprint_workflow::WorkflowSpec,
-    wiring_of: impl Fn(&WiringOpts) -> blueprint_wiring::WiringSpec,
+    wiring_of: impl Fn(&WiringOpts) -> blueprint_wiring::WiringSpec + Sync,
     mix: &ApiMix,
     rates: &[f64],
     entities: u64,
     mode: Mode,
+    threads: Threads,
 ) -> Vec<VariantSweep> {
     let duration = mode.secs(15);
-    let mut out = Vec::new();
-    for (label, opts) in variants() {
-        let app = super::compile(workflow, &wiring_of(&opts));
-        let points = latency_throughput(app.system(), mix, rates, duration, entities, 1)
-            .expect("sweep runs");
-        out.push(VariantSweep {
+    let variants = variants();
+    let apps = par_run(variants.len(), threads, |i| {
+        Ok::<_, SimError>(super::compile(workflow, &wiring_of(&variants[i].1)))
+    })
+    .expect("variants compile");
+    let specs: Vec<SweepSpec<'_>> = apps
+        .iter()
+        .map(|app| SweepSpec {
+            system: app.system(),
+            mix,
+            rates_rps: rates,
+            duration_s: duration,
+            entities,
+            seed: 1,
+        })
+        .collect();
+    let grouped = latency_throughput_many(&specs, threads).expect("sweep runs");
+    variants
+        .into_iter()
+        .zip(grouped)
+        .map(|((label, _), points)| VariantSweep {
             variant: format!("{app_name}/{label}"),
             points,
-        });
-    }
-    out
+        })
+        .collect()
 }
 
 /// Runs both applications' explorations.
 pub fn run(mode: Mode) -> Vec<VariantSweep> {
+    let threads = Threads::from_env();
     let hr_rates: Vec<f64> = if mode.quick() {
         vec![2_000.0, 10_000.0, 20_000.0]
     } else {
@@ -89,6 +112,7 @@ pub fn run(mode: Mode) -> Vec<VariantSweep> {
         &hr_rates,
         hr::ENTITIES,
         mode,
+        threads,
     );
     out.extend(explore(
         "SocialNetwork",
@@ -98,6 +122,7 @@ pub fn run(mode: Mode) -> Vec<VariantSweep> {
         &sn_rates,
         sn::ENTITIES,
         mode,
+        threads,
     ));
     out
 }

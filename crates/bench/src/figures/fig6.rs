@@ -18,8 +18,7 @@
 //!   capacity-constrained timeline DB; DB calls time out before the cache
 //!   can repopulate.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use blueprint_apps::{hotel_reservation as hr, social_network as sn, WiringOpts};
 use blueprint_simrt::time::secs;
@@ -207,8 +206,10 @@ pub fn type4(mode: Mode) -> MetaResult {
         64,
     );
     // Sample cumulative hit/miss counters each second for the miss-rate
-    // series, and flush the cache at the 60 s mark.
-    let samples: Rc<RefCell<Vec<(f64, u64, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+    // series, and flush the cache at the 60 s mark. (`Arc<Mutex<..>>` rather
+    // than `Rc<RefCell<..>>` so the custom actions satisfy `Action`'s `Send`
+    // bound; the experiment itself still runs on one thread.)
+    let samples: Arc<Mutex<Vec<(f64, u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
     let mut exp = ExperimentSpec::new(gen).at(
         secs(mode.secs(60)),
         Action::CacheFlush {
@@ -225,7 +226,7 @@ pub fn type4(mode: Mode) -> MetaResult {
                     .backend("ut_cache")
                     .map(|b| (b.hits, b.misses))
                     .unwrap_or((0, 0));
-                s.borrow_mut().push((t as f64, h, m));
+                s.lock().expect("sampler lock").push((t as f64, h, m));
             })),
         );
     }
@@ -234,7 +235,7 @@ pub fn type4(mode: Mode) -> MetaResult {
     // Convert cumulative samples into per-interval miss rates.
     let mut miss_rate = Vec::new();
     let mut prev = (0u64, 0u64);
-    for (t, h, m) in samples.borrow().iter() {
+    for (t, h, m) in samples.lock().expect("sampler lock").iter() {
         let dh = h - prev.0;
         let dm = m - prev.1;
         prev = (*h, *m);

@@ -12,7 +12,8 @@
 use blueprint_apps::{social_network as sn, WiringOpts};
 use blueprint_core::CompiledApp;
 use blueprint_simrt::time::{ms, secs};
-use blueprint_simrt::Sim;
+use blueprint_simrt::{Sim, SimError};
+use blueprint_workload::parallel::{par_run, Threads};
 
 use crate::{report, Mode};
 
@@ -75,6 +76,8 @@ fn measure(app: &CompiledApp, wait_ms: u64, pairs: u64, seed: u64) -> f64 {
 }
 
 /// Runs the experiment over waits 0..=1000 ms in 100 ms steps (paper setup).
+/// Each wait point runs its compose/read pairs in a fresh worker-local `Sim`
+/// per variant, so the wait sweep is one parallel batch.
 pub fn run(mode: Mode) -> Vec<Point> {
     let pairs = if mode.quick() { 20 } else { 80 };
     let opts = WiringOpts::default().without_tracing();
@@ -85,14 +88,15 @@ pub fn run(mode: Mode) -> Vec<Point> {
     } else {
         (0..=10).map(|i| i * 100).collect()
     };
-    waits
-        .into_iter()
-        .map(|w| Point {
+    par_run(waits.len(), Threads::from_env(), |i| {
+        let w = waits[i];
+        Ok::<_, SimError>(Point {
             wait_ms: w,
             replicated: measure(&replicated, w, pairs, 81),
             baseline: measure(&baseline, w, pairs, 82),
         })
-        .collect()
+    })
+    .expect("wait sweep runs")
 }
 
 /// Renders the figure data.

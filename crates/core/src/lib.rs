@@ -179,6 +179,19 @@ mod tests {
     use blueprint_ir::{MethodSig, TypeRef};
     use blueprint_workflow::{Behavior, ServiceBuilder, ServiceInterface};
 
+    /// The parallel experiment engine compiles variants on worker threads
+    /// and shares compiled apps across workers by reference, so a
+    /// `CompiledApp` (and the spec inputs it is built from) must be
+    /// `Send + Sync`. Only the booted `Sim` is thread-bound.
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const _: () = {
+        assert_send_sync::<CompiledApp>();
+        assert_send_sync::<CompiledAppInner>();
+        assert_send_sync::<SystemSpec>();
+        assert_send_sync::<WorkflowSpec>();
+        assert_send_sync::<WiringSpec>();
+    };
+
     fn hello() -> (WorkflowSpec, WiringSpec) {
         let mut wf = WorkflowSpec::new("hello");
         wf.add_service(

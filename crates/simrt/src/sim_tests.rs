@@ -8,6 +8,23 @@ use crate::spec::{
 use crate::time::{ms, secs, us};
 use blueprint_workflow::{Behavior, CacheOp, KeyExpr};
 
+/// Send/Sync audit for the cross-run parallel experiment engine
+/// (`blueprint_workload::parallel`): a `Sim` itself is intentionally `!Send`
+/// (its boot-compiled programs are `Rc`-shared), so parallel workers each
+/// build their own `Sim` from a shared `&SystemSpec` and send plain-data
+/// results back. Everything on that boundary must be `Send + Sync`.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<SystemSpec>();
+    assert_send_sync::<ServiceSpec>();
+    assert_send_sync::<BackendSpec>();
+    assert_send_sync::<EntrySpec>();
+    assert_send_sync::<ClientSpec>();
+    assert_send_sync::<SimConfig>();
+    assert_send_sync::<Completion>();
+    assert_send_sync::<SimError>();
+};
+
 /// One host, one process, one entry service with the given behavior.
 fn single_service(behavior: Behavior) -> SystemSpec {
     let mut spec = SystemSpec {

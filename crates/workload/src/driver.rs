@@ -24,8 +24,10 @@ pub enum Action {
         /// Backend name.
         backend: String,
     },
-    /// Arbitrary driver action.
-    Custom(Box<dyn FnMut(&mut Sim)>),
+    /// Arbitrary driver action. `Send` so a whole [`ExperimentSpec`] can be
+    /// built on (or moved to) a parallel-engine worker thread; the closure
+    /// still runs single-threaded against the worker-local `Sim`.
+    Custom(Box<dyn FnMut(&mut Sim) + Send>),
 }
 
 impl std::fmt::Debug for Action {
@@ -167,6 +169,16 @@ fn apply(sim: &mut Sim, action: Action) -> Result<(), SimError> {
 mod tests {
     use super::*;
     use crate::generator::{ApiMix, OpenLoopGen, Phase};
+
+    /// Workers of the parallel experiment engine build or receive whole
+    /// experiment specs; everything in one must cross the thread boundary.
+    /// (`Sync` is not required — a spec belongs to exactly one worker.)
+    const fn assert_send<T: Send>() {}
+    const _: () = {
+        assert_send::<Action>();
+        assert_send::<ExperimentSpec>();
+        assert_send::<OpenLoopGen>();
+    };
     use blueprint_simrt::{
         ClientSpec, EntrySpec, HostSpec, ProcessSpec, ServiceSpec, SimConfig, SystemSpec,
     };

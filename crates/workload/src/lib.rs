@@ -14,15 +14,21 @@
 //! * [`driver`] — runs a workload against a [`blueprint_simrt::Sim`],
 //!   executing scheduled actions (CPU contention, cache flushes — the FIRM
 //!   anomaly injector substitute) at the right virtual times;
+//! * [`parallel`] — the deterministic parallel experiment engine: runs
+//!   independent seeded simulations across worker threads with index-ordered
+//!   collection, so parallel output is byte-identical to the sequential loop
+//!   (`BLUEPRINT_THREADS` configures the worker count);
 //! * [`sweep`] — latency–throughput sweeps (Figs. 5, 11, 12) and the
-//!   metastability vulnerability grid (Fig. 7).
+//!   metastability vulnerability grid (Fig. 7), built on [`parallel`].
 
 pub mod driver;
 pub mod generator;
+pub mod parallel;
 pub mod quantile;
 pub mod recorder;
 pub mod sweep;
 
 pub use driver::{run_experiment, Action, ExperimentSpec};
 pub use generator::{ApiMix, Arrival, OpenLoopGen, Phase};
+pub use parallel::{par_run, Threads};
 pub use recorder::{IntervalStats, Recorder};

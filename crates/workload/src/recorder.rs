@@ -152,6 +152,15 @@ impl Recorder {
 mod tests {
     use super::*;
 
+    /// Recorders live inside per-worker jobs and their window summaries are
+    /// returned across threads by the parallel engine, so both must be plain
+    /// `Send + Sync` data.
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const _: () = {
+        assert_send_sync::<Recorder>();
+        assert_send_sync::<IntervalStats>();
+    };
+
     fn c(finish_ms: u64, lat_ms: u64, ok: bool) -> Completion {
         Completion {
             entry: "e".into(),

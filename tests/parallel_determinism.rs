@@ -1,0 +1,103 @@
+//! Cross-run parallelism determinism: the experiment engine's parallel path
+//! must be *byte-identical* to the sequential loop — same seeds, same job
+//! order, same result vectors — regardless of worker count or scheduling.
+//! This is the contract that lets figures and sweeps run on all cores while
+//! remaining reproducible (`BLUEPRINT_THREADS=1` vs `=4` is checked in CI).
+
+use blueprint::apps::{hotel_reservation as hr, WiringOpts};
+use blueprint::core::{Blueprint, CompiledApp};
+use blueprint::workload::parallel::Threads;
+use blueprint::workload::sweep::{latency_throughput_with, trigger_recovery, TriggerSpec};
+
+fn hotel() -> CompiledApp {
+    Blueprint::new()
+        .without_artifacts()
+        .compile(
+            &hr::workflow(),
+            &hr::wiring(&WiringOpts::default().without_tracing()),
+        )
+        .expect("hotel reservation compiles")
+}
+
+/// A small latency–throughput sweep must produce `==`-identical point
+/// vectors at 1 and 4 worker threads, for every seed.
+#[test]
+fn sweep_parallel_equals_sequential_across_seeds() {
+    let app = hotel();
+    let mix = hr::paper_mix();
+    let rates = [500.0, 1_500.0, 3_000.0];
+    for seed in [11u64, 12] {
+        let seq = latency_throughput_with(
+            app.system(),
+            &mix,
+            &rates,
+            3,
+            hr::ENTITIES,
+            seed,
+            Threads::sequential(),
+        )
+        .expect("sequential sweep");
+        let par = latency_throughput_with(
+            app.system(),
+            &mix,
+            &rates,
+            3,
+            hr::ENTITIES,
+            seed,
+            Threads::new(4),
+        )
+        .expect("parallel sweep");
+        assert!(!seq.is_empty());
+        assert_eq!(seq, par, "sweep diverged at seed {seed}");
+    }
+}
+
+/// A small trigger grid (2 rates × 2 durations) must classify identically —
+/// full `TriggerResult` equality, not just the outcome label — at 1 and 4
+/// worker threads, for every seed.
+#[test]
+fn trigger_grid_parallel_equals_sequential_across_seeds() {
+    let app = hotel();
+    let mix = hr::paper_mix();
+    let host = app
+        .system()
+        .services
+        .iter()
+        .find(|s| s.name == "frontend")
+        .map(|s| {
+            let p = &app.system().processes[s.process];
+            app.system().hosts[p.host].name.clone()
+        })
+        .expect("frontend host");
+    let grid = |threads: Threads, seed: u64| {
+        let jobs: Vec<(f64, u64)> = [1_000.0, 3_500.0]
+            .iter()
+            .flat_map(|&rps| [2u64, 5].iter().map(move |&dur| (rps, dur)))
+            .collect();
+        blueprint::workload::par_run(jobs.len(), threads, |i| {
+            let (rps, dur) = jobs[i];
+            trigger_recovery(
+                app.system(),
+                &mix,
+                &TriggerSpec {
+                    rps,
+                    total_s: 12,
+                    entities: 10_000,
+                    trigger_host: host.clone(),
+                    trigger_cores: 1.7,
+                    trigger_at_s: 4,
+                    trigger_dur_s: dur,
+                    observe_s: 3,
+                    recover_error_threshold: 0.2,
+                    seed,
+                },
+            )
+        })
+        .expect("grid runs")
+    };
+    for seed in [21u64, 22] {
+        let seq = grid(Threads::sequential(), seed);
+        let par = grid(Threads::new(4), seed);
+        assert_eq!(seq, par, "trigger grid diverged at seed {seed}");
+    }
+}
