@@ -34,7 +34,21 @@ mkdir -p results
 cargo bench -p blueprint-bench --bench par_sweep -- --test \
     | tee results/ci_par_sweep.txt
 
+echo "==> fault-matrix smoke (2 cells, BLUEPRINT_THREADS=1 vs =4)"
+# The resilience matrix must be byte-identical whatever the worker count;
+# the binary itself panics on any conservation or amplification violation.
+BLUEPRINT_THREADS=1 cargo run --release -p blueprint-bench --bin ablation_faults -- \
+    --quick --smoke
+mv results/fault_matrix.txt results/ci_fault_matrix.txt
+BLUEPRINT_THREADS=4 cargo run --release -p blueprint-bench --bin ablation_faults -- \
+    --quick --smoke
+cmp results/ci_fault_matrix.txt results/fault_matrix.txt
+mv results/fault_matrix.txt results/ci_fault_matrix.txt
+
 echo "==> completion-stream identity check"
-cargo run --release --example stream_checksum
+# With no fault plan the completion stream must be bit-identical to the
+# pre-fault-engine seed: pin the historical checksum, not just a self-match.
+cargo run --release --example stream_checksum | tee results/ci_stream_checksum.txt
+grep -q "checksum=73897de1072914b2" results/ci_stream_checksum.txt
 
 echo "CI OK"

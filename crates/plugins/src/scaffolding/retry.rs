@@ -2,7 +2,7 @@
 
 use blueprint_ir::{IrGraph, NodeId};
 use blueprint_simrt::time::ms;
-use blueprint_simrt::ClientSpec;
+use blueprint_simrt::{ClientSpec, ExpBackoff};
 use blueprint_wiring::InstanceDecl;
 
 use crate::api::{BuildCtx, Plugin, PluginResult};
@@ -17,9 +17,16 @@ pub const KIND: &str = "mod.retry";
 /// that service retry failed or timed-out calls up to `max` times — the
 /// workload-amplification half of the metastability experiments (§6.2.1).
 ///
+/// Optional kwargs turn the fixed backoff into a capped exponential with
+/// deterministic seeded jitter: `exp_base` (growth per attempt, must exceed
+/// 1.0 to take effect), `max_backoff_ms` (delay cap), and `jitter` (fraction
+/// in `[0, 1)` subtracted at random from each delay).
+///
 /// Kwarg validation: `max` is rounded to the nearest whole attempt count
-/// (never truncated), and non-finite or non-positive `max`/`backoff_ms`
-/// values fall back to no retries / no backoff rather than wrapping.
+/// (never truncated); non-finite or non-positive `max`/`backoff_ms` values
+/// fall back to no retries / no backoff rather than wrapping; a non-finite
+/// or ≤ 1.0 `exp_base` disables exponential growth entirely, and `jitter`
+/// is clamped into `[0, 1)` (never negative, never a full-delay erase).
 pub struct RetryPlugin;
 
 impl Plugin for RetryPlugin {
@@ -41,7 +48,12 @@ impl Plugin for RetryPlugin {
         ir: &mut IrGraph,
         _ctx: &BuildCtx<'_>,
     ) -> PluginResult<NodeId> {
-        server_modifier(decl, ir, KIND, &["max", "backoff_ms"])
+        server_modifier(
+            decl,
+            ir,
+            KIND,
+            &["max", "backoff_ms", "exp_base", "max_backoff_ms", "jitter"],
+        )
     }
 
     fn apply_client(&self, node: NodeId, ir: &IrGraph, client: &mut ClientSpec) {
@@ -62,6 +74,33 @@ impl Plugin for RetryPlugin {
                 (backoff_ms * ms(1) as f64).round() as u64
             } else {
                 0
+            };
+            // Exponential backoff is opt-in: a base that is non-finite or
+            // does not actually grow (≤ 1.0) leaves the fixed-backoff
+            // behavior untouched instead of silently decaying delays.
+            let exp_base = n.props.float_or("exp_base", 0.0);
+            client.backoff_exp = if exp_base.is_finite() && exp_base > 1.0 {
+                let max_backoff_ms = n.props.float_or("max_backoff_ms", 0.0);
+                let max_ns = if max_backoff_ms.is_finite() && max_backoff_ms > 0.0 {
+                    (max_backoff_ms * ms(1) as f64).round() as u64
+                } else {
+                    0
+                };
+                let jitter = n.props.float_or("jitter", 0.0);
+                let jitter = if jitter.is_finite() {
+                    // f64::EPSILON keeps jitter strictly below 1 so a delay
+                    // can shrink but never vanish entirely.
+                    jitter.clamp(0.0, 1.0 - f64::EPSILON)
+                } else {
+                    0.0
+                };
+                Some(ExpBackoff {
+                    base: exp_base,
+                    max_ns,
+                    jitter,
+                })
+            } else {
+                None
             };
         }
     }
@@ -148,6 +187,75 @@ mod tests {
         let c = case(Arg::Float(f64::NAN), Arg::Float(f64::INFINITY));
         assert_eq!(c.retries, 0);
         assert_eq!(c.backoff_ns, 0);
+    }
+
+    #[test]
+    fn exponential_backoff_kwargs_are_parsed_and_validated() {
+        let wf = WorkflowSpec::new("w");
+        let wiring = WiringSpec::new("w");
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
+        let mut ir = IrGraph::new("t");
+        let mut node_seq = 0u32;
+        let mut case = |kwargs: Vec<(&str, Arg)>| {
+            node_seq += 1;
+            let decl = InstanceDecl {
+                name: format!("retry{node_seq}"),
+                callee: "Retry".into(),
+                args: vec![],
+                kwargs: kwargs
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+                server_modifiers: vec![],
+            };
+            let m = RetryPlugin.build_node(&decl, &mut ir, &ctx).unwrap();
+            let mut client = ClientSpec::local();
+            RetryPlugin.apply_client(m, &ir, &mut client);
+            client
+        };
+        // Full exponential policy.
+        let c = case(vec![
+            ("max", Arg::Int(5)),
+            ("backoff_ms", Arg::Int(2)),
+            ("exp_base", Arg::Float(2.0)),
+            ("max_backoff_ms", Arg::Int(100)),
+            ("jitter", Arg::Float(0.25)),
+        ]);
+        let exp = c.backoff_exp.expect("exponential policy set");
+        assert_eq!(exp.base, 2.0);
+        assert_eq!(exp.max_ns, ms(100));
+        assert_eq!(exp.jitter, 0.25);
+        // A base that does not grow (or is not finite) disables the policy.
+        let c = case(vec![("exp_base", Arg::Float(1.0))]);
+        assert!(c.backoff_exp.is_none());
+        let c = case(vec![("exp_base", Arg::Float(f64::NAN))]);
+        assert!(c.backoff_exp.is_none());
+        // Jitter is clamped into [0, 1): negatives to 0, ≥ 1 just below 1.
+        let c = case(vec![
+            ("exp_base", Arg::Float(3.0)),
+            ("jitter", Arg::Float(-0.5)),
+        ]);
+        assert_eq!(c.backoff_exp.unwrap().jitter, 0.0);
+        let c = case(vec![
+            ("exp_base", Arg::Float(3.0)),
+            ("jitter", Arg::Float(2.0)),
+        ]);
+        let j = c.backoff_exp.unwrap().jitter;
+        assert!((0.0..1.0).contains(&j) && j > 0.99);
+        let c = case(vec![
+            ("exp_base", Arg::Float(3.0)),
+            ("jitter", Arg::Float(f64::INFINITY)),
+        ]);
+        assert_eq!(c.backoff_exp.unwrap().jitter, 0.0);
+        // A bad cap falls back to "uncapped" (0) without disabling growth.
+        let c = case(vec![
+            ("exp_base", Arg::Float(2.0)),
+            ("max_backoff_ms", Arg::Float(-3.0)),
+        ]);
+        assert_eq!(c.backoff_exp.unwrap().max_ns, 0);
     }
 
     #[test]

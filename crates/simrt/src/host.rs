@@ -180,6 +180,37 @@ impl PsHost {
         }
     }
 
+    /// Removes every job (active or frozen) of `proc` without completing it
+    /// — the process crashed. Returns the cancelled jobs in `JobId` order so
+    /// callers can process them deterministically (the internal maps iterate
+    /// in arbitrary order).
+    pub fn cancel_proc(&mut self, now: SimTime, proc: usize) -> Vec<JobId> {
+        self.advance(now);
+        let mut victims: Vec<JobId> = self
+            .job_proc
+            .iter()
+            .filter(|(_, p)| **p == proc)
+            .map(|(j, _)| *j)
+            .collect();
+        for job in &victims {
+            let d = self.deadlines.remove(job).expect("active job has deadline");
+            self.queue.remove(&(key(d), *job));
+            self.job_proc.remove(job);
+        }
+        let frozen: Vec<JobId> = self
+            .frozen
+            .iter()
+            .filter(|(_, (_, p))| *p == proc)
+            .map(|(j, _)| *j)
+            .collect();
+        for job in frozen {
+            self.frozen.remove(&job);
+            victims.push(job);
+        }
+        victims.sort_unstable();
+        victims
+    }
+
     /// Unfreezes all jobs of `proc` (pause ends).
     pub fn unfreeze_proc(&mut self, now: SimTime, proc: usize) {
         self.advance(now);
@@ -332,6 +363,23 @@ mod tests {
         assert_eq!(h.active_jobs(), 1);
         // Job 2 had 950 left at t=100, full speed now → 1050.
         assert_eq!(h.next_completion(100), Some(1050));
+    }
+
+    #[test]
+    fn cancel_proc_removes_active_and_frozen_jobs_in_id_order() {
+        let mut h = PsHost::new(2.0);
+        h.add(0, JobId(3), 1000.0, 7);
+        h.add(0, JobId(1), 1000.0, 7);
+        h.add(0, JobId(2), 1000.0, 8);
+        h.add_frozen(0, JobId(5), 400.0, 7);
+        let victims = h.cancel_proc(100, 7);
+        assert_eq!(victims, vec![JobId(1), JobId(3), JobId(5)]);
+        assert_eq!(h.active_jobs(), 1);
+        assert_eq!(h.frozen_jobs(), 0);
+        // Three active jobs on two cores ran at 2/3 speed for 100 ns, so the
+        // survivor has 1000 - 66.67 left; alone at full speed → ⌈933.3⌉.
+        assert_eq!(h.next_completion(100), Some(1034));
+        assert_eq!(drain_at(&mut h, 1034), vec![JobId(2)]);
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //!   stores with replica lag (cross-system inconsistency, Fig. 8), queues.
 //! * **Tracing.** Optional span recording with per-span CPU overhead, feeding
 //!   the trace collector and the Sifter reproduction (Fig. 9).
+//! * **Faults.** A deterministic injection engine ([`spec::FaultPlan`]):
+//!   process crash + restart, host down/up, network partitions and link
+//!   degradation, backend brownouts — scheduled or drawn from a seeded chaos
+//!   process. In-flight work affected by a fault fails fast with a
+//!   classified error, preserving request conservation.
 //!
 //! Determinism: one seeded RNG, a single event queue ordered by
 //! `(time, sequence)`, and no wall-clock anywhere. The same spec + seed +
@@ -41,8 +46,9 @@ pub mod time;
 
 pub use sim::{Completion, EntryHandle, Sim, SimConfig};
 pub use spec::{
-    BackendRtKind, BackendSpec, BreakerSpec, ClientSpec, DepBinding, EntrySpec, GcSpec, HostSpec,
-    LbPolicy, ProcessSpec, ServiceSpec, SystemSpec, TransportSpec,
+    BackendRtKind, BackendSpec, BreakerSpec, ChaosSpec, ClientSpec, DepBinding, EntrySpec,
+    ExpBackoff, Fault, FaultPlan, GcSpec, HostSpec, LbPolicy, ProcessSpec, ServiceSpec, SystemSpec,
+    TransportSpec,
 };
 pub use time::{ms, secs, us, SimTime};
 

@@ -31,6 +31,16 @@ pub struct SimCounters {
     pub spans: u64,
     /// Messages dropped by full queues.
     pub queue_drops: u64,
+    /// Faults injected (scheduled, chaos-drawn, or driver-injected).
+    pub faults_injected: u64,
+    /// Process crashes executed (host-down counts one per resident process).
+    pub process_crashes: u64,
+    /// Frames killed by a process crash.
+    pub crashed_frames: u64,
+    /// Requests lost to a partition or lossy link.
+    pub link_unreachable: u64,
+    /// Requests rejected by an unavailable (browned-out) backend.
+    pub brownout_rejections: u64,
 }
 
 /// Per-backend statistics.

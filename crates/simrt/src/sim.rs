@@ -28,7 +28,9 @@ use blueprint_workflow::{Behavior, CacheOp, DbOp, KeyExpr, Step};
 
 use crate::host::{JobId, PsHost, NO_PROC};
 use crate::metrics::{BackendStats, Metrics};
-use crate::spec::{BackendRtKind, ClientSpec, DepBinding, LbPolicy, SystemSpec, TransportSpec};
+use crate::spec::{
+    BackendRtKind, ClientSpec, DepBinding, Fault, FaultPlan, LbPolicy, SystemSpec, TransportSpec,
+};
 use crate::time::SimTime;
 use crate::{Result, SimError};
 
@@ -46,6 +48,10 @@ pub struct SimConfig {
     /// Hard cap on live frames; submissions beyond it fast-fail (memory
     /// guard under extreme overload).
     pub max_frames: usize,
+    /// Faults to inject during the run. An empty plan (the default) adds
+    /// zero events and RNG draws, so fault-free runs are byte-identical to
+    /// a build without the engine.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -54,6 +60,7 @@ impl Default for SimConfig {
             seed: 1,
             record_traces: false,
             max_frames: 2_000_000,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -165,6 +172,12 @@ enum CallErr {
     Downstream,
     Fault,
     QueueFull,
+    /// The serving process crashed with the request in flight.
+    Crash,
+    /// The request was lost to a partition or lossy link.
+    Unreachable,
+    /// The backend rejected the request while browned out.
+    Brownout,
 }
 
 /// Result of a call attempt.
@@ -188,6 +201,9 @@ impl CallErr {
             CallErr::Downstream => "downstream",
             CallErr::Fault => "fault",
             CallErr::QueueFull => "queue_full",
+            CallErr::Crash => "crash",
+            CallErr::Unreachable => "unreachable",
+            CallErr::Brownout => "brownout",
         }
     }
 }
@@ -601,6 +617,64 @@ enum Ev {
         key: u64,
         version: u64,
     },
+    /// A scheduled fault fires.
+    FaultFire {
+        fault: RFault,
+    },
+    /// A crashed process comes back up (ignored if `gen` is stale).
+    ProcRestart {
+        proc: usize,
+        gen: u64,
+    },
+    /// The chaos process draws and injects its next fault.
+    ChaosFire,
+}
+
+/// A fault with every name resolved to a dense index at boot (or at
+/// injection time for driver-injected faults).
+#[derive(Debug, Clone)]
+enum RFault {
+    Crash {
+        proc: usize,
+        restart_ns: SimTime,
+    },
+    HostDown {
+        host: usize,
+        down_ns: SimTime,
+    },
+    /// Partition and link degradation share one runtime shape: a partition
+    /// is a link with `loss == 1.0` and no extra latency.
+    Link {
+        a: usize,
+        b: usize,
+        dur: SimTime,
+        extra_ns: u64,
+        loss: f64,
+    },
+    Brownout {
+        backend: usize,
+        dur: SimTime,
+        slow: f64,
+        unavailable: bool,
+    },
+}
+
+/// Active degradation of one directed process pair. Entries persist after
+/// expiry (checked against `until`) but are inert.
+#[derive(Debug, Clone, Copy)]
+struct LinkFault {
+    until: SimTime,
+    extra_ns: u64,
+    loss: f64,
+}
+
+/// Runtime state of the chaos process. Its RNG is separate from the main
+/// simulation RNG so chaos never perturbs workload randomness.
+struct ChaosRt {
+    rng: SmallRng,
+    menu: Vec<RFault>,
+    mean_gap_ns: SimTime,
+    end_ns: SimTime,
 }
 
 struct EvEntry {
@@ -633,8 +707,15 @@ impl Ord for EvEntry {
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum BreakerState {
     Closed,
-    Open { until: SimTime },
-    HalfOpen { successes: u32 },
+    Open {
+        until: SimTime,
+    },
+    /// Probing: at most `half_open_probes` calls are admitted; all must
+    /// succeed to close, any failure re-opens.
+    HalfOpen {
+        admitted: u32,
+        successes: u32,
+    },
 }
 
 /// Per-(service, dep) client runtime: breaker, pool, balancer state.
@@ -663,6 +744,8 @@ struct ProcRt {
     heap: u64,
     in_gc: bool,
     gc_started_ns: SimTime,
+    /// The in-progress GC pause job (cancelled if the process crashes).
+    gc_job: Option<JobId>,
 }
 
 /// Per-service runtime. Methods are dense: index `i` of `methods` and
@@ -758,6 +841,12 @@ struct BackendRt {
     stats: BackendStats,
     /// Whether any op has touched `stats` (controls metrics-map visibility).
     stats_dirty: bool,
+    /// Brownout window end (0 = no brownout ever injected).
+    brownout_until: SimTime,
+    /// Service-time multiplier while `now < brownout_until`.
+    brownout_slow: f64,
+    /// Reject requests outright while `now < brownout_until`.
+    brownout_unavailable: bool,
 }
 
 /// Continuation attached to a CPU job.
@@ -816,6 +905,16 @@ pub struct Sim {
     next_job: u64,
     next_root: u64,
 
+    /// Whether each process is currently crashed.
+    proc_down: Vec<bool>,
+    /// Crash generation per process; guards stale `ProcRestart` events.
+    proc_gen: Vec<u64>,
+    /// Active (or expired-but-inert) link faults, keyed by directed
+    /// (src process, dst process). Lookup-only, so map order never matters.
+    link_faults: HashMap<(usize, usize), LinkFault>,
+    /// Chaos process, when configured.
+    chaos: Option<ChaosRt>,
+
     completions: Vec<Completion>,
     /// Aggregate metrics of the run.
     pub metrics: Metrics,
@@ -829,6 +928,11 @@ impl Sim {
     /// Instantiates a spec as a virtual cluster.
     pub fn new(spec: &SystemSpec, cfg: SimConfig) -> Result<Self> {
         spec.validate()?;
+        if !cfg.faults.is_empty() {
+            // Validated against the user's spec, so plans can never target
+            // the hidden workload host/process appended below.
+            spec.validate_fault_plan(&cfg.faults)?;
+        }
         let mut spec = spec.clone();
 
         // Append the hidden workload host/process/services that drive entry
@@ -876,6 +980,7 @@ impl Sim {
                 heap: p.gc.as_ref().map(|g| g.base_heap_bytes).unwrap_or(0),
                 in_gc: false,
                 gc_started_ns: 0,
+                gc_job: None,
             })
             .collect();
         let gc_specs: Vec<_> = spec.processes.iter().map(|p| p.gc.clone()).collect();
@@ -971,11 +1076,15 @@ impl Sim {
                     queue: VecDeque::new(),
                     stats: BackendStats::default(),
                     stats_dirty: false,
+                    brownout_until: 0,
+                    brownout_slow: 1.0,
+                    brownout_unavailable: false,
                 }
             })
             .collect();
 
-        Ok(Sim {
+        let n_procs = procs.len();
+        let mut sim = Sim {
             rng: SmallRng::seed_from_u64(cfg.seed),
             cfg,
             now: 0,
@@ -1003,11 +1112,49 @@ impl Sim {
             // Root sequence numbers double as write versions; 0 is reserved
             // for "absent".
             next_root: 1,
+            proc_down: vec![false; n_procs],
+            proc_gen: vec![0; n_procs],
+            link_faults: HashMap::new(),
+            chaos: None,
             completions: Vec::new(),
             metrics: Metrics::default(),
             traces: TraceCollector::new(),
             spec_name: spec.name.clone(),
-        })
+        };
+        sim.schedule_fault_plan()?;
+        Ok(sim)
+    }
+
+    /// Resolves and schedules the configured fault plan. A no-op for empty
+    /// plans: no events pushed, no RNG state created or drawn from.
+    fn schedule_fault_plan(&mut self) -> Result<()> {
+        if self.cfg.faults.is_empty() {
+            return Ok(());
+        }
+        let plan = self.cfg.faults.clone();
+        for (t, f) in &plan.scheduled {
+            let fault = self.resolve_fault(f)?;
+            self.push_ev(*t, Ev::FaultFire { fault });
+        }
+        if let Some(chaos) = &plan.chaos {
+            let menu: Vec<RFault> = chaos
+                .menu
+                .iter()
+                .map(|f| self.resolve_fault(f))
+                .collect::<Result<_>>()?;
+            let mut rng = SmallRng::seed_from_u64(chaos.seed);
+            let first = chaos.start_ns + exp_gap(&mut rng, chaos.mean_gap_ns);
+            self.chaos = Some(ChaosRt {
+                rng,
+                menu,
+                mean_gap_ns: chaos.mean_gap_ns,
+                end_ns: chaos.end_ns,
+            });
+            if first < chaos.end_ns {
+                self.push_ev(first, Ev::ChaosFire);
+            }
+        }
+        Ok(())
     }
 
     /// Current virtual time.
@@ -1204,6 +1351,96 @@ impl Sim {
         Ok(())
     }
 
+    /// Injects a fault right now (the driver's `Action::Fault` path).
+    /// Scheduled plans go through [`SimConfig`] instead; both routes share
+    /// the same execution.
+    pub fn inject_fault(&mut self, fault: &Fault) -> Result<()> {
+        let rf = self.resolve_fault(fault)?;
+        self.apply_fault(rf);
+        Ok(())
+    }
+
+    /// Resolves a named fault to dense indices, rejecting unknown names and
+    /// out-of-range parameters.
+    fn resolve_fault(&self, f: &Fault) -> Result<RFault> {
+        let proc_idx = |name: &str| {
+            self.proc_names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| SimError::Unknown(format!("process {name}")))
+        };
+        match f {
+            Fault::ProcessCrash {
+                process,
+                restart_delay_ns,
+            } => Ok(RFault::Crash {
+                proc: proc_idx(process)?,
+                restart_ns: *restart_delay_ns,
+            }),
+            Fault::HostDown { host, down_ns } => Ok(RFault::HostDown {
+                host: self
+                    .host_names
+                    .iter()
+                    .position(|n| n == host)
+                    .ok_or_else(|| SimError::Unknown(format!("host {host}")))?,
+                down_ns: *down_ns,
+            }),
+            Fault::Partition { a, b, duration_ns } => {
+                if a == b {
+                    return Err(SimError::BadSpec(format!("partition of {a} with itself")));
+                }
+                Ok(RFault::Link {
+                    a: proc_idx(a)?,
+                    b: proc_idx(b)?,
+                    dur: *duration_ns,
+                    extra_ns: 0,
+                    loss: 1.0,
+                })
+            }
+            Fault::LinkDegrade {
+                a,
+                b,
+                duration_ns,
+                extra_latency_ns,
+                loss,
+            } => {
+                if a == b {
+                    return Err(SimError::BadSpec(format!(
+                        "link degrade of {a} with itself"
+                    )));
+                }
+                if !loss.is_finite() || !(0.0..=1.0).contains(loss) {
+                    return Err(SimError::BadSpec(format!("link loss {loss} not in [0, 1]")));
+                }
+                Ok(RFault::Link {
+                    a: proc_idx(a)?,
+                    b: proc_idx(b)?,
+                    dur: *duration_ns,
+                    extra_ns: *extra_latency_ns,
+                    loss: *loss,
+                })
+            }
+            Fault::Brownout {
+                backend,
+                duration_ns,
+                slow_factor,
+                unavailable,
+            } => {
+                if !slow_factor.is_finite() || *slow_factor <= 0.0 {
+                    return Err(SimError::BadSpec(format!(
+                        "brownout slow_factor {slow_factor} must be finite and > 0"
+                    )));
+                }
+                Ok(RFault::Brownout {
+                    backend: self.backend_idx(backend)?,
+                    dur: *duration_ns,
+                    slow: *slow_factor,
+                    unavailable: *unavailable,
+                })
+            }
+        }
+    }
+
     /// Flushes a cache backend (the Type-4 metastability trigger).
     pub fn cache_flush(&mut self, backend: &str) -> Result<()> {
         let b = self.backend_idx(backend)?;
@@ -1374,6 +1611,12 @@ impl Sim {
             None
         }
     }
+}
+
+/// Exponentially distributed gap with the given mean, at least 1 ns.
+fn exp_gap(rng: &mut SmallRng, mean_ns: SimTime) -> SimTime {
+    let u: f64 = rng.gen();
+    ((-(1.0 - u).ln()) * mean_ns as f64).max(1.0) as SimTime
 }
 
 // The execution half (event dispatch + behavior interpreter) lives in

@@ -47,6 +47,13 @@ impl Sim {
                     }
                 }
             }
+            Ev::FaultFire { fault } => self.apply_fault(fault),
+            Ev::ProcRestart { proc, gen } => {
+                if self.proc_gen[proc] == gen && self.proc_down[proc] {
+                    self.proc_down[proc] = false;
+                }
+            }
+            Ev::ChaosFire => self.on_chaos_fire(),
         }
     }
 
@@ -83,10 +90,223 @@ impl Sim {
                 let p = &mut self.procs[proc];
                 p.heap = base;
                 p.in_gc = false;
+                p.gc_job = None;
                 self.metrics.counters.gc_pause_ns += self.now.saturating_sub(started);
                 self.hosts[host].unfreeze_proc(self.now, proc);
                 self.touch_host(host);
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection.
+    // ------------------------------------------------------------------
+
+    /// Executes a resolved fault at the current time.
+    fn apply_fault(&mut self, rf: RFault) {
+        self.metrics.counters.faults_injected += 1;
+        match rf {
+            RFault::Crash { proc, restart_ns } => self.crash_process(proc, restart_ns),
+            RFault::HostDown { host, down_ns } => {
+                let residents: Vec<usize> =
+                    (0..self.procs.len()).filter(|p| self.procs[*p].host == host).collect();
+                for proc in residents {
+                    self.crash_process(proc, down_ns);
+                }
+            }
+            RFault::Link { a, b, dur, extra_ns, loss } => {
+                let until = self.now + dur;
+                for pair in [(a, b), (b, a)] {
+                    let e = self.link_faults.entry(pair).or_insert(LinkFault {
+                        until: 0,
+                        extra_ns: 0,
+                        loss: 0.0,
+                    });
+                    // Overlapping faults merge to the worst case.
+                    e.until = e.until.max(until);
+                    e.extra_ns = e.extra_ns.max(extra_ns);
+                    e.loss = e.loss.max(loss);
+                }
+            }
+            RFault::Brownout { backend, dur, slow, unavailable } => {
+                let until = self.now + dur;
+                let b = &mut self.backends[backend];
+                b.brownout_until = b.brownout_until.max(until);
+                b.brownout_slow = slow;
+                b.brownout_unavailable = unavailable;
+            }
+        }
+    }
+
+    /// Crashes a process: every resident frame and CPU job dies, callers see
+    /// `Crash` errors, client/connection/heap state resets cold, and the
+    /// process restarts after `restart_ns`.
+    fn crash_process(&mut self, proc: usize, restart_ns: SimTime) {
+        if self.proc_down[proc] {
+            return;
+        }
+        self.proc_down[proc] = true;
+        self.proc_gen[proc] += 1;
+        self.metrics.counters.process_crashes += 1;
+        let host = self.procs[proc].host;
+
+        // An in-progress GC pause dies with the process; the heap restarts at
+        // its base size (or empty without a GC spec).
+        if let Some(job) = self.procs[proc].gc_job.take() {
+            self.hosts[host].cancel(self.now, job);
+            self.jobs.remove(&job);
+        }
+        {
+            let base = self.gc_specs[proc].as_ref().map(|g| g.base_heap_bytes).unwrap_or(0);
+            let p = &mut self.procs[proc];
+            p.heap = base;
+            p.in_gc = false;
+        }
+
+        // Cancel every CPU job of the process; in-flight work that would have
+        // produced a response fails fast so callers are never left hanging.
+        let victims = self.hosts[host].cancel_proc(self.now, proc);
+        for job in victims {
+            let Some(cont) = self.jobs.remove(&job) else { continue };
+            match cont {
+                // The frame dies in the sweep below; nothing to route.
+                JobCont::FrameStep(_) | JobCont::SendRequest(..) | JobCont::GcEnd { .. } => {}
+                JobCont::SendResponse { frame, seq, attempt, net_ns, .. } => {
+                    let t = self.now + net_ns;
+                    self.push_ev(
+                        t,
+                        Ev::DeliverResponse {
+                            frame,
+                            seq,
+                            attempt,
+                            outcome: CallOutcome::failure(CallErr::Crash),
+                        },
+                    );
+                }
+                JobCont::BackendExec { req, .. } => {
+                    let t = self.now + req.reply.net_ns;
+                    self.push_ev(
+                        t,
+                        Ev::DeliverResponse {
+                            frame: req.caller,
+                            seq: req.seq,
+                            attempt: req.attempt,
+                            outcome: CallOutcome::failure(CallErr::Crash),
+                        },
+                    );
+                }
+            }
+        }
+
+        // Kill every frame resident on the process (slot order is
+        // deterministic).
+        for idx in 0..self.frames.len() as u32 {
+            let fid = match &self.frames[idx as usize] {
+                Some(f) if self.services[f.service].process == proc => {
+                    FrameId { idx, gen: f.gen }
+                }
+                _ => continue,
+            };
+            self.kill_frame_for_crash(fid);
+        }
+
+        // Clients owned by the process's services restart cold: breaker
+        // closed, health window empty, no pooled connections, no waiters.
+        for ci in 0..self.clients.len() {
+            let owner = self.clients[ci].owner;
+            if self.services[owner].process != proc {
+                continue;
+            }
+            let c = &mut self.clients[ci];
+            c.window.clear();
+            c.window_failures = 0;
+            c.breaker = BreakerState::Closed;
+            c.conns_in_use = 0;
+            c.waiters.clear();
+            c.rr = 0;
+            for slot in c.outstanding.iter_mut() {
+                *slot = 0;
+            }
+        }
+
+        // Volatile backend state on the process is lost; stores are durable.
+        for b in self.backends.iter_mut() {
+            if b.process == proc {
+                b.cache.flush();
+                b.queue.clear();
+            }
+        }
+
+        let gen = self.proc_gen[proc];
+        self.push_ev(self.now + restart_ns, Ev::ProcRestart { proc, gen });
+        self.touch_host(host);
+    }
+
+    /// Removes one frame killed by a process crash, routing the failure to
+    /// whoever was waiting on it.
+    fn kill_frame_for_crash(&mut self, fid: FrameId) {
+        let Some(frame) = self.take_frame(fid) else { return };
+        self.metrics.counters.crashed_frames += 1;
+        if frame.counted_admission {
+            let s = &mut self.services[frame.service];
+            s.active = s.active.saturating_sub(1);
+        }
+        if frame.span_owned {
+            if let Some((tid, sid)) = frame.span {
+                self.traces.end_span(tid, sid, self.now, true);
+            }
+        }
+        match frame.kind {
+            FrameKind::Entry { entry, method, submitted_ns } => {
+                // Defensive: entry frames live on the workload shim, which a
+                // fault plan cannot target.
+                self.metrics.counters.completed_err += 1;
+                self.completions.push(Completion {
+                    entry: entry.to_string(),
+                    method: method.to_string(),
+                    entity: frame.entity,
+                    root_seq: frame.root_seq,
+                    submitted_ns,
+                    finished_ns: self.now,
+                    ok: false,
+                    observed_version: frame.observed_version,
+                    failure: Some(CallErr::Crash.label()),
+                });
+            }
+            FrameKind::Rpc { caller, seq, attempt, reply } => {
+                // No server-side serialization: the reply never forms; the
+                // caller learns of the crash after the network delay.
+                let t = self.now + reply.net_ns;
+                self.push_ev(
+                    t,
+                    Ev::DeliverResponse {
+                        frame: caller,
+                        seq,
+                        attempt,
+                        outcome: CallOutcome::failure(CallErr::Crash),
+                    },
+                );
+            }
+            // The parent runs in the same process and dies in the same sweep.
+            FrameKind::SubTask { .. } => {}
+        }
+    }
+
+    /// Draws and injects the next chaos fault, then re-arms the process.
+    fn on_chaos_fire(&mut self) {
+        let (fault, next, end) = {
+            let Some(chaos) = self.chaos.as_mut() else { return };
+            if self.now >= chaos.end_ns {
+                return;
+            }
+            let idx = chaos.rng.gen_range(0..chaos.menu.len());
+            let fault = chaos.menu[idx].clone();
+            let gap = exp_gap(&mut chaos.rng, chaos.mean_gap_ns);
+            (fault, self.now + gap, chaos.end_ns)
+        };
+        self.apply_fault(fault);
+        if next < end {
+            self.push_ev(next, Ev::ChaosFire);
         }
     }
 
@@ -111,8 +331,8 @@ impl Sim {
     }
 
     /// Adds a CPU job on `host` tagged with `proc_tag` (frozen if that
-    /// process is mid-GC).
-    fn add_job_on(&mut self, host: usize, proc_tag: usize, work_ns: f64, cont: JobCont) {
+    /// process is mid-GC). Returns the job id so callers can track it.
+    fn add_job_on(&mut self, host: usize, proc_tag: usize, work_ns: f64, cont: JobCont) -> JobId {
         let job = self.alloc_job(cont);
         let frozen = proc_tag != NO_PROC && self.procs[proc_tag].in_gc;
         if frozen {
@@ -121,6 +341,7 @@ impl Sim {
             self.hosts[host].add(self.now, job, work_ns, proc_tag);
         }
         self.touch_host(host);
+        job
     }
 
     /// Adds a CPU job on the host of `proc`.
@@ -143,7 +364,8 @@ impl Sim {
             self.metrics.counters.gc_pauses += 1;
             self.hosts[host].freeze_proc(self.now, proc);
             let pause_work = (gc.pause_cpu_ns_per_mib * heap_mib) as f64;
-            self.add_job_on(host, NO_PROC, pause_work, JobCont::GcEnd { proc });
+            let job = self.add_job_on(host, NO_PROC, pause_work, JobCont::GcEnd { proc });
+            self.procs[proc].gc_job = Some(job);
         }
     }
 
@@ -551,14 +773,44 @@ impl Sim {
     }
 
     /// Runs the client-side serialization CPU, then delivers after `net_ns`.
+    /// An active link fault between the two processes can drop the request
+    /// (the caller sees `Unreachable` after the reply's network delay) or
+    /// add latency.
     fn send_request_with_serialize(
         &mut self,
         client_svc: usize,
         msg: RequestMsg,
         work_ns: u64,
-        net_ns: u64,
+        mut net_ns: u64,
     ) {
         let proc = self.services[client_svc].process;
+        if !self.link_faults.is_empty() {
+            let dst = match msg.target {
+                CallTarget::Service { svc, .. } => self.services[svc].process,
+                CallTarget::Backend { backend, .. } => self.backends[backend].process,
+            };
+            if let Some(lf) = self.link_faults.get(&(proc, dst)).copied() {
+                if self.now < lf.until {
+                    let lost = lf.loss >= 1.0
+                        || (lf.loss > 0.0 && self.rng.gen::<f64>() < lf.loss);
+                    if lost {
+                        self.metrics.counters.link_unreachable += 1;
+                        let t = self.now + msg.reply.net_ns;
+                        self.push_ev(
+                            t,
+                            Ev::DeliverResponse {
+                                frame: msg.caller,
+                                seq: msg.seq,
+                                attempt: msg.attempt,
+                                outcome: CallOutcome::failure(CallErr::Unreachable),
+                            },
+                        );
+                        return;
+                    }
+                    net_ns += lf.extra_ns;
+                }
+            }
+        }
         if work_ns == 0 {
             self.push_ev(self.now + net_ns, Ev::DeliverRequest { req: msg });
         } else {
@@ -608,6 +860,19 @@ impl Sim {
     fn on_deliver_request(&mut self, req: RequestMsg) {
         match req.target {
             CallTarget::Service { svc, method } => {
+                if self.proc_down[self.services[svc].process] {
+                    let t = self.now + req.reply.net_ns;
+                    self.push_ev(
+                        t,
+                        Ev::DeliverResponse {
+                            frame: req.caller,
+                            seq: req.seq,
+                            attempt: req.attempt,
+                            outcome: CallOutcome::failure(CallErr::Crash),
+                        },
+                    );
+                    return;
+                }
                 let s = &mut self.services[svc];
                 if s.active >= s.max_concurrent {
                     self.metrics.counters.admission_rejections += 1;
@@ -655,17 +920,41 @@ impl Sim {
                 self.step_frame(fid);
             }
             CallTarget::Backend { backend, op } => {
-                let (cpu, latency) = self.backend_cost(backend, &op);
                 let proc = self.backends[backend].process;
+                let err = if self.proc_down[proc] {
+                    Some(CallErr::Crash)
+                } else if self.now < self.backends[backend].brownout_until
+                    && self.backends[backend].brownout_unavailable
+                {
+                    self.metrics.counters.brownout_rejections += 1;
+                    Some(CallErr::Brownout)
+                } else {
+                    None
+                };
+                if let Some(err) = err {
+                    let t = self.now + req.reply.net_ns;
+                    self.push_ev(
+                        t,
+                        Ev::DeliverResponse {
+                            frame: req.caller,
+                            seq: req.seq,
+                            attempt: req.attempt,
+                            outcome: CallOutcome::failure(err),
+                        },
+                    );
+                    return;
+                }
+                let (cpu, latency) = self.backend_cost(backend, &op);
                 let host = self.procs[proc].host;
                 self.add_job_on(host, proc, cpu, JobCont::BackendExec { req, latency_ns: latency });
             }
         }
     }
 
-    /// CPU work and fixed latency of a backend op.
+    /// CPU work and fixed latency of a backend op. A browned-out backend
+    /// (slow-factor variant) has both inflated by `brownout_slow`.
     fn backend_cost(&self, backend: usize, op: &BackendOp) -> (f64, u64) {
-        match &self.backends[backend].kind {
+        let (cpu, lat) = match &self.backends[backend].kind {
             BackendRtKind::Cache { op_latency_ns, cpu_per_op_ns, cpu_per_item_ns, .. } => {
                 let items = match op {
                     BackendOp::CacheMulti { items, .. } => *items as u64,
@@ -688,6 +977,12 @@ impl Sim {
                 ((*cpu_per_op_ns + items * *cpu_per_item_ns) as f64, latency)
             }
             BackendRtKind::Queue { op_latency_ns, .. } => (2_000.0, *op_latency_ns),
+        };
+        let b = &self.backends[backend];
+        if self.now < b.brownout_until && b.brownout_slow > 1.0 {
+            (cpu * b.brownout_slow, (lat as f64 * b.brownout_slow).round() as u64)
+        } else {
+            (cpu, lat)
         }
     }
 
@@ -853,7 +1148,12 @@ impl Sim {
             call.holds_conn = false;
             (call.client, call.chosen.take(), holds, call.on_miss.clone())
         };
-        self.breaker_record(client_id, outcome.ok);
+        // A breaker-rejected attempt must not feed back into the breaker's own
+        // health window (it would re-open a half-open breaker on its own
+        // rejections).
+        if outcome.err != Some(CallErr::BreakerOpen) {
+            self.breaker_record(client_id, outcome.ok);
+        }
         if let Some(client) = self.clients.get_mut(client_id as usize) {
             if let Some(ch) = chosen {
                 if let Some(slot) = client.outstanding.get_mut(ch) {
@@ -935,9 +1235,9 @@ impl Sim {
     }
 
     fn retry_or_fail(&mut self, fid: FrameId, seq: u32, attempt: u32, client_id: u32, err: CallErr) {
-        let (retries, backoff) = match self.clients.get(client_id as usize) {
-            Some(c) => (c.spec.retries, c.spec.backoff_ns),
-            None => (0, 0),
+        let (retries, backoff, exp) = match self.clients.get(client_id as usize) {
+            Some(c) => (c.spec.retries, c.spec.backoff_ns, c.spec.backoff_exp.clone()),
+            None => (0, 0, None),
         };
         if attempt < retries {
             self.metrics.counters.retries += 1;
@@ -948,7 +1248,22 @@ impl Sim {
                     call.queued_msg = None;
                 }
             }
-            self.push_ev(self.now + backoff, Ev::RetryFire { frame: fid, seq });
+            let delay = match exp {
+                None => backoff,
+                Some(e) => {
+                    let mut d = (backoff.max(1) as f64) * e.base.powi(attempt as i32);
+                    if e.max_ns > 0 {
+                        d = d.min(e.max_ns as f64);
+                    }
+                    if e.jitter > 0.0 {
+                        // Deterministic "full-ish" jitter: shave up to
+                        // `jitter` fraction off the computed delay.
+                        d *= 1.0 - e.jitter * self.rng.gen::<f64>();
+                    }
+                    d.max(0.0).round() as u64
+                }
+            };
+            self.push_ev(self.now + delay, Ev::RetryFire { frame: fid, seq });
         } else {
             if let Some(frame) = self.frame(fid) {
                 frame.last_err = Some(err);
@@ -977,15 +1292,23 @@ impl Sim {
     fn breaker_allow(&mut self, client_id: u32) -> bool {
         let now = self.now;
         let Some(client) = self.clients.get_mut(client_id as usize) else { return true };
-        if client.spec.breaker.is_none() {
-            return true;
-        }
+        let Some(spec) = &client.spec.breaker else { return true };
+        let probes = spec.half_open_probes.max(1);
         match client.breaker {
             BreakerState::Closed => true,
-            BreakerState::HalfOpen { .. } => true,
+            BreakerState::HalfOpen { admitted, successes } => {
+                // Admit at most `half_open_probes` trial calls; further
+                // requests are rejected until the probes settle the state.
+                if admitted < probes {
+                    client.breaker = BreakerState::HalfOpen { admitted: admitted + 1, successes };
+                    true
+                } else {
+                    false
+                }
+            }
             BreakerState::Open { until } => {
                 if now >= until {
-                    client.breaker = BreakerState::HalfOpen { successes: 0 };
+                    client.breaker = BreakerState::HalfOpen { admitted: 1, successes: 0 };
                     true
                 } else {
                     false
@@ -1004,14 +1327,15 @@ impl Sim {
                 (spec.window, spec.failure_threshold, spec.open_ns, spec.half_open_probes);
             match client.breaker {
                 BreakerState::Open { .. } => {}
-                BreakerState::HalfOpen { successes } => {
+                BreakerState::HalfOpen { admitted, successes } => {
                     if ok {
-                        if successes + 1 >= half_open_probes {
+                        if successes + 1 >= half_open_probes.max(1) {
                             client.breaker = BreakerState::Closed;
                             client.window.clear();
                             client.window_failures = 0;
                         } else {
-                            client.breaker = BreakerState::HalfOpen { successes: successes + 1 };
+                            client.breaker =
+                                BreakerState::HalfOpen { admitted, successes: successes + 1 };
                         }
                     } else {
                         client.breaker = BreakerState::Open { until: now + open_ns };
@@ -1108,7 +1432,9 @@ impl Sim {
                 let outcome = if ok {
                     CallOutcome::success(observed)
                 } else {
-                    CallOutcome::failure(CallErr::Downstream)
+                    // Propagate the root cause so callers (and ultimately the
+                    // completion record) can classify the failure.
+                    CallOutcome::failure(last_err.unwrap_or(CallErr::Downstream))
                 };
                 if reply.serialize_ns > 0 {
                     let proc = self.services[service].process;

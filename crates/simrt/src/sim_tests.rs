@@ -741,3 +741,508 @@ fn hog_slows_processing() {
     let c = sim.drain_completions().pop().unwrap();
     assert_eq!(c.latency_ns(), ms(1));
 }
+
+// ---------------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------------
+
+use crate::spec::{ChaosSpec, ExpBackoff, Fault, FaultPlan};
+
+#[test]
+fn crash_fails_in_flight_work_and_restarts() {
+    let spec = two_tier(
+        Behavior::build().compute(ms(10), 0).done(),
+        ClientSpec::local(),
+    );
+    let cfg = SimConfig {
+        faults: FaultPlan::none().at(
+            ms(1),
+            Fault::ProcessCrash {
+                process: "p_back".into(),
+                restart_delay_ns: ms(2),
+            },
+        ),
+        ..Default::default()
+    };
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    sim.submit("front", "M", 1).unwrap();
+    sim.run_until(ms(2));
+    // The in-flight request terminated (conservation) with a crash error.
+    let c = sim.drain_completions().pop().expect("request terminated");
+    assert!(!c.ok);
+    assert_eq!(c.failure, Some("crash"));
+    assert_eq!(sim.metrics.counters.process_crashes, 1);
+    assert!(sim.metrics.counters.crashed_frames >= 1);
+    // While down, new requests fast-fail with the same cause.
+    sim.submit("front", "M", 2).unwrap();
+    sim.run_until(ms(3) - 1);
+    let c = sim.drain_completions().pop().expect("fast-failed");
+    assert_eq!(c.failure, Some("crash"));
+    // After the restart delay the process serves again.
+    sim.run_until(ms(4));
+    sim.submit("front", "M", 3).unwrap();
+    sim.run_until(secs(1));
+    let c = sim.drain_completions().pop().expect("served after restart");
+    assert!(c.ok, "process restarted");
+}
+
+#[test]
+fn host_down_takes_all_resident_processes() {
+    // Both processes on one host so the fault takes the entire app down.
+    let mut spec = two_tier(
+        Behavior::build().compute(ms(10), 0).done(),
+        ClientSpec::local(),
+    );
+    spec.processes[1].host = 0;
+    let cfg = SimConfig {
+        faults: FaultPlan::none().at(
+            ms(1),
+            Fault::HostDown {
+                host: "h0".into(),
+                down_ns: ms(5),
+            },
+        ),
+        ..Default::default()
+    };
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    sim.submit("front", "M", 1).unwrap();
+    sim.run_until(ms(2));
+    let c = sim.drain_completions().pop().expect("terminated");
+    assert_eq!(c.failure, Some("crash"));
+    assert_eq!(
+        sim.metrics.counters.process_crashes, 2,
+        "both residents crashed"
+    );
+    sim.run_until(ms(10));
+    sim.submit("front", "M", 2).unwrap();
+    sim.run_until(secs(1));
+    assert!(sim.drain_completions().pop().unwrap().ok, "host came back");
+}
+
+#[test]
+fn partition_drops_requests_then_heals() {
+    let spec = two_tier(
+        Behavior::build().compute(us(10), 0).done(),
+        ClientSpec::local(),
+    );
+    let cfg = SimConfig {
+        faults: FaultPlan::none().at(
+            ms(1),
+            Fault::Partition {
+                a: "p_front".into(),
+                b: "p_back".into(),
+                duration_ns: ms(2),
+            },
+        ),
+        ..Default::default()
+    };
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    // Before the partition: fine.
+    sim.submit("front", "M", 1).unwrap();
+    sim.run_until(ms(1) + us(1));
+    assert!(sim.drain_completions().pop().unwrap().ok);
+    // During: the request is lost and surfaces as unreachable.
+    sim.submit("front", "M", 2).unwrap();
+    sim.run_until(ms(2));
+    let c = sim.drain_completions().pop().expect("terminated");
+    assert_eq!(c.failure, Some("unreachable"));
+    assert_eq!(sim.metrics.counters.link_unreachable, 1);
+    // After: healed.
+    sim.run_until(ms(4));
+    sim.submit("front", "M", 3).unwrap();
+    sim.run_until(secs(1));
+    assert!(sim.drain_completions().pop().unwrap().ok);
+}
+
+#[test]
+fn link_degrade_adds_latency_without_loss() {
+    let client = ClientSpec::over(TransportSpec::Grpc {
+        serialize_ns: 0,
+        net_ns: us(50),
+    });
+    let spec = two_tier(Behavior::build().compute(us(100), 0).done(), client);
+    let cfg = SimConfig {
+        faults: FaultPlan::none().at(
+            0,
+            Fault::LinkDegrade {
+                a: "p_front".into(),
+                b: "p_back".into(),
+                duration_ns: secs(1),
+                extra_latency_ns: us(300),
+                loss: 0.0,
+            },
+        ),
+        ..Default::default()
+    };
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    sim.submit("front", "M", 1).unwrap();
+    sim.run_until(secs(2));
+    let c = sim.drain_completions().pop().unwrap();
+    assert!(c.ok, "degraded but reachable");
+    // Degradation applies on the request leg: 50+300, server 100, reply 50.
+    assert_eq!(c.latency_ns(), us(500));
+    assert_eq!(sim.metrics.counters.link_unreachable, 0);
+}
+
+#[test]
+fn brownout_slows_then_recovers() {
+    let spec = cache_db_spec();
+    let cfg = SimConfig {
+        faults: FaultPlan::none().at(
+            0,
+            Fault::Brownout {
+                backend: "db".into(),
+                duration_ns: secs(1),
+                slow_factor: 8.0,
+                unavailable: false,
+            },
+        ),
+        ..Default::default()
+    };
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    sim.submit("front", "Read", 7).unwrap();
+    sim.run_until(ms(500));
+    let slow = sim.drain_completions().pop().unwrap();
+    assert!(slow.ok, "browned out but up");
+    sim.run_until(secs(2));
+    sim.submit("front", "Read", 8).unwrap();
+    sim.run_until(secs(3));
+    let normal = sim.drain_completions().pop().unwrap();
+    assert!(normal.ok);
+    // Both are cache misses hitting the db; the browned-out read's ~8 ms
+    // store latency dominates the normal ~1 ms one.
+    assert!(
+        slow.latency_ns() > 4 * normal.latency_ns(),
+        "{slow:?} vs {normal:?}"
+    );
+}
+
+#[test]
+fn brownout_unavailable_rejects_until_window_ends() {
+    let spec = cache_db_spec();
+    let cfg = SimConfig {
+        faults: FaultPlan::none().at(
+            0,
+            Fault::Brownout {
+                backend: "db".into(),
+                duration_ns: ms(100),
+                slow_factor: 1.0,
+                unavailable: true,
+            },
+        ),
+        ..Default::default()
+    };
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    sim.submit("front", "Read", 7).unwrap();
+    sim.run_until(ms(50));
+    let c = sim.drain_completions().pop().expect("terminated");
+    assert_eq!(c.failure, Some("brownout"));
+    assert_eq!(sim.metrics.counters.brownout_rejections, 1);
+    sim.run_until(ms(200));
+    sim.submit("front", "Read", 8).unwrap();
+    sim.run_until(secs(1));
+    assert!(sim.drain_completions().pop().unwrap().ok, "window ended");
+}
+
+#[test]
+fn empty_fault_plan_is_stream_identical_to_no_plan() {
+    let run = |faults: FaultPlan| {
+        let spec = cache_db_spec();
+        let mut sim = Sim::new(
+            &spec,
+            SimConfig {
+                seed: 9,
+                faults,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..40 {
+            sim.submit("front", if i % 3 == 0 { "Write" } else { "Read" }, i % 7)
+                .unwrap();
+            sim.run_until(ms(2 * (i + 1)));
+        }
+        sim.run_until(secs(5));
+        (sim.drain_completions(), sim.metrics.clone())
+    };
+    assert_eq!(run(FaultPlan::none()), run(FaultPlan::default()));
+}
+
+#[test]
+fn fault_plans_are_deterministic_across_runs() {
+    let run = || {
+        let spec = cache_db_spec();
+        let chaos = ChaosSpec {
+            seed: 3,
+            mean_gap_ns: ms(20),
+            start_ns: 0,
+            end_ns: secs(1),
+            menu: vec![
+                Fault::ProcessCrash {
+                    process: "p_db".into(),
+                    restart_delay_ns: ms(5),
+                },
+                Fault::Brownout {
+                    backend: "cache".into(),
+                    duration_ns: ms(10),
+                    slow_factor: 4.0,
+                    unavailable: false,
+                },
+            ],
+        };
+        let faults = FaultPlan::none()
+            .at(
+                ms(7),
+                Fault::Partition {
+                    a: "p0".into(),
+                    b: "p_cache".into(),
+                    duration_ns: ms(9),
+                },
+            )
+            .with_chaos(chaos);
+        let mut sim = Sim::new(
+            &spec,
+            SimConfig {
+                seed: 4,
+                faults,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..60 {
+            sim.submit("front", if i % 4 == 0 { "Write" } else { "Read" }, i % 9)
+                .unwrap();
+            sim.run_until(ms(2 * (i + 1)));
+        }
+        sim.run_until(secs(5));
+        (sim.drain_completions(), sim.metrics.clone())
+    };
+    let (ca, ma) = run();
+    let (cb, mb) = run();
+    assert_eq!(ca, cb);
+    assert_eq!(ma, mb);
+    assert!(ma.counters.faults_injected > 1, "chaos actually fired");
+    // Conservation: everything submitted terminated exactly once.
+    assert_eq!(ca.len(), 60);
+}
+
+#[test]
+fn driver_injected_fault_applies_immediately() {
+    let spec = two_tier(
+        Behavior::build().compute(ms(10), 0).done(),
+        ClientSpec::local(),
+    );
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.submit("front", "M", 1).unwrap();
+    sim.run_until(ms(1));
+    sim.inject_fault(&Fault::ProcessCrash {
+        process: "p_back".into(),
+        restart_delay_ns: ms(1),
+    })
+    .unwrap();
+    sim.run_until(ms(2));
+    let c = sim.drain_completions().pop().expect("terminated");
+    assert_eq!(c.failure, Some("crash"));
+    // Unknown names are rejected, not silently ignored.
+    assert!(sim
+        .inject_fault(&Fault::ProcessCrash {
+            process: "nope".into(),
+            restart_delay_ns: 0
+        })
+        .is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Breaker half-open semantics.
+// ---------------------------------------------------------------------------
+
+/// Drives `n` submissions one at a time, `gap` apart, starting at `t0`.
+fn drive(sim: &mut Sim, n: u64, t0: SimTime, gap: SimTime) -> SimTime {
+    let mut t = t0;
+    sim.run_until(t);
+    for i in 0..n {
+        sim.submit("front", "M", i).unwrap();
+        t += gap;
+        sim.run_until(t);
+    }
+    t
+}
+
+fn breaker_client(probes: u32) -> ClientSpec {
+    ClientSpec {
+        breaker: Some(BreakerSpec {
+            window: 4,
+            failure_threshold: 0.5,
+            open_ns: ms(100),
+            half_open_probes: probes,
+        }),
+        timeout_ns: Some(ms(500)),
+        ..ClientSpec::local()
+    }
+}
+
+#[test]
+fn half_open_admits_exactly_the_probe_budget() {
+    // Fail calls via a crashed dependency, then let it recover: the probes
+    // hit a slow but healthy server, so while they are in flight any further
+    // call must be rejected by the half-open breaker.
+    let spec = two_tier(
+        Behavior::build().compute(ms(400), 0).done(),
+        breaker_client(2),
+    );
+    let cfg = SimConfig {
+        faults: FaultPlan::none().at(
+            0,
+            Fault::ProcessCrash {
+                process: "p_back".into(),
+                restart_delay_ns: ms(50),
+            },
+        ),
+        ..Default::default()
+    };
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    drive(&mut sim, 8, 0, ms(10));
+    assert!(sim.metrics.counters.breaker_opens >= 1);
+    sim.drain_completions();
+
+    // Past open_ns the breaker is half-open: of 6 near-simultaneous calls,
+    // only `half_open_probes` pass the breaker.
+    let rejected_before = sim.metrics.counters.breaker_rejections;
+    drive(&mut sim, 6, ms(280), 1);
+    sim.run_until(secs(20));
+    assert_eq!(
+        sim.service_served("back"),
+        Some(2),
+        "exactly half_open_probes admitted"
+    );
+    assert_eq!(sim.metrics.counters.breaker_rejections - rejected_before, 4);
+}
+
+#[test]
+fn half_open_single_failure_reopens() {
+    let mut spec = two_tier(
+        Behavior::build().compute(ms(400), 0).done(),
+        breaker_client(1),
+    );
+    spec.services[1].max_concurrent = 0;
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    let t = drive(&mut sim, 8, 0, ms(10));
+    let opens = sim.metrics.counters.breaker_opens;
+    assert!(opens >= 1);
+    // The probe (still overloaded) fails → re-opens.
+    let t = drive(&mut sim, 1, t + ms(200), ms(10));
+    sim.run_until(t + ms(50));
+    assert_eq!(
+        sim.metrics.counters.breaker_opens,
+        opens + 1,
+        "probe failure re-opened"
+    );
+    // And while re-opened, calls are rejected without reaching the server.
+    let served = sim.service_served("back").unwrap();
+    drive(&mut sim, 2, t + ms(60), ms(1));
+    sim.run_until(secs(30));
+    assert_eq!(sim.service_served("back").unwrap(), served);
+}
+
+#[test]
+fn half_open_all_probes_succeeding_closes() {
+    // The dependency crashes at t=0 and restarts at 50 ms: early calls fail
+    // fast (opening the breaker), later probes hit a healthy server.
+    let spec = two_tier(
+        Behavior::build().compute(ms(1), 0).done(),
+        breaker_client(3),
+    );
+    let cfg = SimConfig {
+        faults: FaultPlan::none().at(
+            0,
+            Fault::ProcessCrash {
+                process: "p_back".into(),
+                restart_delay_ns: ms(50),
+            },
+        ),
+        ..Default::default()
+    };
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    let t = drive(&mut sim, 8, 0, ms(10));
+    assert!(sim.metrics.counters.breaker_opens >= 1);
+    // Sequential probes against the recovered server: all succeed → closed.
+    let t = drive(&mut sim, 3, t + ms(200), ms(10));
+    assert_eq!(sim.service_served("back"), Some(3));
+    // Closed again: a burst of further calls all reach the server.
+    drive(&mut sim, 5, t + ms(10), ms(5));
+    sim.run_until(secs(30));
+    assert_eq!(sim.service_served("back"), Some(8), "breaker closed");
+}
+
+// ---------------------------------------------------------------------------
+// Exponential backoff.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn exponential_backoff_grows_and_caps_retry_delays() {
+    // Server always times out; 3 retries with base-2 exponential backoff.
+    let client = |exp: Option<ExpBackoff>| ClientSpec {
+        timeout_ns: Some(ms(1)),
+        retries: 3,
+        backoff_ns: ms(4),
+        backoff_exp: exp,
+        ..ClientSpec::local()
+    };
+    let latency = |exp: Option<ExpBackoff>| {
+        let spec = two_tier(Behavior::build().compute(secs(1), 0).done(), client(exp));
+        let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+        sim.submit("front", "M", 1).unwrap();
+        sim.run_until(secs(10));
+        sim.drain_completions().pop().unwrap().latency_ns()
+    };
+    // Constant: 4 timeouts (1 ms each) + 3 × 4 ms backoff.
+    assert_eq!(latency(None), ms(16));
+    // Exponential ×2: waits 4, 8, 16 ms.
+    let exp = ExpBackoff {
+        base: 2.0,
+        max_ns: secs(1),
+        jitter: 0.0,
+    };
+    assert_eq!(latency(Some(exp)), ms(32));
+    // Cap clamps the growing waits: 4, then 5, 5 instead of 8, 16.
+    let capped = ExpBackoff {
+        base: 2.0,
+        max_ns: ms(5),
+        jitter: 0.0,
+    };
+    assert_eq!(latency(Some(capped)), ms(18));
+}
+
+#[test]
+fn backoff_jitter_is_deterministic_and_bounded() {
+    let client = ClientSpec {
+        timeout_ns: Some(ms(1)),
+        retries: 2,
+        backoff_ns: ms(4),
+        backoff_exp: Some(ExpBackoff {
+            base: 2.0,
+            max_ns: secs(1),
+            jitter: 0.5,
+        }),
+        ..ClientSpec::local()
+    };
+    let run = |seed: u64| {
+        let spec = two_tier(Behavior::build().compute(secs(1), 0).done(), client.clone());
+        let mut sim = Sim::new(
+            &spec,
+            SimConfig {
+                seed,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        sim.submit("front", "M", 1).unwrap();
+        sim.run_until(secs(10));
+        sim.drain_completions().pop().unwrap().latency_ns()
+    };
+    assert_eq!(run(5), run(5), "jitter draws come from the seeded RNG");
+    // Jitter only shrinks waits: between 3 timeouts + half the full waits
+    // and 3 timeouts + the full 4 + 8 ms.
+    let l = run(5);
+    assert!(l >= ms(3) + ms(6) && l <= ms(3) + ms(12), "{l}");
+}

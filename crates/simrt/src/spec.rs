@@ -145,6 +145,33 @@ impl Default for BreakerSpec {
     }
 }
 
+/// Exponential retry-backoff growth (optional extension of the fixed
+/// `backoff_ns`).
+///
+/// Attempt `k` (0-based over retries) waits
+/// `min(backoff_ns * base^k, max_ns)`, scaled by a jitter factor drawn
+/// uniformly from `[1 - jitter, 1]` using the simulation's seeded RNG — so
+/// jittered schedules stay fully reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpBackoff {
+    /// Multiplicative growth per attempt (2.0 = classic doubling).
+    pub base: f64,
+    /// Cap on the computed delay, ns.
+    pub max_ns: SimTime,
+    /// Jitter fraction in `[0, 1)`; 0 disables jitter (and the RNG draw).
+    pub jitter: f64,
+}
+
+impl Default for ExpBackoff {
+    fn default() -> Self {
+        ExpBackoff {
+            base: 2.0,
+            max_ns: crate::time::secs(1),
+            jitter: 0.0,
+        }
+    }
+}
+
 /// Per-binding client policy: what the generated client wrapper stack does.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClientSpec {
@@ -155,8 +182,11 @@ pub struct ClientSpec {
     /// Maximum retries after the first attempt (paper's "up to 10 retries"
     /// is `retries: 10`).
     pub retries: u32,
-    /// Fixed backoff between attempts, ns.
+    /// Fixed backoff between attempts, ns (the base delay when
+    /// `backoff_exp` is set).
     pub backoff_ns: SimTime,
+    /// Optional exponential growth + jitter on top of `backoff_ns`.
+    pub backoff_exp: Option<ExpBackoff>,
     /// Optional circuit breaker.
     pub breaker: Option<BreakerSpec>,
     /// Extra client-side CPU per call, ns: tracing context injection,
@@ -171,6 +201,7 @@ impl Default for ClientSpec {
             timeout_ns: None,
             retries: 0,
             backoff_ns: 0,
+            backoff_exp: None,
             breaker: None,
             client_overhead_ns: 0,
         }
@@ -337,6 +368,134 @@ pub struct EntrySpec {
     pub client: ClientSpec,
 }
 
+/// A single injectable failure, named against the spec (resolved to dense
+/// indices at boot).
+///
+/// All faults are transient: crashes restart, partitions heal, brownouts
+/// end. In-flight work affected by a fault fails *fast* with a classified
+/// error — nothing hangs — which is what keeps the request-conservation
+/// invariant checkable (every submitted request terminates exactly once).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Kill a process; every in-flight request inside it fails with
+    /// `"crash"`, connection pools and the GC heap reset cold, and the
+    /// process restarts after `restart_delay_ns`.
+    ProcessCrash {
+        /// Process name.
+        process: String,
+        /// Downtime before the cold restart, ns.
+        restart_delay_ns: SimTime,
+    },
+    /// Take a host down (crashing every resident process) for `down_ns`.
+    HostDown {
+        /// Host name.
+        host: String,
+        /// Downtime, ns.
+        down_ns: SimTime,
+    },
+    /// Symmetric unreachability between two processes for `duration_ns`:
+    /// requests across the cut fail with `"unreachable"`.
+    Partition {
+        /// One side (process name).
+        a: String,
+        /// Other side (process name).
+        b: String,
+        /// How long the cut lasts, ns.
+        duration_ns: SimTime,
+    },
+    /// Degrade the link between two processes: added one-way latency and a
+    /// loss probability (lost requests fail with `"unreachable"`).
+    LinkDegrade {
+        /// One side (process name).
+        a: String,
+        /// Other side (process name).
+        b: String,
+        /// How long the degradation lasts, ns.
+        duration_ns: SimTime,
+        /// Extra one-way latency per crossing request, ns.
+        extra_latency_ns: u64,
+        /// Per-request loss probability in `[0, 1]`.
+        loss: f64,
+    },
+    /// Brown out a named backend: service times multiply by `slow_factor`,
+    /// and with `unavailable` set, requests fail with `"brownout"` instead.
+    Brownout {
+        /// Backend name.
+        backend: String,
+        /// How long the brownout lasts, ns.
+        duration_ns: SimTime,
+        /// Service-time multiplier while browned out (≥ 1 slows).
+        slow_factor: f64,
+        /// Reject requests outright instead of slowing them.
+        unavailable: bool,
+    },
+}
+
+impl Fault {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::ProcessCrash { .. } => "process_crash",
+            Fault::HostDown { .. } => "host_down",
+            Fault::Partition { .. } => "partition",
+            Fault::LinkDegrade { .. } => "link_degrade",
+            Fault::Brownout { .. } => "brownout",
+        }
+    }
+}
+
+/// A seeded chaos process: faults drawn from a menu at exponentially
+/// distributed intervals. Its RNG is independent of the simulation's main
+/// RNG, so enabling chaos perturbs nothing else.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosSpec {
+    /// Seed of the chaos RNG (`BLUEPRINT` docs call this the chaos seed).
+    pub seed: u64,
+    /// Mean gap between injected faults, ns.
+    pub mean_gap_ns: SimTime,
+    /// First injection happens at or after this time.
+    pub start_ns: SimTime,
+    /// No injections at or after this time.
+    pub end_ns: SimTime,
+    /// Faults to draw from, uniformly.
+    pub menu: Vec<Fault>,
+}
+
+/// A schedule of faults to inject into a run ([`crate::sim::SimConfig`]
+/// carries one). Empty plans add *zero* events and RNG draws — the
+/// no-fault completion stream is byte-identical with or without the engine.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// `(time, fault)` pairs, injected in the given order at equal times.
+    pub scheduled: Vec<(SimTime, Fault)>,
+    /// Optional chaos process layered on top of the schedule.
+    pub chaos: Option<ChaosSpec>,
+}
+
+impl FaultPlan {
+    /// A plan with nothing in it.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.scheduled.is_empty() && self.chaos.is_none()
+    }
+
+    /// Builder: schedule `fault` at time `t`.
+    pub fn at(mut self, t: SimTime, fault: Fault) -> Self {
+        self.scheduled.push((t, fault));
+        self
+    }
+
+    /// Builder: attach a chaos process.
+    pub fn with_chaos(mut self, chaos: ChaosSpec) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+}
+
 /// The full description of a simulated deployment.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SystemSpec {
@@ -357,6 +516,20 @@ pub struct SystemSpec {
 impl SystemSpec {
     /// Validates all cross-references.
     pub fn validate(&self) -> Result<()> {
+        // Names address faults, driver actions, and metrics; duplicates
+        // would make those ambiguous.
+        if let Some(dup) = first_duplicate(self.hosts.iter().map(|h| h.name.as_str())) {
+            return Err(SimError::BadSpec(format!("duplicate host name {dup}")));
+        }
+        if let Some(dup) = first_duplicate(self.processes.iter().map(|p| p.name.as_str())) {
+            return Err(SimError::BadSpec(format!("duplicate process name {dup}")));
+        }
+        if let Some(dup) = first_duplicate(self.services.iter().map(|s| s.name.as_str())) {
+            return Err(SimError::BadSpec(format!("duplicate service name {dup}")));
+        }
+        if let Some(dup) = first_duplicate(self.backends.iter().map(|b| b.name.as_str())) {
+            return Err(SimError::BadSpec(format!("duplicate backend name {dup}")));
+        }
         for p in &self.processes {
             if p.host >= self.hosts.len() {
                 return Err(SimError::BadSpec(format!("process {} host index", p.name)));
@@ -433,9 +606,96 @@ impl SystemSpec {
         Ok(())
     }
 
+    /// Validates every reference and parameter of a fault plan against this
+    /// spec (called at boot when the plan is non-empty, so a bad plan fails
+    /// loudly instead of silently injecting nothing).
+    pub fn validate_fault_plan(&self, plan: &FaultPlan) -> Result<()> {
+        for (_, f) in &plan.scheduled {
+            self.validate_fault(f)?;
+        }
+        if let Some(chaos) = &plan.chaos {
+            if chaos.menu.is_empty() {
+                return Err(SimError::BadSpec("chaos menu is empty".into()));
+            }
+            if chaos.mean_gap_ns == 0 {
+                return Err(SimError::BadSpec("chaos mean_gap_ns must be > 0".into()));
+            }
+            for f in &chaos.menu {
+                self.validate_fault(f)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates one fault's references and parameters.
+    pub fn validate_fault(&self, f: &Fault) -> Result<()> {
+        let need_proc = |name: &str| -> Result<()> {
+            if self.process_index(name).is_none() {
+                return Err(SimError::BadSpec(format!(
+                    "fault names unknown process {name}"
+                )));
+            }
+            Ok(())
+        };
+        match f {
+            Fault::ProcessCrash { process, .. } => need_proc(process),
+            Fault::HostDown { host, .. } => {
+                if self.host_index(host).is_none() {
+                    return Err(SimError::BadSpec(format!(
+                        "fault names unknown host {host}"
+                    )));
+                }
+                Ok(())
+            }
+            Fault::Partition { a, b, .. } => {
+                need_proc(a)?;
+                need_proc(b)?;
+                if a == b {
+                    return Err(SimError::BadSpec(format!("partition of {a} with itself")));
+                }
+                Ok(())
+            }
+            Fault::LinkDegrade { a, b, loss, .. } => {
+                need_proc(a)?;
+                need_proc(b)?;
+                if a == b {
+                    return Err(SimError::BadSpec(format!(
+                        "link degrade of {a} with itself"
+                    )));
+                }
+                if !loss.is_finite() || !(0.0..=1.0).contains(loss) {
+                    return Err(SimError::BadSpec(format!("link loss {loss} not in [0, 1]")));
+                }
+                Ok(())
+            }
+            Fault::Brownout {
+                backend,
+                slow_factor,
+                ..
+            } => {
+                if self.backend_index(backend).is_none() {
+                    return Err(SimError::BadSpec(format!(
+                        "fault names unknown backend {backend}"
+                    )));
+                }
+                if !slow_factor.is_finite() || *slow_factor <= 0.0 {
+                    return Err(SimError::BadSpec(format!(
+                        "brownout slow_factor {slow_factor} must be finite and > 0"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Finds a service index by name.
     pub fn service_index(&self, name: &str) -> Option<usize> {
         self.services.iter().position(|s| s.name == name)
+    }
+
+    /// Finds a process index by name.
+    pub fn process_index(&self, name: &str) -> Option<usize> {
+        self.processes.iter().position(|p| p.name == name)
     }
 
     /// Finds a backend index by name.
@@ -447,6 +707,12 @@ impl SystemSpec {
     pub fn host_index(&self, name: &str) -> Option<usize> {
         self.hosts.iter().position(|h| h.name == name)
     }
+}
+
+/// First name appearing more than once in `names`, if any.
+fn first_duplicate<'a>(mut names: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+    let mut seen = std::collections::BTreeSet::new();
+    names.find(|n| !seen.insert(*n))
 }
 
 #[cfg(test)]
@@ -524,6 +790,184 @@ mod tests {
             },
         );
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_names_caught_per_namespace() {
+        let mut s = tiny();
+        s.hosts.push(HostSpec {
+            name: "h0".into(),
+            cores: 1.0,
+        });
+        let err = s.validate().unwrap_err();
+        assert!(err.to_string().contains("duplicate host name h0"), "{err}");
+
+        let mut s = tiny();
+        s.processes.push(ProcessSpec {
+            name: "p0".into(),
+            host: 0,
+            gc: None,
+        });
+        let err = s.validate().unwrap_err();
+        assert!(
+            err.to_string().contains("duplicate process name p0"),
+            "{err}"
+        );
+
+        let mut s = tiny();
+        let dup = s.services[0].clone();
+        s.services.push(dup);
+        let err = s.validate().unwrap_err();
+        assert!(
+            err.to_string().contains("duplicate service name a"),
+            "{err}"
+        );
+
+        let mut s = tiny();
+        let b = BackendSpec {
+            name: "kv".into(),
+            process: 0,
+            kind: BackendRtKind::Queue {
+                capacity: 1,
+                op_latency_ns: 1,
+            },
+        };
+        s.backends.push(b.clone());
+        s.backends.push(b);
+        let err = s.validate().unwrap_err();
+        assert!(
+            err.to_string().contains("duplicate backend name kv"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fault_plan_unknown_references_caught() {
+        let s = tiny();
+        let crash = |p: &str| Fault::ProcessCrash {
+            process: p.into(),
+            restart_delay_ns: 1,
+        };
+        assert!(s
+            .validate_fault_plan(&FaultPlan::default().at(1, crash("p0")))
+            .is_ok());
+        let err = s
+            .validate_fault_plan(&FaultPlan::default().at(1, crash("ghost")))
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown process ghost"), "{err}");
+
+        let err = s
+            .validate_fault(&Fault::HostDown {
+                host: "hX".into(),
+                down_ns: 1,
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown host hX"), "{err}");
+
+        let err = s
+            .validate_fault(&Fault::Brownout {
+                backend: "nope".into(),
+                duration_ns: 1,
+                slow_factor: 2.0,
+                unavailable: false,
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown backend nope"), "{err}");
+    }
+
+    #[test]
+    fn fault_plan_bad_parameters_caught() {
+        let mut s = tiny();
+        s.processes.push(ProcessSpec {
+            name: "p1".into(),
+            host: 0,
+            gc: None,
+        });
+        s.backends.push(BackendSpec {
+            name: "kv".into(),
+            process: 0,
+            kind: BackendRtKind::Queue {
+                capacity: 1,
+                op_latency_ns: 1,
+            },
+        });
+        // A partition needs two distinct sides.
+        assert!(s
+            .validate_fault(&Fault::Partition {
+                a: "p0".into(),
+                b: "p0".into(),
+                duration_ns: 1,
+            })
+            .is_err());
+        assert!(s
+            .validate_fault(&Fault::Partition {
+                a: "p0".into(),
+                b: "p1".into(),
+                duration_ns: 1,
+            })
+            .is_ok());
+        // Loss probability must be a probability.
+        for loss in [-0.1, 1.5, f64::NAN] {
+            assert!(s
+                .validate_fault(&Fault::LinkDegrade {
+                    a: "p0".into(),
+                    b: "p1".into(),
+                    duration_ns: 1,
+                    extra_latency_ns: 0,
+                    loss,
+                })
+                .is_err());
+        }
+        // Slow factor must be finite and positive.
+        for sf in [0.0, -2.0, f64::INFINITY, f64::NAN] {
+            assert!(s
+                .validate_fault(&Fault::Brownout {
+                    backend: "kv".into(),
+                    duration_ns: 1,
+                    slow_factor: sf,
+                    unavailable: false,
+                })
+                .is_err());
+        }
+        // Chaos needs a non-empty menu and a positive gap.
+        let chaos = ChaosSpec {
+            seed: 1,
+            mean_gap_ns: 0,
+            start_ns: 0,
+            end_ns: 1,
+            menu: vec![],
+        };
+        assert!(s
+            .validate_fault_plan(&FaultPlan::default().with_chaos(ChaosSpec {
+                mean_gap_ns: 100,
+                ..chaos.clone()
+            }))
+            .is_err());
+        assert!(s
+            .validate_fault_plan(&FaultPlan::default().with_chaos(ChaosSpec {
+                menu: vec![Fault::ProcessCrash {
+                    process: "p0".into(),
+                    restart_delay_ns: 1,
+                }],
+                ..chaos
+            }))
+            .is_err());
+    }
+
+    #[test]
+    fn fault_plan_builders() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        let plan = plan.at(
+            5,
+            Fault::ProcessCrash {
+                process: "p0".into(),
+                restart_delay_ns: 7,
+            },
+        );
+        assert!(!plan.is_empty());
+        assert_eq!(plan.scheduled.len(), 1);
+        assert_eq!(plan.scheduled[0].1.label(), "process_crash");
     }
 
     #[test]

@@ -140,6 +140,7 @@ fn build(s: &Scenario) -> SystemSpec {
         timeout_ns: s.timeout_ms.map(ms),
         retries: s.retries,
         backoff_ns: ms(1),
+        backoff_exp: None,
         breaker: None,
         client_overhead_ns: 0,
     };

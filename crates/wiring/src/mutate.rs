@@ -137,6 +137,19 @@ pub fn add_modifier_to_all_services(spec: &mut WiringSpec, modifier: &str) -> Re
     reorder(spec)
 }
 
+/// Declares a scaffolding policy instance (`name = Callee(kwargs...)`) and
+/// attaches it to every deployed service — the one-call form of the common
+/// "add retries / a breaker / a timeout everywhere" resilience mutation.
+pub fn attach_policy_to_all_services(
+    spec: &mut WiringSpec,
+    name: &str,
+    callee: &str,
+    kwargs: Vec<(&str, Arg)>,
+) -> Result<()> {
+    spec.define_kw(name, callee, vec![], kwargs)?;
+    add_modifier_to_all_services(spec, name)
+}
+
 /// Removes a modifier from every server-modifier chain (but keeps its
 /// declaration; combine with [`remove_instance`] to fully disable it).
 pub fn remove_modifier_from_all_services(spec: &mut WiringSpec, modifier: &str) {
@@ -327,6 +340,29 @@ mod tests {
             1
         );
         assert_eq!(w.decl("b").unwrap().server_modifiers.last().unwrap(), "cb");
+    }
+
+    #[test]
+    fn attach_policy_declares_and_attaches_everywhere() {
+        let mut w = base();
+        attach_policy_to_all_services(
+            &mut w,
+            "retry_all",
+            "Retry",
+            vec![("max", Arg::Int(3)), ("backoff_ms", Arg::Int(2))],
+        )
+        .unwrap();
+        w.validate().unwrap();
+        assert_eq!(w.decl("retry_all").unwrap().callee, "Retry");
+        for svc in ["a", "b"] {
+            assert!(w
+                .decl(svc)
+                .unwrap()
+                .server_modifiers
+                .contains(&"retry_all".to_string()));
+        }
+        // Redeclaring the same policy name is rejected.
+        assert!(attach_policy_to_all_services(&mut w, "retry_all", "Retry", vec![]).is_err());
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub enum Action {
         /// Backend name.
         backend: String,
     },
+    /// Inject a fault (crash, host down, partition, brownout) immediately.
+    Fault(blueprint_simrt::Fault),
     /// Arbitrary driver action. `Send` so a whole [`ExperimentSpec`] can be
     /// built on (or moved to) a parallel-engine worker thread; the closure
     /// still runs single-threaded against the worker-local `Sim`.
@@ -47,6 +49,7 @@ impl std::fmt::Debug for Action {
                 .debug_struct("CacheFlush")
                 .field("backend", backend)
                 .finish(),
+            Action::Fault(fault) => f.debug_tuple("Fault").field(fault).finish(),
             Action::Custom(_) => f.write_str("Custom(..)"),
         }
     }
@@ -158,6 +161,7 @@ fn apply(sim: &mut Sim, action: Action) -> Result<(), SimError> {
             duration_ns,
         } => sim.inject_cpu_hog(&host, cores, duration_ns),
         Action::CacheFlush { backend } => sim.cache_flush(&backend),
+        Action::Fault(fault) => sim.inject_fault(&fault),
         Action::Custom(mut f) => {
             f(sim);
             Ok(())

@@ -94,7 +94,7 @@ pub struct Arrival {
 
 /// Open-loop arrival generator: phased rates, Poisson or uniform spacing,
 /// uniform entity ids.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OpenLoopGen {
     phases: Vec<Phase>,
     mix: ApiMix,

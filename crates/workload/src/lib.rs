@@ -19,16 +19,21 @@
 //!   collection, so parallel output is byte-identical to the sequential loop
 //!   (`BLUEPRINT_THREADS` configures the worker count);
 //! * [`sweep`] — latency–throughput sweeps (Figs. 5, 11, 12) and the
-//!   metastability vulnerability grid (Fig. 7), built on [`parallel`].
+//!   metastability vulnerability grid (Fig. 7), built on [`parallel`];
+//! * [`resilience`] — fault × mitigation matrices with invariant checks
+//!   (request conservation, bounded unavailability, retry amplification),
+//!   built on [`driver`] fault actions and [`parallel`].
 
 pub mod driver;
 pub mod generator;
 pub mod parallel;
 pub mod quantile;
 pub mod recorder;
+pub mod resilience;
 pub mod sweep;
 
 pub use driver::{run_experiment, Action, ExperimentSpec};
 pub use generator::{ApiMix, Arrival, OpenLoopGen, Phase};
 pub use parallel::{par_run, Threads};
-pub use recorder::{IntervalStats, Recorder};
+pub use recorder::{ConservationReport, IntervalStats, Recorder};
+pub use resilience::{run_cell, run_matrix, CellReport, FaultScenario, ResilienceConfig};

@@ -1,5 +1,7 @@
 //! Per-interval latency/error time series.
 
+use std::collections::{BTreeMap, HashSet};
+
 use blueprint_simrt::time::SimTime;
 use blueprint_simrt::Completion;
 
@@ -43,6 +45,55 @@ impl IntervalStats {
 pub struct Recorder {
     interval_ns: SimTime,
     bins: Vec<Bin>,
+    // Request-conservation accounting: every submitted request must
+    // terminate exactly once (the fault-injection invariant).
+    total_ok: u64,
+    total_errors: u64,
+    by_cause: BTreeMap<String, u64>,
+    roots: HashSet<u64>,
+    duplicate_roots: u64,
+}
+
+/// Request-conservation check over one recorded run: did every submitted
+/// request terminate exactly once, and how did the failures classify?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConservationReport {
+    /// Requests the workload submitted.
+    pub submitted: u64,
+    /// Completions the recorder saw (ok + errors).
+    pub recorded: u64,
+    /// Successful completions.
+    pub ok: u64,
+    /// Failed completions.
+    pub errors: u64,
+    /// Root sequence numbers recorded more than once (must be 0).
+    pub duplicate_roots: u64,
+    /// Failure cause label → count.
+    pub by_cause: BTreeMap<String, u64>,
+}
+
+impl ConservationReport {
+    /// Whether conservation holds: everything submitted terminated exactly
+    /// once, and ok/error counts are consistent.
+    pub fn holds(&self) -> bool {
+        self.recorded == self.submitted
+            && self.duplicate_roots == 0
+            && self.ok + self.errors == self.recorded
+    }
+}
+
+impl std::fmt::Display for ConservationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submitted={} recorded={} ok={} errors={} dup_roots={}",
+            self.submitted, self.recorded, self.ok, self.errors, self.duplicate_roots
+        )?;
+        for (cause, n) in &self.by_cause {
+            write!(f, " {cause}={n}")?;
+        }
+        Ok(())
+    }
 }
 
 #[derive(Debug, Default)]
@@ -60,6 +111,11 @@ impl Recorder {
         Recorder {
             interval_ns,
             bins: Vec::new(),
+            total_ok: 0,
+            total_errors: 0,
+            by_cause: BTreeMap::new(),
+            roots: HashSet::new(),
+            duplicate_roots: 0,
         }
     }
 
@@ -73,11 +129,30 @@ impl Recorder {
         bin.latencies.push(c.latency_ns());
         if c.ok {
             bin.ok += 1;
+            self.total_ok += 1;
         } else {
             bin.errors += 1;
+            self.total_errors += 1;
             if c.failure == Some("timeout") {
                 bin.timeouts += 1;
             }
+            let cause = c.failure.unwrap_or("unknown");
+            *self.by_cause.entry(cause.to_string()).or_insert(0) += 1;
+        }
+        if !self.roots.insert(c.root_seq) {
+            self.duplicate_roots += 1;
+        }
+    }
+
+    /// Conservation report against the number of requests submitted.
+    pub fn conservation(&self, submitted: u64) -> ConservationReport {
+        ConservationReport {
+            submitted,
+            recorded: self.total_ok + self.total_errors,
+            ok: self.total_ok,
+            errors: self.total_errors,
+            duplicate_roots: self.duplicate_roots,
+            by_cause: self.by_cause.clone(),
         }
     }
 
@@ -202,6 +277,31 @@ mod tests {
         // Latencies 30, 40, 50 ms.
         assert!((w.mean_ns - 40.0e6).abs() < 1.0);
         assert_eq!(w.p50_ns, 40_000_000);
+    }
+
+    #[test]
+    fn conservation_tracks_totals_causes_and_duplicates() {
+        let mut r = Recorder::new(1_000_000_000);
+        let mut done = c(100, 10, true);
+        done.root_seq = 1;
+        r.record(&done);
+        let mut failed = c(200, 10, false);
+        failed.root_seq = 2;
+        r.record(&failed);
+        let rep = r.conservation(2);
+        assert!(rep.holds(), "{rep}");
+        assert_eq!(rep.ok, 1);
+        assert_eq!(rep.errors, 1);
+        assert_eq!(rep.by_cause.get("timeout"), Some(&1));
+        // A lost request breaks conservation.
+        assert!(!r.conservation(3).holds());
+        // A double termination breaks it too, even with matching counts.
+        let mut dup = c(300, 10, true);
+        dup.root_seq = 2;
+        r.record(&dup);
+        let rep = r.conservation(3);
+        assert_eq!(rep.duplicate_roots, 1);
+        assert!(!rep.holds());
     }
 
     #[test]

@@ -1,0 +1,422 @@
+//! Resilience verification: fault × mitigation matrices with invariant
+//! checks (the robustness half of the fault-injection engine).
+//!
+//! A [`FaultScenario`] names a set of scheduled faults plus the window in
+//! which they act; [`run_cell`] drives one system variant through one
+//! scenario and verifies three invariants on the recorded series:
+//!
+//! * **request conservation** — every submitted request terminates exactly
+//!   once (the simulator fails affected work *fast* with a classified
+//!   error, so nothing can hang or be double-counted);
+//! * **bounded unavailability** — intervals whose error rate exceeds the
+//!   configured threshold must all fall inside
+//!   `[fault_start, fault_end + rto]`;
+//! * **retry amplification** — retries per submitted request, the hazard
+//!   metric a circuit breaker is supposed to suppress.
+//!
+//! [`run_matrix`] fans a variants × scenarios grid over the deterministic
+//! parallel engine: each cell is an independent seeded run, so the matrix is
+//! byte-identical at any `BLUEPRINT_THREADS`.
+
+use blueprint_simrt::time::SimTime;
+use blueprint_simrt::{Fault, Sim, SimConfig, SimError, SystemSpec};
+
+use crate::driver::{run_experiment, Action, ExperimentSpec};
+use crate::generator::{ApiMix, OpenLoopGen, Phase};
+use crate::parallel::{par_run, Threads};
+use crate::recorder::ConservationReport;
+
+/// A named fault scenario: `(time, fault)` pairs plus the window in which
+/// the faults are considered active (used by the bounded-unavailability
+/// check).
+#[derive(Debug, Clone)]
+pub struct FaultScenario {
+    /// Scenario label (appears in matrix rows).
+    pub name: String,
+    /// Faults injected at the given virtual times.
+    pub faults: Vec<(SimTime, Fault)>,
+    /// When the first fault takes effect.
+    pub fault_start_ns: SimTime,
+    /// When the last fault's effect ends (restart completed, partition
+    /// healed, brownout window over).
+    pub fault_end_ns: SimTime,
+}
+
+impl FaultScenario {
+    /// A scenario with scheduled faults and an explicit active window.
+    pub fn new(
+        name: &str,
+        faults: Vec<(SimTime, Fault)>,
+        fault_start_ns: SimTime,
+        fault_end_ns: SimTime,
+    ) -> Self {
+        FaultScenario {
+            name: name.to_string(),
+            faults,
+            fault_start_ns,
+            fault_end_ns,
+        }
+    }
+
+    /// The fault-free baseline: any unavailability at all is unbounded.
+    pub fn baseline() -> Self {
+        FaultScenario {
+            name: "none".to_string(),
+            faults: Vec::new(),
+            fault_start_ns: 0,
+            fault_end_ns: 0,
+        }
+    }
+}
+
+/// Workload + invariant configuration shared by every cell of a matrix.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Steady offered load, requests/second.
+    pub rps: f64,
+    /// Arrival window, seconds.
+    pub duration_s: u64,
+    /// Entity-id space size.
+    pub entities: u64,
+    /// Seed for both the simulator and the arrival process.
+    pub seed: u64,
+    /// Recorder interval width (the unavailability-detection resolution).
+    pub interval_ns: SimTime,
+    /// Drain after the last arrival so in-flight requests terminate.
+    pub drain_ns: SimTime,
+    /// Recovery-time objective: unavailability may extend at most this far
+    /// past `fault_end_ns`.
+    pub rto_ns: SimTime,
+    /// Interval error rate above which the interval counts as unavailable.
+    pub error_threshold: f64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            rps: 1_000.0,
+            duration_s: 12,
+            entities: 10_000,
+            seed: 7,
+            interval_ns: 250_000_000,
+            drain_ns: 5_000_000_000,
+            rto_ns: 2_000_000_000,
+            error_threshold: 0.5,
+        }
+    }
+}
+
+/// The verified outcome of one (variant, scenario) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// System-variant label (the mitigation arm).
+    pub variant: String,
+    /// Scenario label.
+    pub scenario: String,
+    /// Full conservation accounting (submitted vs terminated).
+    pub conservation: ConservationReport,
+    /// Whether every submitted request terminated exactly once.
+    pub conserved: bool,
+    /// Total width of unavailable intervals (error rate above threshold).
+    pub unavailable_ns: SimTime,
+    /// End of the last unavailable interval, if any.
+    pub recovered_ns: Option<SimTime>,
+    /// Whether all unavailability fell inside the fault window + RTO.
+    pub bounded: bool,
+    /// Total client-side retries issued during the run.
+    pub retries: u64,
+    /// Retries per submitted request — the amplification hazard metric.
+    pub retry_amplification: f64,
+    /// Attempts a circuit breaker rejected locally (never sent).
+    pub breaker_rejections: u64,
+    /// Attempts that actually reached the transport, per submitted request:
+    /// `(submitted + retries − breaker_rejections) / submitted`. Healthy
+    /// baseline ≈ 1; a retry storm pushes it far above 1; a breaker
+    /// suppresses it by failing attempts locally instead of sending them.
+    pub wire_amplification: f64,
+}
+
+/// Runs one variant through one scenario and verifies the invariants.
+///
+/// The scenario's faults are injected through the experiment driver's
+/// [`Action::Fault`] schedule, so the run is an ordinary deterministic
+/// experiment: same seed + same scenario ⇒ identical report.
+pub fn run_cell(
+    system: &SystemSpec,
+    mix: &ApiMix,
+    variant: &str,
+    scenario: &FaultScenario,
+    cfg: &ResilienceConfig,
+) -> Result<CellReport, SimError> {
+    let mut sim = Sim::new(
+        system,
+        SimConfig {
+            seed: cfg.seed,
+            ..Default::default()
+        },
+    )?;
+    let gen = OpenLoopGen::new(
+        vec![Phase::new(cfg.duration_s, cfg.rps)],
+        mix.clone(),
+        cfg.entities,
+        cfg.seed,
+    );
+    // The generator is a pure function of its seed, so an identical clone
+    // yields the exact submission count the driver will make.
+    let submitted = gen.clone().count() as u64;
+    let mut exp = ExperimentSpec::new(gen)
+        .interval(cfg.interval_ns)
+        .drain(cfg.drain_ns);
+    for (t, fault) in &scenario.faults {
+        exp = exp.at(*t, Action::Fault(fault.clone()));
+    }
+    let rec = run_experiment(&mut sim, exp)?;
+    let conservation = rec.conservation(submitted);
+    let conserved = conservation.holds();
+
+    let mut unavailable_ns = 0;
+    let mut first_bad_ns: Option<SimTime> = None;
+    let mut last_bad_end_ns: Option<SimTime> = None;
+    for s in rec.series() {
+        if s.count > 0 && s.error_rate() > cfg.error_threshold {
+            unavailable_ns += cfg.interval_ns;
+            first_bad_ns.get_or_insert(s.start_ns);
+            last_bad_end_ns = Some(s.start_ns + cfg.interval_ns);
+        }
+    }
+    // Bounded: no unavailability at all, or every unavailable interval sits
+    // inside the fault's active window extended by the RTO. An interval
+    // that *contains* fault_start may dip below the threshold before the
+    // fault fires, so the start check is interval-granular.
+    let bounded = match (first_bad_ns, last_bad_end_ns) {
+        (None, None) => true,
+        (Some(first), Some(end)) => {
+            scenario.fault_end_ns > scenario.fault_start_ns
+                && first + cfg.interval_ns > scenario.fault_start_ns
+                && end <= scenario.fault_end_ns + cfg.rto_ns
+        }
+        _ => unreachable!("first and last unavailable interval set together"),
+    };
+
+    let retries = sim.metrics.counters.retries;
+    let breaker_rejections = sim.metrics.counters.breaker_rejections;
+    Ok(CellReport {
+        variant: variant.to_string(),
+        scenario: scenario.name.clone(),
+        conservation,
+        conserved,
+        unavailable_ns,
+        recovered_ns: last_bad_end_ns,
+        bounded,
+        retries,
+        retry_amplification: if submitted == 0 {
+            0.0
+        } else {
+            retries as f64 / submitted as f64
+        },
+        breaker_rejections,
+        wire_amplification: if submitted == 0 {
+            0.0
+        } else {
+            (submitted + retries).saturating_sub(breaker_rejections) as f64 / submitted as f64
+        },
+    })
+}
+
+/// Runs the full variants × scenarios matrix on the parallel engine.
+///
+/// Cell `(v, s)` has job index `v * scenarios.len() + s`; each job builds
+/// its own simulator from the shared spec, so the report vector is
+/// byte-identical to the sequential double loop at any thread count.
+pub fn run_matrix(
+    variants: &[(String, SystemSpec)],
+    scenarios: &[FaultScenario],
+    mix: &ApiMix,
+    cfg: &ResilienceConfig,
+    threads: Threads,
+) -> Result<Vec<CellReport>, SimError> {
+    let n = variants.len() * scenarios.len();
+    par_run(n, threads, |i| {
+        let (vi, si) = (i / scenarios.len(), i % scenarios.len());
+        let (name, system) = &variants[vi];
+        run_cell(system, mix, name, &scenarios[si], cfg)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_simrt::time::{ms, secs};
+    use blueprint_simrt::{ClientSpec, DepBinding, EntrySpec, HostSpec, ProcessSpec, ServiceSpec};
+    use blueprint_workflow::Behavior;
+
+    /// Cell reports cross worker threads inside `run_matrix`.
+    const fn assert_send<T: Send>() {}
+    const _: () = {
+        assert_send::<CellReport>();
+        assert_send::<FaultScenario>();
+    };
+
+    fn two_tier(client: ClientSpec) -> SystemSpec {
+        let mut spec = SystemSpec {
+            name: "rt".into(),
+            hosts: vec![
+                HostSpec {
+                    name: "h0".into(),
+                    cores: 4.0,
+                },
+                HostSpec {
+                    name: "h1".into(),
+                    cores: 4.0,
+                },
+            ],
+            processes: vec![
+                ProcessSpec {
+                    name: "p_front".into(),
+                    host: 0,
+                    gc: None,
+                },
+                ProcessSpec {
+                    name: "p_back".into(),
+                    host: 1,
+                    gc: None,
+                },
+            ],
+            ..Default::default()
+        };
+        let mut back = ServiceSpec::new("back", 1);
+        back.methods
+            .insert("Work".into(), Behavior::build().compute(50_000, 0).done());
+        let mut front = ServiceSpec::new("front", 0);
+        front
+            .methods
+            .insert("M".into(), Behavior::build().call("backend", "Work").done());
+        front
+            .deps
+            .insert("backend".into(), DepBinding::Service { target: 1, client });
+        spec.services.push(front);
+        spec.services.push(back);
+        spec.entries.insert(
+            "front".into(),
+            EntrySpec {
+                service: 0,
+                client: ClientSpec::local(),
+            },
+        );
+        spec
+    }
+
+    fn crash_scenario() -> FaultScenario {
+        FaultScenario::new(
+            "backend crash",
+            vec![(
+                secs(4),
+                Fault::ProcessCrash {
+                    process: "p_back".into(),
+                    restart_delay_ns: secs(2),
+                },
+            )],
+            secs(4),
+            secs(6),
+        )
+    }
+
+    fn cfg() -> ResilienceConfig {
+        ResilienceConfig {
+            rps: 400.0,
+            duration_s: 10,
+            entities: 100,
+            seed: 13,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn baseline_cell_is_clean_and_conserved() {
+        let spec = two_tier(ClientSpec::local());
+        let r = run_cell(
+            &spec,
+            &ApiMix::single("front", "M"),
+            "none",
+            &FaultScenario::baseline(),
+            &cfg(),
+        )
+        .unwrap();
+        assert!(r.conserved, "{}", r.conservation);
+        assert!(r.bounded);
+        assert_eq!(r.unavailable_ns, 0);
+        assert_eq!(r.recovered_ns, None);
+        assert_eq!(r.conservation.errors, 0);
+    }
+
+    #[test]
+    fn crash_cell_conserves_and_recovers_within_rto() {
+        let spec = two_tier(ClientSpec::local());
+        let r = run_cell(
+            &spec,
+            &ApiMix::single("front", "M"),
+            "none",
+            &crash_scenario(),
+            &cfg(),
+        )
+        .unwrap();
+        // Every request terminated exactly once even though the backend
+        // crashed mid-run: in-flight work failed fast as "crash".
+        assert!(r.conserved, "{}", r.conservation);
+        assert!(
+            r.conservation.by_cause.contains_key("crash"),
+            "{}",
+            r.conservation
+        );
+        // The outage tracks the fault window (crash at 4 s, restart at 6 s)
+        // and heals within the RTO.
+        assert!(r.unavailable_ns >= secs(1), "outage seen: {r:?}");
+        assert!(r.bounded, "unavailability outside fault window: {r:?}");
+    }
+
+    #[test]
+    fn retry_arm_amplifies_load_during_fault() {
+        let mut retry = ClientSpec::local();
+        retry.retries = 8;
+        retry.backoff_ns = ms(1);
+        let plain = run_cell(
+            &two_tier(ClientSpec::local()),
+            &ApiMix::single("front", "M"),
+            "none",
+            &crash_scenario(),
+            &cfg(),
+        )
+        .unwrap();
+        let retrying = run_cell(
+            &two_tier(retry),
+            &ApiMix::single("front", "M"),
+            "retry",
+            &crash_scenario(),
+            &cfg(),
+        )
+        .unwrap();
+        assert_eq!(plain.retries, 0);
+        assert!(retrying.retries > 0);
+        assert!(retrying.retry_amplification > plain.retry_amplification);
+        assert!(retrying.conserved, "{}", retrying.conservation);
+    }
+
+    #[test]
+    fn matrix_is_deterministic_across_thread_counts() {
+        let variants = vec![
+            ("none".to_string(), two_tier(ClientSpec::local())),
+            ("retry".to_string(), {
+                let mut c = ClientSpec::local();
+                c.retries = 3;
+                two_tier(c)
+            }),
+        ];
+        let scenarios = vec![FaultScenario::baseline(), crash_scenario()];
+        let mix = ApiMix::single("front", "M");
+        let seq = run_matrix(&variants, &scenarios, &mix, &cfg(), Threads::sequential()).unwrap();
+        let par = run_matrix(&variants, &scenarios, &mix, &cfg(), Threads::new(4)).unwrap();
+        assert_eq!(seq.len(), 4);
+        assert_eq!(seq, par);
+        assert!(seq.iter().all(|c| c.conserved));
+    }
+}

@@ -6,8 +6,12 @@
 
 use blueprint::apps::{hotel_reservation as hr, WiringOpts};
 use blueprint::core::{Blueprint, CompiledApp};
+use blueprint::simrt::time::secs;
+use blueprint::simrt::{Fault, FaultPlan, SimConfig, SimError};
+use blueprint::workload::generator::{OpenLoopGen, Phase};
 use blueprint::workload::parallel::Threads;
 use blueprint::workload::sweep::{latency_throughput_with, trigger_recovery, TriggerSpec};
+use blueprint::workload::{run_experiment, ExperimentSpec};
 
 fn hotel() -> CompiledApp {
     Blueprint::new()
@@ -99,5 +103,67 @@ fn trigger_grid_parallel_equals_sequential_across_seeds() {
         let seq = grid(Threads::sequential(), seed);
         let par = grid(Threads::new(4), seed);
         assert_eq!(seq, par, "trigger grid diverged at seed {seed}");
+    }
+}
+
+/// A fault-plan run — scheduled crash + partition + brownout on the hotel
+/// app — must be byte-identical at 1 and 4 worker threads, for every seed:
+/// full per-interval series and fault counters, not just aggregates.
+#[test]
+fn fault_plan_parallel_equals_sequential_across_seeds() {
+    let app = hotel();
+    let mix = hr::paper_mix();
+    let plan = FaultPlan::none()
+        .at(
+            secs(3),
+            Fault::ProcessCrash {
+                process: "proc_search".into(),
+                restart_delay_ns: secs(1),
+            },
+        )
+        .at(
+            secs(5),
+            Fault::Partition {
+                a: "proc_frontend".into(),
+                b: "proc_profile".into(),
+                duration_ns: secs(1),
+            },
+        )
+        .at(
+            secs(7),
+            Fault::Brownout {
+                backend: "rate_db".into(),
+                duration_ns: secs(1),
+                slow_factor: 6.0,
+                unavailable: false,
+            },
+        );
+    let run = |threads: Threads, seed: u64| {
+        blueprint::workload::par_run(3, threads, |i| {
+            let s = seed + i as u64;
+            let mut sim = app.simulation_with(SimConfig {
+                seed: s,
+                faults: plan.clone(),
+                ..Default::default()
+            })?;
+            let gen = OpenLoopGen::new(vec![Phase::new(10, 800.0)], mix.clone(), hr::ENTITIES, s);
+            let rec = run_experiment(&mut sim, ExperimentSpec::new(gen))?;
+            Ok::<_, SimError>((
+                rec.series(),
+                sim.metrics.counters.faults_injected,
+                sim.metrics.counters.process_crashes,
+                sim.metrics.counters.crashed_frames,
+            ))
+        })
+        .expect("fault cells run")
+    };
+    for seed in [31u64, 32] {
+        let seq = run(Threads::sequential(), seed);
+        let par = run(Threads::new(4), seed);
+        assert_eq!(seq, par, "fault-plan runs diverged at seed {seed}");
+        // The faults actually fired in every cell.
+        assert!(seq
+            .iter()
+            .all(|(_, injected, crashes, _)| *injected == 3 && *crashes == 1));
     }
 }
