@@ -45,6 +45,24 @@ BLUEPRINT_THREADS=4 cargo run --release -p blueprint-bench --bin ablation_faults
 cmp results/ci_fault_matrix.txt results/fault_matrix.txt
 mv results/fault_matrix.txt results/ci_fault_matrix.txt
 
+echo "==> lint gate (every app's default wiring must be deny-clean)"
+# Runs the static-analysis passes over the five benchmark apps and writes
+# per-app counts to results/ci_lint.txt; exits nonzero on any deny-severity
+# diagnostic.
+cargo run --release -p blueprint-bench --bin lint_gate
+
+echo "==> lint cross-validation smoke (BLUEPRINT_THREADS=1 vs =4)"
+# The static hazard predictions must bracket the dynamic fault-matrix
+# outcomes (the binary panics otherwise), and the report must be
+# byte-identical whatever the worker count.
+BLUEPRINT_THREADS=1 cargo run --release -p blueprint-bench --bin lint_validation -- \
+    --smoke
+mv results/lint_validation.txt results/ci_lint_validation.txt
+BLUEPRINT_THREADS=4 cargo run --release -p blueprint-bench --bin lint_validation -- \
+    --smoke
+cmp results/ci_lint_validation.txt results/lint_validation.txt
+mv results/lint_validation.txt results/ci_lint_validation.txt
+
 echo "==> completion-stream identity check"
 # With no fault plan the completion stream must be bit-identical to the
 # pre-fault-engine seed: pin the historical checksum, not just a self-match.

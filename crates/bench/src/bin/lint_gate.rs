@@ -1,0 +1,96 @@
+//! CI lint gate: every benchmark app's default wiring must be deny-clean.
+//!
+//! Compiles the five apps with default [`WiringOpts`], runs the lint stage
+//! (which the compiler surfaces as `CompiledApp::diagnostics`), prints each
+//! app's findings in JSON (the stable `render_json` format), and writes the
+//! per-app counts to `results/ci_lint.txt`. Exits nonzero if any app carries
+//! a deny-severity diagnostic — warn-level findings are reported but do not
+//! fail the gate.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use blueprint_apps::{
+    hotel_reservation, media, social_network, sock_shop, train_ticket, WiringOpts,
+};
+use blueprint_core::Blueprint;
+use blueprint_lint::{deny_count, render_json, render_text, Diagnostic};
+use blueprint_wiring::WiringSpec;
+use blueprint_workflow::WorkflowSpec;
+
+fn lint_app(name: &str, workflow: &WorkflowSpec, wiring: &WiringSpec) -> (String, Vec<Diagnostic>) {
+    let app = Blueprint::new()
+        .without_artifacts()
+        .without_simulation()
+        .compile(workflow, wiring)
+        .unwrap_or_else(|e| panic!("{name} fails to compile: {e}"));
+    (name.to_string(), app.diagnostics.clone())
+}
+
+fn main() -> ExitCode {
+    let opts = WiringOpts::default();
+    let apps: Vec<(String, Vec<Diagnostic>)> = vec![
+        lint_app(
+            "hotel_reservation",
+            &hotel_reservation::workflow(),
+            &hotel_reservation::wiring(&opts),
+        ),
+        lint_app(
+            "social_network",
+            &social_network::workflow(),
+            &social_network::wiring(&opts),
+        ),
+        lint_app("media", &media::workflow(), &media::wiring(&opts)),
+        lint_app(
+            "sock_shop",
+            &sock_shop::workflow(),
+            &sock_shop::wiring(&opts),
+        ),
+        lint_app(
+            "train_ticket",
+            &train_ticket::workflow(),
+            &train_ticket::wiring(&opts),
+        ),
+    ];
+
+    let mut summary = String::from("CI lint gate — default wirings, deny-clean required\n\n");
+    let _ = writeln!(
+        summary,
+        "{:<20} {:>6} {:>6} {:>6}",
+        "app", "total", "warn", "deny"
+    );
+    let mut failed = false;
+    for (name, diags) in &apps {
+        let denies = deny_count(diags);
+        let warns = diags.len() - denies;
+        let _ = writeln!(
+            summary,
+            "{name:<20} {:>6} {warns:>6} {denies:>6}",
+            diags.len()
+        );
+        if denies > 0 {
+            failed = true;
+        }
+    }
+
+    println!("{summary}");
+    for (name, diags) in &apps {
+        println!("== {name} ==");
+        print!("{}", render_json(diags));
+        if !diags.is_empty() {
+            print!("{}", render_text(diags));
+        }
+    }
+
+    std::fs::create_dir_all("results").expect("results dir");
+    let mut f = std::fs::File::create("results/ci_lint.txt").expect("results file");
+    f.write_all(summary.as_bytes()).expect("write summary");
+
+    if failed {
+        eprintln!("lint gate FAILED: deny-severity diagnostics on a default wiring");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,417 @@
+//! Cross-validation of the static lint predictions against the fault
+//! simulator (the `blueprint-lint` headline exhibit).
+//!
+//! For each quantitative hazard rule this harness builds the flagged wiring
+//! variant via [`blueprint_wiring::mutate`], runs the PR-3 fault matrix over
+//! it, and asserts that the *dynamic* outcome brackets the *static*
+//! prediction:
+//!
+//! * **BP001 retry-amplification** — the retry-storm arm (max=10 retries at
+//!   every hop, no breaker) is flagged with the worst-case bound `11^3`;
+//!   under a mid-run crash the measured wire amplification must stay ≤ that
+//!   bound, and the lint-suggested fix (a circuit breaker on every service)
+//!   must both silence the rule and visibly suppress the amplification.
+//! * **BP002 timeout-inversion** — a flat 250 ms deadline on every tier is
+//!   flagged (the frontend's downstream budget is 20× its own deadline);
+//!   graded per-tier deadlines sized exactly to the downstream budget are
+//!   lint-clean, and under a rate-DB brownout the inverted arm must show at
+//!   least as many failed requests as the graded arm.
+//!
+//! Output goes to stdout and `results/lint_validation.txt`; the file is
+//! timestamp-free and byte-identical across `BLUEPRINT_THREADS` settings
+//! (the CI smoke compares `=1` vs `=4`). `--quick` shortens the runs;
+//! `--smoke` shortens them further for CI.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+use blueprint_apps::{hotel_reservation as hr, WiringOpts};
+use blueprint_bench::{report, Mode};
+use blueprint_core::Blueprint;
+use blueprint_lint::Diagnostic;
+use blueprint_simrt::time::secs;
+use blueprint_simrt::{Fault, SystemSpec};
+use blueprint_wiring::{mutate, Arg, WiringSpec};
+use blueprint_workload::parallel::Threads;
+use blueprint_workload::resilience::{run_matrix, CellReport, FaultScenario, ResilienceConfig};
+
+/// One experiment arm: the static findings plus the deployable system.
+struct Arm {
+    name: &'static str,
+    diags: Vec<Diagnostic>,
+    system: SystemSpec,
+}
+
+impl Arm {
+    fn build(name: &'static str, wiring: &WiringSpec) -> Arm {
+        let app = Blueprint::new()
+            .without_artifacts()
+            .compile(&hr::workflow(), wiring)
+            .expect("hazard variants still compile — lint never fails the build");
+        Arm {
+            name,
+            diags: app.diagnostics.clone(),
+            system: app.system().clone(),
+        }
+    }
+
+    fn findings(&self, rule: &str) -> Vec<&Diagnostic> {
+        self.diags.iter().filter(|d| d.rule == rule).collect()
+    }
+}
+
+/// BP001 arms: the retry storm and its lint-suggested fix.
+fn bp001_arms() -> (Arm, Arm) {
+    let base = WiringOpts::default().without_tracing();
+    let mut hazard = hr::wiring(&WiringOpts {
+        retries: 10,
+        ..base
+    });
+    mutate::set_kwarg(&mut hazard, "retry_all", "exp_base", Arg::Float(2.0)).expect("exp_base");
+    mutate::set_kwarg(&mut hazard, "retry_all", "max_backoff_ms", Arg::Int(50))
+        .expect("max_backoff_ms");
+
+    // The fix BP001 suggests: a circuit breaker on the chain (2-line
+    // mutation, attached to every service).
+    let mut fixed = hazard.clone();
+    mutate::attach_policy_to_all_services(
+        &mut fixed,
+        "breaker",
+        "CircuitBreaker",
+        vec![
+            ("threshold", Arg::Float(0.5)),
+            ("window", Arg::Int(50)),
+            ("open_ms", Arg::Int(500)),
+            ("probes", Arg::Int(3)),
+        ],
+    )
+    .expect("breaker mutation");
+
+    (
+        Arm::build("retry-storm", &hazard),
+        Arm::build("retry-storm+breaker", &fixed),
+    )
+}
+
+/// BP002 arms: a flat 250 ms deadline on every tier (inverted against the
+/// fan-out's downstream budget) vs graded per-tier deadlines sized to it.
+fn bp002_arms() -> (Arm, Arm) {
+    let base = WiringOpts::default().without_tracing();
+    let inverted = hr::wiring(&WiringOpts {
+        timeout_ms: Some(250),
+        retries: 3,
+        ..base
+    });
+
+    // The fix BP002 suggests: raise each tier's deadline to its downstream
+    // budget. With 4 attempts per hop and 250 ms leaves: search covers
+    // 4×250×2 = 2000 ms, frontend covers 4×(2000 + 4×250) = 12000 ms.
+    let mut graded = hr::wiring(&WiringOpts { retries: 3, ..base });
+    graded
+        .define_kw(
+            "timeout_leaf",
+            "Timeout",
+            vec![],
+            vec![("ms", Arg::Int(250))],
+        )
+        .expect("timeout_leaf");
+    for leaf in [
+        "geo",
+        "rate",
+        "profile",
+        "recommendation",
+        "reservation",
+        "user",
+    ] {
+        mutate::add_server_modifier(&mut graded, leaf, "timeout_leaf").expect("leaf timeout");
+    }
+    graded
+        .define_kw(
+            "timeout_mid",
+            "Timeout",
+            vec![],
+            vec![("ms", Arg::Int(2000))],
+        )
+        .expect("timeout_mid");
+    mutate::add_server_modifier(&mut graded, "search", "timeout_mid").expect("mid timeout");
+    graded
+        .define_kw(
+            "timeout_frontend",
+            "Timeout",
+            vec![],
+            vec![("ms", Arg::Int(12_000))],
+        )
+        .expect("timeout_frontend");
+    mutate::add_server_modifier(&mut graded, "frontend", "timeout_frontend")
+        .expect("frontend timeout");
+
+    (
+        Arm::build("flat-250ms", &inverted),
+        Arm::build("graded-deadlines", &graded),
+    )
+}
+
+fn crash_scenario(duration_s: u64) -> FaultScenario {
+    let mid = secs(duration_s * 2 / 5);
+    FaultScenario::new(
+        "search crash 2s",
+        vec![(
+            mid,
+            Fault::ProcessCrash {
+                process: "proc_search".into(),
+                restart_delay_ns: secs(2),
+            },
+        )],
+        mid,
+        mid + secs(2),
+    )
+}
+
+fn brownout_scenario(duration_s: u64) -> FaultScenario {
+    let mid = secs(duration_s * 2 / 5);
+    // ×1200 pushes rate_db's sub-millisecond ops past the 250 ms leaf
+    // deadline — the regime the timeout tiering is supposed to survive.
+    FaultScenario::new(
+        "rate_db brownout ×1200 2s",
+        vec![(
+            mid,
+            Fault::Brownout {
+                backend: "rate_db".into(),
+                duration_ns: secs(2),
+                slow_factor: 1200.0,
+                unavailable: false,
+            },
+        )],
+        mid,
+        mid + secs(2),
+    )
+}
+
+fn row(c: &CellReport) -> Vec<String> {
+    vec![
+        c.variant.clone(),
+        c.scenario.clone(),
+        c.conservation.ok.to_string(),
+        c.conservation.errors.to_string(),
+        if c.conserved {
+            "yes".into()
+        } else {
+            "LOST".into()
+        },
+        c.retries.to_string(),
+        c.breaker_rejections.to_string(),
+        report::f3(c.wire_amplification),
+    ]
+}
+
+/// Renders one arm's static findings for a rule into the report.
+fn static_section(out: &mut String, rule: &str, arm: &Arm) {
+    let found = arm.findings(rule);
+    if found.is_empty() {
+        let _ = writeln!(out, "  {:<22} {rule} silent", arm.name);
+    } else {
+        for d in found {
+            let _ = writeln!(
+                out,
+                "  {:<22} {rule} fires: {} (bound {})",
+                arm.name,
+                d.message,
+                d.bound.map_or("-".into(), |b| format!("{b:.0}")),
+            );
+        }
+    }
+}
+
+fn main() {
+    let mode = Mode::from_args();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let duration_s = if smoke { 8 } else { mode.secs(20) };
+    let cfg = ResilienceConfig {
+        rps: 1_500.0,
+        duration_s,
+        entities: hr::ENTITIES,
+        seed: 41,
+        rto_ns: secs(3),
+        ..Default::default()
+    };
+
+    // ---- Static side: lint each arm. -----------------------------------
+    let (storm, storm_fixed) = bp001_arms();
+    let (inverted, graded) = bp002_arms();
+
+    // BP001 must fire on the storm arm with the worst-case chain product
+    // 11^3 (frontend -> search -> {geo|rate}, 11 attempts per hop), and the
+    // suggested breaker fix must silence it.
+    let storm_findings = storm.findings("BP001");
+    assert_eq!(storm_findings.len(), 1, "{:?}", storm.diags);
+    let bp001_bound = storm_findings[0].bound.expect("BP001 carries a bound");
+    assert_eq!(
+        bp001_bound,
+        11.0 * 11.0 * 11.0,
+        "worst chain is 3 hops deep"
+    );
+    assert!(
+        storm_fixed.findings("BP001").is_empty(),
+        "breaker fix must silence BP001: {:?}",
+        storm_fixed.diags
+    );
+
+    // BP002 must fire on the flat-deadline arm (frontend + search both have
+    // deadlines below their downstream budgets) and stay silent on the
+    // graded arm, whose deadlines equal the budgets exactly.
+    let inv_findings = inverted.findings("BP002");
+    assert_eq!(inv_findings.len(), 2, "{:?}", inverted.diags);
+    let bp002_bound = inv_findings
+        .iter()
+        .filter_map(|d| d.bound)
+        .fold(0.0f64, f64::max);
+    assert_eq!(
+        bp002_bound, 5000.0,
+        "frontend budget: 4 attempts × 250 ms × 5 callees"
+    );
+    assert!(
+        graded.findings("BP002").is_empty(),
+        "graded deadlines must satisfy BP002: {:?}",
+        graded.diags
+    );
+
+    // ---- Dynamic side: the fault matrix over the same arms. -------------
+    let bp001_cells = run_matrix(
+        &[
+            (storm.name.to_string(), storm.system.clone()),
+            (storm_fixed.name.to_string(), storm_fixed.system.clone()),
+        ],
+        &[crash_scenario(duration_s)],
+        &hr::paper_mix(),
+        &cfg,
+        Threads::from_env(),
+    )
+    .expect("BP001 matrix runs");
+    let bp002_cells = run_matrix(
+        &[
+            (inverted.name.to_string(), inverted.system.clone()),
+            (graded.name.to_string(), graded.system.clone()),
+        ],
+        &[brownout_scenario(duration_s)],
+        &hr::paper_mix(),
+        &cfg,
+        Threads::from_env(),
+    )
+    .expect("BP002 matrix runs");
+
+    for c in bp001_cells.iter().chain(&bp002_cells) {
+        assert!(
+            c.conserved,
+            "conservation violated in [{} × {}]: {}",
+            c.variant, c.scenario, c.conservation
+        );
+    }
+
+    let cell = |cells: &[CellReport], variant: &str| -> CellReport {
+        cells
+            .iter()
+            .find(|c| c.variant == variant)
+            .expect("cell present")
+            .clone()
+    };
+
+    // BP001 bracket: measured wire amplification stays under the static
+    // worst-case bound, and the fix visibly suppresses the storm.
+    let storm_cell = cell(&bp001_cells, storm.name);
+    let fixed_cell = cell(&bp001_cells, storm_fixed.name);
+    assert!(
+        storm_cell.wire_amplification <= bp001_bound,
+        "measured amplification {} exceeds the static bound {bp001_bound}",
+        storm_cell.wire_amplification
+    );
+    assert!(
+        storm_cell.wire_amplification > fixed_cell.wire_amplification,
+        "breaker fix failed to suppress amplification: storm {:.3} vs fixed {:.3}",
+        storm_cell.wire_amplification,
+        fixed_cell.wire_amplification
+    );
+
+    // BP002 bracket: the inverted arm loses at least as many requests under
+    // the brownout as the graded arm, and its callers burn more attempts on
+    // the wire (aborting while downstream work is still running).
+    let inv_cell = cell(&bp002_cells, inverted.name);
+    let graded_cell = cell(&bp002_cells, graded.name);
+    assert!(
+        inv_cell.conservation.errors > graded_cell.conservation.errors,
+        "the lint-suggested graded deadlines must fail fewer requests than the \
+         inversion: {} vs {}",
+        inv_cell.conservation.errors,
+        graded_cell.conservation.errors
+    );
+
+    // The BP002 arms carry retries of their own (BP001 warns at 4^3 there);
+    // their measured amplification must bracket that bound too.
+    for (arm, c) in [(&inverted, &inv_cell), (&graded, &graded_cell)] {
+        if let Some(b) = arm.findings("BP001").first().and_then(|d| d.bound) {
+            assert!(
+                c.wire_amplification <= b,
+                "[{}] measured amplification {} exceeds the static bound {b}",
+                arm.name,
+                c.wire_amplification
+            );
+        }
+    }
+
+    // ---- Report. --------------------------------------------------------
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Lint cross-validation — HotelReservation, {} rps, {}s, seed {}",
+        cfg.rps, cfg.duration_s, cfg.seed
+    );
+    let _ = writeln!(out, "\nStatic predictions:");
+    static_section(&mut out, "BP001", &storm);
+    static_section(&mut out, "BP001", &storm_fixed);
+    static_section(&mut out, "BP002", &inverted);
+    static_section(&mut out, "BP002", &graded);
+    out.push('\n');
+    let _ = write!(
+        out,
+        "{}",
+        report::table(
+            "Dynamic outcomes",
+            &[
+                "variant",
+                "scenario",
+                "ok",
+                "errors",
+                "conserved",
+                "retries",
+                "breaker rej",
+                "wire amp",
+            ],
+            &bp001_cells
+                .iter()
+                .chain(&bp002_cells)
+                .map(row)
+                .collect::<Vec<_>>(),
+        )
+    );
+    let _ = writeln!(out, "\nVerdicts:");
+    let _ = writeln!(
+        out,
+        "  BP001 bracket holds: measured wire amplification {} <= static bound {} \
+         and the breaker fix suppresses it ({} -> {})",
+        report::f3(storm_cell.wire_amplification),
+        report::f3(bp001_bound),
+        report::f3(storm_cell.wire_amplification),
+        report::f3(fixed_cell.wire_amplification),
+    );
+    let _ = writeln!(
+        out,
+        "  BP002 bracket holds: inverted deadlines fail {} requests vs {} with \
+         graded deadlines (static budget bound {} ms)",
+        inv_cell.conservation.errors,
+        graded_cell.conservation.errors,
+        report::f3(bp002_bound),
+    );
+    print!("{out}");
+    std::fs::create_dir_all("results").expect("results dir");
+    let mut f = std::fs::File::create("results/lint_validation.txt").expect("results file");
+    f.write_all(out.as_bytes()).expect("write report");
+}

@@ -119,6 +119,11 @@ pub struct CompileOptions {
     pub generate_artifacts: bool,
     /// Lower to the simulation target.
     pub lower_simulation: bool,
+    /// Run the resilience-hazard lints after validation (diagnostics land in
+    /// [`CompiledApp::diagnostics`]; they never fail the compile).
+    pub lint: bool,
+    /// Configuration for the lint stage (severity overrides, thresholds).
+    pub lint_config: blueprint_lint::LintConfig,
 }
 
 impl Default for CompileOptions {
@@ -126,6 +131,8 @@ impl Default for CompileOptions {
         CompileOptions {
             generate_artifacts: true,
             lower_simulation: true,
+            lint: true,
+            lint_config: blueprint_lint::LintConfig::default(),
         }
     }
 }
@@ -139,6 +146,10 @@ pub struct CompiledApp {
     pub artifacts: ArtifactTree,
     /// The deployable simulation spec (empty when disabled).
     pub system: SystemSpec,
+    /// Static-analysis findings from the lint stage (empty when disabled).
+    /// Advisory at compile time — a pathological-but-well-formed variant
+    /// still compiles so the fault simulator can measure it.
+    pub diagnostics: Vec<blueprint_lint::Diagnostic>,
     /// Wall-clock generation time (the Tab. 5 metric).
     pub gen_time: Duration,
 }
@@ -187,6 +198,11 @@ impl Compiler {
         passes::assign_namespaces(&mut ir)?;
         passes::widen_visibility(&self.registry, &mut ir)?;
         passes::validate(&ir)?;
+        let diagnostics = if options.lint {
+            passes::lint(&ir, wiring, &options.lint_config)
+        } else {
+            Vec::new()
+        };
 
         // Step 2: IR → implementation.
         let artifacts = if options.generate_artifacts {
@@ -203,6 +219,7 @@ impl Compiler {
             ir,
             artifacts,
             system,
+            diagnostics,
             gen_time: start.elapsed(),
         })
     }

@@ -1,8 +1,11 @@
 //! Compiler passes: plugin transforms, namespace auto-assignment, machine
-//! placement, visibility widening, and the final validity check.
+//! placement, visibility widening, the final validity check, and the static
+//! analysis (lint) stage.
 
 use blueprint_ir::{Granularity, IrGraph, NodeRole, Visibility};
+use blueprint_lint::{Diagnostic, LintConfig, Linter};
 use blueprint_plugins::{BuildCtx, Registry};
+use blueprint_wiring::WiringSpec;
 
 use crate::{CompileError, Result};
 
@@ -163,6 +166,15 @@ pub fn validate(ir: &IrGraph) -> Result<()> {
     blueprint_ir::validate::check_visibility(ir).map_err(|report| {
         CompileError::Visibility(report.violations.iter().map(|e| e.to_string()).collect())
     })
+}
+
+/// Runs the resilience-hazard lints over the post-pass IR (the tentpole of
+/// the `blueprint-lint` crate). Diagnostics never fail compilation — hazard
+/// variants must still compile so the fault simulator can reproduce the
+/// pathology a lint predicts; enforcement (e.g. deny-gating CI) is the
+/// caller's policy decision.
+pub fn lint(ir: &IrGraph, wiring: &WiringSpec, config: &LintConfig) -> Vec<Diagnostic> {
+    Linter::new(config.clone()).run(ir, wiring)
 }
 
 #[cfg(test)]

@@ -1,15 +1,89 @@
 //! Graphviz DOT export of the IR, mirroring Fig. 4 of the paper: node shape
 //! encodes role, node color encodes granularity, edge style encodes kind.
+//! Lint findings (from `blueprint-lint`, which this crate cannot depend on —
+//! they arrive as plain [`DotFinding`] records) overlay as colored outlines
+//! plus `tooltip` attributes.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::edge::EdgeKind;
 use crate::graph::IrGraph;
 use crate::node::{Granularity, NodeRole};
 
+/// A static-analysis finding to overlay on the rendered graph.
+///
+/// `subject` is the Display form of a [`crate::NodeId`] (`"n3"`) or
+/// [`crate::EdgeId`] (`"e1"`) — the same strings lint diagnostics carry.
+#[derive(Debug, Clone)]
+pub struct DotFinding {
+    /// The flagged node or edge id (`"n3"` / `"e1"`).
+    pub subject: String,
+    /// `"deny"` renders red, anything else orange.
+    pub severity: String,
+    /// Shown by Graphviz viewers on hover.
+    pub tooltip: String,
+}
+
+/// Per-subject overlay attributes (outline color + merged tooltip).
+struct Overlay {
+    color: &'static str,
+    tooltip: String,
+}
+
+/// Folds findings into one overlay per subject: deny wins the color, and
+/// tooltips concatenate so stacked findings all surface.
+fn overlays(findings: &[DotFinding]) -> BTreeMap<&str, Overlay> {
+    let mut map: BTreeMap<&str, Overlay> = BTreeMap::new();
+    for f in findings {
+        let color = if f.severity == "deny" {
+            "red"
+        } else {
+            "orange"
+        };
+        match map.get_mut(f.subject.as_str()) {
+            Some(o) => {
+                if color == "red" {
+                    o.color = "red";
+                }
+                o.tooltip.push_str("; ");
+                o.tooltip.push_str(&f.tooltip);
+            }
+            None => {
+                map.insert(
+                    &f.subject,
+                    Overlay {
+                        color,
+                        tooltip: f.tooltip.clone(),
+                    },
+                );
+            }
+        }
+    }
+    map
+}
+
+fn overlay_attrs(o: Option<&Overlay>) -> String {
+    match o {
+        Some(o) => format!(
+            ",color={},penwidth=2.5,tooltip=\"{}\"",
+            o.color,
+            o.tooltip.replace('\\', "\\\\").replace('"', "\\\"")
+        ),
+        None => String::new(),
+    }
+}
+
 /// Renders the graph as Graphviz DOT. Namespaces render as clusters so the
 /// containment hierarchy is visible; deterministic output (ids ascending).
 pub fn to_dot(g: &IrGraph) -> String {
+    to_dot_with_findings(g, &[])
+}
+
+/// Like [`to_dot`], with lint findings overlaid: flagged nodes and edges get
+/// a severity-colored outline and a `tooltip` carrying the finding text.
+pub fn to_dot_with_findings(g: &IrGraph, findings: &[DotFinding]) -> String {
+    let marks = overlays(findings);
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", g.app_name);
     let _ = writeln!(out, "  compound=true; rankdir=LR;");
@@ -23,16 +97,16 @@ pub fn to_dot(g: &IrGraph) -> String {
         .map(|(id, _)| id)
         .collect();
     for root in roots {
-        emit_cluster(g, root, 1, &mut out);
+        emit_cluster(g, root, 1, &marks, &mut out);
     }
     // Plain nodes with no parent.
     for (id, n) in g.nodes() {
         if n.parent().is_none() && !matches!(n.role, NodeRole::Namespace | NodeRole::Generator) {
-            emit_node(g, id, 1, &mut out);
+            emit_node(g, id, 1, &marks, &mut out);
         }
     }
     // Edges.
-    for (_, e) in g.edges() {
+    for (id, e) in g.edges() {
         let style = match e.kind {
             EdgeKind::Invocation => "solid",
             EdgeKind::Dependency => "dashed",
@@ -49,13 +123,24 @@ pub fn to_dot(g: &IrGraph) -> String {
                     .join(",")
             )
         };
-        let _ = writeln!(out, "  {} -> {} [style={style}{label}];", e.from, e.to);
+        let mark = overlay_attrs(marks.get(id.to_string().as_str()));
+        let _ = writeln!(
+            out,
+            "  {} -> {} [style={style}{label}{mark}];",
+            e.from, e.to
+        );
     }
     out.push_str("}\n");
     out
 }
 
-fn emit_cluster(g: &IrGraph, id: crate::NodeId, depth: usize, out: &mut String) {
+fn emit_cluster(
+    g: &IrGraph,
+    id: crate::NodeId,
+    depth: usize,
+    marks: &BTreeMap<&str, Overlay>,
+    out: &mut String,
+) {
     let n = match g.node(id) {
         Ok(n) => n,
         Err(_) => return,
@@ -71,15 +156,21 @@ fn emit_cluster(g: &IrGraph, id: crate::NodeId, depth: usize, out: &mut String) 
             Err(_) => continue,
         };
         if matches!(cn.role, NodeRole::Namespace | NodeRole::Generator) {
-            emit_cluster(g, c, depth + 1, out);
+            emit_cluster(g, c, depth + 1, marks, out);
         } else {
-            emit_node(g, c, depth + 1, out);
+            emit_node(g, c, depth + 1, marks, out);
         }
     }
     let _ = writeln!(out, "{pad}}}");
 }
 
-fn emit_node(g: &IrGraph, id: crate::NodeId, depth: usize, out: &mut String) {
+fn emit_node(
+    g: &IrGraph,
+    id: crate::NodeId,
+    depth: usize,
+    marks: &BTreeMap<&str, Overlay>,
+    out: &mut String,
+) {
     let n = match g.node(id) {
         Ok(n) => n,
         Err(_) => return,
@@ -99,13 +190,14 @@ fn emit_node(g: &IrGraph, id: crate::NodeId, depth: usize, out: &mut String) {
         Granularity::Region => "plum",
         Granularity::Deployment => "grey",
     };
+    let mark = overlay_attrs(marks.get(id.to_string().as_str()));
     let _ = writeln!(
         out,
-        "{pad}{} [shape={shape},style=filled,fillcolor={color},label=\"{}\\n{}\"];",
+        "{pad}{} [shape={shape},style=filled,fillcolor={color},label=\"{}\\n{}\"{mark}];",
         id, n.name, n.kind
     );
     for &m in n.modifiers() {
-        emit_node(g, m, depth, out);
+        emit_node(g, m, depth, marks, out);
         let _ = writeln!(out, "{pad}{} -> {} [style=dotted,arrowhead=none];", m, id);
     }
 }
@@ -163,5 +255,54 @@ mod tests {
             to_dot(&g)
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn findings_overlay_colors_and_tooltips() {
+        let mut g = IrGraph::new("d");
+        let a = g
+            .add_component("a", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let b = g
+            .add_component("b", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let e = g.add_invocation(a, b, vec![]).unwrap();
+
+        let findings = vec![
+            DotFinding {
+                subject: b.to_string(),
+                severity: "deny".into(),
+                tooltip: "BP002: deadline below budget".into(),
+            },
+            DotFinding {
+                subject: b.to_string(),
+                severity: "warn".into(),
+                tooltip: "BP009: no \"breaker\"".into(),
+            },
+            DotFinding {
+                subject: e.to_string(),
+                severity: "warn".into(),
+                tooltip: "BP005: non-idempotent retry".into(),
+            },
+        ];
+        let dot = to_dot_with_findings(&g, &findings);
+        // Node b: deny wins the outline, both tooltips merge, quotes escape.
+        assert!(
+            dot.contains(&format!(
+                "{b} [shape=box,style=filled,fillcolor=lightblue,label=\"b\\nworkflow.service\",\
+                 color=red,penwidth=2.5,tooltip=\"BP002: deadline below budget; \
+                 BP009: no \\\"breaker\\\"\"];"
+            )),
+            "{dot}"
+        );
+        // Edge: warn-colored overlay.
+        assert!(
+            dot.contains(
+                "[style=solid,color=orange,penwidth=2.5,tooltip=\"BP005: non-idempotent retry\"];"
+            ),
+            "{dot}"
+        );
+        // No findings → byte-identical to the plain rendering.
+        assert_eq!(to_dot_with_findings(&g, &[]), to_dot(&g));
     }
 }

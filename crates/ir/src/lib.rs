@@ -39,6 +39,7 @@ pub mod types;
 pub mod validate;
 pub mod visibility;
 
+pub use dot::{to_dot, to_dot_with_findings, DotFinding};
 pub use edge::{Edge, EdgeId, EdgeKind};
 pub use graph::IrGraph;
 pub use node::{Granularity, Node, NodeId, NodeRole};

@@ -110,16 +110,31 @@ pub struct MethodSig {
     pub params: Vec<Param>,
     /// Return type.
     pub ret: TypeRef,
+    /// Whether repeating this call is observably equivalent to making it
+    /// once. Defaults to `false` — the conservative assumption — so a
+    /// workflow author must opt a method in before retry scaffolding on its
+    /// edges is considered safe (the `retry-non-idempotent` lint keys on
+    /// this).
+    #[serde(default)]
+    pub idempotent: bool,
 }
 
 impl MethodSig {
-    /// Convenience constructor.
+    /// Convenience constructor. Methods start non-idempotent; mark safe
+    /// ones with [`MethodSig::idempotent`].
     pub fn new(name: impl Into<String>, params: Vec<Param>, ret: TypeRef) -> Self {
         MethodSig {
             name: name.into(),
             params,
             ret,
+            idempotent: false,
         }
+    }
+
+    /// Marks the method as safe to retry (builder style).
+    pub fn idempotent(mut self) -> Self {
+        self.idempotent = true;
+        self
     }
 
     /// Renders a Rust trait-method signature, e.g.
@@ -208,6 +223,13 @@ mod tests {
         assert_eq!(camel_case("compose_post"), "ComposePost");
         assert_eq!(camel_case("user-service"), "UserService");
         assert_eq!(camel_case("Already"), "Already");
+    }
+
+    #[test]
+    fn idempotency_defaults_conservative() {
+        let m = MethodSig::new("ReadPost", vec![], TypeRef::Unit);
+        assert!(!m.idempotent, "methods must default to non-idempotent");
+        assert!(m.clone().idempotent().idempotent);
     }
 
     #[test]

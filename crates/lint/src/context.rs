@@ -1,0 +1,202 @@
+//! Shared analysis context and graph queries used by multiple passes.
+
+use blueprint_ir::{EdgeKind, IrGraph, NodeId};
+use blueprint_wiring::WiringSpec;
+
+use crate::LintConfig;
+
+/// Kind prefixes the passes key on. Centralised so a plugin rename is a
+/// one-line fix here rather than a scavenger hunt through the passes.
+pub mod kind {
+    /// Workflow service instances.
+    pub const SERVICE: &str = "workflow";
+    /// Load balancer components.
+    pub const LOAD_BALANCER: &str = "component.loadbalancer";
+    /// Retry modifiers.
+    pub const RETRY: &str = "mod.retry";
+    /// Timeout modifiers.
+    pub const TIMEOUT: &str = "mod.timeout";
+    /// Circuit breaker modifiers.
+    pub const BREAKER: &str = "mod.breaker";
+    /// Queue backends.
+    pub const QUEUE: &str = "backend.queue";
+    /// Brownout-prone backends: storage whose latency collapses under
+    /// overload (the PR-3 brownout scenarios target these).
+    pub const BROWNOUT_PRONE: [&str; 2] = ["backend.nosql", "backend.reldb"];
+}
+
+/// Immutable view a pass runs against: the post-pass IR, the originating
+/// wiring spec, and the lint configuration.
+pub struct LintContext<'a> {
+    /// The compiled (post-transform) IR graph.
+    pub ir: &'a IrGraph,
+    /// The wiring spec the graph was built from.
+    pub wiring: &'a WiringSpec,
+    /// Numeric thresholds.
+    pub config: &'a LintConfig,
+}
+
+impl<'a> LintContext<'a> {
+    /// Builds a context.
+    pub fn new(ir: &'a IrGraph, wiring: &'a WiringSpec, config: &'a LintConfig) -> Self {
+        LintContext { ir, wiring, config }
+    }
+
+    /// All workflow service nodes, id-ascending.
+    pub fn services(&self) -> Vec<NodeId> {
+        self.ir.nodes_with_kind_prefix(kind::SERVICE)
+    }
+
+    /// Entry points: services no live invocation edge targets (the same
+    /// rule the simulation lowering uses to pick workload entries).
+    pub fn entry_services(&self) -> Vec<NodeId> {
+        self.services()
+            .into_iter()
+            .filter(|&s| {
+                !self.ir.in_edges(s).iter().any(|&e| {
+                    self.ir
+                        .edge(e)
+                        .map(|e| e.kind == EdgeKind::Invocation)
+                        .unwrap_or(false)
+                })
+            })
+            .collect()
+    }
+
+    /// Worst-case attempts per logical call *into* `node`: the product of
+    /// `1 + retries` over the retry modifiers on its chain (callers fold the
+    /// callee's modifier chain into their client spec, so retry modifiers
+    /// on the callee govern the caller's attempt count). 1.0 when no retry
+    /// modifier is attached.
+    pub fn attempts_into(&self, node: NodeId) -> f64 {
+        let Ok(n) = self.ir.node(node) else {
+            return 1.0;
+        };
+        let mut attempts = 1.0;
+        for &m in n.modifiers() {
+            let Ok(mn) = self.ir.node(m) else { continue };
+            if kind_matches(&mn.kind, kind::RETRY) {
+                let max = mn.props.float_or("max", 3.0);
+                if max.is_finite() && max > 0.0 {
+                    attempts *= 1.0 + max.round();
+                }
+            }
+        }
+        attempts
+    }
+
+    /// The per-attempt deadline (ms) callers of `node` enforce, if a timeout
+    /// modifier sits on its chain (smallest wins when stacked).
+    pub fn timeout_into_ms(&self, node: NodeId) -> Option<f64> {
+        let n = self.ir.node(node).ok()?;
+        let mut best: Option<f64> = None;
+        for &m in n.modifiers() {
+            let Ok(mn) = self.ir.node(m) else { continue };
+            if kind_matches(&mn.kind, kind::TIMEOUT) {
+                let ms = mn.props.float_or("ms", 500.0);
+                if ms.is_finite() && ms > 0.0 {
+                    best = Some(best.map_or(ms, |b: f64| b.min(ms)));
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether a circuit breaker guards calls into `node`.
+    pub fn breaker_on(&self, node: NodeId) -> bool {
+        self.ir.has_modifier(node, kind::BREAKER)
+    }
+
+    /// Whether `node` is a load balancer.
+    pub fn is_load_balancer(&self, node: NodeId) -> bool {
+        self.ir
+            .node(node)
+            .map(|n| kind_matches(&n.kind, kind::LOAD_BALANCER))
+            .unwrap_or(false)
+    }
+
+    /// Invocation callees of `node`, id-ascending and deduplicated.
+    pub fn invocation_callees(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = self.ir.callees(node);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Display name of a node (empty string when dead — passes only hold
+    /// live ids, so this is a rendering convenience, not a fallback path).
+    pub fn node_name(&self, node: NodeId) -> String {
+        self.ir
+            .node(node)
+            .map(|n| n.name.clone())
+            .unwrap_or_default()
+    }
+}
+
+/// Dotted-path prefix match, identical to the IR's kind matching rules:
+/// `mod.retry` matches `mod.retry` and `mod.retry.exponential`, not
+/// `mod.retryish`.
+pub fn kind_matches(kind: &str, prefix: &str) -> bool {
+    kind == prefix || (kind.starts_with(prefix) && kind[prefix.len()..].starts_with('.'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_ir::{Granularity, Node, NodeRole};
+
+    fn ctx_fixture() -> (IrGraph, WiringSpec) {
+        let mut ir = IrGraph::new("t");
+        let a = ir
+            .add_component("a", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let b = ir
+            .add_component("b", "workflow.service", Granularity::Instance)
+            .unwrap();
+        ir.add_invocation(a, b, vec![]).unwrap();
+        let retry = ir
+            .add_node(Node::new(
+                "b_retry",
+                "mod.retry",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
+            .unwrap();
+        ir.node_mut(retry).unwrap().props.set("max", 4i64);
+        ir.attach_modifier(b, retry).unwrap();
+        let to = ir
+            .add_node(Node::new(
+                "b_timeout",
+                "mod.timeout",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
+            .unwrap();
+        ir.node_mut(to).unwrap().props.set("ms", 250i64);
+        ir.attach_modifier(b, to).unwrap();
+        (ir, WiringSpec::new("t"))
+    }
+
+    #[test]
+    fn attempts_timeouts_and_entries() {
+        let (ir, w) = ctx_fixture();
+        let cfg = LintConfig::default();
+        let ctx = LintContext::new(&ir, &w, &cfg);
+        let a = ir.by_name("a").unwrap();
+        let b = ir.by_name("b").unwrap();
+        assert_eq!(ctx.entry_services(), vec![a]);
+        assert_eq!(ctx.attempts_into(b), 5.0);
+        assert_eq!(ctx.attempts_into(a), 1.0);
+        assert_eq!(ctx.timeout_into_ms(b), Some(250.0));
+        assert_eq!(ctx.timeout_into_ms(a), None);
+        assert!(!ctx.breaker_on(b));
+        assert_eq!(ctx.invocation_callees(a), vec![b]);
+    }
+
+    #[test]
+    fn kind_prefix_semantics() {
+        assert!(kind_matches("mod.retry", "mod.retry"));
+        assert!(kind_matches("mod.retry.exp", "mod.retry"));
+        assert!(!kind_matches("mod.retryish", "mod.retry"));
+    }
+}

@@ -1,0 +1,229 @@
+//! `blueprint-lint`: static analysis over the Blueprint IR.
+//!
+//! The compiler's validation stage *rejects* ill-formed graphs (structural
+//! invariants, the §4.3.2 visibility check). This crate goes one step
+//! further: it inspects graphs that are well-formed yet *pathological* —
+//! configurations that compile and deploy but exhibit the metastability
+//! failures the fault-injection harness measures dynamically (retry storms,
+//! timeout inversions, unbalanced replicas). Every rule is a prediction
+//! about runtime behavior, and `crates/bench`'s `lint_validation` binary
+//! cross-validates the headline rules against the deterministic fault
+//! simulator.
+//!
+//! # Rule catalog
+//!
+//! | Rule  | Name                  | Default  | Hazard                                            |
+//! |-------|-----------------------|----------|---------------------------------------------------|
+//! | BP001 | retry-amplification   | warn     | retry product along a call chain exceeds the threshold with no breaker on the chain |
+//! | BP002 | timeout-inversion     | deny     | a service's inbound deadline is smaller than its worst-case downstream budget |
+//! | BP003 | replica-no-lb         | deny     | ≥2 instances of one service impl with no load balancer fronting them |
+//! | BP004 | lb-single-target      | deny     | a load balancer fronting a single instance        |
+//! | BP005 | retry-non-idempotent  | warn     | a retried edge invokes a method not marked idempotent |
+//! | BP006 | unreachable-component | deny     | a component no entry point reaches                |
+//! | BP007 | dead-modifier         | deny     | a declared modifier applied to no instance        |
+//! | BP008 | unbounded-queue       | warn     | a queue backend with no explicit capacity bound   |
+//! | BP009 | missing-breaker       | warn     | a retried, brownout-prone backend with no circuit breaker |
+//!
+//! Rule ids are stable: tooling (the CI gate, baseline suppression files)
+//! keys on them, so ids are never reused or renumbered.
+//!
+//! # Running
+//!
+//! ```
+//! use blueprint_ir::{IrGraph, Granularity};
+//! use blueprint_wiring::WiringSpec;
+//! use blueprint_lint::Linter;
+//!
+//! let ir = IrGraph::new("demo");
+//! let wiring = WiringSpec::new("demo");
+//! let diags = Linter::default().run(&ir, &wiring);
+//! assert!(diags.is_empty());
+//! ```
+
+pub mod context;
+pub mod diagnostic;
+pub mod passes;
+pub mod render;
+
+use std::collections::BTreeMap;
+
+pub use context::LintContext;
+pub use diagnostic::{Diagnostic, Severity, Subject};
+pub use passes::{LintPass, Rule};
+pub use render::{dot_findings, render_json, render_text};
+
+/// Linter configuration: per-rule severity overrides plus the numeric
+/// thresholds the quantitative rules compare against.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Per-rule severity overrides (`rule id → severity`). A rule set to
+    /// [`Severity::Allow`] is suppressed entirely.
+    pub severity: BTreeMap<String, Severity>,
+    /// BP001: flag call chains whose worst-case wire amplification (product
+    /// of per-hop attempt counts) exceeds this, absent a circuit breaker.
+    pub amplification_threshold: f64,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            severity: BTreeMap::new(),
+            amplification_threshold: 10.0,
+        }
+    }
+}
+
+impl LintConfig {
+    /// Overrides one rule's severity.
+    pub fn with_severity(mut self, rule: &str, severity: Severity) -> Self {
+        self.severity.insert(rule.to_string(), severity);
+        self
+    }
+}
+
+/// The pass registry: owns the pass list and the configuration, runs every
+/// pass, applies severity overrides, and returns a deterministically ordered
+/// diagnostic list.
+pub struct Linter {
+    passes: Vec<Box<dyn LintPass>>,
+    config: LintConfig,
+}
+
+impl Default for Linter {
+    fn default() -> Self {
+        Linter::new(LintConfig::default())
+    }
+}
+
+impl Linter {
+    /// A linter with the built-in pass set and the given configuration.
+    pub fn new(config: LintConfig) -> Self {
+        Linter {
+            passes: passes::default_passes(),
+            config,
+        }
+    }
+
+    /// A linter with no passes (add them with [`Linter::with_pass`]).
+    pub fn empty(config: LintConfig) -> Self {
+        Linter {
+            passes: Vec::new(),
+            config,
+        }
+    }
+
+    /// Registers an additional pass.
+    pub fn with_pass(mut self, pass: Box<dyn LintPass>) -> Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The rules contributed by every registered pass.
+    pub fn rules(&self) -> Vec<&'static Rule> {
+        self.passes.iter().flat_map(|p| p.rules()).collect()
+    }
+
+    /// Runs every pass over the graph + wiring pair.
+    ///
+    /// Diagnostics carrying an [`Severity::Allow`] severity (after overrides)
+    /// are dropped; the rest come back sorted by rule id, then primary
+    /// subject, then message, so output is stable across runs.
+    pub fn run(
+        &self,
+        ir: &blueprint_ir::IrGraph,
+        wiring: &blueprint_wiring::WiringSpec,
+    ) -> Vec<Diagnostic> {
+        let ctx = LintContext::new(ir, wiring, &self.config);
+        let mut out: Vec<Diagnostic> = Vec::new();
+        for pass in &self.passes {
+            out.extend(pass.run(&ctx));
+        }
+        for d in &mut out {
+            if let Some(s) = self.config.severity.get(&d.rule) {
+                d.severity = *s;
+            }
+        }
+        out.retain(|d| d.severity != Severity::Allow);
+        out.sort_by(|a, b| {
+            (&a.rule, a.primary_subject(), &a.message).cmp(&(
+                &b.rule,
+                b.primary_subject(),
+                &b.message,
+            ))
+        });
+        out
+    }
+}
+
+/// Counts diagnostics at or above `deny` level.
+pub fn deny_count(diags: &[Diagnostic]) -> usize {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_ir::{Granularity, IrGraph, Node, NodeRole};
+    use blueprint_wiring::WiringSpec;
+
+    fn graph_with_dead_modifier() -> (IrGraph, WiringSpec) {
+        let mut ir = IrGraph::new("t");
+        ir.add_component("svc", "workflow.service", Granularity::Instance)
+            .unwrap();
+        ir.add_node(Node::new(
+            "orphan_retry",
+            "mod.retry",
+            NodeRole::Modifier,
+            Granularity::Instance,
+        ))
+        .unwrap();
+        let mut w = WiringSpec::new("t");
+        w.define("orphan_retry", "Retry", vec![]).unwrap();
+        w.service("svc", "SvcImpl", &[], &[]).unwrap();
+        (ir, w)
+    }
+
+    #[test]
+    fn severity_override_applies_and_allow_suppresses() {
+        let (ir, w) = graph_with_dead_modifier();
+        let diags = Linter::default().run(&ir, &w);
+        assert!(diags.iter().any(|d| d.rule == "BP007"));
+
+        let warn =
+            Linter::new(LintConfig::default().with_severity("BP007", Severity::Warn)).run(&ir, &w);
+        assert!(warn
+            .iter()
+            .all(|d| d.rule != "BP007" || d.severity == Severity::Warn));
+
+        let off =
+            Linter::new(LintConfig::default().with_severity("BP007", Severity::Allow)).run(&ir, &w);
+        assert!(off.iter().all(|d| d.rule != "BP007"));
+    }
+
+    #[test]
+    fn rule_catalog_is_complete_and_unique() {
+        let linter = Linter::default();
+        let rules = linter.rules();
+        let ids: Vec<&str> = rules.iter().map(|r| r.id).collect();
+        for expect in [
+            "BP001", "BP002", "BP003", "BP004", "BP005", "BP006", "BP007", "BP008", "BP009",
+        ] {
+            assert!(ids.contains(&expect), "missing rule {expect}");
+        }
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "duplicate rule ids");
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let (ir, w) = graph_with_dead_modifier();
+        let a = Linter::default().run(&ir, &w);
+        let b = Linter::default().run(&ir, &w);
+        assert_eq!(a, b);
+    }
+}

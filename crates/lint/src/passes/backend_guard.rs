@@ -1,0 +1,203 @@
+//! BP008/BP009: backends that brown out need guards in front of them.
+//!
+//! * **BP008 unbounded-queue** — a queue backend whose wiring declaration
+//!   relies on the plugin's default capacity. The default is generous
+//!   enough (100k entries) that under overload the queue absorbs work far
+//!   past the point of recovery: drain time grows unboundedly and every
+//!   consumer sees stale work. Metastability literature calls this the
+//!   buffer-bloat trigger; the fix is an explicit, deliberately sized
+//!   `capacity=` kwarg.
+//! * **BP009 missing-breaker** — a brownout-prone backend (relational or
+//!   NoSQL store) that callers retry against without a circuit breaker in
+//!   the chain. Retries against a degraded store sustain the overload that
+//!   caused the degradation (the Type-4 metastable failure the fault
+//!   simulator reproduces); a breaker sheds that load.
+
+use crate::context::{kind, LintContext};
+use crate::diagnostic::{Diagnostic, Severity};
+use crate::passes::{LintPass, Rule};
+
+/// BP008 metadata.
+pub static RULE_QUEUE: Rule = Rule {
+    id: "BP008",
+    name: "unbounded-queue",
+    severity: Severity::Warn,
+    summary: "a queue backend with no explicit capacity bound",
+};
+
+/// BP009 metadata.
+pub static RULE_BREAKER: Rule = Rule {
+    id: "BP009",
+    name: "missing-breaker",
+    severity: Severity::Warn,
+    summary: "a retried brownout-prone backend with no circuit breaker",
+};
+
+/// The pass.
+pub struct BackendGuard;
+
+impl LintPass for BackendGuard {
+    fn rules(&self) -> Vec<&'static Rule> {
+        vec![&RULE_QUEUE, &RULE_BREAKER]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+
+        // BP008: queue backends riding on the plugin's default capacity.
+        for q in ctx.ir.nodes_with_kind_prefix(kind::QUEUE) {
+            let name = ctx.node_name(q);
+            let bounded = ctx
+                .wiring
+                .decl(&name)
+                .is_some_and(|d| d.kwarg("capacity").is_some());
+            if bounded {
+                continue;
+            }
+            out.push(
+                Diagnostic::new(
+                    &RULE_QUEUE,
+                    format!(
+                        "queue `{name}` has no explicit capacity: the plugin default absorbs \
+                         overload past the point of recovery"
+                    ),
+                )
+                .node(q.to_string(), name.clone())
+                .fix(format!(
+                    "declare `{name}` with an explicit capacity=N sized to the drain rate"
+                )),
+            );
+        }
+
+        // BP009: retried stores with nothing to shed load when they brown out.
+        for prefix in kind::BROWNOUT_PRONE {
+            for b in ctx.ir.nodes_with_kind_prefix(prefix) {
+                if ctx.attempts_into(b) <= 1.0 || ctx.breaker_on(b) {
+                    continue;
+                }
+                let name = ctx.node_name(b);
+                out.push(
+                    Diagnostic::new(
+                        &RULE_BREAKER,
+                        format!(
+                            "backend `{name}` is retried (x{:.0} attempts) with no circuit \
+                             breaker: retries sustain the overload when it browns out",
+                            ctx.attempts_into(b)
+                        ),
+                    )
+                    .node(b.to_string(), name.clone())
+                    .fix(format!(
+                        "attach a CircuitBreaker(...) to `{name}` alongside the Retry modifier"
+                    )),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Linter;
+    use blueprint_ir::{Granularity, IrGraph, Node, NodeRole};
+    use blueprint_wiring::{Arg, WiringSpec};
+
+    fn queue_graph() -> IrGraph {
+        let mut ir = IrGraph::new("t");
+        let svc = ir
+            .add_component("svc", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let q = ir
+            .add_component("jobs", "backend.queue.rabbitmq", Granularity::Process)
+            .unwrap();
+        ir.add_invocation(svc, q, vec![]).unwrap();
+        ir
+    }
+
+    #[test]
+    fn default_capacity_queue_fires_once() {
+        let ir = queue_graph();
+        let mut w = WiringSpec::new("t");
+        w.define("jobs", "RabbitMQ", vec![]).unwrap();
+        let diags: Vec<_> = Linter::default()
+            .run(&ir, &w)
+            .into_iter()
+            .filter(|d| d.rule == "BP008")
+            .collect();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].nodes[0].name, "jobs");
+    }
+
+    #[test]
+    fn explicit_capacity_is_clean() {
+        let ir = queue_graph();
+        let mut w = WiringSpec::new("t");
+        w.define_kw(
+            "jobs",
+            "RabbitMQ",
+            vec![],
+            vec![("capacity", Arg::Int(50_000))],
+        )
+        .unwrap();
+        let diags = Linter::default().run(&ir, &w);
+        assert!(diags.iter().all(|d| d.rule != "BP008"), "{diags:?}");
+    }
+
+    fn retried_db(with_breaker: bool) -> (IrGraph, WiringSpec) {
+        let mut ir = IrGraph::new("t");
+        let svc = ir
+            .add_component("svc", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let db = ir
+            .add_component("db", "backend.reldb.mysql", Granularity::Process)
+            .unwrap();
+        ir.add_invocation(svc, db, vec![]).unwrap();
+        let retry = ir
+            .add_node(Node::new(
+                "db_retry",
+                "mod.retry",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
+            .unwrap();
+        ir.node_mut(retry).unwrap().props.set("max", 4i64);
+        ir.attach_modifier(db, retry).unwrap();
+        if with_breaker {
+            let brk = ir
+                .add_node(Node::new(
+                    "db_breaker",
+                    "mod.breaker",
+                    NodeRole::Modifier,
+                    Granularity::Instance,
+                ))
+                .unwrap();
+            ir.attach_modifier(db, brk).unwrap();
+        }
+        (ir, WiringSpec::new("t"))
+    }
+
+    #[test]
+    fn retried_store_without_breaker_fires_once() {
+        let (ir, w) = retried_db(false);
+        let diags: Vec<_> = Linter::default()
+            .run(&ir, &w)
+            .into_iter()
+            .filter(|d| d.rule == "BP009")
+            .collect();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("x5 attempts"), "{diags:?}");
+    }
+
+    #[test]
+    fn breaker_silences_and_unretried_store_is_clean() {
+        let (ir, w) = retried_db(true);
+        let diags = Linter::default().run(&ir, &w);
+        assert!(diags.iter().all(|d| d.rule != "BP009"), "{diags:?}");
+
+        let (mut ir, w) = retried_db(false);
+        let retry = ir.by_name("db_retry").unwrap();
+        ir.remove_node(retry).unwrap();
+        let diags = Linter::default().run(&ir, &w);
+        assert!(diags.iter().all(|d| d.rule != "BP009"), "{diags:?}");
+    }
+}

@@ -1,0 +1,145 @@
+//! BP005: retries on a non-idempotent edge.
+//!
+//! A retry modifier on a callee makes every caller re-send failed attempts.
+//! That is only safe when the invoked methods are idempotent — a retried
+//! `Reserve` can double-book where a retried `SearchHotels` cannot. The
+//! workflow layer's [`blueprint_ir::MethodSig::idempotent`] flag defaults to
+//! `false` (conservative), so this rule fires until the author explicitly
+//! opts a method in.
+
+use crate::context::LintContext;
+use crate::diagnostic::{Diagnostic, Severity};
+use crate::passes::{LintPass, Rule};
+use blueprint_ir::{EdgeKind, NodeId};
+
+/// Rule metadata.
+pub static RULE: Rule = Rule {
+    id: "BP005",
+    name: "retry-non-idempotent",
+    severity: Severity::Warn,
+    summary: "a retried edge invokes methods not marked idempotent",
+};
+
+/// The pass. Emits one finding per offending invocation edge.
+pub struct RetryIdempotency;
+
+impl LintPass for RetryIdempotency {
+    fn rules(&self) -> Vec<&'static Rule> {
+        vec![&RULE]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (id, edge) in ctx.ir.edges() {
+            if edge.kind != EdgeKind::Invocation || edge.methods.is_empty() {
+                continue;
+            }
+            if effective_attempts(ctx, edge.to) <= 1.0 {
+                continue;
+            }
+            let unsafe_methods: Vec<&str> = edge
+                .methods
+                .iter()
+                .filter(|m| !m.idempotent)
+                .map(|m| m.name.as_str())
+                .collect();
+            if unsafe_methods.is_empty() {
+                continue;
+            }
+            let from = ctx.node_name(edge.from);
+            let to = ctx.node_name(edge.to);
+            out.push(
+                Diagnostic::new(
+                    &RULE,
+                    format!(
+                        "retried edge {from} -> {to} invokes non-idempotent method(s) {}",
+                        unsafe_methods.join(", ")
+                    ),
+                )
+                .node(edge.to.to_string(), to.clone())
+                .edge(id.to_string(), format!("{from}->{to}"))
+                .fix(
+                    "mark the method(s) idempotent in the workflow spec or drop the Retry \
+                     modifier from the callee",
+                ),
+            );
+        }
+        out
+    }
+}
+
+/// Attempts callers make over an edge into `node`. A load balancer is
+/// transparent: the client policy is assembled from the replicas' chains,
+/// so take the worst replica.
+fn effective_attempts(ctx: &LintContext<'_>, node: NodeId) -> f64 {
+    if ctx.is_load_balancer(node) {
+        ctx.invocation_callees(node)
+            .into_iter()
+            .map(|r| ctx.attempts_into(r))
+            .fold(1.0, f64::max)
+    } else {
+        ctx.attempts_into(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Linter;
+    use blueprint_ir::{Granularity, IrGraph, MethodSig, Node, NodeRole, TypeRef};
+    use blueprint_wiring::WiringSpec;
+
+    fn graph(idempotent: bool) -> (IrGraph, WiringSpec) {
+        let mut ir = IrGraph::new("t");
+        let a = ir
+            .add_component("a", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let b = ir
+            .add_component("b", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let mut sig = MethodSig::new("Reserve", vec![], TypeRef::Unit);
+        if idempotent {
+            sig = sig.idempotent();
+        }
+        ir.add_invocation(a, b, vec![sig]).unwrap();
+        let retry = ir
+            .add_node(Node::new(
+                "b_retry",
+                "mod.retry",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
+            .unwrap();
+        ir.node_mut(retry).unwrap().props.set("max", 3i64);
+        ir.attach_modifier(b, retry).unwrap();
+        (ir, WiringSpec::new("t"))
+    }
+
+    #[test]
+    fn retried_non_idempotent_edge_fires_once() {
+        let (ir, w) = graph(false);
+        let diags: Vec<_> = Linter::default()
+            .run(&ir, &w)
+            .into_iter()
+            .filter(|d| d.rule == "BP005")
+            .collect();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("Reserve"));
+        assert_eq!(diags[0].edges.len(), 1);
+    }
+
+    #[test]
+    fn idempotent_method_is_clean() {
+        let (ir, w) = graph(true);
+        let diags = Linter::default().run(&ir, &w);
+        assert!(diags.iter().all(|d| d.rule != "BP005"), "{diags:?}");
+    }
+
+    #[test]
+    fn unretried_edge_is_clean() {
+        let (mut ir, w) = graph(false);
+        let retry = ir.by_name("b_retry").unwrap();
+        ir.remove_node(retry).unwrap();
+        let diags = Linter::default().run(&ir, &w);
+        assert!(diags.iter().all(|d| d.rule != "BP005"), "{diags:?}");
+    }
+}

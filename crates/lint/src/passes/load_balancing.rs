@@ -1,0 +1,207 @@
+//! BP003/BP004: replication and load balancing must come as a pair.
+//!
+//! * **BP003 replica-no-lb** — several instances of the same service
+//!   implementation exist but (some of them) sit behind no load balancer.
+//!   The `Replicate` generator always inserts one; this fires on *manual*
+//!   replication, where each caller binds to one fixed replica and the
+//!   rest idle (or worse, are mistaken for workload entry points).
+//! * **BP004 lb-single-target** — a load balancer fronting a single
+//!   instance: pure indirection cost with none of the benefit, usually a
+//!   leftover `Replicate(count=1)`.
+
+use std::collections::BTreeMap;
+
+use blueprint_ir::{EdgeKind, NodeId};
+
+use crate::context::LintContext;
+use crate::diagnostic::{Diagnostic, Severity};
+use crate::passes::{LintPass, Rule};
+
+/// BP003 metadata.
+pub static RULE_NO_LB: Rule = Rule {
+    id: "BP003",
+    name: "replica-no-lb",
+    severity: Severity::Deny,
+    summary: "multiple instances of one service impl with no load balancer fronting them",
+};
+
+/// BP004 metadata.
+pub static RULE_SINGLE: Rule = Rule {
+    id: "BP004",
+    name: "lb-single-target",
+    severity: Severity::Deny,
+    summary: "a load balancer fronting a single instance",
+};
+
+/// The pass.
+pub struct LoadBalancing;
+
+impl LintPass for LoadBalancing {
+    fn rules(&self) -> Vec<&'static Rule> {
+        vec![&RULE_NO_LB, &RULE_SINGLE]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+
+        // BP003: group service instances by implementation.
+        let mut groups: BTreeMap<&str, Vec<NodeId>> = BTreeMap::new();
+        for s in ctx.services() {
+            if let Some(impl_name) = ctx.ir.node(s).ok().and_then(|n| n.props.str("impl")) {
+                groups.entry(impl_name).or_default().push(s);
+            }
+        }
+        for (impl_name, members) in groups {
+            if members.len() < 2 {
+                continue;
+            }
+            let unfronted: Vec<NodeId> = members
+                .iter()
+                .copied()
+                .filter(|&m| !fronted_by_lb(ctx, m))
+                .collect();
+            if unfronted.is_empty() {
+                continue;
+            }
+            let names: Vec<String> = unfronted.iter().map(|&n| ctx.node_name(n)).collect();
+            let mut d = Diagnostic::new(
+                &RULE_NO_LB,
+                format!(
+                    "{} of {} instances of `{impl_name}` sit behind no load balancer \
+                     ({}): callers bind to fixed replicas",
+                    unfronted.len(),
+                    members.len(),
+                    names.join(", ")
+                ),
+            )
+            .fix(format!(
+                "front the `{impl_name}` instances with a LoadBalancer(...) or use \
+                 Replicate(count=N) on a single declaration"
+            ));
+            for (&n, name) in unfronted.iter().zip(&names) {
+                d = d.node(n.to_string(), name.clone());
+            }
+            out.push(d);
+        }
+
+        // BP004: degenerate load balancers.
+        for lb in ctx
+            .ir
+            .nodes_with_kind_prefix(crate::context::kind::LOAD_BALANCER)
+        {
+            let targets = ctx.invocation_callees(lb);
+            if targets.len() <= 1 {
+                let name = ctx.node_name(lb);
+                out.push(
+                    Diagnostic::new(
+                        &RULE_SINGLE,
+                        format!(
+                            "load balancer `{name}` fronts {} instance(s): indirection \
+                             without load distribution",
+                            targets.len()
+                        ),
+                    )
+                    .node(lb.to_string(), name.clone())
+                    .fix(format!(
+                        "raise the replica count behind `{name}` or remove the load balancer"
+                    )),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Whether some load balancer routes invocations to `node`.
+fn fronted_by_lb(ctx: &LintContext<'_>, node: NodeId) -> bool {
+    ctx.ir.in_edges(node).iter().any(|&e| {
+        ctx.ir
+            .edge(e)
+            .map(|edge| edge.kind == EdgeKind::Invocation && ctx.is_load_balancer(edge.from))
+            .unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Linter;
+    use blueprint_ir::{Granularity, IrGraph};
+    use blueprint_wiring::WiringSpec;
+
+    fn svc(ir: &mut IrGraph, name: &str, impl_name: &str) -> NodeId {
+        let id = ir
+            .add_component(name, "workflow.service", Granularity::Instance)
+            .unwrap();
+        ir.node_mut(id).unwrap().props.set("impl", impl_name);
+        id
+    }
+
+    /// gw -> user_a, with user_b a manual second instance of the same impl.
+    fn manual_replicas() -> (IrGraph, WiringSpec) {
+        let mut ir = IrGraph::new("t");
+        let gw = svc(&mut ir, "gw", "GatewayImpl");
+        let ua = svc(&mut ir, "user_a", "UserServiceImpl");
+        let _ub = svc(&mut ir, "user_b", "UserServiceImpl");
+        ir.add_invocation(gw, ua, vec![]).unwrap();
+        (ir, WiringSpec::new("t"))
+    }
+
+    #[test]
+    fn manual_replicas_without_lb_fire_once() {
+        let (ir, w) = manual_replicas();
+        let diags: Vec<_> = Linter::default()
+            .run(&ir, &w)
+            .into_iter()
+            .filter(|d| d.rule == "BP003")
+            .collect();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("UserServiceImpl"));
+        assert_eq!(diags[0].nodes.len(), 2);
+    }
+
+    #[test]
+    fn lb_fronted_replicas_are_clean() {
+        let (mut ir, w) = manual_replicas();
+        let lb = ir
+            .add_component("user_lb", "component.loadbalancer", Granularity::Instance)
+            .unwrap();
+        let ua = ir.by_name("user_a").unwrap();
+        let ub = ir.by_name("user_b").unwrap();
+        ir.add_invocation(lb, ua, vec![]).unwrap();
+        ir.add_invocation(lb, ub, vec![]).unwrap();
+        // Route the caller through the LB so user_a is not double-bound.
+        let gw = ir.by_name("gw").unwrap();
+        let e = ir.out_edges(gw)[0];
+        ir.retarget_edge(e, lb).unwrap();
+        let diags = Linter::default().run(&ir, &w);
+        assert!(diags.iter().all(|d| d.rule != "BP003"), "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule != "BP004"), "{diags:?}");
+    }
+
+    #[test]
+    fn single_target_lb_fires_and_pair_is_clean() {
+        let mut ir = IrGraph::new("t");
+        let gw = svc(&mut ir, "gw", "GatewayImpl");
+        let ua = svc(&mut ir, "user_a", "UserServiceImpl");
+        let lb = ir
+            .add_component("user_lb", "component.loadbalancer", Granularity::Instance)
+            .unwrap();
+        ir.add_invocation(gw, lb, vec![]).unwrap();
+        ir.add_invocation(lb, ua, vec![]).unwrap();
+        let w = WiringSpec::new("t");
+        let diags: Vec<_> = Linter::default()
+            .run(&ir, &w)
+            .into_iter()
+            .filter(|d| d.rule == "BP004")
+            .collect();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].nodes[0].name, "user_lb");
+
+        // Adding a second replica behind the LB silences it.
+        let ub = svc(&mut ir, "user_b", "UserServiceImpl");
+        ir.add_invocation(lb, ub, vec![]).unwrap();
+        let diags = Linter::default().run(&ir, &w);
+        assert!(diags.iter().all(|d| d.rule != "BP004"), "{diags:?}");
+    }
+}

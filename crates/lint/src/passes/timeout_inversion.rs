@@ -1,0 +1,183 @@
+//! BP002: timeout inversion — a caller-facing deadline smaller than the
+//! worst-case downstream budget.
+//!
+//! The deadline callers enforce on a service X (X's timeout modifier) must
+//! cover what one attempt of X can legitimately spend downstream: for every
+//! callee c, up to `attempts(c)` tries of up to `timeout(c)` ms each (or
+//! c's own downstream budget when c carries no timeout). When
+//! `timeout(X) < Σ attempts(c) × budget(c)`, callers abort and retry while
+//! the downstream work is still running — wasted work that compounds under
+//! load, the inversion pathology. Computed bottom-up over the call DAG.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use blueprint_ir::NodeId;
+
+use crate::context::LintContext;
+use crate::diagnostic::{Diagnostic, Severity};
+use crate::passes::{LintPass, Rule};
+
+/// Rule metadata.
+pub static RULE: Rule = Rule {
+    id: "BP002",
+    name: "timeout-inversion",
+    severity: Severity::Deny,
+    summary: "inbound deadline smaller than the worst-case downstream budget",
+};
+
+/// The pass.
+pub struct TimeoutInversion;
+
+impl LintPass for TimeoutInversion {
+    fn rules(&self) -> Vec<&'static Rule> {
+        vec![&RULE]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut memo = BTreeMap::new();
+        let mut out = Vec::new();
+        for node in ctx.ir.live_node_ids() {
+            let Some(deadline) = ctx.timeout_into_ms(node) else {
+                continue;
+            };
+            let budget = downstream_budget(ctx, node, &mut memo, &mut BTreeSet::new());
+            if deadline < budget {
+                let name = ctx.node_name(node);
+                out.push(
+                    Diagnostic::new(
+                        &RULE,
+                        format!(
+                            "inbound deadline {deadline:.0} ms on `{name}` is below its \
+                             worst-case downstream budget {budget:.0} ms"
+                        ),
+                    )
+                    .node(node.to_string(), name.clone())
+                    .fix(format!(
+                        "raise the Timeout(ms=...) into `{name}` to >= {budget:.0} ms or cut \
+                         downstream retries/timeouts"
+                    ))
+                    .bound(budget),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Worst-case milliseconds one attempt of `node` can spend on downstream
+/// calls: `Σ attempts(c) × per_attempt(c)` over invocation callees, where a
+/// callee's per-attempt cost is its own timeout when it has one and its own
+/// downstream budget otherwise (untimed hops are transparent). Memoized;
+/// cycles contribute zero (the recursion cannot bottom out, and flagging on
+/// a guessed bound would be noise).
+pub fn downstream_budget(
+    ctx: &LintContext<'_>,
+    node: NodeId,
+    memo: &mut BTreeMap<NodeId, f64>,
+    visiting: &mut BTreeSet<NodeId>,
+) -> f64 {
+    if let Some(&v) = memo.get(&node) {
+        return v;
+    }
+    if !visiting.insert(node) {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for callee in ctx.invocation_callees(node) {
+        let per_attempt = match ctx.timeout_into_ms(callee) {
+            Some(t) => t,
+            None => downstream_budget(ctx, callee, memo, visiting),
+        };
+        sum += ctx.attempts_into(callee) * per_attempt;
+    }
+    visiting.remove(&node);
+    memo.insert(node, sum);
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Linter;
+    use blueprint_ir::{Granularity, IrGraph, Node, NodeRole};
+    use blueprint_wiring::WiringSpec;
+
+    fn modifier(ir: &mut IrGraph, name: &str, kind: &str, target: NodeId, key: &str, v: i64) {
+        let m = ir
+            .add_node(Node::new(
+                name,
+                kind,
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
+            .unwrap();
+        ir.node_mut(m).unwrap().props.set(key, v);
+        ir.attach_modifier(target, m).unwrap();
+    }
+
+    /// a (timeout `a_ms`) -> b (timeout 500, retry max=3): budget(a) = 2000.
+    fn inversion_graph(a_ms: i64) -> (IrGraph, WiringSpec) {
+        let mut ir = IrGraph::new("t");
+        let a = ir
+            .add_component("a", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let b = ir
+            .add_component("b", "workflow.service", Granularity::Instance)
+            .unwrap();
+        ir.add_invocation(a, b, vec![]).unwrap();
+        modifier(&mut ir, "a_timeout", "mod.timeout", a, "ms", a_ms);
+        modifier(&mut ir, "b_timeout", "mod.timeout", b, "ms", 500);
+        modifier(&mut ir, "b_retry", "mod.retry", b, "max", 3);
+        (ir, WiringSpec::new("t"))
+    }
+
+    #[test]
+    fn inverted_deadline_fires_once() {
+        let (ir, w) = inversion_graph(200);
+        let diags: Vec<_> = Linter::default()
+            .run(&ir, &w)
+            .into_iter()
+            .filter(|d| d.rule == "BP002")
+            .collect();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        let d = &diags[0];
+        assert_eq!(d.bound, Some(2000.0));
+        assert_eq!(d.nodes[0].name, "a");
+        assert!(d.fix.contains(">= 2000 ms"));
+    }
+
+    #[test]
+    fn covering_deadline_is_clean() {
+        let (ir, w) = inversion_graph(2000);
+        let diags = Linter::default().run(&ir, &w);
+        assert!(diags.iter().all(|d| d.rule != "BP002"), "{diags:?}");
+    }
+
+    #[test]
+    fn untimed_hops_are_transparent() {
+        // a (timeout 100) -> mid (no timeout) -> leaf (timeout 300):
+        // budget(a) = budget(mid) = 300 > 100.
+        let mut ir = IrGraph::new("t");
+        let a = ir
+            .add_component("a", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let mid = ir
+            .add_component("mid", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let leaf = ir
+            .add_component("leaf", "workflow.service", Granularity::Instance)
+            .unwrap();
+        ir.add_invocation(a, mid, vec![]).unwrap();
+        ir.add_invocation(mid, leaf, vec![]).unwrap();
+        modifier(&mut ir, "a_timeout", "mod.timeout", a, "ms", 100);
+        modifier(&mut ir, "leaf_timeout", "mod.timeout", leaf, "ms", 300);
+        let w = WiringSpec::new("t");
+        let diags: Vec<_> = Linter::default()
+            .run(&ir, &w)
+            .into_iter()
+            .filter(|d| d.rule == "BP002")
+            .collect();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].bound, Some(300.0));
+    }
+}

@@ -1,0 +1,237 @@
+//! Human-text and JSON rendering of diagnostic lists.
+//!
+//! JSON is emitted by hand (the build environment vendors no JSON crate);
+//! the format is a stable array of objects with fixed key order, so the CI
+//! gate and snapshot tests can diff it byte-for-byte.
+
+use std::fmt::Write as _;
+
+use crate::diagnostic::{Diagnostic, Subject};
+
+/// Renders diagnostics as human-readable text, one finding per line:
+///
+/// ```text
+/// deny[BP003] replica-no-lb: 2 instances of `UserServiceImpl` share no load balancer (nodes: n3 user_a, n4 user_b) — fix: front the replicas with LoadBalancer(...)
+/// ```
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let _ = write!(out, "{}[{}] {}: {}", d.severity, d.rule, d.name, d.message);
+        if let Some(b) = d.bound {
+            let _ = write!(out, " (bound {})", fmt_num(b));
+        }
+        if !d.nodes.is_empty() {
+            let _ = write!(out, " (nodes: {})", subjects(&d.nodes));
+        }
+        if !d.edges.is_empty() {
+            let _ = write!(out, " (edges: {})", subjects(&d.edges));
+        }
+        if !d.fix.is_empty() {
+            let _ = write!(out, " — fix: {}", d.fix);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders diagnostics as a JSON array (2-space indent, fixed key order,
+/// trailing newline). An empty list renders as `[]`.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return "[]\n".to_string();
+    }
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("  {\n");
+        let _ = writeln!(out, "    \"rule\": {},", json_str(&d.rule));
+        let _ = writeln!(out, "    \"name\": {},", json_str(&d.name));
+        let _ = writeln!(out, "    \"severity\": {},", json_str(d.severity.label()));
+        let _ = writeln!(out, "    \"message\": {},", json_str(&d.message));
+        let _ = writeln!(out, "    \"fix\": {},", json_str(&d.fix));
+        match d.bound {
+            Some(b) => {
+                let _ = writeln!(out, "    \"bound\": {},", fmt_num(b));
+            }
+            None => out.push_str("    \"bound\": null,\n"),
+        }
+        let _ = writeln!(out, "    \"nodes\": {},", json_subjects(&d.nodes));
+        let _ = writeln!(out, "    \"edges\": {}", json_subjects(&d.edges));
+        out.push_str(if i + 1 == diags.len() {
+            "  }\n"
+        } else {
+            "  },\n"
+        });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Converts diagnostics to [`blueprint_ir::DotFinding`] overlay records —
+/// one per flagged node/edge — for [`blueprint_ir::to_dot_with_findings`].
+pub fn dot_findings(diags: &[Diagnostic]) -> Vec<blueprint_ir::DotFinding> {
+    let mut out = Vec::new();
+    for d in diags {
+        let tooltip = format!("{}[{}]: {}", d.severity, d.rule, d.message);
+        for s in d.nodes.iter().chain(&d.edges) {
+            out.push(blueprint_ir::DotFinding {
+                subject: s.id.clone(),
+                severity: d.severity.label().to_string(),
+                tooltip: tooltip.clone(),
+            });
+        }
+    }
+    out
+}
+
+fn subjects(list: &[Subject]) -> String {
+    list.iter()
+        .map(|s| format!("{} {}", s.id, s.name))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn json_subjects(list: &[Subject]) -> String {
+    if list.is_empty() {
+        return "[]".to_string();
+    }
+    let items: Vec<String> = list
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"id\": {}, \"name\": {}}}",
+                json_str(&s.id),
+                json_str(&s.name)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Formats a finite float the JSON way: integral values without a fraction.
+fn fmt_num(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Severity;
+    use crate::passes::Rule;
+
+    fn sample() -> Vec<Diagnostic> {
+        let r1 = Rule {
+            id: "BP001",
+            name: "retry-amplification",
+            severity: Severity::Warn,
+            summary: "",
+        };
+        let r2 = Rule {
+            id: "BP003",
+            name: "replica-no-lb",
+            severity: Severity::Deny,
+            summary: "",
+        };
+        vec![
+            Diagnostic::new(&r1, "chain frontend -> search -> geo amplifies x121")
+                .node("n1", "frontend")
+                .edge("e4", "frontend->search")
+                .fix("attach a CircuitBreaker to the chain")
+                .bound(121.0),
+            Diagnostic::new(
+                &r2,
+                "2 instances of `UserServiceImpl` share no load balancer",
+            )
+            .node("n3", "user_a")
+            .node("n4", "user_b")
+            .fix("front the replicas with LoadBalancer(user_a, user_b)"),
+        ]
+    }
+
+    #[test]
+    fn text_rendering_mentions_everything() {
+        let text = render_text(&sample());
+        assert!(text.contains("warn[BP001] retry-amplification:"));
+        assert!(text.contains("(bound 121)"));
+        assert!(text.contains("(nodes: n1 frontend)"));
+        assert!(text.contains("(edges: e4 frontend->search)"));
+        assert!(text.contains("— fix: attach a CircuitBreaker"));
+        assert!(text.contains("deny[BP003]"));
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    /// Byte-exact snapshot of the JSON output format. If this test changes,
+    /// downstream consumers (the CI gate's `results/ci_lint.txt`, external
+    /// tooling parsing `--emit` output) see a format break — update them.
+    #[test]
+    fn json_rendering_snapshot() {
+        let expected = r#"[
+  {
+    "rule": "BP001",
+    "name": "retry-amplification",
+    "severity": "warn",
+    "message": "chain frontend -> search -> geo amplifies x121",
+    "fix": "attach a CircuitBreaker to the chain",
+    "bound": 121,
+    "nodes": [{"id": "n1", "name": "frontend"}],
+    "edges": [{"id": "e4", "name": "frontend->search"}]
+  },
+  {
+    "rule": "BP003",
+    "name": "replica-no-lb",
+    "severity": "deny",
+    "message": "2 instances of `UserServiceImpl` share no load balancer",
+    "fix": "front the replicas with LoadBalancer(user_a, user_b)",
+    "bound": null,
+    "nodes": [{"id": "n3", "name": "user_a"}, {"id": "n4", "name": "user_b"}],
+    "edges": []
+  }
+]
+"#;
+        assert_eq!(render_json(&sample()), expected);
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+
+    #[test]
+    fn dot_findings_cover_every_subject() {
+        let fs = dot_findings(&sample());
+        assert_eq!(fs.len(), 4, "n1 + e4 + n3 + n4");
+        assert_eq!(fs[0].subject, "n1");
+        assert_eq!(fs[0].severity, "warn");
+        assert!(fs[0].tooltip.starts_with("warn[BP001]:"));
+        assert_eq!(fs[1].subject, "e4");
+        assert_eq!(fs[2].severity, "deny");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+        assert_eq!(fmt_num(1.5), "1.5");
+        assert_eq!(fmt_num(4.0), "4");
+    }
+}

@@ -600,7 +600,12 @@ impl SystemSpec {
         }
         for (name, e) in &self.entries {
             if e.service >= self.services.len() {
-                return Err(SimError::BadSpec(format!("entry {name} service index")));
+                let hint = suggest(name, self.services.iter().map(|s| s.name.as_str()));
+                return Err(SimError::BadSpec(format!(
+                    "entry {name} service index {} out of range ({} services){hint}",
+                    e.service,
+                    self.services.len()
+                )));
             }
         }
         Ok(())
@@ -631,8 +636,9 @@ impl SystemSpec {
     pub fn validate_fault(&self, f: &Fault) -> Result<()> {
         let need_proc = |name: &str| -> Result<()> {
             if self.process_index(name).is_none() {
+                let hint = suggest(name, self.processes.iter().map(|p| p.name.as_str()));
                 return Err(SimError::BadSpec(format!(
-                    "fault names unknown process {name}"
+                    "fault names unknown process {name}{hint}"
                 )));
             }
             Ok(())
@@ -641,8 +647,9 @@ impl SystemSpec {
             Fault::ProcessCrash { process, .. } => need_proc(process),
             Fault::HostDown { host, .. } => {
                 if self.host_index(host).is_none() {
+                    let hint = suggest(host, self.hosts.iter().map(|h| h.name.as_str()));
                     return Err(SimError::BadSpec(format!(
-                        "fault names unknown host {host}"
+                        "fault names unknown host {host}{hint}"
                     )));
                 }
                 Ok(())
@@ -674,8 +681,9 @@ impl SystemSpec {
                 ..
             } => {
                 if self.backend_index(backend).is_none() {
+                    let hint = suggest(backend, self.backends.iter().map(|b| b.name.as_str()));
                     return Err(SimError::BadSpec(format!(
-                        "fault names unknown backend {backend}"
+                        "fault names unknown backend {backend}{hint}"
                     )));
                 }
                 if !slow_factor.is_finite() || *slow_factor <= 0.0 {
@@ -713,6 +721,46 @@ impl SystemSpec {
 fn first_duplicate<'a>(mut names: impl Iterator<Item = &'a str>) -> Option<&'a str> {
     let mut seen = std::collections::BTreeSet::new();
     names.find(|n| !seen.insert(*n))
+}
+
+/// A "; did you mean `X`?" suffix when some known name is a near miss for
+/// `target` (edit distance ≤ a third of the target's length, minimum 2 —
+/// genuinely different names stay suggestion-free). Ties break toward the
+/// smaller distance, then the lexicographically first candidate, so error
+/// text is deterministic.
+fn suggest<'a>(target: &str, candidates: impl Iterator<Item = &'a str>) -> String {
+    let cutoff = (target.chars().count() / 3).max(2);
+    let mut best: Option<(usize, &str)> = None;
+    for c in candidates {
+        if c == target {
+            continue;
+        }
+        let d = edit_distance(target, c);
+        if d <= cutoff && best.map(|(bd, bn)| (d, c) < (bd, bn)).unwrap_or(true) {
+            best = Some((d, c));
+        }
+    }
+    match best {
+        Some((_, name)) => format!("; did you mean `{name}`?"),
+        None => String::new(),
+    }
+}
+
+/// Levenshtein distance over chars (insert/delete/substitute, unit cost).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -873,6 +921,68 @@ mod tests {
             })
             .unwrap_err();
         assert!(err.to_string().contains("unknown backend nope"), "{err}");
+    }
+
+    #[test]
+    fn near_miss_names_get_suggestions() {
+        let mut s = tiny();
+        s.processes.push(ProcessSpec {
+            name: "frontend_proc".into(),
+            host: 0,
+            gc: None,
+        });
+        let err = s
+            .validate_fault(&Fault::ProcessCrash {
+                process: "frontend_prc".into(),
+                restart_delay_ns: 1,
+            })
+            .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unknown process frontend_prc; did you mean `frontend_proc`?"),
+            "{err}"
+        );
+
+        // A wildly different name earns no suggestion.
+        let err = s
+            .validate_fault(&Fault::ProcessCrash {
+                process: "completely_unrelated".into(),
+                restart_delay_ns: 1,
+            })
+            .unwrap_err();
+        assert!(!err.to_string().contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn dangling_entry_reports_range_and_suggestion() {
+        let mut s = tiny();
+        let entry = s.entries.remove("a").unwrap();
+        s.entries.insert(
+            "aa".into(),
+            EntrySpec {
+                service: 7,
+                ..entry
+            },
+        );
+        let err = s.validate().unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("entry aa service index 7 out of range"),
+            "{msg}"
+        );
+        assert!(msg.contains("did you mean `a`?"), "{msg}");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("same", "same"), 0);
+        assert_eq!(
+            suggest("user_svc", ["user_src"].into_iter()),
+            "; did you mean `user_src`?"
+        );
+        assert_eq!(suggest("user_svc", ["payments"].into_iter()), "");
     }
 
     #[test]

@@ -2,7 +2,11 @@
 
 /// Exact quantile of a sample set (nearest-rank on a sorted copy).
 ///
-/// `q` in `[0, 1]`. Returns `None` for empty input.
+/// Nearest-rank means the smallest sample `x` such that at least a fraction
+/// `q` of the samples are ≤ `x` — i.e. `sorted[⌈q·n⌉ - 1]` (clamped to the
+/// valid range), never an interpolated value, so the result is always an
+/// observed sample. `q` outside `[0, 1]` clamps. Returns `None` for empty
+/// input.
 pub fn exact_quantile(samples: &[u64], q: f64) -> Option<u64> {
     if samples.is_empty() {
         return None;
@@ -12,13 +16,13 @@ pub fn exact_quantile(samples: &[u64], q: f64) -> Option<u64> {
     Some(v[nearest_rank_index(v.len(), q)])
 }
 
-/// Nearest-rank index: the smallest index i such that at least `q * n` of the
-/// samples are ≤ sorted[i], i.e. `ceil(q·n)` as a 0-based index.
-///
-/// The previous `(q * (n-1)).round()` formulation over-shot small samples
-/// (e.g. p90 of 2 elements picked the max but p50 did too), under-covered
-/// the definition "smallest value with P(X ≤ x) ≥ q", and was sensitive to
-/// `round`'s half-away-from-zero behavior.
+/// Nearest-rank index: the smallest 0-based index `i` such that at least
+/// `q·n` of the samples are ≤ `sorted[i]`, i.e. `⌈q·n⌉ - 1` clamped to
+/// `[0, n-1]`. Rank arithmetic is on `q·n` directly — not on a rounded
+/// `q·(n-1)` interpolation index — so e.g. the median of two samples is the
+/// lower one and p99 of 100 samples is the 99th, matching the textbook
+/// "smallest value with P(X ≤ x) ≥ q" definition
+/// (`exact_quantile_nearest_rank_regressions` pins these cases).
 fn nearest_rank_index(n: usize, q: f64) -> usize {
     let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
     rank.clamp(1, n) - 1
@@ -132,7 +136,13 @@ impl P2Quantile {
         self.heights[i] + d * (self.heights[j] - self.heights[i]) / (self.pos[j] - self.pos[i])
     }
 
-    /// Current quantile estimate (exact below five observations).
+    /// Current quantile estimate.
+    ///
+    /// Below five observations the P² markers are not yet initialized, so
+    /// the estimate falls back to the exact nearest-rank quantile of the
+    /// retained samples — identical to [`exact_quantile`] on the same data
+    /// (tested by `p2_small_sample_path_matches_exact_quantile`). From the
+    /// fifth observation on, the middle marker height is the estimate.
     pub fn value(&self) -> Option<f64> {
         if self.count == 0 {
             return None;
