@@ -45,6 +45,19 @@ BLUEPRINT_THREADS=4 cargo run --release -p blueprint-bench --bin ablation_faults
 cmp results/ci_fault_matrix.txt results/fault_matrix.txt
 mv results/fault_matrix.txt results/ci_fault_matrix.txt
 
+echo "==> overload-protection smoke (BLUEPRINT_THREADS=1 vs =4)"
+# The miniature Type-1 metastability case with and without a retry budget:
+# the binary panics on any conservation violation or a budget arm breaking
+# the 1 + ratio amplification bound, and the report must be byte-identical
+# whatever the worker count.
+BLUEPRINT_THREADS=1 cargo run --release -p blueprint-bench --bin ablation_overload -- \
+    --smoke
+mv results/overload_matrix.txt results/ci_overload.txt
+BLUEPRINT_THREADS=4 cargo run --release -p blueprint-bench --bin ablation_overload -- \
+    --smoke
+cmp results/ci_overload.txt results/overload_matrix.txt
+mv results/overload_matrix.txt results/ci_overload.txt
+
 echo "==> lint gate (every app's default wiring must be deny-clean)"
 # Runs the static-analysis passes over the five benchmark apps and writes
 # per-app counts to results/ci_lint.txt; exits nonzero on any deny-severity

@@ -5,7 +5,11 @@
 //! app's findings in JSON (the stable `render_json` format), and writes the
 //! per-app counts to `results/ci_lint.txt`. Exits nonzero if any app carries
 //! a deny-severity diagnostic — warn-level findings are reported but do not
-//! fail the gate.
+//! fail the gate, with one exception: the overload-scaffolding rules BP010
+//! (missing-deadline-propagation) and BP011 (unbudgeted-retry-fanout) are
+//! escalated to gate failures here, because the default wirings ship no
+//! deadline policies and `Retry(max=0)`, so any firing means a default
+//! wiring regressed into the hazard the scaffolding exists to prevent.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -71,6 +75,14 @@ fn main() -> ExitCode {
         );
         if denies > 0 {
             failed = true;
+        }
+        // Escalated warn rules: the overload scaffolding must be absent or
+        // complete on every default wiring.
+        for d in diags {
+            if d.rule == "BP010" || d.rule == "BP011" {
+                let _ = writeln!(summary, "  escalated {}: {}", d.rule, d.message);
+                failed = true;
+            }
         }
     }
 

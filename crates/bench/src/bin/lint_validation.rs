@@ -16,6 +16,16 @@
 //!   graded per-tier deadlines sized exactly to the downstream budget are
 //!   lint-clean, and under a rate-DB brownout the inverted arm must show at
 //!   least as many failed requests as the graded arm.
+//! * **BP010 missing-deadline-propagation / BP011 unbudgeted-retry-fanout**
+//!   — checked statically against the `ablation_overload` arms: the
+//!   unmitigated Type-1 wiring (10 retries per hop, nothing capping them)
+//!   fires BP011 on every retried service with the per-hop bound 11; the
+//!   ablation's retry-budget arm silences it. A *partial* deadline rollout
+//!   (entry only) fires BP010 on every downstream hop, while the ablation's
+//!   full `attach_overload_protection` arm is clean on both rules. The
+//!   dynamic counterpart — the budget arm holding wire amplification at
+//!   `1 + ratio` while the unmitigated arm goes metastable — is asserted by
+//!   `ablation_overload` itself (see `results/overload_matrix.txt`).
 //!
 //! Output goes to stdout and `results/lint_validation.txt`; the file is
 //! timestamp-free and byte-identical across `BLUEPRINT_THREADS` settings
@@ -151,6 +161,49 @@ fn bp002_arms() -> (Arm, Arm) {
     )
 }
 
+/// BP010/BP011 arms, mirroring `ablation_overload`'s Type-1 mutations: the
+/// unmitigated 10-retry wiring, a partial deadline rollout (entry only —
+/// the hazard BP010 exists to catch), the ablation's retry-budget arm, and
+/// its fully protected `attach_overload_protection` arm.
+fn overload_arms() -> (Arm, Arm, Arm, Arm) {
+    let opts = WiringOpts::default()
+        .without_tracing()
+        .with_timeout_retries(500, 10);
+    let unmitigated = hr::wiring(&opts);
+
+    let mut partial = unmitigated.clone();
+    partial
+        .define_kw(
+            "deadline_fe",
+            "Deadline",
+            vec![],
+            vec![("ms", Arg::Int(1_000))],
+        )
+        .expect("deadline_fe");
+    mutate::add_server_modifier(&mut partial, "frontend", "deadline_fe")
+        .expect("frontend deadline");
+
+    let mut budgeted = unmitigated.clone();
+    mutate::attach_policy_to_all_services(
+        &mut budgeted,
+        "budget_all",
+        "RetryBudget",
+        vec![("ratio", Arg::Float(0.2))],
+    )
+    .expect("budget mutation");
+
+    let mut protected = unmitigated.clone();
+    mutate::attach_overload_protection(&mut protected, 1_000.0, 0.2, 50.0)
+        .expect("combined mutation");
+
+    (
+        Arm::build("unmitigated-10-retries", &unmitigated),
+        Arm::build("deadline-entry-only", &partial),
+        Arm::build("retry-budget", &budgeted),
+        Arm::build("overload-protected", &protected),
+    )
+}
+
 fn crash_scenario(duration_s: u64) -> FaultScenario {
     let mid = secs(duration_s * 2 / 5);
     FaultScenario::new(
@@ -275,6 +328,44 @@ fn main() {
         graded.diags
     );
 
+    // BP010/BP011 against the overload-ablation arms. BP011 must flag every
+    // retried service on the unmitigated arm with the per-hop bound 11
+    // (1 + 10 retries), and both the budget and the fully protected arm
+    // must be silent. BP010 must stay silent with no deadline anywhere,
+    // flag every downstream hop under a partial (entry-only) rollout, and
+    // go silent again once `attach_overload_protection` covers the chain.
+    let (unmitigated, partial, budgeted, protected) = overload_arms();
+    let bp011_findings = unmitigated.findings("BP011");
+    assert!(!bp011_findings.is_empty(), "{:?}", unmitigated.diags);
+    for d in &bp011_findings {
+        assert_eq!(d.bound, Some(11.0), "per-hop attempts: 1 + 10 retries");
+    }
+    assert!(
+        budgeted.findings("BP011").is_empty(),
+        "the retry-budget arm must silence BP011: {:?}",
+        budgeted.diags
+    );
+    assert!(
+        unmitigated.findings("BP010").is_empty(),
+        "no deadline anywhere means nothing to propagate: {:?}",
+        unmitigated.diags
+    );
+    let bp010_findings = partial.findings("BP010");
+    assert!(!bp010_findings.is_empty(), "{:?}", partial.diags);
+    assert!(
+        bp010_findings
+            .iter()
+            .any(|d| d.message.contains("service search")),
+        "the mid tier drops the entry deadline: {bp010_findings:?}"
+    );
+    for rule in ["BP010", "BP011"] {
+        assert!(
+            protected.findings(rule).is_empty(),
+            "attach_overload_protection must leave {rule} clean: {:?}",
+            protected.diags
+        );
+    }
+
     // ---- Dynamic side: the fault matrix over the same arms. -------------
     let bp001_cells = run_matrix(
         &[
@@ -369,6 +460,10 @@ fn main() {
     static_section(&mut out, "BP001", &storm_fixed);
     static_section(&mut out, "BP002", &inverted);
     static_section(&mut out, "BP002", &graded);
+    static_section(&mut out, "BP010", &partial);
+    static_section(&mut out, "BP010", &protected);
+    static_section(&mut out, "BP011", &unmitigated);
+    static_section(&mut out, "BP011", &budgeted);
     out.push('\n');
     let _ = write!(
         out,
@@ -409,6 +504,15 @@ fn main() {
         inv_cell.conservation.errors,
         graded_cell.conservation.errors,
         report::f3(bp002_bound),
+    );
+    let _ = writeln!(
+        out,
+        "  BP010/BP011 bracket the overload ablation arms: {} hops drop a \
+         partial deadline rollout, {} services carry unbudgeted x11 retries, \
+         and attach_overload_protection silences both (dynamic bound held in \
+         results/overload_matrix.txt)",
+        bp010_findings.len(),
+        bp011_findings.len(),
     );
     print!("{out}");
     std::fs::create_dir_all("results").expect("results dir");

@@ -22,8 +22,11 @@ use std::sync::{Arc, Mutex};
 
 use blueprint_apps::{hotel_reservation as hr, social_network as sn, WiringOpts};
 use blueprint_simrt::time::secs;
+use blueprint_wiring::WiringSpec;
+use blueprint_workflow::WorkflowSpec;
 use blueprint_workload::generator::{ApiMix, OpenLoopGen, Phase};
 use blueprint_workload::recorder::IntervalStats;
+use blueprint_workload::resilience::{FaultScenario, ResilienceConfig, Trigger};
 use blueprint_workload::{run_experiment, Action, ExperimentSpec};
 
 use crate::{report, Mode};
@@ -254,6 +257,182 @@ pub fn type4(mode: Mode) -> MetaResult {
         timeouts: sim.metrics.counters.timeouts,
         gc_pauses: sim.metrics.counters.gc_pauses,
     }
+}
+
+/// One metastability exhibit repackaged for the verified resilience matrix:
+/// the unmitigated wiring, workload, and trigger window from which the
+/// `ablation_overload` harness derives its mitigation arms. The durations
+/// are scaled down from the figure runs (the quick-mode fig6 runs already
+/// exhibit all four failure types) with a longer post-trigger tail so
+/// recovery time is measurable.
+pub struct MetaCase {
+    /// Case label.
+    pub name: &'static str,
+    /// The app workflow.
+    pub workflow: WorkflowSpec,
+    /// Unmitigated wiring: timeouts + aggressive retries, no overload
+    /// protection.
+    pub wiring: WiringSpec,
+    /// API mix driven at the entries.
+    pub mix: ApiMix,
+    /// Per-case workload + invariant configuration (phases, prefill, RTO).
+    pub cfg: ResilienceConfig,
+    /// The trigger schedule and its active window.
+    pub scenario: FaultScenario,
+}
+
+/// Timeline key-space used by the Type 4 matrix case — smaller than the
+/// figure's 200 k so a protected arm can refill the cache within the run.
+pub const MATRIX_TIMELINES: u64 = 40_000;
+
+/// The four Fig. 6 failure types as matrix cases.
+pub fn meta_cases() -> Vec<MetaCase> {
+    let mut cases = Vec::new();
+
+    // Type 1: load spike → retry storm. The spike is the trigger; there is
+    // nothing to inject, the window just marks the spike phase.
+    cases.push(MetaCase {
+        name: "type1 load spike",
+        workflow: hr::workflow(),
+        wiring: hr::wiring(&opts_with(500, 10)),
+        mix: hr::paper_mix(),
+        cfg: ResilienceConfig {
+            phases: vec![
+                Phase::new(20, 2_500.0),
+                Phase::new(10, 13_000.0),
+                Phase::new(30, 2_500.0),
+            ],
+            entities: hr::ENTITIES,
+            seed: 61,
+            interval_ns: secs(1),
+            drain_ns: secs(10),
+            rto_ns: secs(5),
+            ..ResilienceConfig::default()
+        },
+        scenario: FaultScenario::triggered("spike 13k rps 10s", vec![], secs(20), secs(30)),
+    });
+
+    // Type 2: CPU contention on the GOGC=75 ReservationService machine.
+    let wiring2 = hr::wiring_with(&opts_with(500, 10), Some(75));
+    let host2 = super::host_of_service(&super::compile(&hr::workflow(), &wiring2), "reservation");
+    cases.push(MetaCase {
+        name: "type2 gc contention",
+        workflow: hr::workflow(),
+        wiring: wiring2,
+        mix: hr::paper_mix(),
+        cfg: ResilienceConfig {
+            rps: 4_000.0,
+            duration_s: 60,
+            entities: hr::ENTITIES,
+            seed: 62,
+            interval_ns: secs(1),
+            drain_ns: secs(10),
+            rto_ns: secs(5),
+            ..ResilienceConfig::default()
+        },
+        scenario: FaultScenario::triggered(
+            "cpu hog reservation 10s",
+            vec![(
+                secs(20),
+                Trigger::CpuHog {
+                    host: host2,
+                    cores: 1.7,
+                    duration_ns: secs(10),
+                },
+            )],
+            secs(20),
+            secs(30),
+        ),
+    });
+
+    // Type 3: CPU contention on the frontend with 1 s timeouts.
+    let wiring3 = hr::wiring(&opts_with(1_000, 10));
+    let host3 = super::host_of_service(&super::compile(&hr::workflow(), &wiring3), "frontend");
+    cases.push(MetaCase {
+        name: "type3 capacity dip",
+        workflow: hr::workflow(),
+        wiring: wiring3,
+        mix: hr::paper_mix(),
+        cfg: ResilienceConfig {
+            rps: 5_500.0,
+            duration_s: 60,
+            entities: hr::ENTITIES,
+            seed: 63,
+            interval_ns: secs(1),
+            drain_ns: secs(12),
+            rto_ns: secs(5),
+            ..ResilienceConfig::default()
+        },
+        scenario: FaultScenario::triggered(
+            "cpu hog frontend 10s",
+            vec![(
+                secs(20),
+                Trigger::CpuHog {
+                    host: host3,
+                    cores: 1.7,
+                    duration_ns: secs(10),
+                },
+            )],
+            secs(20),
+            secs(30),
+        ),
+    });
+
+    // Type 4: user-timeline cache flush over a capacity-constrained DB.
+    let opts4 = WiringOpts {
+        cluster: META_CLUSTER,
+        ..WiringOpts::default()
+            .without_tracing()
+            .with_timeout_retries(1_000, 10)
+    };
+    cases.push(MetaCase {
+        name: "type4 cache flush",
+        workflow: sn::workflow(),
+        wiring: sn::wiring_type4(&opts4, 1_500),
+        mix: ApiMix::single("gateway", "ReadUserTimeline"),
+        cfg: ResilienceConfig {
+            rps: 1_800.0,
+            duration_s: 80,
+            entities: MATRIX_TIMELINES,
+            seed: 64,
+            interval_ns: secs(1),
+            drain_ns: secs(12),
+            rto_ns: secs(5),
+            prefill_stores: vec![("ut_db".to_string(), MATRIX_TIMELINES)],
+            prefill_caches: vec![("ut_cache".to_string(), MATRIX_TIMELINES)],
+            ..ResilienceConfig::default()
+        },
+        scenario: FaultScenario::triggered(
+            "flush ut_cache",
+            vec![(
+                secs(20),
+                Trigger::CacheFlush {
+                    backend: "ut_cache".into(),
+                },
+            )],
+            secs(20),
+            secs(22),
+        ),
+    });
+
+    cases
+}
+
+/// A miniature Type 1 for the CI smoke: small enough to run twice (thread
+/// determinism compare) in seconds, same spike shape.
+pub fn smoke_case() -> MetaCase {
+    let mut c = meta_cases().remove(0);
+    c.name = "type1 smoke";
+    c.cfg.phases = vec![
+        Phase::new(5, 1_500.0),
+        Phase::new(3, 13_000.0),
+        Phase::new(8, 1_500.0),
+    ];
+    // Long enough for a worst-case retry chain (11 × 500 ms + backoffs).
+    c.cfg.drain_ns = secs(8);
+    c.cfg.rto_ns = secs(3);
+    c.scenario = FaultScenario::triggered("spike 13k rps 3s", vec![], secs(5), secs(8));
+    c
 }
 
 /// Renders one result (series + summary line).

@@ -146,6 +146,7 @@ pub fn lower(registry: &Registry, ir: &IrGraph, ctx: &BuildCtx<'_>) -> Result<Sy
         if let Some(mc) = svc_lowering.max_concurrent {
             svc.max_concurrent = mc;
         }
+        svc.shed = svc_lowering.shed;
         svc_ix.insert(*s, spec.services.len());
         spec.services.push(svc);
     }

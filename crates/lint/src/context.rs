@@ -18,6 +18,10 @@ pub mod kind {
     pub const TIMEOUT: &str = "mod.timeout";
     /// Circuit breaker modifiers.
     pub const BREAKER: &str = "mod.breaker";
+    /// Deadline-propagation modifiers.
+    pub const DEADLINE: &str = "mod.deadline";
+    /// Retry-budget modifiers.
+    pub const RETRY_BUDGET: &str = "mod.retrybudget";
     /// Queue backends.
     pub const QUEUE: &str = "backend.queue";
     /// Brownout-prone backends: storage whose latency collapses under
@@ -105,6 +109,16 @@ impl<'a> LintContext<'a> {
     /// Whether a circuit breaker guards calls into `node`.
     pub fn breaker_on(&self, node: NodeId) -> bool {
         self.ir.has_modifier(node, kind::BREAKER)
+    }
+
+    /// Whether calls into `node` carry a propagated deadline.
+    pub fn deadline_on(&self, node: NodeId) -> bool {
+        self.ir.has_modifier(node, kind::DEADLINE)
+    }
+
+    /// Whether a retry budget caps retries into `node`.
+    pub fn retry_budget_on(&self, node: NodeId) -> bool {
+        self.ir.has_modifier(node, kind::RETRY_BUDGET)
     }
 
     /// Whether `node` is a load balancer.

@@ -23,6 +23,8 @@
 //! | BP007 | dead-modifier         | deny     | a declared modifier applied to no instance        |
 //! | BP008 | unbounded-queue       | warn     | a queue backend with no explicit capacity bound   |
 //! | BP009 | missing-breaker       | warn     | a retried, brownout-prone backend with no circuit breaker |
+//! | BP010 | missing-deadline-propagation | warn | a deadline-guarded entry reaches a service that drops the propagated deadline |
+//! | BP011 | unbudgeted-retry-fanout | warn   | a retried service with neither a retry budget nor a circuit breaker |
 //!
 //! Rule ids are stable: tooling (the CI gate, baseline suppression files)
 //! keys on them, so ids are never reused or renumbered.
@@ -210,6 +212,7 @@ mod tests {
         let ids: Vec<&str> = rules.iter().map(|r| r.id).collect();
         for expect in [
             "BP001", "BP002", "BP003", "BP004", "BP005", "BP006", "BP007", "BP008", "BP009",
+            "BP010", "BP011",
         ] {
             assert!(ids.contains(&expect), "missing rule {expect}");
         }

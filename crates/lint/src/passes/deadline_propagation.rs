@@ -1,0 +1,160 @@
+//! BP010: a deadline-carrying entry reaches a hop that drops the deadline.
+//!
+//! Deadline propagation is chain-deep by construction: each hop forwards its
+//! remaining budget (minus a hop margin) only if the callee carries a
+//! Deadline policy — a hop without one issues calls with *no* deadline, so
+//! everything downstream runs unbounded again. The runtime mirrors this
+//! exactly (a client spec without a `DeadlineSpec` sends `deadline_ns:
+//! None`), which makes a partial rollout silently useless: the entry sheds
+//! stale work but the overloaded leaf tier never sees a deadline. This pass
+//! flags every service reachable from a deadline-guarded entry that lacks
+//! the policy.
+
+use std::collections::BTreeSet;
+
+use blueprint_ir::NodeId;
+
+use crate::context::{kind, kind_matches, LintContext};
+use crate::diagnostic::{Diagnostic, Severity};
+use crate::passes::{LintPass, Rule};
+
+/// Rule metadata.
+pub static RULE: Rule = Rule {
+    id: "BP010",
+    name: "missing-deadline-propagation",
+    severity: Severity::Warn,
+    summary: "a deadline-guarded entry reaches a service that drops the propagated deadline",
+};
+
+/// The pass. Emits one finding per dropping service (the first guarded
+/// entry that reaches it is named in the message).
+pub struct DeadlinePropagation;
+
+impl LintPass for DeadlinePropagation {
+    fn rules(&self) -> Vec<&'static Rule> {
+        vec![&RULE]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let mut reported: BTreeSet<NodeId> = BTreeSet::new();
+        for entry in ctx.entry_services() {
+            if !ctx.deadline_on(entry) {
+                continue;
+            }
+            // BFS over invocation edges; load balancers and other
+            // components are traversed, only services are judged.
+            let mut visited: BTreeSet<NodeId> = BTreeSet::new();
+            let mut frontier = vec![entry];
+            visited.insert(entry);
+            while let Some(node) = frontier.pop() {
+                let mut next = ctx.invocation_callees(node);
+                next.retain(|n| visited.insert(*n));
+                for &callee in &next {
+                    let Ok(n) = ctx.ir.node(callee) else { continue };
+                    if kind_matches(&n.kind, kind::SERVICE)
+                        && !ctx.deadline_on(callee)
+                        && reported.insert(callee)
+                    {
+                        out.push(
+                            Diagnostic::new(
+                                &RULE,
+                                format!(
+                                    "service {} is on a deadline-guarded path from entry {} \
+                                     but carries no Deadline policy: the inherited deadline \
+                                     is dropped at this hop and everything downstream runs \
+                                     unbounded",
+                                    n.name,
+                                    ctx.node_name(entry)
+                                ),
+                            )
+                            .fix(
+                                "attach the Deadline modifier to the service (a budget-free \
+                                  `Deadline(ms=0)` forwards the caller's deadline unchanged)",
+                            )
+                            .node(callee.to_string(), n.name.clone()),
+                        );
+                    }
+                }
+                frontier.extend(next);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Linter;
+    use blueprint_ir::{Granularity, IrGraph, Node, NodeRole};
+    use blueprint_wiring::WiringSpec;
+
+    fn deadline_mod(ir: &mut IrGraph, name: &str, target: NodeId) {
+        let m = ir
+            .add_node(Node::new(
+                name,
+                "mod.deadline",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
+            .unwrap();
+        ir.attach_modifier(target, m).unwrap();
+    }
+
+    /// frontend -> mid -> leaf, deadline on the frontend entry only.
+    fn chain_graph() -> (IrGraph, WiringSpec) {
+        let mut ir = IrGraph::new("t");
+        let fe = ir
+            .add_component("frontend", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let mid = ir
+            .add_component("mid", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let leaf = ir
+            .add_component("leaf", "workflow.service", Granularity::Instance)
+            .unwrap();
+        ir.add_invocation(fe, mid, vec![]).unwrap();
+        ir.add_invocation(mid, leaf, vec![]).unwrap();
+        deadline_mod(&mut ir, "fe_deadline", fe);
+        (ir, WiringSpec::new("t"))
+    }
+
+    #[test]
+    fn dropping_hops_are_flagged_once_each() {
+        let (ir, w) = chain_graph();
+        let diags: Vec<_> = Linter::default()
+            .run(&ir, &w)
+            .into_iter()
+            .filter(|d| d.rule == "BP010")
+            .collect();
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.message.contains("service mid")));
+        assert!(diags.iter().any(|d| d.message.contains("service leaf")));
+    }
+
+    #[test]
+    fn full_propagation_is_clean() {
+        let (mut ir, w) = chain_graph();
+        let mid = ir.by_name("mid").unwrap();
+        let leaf = ir.by_name("leaf").unwrap();
+        deadline_mod(&mut ir, "mid_deadline", mid);
+        deadline_mod(&mut ir, "leaf_deadline", leaf);
+        let diags = Linter::default().run(&ir, &w);
+        assert!(diags.iter().all(|d| d.rule != "BP010"), "{diags:?}");
+    }
+
+    #[test]
+    fn no_deadline_anywhere_is_silent() {
+        let mut ir = IrGraph::new("t");
+        let a = ir
+            .add_component("a", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let b = ir
+            .add_component("b", "workflow.service", Granularity::Instance)
+            .unwrap();
+        ir.add_invocation(a, b, vec![]).unwrap();
+        let diags = Linter::default().run(&ir, &WiringSpec::new("t"));
+        assert!(diags.iter().all(|d| d.rule != "BP010"), "{diags:?}");
+    }
+}

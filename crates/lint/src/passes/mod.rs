@@ -1,10 +1,12 @@
 //! The `LintPass` trait, rule metadata, and the built-in pass set.
 
 pub mod backend_guard;
+pub mod deadline_propagation;
 pub mod idempotency;
 pub mod load_balancing;
 pub mod reachability;
 pub mod retry_amplification;
+pub mod retry_budget;
 pub mod timeout_inversion;
 
 use crate::context::LintContext;
@@ -47,5 +49,7 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(idempotency::RetryIdempotency),
         Box::new(reachability::Reachability),
         Box::new(backend_guard::BackendGuard),
+        Box::new(deadline_propagation::DeadlinePropagation),
+        Box::new(retry_budget::RetryBudgetFanout),
     ]
 }

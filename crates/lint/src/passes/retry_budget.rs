@@ -1,0 +1,135 @@
+//! BP011: retries configured with neither a retry budget nor a breaker.
+//!
+//! BP001 flags *compounded* retry products past a threshold; this rule is
+//! the per-hop complement. Any positive retry count without a cap is a
+//! standing invitation to amplification: when the callee degrades, every
+//! caller multiplies its offered load by up to `1 + max`, exactly when the
+//! callee can least afford it. A RetryBudget bounds wire amplification at
+//! `1 + ratio` by construction and a CircuitBreaker fails attempts locally
+//! once the error rate trips, so either silences the rule.
+
+use crate::context::LintContext;
+use crate::diagnostic::{Diagnostic, Severity};
+use crate::passes::{LintPass, Rule};
+
+/// Rule metadata.
+pub static RULE: Rule = Rule {
+    id: "BP011",
+    name: "unbudgeted-retry-fanout",
+    severity: Severity::Warn,
+    summary: "a retried service with neither a retry budget nor a circuit breaker",
+};
+
+/// The pass. One finding per retried-but-uncapped service, id-ascending.
+pub struct RetryBudgetFanout;
+
+impl LintPass for RetryBudgetFanout {
+    fn rules(&self) -> Vec<&'static Rule> {
+        vec![&RULE]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for s in ctx.services() {
+            let attempts = ctx.attempts_into(s);
+            if attempts > 1.0 && !ctx.retry_budget_on(s) && !ctx.breaker_on(s) {
+                let name = ctx.node_name(s);
+                out.push(
+                    Diagnostic::new(
+                        &RULE,
+                        format!(
+                            "service {name} is retried (worst-case x{attempts:.0} attempts \
+                             per call) with neither a retry budget nor a circuit breaker: \
+                             under degradation every caller multiplies its load"
+                        ),
+                    )
+                    .fix(
+                        "attach a RetryBudget (caps wire amplification at 1 + ratio) or a \
+                         CircuitBreaker to the service",
+                    )
+                    .bound(attempts)
+                    .node(s.to_string(), name),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Linter;
+    use blueprint_ir::{Granularity, IrGraph, Node, NodeRole};
+    use blueprint_wiring::WiringSpec;
+
+    fn modifier(ir: &mut IrGraph, name: &str, kind: &str, target: blueprint_ir::NodeId) {
+        let m = ir
+            .add_node(Node::new(
+                name,
+                kind,
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
+            .unwrap();
+        ir.attach_modifier(target, m).unwrap();
+    }
+
+    fn retried_service(max: i64) -> (IrGraph, WiringSpec) {
+        let mut ir = IrGraph::new("t");
+        let a = ir
+            .add_component("a", "workflow.service", Granularity::Instance)
+            .unwrap();
+        let b = ir
+            .add_component("b", "workflow.service", Granularity::Instance)
+            .unwrap();
+        ir.add_invocation(a, b, vec![]).unwrap();
+        let m = ir
+            .add_node(Node::new(
+                "b_retry",
+                "mod.retry",
+                NodeRole::Modifier,
+                Granularity::Instance,
+            ))
+            .unwrap();
+        ir.node_mut(m).unwrap().props.set("max", max);
+        ir.attach_modifier(b, m).unwrap();
+        (ir, WiringSpec::new("t"))
+    }
+
+    #[test]
+    fn uncapped_retries_are_flagged() {
+        let (ir, w) = retried_service(4);
+        let diags: Vec<_> = Linter::default()
+            .run(&ir, &w)
+            .into_iter()
+            .filter(|d| d.rule == "BP011")
+            .collect();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].bound, Some(5.0));
+        assert!(diags[0].message.contains("service b"));
+    }
+
+    #[test]
+    fn budget_or_breaker_silences() {
+        let (mut ir, w) = retried_service(4);
+        let b = ir.by_name("b").unwrap();
+        modifier(&mut ir, "b_budget", "mod.retrybudget", b);
+        let diags = Linter::default().run(&ir, &w);
+        assert!(diags.iter().all(|d| d.rule != "BP011"), "{diags:?}");
+
+        let (mut ir, w) = retried_service(4);
+        let b = ir.by_name("b").unwrap();
+        modifier(&mut ir, "b_breaker", "mod.breaker", b);
+        let diags = Linter::default().run(&ir, &w);
+        assert!(diags.iter().all(|d| d.rule != "BP011"), "{diags:?}");
+    }
+
+    #[test]
+    fn zero_retries_is_silent() {
+        // Retry(max=0) issues no retries, so there is nothing to budget —
+        // the default wirings attach exactly this and must stay clean.
+        let (ir, w) = retried_service(0);
+        let diags = Linter::default().run(&ir, &w);
+        assert!(diags.iter().all(|d| d.rule != "BP011"), "{diags:?}");
+    }
+}

@@ -1,7 +1,7 @@
 //! The plugin API: what a compiler extension implements.
 
 use blueprint_ir::{IrGraph, NodeId};
-use blueprint_simrt::{BackendRtKind, ClientSpec, GcSpec, TransportSpec};
+use blueprint_simrt::{BackendRtKind, ClientSpec, GcSpec, ShedSpec, TransportSpec};
 use blueprint_wiring::{InstanceDecl, WiringSpec};
 use blueprint_workflow::WorkflowSpec;
 
@@ -59,6 +59,8 @@ pub struct ServiceLowering {
     pub trace_overhead_ns: Option<u64>,
     /// Admission limit override.
     pub max_concurrent: Option<u32>,
+    /// Adaptive admission controller (load shedding).
+    pub shed: Option<ShedSpec>,
 }
 
 /// Process-level simulation attributes a plugin can contribute.

@@ -6,8 +6,8 @@ use crate::deployers::{AnsiblePlugin, DockerPlugin, KubernetesPlugin};
 use crate::namespaces::NamespacePlugin;
 use crate::rpc::{GrpcPlugin, HttpPlugin, ThriftPlugin};
 use crate::scaffolding::{
-    CircuitBreakerPlugin, ClientPoolPlugin, LoadBalancerPlugin, ReplicatePlugin, RetryPlugin,
-    TimeoutPlugin,
+    CircuitBreakerPlugin, ClientPoolPlugin, DeadlinePlugin, LoadBalancerPlugin, LoadShedPlugin,
+    ReplicatePlugin, RetryBudgetPlugin, RetryPlugin, TimeoutPlugin,
 };
 use crate::tracers::{
     JaegerTracerPlugin, TracerModifierPlugin, XTraceModifierPlugin, XTracerPlugin,
@@ -58,13 +58,18 @@ impl Registry {
         r
     }
 
-    /// Core plus the after-the-fact extensions of the paper's UC3 studies:
-    /// X-Trace (the Sifter reproduction) and the CircuitBreaker prototype.
+    /// Core plus the after-the-fact extensions of the paper's UC3 studies —
+    /// X-Trace (the Sifter reproduction) and the CircuitBreaker prototype —
+    /// and the overload-protection scaffolding (Deadline, RetryBudget,
+    /// LoadShed).
     pub fn extended() -> Self {
         let mut r = Registry::core();
         r.register(XTracerPlugin);
         r.register(XTraceModifierPlugin);
         r.register(CircuitBreakerPlugin);
+        r.register(DeadlinePlugin);
+        r.register(RetryBudgetPlugin);
+        r.register(LoadShedPlugin);
         r
     }
 
@@ -157,6 +162,9 @@ mod tests {
         // Extensions are not in core.
         assert!(r.for_callee("XTraceModifier", &ctx).is_none());
         assert!(r.for_callee("CircuitBreaker", &ctx).is_none());
+        assert!(r.for_callee("Deadline", &ctx).is_none());
+        assert!(r.for_callee("RetryBudget", &ctx).is_none());
+        assert!(r.for_callee("LoadShed", &ctx).is_none());
         assert!(!r.is_empty());
     }
 
@@ -172,7 +180,10 @@ mod tests {
         assert!(r.for_callee("XTraceModifier", &ctx).is_some());
         assert!(r.for_callee("XTracer", &ctx).is_some());
         assert!(r.for_callee("CircuitBreaker", &ctx).is_some());
-        assert_eq!(r.len(), Registry::core().len() + 3);
+        assert!(r.for_callee("Deadline", &ctx).is_some());
+        assert!(r.for_callee("RetryBudget", &ctx).is_some());
+        assert!(r.for_callee("LoadShed", &ctx).is_some());
+        assert_eq!(r.len(), Registry::core().len() + 6);
     }
 
     #[test]

@@ -3,16 +3,22 @@
 
 pub mod circuit_breaker;
 pub mod clientpool;
+pub mod deadline;
+pub mod load_shed;
 pub mod loadbalancer;
 pub mod replication;
 pub mod retry;
+pub mod retry_budget;
 pub mod timeout;
 
 pub use circuit_breaker::CircuitBreakerPlugin;
 pub use clientpool::ClientPoolPlugin;
+pub use deadline::DeadlinePlugin;
+pub use load_shed::LoadShedPlugin;
 pub use loadbalancer::LoadBalancerPlugin;
 pub use replication::ReplicatePlugin;
 pub use retry::RetryPlugin;
+pub use retry_budget::RetryBudgetPlugin;
 pub use timeout::TimeoutPlugin;
 
 #[cfg(test)]
@@ -26,6 +32,9 @@ mod tests {
         assert!(super::circuit_breaker::KIND.starts_with("mod."));
         assert!(super::clientpool::KIND.starts_with("mod."));
         assert!(super::replication::KIND.starts_with("mod."));
+        assert!(super::deadline::KIND.starts_with("mod."));
+        assert!(super::retry_budget::KIND.starts_with("mod."));
+        assert!(super::load_shed::KIND.starts_with("mod."));
         assert!(super::loadbalancer::KIND.starts_with("component."));
     }
 }

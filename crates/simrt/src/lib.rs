@@ -46,9 +46,9 @@ pub mod time;
 
 pub use sim::{Completion, EntryHandle, Sim, SimConfig};
 pub use spec::{
-    BackendRtKind, BackendSpec, BreakerSpec, ChaosSpec, ClientSpec, DepBinding, EntrySpec,
-    ExpBackoff, Fault, FaultPlan, GcSpec, HostSpec, LbPolicy, ProcessSpec, ServiceSpec, SystemSpec,
-    TransportSpec,
+    BackendRtKind, BackendSpec, BreakerSpec, ChaosSpec, ClientSpec, DeadlineSpec, DepBinding,
+    EntrySpec, ExpBackoff, Fault, FaultPlan, GcSpec, HostSpec, LbPolicy, ProcessSpec,
+    RetryBudgetSpec, ServiceSpec, ShedSpec, SystemSpec, TransportSpec,
 };
 pub use time::{ms, secs, us, SimTime};
 

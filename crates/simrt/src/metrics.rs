@@ -41,6 +41,19 @@ pub struct SimCounters {
     pub link_unreachable: u64,
     /// Requests rejected by an unavailable (browned-out) backend.
     pub brownout_rejections: u64,
+    /// Calls failed fast because their propagated deadline was exhausted.
+    #[serde(default)]
+    pub deadline_exceeded: u64,
+    /// Arrivals rejected by an adaptive admission controller.
+    #[serde(default)]
+    pub shed_rejections: u64,
+    /// Retries denied by an exhausted retry budget.
+    #[serde(default)]
+    pub budget_denied: u64,
+    /// First attempts issued by RPC clients (the denominator for hop-level
+    /// wire amplification: `(client_calls + retries) / client_calls`).
+    #[serde(default)]
+    pub client_calls: u64,
 }
 
 /// Per-backend statistics.

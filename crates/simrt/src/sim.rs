@@ -29,7 +29,8 @@ use blueprint_workflow::{Behavior, CacheOp, DbOp, KeyExpr, Step};
 use crate::host::{JobId, PsHost, NO_PROC};
 use crate::metrics::{BackendStats, Metrics};
 use crate::spec::{
-    BackendRtKind, ClientSpec, DepBinding, Fault, FaultPlan, LbPolicy, SystemSpec, TransportSpec,
+    BackendRtKind, ClientSpec, DepBinding, Fault, FaultPlan, LbPolicy, ShedSpec, SystemSpec,
+    TransportSpec,
 };
 use crate::time::SimTime;
 use crate::{Result, SimError};
@@ -178,6 +179,10 @@ enum CallErr {
     Unreachable,
     /// The backend rejected the request while browned out.
     Brownout,
+    /// The propagated deadline was exhausted before the work could finish.
+    Deadline,
+    /// An adaptive admission controller rejected the arrival.
+    Shed,
 }
 
 /// Result of a call attempt.
@@ -204,6 +209,8 @@ impl CallErr {
             CallErr::Crash => "crash",
             CallErr::Unreachable => "unreachable",
             CallErr::Brownout => "brownout",
+            CallErr::Deadline => "deadline",
+            CallErr::Shed => "shed",
         }
     }
 }
@@ -248,6 +255,9 @@ struct RequestMsg {
     root_seq: u64,
     reply: ReplyRoute,
     parent_span: Option<(TraceId, SpanId)>,
+    /// Absolute deadline carried with the request (deadline propagation);
+    /// `None` when no hop on the path declared one.
+    deadline_ns: Option<SimTime>,
 }
 
 // ---------------------------------------------------------------------------
@@ -545,6 +555,9 @@ struct OutstandingCall {
     on_miss: Option<Rc<CProg>>,
     /// Request waiting for a free Thrift connection.
     queued_msg: Option<RequestMsg>,
+    /// Absolute deadline this attempt propagated downstream (set when the
+    /// client has a deadline policy); classifies its timeout as `Deadline`.
+    attempt_deadline: Option<SimTime>,
 }
 
 /// One executing request (or sub-request) on a service.
@@ -571,6 +584,12 @@ struct Frame {
     span_owned: bool,
     /// Whether the service admission counter was incremented for this frame.
     counted_admission: bool,
+    /// Absolute deadline inherited from the inbound request, if any hop on
+    /// the path declared deadline propagation.
+    deadline_ns: Option<SimTime>,
+    /// Arrival time at the serving service (sojourn-delay input for the
+    /// adaptive admission controller).
+    admitted_ns: SimTime,
 }
 
 // ---------------------------------------------------------------------------
@@ -735,6 +754,9 @@ struct ClientRt {
     // Balancer state.
     rr: usize,
     outstanding: Vec<u32>,
+    /// Retry-budget token bucket; only meaningful when
+    /// `spec.retry_budget` is set (stays 0.0 otherwise).
+    budget_tokens: f64,
 }
 
 /// Per-process runtime (GC state).
@@ -746,6 +768,39 @@ struct ProcRt {
     gc_started_ns: SimTime,
     /// The in-progress GC pause job (cancelled if the process crashes).
     gc_job: Option<JobId>,
+}
+
+/// Adaptive admission-controller state (lowered from [`ShedSpec`]). The
+/// controller is a proportional loop: completions update a sojourn-delay
+/// EWMA, and the shed probability moves toward the error between the EWMA
+/// and the target. Arrivals draw against the probability only while it is
+/// positive, so an idle controller costs zero RNG draws.
+#[derive(Debug, Clone)]
+struct ShedCtl {
+    spec: ShedSpec,
+    /// EWMA of request sojourn delay, ns.
+    ewma_ns: f64,
+    /// Current shed probability in `[0, spec.max_shed]`.
+    p: f64,
+}
+
+impl ShedCtl {
+    fn new(spec: ShedSpec) -> Self {
+        ShedCtl {
+            spec,
+            ewma_ns: 0.0,
+            p: 0.0,
+        }
+    }
+
+    /// Folds one completed request's sojourn delay into the controller.
+    fn observe(&mut self, sojourn_ns: SimTime) {
+        let a = self.spec.ewma_alpha.clamp(0.0, 1.0);
+        self.ewma_ns = (1.0 - a) * self.ewma_ns + a * sojourn_ns as f64;
+        let target = self.spec.target_delay_ns.max(1) as f64;
+        let err = (self.ewma_ns - target) / target;
+        self.p = (self.p + self.spec.gain * err).clamp(0.0, self.spec.max_shed.clamp(0.0, 1.0));
+    }
 }
 
 /// Per-service runtime. Methods are dense: index `i` of `methods` and
@@ -760,6 +815,9 @@ struct SvcRt {
     served: u64,
     traced: bool,
     overhead_prog: Option<Rc<CProg>>,
+    /// Adaptive admission controller; `None` keeps the plain
+    /// `max_concurrent` fast-fail and costs nothing.
+    shed: Option<ShedCtl>,
 }
 
 /// Per-entry-point runtime: the shim service plus its method name table.
@@ -1007,6 +1065,7 @@ impl Sim {
                     waiters: VecDeque::new(),
                     rr: 0,
                     outstanding: vec![0; n_targets],
+                    budget_tokens: 0.0,
                 });
             }
         }
@@ -1039,6 +1098,7 @@ impl Sim {
                 served: 0,
                 traced: s.trace_overhead_ns.is_some(),
                 overhead_prog,
+                shed: s.shed.clone().map(ShedCtl::new),
             });
         }
 
@@ -1574,6 +1634,8 @@ impl Sim {
             span,
             span_owned,
             counted_admission: false,
+            deadline_ns: None,
+            admitted_ns: self.now,
         };
         self.live_frames += 1;
         if let Some(idx) = self.free_frames.pop() {

@@ -227,6 +227,18 @@ impl Sim {
             for slot in c.outstanding.iter_mut() {
                 *slot = 0;
             }
+            c.budget_tokens = 0.0;
+        }
+
+        // Admission controllers on the process restart cold too.
+        for s in self.services.iter_mut() {
+            if s.process != proc {
+                continue;
+            }
+            if let Some(ctl) = &mut s.shed {
+                ctl.ewma_ns = 0.0;
+                ctl.p = 0.0;
+            }
         }
 
         // Volatile backend state on the process is lost; stores are durable.
@@ -499,10 +511,16 @@ impl Sim {
                     if live.is_empty() {
                         continue;
                     }
-                    let (service, entity, root, span) = {
+                    let (service, entity, root, span, deadline) = {
                         let frame = self.frame(fid).expect("frame alive");
                         frame.pending_children = live.len() as u32;
-                        (frame.service, frame.entity, frame.root_seq, frame.span)
+                        (
+                            frame.service,
+                            frame.entity,
+                            frame.root_seq,
+                            frame.span,
+                            frame.deadline_ns,
+                        )
                     };
                     for b in live {
                         let child = self.alloc_frame(
@@ -513,6 +531,8 @@ impl Sim {
                             b.clone(),
                             span,
                         );
+                        // Parallel branches run under the parent's deadline.
+                        self.frame(child).expect("fresh frame").deadline_ns = deadline;
                         self.push_ev(self.now, Ev::Resume { frame: child });
                     }
                     return;
@@ -587,6 +607,7 @@ impl Sim {
                 concluded: false,
                 on_miss,
                 queued_msg: None,
+                attempt_deadline: None,
             });
             seq
         };
@@ -596,7 +617,7 @@ impl Sim {
     /// Issues one attempt of the frame's outstanding call.
     fn begin_attempt(&mut self, fid: FrameId, seq: u32) {
         // Gather everything under short borrows.
-        let (svc, entity, root_seq, span, attempt, client_id, backend_op, dest) = {
+        let (svc, entity, root_seq, span, attempt, client_id, backend_op, dest, frame_deadline) = {
             let Some(frame) = self.frame(fid) else { return };
             let Some(call) = &frame.call else { return };
             if call.seq != seq || call.concluded {
@@ -611,6 +632,7 @@ impl Sim {
                 call.client,
                 call.backend_op,
                 call.dest.clone(),
+                frame.deadline_ns,
             )
         };
 
@@ -627,10 +649,52 @@ impl Sim {
             );
             return;
         }
-        let (timeout_ns, transport, client_overhead_ns) = {
-            let spec = &self.clients[client_id as usize].spec;
-            (spec.timeout_ns, spec.transport.clone(), spec.client_overhead_ns)
+        let (timeout_ns, transport, client_overhead_ns, deadline_spec) = {
+            let client = &mut self.clients[client_id as usize];
+            if attempt == 0 {
+                self.metrics.counters.client_calls += 1;
+                // Retry budget: each first attempt deposits `ratio` tokens,
+                // so retries system-wide stay below `ratio` of real traffic.
+                if let Some(rb) = &client.spec.retry_budget {
+                    client.budget_tokens = (client.budget_tokens + rb.ratio).min(rb.cap);
+                }
+            }
+            let spec = &client.spec;
+            (
+                spec.timeout_ns,
+                spec.transport.clone(),
+                spec.client_overhead_ns,
+                spec.deadline.clone(),
+            )
         };
+
+        // Deadline propagation: compute the deadline this attempt carries.
+        // A hop without a deadline policy drops an inherited deadline (the
+        // BP010 lint flags that wiring); with one, the child gets the
+        // remaining budget minus the hop margin.
+        let attempt_deadline = match &deadline_spec {
+            Some(ds) => ds.child_deadline(self.now, frame_deadline),
+            None => None,
+        };
+
+        // Fail fast when the budget is already exhausted — either the
+        // frame's own deadline passed, or the hop margin ate the remainder —
+        // instead of burning server capacity on a doomed request.
+        let expired = frame_deadline.map(|d| self.now >= d).unwrap_or(false)
+            || attempt_deadline.map(|d| d <= self.now).unwrap_or(false);
+        if expired {
+            self.metrics.counters.deadline_exceeded += 1;
+            self.push_ev(
+                self.now,
+                Ev::DeliverResponse {
+                    frame: fid,
+                    seq,
+                    attempt,
+                    outcome: CallOutcome::failure(CallErr::Deadline),
+                },
+            );
+            return;
+        }
 
         // Circuit breaker.
         if !self.breaker_allow(client_id) {
@@ -647,9 +711,16 @@ impl Sim {
             return;
         }
 
-        // Arm the timeout.
-        if let Some(t) = timeout_ns {
-            self.push_ev(self.now + t, Ev::Timeout { frame: fid, seq, attempt });
+        // Arm the timeout, clipped to the attempt deadline: the client
+        // abandons the call the moment its budget runs out.
+        let fire_at = match (timeout_ns, attempt_deadline) {
+            (Some(t), Some(d)) => Some((self.now + t).min(d)),
+            (Some(t), None) => Some(self.now + t),
+            (None, Some(d)) => Some(d),
+            (None, None) => None,
+        };
+        if let Some(at) = fire_at {
+            self.push_ev(at, Ev::Timeout { frame: fid, seq, attempt });
         }
 
         // Resolve the concrete target.
@@ -701,6 +772,7 @@ impl Sim {
         if let Some(frame) = self.frame(fid) {
             if let Some(c) = &mut frame.call {
                 c.chosen = Some(chosen);
+                c.attempt_deadline = attempt_deadline;
             }
         }
 
@@ -732,6 +804,7 @@ impl Sim {
             root_seq,
             reply,
             parent_span: span,
+            deadline_ns: attempt_deadline,
         };
         let total_client_work = client_ser + client_overhead_ns;
 
@@ -873,6 +946,47 @@ impl Sim {
                     );
                     return;
                 }
+                // A request arriving past its propagated deadline is dead on
+                // arrival: reject before admission so no server capacity is
+                // spent on a reply nobody is waiting for.
+                if req.deadline_ns.map(|d| self.now >= d).unwrap_or(false) {
+                    self.metrics.counters.deadline_exceeded += 1;
+                    let t = self.now + req.reply.net_ns;
+                    self.push_ev(
+                        t,
+                        Ev::DeliverResponse {
+                            frame: req.caller,
+                            seq: req.seq,
+                            attempt: req.attempt,
+                            outcome: CallOutcome::failure(CallErr::Deadline),
+                        },
+                    );
+                    return;
+                }
+                // Adaptive admission: when the controller's sojourn-delay
+                // EWMA exceeds its target, a fraction of arrivals is shed.
+                // The RNG is drawn only while the shed probability is
+                // positive, so an idle controller costs nothing.
+                let shed_p = match &self.services[svc].shed {
+                    Some(ctl) if ctl.p > 0.0 => Some(ctl.p),
+                    _ => None,
+                };
+                if let Some(p) = shed_p {
+                    if self.rng.gen::<f64>() < p {
+                        self.metrics.counters.shed_rejections += 1;
+                        let t = self.now + req.reply.net_ns;
+                        self.push_ev(
+                            t,
+                            Ev::DeliverResponse {
+                                frame: req.caller,
+                                seq: req.seq,
+                                attempt: req.attempt,
+                                outcome: CallOutcome::failure(CallErr::Shed),
+                            },
+                        );
+                        return;
+                    }
+                }
                 let s = &mut self.services[svc];
                 if s.active >= s.max_concurrent {
                     self.metrics.counters.admission_rejections += 1;
@@ -916,7 +1030,9 @@ impl Sim {
                     prog,
                     req.parent_span,
                 );
-                self.frame(fid).expect("fresh frame").counted_admission = true;
+                let frame = self.frame(fid).expect("fresh frame");
+                frame.counted_admission = true;
+                frame.deadline_ns = req.deadline_ns;
                 self.step_frame(fid);
             }
             CallTarget::Backend { backend, op } => {
@@ -1150,8 +1266,9 @@ impl Sim {
         };
         // A breaker-rejected attempt must not feed back into the breaker's own
         // health window (it would re-open a half-open breaker on its own
-        // rejections).
-        if outcome.err != Some(CallErr::BreakerOpen) {
+        // rejections). Deadline expiry is likewise excluded: it is a
+        // caller-imposed cancellation, not a server-health signal.
+        if outcome.err != Some(CallErr::BreakerOpen) && outcome.err != Some(CallErr::Deadline) {
             self.breaker_record(client_id, outcome.ok);
         }
         if let Some(client) = self.clients.get_mut(client_id as usize) {
@@ -1202,7 +1319,8 @@ impl Sim {
     }
 
     fn on_timeout(&mut self, fid: FrameId, seq: u32, attempt: u32) {
-        let (client_id, chosen, holds_conn) = {
+        let now = self.now;
+        let (client_id, chosen, holds_conn, deadline_hit) = {
             let Some(frame) = self.frame(fid) else { return };
             let Some(call) = &mut frame.call else { return };
             if call.seq != seq || call.attempt != attempt || call.concluded {
@@ -1211,10 +1329,18 @@ impl Sim {
             call.concluded = true;
             let holds = call.holds_conn;
             call.holds_conn = false;
-            (call.client, call.chosen.take(), holds)
+            // A timer that fired at (or past) the propagated deadline is a
+            // budget exhaustion, not an ordinary per-attempt timeout.
+            let hit = call.attempt_deadline.map(|d| now >= d).unwrap_or(false)
+                || frame.deadline_ns.map(|d| now >= d).unwrap_or(false);
+            (call.client, call.chosen.take(), holds, hit)
         };
-        self.metrics.counters.timeouts += 1;
-        self.breaker_record(client_id, false);
+        if deadline_hit {
+            self.metrics.counters.deadline_exceeded += 1;
+        } else {
+            self.metrics.counters.timeouts += 1;
+            self.breaker_record(client_id, false);
+        }
         if let Some(client) = self.clients.get_mut(client_id as usize) {
             if let Some(ch) = chosen {
                 if let Some(slot) = client.outstanding.get_mut(ch) {
@@ -1231,7 +1357,8 @@ impl Sim {
                 self.push_ev(self.now + reconnect, Ev::ConnFreed { client: client_id });
             }
         }
-        self.retry_or_fail(fid, seq, attempt, client_id, CallErr::Timeout);
+        let err = if deadline_hit { CallErr::Deadline } else { CallErr::Timeout };
+        self.retry_or_fail(fid, seq, attempt, client_id, err);
     }
 
     fn retry_or_fail(&mut self, fid: FrameId, seq: u32, attempt: u32, client_id: u32, err: CallErr) {
@@ -1239,7 +1366,26 @@ impl Sim {
             Some(c) => (c.spec.retries, c.spec.backoff_ns, c.spec.backoff_exp.clone()),
             None => (0, 0, None),
         };
-        if attempt < retries {
+        // Deadline exhaustion is never retried: the caller's budget is gone,
+        // so another attempt could not be waited for.
+        if attempt < retries && err != CallErr::Deadline {
+            // Retry budget: checked before anything else the retry path
+            // does — a denied retry must not sleep its backoff (no jitter
+            // RNG draw) and must never reach the breaker's probe admission
+            // in `begin_attempt`. Ordering: budget → breaker → backoff.
+            if let Some(c) = self.clients.get_mut(client_id as usize) {
+                if c.spec.retry_budget.is_some() {
+                    if c.budget_tokens < 1.0 {
+                        self.metrics.counters.budget_denied += 1;
+                        if let Some(frame) = self.frame(fid) {
+                            frame.last_err = Some(err);
+                        }
+                        self.fail_frame(fid);
+                        return;
+                    }
+                    c.budget_tokens -= 1.0;
+                }
+            }
             self.metrics.counters.retries += 1;
             if let Some(frame) = self.frame(fid) {
                 if let Some(call) = &mut frame.call {
@@ -1396,12 +1542,19 @@ impl Sim {
             entity,
             root_seq,
             counted_admission: counted,
+            admitted_ns,
             ..
         } = frame;
 
         if counted {
             let s = &mut self.services[service];
             s.active = s.active.saturating_sub(1);
+            // Adaptive admission: each served request's sojourn delay feeds
+            // the controller's EWMA (present only when a shed policy is
+            // lowered onto the service).
+            if let Some(ctl) = &mut s.shed {
+                ctl.observe(self.now.saturating_sub(admitted_ns));
+            }
         }
         if span_owned {
             if let Some((tid, sid)) = span {

@@ -2,8 +2,9 @@
 
 use super::*;
 use crate::spec::{
-    BackendRtKind, BackendSpec, BreakerSpec, ClientSpec, DepBinding, EntrySpec, GcSpec, HostSpec,
-    LbPolicy, ProcessSpec, ServiceSpec, SystemSpec, TransportSpec,
+    BackendRtKind, BackendSpec, BreakerSpec, ClientSpec, DeadlineSpec, DepBinding, EntrySpec,
+    GcSpec, HostSpec, LbPolicy, ProcessSpec, RetryBudgetSpec, ServiceSpec, ShedSpec, SystemSpec,
+    TransportSpec,
 };
 use crate::time::{ms, secs, us};
 use blueprint_workflow::{Behavior, CacheOp, KeyExpr};
@@ -199,6 +200,11 @@ fn admission_limit_fast_fails() {
     assert_eq!(done.len(), 2);
     assert_eq!(done.iter().filter(|c| c.ok).count(), 1);
     assert_eq!(sim.metrics.counters.admission_rejections, 1);
+    // The fast-fail carries its own stable class so conservation reports
+    // attribute the loss to the admission limit, not a generic downstream
+    // failure.
+    let rejected = done.iter().find(|c| !c.ok).unwrap();
+    assert_eq!(rejected.failure, Some("overload"));
 }
 
 #[test]
@@ -1245,4 +1251,228 @@ fn backoff_jitter_is_deterministic_and_bounded() {
     // and 3 timeouts + the full 4 + 8 ms.
     let l = run(5);
     assert!(l >= ms(3) + ms(6) && l <= ms(3) + ms(12), "{l}");
+}
+
+// ---------------------------------------------------------------------------
+// Overload-protection scaffolding: deadlines, retry budgets, shedding.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shed_rejections_classify_as_shed() {
+    // An aggressive controller: any sojourn above 1 µs drives the shed
+    // probability straight to its ceiling after the first completion.
+    let mut spec = single_service(Behavior::build().compute(ms(10), 0).done());
+    spec.services[0].shed = Some(ShedSpec {
+        target_delay_ns: us(1),
+        gain: 1.0,
+        max_shed: 0.9,
+        ewma_alpha: 1.0,
+    });
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.submit("front", "M", 0).unwrap();
+    sim.run_until(ms(20));
+    for i in 0..40 {
+        sim.submit("front", "M", i + 1).unwrap();
+    }
+    sim.run_until(secs(5));
+    let done = sim.drain_completions();
+    assert_eq!(done.len(), 41, "every submission terminates");
+    let shed = done.iter().filter(|c| c.failure == Some("shed")).count() as u64;
+    assert!(
+        shed >= 20,
+        "controller at p=0.9 sheds most arrivals: {shed}"
+    );
+    assert_eq!(sim.metrics.counters.shed_rejections, shed);
+    assert_eq!(sim.metrics.counters.admission_rejections, 0);
+}
+
+#[test]
+fn submillisecond_deadline_budget_fails_fast_and_is_not_retried() {
+    // 200 µs of budget against 10 ms of server work: the client abandons
+    // the call exactly at the deadline, classifies it as "deadline" (not
+    // "timeout"), and never retries — the budget is gone.
+    let client = ClientSpec {
+        retries: 3,
+        backoff_ns: ms(100),
+        deadline: Some(DeadlineSpec {
+            budget_ns: Some(us(200)),
+            hop_margin_ns: 0,
+        }),
+        ..ClientSpec::local()
+    };
+    let spec = two_tier(Behavior::build().compute(ms(10), 0).done(), client);
+    let (sim, c) = run_one(&spec, "M");
+    assert!(!c.ok);
+    assert_eq!(c.failure, Some("deadline"));
+    assert_eq!(c.latency_ns(), us(200));
+    assert_eq!(sim.metrics.counters.deadline_exceeded, 1);
+    assert_eq!(sim.metrics.counters.timeouts, 0);
+    assert_eq!(sim.metrics.counters.retries, 0);
+}
+
+#[test]
+fn hop_margin_exhaustion_fails_fast_at_depth() {
+    // front -> mid -> leaf with a 1 ms entry budget and a 600 µs hop margin
+    // on each forwarding hop: the margins eat the budget before the leaf,
+    // so the mid tier fails the call fast without the leaf doing any work.
+    let mut spec = SystemSpec {
+        name: "t3".into(),
+        hosts: (0..3)
+            .map(|i| HostSpec {
+                name: format!("h{i}"),
+                cores: 4.0,
+            })
+            .collect(),
+        processes: (0..3)
+            .map(|i| ProcessSpec {
+                name: format!("p{i}"),
+                host: i,
+                gc: None,
+            })
+            .collect(),
+        ..Default::default()
+    };
+    let hop = |margin: u64| ClientSpec {
+        deadline: Some(DeadlineSpec {
+            budget_ns: None,
+            hop_margin_ns: margin,
+        }),
+        ..ClientSpec::local()
+    };
+    let mut leaf = ServiceSpec::new("leaf", 2);
+    leaf.methods
+        .insert("Work".into(), Behavior::build().compute(us(10), 0).done());
+    let mut mid = ServiceSpec::new("mid", 1);
+    mid.methods
+        .insert("Work".into(), Behavior::build().call("leaf", "Work").done());
+    mid.deps.insert(
+        "leaf".into(),
+        DepBinding::Service {
+            target: 2,
+            client: hop(us(600)),
+        },
+    );
+    let mut front = ServiceSpec::new("front", 0);
+    front
+        .methods
+        .insert("M".into(), Behavior::build().call("mid", "Work").done());
+    front.deps.insert(
+        "mid".into(),
+        DepBinding::Service {
+            target: 1,
+            client: hop(us(600)),
+        },
+    );
+    spec.services.push(front);
+    spec.services.push(mid);
+    spec.services.push(leaf);
+    spec.entries.insert(
+        "front".into(),
+        EntrySpec {
+            service: 0,
+            client: ClientSpec {
+                deadline: Some(DeadlineSpec {
+                    budget_ns: Some(ms(1)),
+                    hop_margin_ns: 0,
+                }),
+                ..ClientSpec::local()
+            },
+        },
+    );
+    let run = || {
+        let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+        sim.submit("front", "M", 1).unwrap();
+        sim.run_until(secs(1));
+        let done = sim.drain_completions();
+        let served = sim.service_served("leaf");
+        let exceeded = sim.metrics.counters.deadline_exceeded;
+        (done, served, exceeded)
+    };
+    let (done, leaf_served, exceeded) = run();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].failure, Some("deadline"));
+    assert_eq!(
+        leaf_served,
+        Some(0),
+        "the doomed call never reaches the leaf"
+    );
+    assert!(exceeded >= 1);
+    // Margin exhaustion is pure arithmetic on the event clock: a second run
+    // produces the identical completion stream.
+    assert_eq!(run().0, done);
+}
+
+#[test]
+fn budget_denied_retry_skips_backoff_and_breaker() {
+    // Ordering under denial: budget check -> breaker -> backoff. With an
+    // empty token bucket a denied retry must fail immediately — no 1 s
+    // backoff sleep, no second pass through the open breaker.
+    let client = ClientSpec {
+        retries: 3,
+        backoff_ns: secs(1),
+        breaker: Some(BreakerSpec {
+            window: 4,
+            failure_threshold: 0.5,
+            open_ns: secs(100),
+            half_open_probes: 1,
+        }),
+        retry_budget: Some(RetryBudgetSpec {
+            ratio: 0.0,
+            cap: 0.0,
+        }),
+        ..ClientSpec::local()
+    };
+    let mut spec = two_tier(Behavior::build().compute(ms(1), 0).done(), client);
+    spec.services[1].max_concurrent = 0; // Every admitted call overloads.
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    let end = drive(&mut sim, 9, 0, ms(10));
+    sim.run_until(end + secs(1));
+    let done = sim.drain_completions();
+    assert_eq!(done.len(), 9);
+    assert!(done.iter().all(|c| !c.ok));
+    // The first failures trip the breaker at the server's admission limit;
+    // every later request is rejected by the open breaker on its first
+    // attempt.
+    let overload = done
+        .iter()
+        .filter(|c| c.failure == Some("overload"))
+        .count();
+    let rejected = done
+        .iter()
+        .filter(|c| c.failure == Some("breaker_open"))
+        .count();
+    assert_eq!(overload + rejected, 9);
+    assert!(overload >= 2 && rejected >= 5, "{overload} + {rejected}");
+    // No retry ever fired: every one was denied by the empty budget...
+    assert_eq!(sim.metrics.counters.retries, 0);
+    assert_eq!(sim.metrics.counters.budget_denied, 9);
+    // ...before reaching the breaker (exactly one rejection per post-open
+    // request, none from denied retries)...
+    assert_eq!(sim.metrics.counters.breaker_rejections, rejected as u64);
+    // ...and before the backoff sleep (rejections resolve instantly).
+    assert!(done.iter().all(|c| c.latency_ns() < ms(1)));
+}
+
+#[test]
+fn retry_budget_accrues_with_real_traffic() {
+    // ratio = 0.5: every second first-attempt banks enough for one retry.
+    let client = ClientSpec {
+        retries: 1,
+        retry_budget: Some(RetryBudgetSpec {
+            ratio: 0.5,
+            cap: 10.0,
+        }),
+        ..ClientSpec::local()
+    };
+    let mut spec = two_tier(Behavior::build().compute(ms(1), 0).done(), client);
+    spec.services[1].max_concurrent = 0;
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    let end = drive(&mut sim, 4, 0, ms(10));
+    sim.run_until(end + secs(1));
+    assert_eq!(sim.drain_completions().len(), 4);
+    assert_eq!(sim.metrics.counters.retries, 2);
+    assert_eq!(sim.metrics.counters.budget_denied, 2);
+    // Both the entry hop and the front->back hop count as logical client
+    // calls (4 requests × 2 hops).
+    assert_eq!(sim.metrics.counters.client_calls, 8);
 }

@@ -172,6 +172,70 @@ impl Default for ExpBackoff {
     }
 }
 
+/// Deadline propagation policy (gRPC-style): the entry hop stamps an
+/// absolute deadline from `budget_ns`; every downstream hop forwards the
+/// remaining budget minus `hop_margin_ns`, and work whose budget is
+/// exhausted fails fast as `"deadline"` instead of burning server capacity
+/// on a reply nobody is waiting for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeadlineSpec {
+    /// Fresh budget stamped when no deadline is inherited from the caller
+    /// (the entry hop). `None` only propagates an inherited deadline.
+    pub budget_ns: Option<SimTime>,
+    /// Per-hop safety margin subtracted from the remaining budget before
+    /// forwarding, ns (covers serialization + network of the reply path).
+    pub hop_margin_ns: SimTime,
+}
+
+impl Default for DeadlineSpec {
+    fn default() -> Self {
+        DeadlineSpec {
+            budget_ns: Some(crate::time::secs(1)),
+            hop_margin_ns: crate::time::ms(5),
+        }
+    }
+}
+
+impl DeadlineSpec {
+    /// The absolute deadline a child call carries, given the current time
+    /// and the caller's own deadline (if any).
+    ///
+    /// Pure arithmetic (property-tested): the child's deadline never exceeds
+    /// the parent's minus the hop margin, and never exceeds `now +
+    /// budget_ns`. Returns `None` when there is nothing to propagate.
+    pub fn child_deadline(&self, now: SimTime, parent: Option<SimTime>) -> Option<SimTime> {
+        let inherited = parent.map(|p| p.saturating_sub(self.hop_margin_ns));
+        let fresh = self.budget_ns.map(|b| now.saturating_add(b));
+        match (inherited, fresh) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        }
+    }
+}
+
+/// Retry budget (Finagle-style): a per-client token bucket refilled by a
+/// fraction of first attempts, drained one token per retry. Caps the
+/// client's wire amplification at `1 + ratio` by construction, regardless
+/// of the per-hop `retries` setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryBudgetSpec {
+    /// Tokens deposited per first attempt (0.2 = at most 20% extra wire
+    /// load from retries).
+    pub ratio: f64,
+    /// Bucket capacity (burst allowance), tokens.
+    pub cap: f64,
+}
+
+impl Default for RetryBudgetSpec {
+    fn default() -> Self {
+        RetryBudgetSpec {
+            ratio: 0.2,
+            cap: 10.0,
+        }
+    }
+}
+
 /// Per-binding client policy: what the generated client wrapper stack does.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClientSpec {
@@ -192,6 +256,13 @@ pub struct ClientSpec {
     /// Extra client-side CPU per call, ns: tracing context injection,
     /// backend driver marshalling (redis/mongo protocol encode + syscalls).
     pub client_overhead_ns: u64,
+    /// Optional deadline propagation (absent on legacy specs: absent field
+    /// deserializes to `None`, keeping old configurations byte-identical).
+    #[serde(default)]
+    pub deadline: Option<DeadlineSpec>,
+    /// Optional retry budget bounding wire amplification.
+    #[serde(default)]
+    pub retry_budget: Option<RetryBudgetSpec>,
 }
 
 impl Default for ClientSpec {
@@ -204,6 +275,8 @@ impl Default for ClientSpec {
             backoff_exp: None,
             breaker: None,
             client_overhead_ns: 0,
+            deadline: None,
+            retry_budget: None,
         }
     }
 }
@@ -275,6 +348,36 @@ impl DepBinding {
     }
 }
 
+/// Adaptive load shedding (CoDel/SEDA lineage): the service tracks an EWMA
+/// of request sojourn delay (arrival → completion) and probabilistically
+/// rejects arrivals as `"shed"` when the sustained delay exceeds a target,
+/// replacing the blunt `max_concurrent` cliff with graceful degradation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShedSpec {
+    /// Sojourn-delay target, ns. Delay above this raises the shed
+    /// probability; delay below it lowers it.
+    pub target_delay_ns: SimTime,
+    /// Proportional gain: shed probability moves by
+    /// `gain * (ewma - target) / target` per completed request.
+    pub gain: f64,
+    /// Upper bound on the shed probability in `[0, 1]` (always admit at
+    /// least `1 - max_shed` of offered load).
+    pub max_shed: f64,
+    /// EWMA smoothing factor in `(0, 1]`; higher reacts faster.
+    pub ewma_alpha: f64,
+}
+
+impl Default for ShedSpec {
+    fn default() -> Self {
+        ShedSpec {
+            target_delay_ns: crate::time::ms(50),
+            gain: 0.1,
+            max_shed: 0.95,
+            ewma_alpha: 0.2,
+        }
+    }
+}
+
 /// A simulated service instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServiceSpec {
@@ -292,6 +395,10 @@ pub struct ServiceSpec {
     /// If set, spans are recorded for this service's method executions with
     /// the given per-span CPU overhead (ns).
     pub trace_overhead_ns: Option<u64>,
+    /// Optional adaptive admission controller; `None` keeps the plain
+    /// `max_concurrent` fast-fail (absent field deserializes to `None`).
+    #[serde(default)]
+    pub shed: Option<ShedSpec>,
 }
 
 impl ServiceSpec {
@@ -304,6 +411,7 @@ impl ServiceSpec {
             deps: BTreeMap::new(),
             max_concurrent: 20_000,
             trace_overhead_ns: None,
+            shed: None,
         }
     }
 }

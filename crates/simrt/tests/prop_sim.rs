@@ -3,8 +3,8 @@
 
 use blueprint_simrt::time::{ms, secs, us};
 use blueprint_simrt::{
-    BackendRtKind, BackendSpec, ClientSpec, DepBinding, EntrySpec, HostSpec, ProcessSpec,
-    ServiceSpec, Sim, SimConfig, SystemSpec, TransportSpec,
+    BackendRtKind, BackendSpec, ClientSpec, DeadlineSpec, DepBinding, EntrySpec, HostSpec,
+    ProcessSpec, ServiceSpec, Sim, SimConfig, SystemSpec, TransportSpec,
 };
 use blueprint_workflow::{Behavior, KeyExpr};
 use proptest::prelude::*;
@@ -21,6 +21,9 @@ struct Scenario {
     n_requests: u64,
     gap_us: u64,
     seed: u64,
+    /// Optional deadline propagation on the front→back hop:
+    /// `(budget_ms, hop_margin_ms)`.
+    deadline: Option<(u64, u64)>,
 }
 
 fn scenario() -> impl Strategy<Value = Scenario> {
@@ -33,17 +36,21 @@ fn scenario() -> impl Strategy<Value = Scenario> {
         1u64..150,
         100u64..5_000,
         any::<u64>(),
+        prop_oneof![Just(None), (2u64..100, 0u64..5).prop_map(Some)],
     )
         .prop_map(
-            |(cores, back_cpu_us, timeout_ms, retries, thrift_pool, n, gap, seed)| Scenario {
-                cores: cores as f64,
-                back_cpu_us,
-                timeout_ms,
-                retries,
-                thrift_pool,
-                n_requests: n,
-                gap_us: gap,
-                seed,
+            |(cores, back_cpu_us, timeout_ms, retries, thrift_pool, n, gap, seed, deadline)| {
+                Scenario {
+                    cores: cores as f64,
+                    back_cpu_us,
+                    timeout_ms,
+                    retries,
+                    thrift_pool,
+                    n_requests: n,
+                    gap_us: gap,
+                    seed,
+                    deadline,
+                }
             },
         )
 }
@@ -143,6 +150,11 @@ fn build(s: &Scenario) -> SystemSpec {
         backoff_exp: None,
         breaker: None,
         client_overhead_ns: 0,
+        deadline: s.deadline.map(|(budget, margin)| DeadlineSpec {
+            budget_ns: Some(ms(budget)),
+            hop_margin_ns: ms(margin),
+        }),
+        retry_budget: None,
     };
     let mut front = ServiceSpec::new("front", 0);
     front.methods.insert(
@@ -205,10 +217,17 @@ proptest! {
         prop_assert_eq!(metrics.counters.completed_ok, ok);
         prop_assert_eq!(metrics.counters.completed_err, err);
         prop_assert_eq!(metrics.counters.submitted, s.n_requests);
-        // Without timeouts there can be no timeout-caused failures.
+        // Without timeouts there can be no timeout-caused failures, and
+        // without a deadline nothing can expire either.
         if s.timeout_ms.is_none() {
             prop_assert_eq!(metrics.counters.timeouts, 0);
-            prop_assert_eq!(ok, s.n_requests);
+            if s.deadline.is_none() {
+                prop_assert_eq!(ok, s.n_requests);
+            }
+        }
+        if s.deadline.is_none() {
+            prop_assert_eq!(metrics.counters.deadline_exceeded, 0);
+            prop_assert!(done.iter().all(|c| c.failure != Some("deadline")));
         }
     }
 
@@ -252,6 +271,33 @@ proptest! {
                 c.latency_ns(),
                 bound
             );
+        }
+    }
+
+    /// Deadline arithmetic is monotone: a child's propagated deadline never
+    /// exceeds the parent's remaining deadline minus the hop margin, never
+    /// exceeds `now + budget`, and exists iff there is something to
+    /// propagate.
+    #[test]
+    fn child_deadline_never_exceeds_parent_budget(
+        now in 0u64..secs(1_000),
+        parent_off in prop_oneof![Just(None), (0u64..secs(100)).prop_map(Some)],
+        budget in prop_oneof![Just(None), (0u64..secs(100)).prop_map(Some)],
+        margin in 0u64..secs(1),
+    ) {
+        let ds = DeadlineSpec { budget_ns: budget, hop_margin_ns: margin };
+        let parent = parent_off.map(|o| now + o);
+        let child = ds.child_deadline(now, parent);
+        if let Some(p) = parent {
+            let c = child.expect("inherited deadline always propagates");
+            prop_assert!(c <= p.saturating_sub(margin));
+        }
+        if let Some(b) = budget {
+            let c = child.expect("fresh budget always stamps a deadline");
+            prop_assert!(c <= now + b);
+        }
+        if parent.is_none() && budget.is_none() {
+            prop_assert!(child.is_none());
         }
     }
 

@@ -150,6 +150,38 @@ pub fn attach_policy_to_all_services(
     add_modifier_to_all_services(spec, name)
 }
 
+/// Attaches the full overload-protection stack in one call: declares
+/// `deadline_all = Deadline(ms=...)`, `budget_all = RetryBudget(ratio=...)`
+/// and `shed_all = LoadShed(target_ms=...)` and attaches each to every
+/// deployed service. This is the "cure the metastability" mutation: deadlines
+/// bound queued work, the retry budget caps wire amplification at
+/// `1 + ratio`, and adaptive shedding breaks the queue-growth feedback loop.
+pub fn attach_overload_protection(
+    spec: &mut WiringSpec,
+    deadline_ms: f64,
+    budget_ratio: f64,
+    shed_target_ms: f64,
+) -> Result<()> {
+    attach_policy_to_all_services(
+        spec,
+        "deadline_all",
+        "Deadline",
+        vec![("ms", Arg::Float(deadline_ms))],
+    )?;
+    attach_policy_to_all_services(
+        spec,
+        "budget_all",
+        "RetryBudget",
+        vec![("ratio", Arg::Float(budget_ratio))],
+    )?;
+    attach_policy_to_all_services(
+        spec,
+        "shed_all",
+        "LoadShed",
+        vec![("target_ms", Arg::Float(shed_target_ms))],
+    )
+}
+
 /// Removes a modifier from every server-modifier chain (but keeps its
 /// declaration; combine with [`remove_instance`] to fully disable it).
 pub fn remove_modifier_from_all_services(spec: &mut WiringSpec, modifier: &str) {
@@ -363,6 +395,22 @@ mod tests {
         }
         // Redeclaring the same policy name is rejected.
         assert!(attach_policy_to_all_services(&mut w, "retry_all", "Retry", vec![]).is_err());
+    }
+
+    #[test]
+    fn attach_overload_protection_declares_all_three() {
+        let mut w = base();
+        attach_overload_protection(&mut w, 500.0, 0.2, 40.0).unwrap();
+        w.validate().unwrap();
+        assert_eq!(w.decl("deadline_all").unwrap().callee, "Deadline");
+        assert_eq!(w.decl("budget_all").unwrap().callee, "RetryBudget");
+        assert_eq!(w.decl("shed_all").unwrap().callee, "LoadShed");
+        for svc in ["a", "b"] {
+            let mods = &w.decl(svc).unwrap().server_modifiers;
+            for m in ["deadline_all", "budget_all", "shed_all"] {
+                assert!(mods.contains(&m.to_string()), "{svc} missing {m}");
+            }
+        }
     }
 
     #[test]

@@ -36,4 +36,6 @@ pub use driver::{run_experiment, Action, ExperimentSpec};
 pub use generator::{ApiMix, Arrival, OpenLoopGen, Phase};
 pub use parallel::{par_run, Threads};
 pub use recorder::{ConservationReport, IntervalStats, Recorder};
-pub use resilience::{run_cell, run_matrix, CellReport, FaultScenario, ResilienceConfig};
+pub use resilience::{
+    assess, run_cell, run_matrix, Assessment, CellReport, FaultScenario, ResilienceConfig, Trigger,
+};

@@ -24,17 +24,64 @@ use blueprint_simrt::{Fault, Sim, SimConfig, SimError, SystemSpec};
 use crate::driver::{run_experiment, Action, ExperimentSpec};
 use crate::generator::{ApiMix, OpenLoopGen, Phase};
 use crate::parallel::{par_run, Threads};
-use crate::recorder::ConservationReport;
+use crate::recorder::{ConservationReport, IntervalStats};
+
+/// A clonable scheduled disturbance — the subset of [`Action`] that a
+/// scenario can carry across worker threads (Custom actions hold `FnMut`
+/// state and cannot participate in a shared matrix).
+#[derive(Debug, Clone)]
+pub enum Trigger {
+    /// Inject a fault (crash, host down, partition, brownout).
+    Fault(Fault),
+    /// CPU contention on a host for a duration (metastability Types 2/3).
+    CpuHog {
+        /// Host name.
+        host: String,
+        /// Cores consumed by the contender.
+        cores: f64,
+        /// Contention duration, ns.
+        duration_ns: SimTime,
+    },
+    /// Flush a cache backend (metastability Type 4).
+    CacheFlush {
+        /// Backend name.
+        backend: String,
+    },
+}
+
+impl Trigger {
+    fn to_action(&self) -> Action {
+        match self {
+            Trigger::Fault(f) => Action::Fault(f.clone()),
+            Trigger::CpuHog {
+                host,
+                cores,
+                duration_ns,
+            } => Action::CpuHog {
+                host: host.clone(),
+                cores: *cores,
+                duration_ns: *duration_ns,
+            },
+            Trigger::CacheFlush { backend } => Action::CacheFlush {
+                backend: backend.clone(),
+            },
+        }
+    }
+}
 
 /// A named fault scenario: `(time, fault)` pairs plus the window in which
 /// the faults are considered active (used by the bounded-unavailability
-/// check).
+/// check). Scenarios can also schedule non-fault [`Trigger`]s — CPU
+/// contention and cache flushes — which is how the Fig. 6 metastability
+/// exhibits run through the same verified matrix.
 #[derive(Debug, Clone)]
 pub struct FaultScenario {
     /// Scenario label (appears in matrix rows).
     pub name: String,
     /// Faults injected at the given virtual times.
     pub faults: Vec<(SimTime, Fault)>,
+    /// Non-fault disturbances injected at the given virtual times.
+    pub triggers: Vec<(SimTime, Trigger)>,
     /// When the first fault takes effect.
     pub fault_start_ns: SimTime,
     /// When the last fault's effect ends (restart completed, partition
@@ -53,9 +100,32 @@ impl FaultScenario {
         FaultScenario {
             name: name.to_string(),
             faults,
+            triggers: Vec::new(),
             fault_start_ns,
             fault_end_ns,
         }
+    }
+
+    /// A scenario built from non-fault triggers (metastability exhibits).
+    pub fn triggered(
+        name: &str,
+        triggers: Vec<(SimTime, Trigger)>,
+        fault_start_ns: SimTime,
+        fault_end_ns: SimTime,
+    ) -> Self {
+        FaultScenario {
+            name: name.to_string(),
+            faults: Vec::new(),
+            triggers,
+            fault_start_ns,
+            fault_end_ns,
+        }
+    }
+
+    /// Adds a scheduled trigger.
+    pub fn with_trigger(mut self, at_ns: SimTime, trigger: Trigger) -> Self {
+        self.triggers.push((at_ns, trigger));
+        self
     }
 
     /// The fault-free baseline: any unavailability at all is unbounded.
@@ -63,6 +133,7 @@ impl FaultScenario {
         FaultScenario {
             name: "none".to_string(),
             faults: Vec::new(),
+            triggers: Vec::new(),
             fault_start_ns: 0,
             fault_end_ns: 0,
         }
@@ -89,6 +160,17 @@ pub struct ResilienceConfig {
     pub rto_ns: SimTime,
     /// Interval error rate above which the interval counts as unavailable.
     pub error_threshold: f64,
+    /// Explicit load phases (spike shapes). Empty means one steady phase of
+    /// `rps` for `duration_s`.
+    pub phases: Vec<Phase>,
+    /// Stores pre-filled before arrivals: `(backend, n_keys)` at version 1.
+    pub prefill_stores: Vec<(String, u64)>,
+    /// Caches pre-filled before arrivals: `(backend, n_keys)` at version 1.
+    pub prefill_caches: Vec<(String, u64)>,
+    /// Fraction of busy post-RTO intervals that must be unavailable for the
+    /// run to count as *metastable* (degraded state sustained after the
+    /// trigger cleared) rather than merely slow to recover.
+    pub sustain_fraction: f64,
 }
 
 impl Default for ResilienceConfig {
@@ -102,7 +184,93 @@ impl Default for ResilienceConfig {
             drain_ns: 5_000_000_000,
             rto_ns: 2_000_000_000,
             error_threshold: 0.5,
+            phases: Vec::new(),
+            prefill_stores: Vec::new(),
+            prefill_caches: Vec::new(),
+            sustain_fraction: 0.5,
         }
+    }
+}
+
+/// The availability verdict of one recorded series against one scenario —
+/// the invariant half of a [`CellReport`], extracted so the metastability
+/// check is unit-testable on synthetic series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assessment {
+    /// Total width of unavailable intervals (error rate above threshold).
+    pub unavailable_ns: SimTime,
+    /// End of the last unavailable interval, if any.
+    pub recovered_ns: Option<SimTime>,
+    /// Whether all unavailability fell inside the fault window + RTO.
+    pub bounded: bool,
+    /// Whether the degraded state *sustained* after the trigger cleared:
+    /// at least `sustain_fraction` of the busy intervals past
+    /// `fault_end + rto` stayed unavailable. This is the metastability
+    /// signature — the trigger is gone but the system does not return to
+    /// its steady state.
+    pub metastable: bool,
+    /// Time from `fault_end_ns` to the end of the last unavailable
+    /// interval: `Some(0)` if the run never degraded, `None` if it never
+    /// recovered (metastable).
+    pub recovery_ns: Option<SimTime>,
+}
+
+/// Scans a recorded series and classifies the run's availability:
+/// bounded/unbounded, metastable or not, and the measured recovery time.
+pub fn assess(
+    series: &[IntervalStats],
+    scenario: &FaultScenario,
+    cfg: &ResilienceConfig,
+) -> Assessment {
+    let mut unavailable_ns = 0;
+    let mut first_bad_ns: Option<SimTime> = None;
+    let mut last_bad_end_ns: Option<SimTime> = None;
+    let post_window_start = scenario.fault_end_ns + cfg.rto_ns;
+    let (mut post_busy, mut post_bad) = (0u64, 0u64);
+    for s in series {
+        let busy = s.count > 0;
+        let bad = busy && s.error_rate() > cfg.error_threshold;
+        if bad {
+            unavailable_ns += cfg.interval_ns;
+            first_bad_ns.get_or_insert(s.start_ns);
+            last_bad_end_ns = Some(s.start_ns + cfg.interval_ns);
+        }
+        if busy && s.start_ns >= post_window_start {
+            post_busy += 1;
+            if bad {
+                post_bad += 1;
+            }
+        }
+    }
+    // Bounded: no unavailability at all, or every unavailable interval sits
+    // inside the fault's active window extended by the RTO. An interval
+    // that *contains* fault_start may dip below the threshold before the
+    // fault fires, so the start check is interval-granular.
+    let bounded = match (first_bad_ns, last_bad_end_ns) {
+        (None, None) => true,
+        (Some(first), Some(end)) => {
+            scenario.fault_end_ns > scenario.fault_start_ns
+                && first + cfg.interval_ns > scenario.fault_start_ns
+                && end <= post_window_start
+        }
+        _ => unreachable!("first and last unavailable interval set together"),
+    };
+    let metastable = post_bad > 0 && (post_bad as f64) >= cfg.sustain_fraction * (post_busy as f64);
+    let recovery_ns = if metastable {
+        None
+    } else {
+        Some(
+            last_bad_end_ns
+                .map(|end| end.saturating_sub(scenario.fault_end_ns))
+                .unwrap_or(0),
+        )
+    };
+    Assessment {
+        unavailable_ns,
+        recovered_ns: last_bad_end_ns,
+        bounded,
+        metastable,
+        recovery_ns,
     }
 }
 
@@ -123,6 +291,12 @@ pub struct CellReport {
     pub recovered_ns: Option<SimTime>,
     /// Whether all unavailability fell inside the fault window + RTO.
     pub bounded: bool,
+    /// Whether the degraded state sustained past the fault window + RTO
+    /// (the metastability signature; see [`Assessment::metastable`]).
+    pub metastable: bool,
+    /// Measured recovery time past `fault_end_ns` (`Some(0)` = never
+    /// degraded, `None` = never recovered).
+    pub recovery_ns: Option<SimTime>,
     /// Total client-side retries issued during the run.
     pub retries: u64,
     /// Retries per submitted request — the amplification hazard metric.
@@ -134,6 +308,18 @@ pub struct CellReport {
     /// baseline ≈ 1; a retry storm pushes it far above 1; a breaker
     /// suppresses it by failing attempts locally instead of sending them.
     pub wire_amplification: f64,
+    /// Wire attempts per *hop-level* call:
+    /// `(client_calls + retries − breaker_rejections) / client_calls`.
+    /// Unlike `wire_amplification` (whose denominator is end-to-end
+    /// submissions), this is the quantity a retry budget bounds by
+    /// construction: ≤ `1 + ratio` on every budgeted arm.
+    pub hop_amplification: f64,
+    /// Calls that failed fast because their deadline was exhausted.
+    pub deadline_exceeded: u64,
+    /// Arrivals rejected by the adaptive load-shedding controller.
+    pub shed_rejections: u64,
+    /// Retries denied by an exhausted retry budget.
+    pub budget_denied: u64,
 }
 
 /// Runs one variant through one scenario and verifies the invariants.
@@ -155,12 +341,18 @@ pub fn run_cell(
             ..Default::default()
         },
     )?;
-    let gen = OpenLoopGen::new(
-        vec![Phase::new(cfg.duration_s, cfg.rps)],
-        mix.clone(),
-        cfg.entities,
-        cfg.seed,
-    );
+    for (backend, n) in &cfg.prefill_stores {
+        sim.store_fill(backend, *n, 1)?;
+    }
+    for (backend, n) in &cfg.prefill_caches {
+        sim.cache_fill(backend, *n, 1)?;
+    }
+    let phases = if cfg.phases.is_empty() {
+        vec![Phase::new(cfg.duration_s, cfg.rps)]
+    } else {
+        cfg.phases.clone()
+    };
+    let gen = OpenLoopGen::new(phases, mix.clone(), cfg.entities, cfg.seed);
     // The generator is a pure function of its seed, so an identical clone
     // yields the exact submission count the driver will make.
     let submitted = gen.clone().count() as u64;
@@ -170,44 +362,27 @@ pub fn run_cell(
     for (t, fault) in &scenario.faults {
         exp = exp.at(*t, Action::Fault(fault.clone()));
     }
+    for (t, trigger) in &scenario.triggers {
+        exp = exp.at(*t, trigger.to_action());
+    }
     let rec = run_experiment(&mut sim, exp)?;
     let conservation = rec.conservation(submitted);
     let conserved = conservation.holds();
+    let verdict = assess(&rec.series(), scenario, cfg);
 
-    let mut unavailable_ns = 0;
-    let mut first_bad_ns: Option<SimTime> = None;
-    let mut last_bad_end_ns: Option<SimTime> = None;
-    for s in rec.series() {
-        if s.count > 0 && s.error_rate() > cfg.error_threshold {
-            unavailable_ns += cfg.interval_ns;
-            first_bad_ns.get_or_insert(s.start_ns);
-            last_bad_end_ns = Some(s.start_ns + cfg.interval_ns);
-        }
-    }
-    // Bounded: no unavailability at all, or every unavailable interval sits
-    // inside the fault's active window extended by the RTO. An interval
-    // that *contains* fault_start may dip below the threshold before the
-    // fault fires, so the start check is interval-granular.
-    let bounded = match (first_bad_ns, last_bad_end_ns) {
-        (None, None) => true,
-        (Some(first), Some(end)) => {
-            scenario.fault_end_ns > scenario.fault_start_ns
-                && first + cfg.interval_ns > scenario.fault_start_ns
-                && end <= scenario.fault_end_ns + cfg.rto_ns
-        }
-        _ => unreachable!("first and last unavailable interval set together"),
-    };
-
-    let retries = sim.metrics.counters.retries;
-    let breaker_rejections = sim.metrics.counters.breaker_rejections;
+    let c = &sim.metrics.counters;
+    let (retries, breaker_rejections, client_calls) =
+        (c.retries, c.breaker_rejections, c.client_calls);
     Ok(CellReport {
         variant: variant.to_string(),
         scenario: scenario.name.clone(),
         conservation,
         conserved,
-        unavailable_ns,
-        recovered_ns: last_bad_end_ns,
-        bounded,
+        unavailable_ns: verdict.unavailable_ns,
+        recovered_ns: verdict.recovered_ns,
+        bounded: verdict.bounded,
+        metastable: verdict.metastable,
+        recovery_ns: verdict.recovery_ns,
         retries,
         retry_amplification: if submitted == 0 {
             0.0
@@ -220,6 +395,14 @@ pub fn run_cell(
         } else {
             (submitted + retries).saturating_sub(breaker_rejections) as f64 / submitted as f64
         },
+        hop_amplification: if client_calls == 0 {
+            0.0
+        } else {
+            (client_calls + retries).saturating_sub(breaker_rejections) as f64 / client_calls as f64
+        },
+        deadline_exceeded: c.deadline_exceeded,
+        shed_rejections: c.shed_rejections,
+        budget_denied: c.budget_denied,
     })
 }
 
@@ -399,6 +582,110 @@ mod tests {
         assert!(retrying.retries > 0);
         assert!(retrying.retry_amplification > plain.retry_amplification);
         assert!(retrying.conserved, "{}", retrying.conservation);
+    }
+
+    fn interval(start_ns: SimTime, ok: usize, errors: usize) -> IntervalStats {
+        IntervalStats {
+            start_ns,
+            count: ok + errors,
+            ok,
+            errors,
+            mean_ns: 0.0,
+            p50_ns: 0,
+            p99_ns: 0,
+            timeouts: 0,
+        }
+    }
+
+    /// Synthetic series: degraded from the fault through the end of the
+    /// run, long past fault_end + rto. That is the metastability
+    /// signature, so recovery_ns must be `None`.
+    #[test]
+    fn assess_flags_sustained_degradation_as_metastable() {
+        let c = ResilienceConfig {
+            interval_ns: secs(1),
+            rto_ns: secs(2),
+            ..ResilienceConfig::default()
+        };
+        let scenario = FaultScenario::new("s", vec![], secs(4), secs(6));
+        let series: Vec<IntervalStats> = (0..30)
+            .map(|t| {
+                if t >= 4 {
+                    interval(secs(t), 5, 95)
+                } else {
+                    interval(secs(t), 100, 0)
+                }
+            })
+            .collect();
+        let a = assess(&series, &scenario, &c);
+        assert!(a.metastable, "{a:?}");
+        assert!(!a.bounded);
+        assert_eq!(a.recovery_ns, None);
+        assert_eq!(a.unavailable_ns, secs(26));
+    }
+
+    /// Degradation that clears shortly after the fault window is *not*
+    /// metastable even if it overruns the RTO; recovery time is measured
+    /// from fault_end.
+    #[test]
+    fn assess_measures_recovery_time_for_transient_degradation() {
+        let c = ResilienceConfig {
+            interval_ns: secs(1),
+            rto_ns: secs(2),
+            ..ResilienceConfig::default()
+        };
+        let scenario = FaultScenario::new("s", vec![], secs(4), secs(6));
+        let series: Vec<IntervalStats> = (0..30)
+            .map(|t| {
+                if (4..10).contains(&t) {
+                    interval(secs(t), 5, 95)
+                } else {
+                    interval(secs(t), 100, 0)
+                }
+            })
+            .collect();
+        let a = assess(&series, &scenario, &c);
+        assert!(!a.metastable, "{a:?}");
+        assert!(!a.bounded, "last bad interval ends at 10 s > 6 s + 2 s rto");
+        assert_eq!(a.recovery_ns, Some(secs(4)));
+
+        // A clean series never degrades: bounded, recovery 0.
+        let clean: Vec<IntervalStats> = (0..30).map(|t| interval(secs(t), 100, 0)).collect();
+        let a = assess(&clean, &scenario, &c);
+        assert!(a.bounded);
+        assert!(!a.metastable);
+        assert_eq!(a.recovery_ns, Some(0));
+        assert_eq!(a.unavailable_ns, 0);
+    }
+
+    /// Triggers lower into driver actions: a CPU hog scheduled through a
+    /// scenario must degrade the run exactly like the hand-built fig6
+    /// harness would.
+    #[test]
+    fn trigger_scenario_runs_through_cell() {
+        let spec = two_tier(ClientSpec::local());
+        let scenario = FaultScenario::triggered(
+            "cpu hog",
+            vec![(
+                secs(4),
+                Trigger::CpuHog {
+                    host: "h1".into(),
+                    cores: 3.9,
+                    duration_ns: secs(2),
+                },
+            )],
+            secs(4),
+            secs(6),
+        );
+        let r = run_cell(
+            &spec,
+            &ApiMix::single("front", "M"),
+            "none",
+            &scenario,
+            &cfg(),
+        )
+        .unwrap();
+        assert!(r.conserved, "{}", r.conservation);
     }
 
     #[test]
