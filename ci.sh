@@ -20,6 +20,11 @@ echo "==> bench smoke (sim_engine, quick test mode)"
 # without the full sampling run.
 cargo bench -p blueprint-bench --bench sim_engine -- --test
 
+echo "==> bench smoke (event_queue: heap vs timing wheel)"
+# Full numbers live in results/event_queue_bench.txt; this just proves both
+# queue implementations still run under the hold-model workload.
+cargo bench -p blueprint-bench --bench event_queue -- --test
+
 echo "==> parallel-engine determinism (BLUEPRINT_THREADS=1 vs =4)"
 # The same experiment suite must produce identical results whatever the
 # default worker count is; the test itself also pins the 1-vs-4 equality.
@@ -81,5 +86,24 @@ echo "==> completion-stream identity check"
 # pre-fault-engine seed: pin the historical checksum, not just a self-match.
 cargo run --release --example stream_checksum | tee results/ci_stream_checksum.txt
 grep -q "checksum=73897de1072914b2" results/ci_stream_checksum.txt
+
+echo "==> sharded single-run identity (BLUEPRINT_THREADS=1 vs =4, both queues)"
+# The intra-run event-queue sharding and the timing-wheel implementation
+# must both be invisible in the results: the same run at 4 shards (and under
+# either queue implementation) reproduces the sequential stream bit-for-bit,
+# still pinned to the historical checksum.
+BLUEPRINT_THREADS=1 cargo run --release --example stream_checksum \
+    | tee results/ci_shard.txt
+grep -q "checksum=73897de1072914b2" results/ci_shard.txt
+BLUEPRINT_THREADS=4 cargo run --release --example stream_checksum \
+    > results/ci_shard_t4.txt
+cmp results/ci_shard.txt results/ci_shard_t4.txt
+BLUEPRINT_THREADS=4 BLUEPRINT_EVQ=wheel cargo run --release --example stream_checksum \
+    > results/ci_shard_t4.txt
+cmp results/ci_shard.txt results/ci_shard_t4.txt
+BLUEPRINT_THREADS=4 BLUEPRINT_EVQ=heap cargo run --release --example stream_checksum \
+    > results/ci_shard_t4.txt
+cmp results/ci_shard.txt results/ci_shard_t4.txt
+rm -f results/ci_shard_t4.txt
 
 echo "CI OK"

@@ -442,6 +442,26 @@ mod tests {
         lower(&registry, &ir, &ctx).unwrap()
     }
 
+    /// Cross-layer `Send` check: a lowered app's simulation can be moved to
+    /// another thread whole and driven there. Guards the Rc→arena refactor —
+    /// any reintroduction of shared non-`Send` state in the boot path fails
+    /// this test at compile time (`thread::spawn` requires `Send`).
+    #[test]
+    fn lowered_simulation_runs_on_another_thread() {
+        let spec = lower_app(false);
+        let mut sim =
+            blueprint_simrt::Sim::new(&spec, blueprint_simrt::SimConfig::default()).unwrap();
+        let done = std::thread::spawn(move || {
+            sim.submit("fe", "Handle", 1).unwrap();
+            sim.run_until(blueprint_simrt::secs(10));
+            sim.drain_completions()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(done.len(), 1, "request completed on the worker thread");
+        assert!(done[0].ok);
+    }
+
     #[test]
     fn lowers_services_backends_and_policies() {
         let spec = lower_app(false);

@@ -1,0 +1,632 @@
+//! Event-queue implementations for the discrete-event core.
+//!
+//! [`crate::sim::Sim`] dispatches events in `(time, seq)` order — `time` is
+//! virtual nanoseconds, `seq` the global push sequence number. Two
+//! interchangeable priority queues provide that order:
+//!
+//! * [`EvQueueKind::Heap`] — `BinaryHeap<Reverse<Entry>>`: the classic
+//!   O(log n) binary heap.
+//! * [`EvQueueKind::Wheel`] — a hierarchical timing wheel (Varghese & Lauck):
+//!   far events land in time-bucketed slots in O(1), cascading toward a small
+//!   near-term heap (`due`) that provides the final total order.
+//!
+//! Both produce **byte-identical pop order by construction**: ties are
+//! resolved by `seq`, never by insertion order or internal layout, so the
+//! simulator's determinism pin does not depend on which implementation is
+//! selected. `benches/event_queue.rs` compares them at 10k/100k/1M
+//! concurrent timers; the measured winner is the [`EvQueueKind::default`]
+//! (see `results/event_queue_bench.txt`), and `BLUEPRINT_EVQ=heap|wheel`
+//! overrides the choice per run.
+//!
+//! [`EventShards`] composes one queue per shard for the sharded event loop:
+//! pushes route to the target entity's home shard, future events buffer in
+//! per-shard outboxes that flush at time-advance boundaries (in parallel on
+//! scoped threads when the batch is large), and pops take the k-way minimum
+//! across shard heads — the same index-ordered merge discipline as
+//! `blueprint_workload::parallel::par_run`, applied inside a single run.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Total-order key of an event.
+pub type EvKey = (SimTime, u64);
+
+/// One queued event: a `(time, seq)` key plus an arbitrary payload.
+#[derive(Debug, Clone)]
+pub struct Entry<T> {
+    /// Fire time, virtual ns.
+    pub time: SimTime,
+    /// Global push sequence number (unique; the tiebreak at equal times).
+    pub seq: u64,
+    /// The event payload.
+    pub item: T,
+}
+
+impl<T> Entry<T> {
+    fn key(&self) -> EvKey {
+        (self.time, self.seq)
+    }
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Selects the event-queue implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvQueueKind {
+    /// `BinaryHeap<Reverse<Entry>>`. Kept selectable as the obviously-correct
+    /// baseline; it edges out the wheel only at small populations (~10k
+    /// timers) where its `O(log n)` comparisons are still cheap.
+    Heap,
+    /// Hierarchical timing wheel: `O(1)` insert, amortized-cheap cascade.
+    /// The microbench winner from 100k timers up (2.1× at 100k, 7.4× at 1M;
+    /// see `results/event_queue_bench.txt`) and ~8% faster end-to-end on the
+    /// pinned HotelReservation run, so it is the default — the scaling
+    /// target is million-user single runs, exactly where the heap collapses.
+    #[default]
+    Wheel,
+}
+
+impl EvQueueKind {
+    /// The `BLUEPRINT_EVQ` override (`heap` / `wheel`), falling back to the
+    /// benchmarked default. Unrecognized values fall back too.
+    pub fn from_env() -> Self {
+        match std::env::var("BLUEPRINT_EVQ").as_deref() {
+            Ok("heap") => EvQueueKind::Heap,
+            Ok("wheel") => EvQueueKind::Wheel,
+            _ => EvQueueKind::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical timing wheel.
+// ---------------------------------------------------------------------------
+
+/// Virtual ns per wheel tick (4.096 µs — comparable to the simulator's
+/// typical inter-event gap).
+const TICK_SHIFT: u64 = 12;
+/// Slots per level (64).
+const SLOT_SHIFT: u64 = 6;
+const SLOTS: usize = 1 << SLOT_SHIFT;
+/// Wheel levels; level `l` slots span `64^l` ticks. Four levels cover
+/// `2^(12+24)` ns ≈ 68.7 virtual seconds from the cursor.
+const LEVELS: usize = 4;
+/// Ticks covered by the whole wheel; events beyond go to the overflow heap.
+const WHEEL_SPAN: u64 = 1 << (SLOT_SHIFT * LEVELS as u64);
+
+fn tick_of(time: SimTime) -> u64 {
+    time >> TICK_SHIFT
+}
+
+/// Hashed hierarchical timing wheel.
+///
+/// Invariant: every event with `tick < cur_tick` lives in `due` (a heap, so
+/// the final `(time, seq)` order never depends on bucket layout); every
+/// event with `tick >= cur_tick` lives in the slot of the lowest level whose
+/// window contained it at insert time, or in `overflow` past the horizon.
+/// `due`'s minimum is therefore always the global minimum.
+#[derive(Debug)]
+pub struct Wheel<T> {
+    due: BinaryHeap<Reverse<Entry<T>>>,
+    /// `LEVELS × SLOTS` buckets (unordered within a bucket).
+    slots: Vec<Vec<Entry<T>>>,
+    /// Occupancy per level, to skip empty regions in O(1).
+    level_count: [usize; LEVELS],
+    cur_tick: u64,
+    overflow: BinaryHeap<Reverse<Entry<T>>>,
+    len: usize,
+}
+
+impl<T> Wheel<T> {
+    fn new() -> Self {
+        Wheel {
+            due: BinaryHeap::new(),
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            level_count: [0; LEVELS],
+            cur_tick: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, e: Entry<T>) {
+        self.len += 1;
+        if tick_of(e.time) < self.cur_tick {
+            self.due.push(Reverse(e));
+        } else {
+            self.insert_wheel(e);
+        }
+    }
+
+    /// Places an event with `tick >= cur_tick` into the lowest level whose
+    /// window reaches it.
+    fn insert_wheel(&mut self, e: Entry<T>) {
+        let t = tick_of(e.time);
+        let delta = t - self.cur_tick;
+        for l in 0..LEVELS {
+            if delta < 1u64 << (SLOT_SHIFT * (l as u64 + 1)) {
+                let idx = ((t >> (SLOT_SHIFT * l as u64)) & (SLOTS as u64 - 1)) as usize;
+                self.slots[l * SLOTS + idx].push(e);
+                self.level_count[l] += 1;
+                return;
+            }
+        }
+        self.overflow.push(Reverse(e));
+    }
+
+    fn wheel_occupancy(&self) -> usize {
+        self.level_count.iter().sum::<usize>() + self.overflow.len()
+    }
+
+    /// Advances the cursor until at least one event cohort lands in `due`.
+    /// Precondition: the wheel (slots or overflow) is non-empty.
+    fn advance(&mut self) {
+        loop {
+            if self.level_count[0] > 0 {
+                // Scan level 0 within the current rotation; the first
+                // non-empty slot holds the next cohort.
+                let rot_end = ((self.cur_tick >> SLOT_SHIFT) + 1) << SLOT_SHIFT;
+                for t in self.cur_tick..rot_end {
+                    let idx = (t & (SLOTS as u64 - 1)) as usize;
+                    if !self.slots[idx].is_empty() {
+                        let n = self.slots[idx].len();
+                        for e in self.slots[idx].drain(..) {
+                            self.due.push(Reverse(e));
+                        }
+                        self.level_count[0] -= n;
+                        self.cur_tick = t + 1;
+                        // The drain may leave the cursor exactly on a level
+                        // boundary; the cascade must still run or the next
+                        // advance would jump past the un-cascaded slot and
+                        // deliver its events a full rotation late.
+                        self.cascade();
+                        return;
+                    }
+                }
+                self.cur_tick = rot_end;
+            } else if self.level_count[1..].iter().any(|c| *c > 0) {
+                // Nothing near-term: skip to the next rotation boundary.
+                self.cur_tick = ((self.cur_tick >> SLOT_SHIFT) + 1) << SLOT_SHIFT;
+            } else {
+                // Only the overflow holds events: jump straight to its
+                // minimum and pull everything within the horizon back in.
+                let Some(Reverse(head)) = self.overflow.peek() else {
+                    return; // Defensive: violated precondition.
+                };
+                self.cur_tick = tick_of(head.time);
+                while let Some(Reverse(h)) = self.overflow.peek() {
+                    if tick_of(h.time) - self.cur_tick >= WHEEL_SPAN {
+                        break;
+                    }
+                    let Reverse(e) = self.overflow.pop().expect("peeked");
+                    self.insert_wheel(e);
+                }
+                continue;
+            }
+            self.cascade();
+        }
+    }
+
+    /// When the cursor sits on a slot boundary of a higher level, drains
+    /// that level's newly-entered slot down into finer levels — top level
+    /// first, so nested re-insertions land ahead of the entered lower slots.
+    /// A no-op at unaligned cursors.
+    fn cascade(&mut self) {
+        let entered = self.cur_tick;
+        for l in (1..LEVELS).rev() {
+            if self.level_count[l] == 0 {
+                continue;
+            }
+            let width = 1u64 << (SLOT_SHIFT * l as u64);
+            if entered & (width - 1) != 0 {
+                continue;
+            }
+            let idx = ((entered >> (SLOT_SHIFT * l as u64)) & (SLOTS as u64 - 1)) as usize;
+            let slot = l * SLOTS + idx;
+            if self.slots[slot].is_empty() {
+                continue;
+            }
+            let moved = std::mem::take(&mut self.slots[slot]);
+            self.level_count[l] -= moved.len();
+            for e in moved {
+                self.insert_wheel(e);
+            }
+        }
+    }
+
+    fn ensure_due(&mut self) {
+        while self.due.is_empty() && self.wheel_occupancy() > 0 {
+            self.advance();
+        }
+    }
+
+    fn peek_key(&mut self) -> Option<EvKey> {
+        self.ensure_due();
+        self.due.peek().map(|Reverse(e)| e.key())
+    }
+
+    fn pop(&mut self) -> Option<Entry<T>> {
+        self.ensure_due();
+        let Reverse(e) = self.due.pop()?;
+        self.len -= 1;
+        Some(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The unified queue.
+// ---------------------------------------------------------------------------
+
+/// A `(time, seq)`-ordered event queue with a selectable implementation.
+#[derive(Debug)]
+pub enum EvQueue<T> {
+    /// Binary-heap implementation.
+    Heap(BinaryHeap<Reverse<Entry<T>>>),
+    /// Hierarchical-timing-wheel implementation.
+    Wheel(Wheel<T>),
+}
+
+impl<T> EvQueue<T> {
+    /// An empty queue of the given kind.
+    pub fn new(kind: EvQueueKind) -> Self {
+        match kind {
+            EvQueueKind::Heap => EvQueue::Heap(BinaryHeap::new()),
+            EvQueueKind::Wheel => EvQueue::Wheel(Wheel::new()),
+        }
+    }
+
+    /// Inserts an event.
+    pub fn push(&mut self, e: Entry<T>) {
+        match self {
+            EvQueue::Heap(h) => h.push(Reverse(e)),
+            EvQueue::Wheel(w) => w.push(e),
+        }
+    }
+
+    /// The minimum `(time, seq)` key, if any. Takes `&mut self` because the
+    /// wheel may cascade buckets to find its minimum.
+    pub fn peek_key(&mut self) -> Option<EvKey> {
+        match self {
+            EvQueue::Heap(h) => h.peek().map(|Reverse(e)| e.key()),
+            EvQueue::Wheel(w) => w.peek_key(),
+        }
+    }
+
+    /// Removes and returns the minimum event.
+    pub fn pop(&mut self) -> Option<Entry<T>> {
+        match self {
+            EvQueue::Heap(h) => h.pop().map(|Reverse(e)| e),
+            EvQueue::Wheel(w) => w.pop(),
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        match self {
+            EvQueue::Heap(h) => h.len(),
+            EvQueue::Wheel(w) => w.len,
+        }
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded composition.
+// ---------------------------------------------------------------------------
+
+/// Buffered events before a flush fans out to scoped worker threads; below
+/// this the per-thread spawn cost would dominate the insertion work.
+const PAR_FLUSH_MIN: usize = 4096;
+
+/// Per-shard event queues with a deterministic `(time, seq)` merge.
+///
+/// The caller routes each push to a shard (the simulator shards by the
+/// target entity's home host). Events due at the current time insert
+/// directly — they may be popped before time advances — while future events
+/// buffer in per-shard **outboxes**: the cross-shard exchange. Outboxes
+/// flush when the merged head would otherwise be wrong (i.e. at a
+/// time-advance boundary), and a large flush distributes the insertion work
+/// across scoped threads, one per non-empty shard. Pops always take the
+/// k-way minimum key across shard heads, so the pop order is byte-identical
+/// at every shard count by construction.
+#[derive(Debug)]
+pub(crate) struct EventShards<T> {
+    shards: Vec<EvQueue<T>>,
+    outboxes: Vec<Vec<Entry<T>>>,
+    outbox_len: usize,
+    outbox_min: Option<EvKey>,
+    par_flush_min: usize,
+    len: usize,
+}
+
+impl<T: Send> EventShards<T> {
+    /// `n_shards` queues of the given kind (clamped up to 1).
+    pub fn new(kind: EvQueueKind, n_shards: usize) -> Self {
+        Self::with_flush_threshold(kind, n_shards, PAR_FLUSH_MIN)
+    }
+
+    /// As [`EventShards::new`] with an explicit parallel-flush threshold
+    /// (tests use a tiny one to exercise the scoped-thread path).
+    pub fn with_flush_threshold(kind: EvQueueKind, n_shards: usize, par_flush_min: usize) -> Self {
+        let n = n_shards.max(1);
+        EventShards {
+            shards: (0..n).map(|_| EvQueue::new(kind)).collect(),
+            outboxes: (0..n).map(|_| Vec::new()).collect(),
+            outbox_len: 0,
+            outbox_min: None,
+            par_flush_min,
+            len: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total queued events (including buffered outboxes).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are queued anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queues an event on `shard`. `now` is the simulator clock: events due
+    /// now must be immediately visible, strictly-future events may buffer.
+    pub fn push(&mut self, shard: usize, now: SimTime, e: Entry<T>) {
+        self.len += 1;
+        if self.shards.len() == 1 || e.time <= now {
+            self.shards[shard].push(e);
+        } else {
+            let k = e.key();
+            if self.outbox_min.map(|m| k < m).unwrap_or(true) {
+                self.outbox_min = Some(k);
+            }
+            self.outboxes[shard].push(e);
+            self.outbox_len += 1;
+        }
+    }
+
+    /// The shard holding the minimum queued (non-outbox) key.
+    fn queue_min(&mut self) -> Option<(usize, EvKey)> {
+        let mut best: Option<(usize, EvKey)> = None;
+        for (i, q) in self.shards.iter_mut().enumerate() {
+            if let Some(k) = q.peek_key() {
+                if best.map(|(_, bk)| k < bk).unwrap_or(true) {
+                    best = Some((i, k));
+                }
+            }
+        }
+        best
+    }
+
+    /// Flushes outboxes if the merged head could otherwise miss a buffered
+    /// event (every buffered key is strictly in the future, so this triggers
+    /// exactly at time-advance boundaries).
+    fn settle(&mut self) {
+        if let Some(om) = self.outbox_min {
+            let head_ok = self.queue_min().map(|(_, qk)| qk < om).unwrap_or(false);
+            if !head_ok {
+                self.flush();
+            }
+        }
+    }
+
+    /// The global minimum `(time, seq)` key.
+    pub fn peek_key(&mut self) -> Option<EvKey> {
+        self.settle();
+        self.queue_min().map(|(_, k)| k)
+    }
+
+    /// Removes and returns the globally minimal event.
+    pub fn pop(&mut self) -> Option<Entry<T>> {
+        self.settle();
+        let (i, _) = self.queue_min()?;
+        let e = self.shards[i].pop();
+        debug_assert!(e.is_some(), "peeked shard head vanished");
+        if e.is_some() {
+            self.len -= 1;
+        }
+        e
+    }
+
+    /// Drains every outbox into its shard queue — on scoped worker threads
+    /// (one per non-empty shard) when the batch is large enough to amortize
+    /// the spawns. Queue contents are order-free internally (the pop-side
+    /// merge imposes the total order), so the flush schedule cannot affect
+    /// results.
+    fn flush(&mut self) {
+        if self.outbox_len == 0 {
+            return;
+        }
+        if self.outbox_len >= self.par_flush_min && self.shards.len() > 1 {
+            std::thread::scope(|s| {
+                for (q, ob) in self.shards.iter_mut().zip(self.outboxes.iter_mut()) {
+                    if ob.is_empty() {
+                        continue;
+                    }
+                    s.spawn(move || {
+                        for e in ob.drain(..) {
+                            q.push(e);
+                        }
+                    });
+                }
+            });
+        } else {
+            for (q, ob) in self.shards.iter_mut().zip(self.outboxes.iter_mut()) {
+                for e in ob.drain(..) {
+                    q.push(e);
+                }
+            }
+        }
+        self.outbox_len = 0;
+        self.outbox_min = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn e(time: SimTime, seq: u64) -> Entry<u64> {
+        Entry {
+            time,
+            seq,
+            item: seq,
+        }
+    }
+
+    /// Drains a queue fully, returning the pop order as keys.
+    fn drain<T>(q: &mut EvQueue<T>) -> Vec<EvKey> {
+        let mut out = Vec::new();
+        while let Some(x) = q.pop() {
+            out.push((x.time, x.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn ties_resolve_by_seq_in_both_impls() {
+        for kind in [EvQueueKind::Heap, EvQueueKind::Wheel] {
+            let mut q = EvQueue::new(kind);
+            // Same timestamp, shuffled insertion order.
+            for seq in [5u64, 1, 9, 0, 3] {
+                q.push(e(1_000, seq));
+            }
+            assert_eq!(
+                drain(&mut q),
+                vec![(1_000, 0), (1_000, 1), (1_000, 3), (1_000, 5), (1_000, 9)]
+            );
+        }
+    }
+
+    #[test]
+    fn wheel_matches_heap_on_random_interleaving() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut heap = EvQueue::new(EvQueueKind::Heap);
+        let mut wheel = EvQueue::new(EvQueueKind::Wheel);
+        let mut seq = 0u64;
+        let mut now: SimTime = 0;
+        let mut heap_out = Vec::new();
+        let mut wheel_out = Vec::new();
+        for _ in 0..20_000 {
+            if rng.gen::<f64>() < 0.55 || heap.is_empty() {
+                // Mix of near, far, and same-tick times (plus ties).
+                let dt = match rng.gen_range(0..4u32) {
+                    0 => rng.gen_range(0..2_000),
+                    1 => rng.gen_range(0..1_000_000),
+                    2 => rng.gen_range(0..5_000_000_000),
+                    _ => 0,
+                };
+                let t = now + dt;
+                heap.push(e(t, seq));
+                wheel.push(e(t, seq));
+                seq += 1;
+            } else {
+                let a = heap.pop().expect("heap non-empty");
+                let b = wheel.pop().expect("wheel matches heap occupancy");
+                now = a.time; // Pops advance the clock, like the simulator.
+                heap_out.push((a.time, a.seq));
+                wheel_out.push((b.time, b.seq));
+            }
+        }
+        heap_out.extend(drain(&mut heap));
+        wheel_out.extend(drain(&mut wheel));
+        assert_eq!(heap_out, wheel_out);
+        // Sanity: the order is actually sorted by (time, seq) per prefix
+        // monotonicity of pops between pushes is already covered above.
+        assert!(!heap_out.is_empty());
+    }
+
+    #[test]
+    fn wheel_handles_overflow_horizon() {
+        let mut q = EvQueue::new(EvQueueKind::Wheel);
+        // Far beyond the 68.7 s horizon, plus a near event.
+        q.push(e(500_000_000_000, 1));
+        q.push(e(10, 2));
+        q.push(e(900_000_000_000, 0));
+        assert_eq!(
+            drain(&mut q),
+            vec![(10, 2), (500_000_000_000, 1), (900_000_000_000, 0)]
+        );
+    }
+
+    /// Regression: a cohort drain that leaves the cursor exactly on a
+    /// rotation boundary must still cascade the newly-entered level-1 slot.
+    /// Without the cascade, the event at tick 70 here was skipped past and
+    /// delivered after tick 130's cohort.
+    #[test]
+    fn wheel_cascades_when_drain_ends_on_rotation_boundary() {
+        let tick = 1u64 << TICK_SHIFT;
+        let mut q = EvQueue::new(EvQueueKind::Wheel);
+        q.push(e(63 * tick, 0)); // level 0, last slot of rotation 0
+        q.push(e(70 * tick, 1)); // level 1, slot 1 (ticks 64..127)
+        q.push(e(130 * tick, 2)); // level 1, slot 2 (ticks 128..191)
+
+        // Popping seq 0 drains tick 63 and parks the cursor at tick 64 — a
+        // rotation boundary whose level-1 slot holds seq 1.
+        assert_eq!(
+            drain(&mut q),
+            vec![(63 * tick, 0), (70 * tick, 1), (130 * tick, 2)]
+        );
+    }
+
+    #[test]
+    fn shard_counts_agree_on_pop_order() {
+        // The same push stream must pop identically at 1, 3, and 4 shards,
+        // for both queue kinds; a tiny flush threshold forces the
+        // scoped-thread flush path.
+        for kind in [EvQueueKind::Heap, EvQueueKind::Wheel] {
+            let mut streams: Vec<Vec<EvKey>> = Vec::new();
+            for shards in [1usize, 3, 4] {
+                let mut q: EventShards<u64> = EventShards::with_flush_threshold(kind, shards, 2);
+                let mut rng = SmallRng::seed_from_u64(7);
+                let mut now: SimTime = 0;
+                let mut out = Vec::new();
+                for seq in 0..5_000u64 {
+                    let t = now + rng.gen_range(0..100_000);
+                    q.push((seq as usize) % shards, now, e(t, seq));
+                    if rng.gen::<f64>() < 0.4 {
+                        if let Some(x) = q.pop() {
+                            now = x.time;
+                            out.push((x.time, x.seq));
+                        }
+                    }
+                }
+                while let Some(x) = q.pop() {
+                    out.push((x.time, x.seq));
+                }
+                assert_eq!(out.len(), 5_000);
+                streams.push(out);
+            }
+            assert_eq!(streams[0], streams[1]);
+            assert_eq!(streams[0], streams[2]);
+        }
+    }
+}

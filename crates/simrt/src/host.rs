@@ -57,6 +57,11 @@ pub struct PsHost {
 /// serialization work attributed to the runtime, hog placeholders).
 pub const NO_PROC: usize = usize::MAX;
 
+// The host model is plain owned data; `Sim` embeds one per host and is
+// itself `Send`, so any shared-state regression here must fail to compile.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<PsHost>();
+
 impl PsHost {
     /// Creates a host with the given core count.
     pub fn new(cores: f64) -> Self {

@@ -34,16 +34,21 @@
 //!   process. In-flight work affected by a fault fails fast with a
 //!   classified error, preserving request conservation.
 //!
-//! Determinism: one seeded RNG, a single event queue ordered by
-//! `(time, sequence)`, and no wall-clock anywhere. The same spec + seed +
-//! driver script produces bit-identical results (tested).
+//! Determinism: one seeded RNG and a total event order by `(time, sequence)`,
+//! with no wall-clock anywhere. The event queue is sharded by host
+//! ([`evq::EventShards`], `BLUEPRINT_THREADS`); the pop-side merge preserves
+//! the exact same total order at any shard count, so the same spec + seed +
+//! driver script produces bit-identical results (tested) — and [`sim::Sim`]
+//! is `Send`, so whole runs can also be farmed out across threads.
 
+pub mod evq;
 pub mod host;
 pub mod metrics;
 pub mod sim;
 pub mod spec;
 pub mod time;
 
+pub use evq::EvQueueKind;
 pub use sim::{Completion, EntryHandle, Sim, SimConfig};
 pub use spec::{
     BackendRtKind, BackendSpec, BreakerSpec, ChaosSpec, ClientSpec, DeadlineSpec, DepBinding,

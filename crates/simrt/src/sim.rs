@@ -11,14 +11,15 @@
 //! At boot the workflow `Behavior` programs are compiled into [`CProg`]s:
 //! every dependency name is resolved to a dense `u32` client id, every target
 //! method to a dense per-service method index, and nested bodies (branches,
-//! loops, parallel blocks, cache-miss continuations) become shared `Rc`
-//! sub-programs. The per-event hot path therefore never hashes a string,
-//! never clones behavior text, and reuses frame slots and interpreter stacks
-//! through free lists.
+//! loops, parallel blocks, cache-miss continuations) become [`ProgId`]
+//! handles into a [`ProgArena`] (names live in a [`StrArena`]). The per-event
+//! hot path therefore never hashes a string, never clones behavior text, and
+//! reuses frame slots and interpreter stacks through free lists. Because all
+//! interning is arena-index based (no `Rc`), a booted [`Sim`] is `Send` —
+//! asserted at compile time below — so one run can migrate across threads
+//! and the event loop can shard across cores (see [`crate::evq`]).
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
-use std::rc::Rc;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -26,6 +27,7 @@ use rand::{Rng, SeedableRng};
 use blueprint_trace::{SpanId, TraceCollector, TraceId};
 use blueprint_workflow::{Behavior, CacheOp, DbOp, KeyExpr, Step};
 
+use crate::evq::{self, EvQueueKind, EventShards};
 use crate::host::{JobId, PsHost, NO_PROC};
 use crate::metrics::{BackendStats, Metrics};
 use crate::spec::{
@@ -53,6 +55,16 @@ pub struct SimConfig {
     /// zero events and RNG draws, so fault-free runs are byte-identical to
     /// a build without the engine.
     pub faults: FaultPlan,
+    /// Event-loop shard count. `0` (the default) resolves from the
+    /// `BLUEPRINT_THREADS` environment variable, falling back to `1` (the
+    /// classic single-queue loop). Any value is capped at 64. Shard count
+    /// never affects results — the cross-shard exchange merges by
+    /// `(time, seq)` — only how queue maintenance is spread over cores.
+    pub shards: usize,
+    /// Event-queue implementation. `None` (the default) resolves from the
+    /// `BLUEPRINT_EVQ` environment variable via [`EvQueueKind::from_env`].
+    /// Like `shards`, the choice never affects results.
+    pub queue: Option<EvQueueKind>,
 }
 
 impl Default for SimConfig {
@@ -62,6 +74,8 @@ impl Default for SimConfig {
             record_traces: false,
             max_frames: 2_000_000,
             faults: FaultPlan::default(),
+            shards: 0,
+            queue: None,
         }
     }
 }
@@ -269,8 +283,96 @@ const UNBOUND_CLIENT: u32 = u32::MAX;
 /// Sentinel method index for calls to a method the target does not define.
 const MISSING_METHOD: u32 = u32::MAX;
 
+/// Handle of a compiled sub-program in the [`ProgArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ProgId(u32);
+
+/// Handle of a parallel-branch program list in the [`ProgArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ProgListId(u32);
+
+/// Handle of a replica target list in the [`ProgArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TargetsId(u32);
+
+/// Handle of an interned name in the [`StrArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct NameId(u32);
+
+/// Owns every compiled program, parallel-branch list, and replica target
+/// list. Nested bodies reference each other by [`ProgId`] instead of `Rc`,
+/// which is what makes [`Sim`] `Send`: handles are plain `u32`s, sharing is
+/// expressed as index aliasing, and the arena is dropped in one piece.
+#[derive(Debug, Default)]
+struct ProgArena {
+    progs: Vec<CProg>,
+    prog_lists: Vec<Box<[ProgId]>>,
+    target_lists: Vec<Box<[(usize, u32)]>>,
+}
+
+impl ProgArena {
+    fn alloc(&mut self, prog: CProg) -> ProgId {
+        let id = ProgId(u32::try_from(self.progs.len()).expect("program arena exceeds u32 ids"));
+        self.progs.push(prog);
+        id
+    }
+
+    fn alloc_list(&mut self, progs: Vec<ProgId>) -> ProgListId {
+        let id = ProgListId(
+            u32::try_from(self.prog_lists.len()).expect("program-list arena exceeds u32 ids"),
+        );
+        self.prog_lists.push(progs.into_boxed_slice());
+        id
+    }
+
+    fn alloc_targets(&mut self, targets: Vec<(usize, u32)>) -> TargetsId {
+        let id = TargetsId(
+            u32::try_from(self.target_lists.len()).expect("target-list arena exceeds u32 ids"),
+        );
+        self.target_lists.push(targets.into_boxed_slice());
+        id
+    }
+
+    fn get(&self, id: ProgId) -> &CProg {
+        &self.progs[id.0 as usize]
+    }
+
+    fn list(&self, id: ProgListId) -> &[ProgId] {
+        &self.prog_lists[id.0 as usize]
+    }
+
+    fn targets(&self, id: TargetsId) -> &[(usize, u32)] {
+        &self.target_lists[id.0 as usize]
+    }
+}
+
+/// Interned names (service, method, entry, backend). Names are only looked
+/// up on cold paths (completion records, user-facing lookups, traces), but
+/// they must not be `Rc<str>` or the simulator stops being `Send`.
+#[derive(Debug, Default)]
+pub(crate) struct StrArena {
+    names: Vec<Box<str>>,
+}
+
+impl StrArena {
+    pub(crate) fn intern(&mut self, s: &str) -> NameId {
+        // Linear scan: interning happens only at boot over a few dozen
+        // distinct names; dedup keeps repeated method names cheap.
+        if let Some(i) = self.names.iter().position(|n| &**n == s) {
+            return NameId(i as u32);
+        }
+        let id = NameId(u32::try_from(self.names.len()).expect("name arena exceeds u32 ids"));
+        self.names.push(s.into());
+        id
+    }
+
+    pub(crate) fn get(&self, id: NameId) -> &str {
+        &self.names[id.0 as usize]
+    }
+}
+
 /// Where a compiled call step routes, resolved once at boot.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum CallDest {
     /// Dependency name had no binding; faults at call time.
     Unbound,
@@ -279,7 +381,7 @@ enum CallDest {
     /// Replicated service target; one replica is picked per attempt.
     Replicated {
         policy: LbPolicy,
-        targets: Rc<[(usize, u32)]>,
+        targets: TargetsId,
     },
     /// Backend target.
     Backend { backend: usize },
@@ -288,8 +390,9 @@ enum CallDest {
 }
 
 /// One compiled behavior step. Mirrors [`Step`] with all names resolved to
-/// dense indices and nested bodies shared via `Rc`.
-#[derive(Debug)]
+/// dense indices and nested bodies referenced by arena id — every step is
+/// `Copy`, so the interpreter reads them straight out of the arena.
+#[derive(Debug, Clone, Copy)]
 enum CStep {
     Compute {
         cpu_ns: u64,
@@ -309,7 +412,7 @@ enum CStep {
         client: u32,
         dest: CallDest,
         key: KeyExpr,
-        on_miss: Rc<CProg>,
+        on_miss: ProgId,
     },
     Db {
         client: u32,
@@ -322,15 +425,15 @@ enum CStep {
         dest: CallDest,
         op: BackendOp,
     },
-    Parallel(Vec<Rc<CProg>>),
+    Parallel(ProgListId),
     Branch {
         prob: f64,
-        then: Rc<CProg>,
-        otherwise: Rc<CProg>,
+        then: ProgId,
+        otherwise: ProgId,
     },
     Repeat {
         times: u32,
-        body: Rc<CProg>,
+        body: ProgId,
     },
     Fail {
         prob: f64,
@@ -345,13 +448,16 @@ struct CProg {
 
 /// Boot-time compiler from workflow [`Behavior`]s to [`CProg`]s.
 ///
-/// Owns the interning tables: per-service method name → dense method index,
-/// and `(service, dep name)` → dense client id. Every id resolved here is an
-/// array index at run time.
+/// Owns the interning tables — per-service method name → dense method index,
+/// `(service, dep name)` → dense client id — and the [`ProgArena`] the
+/// compiled programs accumulate into (handed to the [`Sim`] when boot
+/// finishes). Every id resolved here is an array index at run time, and
+/// arena ids are assigned in deterministic compile order.
 struct ProgCompiler<'a> {
     spec: &'a SystemSpec,
     method_ids: Vec<BTreeMap<&'a str, u32>>,
     client_ids: HashMap<(usize, &'a str), u32>,
+    arena: ProgArena,
 }
 
 impl<'a> ProgCompiler<'a> {
@@ -379,6 +485,7 @@ impl<'a> ProgCompiler<'a> {
             spec,
             method_ids,
             client_ids,
+            arena: ProgArena::default(),
         }
     }
 
@@ -397,7 +504,7 @@ impl<'a> ProgCompiler<'a> {
     }
 
     /// Destination of a `Call` step (expects a service-kind binding).
-    fn service_dest(&self, si: usize, dep: &str, method: &str) -> CallDest {
+    fn service_dest(&mut self, si: usize, dep: &str, method: &str) -> CallDest {
         match self.spec.services[si].deps.get(dep) {
             None => CallDest::Unbound,
             Some(DepBinding::Service { target, .. }) => CallDest::Svc {
@@ -406,13 +513,16 @@ impl<'a> ProgCompiler<'a> {
             },
             Some(DepBinding::ReplicatedService {
                 targets, policy, ..
-            }) => CallDest::Replicated {
-                policy: *policy,
-                targets: targets
+            }) => {
+                let resolved = targets
                     .iter()
                     .map(|t| (*t, self.method_id(*t, method)))
-                    .collect(),
-            },
+                    .collect();
+                CallDest::Replicated {
+                    policy: *policy,
+                    targets: self.arena.alloc_targets(resolved),
+                }
+            }
             Some(DepBinding::Backend { .. }) => CallDest::Mismatch,
         }
     }
@@ -426,13 +536,16 @@ impl<'a> ProgCompiler<'a> {
         }
     }
 
-    fn compile(&self, si: usize, b: &Behavior) -> CProg {
-        CProg {
-            steps: b.steps.iter().map(|s| self.compile_step(si, s)).collect(),
+    /// Compiles a behavior into the arena, returning its handle.
+    fn compile(&mut self, si: usize, b: &Behavior) -> ProgId {
+        let mut steps = Vec::with_capacity(b.steps.len());
+        for s in &b.steps {
+            steps.push(self.compile_step(si, s));
         }
+        self.arena.alloc(CProg { steps })
     }
 
-    fn compile_step(&self, si: usize, step: &Step) -> CStep {
+    fn compile_step(&mut self, si: usize, step: &Step) -> CStep {
         match step {
             Step::Compute {
                 cpu_ns,
@@ -459,7 +572,7 @@ impl<'a> ProgCompiler<'a> {
                 client: self.client(si, cache),
                 dest: self.backend_dest(si, cache),
                 key: *key,
-                on_miss: Rc::new(self.compile(si, on_miss)),
+                on_miss: self.compile(si, on_miss),
             },
             Step::Db { dep, op, key } => CStep::Db {
                 client: self.client(si, dep),
@@ -477,24 +590,25 @@ impl<'a> ProgCompiler<'a> {
                 dest: self.backend_dest(si, dep),
                 op: BackendOp::QueuePop,
             },
-            Step::Parallel(branches) => CStep::Parallel(
-                branches
-                    .iter()
-                    .map(|b| Rc::new(self.compile(si, b)))
-                    .collect(),
-            ),
+            Step::Parallel(branches) => {
+                let mut compiled = Vec::with_capacity(branches.len());
+                for b in branches {
+                    compiled.push(self.compile(si, b));
+                }
+                CStep::Parallel(self.arena.alloc_list(compiled))
+            }
             Step::Branch {
                 prob,
                 then,
                 otherwise,
             } => CStep::Branch {
                 prob: *prob,
-                then: Rc::new(self.compile(si, then)),
-                otherwise: Rc::new(self.compile(si, otherwise)),
+                then: self.compile(si, then),
+                otherwise: self.compile(si, otherwise),
             },
             Step::Repeat { times, body } => CStep::Repeat {
                 times: *times,
-                body: Rc::new(self.compile(si, body)),
+                body: self.compile(si, body),
             },
             Step::Fail { prob } => CStep::Fail { prob: *prob },
         }
@@ -505,22 +619,22 @@ impl<'a> ProgCompiler<'a> {
 // Frames.
 // ---------------------------------------------------------------------------
 
-/// Interpreter context: a compiled program with a program counter.
-#[derive(Debug, Clone)]
+/// Interpreter context: a compiled program handle with a program counter.
+#[derive(Debug, Clone, Copy)]
 struct ExecCtx {
-    prog: Rc<CProg>,
+    prog: ProgId,
     pc: usize,
     /// Remaining extra iterations (for `Repeat`).
     repeat_left: u32,
 }
 
 /// Where a frame's completion goes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum FrameKind {
     /// Workload-submitted entry request.
     Entry {
-        entry: Rc<str>,
-        method: Rc<str>,
+        entry: NameId,
+        method: NameId,
         submitted_ns: SimTime,
     },
     /// Serving an RPC; the reply routes back to the caller's call attempt.
@@ -535,7 +649,7 @@ enum FrameKind {
 }
 
 /// An in-flight call issued by a frame.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct OutstandingCall {
     seq: u32,
     attempt: u32,
@@ -552,7 +666,7 @@ struct OutstandingCall {
     /// processed); stale events check this.
     concluded: bool,
     /// For cache get-or-fetch: what to run on a miss.
-    on_miss: Option<Rc<CProg>>,
+    on_miss: Option<ProgId>,
     /// Request waiting for a free Thrift connection.
     queued_msg: Option<RequestMsg>,
     /// Absolute deadline this attempt propagated downstream (set when the
@@ -696,29 +810,6 @@ struct ChaosRt {
     end_ns: SimTime,
 }
 
-struct EvEntry {
-    time: SimTime,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for EvEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for EvEntry {}
-impl PartialOrd for EvEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EvEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Runtime structures.
 // ---------------------------------------------------------------------------
@@ -778,10 +869,16 @@ struct ProcRt {
 #[derive(Debug, Clone)]
 struct ShedCtl {
     spec: ShedSpec,
-    /// EWMA of request sojourn delay, ns.
+    /// EWMA of request sojourn delay, ns. Only meaningful once `primed`.
     ewma_ns: f64,
     /// Current shed probability in `[0, spec.max_shed]`.
     p: f64,
+    /// Whether `ewma_ns` holds a real sample yet. The EWMA is seeded with
+    /// the first observation instead of decaying up from 0.0 — a zero seed
+    /// drags early observations toward an artificial cold value, so the
+    /// controller under-sheds exactly when overload begins (at startup and
+    /// right after a crash reset).
+    primed: bool,
 }
 
 impl ShedCtl {
@@ -790,16 +887,31 @@ impl ShedCtl {
             spec,
             ewma_ns: 0.0,
             p: 0.0,
+            primed: false,
         }
     }
 
     /// Folds one completed request's sojourn delay into the controller.
     fn observe(&mut self, sojourn_ns: SimTime) {
-        let a = self.spec.ewma_alpha.clamp(0.0, 1.0);
-        self.ewma_ns = (1.0 - a) * self.ewma_ns + a * sojourn_ns as f64;
+        let sample = sojourn_ns as f64;
+        if self.primed {
+            let a = self.spec.ewma_alpha.clamp(0.0, 1.0);
+            self.ewma_ns = (1.0 - a) * self.ewma_ns + a * sample;
+        } else {
+            self.ewma_ns = sample;
+            self.primed = true;
+        }
         let target = self.spec.target_delay_ns.max(1) as f64;
         let err = (self.ewma_ns - target) / target;
         self.p = (self.p + self.spec.gain * err).clamp(0.0, self.spec.max_shed.clamp(0.0, 1.0));
+    }
+
+    /// Cold restart (process crash): forget the delay estimate and shed
+    /// probability; the next observation re-seeds the EWMA.
+    fn reset(&mut self) {
+        self.ewma_ns = 0.0;
+        self.p = 0.0;
+        self.primed = false;
     }
 }
 
@@ -807,14 +919,14 @@ impl ShedCtl {
 /// `method_names` is the method id used in [`CallTarget::Service`].
 struct SvcRt {
     process: usize,
-    methods: Vec<Rc<CProg>>,
-    method_names: Vec<Rc<str>>,
+    methods: Vec<ProgId>,
+    method_names: Vec<NameId>,
     active: u32,
     max_concurrent: u32,
     /// Requests served (frames created) by this service.
     served: u64,
     traced: bool,
-    overhead_prog: Option<Rc<CProg>>,
+    overhead_prog: Option<ProgId>,
     /// Adaptive admission controller; `None` keeps the plain
     /// `max_concurrent` fast-fail and costs nothing.
     shed: Option<ShedCtl>,
@@ -822,7 +934,7 @@ struct SvcRt {
 
 /// Per-entry-point runtime: the shim service plus its method name table.
 struct EntryRt {
-    name: Rc<str>,
+    name: NameId,
     svc: usize,
     methods: BTreeMap<String, u32>,
 }
@@ -890,7 +1002,7 @@ struct StoreRt {
 /// Backend runtime. Stats accumulate densely here and are mirrored into the
 /// name-keyed [`Metrics`] map at the end of each `run_until` slice.
 struct BackendRt {
-    name: Rc<str>,
+    name: NameId,
     process: usize,
     kind: BackendRtKind,
     cache: CacheRt,
@@ -936,8 +1048,15 @@ pub struct Sim {
     cfg: SimConfig,
     now: SimTime,
     ev_seq: u64,
-    events: BinaryHeap<Reverse<EvEntry>>,
+    events: EventShards<Ev>,
     rng: SmallRng,
+
+    /// All compiled behavior programs (see [`ProgArena`]).
+    progs: ProgArena,
+    /// Interned names (see [`StrArena`]).
+    names: StrArena,
+    /// Pre-interned `"rpc"` span-operation name.
+    rpc_name: NameId,
 
     host_names: Vec<String>,
     proc_names: Vec<String>,
@@ -946,7 +1065,7 @@ pub struct Sim {
     procs: Vec<ProcRt>,
     gc_specs: Vec<Option<crate::spec::GcSpec>>,
     services: Vec<SvcRt>,
-    svc_names: Vec<Rc<str>>,
+    svc_names: Vec<NameId>,
     backends: Vec<BackendRt>,
     clients: Vec<ClientRt>,
     entries: BTreeMap<String, u32>,
@@ -982,10 +1101,29 @@ pub struct Sim {
     spec_name: String,
 }
 
+/// `Sim` is `Send` by construction: program interning is arena-index based
+/// (no `Rc`), so a run can migrate across threads and the sharded event
+/// loop may flush its outboxes from scoped worker threads. This assert is
+/// the compile-time pin — reintroducing an `Rc` (or any other `!Send`
+/// field) fails the build here.
+const fn _assert_send<T: Send>() {}
+const _: () = _assert_send::<Sim>();
+
+/// Frame slots are addressed by `u32` indices (`FrameId::idx`), so the frame
+/// table is hard-capped; [`Sim::new`] rejects a larger `max_frames` loudly
+/// instead of letting index casts truncate.
+const MAX_FRAMES_CAP: usize = u32::MAX as usize;
+
 impl Sim {
     /// Instantiates a spec as a virtual cluster.
     pub fn new(spec: &SystemSpec, cfg: SimConfig) -> Result<Self> {
         spec.validate()?;
+        if cfg.max_frames > MAX_FRAMES_CAP {
+            return Err(SimError::BadSpec(format!(
+                "max_frames {} exceeds the frame-table cap of {} (u32 frame ids)",
+                cfg.max_frames, MAX_FRAMES_CAP
+            )));
+        }
         if !cfg.faults.is_empty() {
             // Validated against the user's spec, so plans can never target
             // the hidden workload host/process appended below.
@@ -1045,8 +1183,10 @@ impl Sim {
 
         // Intern names and compile behaviors. Client ids are assigned in
         // (service index, dep name) order; method ids per service in method
-        // name order — both deterministic.
-        let compiler = ProgCompiler::new(&spec);
+        // name order; arena ids in compile order — all deterministic.
+        let mut compiler = ProgCompiler::new(&spec);
+        let mut names = StrArena::default();
+        let rpc_name = names.intern("rpc");
 
         let mut clients = Vec::new();
         for (si, s) in spec.services.iter().enumerate() {
@@ -1073,16 +1213,14 @@ impl Sim {
         let mut services = Vec::new();
         let mut svc_names = Vec::new();
         for (si, s) in spec.services.iter().enumerate() {
-            svc_names.push(Rc::from(s.name.as_str()));
-            let method_names: Vec<Rc<str>> =
-                s.methods.keys().map(|k| Rc::from(k.as_str())).collect();
-            let methods: Vec<Rc<CProg>> = s
-                .methods
-                .values()
-                .map(|b| Rc::new(compiler.compile(si, b)))
-                .collect();
+            svc_names.push(names.intern(&s.name));
+            let method_names: Vec<NameId> = s.methods.keys().map(|k| names.intern(k)).collect();
+            let mut methods = Vec::with_capacity(s.methods.len());
+            for b in s.methods.values() {
+                methods.push(compiler.compile(si, b));
+            }
             let overhead_prog = s.trace_overhead_ns.filter(|ns| *ns > 0).map(|ns| {
-                Rc::new(CProg {
+                compiler.arena.alloc(CProg {
                     steps: vec![CStep::Compute {
                         cpu_ns: ns,
                         alloc_bytes: 256,
@@ -1113,7 +1251,7 @@ impl Sim {
                 .collect();
             entries.insert(name.clone(), entry_rts.len() as u32);
             entry_rts.push(EntryRt {
-                name: Rc::from(name.as_str()),
+                name: names.intern(&name),
                 svc,
                 methods,
             });
@@ -1128,7 +1266,7 @@ impl Sim {
                     store.replicas = vec![HashMap::new(); *replicas as usize];
                 }
                 BackendRt {
-                    name: Rc::from(b.name.as_str()),
+                    name: names.intern(&b.name),
                     process: b.process,
                     kind: b.kind.clone(),
                     cache: CacheRt::default(),
@@ -1143,13 +1281,32 @@ impl Sim {
             })
             .collect();
 
+        // Resolve the event-loop layout. `shards: 0` defers to
+        // `BLUEPRINT_THREADS` — the same knob that parallelizes cross-run
+        // sweeps — defaulting to the classic single-queue loop when unset;
+        // `queue: None` defers to `BLUEPRINT_EVQ`. Neither choice can affect
+        // results (see [`crate::evq`]), only where queue work happens.
+        let n_shards = match cfg.shards {
+            0 => std::env::var("BLUEPRINT_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|n| *n >= 1)
+                .unwrap_or(1),
+            n => n,
+        }
+        .min(64);
+        let queue_kind = cfg.queue.unwrap_or_else(EvQueueKind::from_env);
+
         let n_procs = procs.len();
         let mut sim = Sim {
             rng: SmallRng::seed_from_u64(cfg.seed),
             cfg,
             now: 0,
             ev_seq: 0,
-            events: BinaryHeap::new(),
+            events: EventShards::new(queue_kind, n_shards),
+            progs: compiler.arena,
+            names,
+            rpc_name,
             host_gen: vec![0; hosts.len()],
             host_names,
             proc_names,
@@ -1222,6 +1379,17 @@ impl Sim {
         self.now
     }
 
+    /// Number of events currently queued (across all shards, including any
+    /// buffered in cross-shard outboxes).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the event queue is completely drained.
+    pub fn is_idle(&self) -> bool {
+        self.events.is_empty()
+    }
+
     /// Application/variant name.
     pub fn name(&self) -> &str {
         &self.spec_name
@@ -1234,7 +1402,10 @@ impl Sim {
 
     /// Number of requests (frames) a service instance has served so far.
     pub fn service_served(&self, name: &str) -> Option<u64> {
-        let idx = self.svc_names.iter().position(|n| &**n == name)?;
+        let idx = self
+            .svc_names
+            .iter()
+            .position(|n| self.names.get(*n) == name)?;
         Some(self.services[idx].served)
     }
 
@@ -1249,11 +1420,58 @@ impl Sim {
     fn push_ev(&mut self, time: SimTime, ev: Ev) {
         let seq = self.ev_seq;
         self.ev_seq += 1;
-        self.events.push(Reverse(EvEntry {
-            time: time.max(self.now),
-            seq,
-            ev,
-        }));
+        let shard = self.shard_of(&ev);
+        self.events.push(
+            shard,
+            self.now,
+            evq::Entry {
+                time: time.max(self.now),
+                seq,
+                item: ev,
+            },
+        );
+    }
+
+    /// Home shard of an event: the host of the entity it targets, modulo the
+    /// shard count. Routing only balances queue-maintenance work — the
+    /// pop-side merge imposes the global `(time, seq)` order — so any total
+    /// function is correct; stale frame ids (a frame may complete before its
+    /// timeout fires) fall back to shard 0 deterministically.
+    fn shard_of(&self, ev: &Ev) -> usize {
+        let n = self.events.shard_count();
+        if n == 1 {
+            return 0;
+        }
+        let frame_host = |f: FrameId| {
+            self.frames
+                .get(f.idx as usize)
+                .and_then(|slot| slot.as_ref())
+                .filter(|fr| fr.gen == f.gen)
+                .map(|fr| self.procs[self.services[fr.service].process].host)
+                .unwrap_or(0)
+        };
+        let host = match ev {
+            Ev::HostCheck { host, .. } | Ev::HogEnd { host, .. } => *host,
+            Ev::Resume { frame }
+            | Ev::Timeout { frame, .. }
+            | Ev::RetryFire { frame, .. }
+            | Ev::DeliverResponse { frame, .. } => frame_host(*frame),
+            Ev::DeliverRequest { req } => match req.target {
+                CallTarget::Service { svc, .. } => self.procs[self.services[svc].process].host,
+                CallTarget::Backend { backend, .. } => {
+                    self.procs[self.backends[backend].process].host
+                }
+            },
+            Ev::ConnFreed { client } => {
+                let owner = self.clients[*client as usize].owner;
+                self.procs[self.services[owner].process].host
+            }
+            Ev::ReplicaApply { backend, .. } => self.procs[self.backends[*backend].process].host,
+            Ev::ProcRestart { proc, .. } => self.procs[*proc].host,
+            // Cluster-wide control events have no home entity.
+            Ev::FaultFire { .. } | Ev::ChaosFire => 0,
+        };
+        host % n
     }
 
     // -- Public driver API ---------------------------------------------------
@@ -1321,11 +1539,17 @@ impl Sim {
             self.metrics.counters.admission_rejections += 1;
             self.metrics.counters.completed_err += 1;
             let method_name = match method_id {
-                Some(m) => self.services[svc].method_names[m as usize].to_string(),
+                Some(m) => self
+                    .names
+                    .get(self.services[svc].method_names[m as usize])
+                    .to_string(),
                 None => method.to_string(),
             };
             self.completions.push(Completion {
-                entry: self.entry_rts[entry as usize].name.to_string(),
+                entry: self
+                    .names
+                    .get(self.entry_rts[entry as usize].name)
+                    .to_string(),
                 method: method_name,
                 entity,
                 root_seq,
@@ -1339,14 +1563,13 @@ impl Sim {
         }
 
         let Some(m) = method_id else {
-            let entry_name = self.entry_rts[entry as usize].name.clone();
+            let entry_name = self.names.get(self.entry_rts[entry as usize].name);
             return Err(SimError::Unknown(format!("method {entry_name}.{method}")));
         };
-        let prog = self.services[svc].methods[m as usize].clone();
-        let method_name = self.services[svc].method_names[m as usize].clone();
+        let prog = self.services[svc].methods[m as usize];
         let kind = FrameKind::Entry {
-            entry: self.entry_rts[entry as usize].name.clone(),
-            method: method_name,
+            entry: self.entry_rts[entry as usize].name,
+            method: self.services[svc].method_names[m as usize],
             submitted_ns: self.now,
         };
         let fid = self.alloc_frame(svc, entity, root_seq, kind, prog, None);
@@ -1356,13 +1579,13 @@ impl Sim {
 
     /// Runs the event loop until virtual time `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(Reverse(entry)) = self.events.peek() {
-            if entry.time > t {
+        while let Some((time, _)) = self.events.peek_key() {
+            if time > t {
                 break;
             }
-            let Reverse(entry) = self.events.pop().expect("peeked event exists");
+            let entry = self.events.pop().expect("peeked event exists");
             self.now = entry.time;
-            self.dispatch(entry.ev);
+            self.dispatch(entry.item);
         }
         self.now = self.now.max(t);
         self.sync_backend_metrics();
@@ -1376,12 +1599,13 @@ impl Sim {
             if !b.stats_dirty {
                 continue;
             }
-            if let Some(slot) = self.metrics.backends.get_mut(&*b.name) {
+            let name = self.names.get(b.name);
+            if let Some(slot) = self.metrics.backends.get_mut(name) {
                 slot.clone_from(&b.stats);
             } else {
                 self.metrics
                     .backends
-                    .insert(b.name.to_string(), b.stats.clone());
+                    .insert(name.to_string(), b.stats.clone());
             }
         }
     }
@@ -1486,9 +1710,14 @@ impl Sim {
                 slow_factor,
                 unavailable,
             } => {
-                if !slow_factor.is_finite() || *slow_factor <= 0.0 {
+                // A factor in (0, 1) would silently *speed up* the backend
+                // (and NaN/negative would truncate latencies to 0 ns in
+                // `backend_cost`), so anything below the identity factor is
+                // rejected rather than ignored.
+                if !slow_factor.is_finite() || *slow_factor < 1.0 {
                     return Err(SimError::BadSpec(format!(
-                        "brownout slow_factor {slow_factor} must be finite and > 0"
+                        "brownout slow_factor {slow_factor} must be finite and >= 1 \
+                         (1 = no slowdown)"
                     )));
                 }
                 Ok(RFault::Brownout {
@@ -1565,7 +1794,7 @@ impl Sim {
     fn backend_idx(&self, name: &str) -> Result<usize> {
         self.backends
             .iter()
-            .position(|b| &*b.name == name)
+            .position(|b| self.names.get(b.name) == name)
             .ok_or_else(|| SimError::Unknown(format!("backend {name}")))
     }
 
@@ -1577,7 +1806,7 @@ impl Sim {
         entity: u64,
         root_seq: u64,
         kind: FrameKind,
-        prog: Rc<CProg>,
+        prog: ProgId,
         parent_span: Option<(TraceId, SpanId)>,
     ) -> FrameId {
         let is_subtask = matches!(kind, FrameKind::SubTask { .. });
@@ -1592,21 +1821,21 @@ impl Sim {
         });
         let (span, span_owned) =
             if !is_subtask && self.cfg.record_traces && self.services[service].traced {
-                let op: Rc<str> = match &kind {
-                    FrameKind::Entry { method, .. } => method.clone(),
-                    FrameKind::Rpc { .. } | FrameKind::SubTask { .. } => Rc::from("rpc"),
+                let op = match &kind {
+                    FrameKind::Entry { method, .. } => *method,
+                    FrameKind::Rpc { .. } | FrameKind::SubTask { .. } => self.rpc_name,
                 };
                 let sid = self.traces.start_span(
                     TraceId(root_seq),
                     parent_span.map(|(_, s)| s),
-                    &self.svc_names[service],
-                    &op,
+                    self.names.get(self.svc_names[service]),
+                    self.names.get(op),
                     self.now,
                 );
                 self.metrics.counters.spans += 1;
-                if let Some(ob) = &self.services[service].overhead_prog {
+                if let Some(ob) = self.services[service].overhead_prog {
                     stack.push(ExecCtx {
-                        prog: ob.clone(),
+                        prog: ob,
                         pc: 0,
                         repeat_left: 0,
                     });
@@ -1643,7 +1872,11 @@ impl Sim {
             self.frames[idx as usize] = Some(Frame { gen, ..frame });
             FrameId { idx, gen }
         } else {
-            let idx = self.frames.len() as u32;
+            // Cannot overflow for entry frames (`max_frames` is capped at
+            // u32::MAX in `Sim::new`), but internal sub-frames are not
+            // admission-counted, so convert checked rather than truncate.
+            let idx = u32::try_from(self.frames.len())
+                .expect("frame table exceeds u32 index space (see MAX_FRAMES_CAP)");
             self.frames.push(Some(frame));
             self.frame_gens.push(0);
             FrameId { idx, gen: 0 }

@@ -199,8 +199,11 @@ impl Sim {
         }
 
         // Kill every frame resident on the process (slot order is
-        // deterministic).
-        for idx in 0..self.frames.len() as u32 {
+        // deterministic). The table is bounded by u32 frame ids
+        // (MAX_FRAMES_CAP), so the conversion is checked, not truncating.
+        let n_frames =
+            u32::try_from(self.frames.len()).expect("frame table exceeds u32 index space");
+        for idx in 0..n_frames {
             let fid = match &self.frames[idx as usize] {
                 Some(f) if self.services[f.service].process == proc => {
                     FrameId { idx, gen: f.gen }
@@ -230,14 +233,14 @@ impl Sim {
             c.budget_tokens = 0.0;
         }
 
-        // Admission controllers on the process restart cold too.
+        // Admission controllers on the process restart cold too (the next
+        // observation re-seeds the EWMA rather than decaying up from zero).
         for s in self.services.iter_mut() {
             if s.process != proc {
                 continue;
             }
             if let Some(ctl) = &mut s.shed {
-                ctl.ewma_ns = 0.0;
-                ctl.p = 0.0;
+                ctl.reset();
             }
         }
 
@@ -274,8 +277,8 @@ impl Sim {
                 // fault plan cannot target.
                 self.metrics.counters.completed_err += 1;
                 self.completions.push(Completion {
-                    entry: entry.to_string(),
-                    method: method.to_string(),
+                    entry: self.names.get(entry).to_string(),
+                    method: self.names.get(method).to_string(),
                     entity: frame.entity,
                     root_seq: frame.root_seq,
                     submitted_ns,
@@ -388,20 +391,26 @@ impl Sim {
     /// Advances a frame until it blocks or completes.
     fn step_frame(&mut self, fid: FrameId) {
         loop {
-            // Resolve the next step under a short borrow.
+            // Resolve the next step under a short borrow. `progs` and
+            // `frames` are disjoint fields, so the arena can be read while
+            // the frame is borrowed mutably.
             enum Next {
                 Blocked,
                 Done(bool),
-                Step(Rc<CProg>, usize),
+                Step(ProgId, usize),
             }
             let next = {
-                let Some(frame) = self.frame(fid) else { return };
+                let progs = &self.progs;
+                let frame = match self.frames.get_mut(fid.idx as usize) {
+                    Some(Some(f)) if f.gen == fid.gen => f,
+                    _ => return,
+                };
                 if frame.pending_children > 0 {
                     // Parallel join still outstanding.
                     Next::Blocked
                 } else {
                     while let Some(ctx) = frame.stack.last_mut() {
-                        if ctx.pc < ctx.prog.steps.len() {
+                        if ctx.pc < progs.get(ctx.prog).steps.len() {
                             break;
                         }
                         if ctx.repeat_left > 0 {
@@ -414,7 +423,7 @@ impl Sim {
                     match frame.stack.last_mut() {
                         None => Next::Done(!frame.failed),
                         Some(ctx) => {
-                            let p = ctx.prog.clone();
+                            let p = ctx.prog;
                             let pc = ctx.pc;
                             ctx.pc += 1;
                             Next::Step(p, pc)
@@ -431,16 +440,19 @@ impl Sim {
                 Next::Step(p, pc) => (p, pc),
             };
 
-            match &prog.steps[pc] {
+            // Steps are `Copy`: read the current one out of the arena so no
+            // borrow is held across the dispatch below.
+            let step = self.progs.get(prog).steps[pc];
+            match step {
                 CStep::Compute { cpu_ns, alloc_bytes } => {
                     let svc = self.frame(fid).expect("frame alive").service;
                     let proc = self.services[svc].process;
-                    self.heap_alloc(proc, *alloc_bytes);
-                    self.add_proc_job(proc, *cpu_ns as f64, JobCont::FrameStep(fid));
+                    self.heap_alloc(proc, alloc_bytes);
+                    self.add_proc_job(proc, cpu_ns as f64, JobCont::FrameStep(fid));
                     return;
                 }
                 CStep::Call { client, dest } => {
-                    self.begin_call(fid, *client, dest.clone(), None, None);
+                    self.begin_call(fid, client, dest, None, None);
                     return;
                 }
                 CStep::Cache { client, dest, op, key } => {
@@ -457,63 +469,72 @@ impl Sim {
                             root
                         }
                     };
-                    let k = self.resolve_key(*key, entity);
+                    let k = self.resolve_key(key, entity);
                     let bop = match op {
                         CacheOp::Get => BackendOp::CacheGet { key: k },
                         CacheOp::Put => BackendOp::CachePut { key: k, version: root },
                         CacheOp::Delete => BackendOp::CacheDelete { key: k },
                         CacheOp::GetRange { items } => BackendOp::CacheMulti {
                             key: k,
-                            items: *items,
+                            items,
                             write: false,
                             version: 0,
                         },
                         CacheOp::PushFront { items } => BackendOp::CacheMulti {
                             key: k,
-                            items: *items,
+                            items,
                             write: true,
                             version: root,
                         },
                     };
-                    self.begin_call(fid, *client, dest.clone(), Some(bop), None);
+                    self.begin_call(fid, client, dest, Some(bop), None);
                     return;
                 }
                 CStep::CacheGetOrFetch { client, dest, key, on_miss } => {
                     let (entity, _) = self.frame_entity_root(fid);
-                    let k = self.resolve_key(*key, entity);
+                    let k = self.resolve_key(key, entity);
                     self.begin_call(
                         fid,
-                        *client,
-                        dest.clone(),
+                        client,
+                        dest,
                         Some(BackendOp::CacheGet { key: k }),
-                        Some(on_miss.clone()),
+                        Some(on_miss),
                     );
                     return;
                 }
                 CStep::Db { client, dest, op, key } => {
                     let (entity, root) = self.frame_entity_root(fid);
-                    let k = self.resolve_key(*key, entity);
+                    let k = self.resolve_key(key, entity);
                     let bop = match op {
                         DbOp::Read => BackendOp::StoreRead { key: k },
                         DbOp::Write => BackendOp::StoreWrite { key: k, version: root },
-                        DbOp::Scan { items } => BackendOp::StoreScan { items: *items },
+                        DbOp::Scan { items } => BackendOp::StoreScan { items },
                     };
-                    self.begin_call(fid, *client, dest.clone(), Some(bop), None);
+                    self.begin_call(fid, client, dest, Some(bop), None);
                     return;
                 }
                 CStep::Queue { client, dest, op } => {
-                    self.begin_call(fid, *client, dest.clone(), Some(*op), None);
+                    self.begin_call(fid, client, dest, Some(op), None);
                     return;
                 }
                 CStep::Parallel(branches) => {
-                    let live: Vec<&Rc<CProg>> =
-                        branches.iter().filter(|b| !b.steps.is_empty()).collect();
+                    let live: Vec<ProgId> = self
+                        .progs
+                        .list(branches)
+                        .iter()
+                        .copied()
+                        .filter(|b| !self.progs.get(*b).steps.is_empty())
+                        .collect();
                     if live.is_empty() {
                         continue;
                     }
+                    // Checked rather than truncating: a >4B-branch fan-out
+                    // would corrupt the join counter.
+                    let n_live =
+                        u32::try_from(live.len()).expect("parallel fan-out exceeds u32 children");
                     let (service, entity, root, span, deadline) = {
                         let frame = self.frame(fid).expect("frame alive");
-                        frame.pending_children = live.len() as u32;
+                        frame.pending_children = n_live;
                         (
                             frame.service,
                             frame.entity,
@@ -528,7 +549,7 @@ impl Sim {
                             entity,
                             root,
                             FrameKind::SubTask { parent: fid },
-                            b.clone(),
+                            b,
                             span,
                         );
                         // Parallel branches run under the parent's deadline.
@@ -538,22 +559,21 @@ impl Sim {
                     return;
                 }
                 CStep::Branch { prob, then, otherwise } => {
-                    let cond = self.rng.gen::<f64>() < *prob;
+                    let cond = self.rng.gen::<f64>() < prob;
                     let chosen = if cond { then } else { otherwise };
-                    if !chosen.steps.is_empty() {
-                        let ctx = ExecCtx { prog: chosen.clone(), pc: 0, repeat_left: 0 };
+                    if !self.progs.get(chosen).steps.is_empty() {
+                        let ctx = ExecCtx { prog: chosen, pc: 0, repeat_left: 0 };
                         self.frame(fid).expect("frame alive").stack.push(ctx);
                     }
                 }
                 CStep::Repeat { times, body } => {
-                    if *times > 0 && !body.steps.is_empty() {
-                        let ctx =
-                            ExecCtx { prog: body.clone(), pc: 0, repeat_left: times - 1 };
+                    if times > 0 && !self.progs.get(body).steps.is_empty() {
+                        let ctx = ExecCtx { prog: body, pc: 0, repeat_left: times - 1 };
                         self.frame(fid).expect("frame alive").stack.push(ctx);
                     }
                 }
                 CStep::Fail { prob } => {
-                    if self.rng.gen::<f64>() < *prob {
+                    if self.rng.gen::<f64>() < prob {
                         if let Some(frame) = self.frame(fid) {
                             frame.last_err = Some(CallErr::Fault);
                         }
@@ -590,7 +610,7 @@ impl Sim {
         client: u32,
         dest: CallDest,
         backend_op: Option<BackendOp>,
-        on_miss: Option<Rc<CProg>>,
+        on_miss: Option<ProgId>,
     ) {
         let seq = {
             let Some(frame) = self.frame(fid) else { return };
@@ -631,7 +651,7 @@ impl Sim {
                 call.attempt,
                 call.client,
                 call.backend_op,
-                call.dest.clone(),
+                call.dest,
                 frame.deadline_ns,
             )
         };
@@ -724,19 +744,20 @@ impl Sim {
         }
 
         // Resolve the concrete target.
-        let (target, chosen) = match (&dest, backend_op) {
+        let (target, chosen) = match (dest, backend_op) {
             (CallDest::Svc { svc: target, method }, None) => {
-                (CallTarget::Service { svc: *target, method: *method }, 0usize)
+                (CallTarget::Service { svc: target, method }, 0usize)
             }
             (CallDest::Replicated { policy, targets }, None) => {
+                let n_targets = self.progs.targets(targets).len();
                 let idx = match policy {
                     LbPolicy::RoundRobin => {
                         let client = &mut self.clients[client_id as usize];
-                        let i = client.rr % targets.len();
+                        let i = client.rr % n_targets;
                         client.rr = client.rr.wrapping_add(1);
                         i
                     }
-                    LbPolicy::Random => self.rng.gen_range(0..targets.len()),
+                    LbPolicy::Random => self.rng.gen_range(0..n_targets),
                     LbPolicy::LeastOutstanding => self.clients[client_id as usize]
                         .outstanding
                         .iter()
@@ -745,11 +766,11 @@ impl Sim {
                         .map(|(i, _)| i)
                         .unwrap_or(0),
                 };
-                let (tsvc, method) = targets[idx];
+                let (tsvc, method) = self.progs.targets(targets)[idx];
                 (CallTarget::Service { svc: tsvc, method }, idx)
             }
             (CallDest::Backend { backend }, Some(op)) => {
-                (CallTarget::Backend { backend: *backend, op }, 0usize)
+                (CallTarget::Backend { backend, op }, 0usize)
             }
             _ => {
                 // Kind mismatch between the behavior step and the binding.
@@ -1002,7 +1023,7 @@ impl Sim {
                     );
                     return;
                 }
-                let Some(prog) = s.methods.get(method as usize).cloned() else {
+                let Some(prog) = s.methods.get(method as usize).copied() else {
                     let t = self.now + req.reply.net_ns;
                     self.push_ev(
                         t,
@@ -1095,6 +1116,13 @@ impl Sim {
             BackendRtKind::Queue { op_latency_ns, .. } => (2_000.0, *op_latency_ns),
         };
         let b = &self.backends[backend];
+        // `SystemSpec::validate` and `resolve_fault` reject non-finite or
+        // sub-1 slow factors, so the scaling below cannot produce 0 ns from
+        // a NaN/negative multiplier.
+        debug_assert!(
+            b.brownout_slow.is_finite() && b.brownout_slow >= 1.0,
+            "brownout_slow must be finite and >= 1"
+        );
         if self.now < b.brownout_until && b.brownout_slow > 1.0 {
             (cpu * b.brownout_slow, (lat as f64 * b.brownout_slow).round() as u64)
         } else {
@@ -1262,7 +1290,7 @@ impl Sim {
             call.concluded = true;
             let holds = call.holds_conn;
             call.holds_conn = false;
-            (call.client, call.chosen.take(), holds, call.on_miss.clone())
+            (call.client, call.chosen.take(), holds, call.on_miss)
         };
         // A breaker-rejected attempt must not feed back into the breaker's own
         // health window (it would re-open a half-open breaker on its own
@@ -1570,8 +1598,8 @@ impl Sim {
                     self.metrics.counters.completed_err += 1;
                 }
                 self.completions.push(Completion {
-                    entry: entry.to_string(),
-                    method: method.to_string(),
+                    entry: self.names.get(entry).to_string(),
+                    method: self.names.get(method).to_string(),
                     entity,
                     root_seq,
                     submitted_ns,

@@ -10,10 +10,11 @@ use crate::time::{ms, secs, us};
 use blueprint_workflow::{Behavior, CacheOp, KeyExpr};
 
 /// Send/Sync audit for the cross-run parallel experiment engine
-/// (`blueprint_workload::parallel`): a `Sim` itself is intentionally `!Send`
-/// (its boot-compiled programs are `Rc`-shared), so parallel workers each
-/// build their own `Sim` from a shared `&SystemSpec` and send plain-data
-/// results back. Everything on that boundary must be `Send + Sync`.
+/// (`blueprint_workload::parallel`): parallel workers each build their own
+/// `Sim` from a shared `&SystemSpec` and send plain-data results back, so
+/// everything on that boundary must be `Send + Sync`. `Sim` itself is `Send`
+/// since the Rc→arena refactor (asserted at its definition in `sim.rs`), so
+/// a built simulation can also move across threads whole.
 const fn assert_send_sync<T: Send + Sync>() {}
 const _: () = {
     assert_send_sync::<SystemSpec>();
@@ -1475,4 +1476,147 @@ fn retry_budget_accrues_with_real_traffic() {
     // Both the entry hop and the front->back hop count as logical client
     // calls (4 requests × 2 hops).
     assert_eq!(sim.metrics.counters.client_calls, 8);
+}
+
+#[test]
+fn shed_ewma_seeds_with_first_sample() {
+    // Regression: the EWMA used to start at 0.0, so the first observations
+    // were dragged toward an artificial cold value and the controller
+    // under-shed exactly when overload began. The first sample must be
+    // adopted verbatim, with smoothing only from the second on.
+    let spec = ShedSpec {
+        target_delay_ns: ms(50),
+        gain: 0.1,
+        max_shed: 0.95,
+        ewma_alpha: 0.2,
+    };
+    let mut ctl = ShedCtl::new(spec);
+    ctl.observe(ms(100));
+    assert_eq!(
+        ctl.ewma_ns,
+        ms(100) as f64,
+        "first sample seeds the EWMA verbatim (no decay from 0)"
+    );
+    let after_first = ctl.ewma_ns;
+    ctl.observe(ms(200));
+    assert_eq!(
+        ctl.ewma_ns,
+        0.8 * after_first + 0.2 * ms(200) as f64,
+        "second sample smooths normally"
+    );
+    // A crash reset clears the controller back to the unprimed state: the
+    // first post-restart sample seeds again instead of decaying up from 0.
+    ctl.reset();
+    assert_eq!(ctl.p, 0.0);
+    ctl.observe(ms(70));
+    assert_eq!(ctl.ewma_ns, ms(70) as f64, "post-reset sample re-seeds");
+}
+
+#[test]
+fn shed_controller_reacts_immediately_under_cold_start() {
+    // End-to-end view of the same bias: with the gain driven by
+    // `(ewma - target) / target`, a first sojourn of 100 ms against a 50 ms
+    // target must raise the shed probability on the very first completion.
+    let mut ctl = ShedCtl::new(ShedSpec {
+        target_delay_ns: ms(50),
+        gain: 0.1,
+        max_shed: 0.95,
+        ewma_alpha: 0.2,
+    });
+    ctl.observe(ms(100));
+    assert!(
+        ctl.p > 0.09,
+        "first over-target sample raises p immediately, got {}",
+        ctl.p
+    );
+}
+
+#[test]
+fn max_frames_above_index_cap_rejected() {
+    let spec = single_service(Behavior::build().compute(1000, 0).done());
+    let err = match Sim::new(
+        &spec,
+        SimConfig {
+            max_frames: u32::MAX as usize + 1,
+            ..Default::default()
+        },
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("oversized max_frames must be rejected"),
+    };
+    assert!(
+        matches!(err, SimError::BadSpec(ref m) if m.contains("max_frames")),
+        "oversized max_frames fails loudly: {err}"
+    );
+}
+
+#[test]
+fn brownout_sub_one_slow_factor_rejected_at_injection() {
+    let spec = cache_db_spec();
+    for sf in [0.5, 0.0, -2.0, f64::NAN, f64::INFINITY] {
+        let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+        assert!(
+            sim.inject_fault(&Fault::Brownout {
+                backend: "cache".into(),
+                duration_ns: ms(10),
+                slow_factor: sf,
+                unavailable: false,
+            })
+            .is_err(),
+            "slow_factor {sf} should be rejected at injection"
+        );
+    }
+    // Exactly 1.0 (no slowdown, e.g. pure-unavailability brownout) is legal.
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.inject_fault(&Fault::Brownout {
+        backend: "cache".into(),
+        duration_ns: ms(10),
+        slow_factor: 1.0,
+        unavailable: true,
+    })
+    .unwrap();
+}
+
+/// A storm of identical-timestamp submissions: every entry frame, fan-out
+/// child, and backend op schedules events at heavily tied times, so the
+/// completion order is decided purely by the `(time, seq)` tie-break. The
+/// full completion vector must be identical across shard counts and queue
+/// implementations.
+#[test]
+fn tied_event_storm_is_identical_across_shards_and_queues() {
+    let storm = |shards: usize, queue: EvQueueKind| -> Vec<Completion> {
+        let spec = cache_db_spec();
+        let mut sim = Sim::new(
+            &spec,
+            SimConfig {
+                shards,
+                queue: Some(queue),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // All 200 submissions land at t=0 with zero think time between
+        // them — maximal (time, seq) ties across the hosts.
+        for i in 0..200u64 {
+            let m = if i % 3 == 0 { "Write" } else { "Read" };
+            sim.submit("front", m, i % 7).unwrap();
+        }
+        sim.run_until(secs(30));
+        let done = sim.drain_completions();
+        assert_eq!(done.len(), 200, "every submission terminates");
+        done
+    };
+    let baseline = storm(1, EvQueueKind::Heap);
+    for (shards, queue) in [
+        (1, EvQueueKind::Wheel),
+        (3, EvQueueKind::Heap),
+        (4, EvQueueKind::Heap),
+        (4, EvQueueKind::Wheel),
+    ] {
+        let got = storm(shards, queue);
+        assert_eq!(
+            got, baseline,
+            "completion stream diverged at shards={shards} queue={queue:?}"
+        );
+    }
 }

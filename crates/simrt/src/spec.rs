@@ -697,6 +697,35 @@ impl SystemSpec {
                     }
                 }
             }
+            // Shed-controller parameters: out-of-range values would silently
+            // disable or destabilize the controller at runtime, so they fail
+            // at boot instead.
+            if let Some(shed) = &s.shed {
+                if shed.target_delay_ns == 0 {
+                    return Err(SimError::BadSpec(format!(
+                        "service {} shed target_delay_ns must be > 0",
+                        s.name
+                    )));
+                }
+                if !shed.gain.is_finite() || shed.gain <= 0.0 {
+                    return Err(SimError::BadSpec(format!(
+                        "service {} shed gain {} must be finite and > 0",
+                        s.name, shed.gain
+                    )));
+                }
+                if !shed.max_shed.is_finite() || !(0.0..=1.0).contains(&shed.max_shed) {
+                    return Err(SimError::BadSpec(format!(
+                        "service {} shed max_shed {} not in [0, 1]",
+                        s.name, shed.max_shed
+                    )));
+                }
+                if !shed.ewma_alpha.is_finite() || shed.ewma_alpha <= 0.0 || shed.ewma_alpha > 1.0 {
+                    return Err(SimError::BadSpec(format!(
+                        "service {} shed ewma_alpha {} not in (0, 1]",
+                        s.name, shed.ewma_alpha
+                    )));
+                }
+            }
         }
         for b in &self.backends {
             if b.process >= self.processes.len() {
@@ -794,9 +823,12 @@ impl SystemSpec {
                         "fault names unknown backend {backend}{hint}"
                     )));
                 }
-                if !slow_factor.is_finite() || *slow_factor <= 0.0 {
+                // A factor below 1 would *speed up* a browned-out backend —
+                // and a NaN/negative one silently rounds to a 0 ns latency
+                // in the cost model — so anything sub-1 is rejected.
+                if !slow_factor.is_finite() || *slow_factor < 1.0 {
                     return Err(SimError::BadSpec(format!(
-                        "brownout slow_factor {slow_factor} must be finite and > 0"
+                        "brownout slow_factor {slow_factor} must be finite and >= 1 (1 = no slowdown)"
                     )));
                 }
                 Ok(())
@@ -907,6 +939,65 @@ mod tests {
     #[test]
     fn valid_spec_passes() {
         tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn shed_defaults_pass_validation() {
+        let mut s = tiny();
+        s.services[0].shed = Some(ShedSpec::default());
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn shed_zero_target_delay_rejected() {
+        let mut s = tiny();
+        s.services[0].shed = Some(ShedSpec {
+            target_delay_ns: 0,
+            ..ShedSpec::default()
+        });
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn shed_bad_gain_rejected() {
+        for gain in [0.0, -0.1, f64::NAN, f64::INFINITY] {
+            let mut s = tiny();
+            s.services[0].shed = Some(ShedSpec {
+                gain,
+                ..ShedSpec::default()
+            });
+            assert!(s.validate().is_err(), "gain {gain} should be rejected");
+        }
+    }
+
+    #[test]
+    fn shed_bad_max_shed_rejected() {
+        for max_shed in [-0.01, 1.01, f64::NAN] {
+            let mut s = tiny();
+            s.services[0].shed = Some(ShedSpec {
+                max_shed,
+                ..ShedSpec::default()
+            });
+            assert!(
+                s.validate().is_err(),
+                "max_shed {max_shed} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn shed_bad_ewma_alpha_rejected() {
+        for ewma_alpha in [0.0, -0.2, 1.5, f64::NAN] {
+            let mut s = tiny();
+            s.services[0].shed = Some(ShedSpec {
+                ewma_alpha,
+                ..ShedSpec::default()
+            });
+            assert!(
+                s.validate().is_err(),
+                "ewma_alpha {ewma_alpha} should be rejected"
+            );
+        }
     }
 
     #[test]
@@ -1136,17 +1227,29 @@ mod tests {
                 })
                 .is_err());
         }
-        // Slow factor must be finite and positive.
-        for sf in [0.0, -2.0, f64::INFINITY, f64::NAN] {
-            assert!(s
-                .validate_fault(&Fault::Brownout {
+        // Slow factor must be finite and at least 1 (a sub-1 factor would
+        // speed the backend up; NaN/negative would round to 0 ns latency).
+        for sf in [0.0, 0.5, -2.0, f64::INFINITY, f64::NAN] {
+            assert!(
+                s.validate_fault(&Fault::Brownout {
                     backend: "kv".into(),
                     duration_ns: 1,
                     slow_factor: sf,
                     unavailable: false,
                 })
-                .is_err());
+                .is_err(),
+                "slow_factor {sf} should be rejected"
+            );
         }
+        // Exactly 1 (no slowdown) is the degenerate-but-legal boundary.
+        assert!(s
+            .validate_fault(&Fault::Brownout {
+                backend: "kv".into(),
+                duration_ns: 1,
+                slow_factor: 1.0,
+                unavailable: true,
+            })
+            .is_ok());
         // Chaos needs a non-empty menu and a positive gap.
         let chaos = ChaosSpec {
             seed: 1,

@@ -8,9 +8,8 @@
 //! * each job is identified by its index `i` in `0..n_jobs` and receives
 //!   nothing else from the scheduler, so a job's output is a pure function
 //!   of `i` (workers never share simulator state — a
-//!   [`blueprint_simrt::Sim`] is intentionally `!Send`, its interned
-//!   programs are `Rc`-shared, and each job builds its own from a shared
-//!   `&SystemSpec`);
+//!   [`blueprint_simrt::Sim`] is `Send` since the Rc→arena refactor, but
+//!   each job still builds its own from a shared `&SystemSpec`);
 //! * results are collected into an index-ordered `Vec`, so the output vector
 //!   is byte-identical to the sequential `for i in 0..n_jobs` loop no matter
 //!   how the scheduler interleaves jobs;
@@ -20,7 +19,11 @@
 //! Thread count comes from [`Threads`]: the `BLUEPRINT_THREADS` environment
 //! variable when set, otherwise [`std::thread::available_parallelism`];
 //! `BLUEPRINT_THREADS=1` forces the legacy sequential path (no threads are
-//! spawned at all).
+//! spawned at all). The same knob also shards the event queue *inside* each
+//! simulation (see `blueprint_simrt::evq`), so a single large run uses
+//! multiple cores too — with a pop-side `(time, seq)` merge that keeps the
+//! result byte-identical at any shard count, mirroring the index-ordered
+//! merge here.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
