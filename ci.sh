@@ -81,29 +81,35 @@ BLUEPRINT_THREADS=4 cargo run --release -p blueprint-bench --bin lint_validation
 cmp results/ci_lint_validation.txt results/lint_validation.txt
 mv results/lint_validation.txt results/ci_lint_validation.txt
 
+echo "==> intra-run dispatch smoke (1 vs 4 shards, identity asserted in-binary)"
+# --test mode runs the single-simulation shard sweep at 1 and 4 shards only;
+# the binary itself panics if the completion streams diverge. The full
+# 1/2/4/8 sweep is recorded in results/intra_run_speedup.txt.
+cargo bench -p blueprint-bench --bench intra_run -- --test
+
 echo "==> completion-stream identity check"
 # With no fault plan the completion stream must be bit-identical to the
-# pre-fault-engine seed: pin the historical checksum, not just a self-match.
+# per-entity-RNG seed: pin the historical checksum, not just a self-match.
+# (The pin moved once, 73897de1072914b2 -> 1bc85aa9969bffcf, when RNG draws
+# moved from one global stream to derive_seed-keyed per-entity streams.)
 cargo run --release --example stream_checksum | tee results/ci_stream_checksum.txt
-grep -q "checksum=73897de1072914b2" results/ci_stream_checksum.txt
+grep -q "checksum=1bc85aa9969bffcf" results/ci_stream_checksum.txt
 
-echo "==> sharded single-run identity (BLUEPRINT_THREADS=1 vs =4, both queues)"
-# The intra-run event-queue sharding and the timing-wheel implementation
-# must both be invisible in the results: the same run at 4 shards (and under
+echo "==> epoch-parallel identity (BLUEPRINT_THREADS=1/2/4, both queues)"
+# The conservative epoch executor and the timing-wheel implementation must
+# both be invisible in the results: the same run at 2 and 4 shards (under
 # either queue implementation) reproduces the sequential stream bit-for-bit,
 # still pinned to the historical checksum.
 BLUEPRINT_THREADS=1 cargo run --release --example stream_checksum \
     | tee results/ci_shard.txt
-grep -q "checksum=73897de1072914b2" results/ci_shard.txt
-BLUEPRINT_THREADS=4 cargo run --release --example stream_checksum \
-    > results/ci_shard_t4.txt
-cmp results/ci_shard.txt results/ci_shard_t4.txt
-BLUEPRINT_THREADS=4 BLUEPRINT_EVQ=wheel cargo run --release --example stream_checksum \
-    > results/ci_shard_t4.txt
-cmp results/ci_shard.txt results/ci_shard_t4.txt
-BLUEPRINT_THREADS=4 BLUEPRINT_EVQ=heap cargo run --release --example stream_checksum \
-    > results/ci_shard_t4.txt
-cmp results/ci_shard.txt results/ci_shard_t4.txt
-rm -f results/ci_shard_t4.txt
+grep -q "checksum=1bc85aa9969bffcf" results/ci_shard.txt
+for threads in 2 4; do
+    for evq in heap wheel; do
+        BLUEPRINT_THREADS=$threads BLUEPRINT_EVQ=$evq \
+            cargo run --release --example stream_checksum > results/ci_shard_var.txt
+        cmp results/ci_shard.txt results/ci_shard_var.txt
+    done
+done
+rm -f results/ci_shard_var.txt
 
 echo "CI OK"

@@ -1,0 +1,124 @@
+//! Wall-clock harness for intra-run parallel dispatch: times ONE
+//! HotelReservation simulation (not a grid of independent runs — that is
+//! `par_sweep`) at 1/2/4/8 event-loop shards, asserts the completion
+//! stream checksum is identical at every count, and reports speedup over
+//! sequential dispatch.
+//!
+//! `harness = false`: run with `cargo bench -p blueprint-bench --bench
+//! intra_run`; the sweep is recorded in `results/intra_run_speedup.txt`.
+//! In `--test` mode (passed by `cargo test` and the CI smoke) only the
+//! 1-vs-4-shard pair runs.
+//!
+//! The epoch threshold is forced to 0 so every shard count exercises the
+//! scoped-thread epoch executor rather than the inline fast path — the
+//! point is to measure that machinery. Speedup is bounded by physical
+//! cores AND by the shard count the spec admits (hosts joined by
+//! zero-latency links share a shard); on a single-CPU host all counts
+//! time roughly the same and the run only proves the identity guarantee
+//! and bounds the epoch overhead. Available parallelism is printed with
+//! the results so the numbers can be read in context.
+
+use std::time::Instant;
+
+use blueprint_apps::{hotel_reservation as hr, WiringOpts};
+use blueprint_core::Blueprint;
+use blueprint_simrt::{EvQueueKind, SimConfig};
+use blueprint_workload::generator::{OpenLoopGen, Phase};
+
+/// One timed run: returns (completions, FNV-1a over every completion
+/// field in emission order, wall seconds).
+fn run_once(shards: usize) -> (usize, u64, f64) {
+    let app = Blueprint::new()
+        .without_artifacts()
+        .compile(&hr::workflow(), &hr::wiring(&WiringOpts::default()))
+        .expect("hotel reservation compiles");
+    let start = Instant::now();
+    let mut sim = app
+        .simulation_with(SimConfig {
+            seed: 5,
+            shards: Some(shards),
+            queue: Some(EvQueueKind::Wheel),
+            par_epoch_min: Some(0),
+            ..Default::default()
+        })
+        .expect("sim boots");
+    let gen = OpenLoopGen::new(
+        vec![Phase::new(5, 2_000.0)],
+        hr::paper_mix(),
+        hr::ENTITIES,
+        5,
+    );
+    let end = gen.duration_ns();
+    let mut n = 0usize;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for arrival in gen {
+        sim.run_until(arrival.at_ns);
+        sim.submit(&arrival.entry, &arrival.method, arrival.entity)
+            .expect("submit");
+        for c in sim.drain_completions() {
+            n += 1;
+            fold_completion(&mut h, &c);
+        }
+    }
+    sim.run_until(end + 5_000_000_000);
+    for c in sim.drain_completions() {
+        n += 1;
+        fold_completion(&mut h, &c);
+    }
+    (n, h, start.elapsed().as_secs_f64())
+}
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn fold_completion(h: &mut u64, c: &blueprint_simrt::Completion) {
+    fnv(h, c.entry.as_bytes());
+    fnv(h, c.method.as_bytes());
+    fnv(h, &c.entity.to_le_bytes());
+    fnv(h, &c.root_seq.to_le_bytes());
+    fnv(h, &c.submitted_ns.to_le_bytes());
+    fnv(h, &c.finished_ns.to_le_bytes());
+    fnv(h, &[u8::from(c.ok)]);
+    fnv(h, &c.observed_version.to_le_bytes());
+    fnv(h, c.failure.unwrap_or("-").as_bytes());
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let counts: &[usize] = if test_mode { &[1, 4] } else { &[1, 2, 4, 8] };
+
+    println!("intra_run — one HotelReservation run (5 s @ 2 krps, wheel) by shard count");
+    println!("host available parallelism: {cores}");
+
+    let mut baseline: Option<(f64, usize, u64)> = None;
+    for &shards in counts {
+        let (n, checksum, secs) = run_once(shards);
+        match &baseline {
+            None => {
+                println!(
+                    "shards={shards:<2}  {secs:8.2} s  speedup 1.00x  \
+                     completions={n} checksum={checksum:016x}  (baseline)"
+                );
+                baseline = Some((secs, n, checksum));
+            }
+            Some((base_secs, base_n, base_sum)) => {
+                assert_eq!(n, *base_n, "completion count diverged at {shards} shards");
+                assert_eq!(
+                    checksum, *base_sum,
+                    "completion stream diverged at {shards} shards"
+                );
+                println!(
+                    "shards={shards:<2}  {secs:8.2} s  speedup {:.2}x  (identical stream)",
+                    base_secs / secs
+                );
+            }
+        }
+    }
+}

@@ -18,12 +18,17 @@
 //! (see `results/event_queue_bench.txt`), and `BLUEPRINT_EVQ=heap|wheel`
 //! overrides the choice per run.
 //!
-//! [`EventShards`] composes one queue per shard for the sharded event loop:
-//! pushes route to the target entity's home shard, future events buffer in
-//! per-shard outboxes that flush at time-advance boundaries (in parallel on
-//! scoped threads when the batch is large), and pops take the k-way minimum
-//! across shard heads — the same index-ordered merge discipline as
-//! `blueprint_workload::parallel::par_run`, applied inside a single run.
+//! [`EventShards`] composes one queue per shard for the sharded event loop,
+//! plus a separate **control queue** for cluster-wide events (fault firings,
+//! chaos draws, process restarts) that need exclusive access to the whole
+//! world. Pushes route to the target entity's home shard; pops take the
+//! k-way minimum across shard heads and the control head — the same
+//! index-ordered merge discipline as `blueprint_workload::parallel::par_run`,
+//! applied inside a single run. During epoch-parallel execution the shard
+//! queues are split out with [`EventShards::shards_mut`] and each worker
+//! drains only its own; cross-shard sends buffer in per-epoch outboxes that
+//! the coordinator flushes at the epoch barrier (safe because conservative
+//! lookahead guarantees they land strictly after the epoch bound).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -335,84 +340,58 @@ impl<T> EvQueue<T> {
 // Sharded composition.
 // ---------------------------------------------------------------------------
 
-/// Buffered events before a flush fans out to scoped worker threads; below
-/// this the per-thread spawn cost would dominate the insertion work.
-const PAR_FLUSH_MIN: usize = 4096;
-
-/// Per-shard event queues with a deterministic `(time, seq)` merge.
+/// Per-shard event queues plus a control queue, with a deterministic
+/// `(time, seq)` merge.
 ///
-/// The caller routes each push to a shard (the simulator shards by the
-/// target entity's home host). Events due at the current time insert
-/// directly — they may be popped before time advances — while future events
-/// buffer in per-shard **outboxes**: the cross-shard exchange. Outboxes
-/// flush when the merged head would otherwise be wrong (i.e. at a
-/// time-advance boundary), and a large flush distributes the insertion work
-/// across scoped threads, one per non-empty shard. Pops always take the
-/// k-way minimum key across shard heads, so the pop order is byte-identical
-/// at every shard count by construction.
+/// The caller routes each entity-local push to a shard (the simulator shards
+/// by the target entity's home host group); cluster-wide control events
+/// (fault firings, chaos draws, process restarts) go to the dedicated
+/// control queue so the epoch executor can treat them as barriers. Pops take
+/// the k-way minimum key across shard heads and the control head, so the pop
+/// order is byte-identical at every shard count by construction.
 #[derive(Debug)]
 pub(crate) struct EventShards<T> {
     shards: Vec<EvQueue<T>>,
-    outboxes: Vec<Vec<Entry<T>>>,
-    outbox_len: usize,
-    outbox_min: Option<EvKey>,
-    par_flush_min: usize,
-    len: usize,
+    ctrl: EvQueue<T>,
 }
 
-impl<T: Send> EventShards<T> {
-    /// `n_shards` queues of the given kind (clamped up to 1).
+impl<T> EventShards<T> {
+    /// `n_shards` shard queues of the given kind (clamped up to 1), plus the
+    /// control queue.
     pub fn new(kind: EvQueueKind, n_shards: usize) -> Self {
-        Self::with_flush_threshold(kind, n_shards, PAR_FLUSH_MIN)
-    }
-
-    /// As [`EventShards::new`] with an explicit parallel-flush threshold
-    /// (tests use a tiny one to exercise the scoped-thread path).
-    pub fn with_flush_threshold(kind: EvQueueKind, n_shards: usize, par_flush_min: usize) -> Self {
-        let n = n_shards.max(1);
         EventShards {
-            shards: (0..n).map(|_| EvQueue::new(kind)).collect(),
-            outboxes: (0..n).map(|_| Vec::new()).collect(),
-            outbox_len: 0,
-            outbox_min: None,
-            par_flush_min,
-            len: 0,
+            shards: (0..n_shards.max(1)).map(|_| EvQueue::new(kind)).collect(),
+            ctrl: EvQueue::new(kind),
         }
     }
 
-    /// Number of shards.
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
+    /// Total queued events, control queue included.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(EvQueue::len).sum::<usize>() + self.ctrl.len()
     }
 
-    /// Total queued events (including buffered outboxes).
-    pub fn len(&self) -> usize {
-        self.len
+    /// Events queued on shard queues (control queue excluded).
+    pub fn queued_len(&self) -> usize {
+        self.shards.iter().map(EvQueue::len).sum()
     }
 
     /// Whether no events are queued anywhere.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
-    /// Queues an event on `shard`. `now` is the simulator clock: events due
-    /// now must be immediately visible, strictly-future events may buffer.
-    pub fn push(&mut self, shard: usize, now: SimTime, e: Entry<T>) {
-        self.len += 1;
-        if self.shards.len() == 1 || e.time <= now {
-            self.shards[shard].push(e);
-        } else {
-            let k = e.key();
-            if self.outbox_min.map(|m| k < m).unwrap_or(true) {
-                self.outbox_min = Some(k);
-            }
-            self.outboxes[shard].push(e);
-            self.outbox_len += 1;
-        }
+    /// Queues an entity-local event on `shard`.
+    pub fn push_shard(&mut self, shard: usize, e: Entry<T>) {
+        self.shards[shard].push(e);
     }
 
-    /// The shard holding the minimum queued (non-outbox) key.
-    fn queue_min(&mut self) -> Option<(usize, EvKey)> {
+    /// Queues a cluster-wide control event.
+    pub fn push_ctrl(&mut self, e: Entry<T>) {
+        self.ctrl.push(e);
+    }
+
+    /// The shard holding the minimum shard-queued key.
+    pub fn queue_min(&mut self) -> Option<(usize, EvKey)> {
         let mut best: Option<(usize, EvKey)> = None;
         for (i, q) in self.shards.iter_mut().enumerate() {
             if let Some(k) = q.peek_key() {
@@ -424,67 +403,43 @@ impl<T: Send> EventShards<T> {
         best
     }
 
-    /// Flushes outboxes if the merged head could otherwise miss a buffered
-    /// event (every buffered key is strictly in the future, so this triggers
-    /// exactly at time-advance boundaries).
-    fn settle(&mut self) {
-        if let Some(om) = self.outbox_min {
-            let head_ok = self.queue_min().map(|(_, qk)| qk < om).unwrap_or(false);
-            if !head_ok {
-                self.flush();
-            }
-        }
+    /// The minimum key on the control queue.
+    pub fn ctrl_peek_key(&mut self) -> Option<EvKey> {
+        self.ctrl.peek_key()
     }
 
-    /// The global minimum `(time, seq)` key.
+    /// Removes and returns the minimal control event.
+    pub fn pop_ctrl(&mut self) -> Option<Entry<T>> {
+        self.ctrl.pop()
+    }
+
+    /// The global minimum `(time, seq)` key across shards and control.
+    #[cfg(test)]
     pub fn peek_key(&mut self) -> Option<EvKey> {
-        self.settle();
-        self.queue_min().map(|(_, k)| k)
+        let q = self.queue_min().map(|(_, k)| k);
+        match (q, self.ctrl.peek_key()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
-    /// Removes and returns the globally minimal event.
+    /// Removes and returns the globally minimal event (shards or control).
+    #[cfg(test)]
     pub fn pop(&mut self) -> Option<Entry<T>> {
-        self.settle();
-        let (i, _) = self.queue_min()?;
-        let e = self.shards[i].pop();
-        debug_assert!(e.is_some(), "peeked shard head vanished");
-        if e.is_some() {
-            self.len -= 1;
+        let q = self.queue_min();
+        let c = self.ctrl.peek_key();
+        match (q, c) {
+            (Some((i, qk)), Some(ck)) if qk < ck => self.shards[i].pop(),
+            (Some(_), Some(_)) | (None, Some(_)) => self.ctrl.pop(),
+            (Some((i, _)), None) => self.shards[i].pop(),
+            (None, None) => None,
         }
-        e
     }
 
-    /// Drains every outbox into its shard queue — on scoped worker threads
-    /// (one per non-empty shard) when the batch is large enough to amortize
-    /// the spawns. Queue contents are order-free internally (the pop-side
-    /// merge imposes the total order), so the flush schedule cannot affect
-    /// results.
-    fn flush(&mut self) {
-        if self.outbox_len == 0 {
-            return;
-        }
-        if self.outbox_len >= self.par_flush_min && self.shards.len() > 1 {
-            std::thread::scope(|s| {
-                for (q, ob) in self.shards.iter_mut().zip(self.outboxes.iter_mut()) {
-                    if ob.is_empty() {
-                        continue;
-                    }
-                    s.spawn(move || {
-                        for e in ob.drain(..) {
-                            q.push(e);
-                        }
-                    });
-                }
-            });
-        } else {
-            for (q, ob) in self.shards.iter_mut().zip(self.outboxes.iter_mut()) {
-                for e in ob.drain(..) {
-                    q.push(e);
-                }
-            }
-        }
-        self.outbox_len = 0;
-        self.outbox_min = None;
+    /// Mutable access to the shard queues, for the epoch executor to split
+    /// across workers.
+    pub fn shards_mut(&mut self) -> &mut [EvQueue<T>] {
+        &mut self.shards
     }
 }
 
@@ -600,18 +555,22 @@ mod tests {
     #[test]
     fn shard_counts_agree_on_pop_order() {
         // The same push stream must pop identically at 1, 3, and 4 shards,
-        // for both queue kinds; a tiny flush threshold forces the
-        // scoped-thread flush path.
+        // for both queue kinds, with a slice of pushes routed to the control
+        // queue to exercise the three-way merge.
         for kind in [EvQueueKind::Heap, EvQueueKind::Wheel] {
             let mut streams: Vec<Vec<EvKey>> = Vec::new();
             for shards in [1usize, 3, 4] {
-                let mut q: EventShards<u64> = EventShards::with_flush_threshold(kind, shards, 2);
+                let mut q: EventShards<u64> = EventShards::new(kind, shards);
                 let mut rng = SmallRng::seed_from_u64(7);
                 let mut now: SimTime = 0;
                 let mut out = Vec::new();
                 for seq in 0..5_000u64 {
                     let t = now + rng.gen_range(0..100_000);
-                    q.push((seq as usize) % shards, now, e(t, seq));
+                    if seq % 17 == 0 {
+                        q.push_ctrl(e(t, seq));
+                    } else {
+                        q.push_shard((seq as usize) % shards, e(t, seq));
+                    }
                     if rng.gen::<f64>() < 0.4 {
                         if let Some(x) = q.pop() {
                             now = x.time;
@@ -628,5 +587,24 @@ mod tests {
             assert_eq!(streams[0], streams[1]);
             assert_eq!(streams[0], streams[2]);
         }
+    }
+
+    #[test]
+    fn global_peek_matches_pop() {
+        // `peek_key` must always report exactly the key `pop` returns next,
+        // across both planes (shard queues and the control queue).
+        let mut q: EventShards<u64> = EventShards::new(EvQueueKind::Heap, 2);
+        q.push_shard(0, e(30, 3));
+        q.push_shard(1, e(10, 1));
+        q.push_ctrl(e(10, 0));
+        q.push_ctrl(e(20, 2));
+        let mut popped = Vec::new();
+        while let Some(k) = q.peek_key() {
+            let x = q.pop().expect("peeked");
+            assert_eq!((x.time, x.seq), k);
+            popped.push(k);
+        }
+        assert_eq!(popped, vec![(10, 0), (10, 1), (20, 2), (30, 3)]);
+        assert!(q.pop().is_none());
     }
 }

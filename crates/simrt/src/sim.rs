@@ -2,11 +2,11 @@
 //! transports, backends, and GC.
 //!
 //! See the crate docs for the modeling overview. The implementation is a
-//! single-threaded discrete-event simulator: an event heap ordered by
-//! `(time, sequence)` dispatches into the [`Sim`] world state. Requests
-//! execute as **frames** — explicit interpreter states over the behavior
-//! programs of the workflow spec — so the simulator never recurses through
-//! the service call graph on the machine stack.
+//! discrete-event simulator: event queues ordered by `(time, sequence)`
+//! dispatch into the [`Sim`] world state. Requests execute as **frames** —
+//! explicit interpreter states over the behavior programs of the workflow
+//! spec — so the simulator never recurses through the service call graph on
+//! the machine stack.
 //!
 //! At boot the workflow `Behavior` programs are compiled into [`CProg`]s:
 //! every dependency name is resolved to a dense `u32` client id, every target
@@ -16,8 +16,15 @@
 //! hot path therefore never hashes a string, never clones behavior text, and
 //! reuses frame slots and interpreter stacks through free lists. Because all
 //! interning is arena-index based (no `Rc`), a booted [`Sim`] is `Send` —
-//! asserted at compile time below — so one run can migrate across threads
-//! and the event loop can shard across cores (see [`crate::evq`]).
+//! asserted at compile time below.
+//!
+//! Mutable runtime state is partitioned into per-host [`HostLane`]s over an
+//! immutable [`Shared`] core, and every stochastic draw comes from a
+//! deterministic per-entity RNG stream (see [`derive_seed`]). Together these
+//! make the event loop *parallel within a run*: shards of hosts dispatch
+//! concurrently inside conservative epochs bounded by the minimum cross-shard
+//! network latency, and the output is byte-identical at any shard count (see
+//! [`crate::evq`] and `DESIGN.md` §6).
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -27,9 +34,9 @@ use rand::{Rng, SeedableRng};
 use blueprint_trace::{SpanId, TraceCollector, TraceId};
 use blueprint_workflow::{Behavior, CacheOp, DbOp, KeyExpr, Step};
 
-use crate::evq::{self, EvQueueKind, EventShards};
+use crate::evq::{self, EvKey, EvQueue, EvQueueKind, EventShards};
 use crate::host::{JobId, PsHost, NO_PROC};
-use crate::metrics::{BackendStats, Metrics};
+use crate::metrics::{BackendStats, Metrics, SimCounters};
 use crate::spec::{
     BackendRtKind, ClientSpec, DepBinding, Fault, FaultPlan, LbPolicy, ShedSpec, SystemSpec,
     TransportSpec,
@@ -46,7 +53,8 @@ use crate::{Result, SimError};
 pub struct SimConfig {
     /// RNG seed; everything non-deterministic derives from it.
     pub seed: u64,
-    /// Record spans for services that have tracing enabled.
+    /// Record spans for services that have tracing enabled. Tracing forces
+    /// sequential dispatch (one shared collector); results are unaffected.
     pub record_traces: bool,
     /// Hard cap on live frames; submissions beyond it fast-fail (memory
     /// guard under extreme overload).
@@ -55,16 +63,26 @@ pub struct SimConfig {
     /// zero events and RNG draws, so fault-free runs are byte-identical to
     /// a build without the engine.
     pub faults: FaultPlan,
-    /// Event-loop shard count. `0` (the default) resolves from the
+    /// Event-loop shard count. `None` (the default) resolves from the
     /// `BLUEPRINT_THREADS` environment variable, falling back to `1` (the
-    /// classic single-queue loop). Any value is capped at 64. Shard count
-    /// never affects results — the cross-shard exchange merges by
-    /// `(time, seq)` — only how queue maintenance is spread over cores.
-    pub shards: usize,
+    /// classic single-queue loop). Explicit values must be in `1..=64`;
+    /// `Sim::new` rejects `Some(0)` and `Some(>64)` as spec errors. The
+    /// effective count is additionally capped by the number of independent
+    /// host groups in the spec. Shard count never affects results — epochs
+    /// close with the `(time, seq)` merge — only how many cores dispatch
+    /// concurrently.
+    pub shards: Option<usize>,
     /// Event-queue implementation. `None` (the default) resolves from the
     /// `BLUEPRINT_EVQ` environment variable via [`EvQueueKind::from_env`].
     /// Like `shards`, the choice never affects results.
     pub queue: Option<EvQueueKind>,
+    /// Minimum number of queued events before an epoch is dispatched on
+    /// worker threads; below it the epoch runs inline on the calling thread
+    /// (thread-spawn latency would dominate). `None` picks the default
+    /// (4096). The threshold never affects results — only where dispatch
+    /// happens — and exists as a config field (not an env var) so tests can
+    /// force the threaded path without racy env mutation.
+    pub par_epoch_min: Option<usize>,
 }
 
 impl Default for SimConfig {
@@ -74,8 +92,9 @@ impl Default for SimConfig {
             record_traces: false,
             max_frames: 2_000_000,
             faults: FaultPlan::default(),
-            shards: 0,
+            shards: None,
             queue: None,
+            par_epoch_min: None,
         }
     }
 }
@@ -125,12 +144,68 @@ pub struct EntryHandle {
 }
 
 // ---------------------------------------------------------------------------
+// Deterministic per-entity RNG streams.
+// ---------------------------------------------------------------------------
+
+/// RNG stream domain: per-process draws (service-time branches, fail coins,
+/// random keys, shed coins, link-loss coins).
+pub const DOMAIN_PROC: u64 = 1;
+/// RNG stream domain: per-client draws (random load balancing, retry jitter).
+pub const DOMAIN_CLIENT: u64 = 2;
+/// RNG stream domain: per-backend draws (evictions, replication lag).
+pub const DOMAIN_BACKEND: u64 = 3;
+
+/// splitmix64 finalizer (Steele/Lea/Flood mixing constants).
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed of one entity's private RNG stream from the run's root
+/// seed, a domain tag, and the entity's dense id.
+///
+/// Two chained splitmix64 finalizer rounds: the first folds in the domain,
+/// the second the entity id. For a fixed `(root_seed, domain)` the map
+/// `entity_id -> seed` is a bijection (each round is invertible), so streams
+/// within a domain can never collide. Because each entity draws only from
+/// its own stream, its draw sequence depends solely on its own event order —
+/// which is what makes shard interleaving invisible to randomness and
+/// intra-run parallel dispatch deterministic.
+pub fn derive_seed(root_seed: u64, domain: u64, entity_id: u64) -> u64 {
+    let s1 = mix64(root_seed ^ domain.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    mix64(s1 ^ entity_id.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+}
+
+// ---------------------------------------------------------------------------
+// Event-sequence key packing.
+// ---------------------------------------------------------------------------
+
+/// Event keys are `(time, seq)`; `seq` packs the generating context (a host
+/// id, or [`CTRL_CTX`] for the driver/control plane) into the high 16 bits
+/// over a per-context 48-bit push counter. Uniqueness is therefore local —
+/// each context only needs its own counter, which is what lets shard workers
+/// assign keys without synchronization — while the resulting total order is
+/// deterministic and independent of the shard layout.
+const CTX_SHIFT: u32 = 48;
+/// Low-bit mask for the per-context push counter.
+const SEQ_MASK: u64 = (1 << CTX_SHIFT) - 1;
+/// Context id of driver/control pushes; sorts after every host context at
+/// equal times, so control events never preempt same-time lane events.
+const CTRL_CTX: u64 = 0xFFFF;
+/// Host ids must stay below [`CTRL_CTX`].
+const MAX_HOSTS: usize = 0xFFFE;
+
+// ---------------------------------------------------------------------------
 // Internal identifiers and messages.
 // ---------------------------------------------------------------------------
 
-/// Generational frame handle.
+/// Generational frame handle. Frame tables are per-host, so the handle
+/// carries the owning host: any executor can both route an event to the
+/// frame's home shard and resolve the frame without a global table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct FrameId {
+    host: u32,
     idx: u32,
     gen: u32,
 }
@@ -848,6 +923,9 @@ struct ClientRt {
     /// Retry-budget token bucket; only meaningful when
     /// `spec.retry_budget` is set (stays 0.0 otherwise).
     budget_tokens: f64,
+    /// Private RNG stream ([`DOMAIN_CLIENT`], keyed by dense client id):
+    /// random load balancing, retry jitter.
+    rng: SmallRng,
 }
 
 /// Per-process runtime (GC state).
@@ -859,6 +937,10 @@ struct ProcRt {
     gc_started_ns: SimTime,
     /// The in-progress GC pause job (cancelled if the process crashes).
     gc_job: Option<JobId>,
+    /// Private RNG stream ([`DOMAIN_PROC`], keyed by dense process id):
+    /// service-time branches, fail coins, random keys, shed coins, and
+    /// link-loss coins for requests this process sends.
+    rng: SmallRng,
 }
 
 /// Adaptive admission-controller state (lowered from [`ShedSpec`]). The
@@ -918,7 +1000,6 @@ impl ShedCtl {
 /// Per-service runtime. Methods are dense: index `i` of `methods` and
 /// `method_names` is the method id used in [`CallTarget::Service`].
 struct SvcRt {
-    process: usize,
     methods: Vec<ProgId>,
     method_names: Vec<NameId>,
     active: u32,
@@ -1003,7 +1084,6 @@ struct StoreRt {
 /// name-keyed [`Metrics`] map at the end of each `run_until` slice.
 struct BackendRt {
     name: NameId,
-    process: usize,
     kind: BackendRtKind,
     cache: CacheRt,
     store: StoreRt,
@@ -1017,6 +1097,9 @@ struct BackendRt {
     brownout_slow: f64,
     /// Reject requests outright while `now < brownout_until`.
     brownout_unavailable: bool,
+    /// Private RNG stream ([`DOMAIN_BACKEND`], keyed by dense backend id):
+    /// cache evictions, replication-lag draws.
+    rng: SmallRng,
 }
 
 /// Continuation attached to a CPU job.
@@ -1040,48 +1123,58 @@ enum JobCont {
 }
 
 // ---------------------------------------------------------------------------
-// The simulator.
+// The simulator: shared core, per-host lanes, shard executors.
 // ---------------------------------------------------------------------------
 
-/// A running simulated deployment.
-pub struct Sim {
-    cfg: SimConfig,
-    now: SimTime,
-    ev_seq: u64,
-    events: EventShards<Ev>,
-    rng: SmallRng,
-
+/// State shared read-only by every shard worker during an epoch. Everything
+/// here is either immutable after boot (programs, names, location tables,
+/// shard layout) or mutated exclusively by the control plane *between*
+/// epochs (`proc_down`, `proc_gen`, `link_faults`) — control events run with
+/// `&mut Sim` while no worker is live, so workers only ever observe a
+/// consistent snapshot.
+struct Shared {
     /// All compiled behavior programs (see [`ProgArena`]).
     progs: ProgArena,
     /// Interned names (see [`StrArena`]).
     names: StrArena,
     /// Pre-interned `"rpc"` span-operation name.
     rpc_name: NameId,
-
-    host_names: Vec<String>,
-    proc_names: Vec<String>,
-    hosts: Vec<PsHost>,
-    host_gen: Vec<u64>,
-    procs: Vec<ProcRt>,
+    record_traces: bool,
     gc_specs: Vec<Option<crate::spec::GcSpec>>,
-    services: Vec<SvcRt>,
     svc_names: Vec<NameId>,
-    backends: Vec<BackendRt>,
-    clients: Vec<ClientRt>,
-    entries: BTreeMap<String, u32>,
-    entry_rts: Vec<EntryRt>,
 
-    frames: Vec<Option<Frame>>,
-    frame_gens: Vec<u32>,
-    free_frames: Vec<u32>,
-    live_frames: usize,
-    /// Recycled interpreter stacks of completed frames.
-    stack_pool: Vec<Vec<ExecCtx>>,
+    // Entity → (home host, index within that host's lane) location tables,
+    // indexed by dense global id. Global ids remain the currency of the
+    // interpreter (programs, messages, events); lanes are a storage layout.
+    svc_loc: Vec<(u32, u32)>,
+    proc_loc: Vec<(u32, u32)>,
+    client_loc: Vec<(u32, u32)>,
+    backend_loc: Vec<(u32, u32)>,
+    /// Service → owning process (global ids).
+    svc_proc: Vec<u32>,
+    /// Backend → owning process (global ids).
+    backend_proc: Vec<u32>,
+    /// Client → owning service (global ids).
+    client_owner: Vec<u32>,
+    /// Process → host.
+    proc_host: Vec<u32>,
 
-    jobs: HashMap<JobId, JobCont>,
-    next_job: u64,
-    next_root: u64,
+    // Event-loop layout (see `DESIGN.md` §6).
+    /// Host → event-queue shard.
+    host_shard: Vec<u32>,
+    /// Host → lane position within its shard's epoch executor.
+    par_lane_idx: Vec<u32>,
+    /// Host → lane position in an all-owning executor (identity).
+    seq_lane_idx: Vec<u32>,
+    /// Conservative epoch width: the minimum network latency on any binding
+    /// that crosses host groups. `None` when nothing crosses groups (epochs
+    /// are then bounded only by the run horizon and control events).
+    lookahead: Option<SimTime>,
+    /// Independent host groups in the spec (hosts joined by any 0 ns
+    /// cross-host binding collapse into one group).
+    n_groups: usize,
 
+    // Fault state: written by the control plane between epochs only.
     /// Whether each process is currently crashed.
     proc_down: Vec<bool>,
     /// Crash generation per process; guards stale `ProcRestart` events.
@@ -1089,10 +1182,187 @@ pub struct Sim {
     /// Active (or expired-but-inert) link faults, keyed by directed
     /// (src process, dst process). Lookup-only, so map order never matters.
     link_faults: HashMap<(usize, usize), LinkFault>,
-    /// Chaos process, when configured.
+}
+
+/// All mutable runtime state homed on one host: its CPU scheduler, the
+/// processes/services/clients/backends that live there, its frame table, and
+/// its share of the event-sequence counter. During an epoch a lane is owned
+/// by exactly one shard worker, which is what makes concurrent dispatch
+/// race-free without locks.
+struct HostLane {
+    ps: PsHost,
+    /// Bumped on every scheduler perturbation; guards stale `HostCheck`s.
+    host_gen: u64,
+    procs: Vec<ProcRt>,
+    services: Vec<SvcRt>,
+    clients: Vec<ClientRt>,
+    backends: Vec<BackendRt>,
+
+    frames: Vec<Option<Frame>>,
+    frame_gens: Vec<u32>,
+    free_frames: Vec<u32>,
+    /// Live frames homed here (summed across lanes for admission).
+    live: usize,
+    /// Recycled interpreter stacks of completed frames.
+    stack_pool: Vec<Vec<ExecCtx>>,
+
+    jobs: HashMap<JobId, JobCont>,
+    next_job: u64,
+    /// Push counter for events generated while dispatching this host
+    /// (the low 48 bits of their `(time, seq)` keys).
+    ev_seq: u64,
+
+    /// Completions of entry frames homed here (the workload host, in
+    /// practice). Drained in host order, which is partition-invariant.
+    completions: Vec<Completion>,
+}
+
+impl HostLane {
+    /// Installs a frame into a recycled or fresh slot. `host` is this lane's
+    /// own host id (lanes do not know their position).
+    fn insert_frame(&mut self, host: u32, frame: Frame) -> FrameId {
+        self.live += 1;
+        if let Some(idx) = self.free_frames.pop() {
+            let gen = self.frame_gens[idx as usize];
+            self.frames[idx as usize] = Some(Frame { gen, ..frame });
+            FrameId { host, idx, gen }
+        } else {
+            // Cannot overflow for entry frames (`max_frames` is capped at
+            // u32::MAX in `Sim::new`), but internal sub-frames are not
+            // admission-counted, so convert checked rather than truncate.
+            let idx = u32::try_from(self.frames.len())
+                .expect("frame table exceeds u32 index space (see MAX_FRAMES_CAP)");
+            self.frames.push(Some(frame));
+            self.frame_gens.push(0);
+            FrameId { host, idx, gen: 0 }
+        }
+    }
+
+    fn frame_mut(&mut self, id: FrameId) -> Option<&mut Frame> {
+        match self.frames.get_mut(id.idx as usize) {
+            Some(Some(f)) if f.gen == id.gen => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Removes a frame, recycling its slot and interpreter stack.
+    fn take_frame(&mut self, id: FrameId) -> Option<Frame> {
+        let slot = self.frames.get_mut(id.idx as usize)?;
+        if slot.as_ref().map(|f| f.gen == id.gen).unwrap_or(false) {
+            let mut frame = slot.take().expect("generation checked");
+            self.frame_gens[id.idx as usize] = id.gen.wrapping_add(1);
+            self.free_frames.push(id.idx);
+            self.live -= 1;
+            let mut stack = std::mem::take(&mut frame.stack);
+            stack.clear();
+            self.stack_pool.push(stack);
+            Some(frame)
+        } else {
+            None
+        }
+    }
+}
+
+/// Sentinel shard id for the executor that owns every lane (sequential and
+/// inline dispatch); disables the foreign-lane debug guard.
+const ALL_SHARDS: u32 = u32::MAX;
+
+/// One dispatch executor: a view over the shared core plus exclusive
+/// ownership of some subset of lanes and their event queues. The sequential
+/// loop builds one executor owning everything; the epoch-parallel loop
+/// builds one per shard, each on its own scoped thread, with sends to
+/// foreign shards buffered in `outbox` until the epoch closes.
+struct ShardExec<'a> {
+    sh: &'a Shared,
+    /// Owned lanes; indexed through `lane_idx` by host id.
+    lanes: Vec<&'a mut HostLane>,
+    /// Host → position in `lanes` (only valid for owned hosts).
+    lane_idx: &'a [u32],
+    /// Shard queues; `None` marks queues owned by another worker this epoch.
+    queues: Vec<Option<&'a mut EvQueue<Ev>>>,
+    /// Events bound for foreign shards, flushed after the epoch. Every such
+    /// event is a network send with delay ≥ the lookahead, so it lands at or
+    /// beyond the epoch bound — never inside a queue a peer is popping.
+    outbox: Vec<(usize, evq::Entry<Ev>)>,
+    now: SimTime,
+    /// Host whose event is currently being dispatched (the context id for
+    /// key packing).
+    cur_host: u32,
+    /// This worker's shard id, or [`ALL_SHARDS`] (debug guard only).
+    shard: u32,
+    /// Scratch counters, merged into `Metrics` after the epoch (all fields
+    /// are additive, so partition and merge order are invisible).
+    counters: SimCounters,
+    /// Span collector; `Some` only in sequential dispatch (tracing forces
+    /// it), `None` on epoch workers.
+    traces: Option<&'a mut TraceCollector>,
+}
+
+/// Home host of a lane event — the host whose lane must be exclusively
+/// owned to dispatch it. `None` for control-plane events, which run between
+/// epochs with full `&mut Sim` access.
+///
+/// Unlike the pre-epoch router this is *total and exact*: frame ids carry
+/// their home host, so routing never needs to resolve (possibly dead)
+/// frames, and an event can never land on a shard that does not own the
+/// state it touches.
+fn ev_home_host(sh: &Shared, ev: &Ev) -> Option<usize> {
+    match ev {
+        Ev::HostCheck { host, .. } | Ev::HogEnd { host, .. } => Some(*host),
+        Ev::Resume { frame }
+        | Ev::Timeout { frame, .. }
+        | Ev::RetryFire { frame, .. }
+        | Ev::DeliverResponse { frame, .. } => Some(frame.host as usize),
+        Ev::DeliverRequest { req } => Some(match req.target {
+            CallTarget::Service { svc, .. } => sh.proc_host[sh.svc_proc[svc] as usize] as usize,
+            CallTarget::Backend { backend, .. } => {
+                sh.proc_host[sh.backend_proc[backend] as usize] as usize
+            }
+        }),
+        Ev::ConnFreed { client } => {
+            let owner = sh.client_owner[*client as usize] as usize;
+            Some(sh.proc_host[sh.svc_proc[owner] as usize] as usize)
+        }
+        Ev::ReplicaApply { backend, .. } => {
+            Some(sh.proc_host[sh.backend_proc[*backend] as usize] as usize)
+        }
+        // Control plane: fault application mutates cluster-wide state
+        // (`proc_down`, `link_faults`, multi-host crash sweeps), so these
+        // serialize between epochs.
+        Ev::FaultFire { .. } | Ev::ProcRestart { .. } | Ev::ChaosFire => None,
+    }
+}
+
+/// A running simulated deployment.
+pub struct Sim {
+    cfg: SimConfig,
+    now: SimTime,
+    /// Push counter for driver/control events (the [`CTRL_CTX`] context).
+    ctrl_seq: u64,
+    events: EventShards<Ev>,
+
+    sh: Shared,
+    /// Per-host mutable runtime, indexed by host id.
+    lanes: Vec<HostLane>,
+
+    host_names: Vec<String>,
+    proc_names: Vec<String>,
+    entries: BTreeMap<String, u32>,
+    entry_rts: Vec<EntryRt>,
+    next_root: u64,
+
+    /// Chaos process, when configured (its RNG stream is separate from the
+    /// per-entity streams, as before).
     chaos: Option<ChaosRt>,
 
-    completions: Vec<Completion>,
+    /// Effective shard count: the requested count capped by the number of
+    /// independent host groups.
+    n_shards: usize,
+    /// Epoch-parallel dispatch enabled (`n_shards > 1` and tracing off).
+    par_enabled: bool,
+    /// Queued-event threshold below which epochs dispatch inline.
+    par_epoch_min: usize,
+
     /// Aggregate metrics of the run.
     pub metrics: Metrics,
     /// Trace collector (populated when tracing is enabled).
@@ -1102,12 +1372,14 @@ pub struct Sim {
 }
 
 /// `Sim` is `Send` by construction: program interning is arena-index based
-/// (no `Rc`), so a run can migrate across threads and the sharded event
-/// loop may flush its outboxes from scoped worker threads. This assert is
-/// the compile-time pin — reintroducing an `Rc` (or any other `!Send`
-/// field) fails the build here.
+/// (no `Rc`), so a run can migrate across threads and epoch workers can be
+/// scoped threads. This assert is the compile-time pin — reintroducing an
+/// `Rc` (or any other `!Send` field) fails the build here.
 const fn _assert_send<T: Send>() {}
 const _: () = _assert_send::<Sim>();
+/// Epoch workers additionally share `&Shared` across threads.
+const fn _assert_sync<T: Sync>() {}
+const _: () = _assert_sync::<Shared>();
 
 /// Frame slots are addressed by `u32` indices (`FrameId::idx`), so the frame
 /// table is hard-capped; [`Sim::new`] rejects a larger `max_frames` loudly
@@ -1124,6 +1396,29 @@ impl Sim {
                 cfg.max_frames, MAX_FRAMES_CAP
             )));
         }
+        // Resolve the event-loop layout up front so bad values fail loudly
+        // (out-of-range shard counts used to be silently clamped).
+        let requested_shards = match cfg.shards {
+            None => std::env::var("BLUEPRINT_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|n| *n >= 1)
+                .unwrap_or(1)
+                .min(64),
+            Some(0) => {
+                return Err(SimError::BadSpec(
+                    "shards must be >= 1 (Some(0) is not a valid shard count; \
+                     use None to defer to BLUEPRINT_THREADS)"
+                        .into(),
+                ))
+            }
+            Some(n) if n > 64 => {
+                return Err(SimError::BadSpec(format!(
+                    "shards {n} exceeds the cap of 64"
+                )))
+            }
+            Some(n) => n,
+        };
         if !cfg.faults.is_empty() {
             // Validated against the user's spec, so plans can never target
             // the hidden workload host/process appended below.
@@ -1165,18 +1460,27 @@ impl Sim {
             entry_map.insert(name, idx);
         }
 
+        if spec.hosts.len() > MAX_HOSTS {
+            return Err(SimError::BadSpec(format!(
+                "{} hosts exceed the event-key context space ({MAX_HOSTS})",
+                spec.hosts.len()
+            )));
+        }
+
         let host_names: Vec<String> = spec.hosts.iter().map(|h| h.name.clone()).collect();
         let proc_names: Vec<String> = spec.processes.iter().map(|p| p.name.clone()).collect();
         let hosts: Vec<PsHost> = spec.hosts.iter().map(|h| PsHost::new(h.cores)).collect();
         let procs: Vec<ProcRt> = spec
             .processes
             .iter()
-            .map(|p| ProcRt {
+            .enumerate()
+            .map(|(pi, p)| ProcRt {
                 host: p.host,
                 heap: p.gc.as_ref().map(|g| g.base_heap_bytes).unwrap_or(0),
                 in_gc: false,
                 gc_started_ns: 0,
                 gc_job: None,
+                rng: SmallRng::seed_from_u64(derive_seed(cfg.seed, DOMAIN_PROC, pi as u64)),
             })
             .collect();
         let gc_specs: Vec<_> = spec.processes.iter().map(|p| p.gc.clone()).collect();
@@ -1195,6 +1499,7 @@ impl Sim {
                     DepBinding::ReplicatedService { targets, .. } => targets.len(),
                     _ => 1,
                 };
+                let ci = clients.len() as u64;
                 clients.push(ClientRt {
                     owner: si,
                     spec: binding.client().clone(),
@@ -1206,6 +1511,7 @@ impl Sim {
                     rr: 0,
                     outstanding: vec![0; n_targets],
                     budget_tokens: 0.0,
+                    rng: SmallRng::seed_from_u64(derive_seed(cfg.seed, DOMAIN_CLIENT, ci)),
                 });
             }
         }
@@ -1228,7 +1534,6 @@ impl Sim {
                 })
             });
             services.push(SvcRt {
-                process: s.process,
                 methods,
                 method_names,
                 active: 0,
@@ -1257,17 +1562,17 @@ impl Sim {
             });
         }
 
-        let backends = spec
+        let backends: Vec<BackendRt> = spec
             .backends
             .iter()
-            .map(|b| {
+            .enumerate()
+            .map(|(bi, b)| {
                 let mut store = StoreRt::default();
                 if let BackendRtKind::Store { replicas, .. } = &b.kind {
                     store.replicas = vec![HashMap::new(); *replicas as usize];
                 }
                 BackendRt {
                     name: names.intern(&b.name),
-                    process: b.process,
                     kind: b.kind.clone(),
                     cache: CacheRt::default(),
                     store,
@@ -1277,63 +1582,132 @@ impl Sim {
                     brownout_until: 0,
                     brownout_slow: 1.0,
                     brownout_unavailable: false,
+                    rng: SmallRng::seed_from_u64(derive_seed(cfg.seed, DOMAIN_BACKEND, bi as u64)),
                 }
             })
             .collect();
 
-        // Resolve the event-loop layout. `shards: 0` defers to
-        // `BLUEPRINT_THREADS` — the same knob that parallelizes cross-run
-        // sweeps — defaulting to the classic single-queue loop when unset;
-        // `queue: None` defers to `BLUEPRINT_EVQ`. Neither choice can affect
-        // results (see [`crate::evq`]), only where queue work happens.
-        let n_shards = match cfg.shards {
-            0 => std::env::var("BLUEPRINT_THREADS")
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .filter(|n| *n >= 1)
-                .unwrap_or(1),
-            n => n,
-        }
-        .min(64);
+        // Host-group layout: hosts joined by any 0 ns cross-host binding
+        // must share a shard (their interactions admit no lookahead), and
+        // the epoch width is the minimum latency crossing group boundaries.
+        // Computed on the augmented spec so the workload shims participate.
+        let groups = crate::spec::host_groups(&spec);
+        let n_shards = requested_shards.min(groups.n_groups).max(1);
+        let host_shard: Vec<u32> = groups
+            .group_of
+            .iter()
+            .map(|g| (g % n_shards) as u32)
+            .collect();
+        let mut shard_fill = vec![0u32; n_shards];
+        let par_lane_idx: Vec<u32> = host_shard
+            .iter()
+            .map(|&s| {
+                let i = shard_fill[s as usize];
+                shard_fill[s as usize] += 1;
+                i
+            })
+            .collect();
+        let seq_lane_idx: Vec<u32> = (0..host_names.len() as u32).collect();
         let queue_kind = cfg.queue.unwrap_or_else(EvQueueKind::from_env);
 
-        let n_procs = procs.len();
-        let mut sim = Sim {
-            rng: SmallRng::seed_from_u64(cfg.seed),
-            cfg,
-            now: 0,
-            ev_seq: 0,
-            events: EventShards::new(queue_kind, n_shards),
+        // Location tables + lane distribution, in global-id order per kind
+        // (local indices are therefore deterministic).
+        let proc_host: Vec<u32> = spec.processes.iter().map(|p| p.host as u32).collect();
+        let svc_proc: Vec<u32> = spec.services.iter().map(|s| s.process as u32).collect();
+        let backend_proc: Vec<u32> = spec.backends.iter().map(|b| b.process as u32).collect();
+        let client_owner: Vec<u32> = clients.iter().map(|c| c.owner as u32).collect();
+
+        let mut lanes: Vec<HostLane> = hosts
+            .into_iter()
+            .map(|ps| HostLane {
+                ps,
+                host_gen: 0,
+                procs: Vec::new(),
+                services: Vec::new(),
+                clients: Vec::new(),
+                backends: Vec::new(),
+                frames: Vec::new(),
+                frame_gens: Vec::new(),
+                free_frames: Vec::new(),
+                live: 0,
+                stack_pool: Vec::new(),
+                jobs: HashMap::new(),
+                next_job: 0,
+                ev_seq: 0,
+                completions: Vec::new(),
+            })
+            .collect();
+        let mut proc_loc = Vec::with_capacity(procs.len());
+        for p in procs {
+            let h = p.host;
+            proc_loc.push((h as u32, lanes[h].procs.len() as u32));
+            lanes[h].procs.push(p);
+        }
+        let mut svc_loc = Vec::with_capacity(services.len());
+        for (si, s) in services.into_iter().enumerate() {
+            let h = proc_host[svc_proc[si] as usize] as usize;
+            svc_loc.push((h as u32, lanes[h].services.len() as u32));
+            lanes[h].services.push(s);
+        }
+        let mut client_loc = Vec::with_capacity(clients.len());
+        for (ci, c) in clients.into_iter().enumerate() {
+            let owner = client_owner[ci] as usize;
+            let h = proc_host[svc_proc[owner] as usize] as usize;
+            client_loc.push((h as u32, lanes[h].clients.len() as u32));
+            lanes[h].clients.push(c);
+        }
+        let mut backend_loc = Vec::with_capacity(backends.len());
+        for (bi, b) in backends.into_iter().enumerate() {
+            let h = proc_host[backend_proc[bi] as usize] as usize;
+            backend_loc.push((h as u32, lanes[h].backends.len() as u32));
+            lanes[h].backends.push(b);
+        }
+
+        let n_procs = proc_names.len();
+        let par_enabled = n_shards > 1 && !cfg.record_traces;
+        let par_epoch_min = cfg.par_epoch_min.unwrap_or(4096);
+        let sh = Shared {
             progs: compiler.arena,
             names,
             rpc_name,
-            host_gen: vec![0; hosts.len()],
-            host_names,
-            proc_names,
-            hosts,
-            procs,
+            record_traces: cfg.record_traces,
             gc_specs,
-            services,
             svc_names,
-            backends,
-            clients,
-            entries,
-            entry_rts,
-            frames: Vec::new(),
-            frame_gens: Vec::new(),
-            free_frames: Vec::new(),
-            live_frames: 0,
-            stack_pool: Vec::new(),
-            jobs: HashMap::new(),
-            next_job: 0,
-            // Root sequence numbers double as write versions; 0 is reserved
-            // for "absent".
-            next_root: 1,
+            svc_loc,
+            proc_loc,
+            client_loc,
+            backend_loc,
+            svc_proc,
+            backend_proc,
+            client_owner,
+            proc_host,
+            host_shard,
+            par_lane_idx,
+            seq_lane_idx,
+            lookahead: groups.lookahead,
+            n_groups: groups.n_groups,
             proc_down: vec![false; n_procs],
             proc_gen: vec![0; n_procs],
             link_faults: HashMap::new(),
+        };
+        let mut sim = Sim {
+            cfg,
+            now: 0,
+            ctrl_seq: 0,
+            events: EventShards::new(queue_kind, n_shards),
+            sh,
+            lanes,
+            host_names,
+            proc_names,
+            entries,
+            entry_rts,
+            // Root sequence numbers double as write versions; 0 is reserved
+            // for "absent".
+            next_root: 1,
             chaos: None,
-            completions: Vec::new(),
+            n_shards,
+            par_enabled,
+            par_epoch_min,
             metrics: Metrics::default(),
             traces: TraceCollector::new(),
             spec_name: spec.name.clone(),
@@ -1379,8 +1753,8 @@ impl Sim {
         self.now
     }
 
-    /// Number of events currently queued (across all shards, including any
-    /// buffered in cross-shard outboxes).
+    /// Number of events currently queued (across all shards and the control
+    /// queue).
     pub fn pending_events(&self) -> usize {
         self.events.len()
     }
@@ -1397,81 +1771,103 @@ impl Sim {
 
     /// Number of live frames (in-flight work across the cluster).
     pub fn inflight(&self) -> usize {
-        self.live_frames
+        self.lanes.iter().map(|l| l.live).sum()
+    }
+
+    /// Effective event-loop shard count (requested count capped by the
+    /// number of independent host groups in the spec).
+    pub fn shard_count(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Number of independent host groups (hosts transitively joined by
+    /// zero-latency links count as one group). This caps `shard_count`.
+    pub fn host_group_count(&self) -> usize {
+        self.sh.n_groups
+    }
+
+    /// Conservative epoch width: the minimum network latency crossing host
+    /// groups, ns. `None` when no binding crosses groups. A spec whose
+    /// cross-host links include a 0 ns hop collapses those hosts into one
+    /// group instead of producing a zero lookahead, so this is `None` or
+    /// ≥ 1 — never `Some(0)`.
+    pub fn lookahead_ns(&self) -> Option<SimTime> {
+        self.sh.lookahead
     }
 
     /// Number of requests (frames) a service instance has served so far.
     pub fn service_served(&self, name: &str) -> Option<u64> {
         let idx = self
+            .sh
             .svc_names
             .iter()
-            .position(|n| self.names.get(*n) == name)?;
-        Some(self.services[idx].served)
+            .position(|n| self.sh.names.get(*n) == name)?;
+        Some(self.svc_ref(idx).served)
     }
 
     /// Current heap bytes of a process (GC experiments).
     pub fn process_heap(&self, proc_name: &str) -> Option<u64> {
-        // Process names were consumed at build time; index by position via
-        // the gc_specs/procs tables and the stored names.
         let idx = self.proc_names.iter().position(|n| n == proc_name)?;
-        Some(self.procs[idx].heap)
+        Some(self.proc_ref(idx).heap)
     }
 
+    // -- Global-id entity accessors (driver/control paths) -------------------
+
+    fn proc_ref(&self, p: usize) -> &ProcRt {
+        let (h, l) = self.sh.proc_loc[p];
+        &self.lanes[h as usize].procs[l as usize]
+    }
+
+    fn proc_rt_mut(&mut self, p: usize) -> &mut ProcRt {
+        let (h, l) = self.sh.proc_loc[p];
+        &mut self.lanes[h as usize].procs[l as usize]
+    }
+
+    fn svc_ref(&self, s: usize) -> &SvcRt {
+        let (h, l) = self.sh.svc_loc[s];
+        &self.lanes[h as usize].services[l as usize]
+    }
+
+    fn svc_rt_mut(&mut self, s: usize) -> &mut SvcRt {
+        let (h, l) = self.sh.svc_loc[s];
+        &mut self.lanes[h as usize].services[l as usize]
+    }
+
+    fn client_rt_mut(&mut self, c: usize) -> &mut ClientRt {
+        let (h, l) = self.sh.client_loc[c];
+        &mut self.lanes[h as usize].clients[l as usize]
+    }
+
+    fn backend_ref(&self, b: usize) -> &BackendRt {
+        let (h, l) = self.sh.backend_loc[b];
+        &self.lanes[h as usize].backends[l as usize]
+    }
+
+    fn backend_rt_mut(&mut self, b: usize) -> &mut BackendRt {
+        let (h, l) = self.sh.backend_loc[b];
+        &mut self.lanes[h as usize].backends[l as usize]
+    }
+
+    /// Pushes an event from the driver/control plane. Keys use the
+    /// [`CTRL_CTX`] context, which sorts after every host context at equal
+    /// times; driver pushes only happen between `run_until` slices or
+    /// between epochs, so they are shard-layout-invariant.
     fn push_ev(&mut self, time: SimTime, ev: Ev) {
-        let seq = self.ev_seq;
-        self.ev_seq += 1;
-        let shard = self.shard_of(&ev);
-        self.events.push(
-            shard,
-            self.now,
-            evq::Entry {
-                time: time.max(self.now),
-                seq,
-                item: ev,
-            },
-        );
-    }
-
-    /// Home shard of an event: the host of the entity it targets, modulo the
-    /// shard count. Routing only balances queue-maintenance work — the
-    /// pop-side merge imposes the global `(time, seq)` order — so any total
-    /// function is correct; stale frame ids (a frame may complete before its
-    /// timeout fires) fall back to shard 0 deterministically.
-    fn shard_of(&self, ev: &Ev) -> usize {
-        let n = self.events.shard_count();
-        if n == 1 {
-            return 0;
-        }
-        let frame_host = |f: FrameId| {
-            self.frames
-                .get(f.idx as usize)
-                .and_then(|slot| slot.as_ref())
-                .filter(|fr| fr.gen == f.gen)
-                .map(|fr| self.procs[self.services[fr.service].process].host)
-                .unwrap_or(0)
+        debug_assert!(self.ctrl_seq < SEQ_MASK);
+        let seq = (CTRL_CTX << CTX_SHIFT) | self.ctrl_seq;
+        self.ctrl_seq += 1;
+        let entry = evq::Entry {
+            time: time.max(self.now),
+            seq,
+            item: ev,
         };
-        let host = match ev {
-            Ev::HostCheck { host, .. } | Ev::HogEnd { host, .. } => *host,
-            Ev::Resume { frame }
-            | Ev::Timeout { frame, .. }
-            | Ev::RetryFire { frame, .. }
-            | Ev::DeliverResponse { frame, .. } => frame_host(*frame),
-            Ev::DeliverRequest { req } => match req.target {
-                CallTarget::Service { svc, .. } => self.procs[self.services[svc].process].host,
-                CallTarget::Backend { backend, .. } => {
-                    self.procs[self.backends[backend].process].host
-                }
-            },
-            Ev::ConnFreed { client } => {
-                let owner = self.clients[*client as usize].owner;
-                self.procs[self.services[owner].process].host
+        match ev_home_host(&self.sh, &entry.item) {
+            Some(h) => {
+                let shard = self.sh.host_shard[h] as usize;
+                self.events.push_shard(shard, entry);
             }
-            Ev::ReplicaApply { backend, .. } => self.procs[self.backends[*backend].process].host,
-            Ev::ProcRestart { proc, .. } => self.procs[*proc].host,
-            // Cluster-wide control events have no home entity.
-            Ev::FaultFire { .. } | Ev::ChaosFire => 0,
-        };
-        host % n
+            None => self.events.push_ctrl(entry),
+        }
     }
 
     // -- Public driver API ---------------------------------------------------
@@ -1509,7 +1905,7 @@ impl Sim {
         let valid = self
             .entry_rts
             .get(h.entry as usize)
-            .map(|er| (h.method as usize) < self.services[er.svc].methods.len())
+            .map(|er| (h.method as usize) < self.svc_ref(er.svc).methods.len())
             .unwrap_or(false);
         if !valid {
             return Err(SimError::Unknown(format!(
@@ -1535,18 +1931,20 @@ impl Sim {
         self.next_root += 1;
         self.metrics.counters.submitted += 1;
 
-        if self.live_frames >= self.cfg.max_frames {
+        if self.inflight() >= self.cfg.max_frames {
             self.metrics.counters.admission_rejections += 1;
             self.metrics.counters.completed_err += 1;
             let method_name = match method_id {
                 Some(m) => self
+                    .sh
                     .names
-                    .get(self.services[svc].method_names[m as usize])
+                    .get(self.svc_ref(svc).method_names[m as usize])
                     .to_string(),
                 None => method.to_string(),
             };
-            self.completions.push(Completion {
+            let completion = Completion {
                 entry: self
+                    .sh
                     .names
                     .get(self.entry_rts[entry as usize].name)
                     .to_string(),
@@ -1558,61 +1956,311 @@ impl Sim {
                 ok: false,
                 observed_version: 0,
                 failure: Some("shed"),
-            });
+            };
+            let (h, _) = self.sh.svc_loc[svc];
+            self.lanes[h as usize].completions.push(completion);
             return Ok(root_seq);
         }
 
         let Some(m) = method_id else {
-            let entry_name = self.names.get(self.entry_rts[entry as usize].name);
+            let entry_name = self.sh.names.get(self.entry_rts[entry as usize].name);
             return Err(SimError::Unknown(format!("method {entry_name}.{method}")));
         };
-        let prog = self.services[svc].methods[m as usize];
+        let prog = self.svc_ref(svc).methods[m as usize];
         let kind = FrameKind::Entry {
             entry: self.entry_rts[entry as usize].name,
-            method: self.services[svc].method_names[m as usize],
+            method: self.svc_ref(svc).method_names[m as usize],
             submitted_ns: self.now,
         };
-        let fid = self.alloc_frame(svc, entity, root_seq, kind, prog, None);
+        // Entry shims never enable tracing, so this allocation skips the
+        // span logic entirely (asserted below).
+        debug_assert!(!self.svc_ref(svc).traced);
+        let now = self.now;
+        let fid = {
+            let (h, _) = self.sh.svc_loc[svc];
+            let lane = &mut self.lanes[h as usize];
+            let mut stack = lane
+                .stack_pool
+                .pop()
+                .unwrap_or_else(|| Vec::with_capacity(2));
+            stack.push(ExecCtx {
+                prog,
+                pc: 0,
+                repeat_left: 0,
+            });
+            let frame = Frame {
+                gen: 0,
+                service: svc,
+                stack,
+                entity,
+                root_seq,
+                kind,
+                call: None,
+                next_call_seq: 0,
+                pending_children: 0,
+                child_failed: false,
+                failed: false,
+                last_err: None,
+                observed_version: 0,
+                did_read: false,
+                span: None,
+                span_owned: false,
+                counted_admission: false,
+                deadline_ns: None,
+                admitted_ns: now,
+            };
+            lane.insert_frame(h, frame)
+        };
         self.push_ev(self.now, Ev::Resume { frame: fid });
         Ok(root_seq)
     }
 
     /// Runs the event loop until virtual time `t`.
+    ///
+    /// With more than one effective shard (and tracing off) this uses
+    /// conservative epoch-parallel dispatch; otherwise the classic
+    /// sequential loop. Either path yields byte-identical results.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some((time, _)) = self.events.peek_key() {
-            if time > t {
-                break;
-            }
-            let entry = self.events.pop().expect("peeked event exists");
-            self.now = entry.time;
-            self.dispatch(entry.item);
+        if self.par_enabled {
+            self.run_until_par(t);
+        } else {
+            self.run_until_seq(t);
         }
         self.now = self.now.max(t);
         self.sync_backend_metrics();
     }
 
-    /// Mirrors dense per-backend stats into the name-keyed metrics map.
-    /// Entries appear only for backends that have seen at least one op,
-    /// matching the old on-demand-creation semantics.
-    fn sync_backend_metrics(&mut self) {
-        for b in &self.backends {
-            if !b.stats_dirty {
-                continue;
+    /// Sequential dispatch: one executor owns every lane and every queue.
+    /// Control events bound the inner drain so they still interleave with
+    /// lane events in global `(time, seq)` order.
+    fn run_until_seq(&mut self, t: SimTime) {
+        loop {
+            let cmin = self.events.ctrl_peek_key();
+            {
+                let mut exec = ShardExec {
+                    sh: &self.sh,
+                    lanes: self.lanes.iter_mut().collect(),
+                    lane_idx: &self.sh.seq_lane_idx,
+                    queues: self.events.shards_mut().iter_mut().map(Some).collect(),
+                    outbox: Vec::new(),
+                    now: self.now,
+                    cur_host: 0,
+                    shard: ALL_SHARDS,
+                    counters: SimCounters::default(),
+                    traces: Some(&mut self.traces),
+                };
+                exec.run(t, cmin);
+                debug_assert!(
+                    exec.outbox.is_empty(),
+                    "all-owning executor buffered a send"
+                );
+                self.now = exec.now;
+                let counters = std::mem::take(&mut exec.counters);
+                drop(exec);
+                self.metrics.counters.merge_from(&counters);
             }
-            let name = self.names.get(b.name);
-            if let Some(slot) = self.metrics.backends.get_mut(name) {
-                slot.clone_from(&b.stats);
-            } else {
-                self.metrics
-                    .backends
-                    .insert(name.to_string(), b.stats.clone());
+            match cmin {
+                Some((ct, _)) if ct <= t => {
+                    let e = self.events.pop_ctrl().expect("peeked control event");
+                    self.now = e.time;
+                    self.dispatch_ctrl(e.item);
+                }
+                _ => break,
             }
         }
     }
 
-    /// Takes the completions recorded since the last drain.
+    /// Conservative epoch-parallel dispatch (see `DESIGN.md` §6). Each
+    /// iteration either runs one control event (exclusively, between
+    /// epochs) or one epoch `[t0, t0 + lookahead)` during which every
+    /// non-empty shard drains its local events on a scoped thread; sends to
+    /// foreign shards buffer in per-worker outboxes and flush at the
+    /// barrier, where they land at or beyond the epoch bound by
+    /// construction (network delay ≥ lookahead).
+    fn run_until_par(&mut self, t: SimTime) {
+        loop {
+            let cmin = self.events.ctrl_peek_key();
+            let qmin = self.events.queue_min().map(|(_, k)| k);
+            let ctrl_first = match (qmin, cmin) {
+                (None, Some(_)) => true,
+                (Some(qk), Some(ck)) => ck < qk,
+                _ => false,
+            };
+            if ctrl_first {
+                let ck = cmin.expect("control key peeked");
+                if ck.0 > t {
+                    break;
+                }
+                let e = self.events.pop_ctrl().expect("peeked control event");
+                self.now = e.time;
+                self.dispatch_ctrl(e.item);
+                continue;
+            }
+            let Some(qk) = qmin else { break };
+            if qk.0 > t {
+                break;
+            }
+
+            if self.events.queued_len() < self.par_epoch_min {
+                // Too few events to amortize thread spawns: dispatch inline
+                // with one all-owning executor. Bounded only by the next
+                // control event (not the epoch), which processes strictly
+                // more work per pass — results are invariant either way.
+                let mut exec = ShardExec {
+                    sh: &self.sh,
+                    lanes: self.lanes.iter_mut().collect(),
+                    lane_idx: &self.sh.seq_lane_idx,
+                    queues: self.events.shards_mut().iter_mut().map(Some).collect(),
+                    outbox: Vec::new(),
+                    now: self.now,
+                    cur_host: 0,
+                    shard: ALL_SHARDS,
+                    counters: SimCounters::default(),
+                    traces: None,
+                };
+                exec.run(t, cmin);
+                debug_assert!(exec.outbox.is_empty());
+                self.now = exec.now;
+                let counters = std::mem::take(&mut exec.counters);
+                drop(exec);
+                self.metrics.counters.merge_from(&counters);
+                continue;
+            }
+
+            // Epoch bound: strictly-less-than `t0 + lookahead` expressed as
+            // a key bound with seq 0, additionally clipped by the next
+            // control event. `lookahead` is `None` when nothing crosses
+            // shards — then only the horizon and control events bound the
+            // epoch.
+            let epoch_bound = self.sh.lookahead.map(|la| (qk.0.saturating_add(la), 0u64));
+            let bound = match (epoch_bound, cmin) {
+                (Some(e), Some(c)) => Some(e.min(c)),
+                (Some(e), None) => Some(e),
+                (None, c) => c,
+            };
+
+            let sh = &self.sh;
+            let n_shards = self.n_shards;
+            let now0 = self.now;
+            let mut lane_parts: Vec<Vec<&mut HostLane>> =
+                (0..n_shards).map(|_| Vec::new()).collect();
+            for (h, lane) in self.lanes.iter_mut().enumerate() {
+                lane_parts[sh.host_shard[h] as usize].push(lane);
+            }
+            let mut execs: Vec<ShardExec> = Vec::with_capacity(n_shards);
+            for (s, (lanes, q)) in lane_parts
+                .into_iter()
+                .zip(self.events.shards_mut().iter_mut())
+                .enumerate()
+            {
+                // A worker whose queue is empty can receive no work this
+                // epoch (cross-shard sends land beyond the bound), so skip
+                // spawning it.
+                if q.is_empty() {
+                    continue;
+                }
+                let mut queues: Vec<Option<&mut EvQueue<Ev>>> =
+                    (0..n_shards).map(|_| None).collect();
+                queues[s] = Some(q);
+                execs.push(ShardExec {
+                    sh,
+                    lanes,
+                    lane_idx: &sh.par_lane_idx,
+                    queues,
+                    outbox: Vec::new(),
+                    now: now0,
+                    cur_host: 0,
+                    shard: s as u32,
+                    counters: SimCounters::default(),
+                    traces: None,
+                });
+            }
+            let finished: Vec<ShardExec> = std::thread::scope(|scope| {
+                let handles: Vec<_> = execs
+                    .into_iter()
+                    .map(|mut e| {
+                        scope.spawn(move || {
+                            e.run(t, bound);
+                            e
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("epoch worker panicked"))
+                    .collect()
+            });
+            // Close the epoch: merge scratch counters (additive, so merge
+            // order is invisible) and flush outboxes. Keys are globally
+            // unique, so queue insertion order cannot affect pop order.
+            let mut max_now = self.now;
+            let mut counters = SimCounters::default();
+            let mut flush: Vec<(usize, evq::Entry<Ev>)> = Vec::new();
+            for mut e in finished {
+                max_now = max_now.max(e.now);
+                counters.merge_from(&e.counters);
+                flush.append(&mut e.outbox);
+            }
+            self.metrics.counters.merge_from(&counters);
+            self.now = max_now;
+            for (shard, entry) in flush {
+                debug_assert!(
+                    epoch_bound.is_none_or(|(te, _)| entry.time >= te),
+                    "cross-shard send landed inside its own epoch"
+                );
+                self.events.push_shard(shard, entry);
+            }
+        }
+    }
+
+    /// Dispatches a control-plane event. Runs with `&mut Sim` between
+    /// epochs (or between sequential drain segments), so it may touch
+    /// cluster-wide state that shard workers only read.
+    fn dispatch_ctrl(&mut self, ev: Ev) {
+        match ev {
+            Ev::FaultFire { fault } => self.apply_fault(fault),
+            Ev::ProcRestart { proc, gen } => {
+                if self.sh.proc_gen[proc] == gen && self.sh.proc_down[proc] {
+                    self.sh.proc_down[proc] = false;
+                }
+            }
+            Ev::ChaosFire => self.on_chaos_fire(),
+            other => unreachable!("lane event {other:?} on the control queue"),
+        }
+    }
+
+    /// Mirrors dense per-backend stats into the name-keyed metrics map.
+    /// Entries appear only for backends that have seen at least one op,
+    /// matching the old on-demand-creation semantics. The map is a
+    /// `BTreeMap` keyed by name, so lane iteration order is invisible.
+    fn sync_backend_metrics(&mut self) {
+        for lane in &self.lanes {
+            for b in &lane.backends {
+                if !b.stats_dirty {
+                    continue;
+                }
+                let name = self.sh.names.get(b.name);
+                if let Some(slot) = self.metrics.backends.get_mut(name) {
+                    slot.clone_from(&b.stats);
+                } else {
+                    self.metrics
+                        .backends
+                        .insert(name.to_string(), b.stats.clone());
+                }
+            }
+        }
+    }
+
+    /// Takes the completions recorded since the last drain, concatenating
+    /// per-lane buffers in host order (partition-invariant: entry frames
+    /// all home on the workload host).
     pub fn drain_completions(&mut self) -> Vec<Completion> {
-        std::mem::take(&mut self.completions)
+        let total: usize = self.lanes.iter().map(|l| l.completions.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for lane in &mut self.lanes {
+            out.append(&mut lane.completions);
+        }
+        out
     }
 
     /// Injects CPU contention on a host for a duration (the FIRM anomaly
@@ -1623,8 +2271,8 @@ impl Sim {
             .iter()
             .position(|n| n == host)
             .ok_or_else(|| SimError::Unknown(format!("host {host}")))?;
-        self.hosts[h].adjust_hog(self.now, cores);
-        self.touch_host(h);
+        self.lanes[h].ps.adjust_hog(self.now, cores);
+        self.touch_host_sim(h);
         self.push_ev(
             self.now + duration,
             Ev::HogEnd {
@@ -1733,20 +2381,20 @@ impl Sim {
     /// Flushes a cache backend (the Type-4 metastability trigger).
     pub fn cache_flush(&mut self, backend: &str) -> Result<()> {
         let b = self.backend_idx(backend)?;
-        self.backends[b].cache.flush();
+        self.backend_rt_mut(b).cache.flush();
         Ok(())
     }
 
     /// Pre-fills a cache with keys `0..n` at the given version.
     pub fn cache_fill(&mut self, backend: &str, n: u64, version: u64) -> Result<()> {
         let b = self.backend_idx(backend)?;
-        let capacity = match self.backends[b].kind {
+        let capacity = match self.backend_ref(b).kind {
             BackendRtKind::Cache { capacity_items, .. } => capacity_items,
             _ => return Err(SimError::Unknown(format!("{backend} is not a cache"))),
         };
-        let backend_rt = &mut self.backends[b];
+        let BackendRt { cache, rng, .. } = self.backend_rt_mut(b);
         for k in 0..n.min(capacity) {
-            backend_rt.cache.put(k, version, capacity, &mut self.rng);
+            cache.put(k, version, capacity, rng);
         }
         Ok(())
     }
@@ -1754,15 +2402,16 @@ impl Sim {
     /// Number of resident keys in a cache.
     pub fn cache_len(&self, backend: &str) -> Result<usize> {
         let b = self.backend_idx(backend)?;
-        Ok(self.backends[b].cache.len())
+        Ok(self.backend_ref(b).cache.len())
     }
 
     /// Pre-fills a store (primary and all replicas) with keys `0..n`.
     pub fn store_fill(&mut self, backend: &str, n: u64, version: u64) -> Result<()> {
         let b = self.backend_idx(backend)?;
+        let store = &mut self.backend_rt_mut(b).store;
         for k in 0..n {
-            self.backends[b].store.primary.insert(k, version);
-            for r in &mut self.backends[b].store.replicas {
+            store.primary.insert(k, version);
+            for r in &mut store.replicas {
                 r.insert(k, version);
             }
         }
@@ -1772,7 +2421,8 @@ impl Sim {
     /// The primary's version for a key (0 if absent).
     pub fn store_primary_version(&self, backend: &str, key: u64) -> Result<u64> {
         let b = self.backend_idx(backend)?;
-        Ok(self.backends[b]
+        Ok(self
+            .backend_ref(b)
             .store
             .primary
             .get(&key)
@@ -1783,7 +2433,8 @@ impl Sim {
     /// The replicas' versions for a key (empty when unreplicated).
     pub fn store_replica_versions(&self, backend: &str, key: u64) -> Result<Vec<u64>> {
         let b = self.backend_idx(backend)?;
-        Ok(self.backends[b]
+        Ok(self
+            .backend_ref(b)
             .store
             .replicas
             .iter()
@@ -1792,118 +2443,20 @@ impl Sim {
     }
 
     fn backend_idx(&self, name: &str) -> Result<usize> {
-        self.backends
-            .iter()
-            .position(|b| self.names.get(b.name) == name)
+        (0..self.sh.backend_loc.len())
+            .find(|&i| self.sh.names.get(self.backend_ref(i).name) == name)
             .ok_or_else(|| SimError::Unknown(format!("backend {name}")))
     }
 
-    // -- Frame lifecycle ------------------------------------------------------
-
-    fn alloc_frame(
-        &mut self,
-        service: usize,
-        entity: u64,
-        root_seq: u64,
-        kind: FrameKind,
-        prog: ProgId,
-        parent_span: Option<(TraceId, SpanId)>,
-    ) -> FrameId {
-        let is_subtask = matches!(kind, FrameKind::SubTask { .. });
-        let mut stack = self
-            .stack_pool
-            .pop()
-            .unwrap_or_else(|| Vec::with_capacity(2));
-        stack.push(ExecCtx {
-            prog,
-            pc: 0,
-            repeat_left: 0,
-        });
-        let (span, span_owned) =
-            if !is_subtask && self.cfg.record_traces && self.services[service].traced {
-                let op = match &kind {
-                    FrameKind::Entry { method, .. } => *method,
-                    FrameKind::Rpc { .. } | FrameKind::SubTask { .. } => self.rpc_name,
-                };
-                let sid = self.traces.start_span(
-                    TraceId(root_seq),
-                    parent_span.map(|(_, s)| s),
-                    self.names.get(self.svc_names[service]),
-                    self.names.get(op),
-                    self.now,
-                );
-                self.metrics.counters.spans += 1;
-                if let Some(ob) = self.services[service].overhead_prog {
-                    stack.push(ExecCtx {
-                        prog: ob,
-                        pc: 0,
-                        repeat_left: 0,
-                    });
-                }
-                (Some((TraceId(root_seq), sid)), true)
-            } else {
-                (parent_span, false)
-            };
-
-        let frame = Frame {
-            gen: 0,
-            service,
-            stack,
-            entity,
-            root_seq,
-            kind,
-            call: None,
-            next_call_seq: 0,
-            pending_children: 0,
-            child_failed: false,
-            failed: false,
-            last_err: None,
-            observed_version: 0,
-            did_read: false,
-            span,
-            span_owned,
-            counted_admission: false,
-            deadline_ns: None,
-            admitted_ns: self.now,
-        };
-        self.live_frames += 1;
-        if let Some(idx) = self.free_frames.pop() {
-            let gen = self.frame_gens[idx as usize];
-            self.frames[idx as usize] = Some(Frame { gen, ..frame });
-            FrameId { idx, gen }
-        } else {
-            // Cannot overflow for entry frames (`max_frames` is capped at
-            // u32::MAX in `Sim::new`), but internal sub-frames are not
-            // admission-counted, so convert checked rather than truncate.
-            let idx = u32::try_from(self.frames.len())
-                .expect("frame table exceeds u32 index space (see MAX_FRAMES_CAP)");
-            self.frames.push(Some(frame));
-            self.frame_gens.push(0);
-            FrameId { idx, gen: 0 }
-        }
-    }
-
-    fn frame(&mut self, id: FrameId) -> Option<&mut Frame> {
-        match self.frames.get_mut(id.idx as usize) {
-            Some(Some(f)) if f.gen == id.gen => Some(f),
-            _ => None,
-        }
-    }
-
-    /// Removes a frame, recycling its slot and interpreter stack.
-    fn take_frame(&mut self, id: FrameId) -> Option<Frame> {
-        let slot = self.frames.get_mut(id.idx as usize)?;
-        if slot.as_ref().map(|f| f.gen == id.gen).unwrap_or(false) {
-            let mut frame = slot.take().expect("generation checked");
-            self.frame_gens[id.idx as usize] = id.gen.wrapping_add(1);
-            self.free_frames.push(id.idx);
-            self.live_frames -= 1;
-            let mut stack = std::mem::take(&mut frame.stack);
-            stack.clear();
-            self.stack_pool.push(stack);
-            Some(frame)
-        } else {
-            None
+    /// Re-arms a host's `HostCheck` after a driver/control-plane scheduler
+    /// perturbation (the executor-side equivalent lives in `ShardExec`).
+    fn touch_host_sim(&mut self, host: usize) {
+        let now = self.now;
+        let lane = &mut self.lanes[host];
+        lane.host_gen += 1;
+        let gen = lane.host_gen;
+        if let Some(t) = lane.ps.next_completion(now) {
+            self.push_ev(t, Ev::HostCheck { host, gen });
         }
     }
 }

@@ -1,8 +1,225 @@
 // Execution half of the simulator: event dispatch and the behavior
-// interpreter. Included by `sim.rs` (same module) to keep file sizes
-// reviewable while sharing all private types.
+// interpreter, as methods on `ShardExec` so the same code path serves both
+// the sequential loop (one executor owning every lane) and epoch-parallel
+// workers (one executor per shard). Included by `sim.rs` (same module) to
+// keep file sizes reviewable while sharing all private types.
 
-impl Sim {
+impl<'a> ShardExec<'a> {
+    // ------------------------------------------------------------------
+    // Executor core: queue scan, event push, lane/entity access.
+    // ------------------------------------------------------------------
+
+    /// Drains owned queues in `(time, seq)` order until the horizon
+    /// `until` (inclusive) or the first event at or beyond `bound`
+    /// (exclusive — used for epoch ends and pending control events).
+    fn run(&mut self, until: SimTime, bound: Option<EvKey>) {
+        loop {
+            // k-way min scan over owned queues. k is the shard count (tiny);
+            // for the common one-owned-queue worker this is one peek.
+            let mut best: Option<(usize, EvKey)> = None;
+            for (si, q) in self.queues.iter_mut().enumerate() {
+                let Some(q) = q else { continue };
+                if let Some(k) = q.peek_key() {
+                    if best.is_none_or(|(_, bk)| k < bk) {
+                        best = Some((si, k));
+                    }
+                }
+            }
+            let Some((si, key)) = best else { return };
+            if key.0 > until {
+                return;
+            }
+            if let Some(b) = bound {
+                if key >= b {
+                    return;
+                }
+            }
+            let e = self.queues[si]
+                .as_mut()
+                .expect("owned queue")
+                .pop()
+                .expect("peeked event exists");
+            self.now = e.time;
+            self.cur_host = ev_home_host(self.sh, &e.item).expect("lane event has a home host")
+                as u32;
+            self.dispatch(e.item);
+        }
+    }
+
+    /// Pushes an event, keyed by the current dispatch context: the high key
+    /// bits carry `cur_host`, the low bits that lane's private push counter.
+    /// Events homed on a foreign shard buffer in the outbox (every such
+    /// event is a network send with delay ≥ the lookahead, so it lands at
+    /// or beyond the epoch bound).
+    fn push_ev(&mut self, time: SimTime, ev: Ev) {
+        let home = ev_home_host(self.sh, &ev).expect("executors only push lane events");
+        let shard = self.sh.host_shard[home] as usize;
+        let now = self.now;
+        let cur = self.cur_host;
+        let seq = {
+            let lane = self.lane(cur as usize);
+            debug_assert!(lane.ev_seq < SEQ_MASK);
+            let s = ((cur as u64) << CTX_SHIFT) | lane.ev_seq;
+            lane.ev_seq += 1;
+            s
+        };
+        let entry = evq::Entry {
+            time: time.max(now),
+            seq,
+            item: ev,
+        };
+        match self.queues.get_mut(shard).and_then(|q| q.as_mut()) {
+            Some(q) => q.push(entry),
+            None => self.outbox.push((shard, entry)),
+        }
+    }
+
+    fn lane(&mut self, host: usize) -> &mut HostLane {
+        debug_assert!(
+            self.shard == ALL_SHARDS || self.sh.host_shard[host] == self.shard,
+            "dispatch touched a foreign host's lane"
+        );
+        &mut *self.lanes[self.lane_idx[host] as usize]
+    }
+
+    fn lane_ref(&self, host: usize) -> &HostLane {
+        debug_assert!(
+            self.shard == ALL_SHARDS || self.sh.host_shard[host] == self.shard,
+            "dispatch touched a foreign host's lane"
+        );
+        &*self.lanes[self.lane_idx[host] as usize]
+    }
+
+    // Entity accessors: global id → lane-local slot via the location tables.
+
+    fn proc_ref(&self, p: usize) -> &ProcRt {
+        let (h, l) = self.sh.proc_loc[p];
+        &self.lane_ref(h as usize).procs[l as usize]
+    }
+
+    fn proc_mut(&mut self, p: usize) -> &mut ProcRt {
+        let (h, l) = self.sh.proc_loc[p];
+        &mut self.lane(h as usize).procs[l as usize]
+    }
+
+    fn svc_ref(&self, s: usize) -> &SvcRt {
+        let (h, l) = self.sh.svc_loc[s];
+        &self.lane_ref(h as usize).services[l as usize]
+    }
+
+    fn svc_mut(&mut self, s: usize) -> &mut SvcRt {
+        let (h, l) = self.sh.svc_loc[s];
+        &mut self.lane(h as usize).services[l as usize]
+    }
+
+    /// Client by id, tolerating the [`UNBOUND_CLIENT`] sentinel (which flows
+    /// into response/bookkeeping paths for calls that failed to bind).
+    fn client_opt_mut(&mut self, client: u32) -> Option<&mut ClientRt> {
+        let (h, l) = *self.sh.client_loc.get(client as usize)?;
+        Some(&mut self.lane(h as usize).clients[l as usize])
+    }
+
+    fn client_mut(&mut self, client: u32) -> &mut ClientRt {
+        self.client_opt_mut(client).expect("client id valid")
+    }
+
+    fn backend_ref(&self, b: usize) -> &BackendRt {
+        let (h, l) = self.sh.backend_loc[b];
+        &self.lane_ref(h as usize).backends[l as usize]
+    }
+
+    fn backend_mut(&mut self, b: usize) -> &mut BackendRt {
+        let (h, l) = self.sh.backend_loc[b];
+        &mut self.lane(h as usize).backends[l as usize]
+    }
+
+    // Frame lifecycle (tables live on the frame's home lane).
+
+    fn frame(&mut self, id: FrameId) -> Option<&mut Frame> {
+        self.lane(id.host as usize).frame_mut(id)
+    }
+
+    fn take_frame(&mut self, id: FrameId) -> Option<Frame> {
+        self.lane(id.host as usize).take_frame(id)
+    }
+
+    fn alloc_frame(
+        &mut self,
+        service: usize,
+        entity: u64,
+        root_seq: u64,
+        kind: FrameKind,
+        prog: ProgId,
+        parent_span: Option<(TraceId, SpanId)>,
+    ) -> FrameId {
+        let sh = self.sh;
+        let is_subtask = matches!(kind, FrameKind::SubTask { .. });
+        let (host, _) = sh.svc_loc[service];
+        let now = self.now;
+        let mut stack = self
+            .lane(host as usize)
+            .stack_pool
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(2));
+        stack.push(ExecCtx {
+            prog,
+            pc: 0,
+            repeat_left: 0,
+        });
+        let (span, span_owned) = if !is_subtask && sh.record_traces && self.svc_ref(service).traced
+        {
+            let op = match &kind {
+                FrameKind::Entry { method, .. } => *method,
+                FrameKind::Rpc { .. } | FrameKind::SubTask { .. } => sh.rpc_name,
+            };
+            let tr = self
+                .traces
+                .as_mut()
+                .expect("tracing forces sequential dispatch");
+            let sid = tr.start_span(
+                TraceId(root_seq),
+                parent_span.map(|(_, s)| s),
+                sh.names.get(sh.svc_names[service]),
+                sh.names.get(op),
+                now,
+            );
+            self.counters.spans += 1;
+            if let Some(ob) = self.svc_ref(service).overhead_prog {
+                stack.push(ExecCtx {
+                    prog: ob,
+                    pc: 0,
+                    repeat_left: 0,
+                });
+            }
+            (Some((TraceId(root_seq), sid)), true)
+        } else {
+            (parent_span, false)
+        };
+
+        let frame = Frame {
+            gen: 0,
+            service,
+            stack,
+            entity,
+            root_seq,
+            kind,
+            call: None,
+            next_call_seq: 0,
+            pending_children: 0,
+            child_failed: false,
+            failed: false,
+            last_err: None,
+            observed_version: 0,
+            did_read: false,
+            span,
+            span_owned,
+            counted_admission: false,
+            deadline_ns: None,
+            admitted_ns: now,
+        };
+        self.lane(host as usize).insert_frame(host, frame)
+    }
+
     // ------------------------------------------------------------------
     // Event dispatch.
     // ------------------------------------------------------------------
@@ -10,14 +227,21 @@ impl Sim {
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::HostCheck { host, gen } => {
-                if self.host_gen[host] != gen {
-                    return;
-                }
-                let done = self.hosts[host].collect_due(self.now);
-                for job in done {
-                    if let Some(cont) = self.jobs.remove(&job) {
-                        self.run_cont(cont);
+                let now = self.now;
+                // Collect continuations first, then run them: every removal
+                // precedes any `run_cont` (which may allocate fresh job ids
+                // but can never cancel a due one on this path), so this
+                // matches remove-as-you-go order exactly.
+                let conts: Vec<JobCont> = {
+                    let lane = self.lane(host);
+                    if lane.host_gen != gen {
+                        return;
                     }
+                    let done = lane.ps.collect_due(now);
+                    done.iter().filter_map(|j| lane.jobs.remove(j)).collect()
+                };
+                for cont in conts {
+                    self.run_cont(cont);
                 }
                 self.touch_host(host);
             }
@@ -29,17 +253,20 @@ impl Sim {
                 self.on_deliver_response(frame, seq, attempt, outcome)
             }
             Ev::HogEnd { host, milli_cores } => {
-                self.hosts[host].adjust_hog(self.now, -(milli_cores as f64 / 1000.0));
+                let now = self.now;
+                self.lane(host)
+                    .ps
+                    .adjust_hog(now, -(milli_cores as f64 / 1000.0));
                 self.touch_host(host);
             }
             Ev::ConnFreed { client } => {
-                if let Some(c) = self.clients.get_mut(client as usize) {
+                if let Some(c) = self.client_opt_mut(client) {
                     c.conns_in_use = c.conns_in_use.saturating_sub(1);
                 }
                 self.wake_waiters(client);
             }
             Ev::ReplicaApply { backend, replica, key, version } => {
-                let store = &mut self.backends[backend].store;
+                let store = &mut self.backend_mut(backend).store;
                 if let Some(r) = store.replicas.get_mut(replica) {
                     let slot = r.entry(key).or_insert(0);
                     if version > *slot {
@@ -47,13 +274,11 @@ impl Sim {
                     }
                 }
             }
-            Ev::FaultFire { fault } => self.apply_fault(fault),
-            Ev::ProcRestart { proc, gen } => {
-                if self.proc_gen[proc] == gen && self.proc_down[proc] {
-                    self.proc_down[proc] = false;
-                }
+            // Control events never reach shard queues (`ev_home_host`
+            // routes them to the control plane).
+            Ev::FaultFire { .. } | Ev::ProcRestart { .. } | Ev::ChaosFire => {
+                unreachable!("control event on a shard queue")
             }
-            Ev::ChaosFire => self.on_chaos_fire(),
         }
     }
 
@@ -82,246 +307,23 @@ impl Sim {
                 );
             }
             JobCont::GcEnd { proc } => {
-                let (host, base, started) = {
-                    let gc = self.gc_specs[proc].as_ref().expect("gc proc has spec");
-                    let p = &self.procs[proc];
-                    (p.host, gc.base_heap_bytes, p.gc_started_ns)
+                let base = self.sh.gc_specs[proc]
+                    .as_ref()
+                    .expect("gc proc has spec")
+                    .base_heap_bytes;
+                let now = self.now;
+                let (host, started) = {
+                    let p = self.proc_mut(proc);
+                    let started = p.gc_started_ns;
+                    p.heap = base;
+                    p.in_gc = false;
+                    p.gc_job = None;
+                    (p.host, started)
                 };
-                let p = &mut self.procs[proc];
-                p.heap = base;
-                p.in_gc = false;
-                p.gc_job = None;
-                self.metrics.counters.gc_pause_ns += self.now.saturating_sub(started);
-                self.hosts[host].unfreeze_proc(self.now, proc);
+                self.counters.gc_pause_ns += now.saturating_sub(started);
+                self.lane(host).ps.unfreeze_proc(now, proc);
                 self.touch_host(host);
             }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Fault injection.
-    // ------------------------------------------------------------------
-
-    /// Executes a resolved fault at the current time.
-    fn apply_fault(&mut self, rf: RFault) {
-        self.metrics.counters.faults_injected += 1;
-        match rf {
-            RFault::Crash { proc, restart_ns } => self.crash_process(proc, restart_ns),
-            RFault::HostDown { host, down_ns } => {
-                let residents: Vec<usize> =
-                    (0..self.procs.len()).filter(|p| self.procs[*p].host == host).collect();
-                for proc in residents {
-                    self.crash_process(proc, down_ns);
-                }
-            }
-            RFault::Link { a, b, dur, extra_ns, loss } => {
-                let until = self.now + dur;
-                for pair in [(a, b), (b, a)] {
-                    let e = self.link_faults.entry(pair).or_insert(LinkFault {
-                        until: 0,
-                        extra_ns: 0,
-                        loss: 0.0,
-                    });
-                    // Overlapping faults merge to the worst case.
-                    e.until = e.until.max(until);
-                    e.extra_ns = e.extra_ns.max(extra_ns);
-                    e.loss = e.loss.max(loss);
-                }
-            }
-            RFault::Brownout { backend, dur, slow, unavailable } => {
-                let until = self.now + dur;
-                let b = &mut self.backends[backend];
-                b.brownout_until = b.brownout_until.max(until);
-                b.brownout_slow = slow;
-                b.brownout_unavailable = unavailable;
-            }
-        }
-    }
-
-    /// Crashes a process: every resident frame and CPU job dies, callers see
-    /// `Crash` errors, client/connection/heap state resets cold, and the
-    /// process restarts after `restart_ns`.
-    fn crash_process(&mut self, proc: usize, restart_ns: SimTime) {
-        if self.proc_down[proc] {
-            return;
-        }
-        self.proc_down[proc] = true;
-        self.proc_gen[proc] += 1;
-        self.metrics.counters.process_crashes += 1;
-        let host = self.procs[proc].host;
-
-        // An in-progress GC pause dies with the process; the heap restarts at
-        // its base size (or empty without a GC spec).
-        if let Some(job) = self.procs[proc].gc_job.take() {
-            self.hosts[host].cancel(self.now, job);
-            self.jobs.remove(&job);
-        }
-        {
-            let base = self.gc_specs[proc].as_ref().map(|g| g.base_heap_bytes).unwrap_or(0);
-            let p = &mut self.procs[proc];
-            p.heap = base;
-            p.in_gc = false;
-        }
-
-        // Cancel every CPU job of the process; in-flight work that would have
-        // produced a response fails fast so callers are never left hanging.
-        let victims = self.hosts[host].cancel_proc(self.now, proc);
-        for job in victims {
-            let Some(cont) = self.jobs.remove(&job) else { continue };
-            match cont {
-                // The frame dies in the sweep below; nothing to route.
-                JobCont::FrameStep(_) | JobCont::SendRequest(..) | JobCont::GcEnd { .. } => {}
-                JobCont::SendResponse { frame, seq, attempt, net_ns, .. } => {
-                    let t = self.now + net_ns;
-                    self.push_ev(
-                        t,
-                        Ev::DeliverResponse {
-                            frame,
-                            seq,
-                            attempt,
-                            outcome: CallOutcome::failure(CallErr::Crash),
-                        },
-                    );
-                }
-                JobCont::BackendExec { req, .. } => {
-                    let t = self.now + req.reply.net_ns;
-                    self.push_ev(
-                        t,
-                        Ev::DeliverResponse {
-                            frame: req.caller,
-                            seq: req.seq,
-                            attempt: req.attempt,
-                            outcome: CallOutcome::failure(CallErr::Crash),
-                        },
-                    );
-                }
-            }
-        }
-
-        // Kill every frame resident on the process (slot order is
-        // deterministic). The table is bounded by u32 frame ids
-        // (MAX_FRAMES_CAP), so the conversion is checked, not truncating.
-        let n_frames =
-            u32::try_from(self.frames.len()).expect("frame table exceeds u32 index space");
-        for idx in 0..n_frames {
-            let fid = match &self.frames[idx as usize] {
-                Some(f) if self.services[f.service].process == proc => {
-                    FrameId { idx, gen: f.gen }
-                }
-                _ => continue,
-            };
-            self.kill_frame_for_crash(fid);
-        }
-
-        // Clients owned by the process's services restart cold: breaker
-        // closed, health window empty, no pooled connections, no waiters.
-        for ci in 0..self.clients.len() {
-            let owner = self.clients[ci].owner;
-            if self.services[owner].process != proc {
-                continue;
-            }
-            let c = &mut self.clients[ci];
-            c.window.clear();
-            c.window_failures = 0;
-            c.breaker = BreakerState::Closed;
-            c.conns_in_use = 0;
-            c.waiters.clear();
-            c.rr = 0;
-            for slot in c.outstanding.iter_mut() {
-                *slot = 0;
-            }
-            c.budget_tokens = 0.0;
-        }
-
-        // Admission controllers on the process restart cold too (the next
-        // observation re-seeds the EWMA rather than decaying up from zero).
-        for s in self.services.iter_mut() {
-            if s.process != proc {
-                continue;
-            }
-            if let Some(ctl) = &mut s.shed {
-                ctl.reset();
-            }
-        }
-
-        // Volatile backend state on the process is lost; stores are durable.
-        for b in self.backends.iter_mut() {
-            if b.process == proc {
-                b.cache.flush();
-                b.queue.clear();
-            }
-        }
-
-        let gen = self.proc_gen[proc];
-        self.push_ev(self.now + restart_ns, Ev::ProcRestart { proc, gen });
-        self.touch_host(host);
-    }
-
-    /// Removes one frame killed by a process crash, routing the failure to
-    /// whoever was waiting on it.
-    fn kill_frame_for_crash(&mut self, fid: FrameId) {
-        let Some(frame) = self.take_frame(fid) else { return };
-        self.metrics.counters.crashed_frames += 1;
-        if frame.counted_admission {
-            let s = &mut self.services[frame.service];
-            s.active = s.active.saturating_sub(1);
-        }
-        if frame.span_owned {
-            if let Some((tid, sid)) = frame.span {
-                self.traces.end_span(tid, sid, self.now, true);
-            }
-        }
-        match frame.kind {
-            FrameKind::Entry { entry, method, submitted_ns } => {
-                // Defensive: entry frames live on the workload shim, which a
-                // fault plan cannot target.
-                self.metrics.counters.completed_err += 1;
-                self.completions.push(Completion {
-                    entry: self.names.get(entry).to_string(),
-                    method: self.names.get(method).to_string(),
-                    entity: frame.entity,
-                    root_seq: frame.root_seq,
-                    submitted_ns,
-                    finished_ns: self.now,
-                    ok: false,
-                    observed_version: frame.observed_version,
-                    failure: Some(CallErr::Crash.label()),
-                });
-            }
-            FrameKind::Rpc { caller, seq, attempt, reply } => {
-                // No server-side serialization: the reply never forms; the
-                // caller learns of the crash after the network delay.
-                let t = self.now + reply.net_ns;
-                self.push_ev(
-                    t,
-                    Ev::DeliverResponse {
-                        frame: caller,
-                        seq,
-                        attempt,
-                        outcome: CallOutcome::failure(CallErr::Crash),
-                    },
-                );
-            }
-            // The parent runs in the same process and dies in the same sweep.
-            FrameKind::SubTask { .. } => {}
-        }
-    }
-
-    /// Draws and injects the next chaos fault, then re-arms the process.
-    fn on_chaos_fire(&mut self) {
-        let (fault, next, end) = {
-            let Some(chaos) = self.chaos.as_mut() else { return };
-            if self.now >= chaos.end_ns {
-                return;
-            }
-            let idx = chaos.rng.gen_range(0..chaos.menu.len());
-            let fault = chaos.menu[idx].clone();
-            let gap = exp_gap(&mut chaos.rng, chaos.mean_gap_ns);
-            (fault, self.now + gap, chaos.end_ns)
-        };
-        self.apply_fault(fault);
-        if next < end {
-            self.push_ev(next, Ev::ChaosFire);
         }
     }
 
@@ -331,56 +333,66 @@ impl Sim {
 
     /// Re-arms the completion check event for a host.
     fn touch_host(&mut self, host: usize) {
-        self.host_gen[host] += 1;
-        if let Some(t) = self.hosts[host].next_completion(self.now) {
-            let gen = self.host_gen[host];
+        let now = self.now;
+        let (gen, next) = {
+            let lane = self.lane(host);
+            lane.host_gen += 1;
+            (lane.host_gen, lane.ps.next_completion(now))
+        };
+        if let Some(t) = next {
             self.push_ev(t, Ev::HostCheck { host, gen });
         }
-    }
-
-    fn alloc_job(&mut self, cont: JobCont) -> JobId {
-        let id = JobId(self.next_job);
-        self.next_job += 1;
-        self.jobs.insert(id, cont);
-        id
     }
 
     /// Adds a CPU job on `host` tagged with `proc_tag` (frozen if that
     /// process is mid-GC). Returns the job id so callers can track it.
     fn add_job_on(&mut self, host: usize, proc_tag: usize, work_ns: f64, cont: JobCont) -> JobId {
-        let job = self.alloc_job(cont);
-        let frozen = proc_tag != NO_PROC && self.procs[proc_tag].in_gc;
-        if frozen {
-            self.hosts[host].add_frozen(self.now, job, work_ns, proc_tag);
-        } else {
-            self.hosts[host].add(self.now, job, work_ns, proc_tag);
-        }
+        let frozen = proc_tag != NO_PROC && self.proc_ref(proc_tag).in_gc;
+        let now = self.now;
+        let job = {
+            let lane = self.lane(host);
+            let id = JobId(lane.next_job);
+            lane.next_job += 1;
+            lane.jobs.insert(id, cont);
+            if frozen {
+                lane.ps.add_frozen(now, id, work_ns, proc_tag);
+            } else {
+                lane.ps.add(now, id, work_ns, proc_tag);
+            }
+            id
+        };
         self.touch_host(host);
         job
     }
 
     /// Adds a CPU job on the host of `proc`.
     fn add_proc_job(&mut self, proc: usize, work_ns: f64, cont: JobCont) {
-        let host = self.procs[proc].host;
+        let host = self.sh.proc_host[proc] as usize;
         self.add_job_on(host, proc, work_ns, cont);
     }
 
     /// Records a heap allocation, potentially triggering a GC pause.
     fn heap_alloc(&mut self, proc: usize, bytes: u64) {
-        let Some(gc) = self.gc_specs[proc].clone() else { return };
-        let p = &mut self.procs[proc];
-        p.heap += bytes;
-        let threshold = gc.base_heap_bytes as f64 * (1.0 + gc.gogc_percent / 100.0);
-        if !p.in_gc && p.heap as f64 >= threshold {
-            p.in_gc = true;
-            p.gc_started_ns = self.now;
-            let heap_mib = (p.heap >> 20).max(1);
-            let host = p.host;
-            self.metrics.counters.gc_pauses += 1;
-            self.hosts[host].freeze_proc(self.now, proc);
+        let sh = self.sh;
+        let Some(gc) = sh.gc_specs[proc].as_ref() else { return };
+        let now = self.now;
+        let (trigger, host, heap_mib) = {
+            let p = self.proc_mut(proc);
+            p.heap += bytes;
+            let threshold = gc.base_heap_bytes as f64 * (1.0 + gc.gogc_percent / 100.0);
+            let trigger = !p.in_gc && p.heap as f64 >= threshold;
+            if trigger {
+                p.in_gc = true;
+                p.gc_started_ns = now;
+            }
+            (trigger, p.host, (p.heap >> 20).max(1))
+        };
+        if trigger {
+            self.counters.gc_pauses += 1;
+            self.lane(host).ps.freeze_proc(now, proc);
             let pause_work = (gc.pause_cpu_ns_per_mib * heap_mib) as f64;
             let job = self.add_job_on(host, NO_PROC, pause_work, JobCont::GcEnd { proc });
-            self.procs[proc].gc_job = Some(job);
+            self.proc_mut(proc).gc_job = Some(job);
         }
     }
 
@@ -391,17 +403,19 @@ impl Sim {
     /// Advances a frame until it blocks or completes.
     fn step_frame(&mut self, fid: FrameId) {
         loop {
-            // Resolve the next step under a short borrow. `progs` and
-            // `frames` are disjoint fields, so the arena can be read while
-            // the frame is borrowed mutably.
+            // Resolve the next step under a short borrow. The program arena
+            // lives in `Shared` (a plain `&` alongside `&mut self`), so it
+            // can be read while the frame is borrowed mutably.
             enum Next {
                 Blocked,
                 Done(bool),
                 Step(ProgId, usize),
             }
+            let sh = self.sh;
             let next = {
-                let progs = &self.progs;
-                let frame = match self.frames.get_mut(fid.idx as usize) {
+                let progs = &sh.progs;
+                let lane = self.lane(fid.host as usize);
+                let frame = match lane.frames.get_mut(fid.idx as usize) {
                     Some(Some(f)) if f.gen == fid.gen => f,
                     _ => return,
                 };
@@ -442,11 +456,11 @@ impl Sim {
 
             // Steps are `Copy`: read the current one out of the arena so no
             // borrow is held across the dispatch below.
-            let step = self.progs.get(prog).steps[pc];
+            let step = sh.progs.get(prog).steps[pc];
             match step {
                 CStep::Compute { cpu_ns, alloc_bytes } => {
                     let svc = self.frame(fid).expect("frame alive").service;
-                    let proc = self.services[svc].process;
+                    let proc = sh.svc_proc[svc] as usize;
                     self.heap_alloc(proc, alloc_bytes);
                     self.add_proc_job(proc, cpu_ns as f64, JobCont::FrameStep(fid));
                     return;
@@ -456,7 +470,8 @@ impl Sim {
                     return;
                 }
                 CStep::Cache { client, dest, op, key } => {
-                    let (entity, root) = self.frame_entity_root(fid);
+                    let (entity, root, svc) = self.frame_entity_root(fid);
+                    let proc = sh.svc_proc[svc] as usize;
                     // A cache fill after a read stores the version that was
                     // read (even "absent", version 0); a pure write path
                     // stamps its own write version. This keeps version
@@ -469,7 +484,7 @@ impl Sim {
                             root
                         }
                     };
-                    let k = self.resolve_key(key, entity);
+                    let k = self.resolve_key(key, entity, proc);
                     let bop = match op {
                         CacheOp::Get => BackendOp::CacheGet { key: k },
                         CacheOp::Put => BackendOp::CachePut { key: k, version: root },
@@ -491,8 +506,9 @@ impl Sim {
                     return;
                 }
                 CStep::CacheGetOrFetch { client, dest, key, on_miss } => {
-                    let (entity, _) = self.frame_entity_root(fid);
-                    let k = self.resolve_key(key, entity);
+                    let (entity, _, svc) = self.frame_entity_root(fid);
+                    let proc = sh.svc_proc[svc] as usize;
+                    let k = self.resolve_key(key, entity, proc);
                     self.begin_call(
                         fid,
                         client,
@@ -503,8 +519,9 @@ impl Sim {
                     return;
                 }
                 CStep::Db { client, dest, op, key } => {
-                    let (entity, root) = self.frame_entity_root(fid);
-                    let k = self.resolve_key(key, entity);
+                    let (entity, root, svc) = self.frame_entity_root(fid);
+                    let proc = sh.svc_proc[svc] as usize;
+                    let k = self.resolve_key(key, entity, proc);
                     let bop = match op {
                         DbOp::Read => BackendOp::StoreRead { key: k },
                         DbOp::Write => BackendOp::StoreWrite { key: k, version: root },
@@ -518,12 +535,12 @@ impl Sim {
                     return;
                 }
                 CStep::Parallel(branches) => {
-                    let live: Vec<ProgId> = self
+                    let live: Vec<ProgId> = sh
                         .progs
                         .list(branches)
                         .iter()
                         .copied()
-                        .filter(|b| !self.progs.get(*b).steps.is_empty())
+                        .filter(|b| !sh.progs.get(*b).steps.is_empty())
                         .collect();
                     if live.is_empty() {
                         continue;
@@ -559,21 +576,25 @@ impl Sim {
                     return;
                 }
                 CStep::Branch { prob, then, otherwise } => {
-                    let cond = self.rng.gen::<f64>() < prob;
+                    let svc = self.frame(fid).expect("frame alive").service;
+                    let proc = sh.svc_proc[svc] as usize;
+                    let cond = self.proc_mut(proc).rng.gen::<f64>() < prob;
                     let chosen = if cond { then } else { otherwise };
-                    if !self.progs.get(chosen).steps.is_empty() {
+                    if !sh.progs.get(chosen).steps.is_empty() {
                         let ctx = ExecCtx { prog: chosen, pc: 0, repeat_left: 0 };
                         self.frame(fid).expect("frame alive").stack.push(ctx);
                     }
                 }
                 CStep::Repeat { times, body } => {
-                    if times > 0 && !self.progs.get(body).steps.is_empty() {
+                    if times > 0 && !sh.progs.get(body).steps.is_empty() {
                         let ctx = ExecCtx { prog: body, pc: 0, repeat_left: times - 1 };
                         self.frame(fid).expect("frame alive").stack.push(ctx);
                     }
                 }
                 CStep::Fail { prob } => {
-                    if self.rng.gen::<f64>() < prob {
+                    let svc = self.frame(fid).expect("frame alive").service;
+                    let proc = sh.svc_proc[svc] as usize;
+                    if self.proc_mut(proc).rng.gen::<f64>() < prob {
                         if let Some(frame) = self.frame(fid) {
                             frame.last_err = Some(CallErr::Fault);
                         }
@@ -585,17 +606,19 @@ impl Sim {
         }
     }
 
-    fn frame_entity_root(&mut self, fid: FrameId) -> (u64, u64) {
+    fn frame_entity_root(&mut self, fid: FrameId) -> (u64, u64, usize) {
         let frame = self.frame(fid).expect("frame alive");
-        (frame.entity, frame.root_seq)
+        (frame.entity, frame.root_seq, frame.service)
     }
 
-    fn resolve_key(&mut self, expr: KeyExpr, entity: u64) -> u64 {
+    /// Resolves a key expression; random keys draw from the stream of the
+    /// process evaluating the step.
+    fn resolve_key(&mut self, expr: KeyExpr, entity: u64, proc: usize) -> u64 {
         match expr {
             KeyExpr::Entity => entity,
             KeyExpr::EntityMod(m) => entity % m.max(1),
             KeyExpr::Const(k) => k,
-            KeyExpr::Random(m) => self.rng.gen_range(0..m.max(1)),
+            KeyExpr::Random(m) => self.proc_mut(proc).rng.gen_range(0..m.max(1)),
         }
     }
 
@@ -669,10 +692,12 @@ impl Sim {
             );
             return;
         }
+        // The `Unbound` check above is the only path where `client_id` may
+        // be the sentinel, so from here on the client resolves.
+        let first_attempt = attempt == 0;
         let (timeout_ns, transport, client_overhead_ns, deadline_spec) = {
-            let client = &mut self.clients[client_id as usize];
-            if attempt == 0 {
-                self.metrics.counters.client_calls += 1;
+            let client = self.client_mut(client_id);
+            if first_attempt {
                 // Retry budget: each first attempt deposits `ratio` tokens,
                 // so retries system-wide stay below `ratio` of real traffic.
                 if let Some(rb) = &client.spec.retry_budget {
@@ -687,6 +712,9 @@ impl Sim {
                 spec.deadline.clone(),
             )
         };
+        if first_attempt {
+            self.counters.client_calls += 1;
+        }
 
         // Deadline propagation: compute the deadline this attempt carries.
         // A hop without a deadline policy drops an inherited deadline (the
@@ -703,7 +731,7 @@ impl Sim {
         let expired = frame_deadline.map(|d| self.now >= d).unwrap_or(false)
             || attempt_deadline.map(|d| d <= self.now).unwrap_or(false);
         if expired {
-            self.metrics.counters.deadline_exceeded += 1;
+            self.counters.deadline_exceeded += 1;
             self.push_ev(
                 self.now,
                 Ev::DeliverResponse {
@@ -718,7 +746,7 @@ impl Sim {
 
         // Circuit breaker.
         if !self.breaker_allow(client_id) {
-            self.metrics.counters.breaker_rejections += 1;
+            self.counters.breaker_rejections += 1;
             self.push_ev(
                 self.now,
                 Ev::DeliverResponse {
@@ -749,16 +777,18 @@ impl Sim {
                 (CallTarget::Service { svc: target, method }, 0usize)
             }
             (CallDest::Replicated { policy, targets }, None) => {
-                let n_targets = self.progs.targets(targets).len();
+                let n_targets = self.sh.progs.targets(targets).len();
                 let idx = match policy {
                     LbPolicy::RoundRobin => {
-                        let client = &mut self.clients[client_id as usize];
+                        let client = self.client_mut(client_id);
                         let i = client.rr % n_targets;
                         client.rr = client.rr.wrapping_add(1);
                         i
                     }
-                    LbPolicy::Random => self.rng.gen_range(0..n_targets),
-                    LbPolicy::LeastOutstanding => self.clients[client_id as usize]
+                    // Random balancing draws from the client's own stream.
+                    LbPolicy::Random => self.client_mut(client_id).rng.gen_range(0..n_targets),
+                    LbPolicy::LeastOutstanding => self
+                        .client_mut(client_id)
                         .outstanding
                         .iter()
                         .enumerate()
@@ -766,7 +796,7 @@ impl Sim {
                         .map(|(i, _)| i)
                         .unwrap_or(0),
                 };
-                let (tsvc, method) = self.progs.targets(targets)[idx];
+                let (tsvc, method) = self.sh.progs.targets(targets)[idx];
                 (CallTarget::Service { svc: tsvc, method }, idx)
             }
             (CallDest::Backend { backend }, Some(op)) => {
@@ -786,7 +816,7 @@ impl Sim {
                 return;
             }
         };
-        let client = &mut self.clients[client_id as usize];
+        let client = self.client_mut(client_id);
         if let Some(slot) = client.outstanding.get_mut(chosen) {
             *slot += 1;
         }
@@ -838,7 +868,7 @@ impl Sim {
             }
             TransportSpec::Thrift { pool, .. } => {
                 let got_conn = {
-                    let client = &mut self.clients[client_id as usize];
+                    let client = self.client_mut(client_id);
                     if client.conns_in_use < *pool {
                         client.conns_in_use += 1;
                         true
@@ -877,18 +907,20 @@ impl Sim {
         work_ns: u64,
         mut net_ns: u64,
     ) {
-        let proc = self.services[client_svc].process;
-        if !self.link_faults.is_empty() {
+        let sh = self.sh;
+        let proc = sh.svc_proc[client_svc] as usize;
+        if !sh.link_faults.is_empty() {
             let dst = match msg.target {
-                CallTarget::Service { svc, .. } => self.services[svc].process,
-                CallTarget::Backend { backend, .. } => self.backends[backend].process,
+                CallTarget::Service { svc, .. } => sh.svc_proc[svc] as usize,
+                CallTarget::Backend { backend, .. } => sh.backend_proc[backend] as usize,
             };
-            if let Some(lf) = self.link_faults.get(&(proc, dst)).copied() {
+            if let Some(lf) = sh.link_faults.get(&(proc, dst)).copied() {
                 if self.now < lf.until {
+                    // Loss coin: the sender's process stream.
                     let lost = lf.loss >= 1.0
-                        || (lf.loss > 0.0 && self.rng.gen::<f64>() < lf.loss);
+                        || (lf.loss > 0.0 && self.proc_mut(proc).rng.gen::<f64>() < lf.loss);
                     if lost {
-                        self.metrics.counters.link_unreachable += 1;
+                        self.counters.link_unreachable += 1;
                         let t = self.now + msg.reply.net_ns;
                         self.push_ev(
                             t,
@@ -916,7 +948,7 @@ impl Sim {
     fn wake_waiters(&mut self, client_id: u32) {
         loop {
             let (fid, seq, attempt) = {
-                let Some(client) = self.clients.get_mut(client_id as usize) else { return };
+                let Some(client) = self.client_opt_mut(client_id) else { return };
                 let TransportSpec::Thrift { pool, .. } = client.spec.transport else { return };
                 if client.conns_in_use >= pool {
                     return;
@@ -935,7 +967,7 @@ impl Sim {
                 call.queued_msg.take()
             };
             let Some(msg) = msg else { continue };
-            let client = &mut self.clients[client_id as usize];
+            let client = self.client_mut(client_id);
             client.conns_in_use += 1;
             let spec_overhead = client.spec.client_overhead_ns;
             let (ser, net) = match client.spec.transport {
@@ -952,9 +984,11 @@ impl Sim {
     // ------------------------------------------------------------------
 
     fn on_deliver_request(&mut self, req: RequestMsg) {
+        let sh = self.sh;
         match req.target {
             CallTarget::Service { svc, method } => {
-                if self.proc_down[self.services[svc].process] {
+                let proc = sh.svc_proc[svc] as usize;
+                if sh.proc_down[proc] {
                     let t = self.now + req.reply.net_ns;
                     self.push_ev(
                         t,
@@ -971,7 +1005,7 @@ impl Sim {
                 // arrival: reject before admission so no server capacity is
                 // spent on a reply nobody is waiting for.
                 if req.deadline_ns.map(|d| self.now >= d).unwrap_or(false) {
-                    self.metrics.counters.deadline_exceeded += 1;
+                    self.counters.deadline_exceeded += 1;
                     let t = self.now + req.reply.net_ns;
                     self.push_ev(
                         t,
@@ -986,15 +1020,16 @@ impl Sim {
                 }
                 // Adaptive admission: when the controller's sojourn-delay
                 // EWMA exceeds its target, a fraction of arrivals is shed.
-                // The RNG is drawn only while the shed probability is
-                // positive, so an idle controller costs nothing.
-                let shed_p = match &self.services[svc].shed {
+                // The RNG (the serving process's stream) is drawn only while
+                // the shed probability is positive, so an idle controller
+                // costs nothing.
+                let shed_p = match &self.svc_ref(svc).shed {
                     Some(ctl) if ctl.p > 0.0 => Some(ctl.p),
                     _ => None,
                 };
                 if let Some(p) = shed_p {
-                    if self.rng.gen::<f64>() < p {
-                        self.metrics.counters.shed_rejections += 1;
+                    if self.proc_mut(proc).rng.gen::<f64>() < p {
+                        self.counters.shed_rejections += 1;
                         let t = self.now + req.reply.net_ns;
                         self.push_ev(
                             t,
@@ -1008,9 +1043,12 @@ impl Sim {
                         return;
                     }
                 }
-                let s = &mut self.services[svc];
-                if s.active >= s.max_concurrent {
-                    self.metrics.counters.admission_rejections += 1;
+                let (at_capacity, prog) = {
+                    let s = self.svc_ref(svc);
+                    (s.active >= s.max_concurrent, s.methods.get(method as usize).copied())
+                };
+                if at_capacity {
+                    self.counters.admission_rejections += 1;
                     let t = self.now + req.reply.net_ns;
                     self.push_ev(
                         t,
@@ -1023,7 +1061,7 @@ impl Sim {
                     );
                     return;
                 }
-                let Some(prog) = s.methods.get(method as usize).copied() else {
+                let Some(prog) = prog else {
                     let t = self.now + req.reply.net_ns;
                     self.push_ev(
                         t,
@@ -1036,8 +1074,11 @@ impl Sim {
                     );
                     return;
                 };
-                s.active += 1;
-                s.served += 1;
+                {
+                    let s = self.svc_mut(svc);
+                    s.active += 1;
+                    s.served += 1;
+                }
                 let fid = self.alloc_frame(
                     svc,
                     req.entity,
@@ -1057,16 +1098,17 @@ impl Sim {
                 self.step_frame(fid);
             }
             CallTarget::Backend { backend, op } => {
-                let proc = self.backends[backend].process;
-                let err = if self.proc_down[proc] {
+                let proc = sh.backend_proc[backend] as usize;
+                let err = if sh.proc_down[proc] {
                     Some(CallErr::Crash)
-                } else if self.now < self.backends[backend].brownout_until
-                    && self.backends[backend].brownout_unavailable
-                {
-                    self.metrics.counters.brownout_rejections += 1;
-                    Some(CallErr::Brownout)
                 } else {
-                    None
+                    let b = self.backend_ref(backend);
+                    if self.now < b.brownout_until && b.brownout_unavailable {
+                        self.counters.brownout_rejections += 1;
+                        Some(CallErr::Brownout)
+                    } else {
+                        None
+                    }
                 };
                 if let Some(err) = err {
                     let t = self.now + req.reply.net_ns;
@@ -1082,7 +1124,7 @@ impl Sim {
                     return;
                 }
                 let (cpu, latency) = self.backend_cost(backend, &op);
-                let host = self.procs[proc].host;
+                let host = sh.proc_host[proc] as usize;
                 self.add_job_on(host, proc, cpu, JobCont::BackendExec { req, latency_ns: latency });
             }
         }
@@ -1091,7 +1133,8 @@ impl Sim {
     /// CPU work and fixed latency of a backend op. A browned-out backend
     /// (slow-factor variant) has both inflated by `brownout_slow`.
     fn backend_cost(&self, backend: usize, op: &BackendOp) -> (f64, u64) {
-        let (cpu, lat) = match &self.backends[backend].kind {
+        let b = self.backend_ref(backend);
+        let (cpu, lat) = match &b.kind {
             BackendRtKind::Cache { op_latency_ns, cpu_per_op_ns, cpu_per_item_ns, .. } => {
                 let items = match op {
                     BackendOp::CacheMulti { items, .. } => *items as u64,
@@ -1115,7 +1158,6 @@ impl Sim {
             }
             BackendRtKind::Queue { op_latency_ns, .. } => (2_000.0, *op_latency_ns),
         };
-        let b = &self.backends[backend];
         // `SystemSpec::validate` and `resolve_fault` reject non-finite or
         // sub-1 slow factors, so the scaling below cannot produce 0 ns from
         // a NaN/negative multiplier.
@@ -1137,10 +1179,10 @@ impl Sim {
             return CallOutcome::failure(CallErr::Fault);
         };
         let b = *backend;
-        self.backends[b].stats_dirty = true;
+        self.backend_mut(b).stats_dirty = true;
         match op {
             BackendOp::CacheGet { key } => {
-                let backend_rt = &mut self.backends[b];
+                let backend_rt = self.backend_mut(b);
                 let hit = backend_rt.cache.get(*key);
                 let stats = &mut backend_rt.stats;
                 stats.reads += 1;
@@ -1156,35 +1198,37 @@ impl Sim {
                 }
             }
             BackendOp::CachePut { key, version } => {
-                let capacity = match self.backends[b].kind {
+                let backend_rt = self.backend_mut(b);
+                let capacity = match backend_rt.kind {
                     BackendRtKind::Cache { capacity_items, .. } => capacity_items,
                     _ => u64::MAX,
                 };
-                let backend_rt = &mut self.backends[b];
-                let evictions = backend_rt.cache.put(*key, *version, capacity, &mut self.rng);
-                let stats = &mut backend_rt.stats;
+                // Eviction sampling draws from the backend's own stream.
+                let BackendRt { cache, rng, stats, .. } = backend_rt;
+                let evictions = cache.put(*key, *version, capacity, rng);
                 stats.writes += 1;
                 stats.evictions += evictions;
                 CallOutcome::success(0)
             }
             BackendOp::CacheDelete { key } => {
-                let backend_rt = &mut self.backends[b];
+                let backend_rt = self.backend_mut(b);
                 backend_rt.cache.delete(*key);
                 backend_rt.stats.writes += 1;
                 CallOutcome::success(0)
             }
             BackendOp::CacheMulti { key, write, version, .. } => {
                 if *write {
-                    let capacity = match self.backends[b].kind {
+                    let backend_rt = self.backend_mut(b);
+                    let capacity = match backend_rt.kind {
                         BackendRtKind::Cache { capacity_items, .. } => capacity_items,
                         _ => u64::MAX,
                     };
-                    let backend_rt = &mut self.backends[b];
-                    backend_rt.cache.put(*key, *version, capacity, &mut self.rng);
-                    backend_rt.stats.writes += 1;
+                    let BackendRt { cache, rng, stats, .. } = backend_rt;
+                    cache.put(*key, *version, capacity, rng);
+                    stats.writes += 1;
                     CallOutcome::success(0)
                 } else {
-                    let backend_rt = &mut self.backends[b];
+                    let backend_rt = self.backend_mut(b);
                     let v = backend_rt.cache.get(*key);
                     let stats = &mut backend_rt.stats;
                     stats.reads += 1;
@@ -1202,7 +1246,7 @@ impl Sim {
                 }
             }
             BackendOp::StoreRead { key } => {
-                let backend_rt = &mut self.backends[b];
+                let backend_rt = self.backend_mut(b);
                 let store = &mut backend_rt.store;
                 let primary_version = store.primary.get(key).copied().unwrap_or(0);
                 let (version, from_replica) = if store.replicas.is_empty() {
@@ -1220,21 +1264,23 @@ impl Sim {
                 CallOutcome::success(version)
             }
             BackendOp::StoreWrite { key, version } => {
-                let lag_range = match self.backends[b].kind {
-                    BackendRtKind::Store { replication_lag_ns, .. } => replication_lag_ns,
-                    _ => (0, 0),
-                };
-                let n_replicas = self.backends[b].store.replicas.len();
-                {
-                    let store = &mut self.backends[b].store;
+                let (lag_range, n_replicas) = {
+                    let backend_rt = self.backend_mut(b);
+                    let lag_range = match backend_rt.kind {
+                        BackendRtKind::Store { replication_lag_ns, .. } => replication_lag_ns,
+                        _ => (0, 0),
+                    };
+                    let store = &mut backend_rt.store;
                     let slot = store.primary.entry(*key).or_insert(0);
                     if *version > *slot {
                         *slot = *version;
                     }
-                }
+                    (lag_range, store.replicas.len())
+                };
                 for r in 0..n_replicas {
+                    // Per-replica lag draws come from the backend's stream.
                     let lag = if lag_range.1 > lag_range.0 {
-                        self.rng.gen_range(lag_range.0..=lag_range.1)
+                        self.backend_mut(b).rng.gen_range(lag_range.0..=lag_range.1)
                     } else {
                         lag_range.0
                     };
@@ -1243,31 +1289,35 @@ impl Sim {
                         Ev::ReplicaApply { backend: b, replica: r, key: *key, version: *version },
                     );
                 }
-                self.backends[b].stats.writes += 1;
+                self.backend_mut(b).stats.writes += 1;
                 CallOutcome::success(0)
             }
             BackendOp::StoreScan { .. } => {
-                self.backends[b].stats.reads += 1;
+                self.backend_mut(b).stats.reads += 1;
                 CallOutcome::success(0)
             }
             BackendOp::QueuePush => {
-                let capacity = match self.backends[b].kind {
-                    BackendRtKind::Queue { capacity, .. } => capacity,
-                    _ => u64::MAX,
+                let (capacity, len) = {
+                    let backend_rt = self.backend_ref(b);
+                    let capacity = match backend_rt.kind {
+                        BackendRtKind::Queue { capacity, .. } => capacity,
+                        _ => u64::MAX,
+                    };
+                    (capacity, backend_rt.queue.len() as u64)
                 };
-                if self.backends[b].queue.len() as u64 >= capacity {
-                    self.metrics.counters.queue_drops += 1;
+                if len >= capacity {
+                    self.counters.queue_drops += 1;
                     CallOutcome::failure(CallErr::QueueFull)
                 } else {
                     let entity = req.entity;
-                    let backend_rt = &mut self.backends[b];
+                    let backend_rt = self.backend_mut(b);
                     backend_rt.queue.push_back(entity);
                     backend_rt.stats.writes += 1;
                     CallOutcome::success(0)
                 }
             }
             BackendOp::QueuePop => {
-                let backend_rt = &mut self.backends[b];
+                let backend_rt = self.backend_mut(b);
                 backend_rt.queue.pop_front();
                 backend_rt.stats.reads += 1;
                 CallOutcome::success(0)
@@ -1299,7 +1349,7 @@ impl Sim {
         if outcome.err != Some(CallErr::BreakerOpen) && outcome.err != Some(CallErr::Deadline) {
             self.breaker_record(client_id, outcome.ok);
         }
-        if let Some(client) = self.clients.get_mut(client_id as usize) {
+        if let Some(client) = self.client_opt_mut(client_id) {
             if let Some(ch) = chosen {
                 if let Some(slot) = client.outstanding.get_mut(ch) {
                     *slot = slot.saturating_sub(1);
@@ -1364,33 +1414,44 @@ impl Sim {
             (call.client, call.chosen.take(), holds, hit)
         };
         if deadline_hit {
-            self.metrics.counters.deadline_exceeded += 1;
+            self.counters.deadline_exceeded += 1;
         } else {
-            self.metrics.counters.timeouts += 1;
+            self.counters.timeouts += 1;
             self.breaker_record(client_id, false);
         }
-        if let Some(client) = self.clients.get_mut(client_id as usize) {
-            if let Some(ch) = chosen {
-                if let Some(slot) = client.outstanding.get_mut(ch) {
-                    *slot = slot.saturating_sub(1);
+        let reconnect_at = {
+            match self.client_opt_mut(client_id) {
+                Some(client) => {
+                    if let Some(ch) = chosen {
+                        if let Some(slot) = client.outstanding.get_mut(ch) {
+                            *slot = slot.saturating_sub(1);
+                        }
+                    }
+                    if holds_conn {
+                        // The abandoned connection is broken and
+                        // re-established; it frees after the reconnect
+                        // penalty.
+                        let reconnect = match client.spec.transport {
+                            TransportSpec::Thrift { reconnect_ns, .. } => reconnect_ns,
+                            _ => 0,
+                        };
+                        Some(now + reconnect)
+                    } else {
+                        None
+                    }
                 }
+                None => None,
             }
-            if holds_conn {
-                // The abandoned connection is broken and re-established;
-                // it frees after the reconnect penalty.
-                let reconnect = match client.spec.transport {
-                    TransportSpec::Thrift { reconnect_ns, .. } => reconnect_ns,
-                    _ => 0,
-                };
-                self.push_ev(self.now + reconnect, Ev::ConnFreed { client: client_id });
-            }
+        };
+        if let Some(at) = reconnect_at {
+            self.push_ev(at, Ev::ConnFreed { client: client_id });
         }
         let err = if deadline_hit { CallErr::Deadline } else { CallErr::Timeout };
         self.retry_or_fail(fid, seq, attempt, client_id, err);
     }
 
     fn retry_or_fail(&mut self, fid: FrameId, seq: u32, attempt: u32, client_id: u32, err: CallErr) {
-        let (retries, backoff, exp) = match self.clients.get(client_id as usize) {
+        let (retries, backoff, exp) = match self.client_opt_mut(client_id) {
             Some(c) => (c.spec.retries, c.spec.backoff_ns, c.spec.backoff_exp.clone()),
             None => (0, 0, None),
         };
@@ -1401,20 +1462,25 @@ impl Sim {
             // does — a denied retry must not sleep its backoff (no jitter
             // RNG draw) and must never reach the breaker's probe admission
             // in `begin_attempt`. Ordering: budget → breaker → backoff.
-            if let Some(c) = self.clients.get_mut(client_id as usize) {
+            let mut denied = false;
+            if let Some(c) = self.client_opt_mut(client_id) {
                 if c.spec.retry_budget.is_some() {
                     if c.budget_tokens < 1.0 {
-                        self.metrics.counters.budget_denied += 1;
-                        if let Some(frame) = self.frame(fid) {
-                            frame.last_err = Some(err);
-                        }
-                        self.fail_frame(fid);
-                        return;
+                        denied = true;
+                    } else {
+                        c.budget_tokens -= 1.0;
                     }
-                    c.budget_tokens -= 1.0;
                 }
             }
-            self.metrics.counters.retries += 1;
+            if denied {
+                self.counters.budget_denied += 1;
+                if let Some(frame) = self.frame(fid) {
+                    frame.last_err = Some(err);
+                }
+                self.fail_frame(fid);
+                return;
+            }
+            self.counters.retries += 1;
             if let Some(frame) = self.frame(fid) {
                 if let Some(call) = &mut frame.call {
                     call.attempt = attempt + 1;
@@ -1430,9 +1496,14 @@ impl Sim {
                         d = d.min(e.max_ns as f64);
                     }
                     if e.jitter > 0.0 {
-                        // Deterministic "full-ish" jitter: shave up to
-                        // `jitter` fraction off the computed delay.
-                        d *= 1.0 - e.jitter * self.rng.gen::<f64>();
+                        // Deterministic "full-ish" jitter from the client's
+                        // own stream: shave up to `jitter` fraction off the
+                        // computed delay.
+                        let u = self
+                            .client_opt_mut(client_id)
+                            .map(|c| c.rng.gen::<f64>())
+                            .unwrap_or(0.0);
+                        d *= 1.0 - e.jitter * u;
                     }
                     d.max(0.0).round() as u64
                 }
@@ -1465,7 +1536,7 @@ impl Sim {
 
     fn breaker_allow(&mut self, client_id: u32) -> bool {
         let now = self.now;
-        let Some(client) = self.clients.get_mut(client_id as usize) else { return true };
+        let Some(client) = self.client_opt_mut(client_id) else { return true };
         let Some(spec) = &client.spec.breaker else { return true };
         let probes = spec.half_open_probes.max(1);
         match client.breaker {
@@ -1495,7 +1566,7 @@ impl Sim {
         let now = self.now;
         let mut opened = false;
         {
-            let Some(client) = self.clients.get_mut(client_id as usize) else { return };
+            let Some(client) = self.client_opt_mut(client_id) else { return };
             let Some(spec) = &client.spec.breaker else { return };
             let (window, failure_threshold, open_ns, half_open_probes) =
                 (spec.window, spec.failure_threshold, spec.open_ns, spec.half_open_probes);
@@ -1541,7 +1612,7 @@ impl Sim {
             }
         }
         if opened {
-            self.metrics.counters.breaker_opens += 1;
+            self.counters.breaker_opens += 1;
         }
     }
 
@@ -1557,6 +1628,7 @@ impl Sim {
     }
 
     fn complete_frame(&mut self, fid: FrameId, ok: bool) {
+        let sh = self.sh;
         // Take the frame out (its slot and stack are recycled), then route
         // the result without cloning the kind.
         let Some(frame) = self.take_frame(fid) else { return };
@@ -1575,31 +1647,36 @@ impl Sim {
         } = frame;
 
         if counted {
-            let s = &mut self.services[service];
+            let now = self.now;
+            let s = self.svc_mut(service);
             s.active = s.active.saturating_sub(1);
             // Adaptive admission: each served request's sojourn delay feeds
             // the controller's EWMA (present only when a shed policy is
             // lowered onto the service).
             if let Some(ctl) = &mut s.shed {
-                ctl.observe(self.now.saturating_sub(admitted_ns));
+                ctl.observe(now.saturating_sub(admitted_ns));
             }
         }
         if span_owned {
             if let Some((tid, sid)) = span {
-                self.traces.end_span(tid, sid, self.now, !ok);
+                let now = self.now;
+                self.traces
+                    .as_mut()
+                    .expect("tracing forces sequential dispatch")
+                    .end_span(tid, sid, now, !ok);
             }
         }
 
         match kind {
             FrameKind::Entry { entry, method, submitted_ns } => {
                 if ok {
-                    self.metrics.counters.completed_ok += 1;
+                    self.counters.completed_ok += 1;
                 } else {
-                    self.metrics.counters.completed_err += 1;
+                    self.counters.completed_err += 1;
                 }
-                self.completions.push(Completion {
-                    entry: self.names.get(entry).to_string(),
-                    method: self.names.get(method).to_string(),
+                let completion = Completion {
+                    entry: sh.names.get(entry).to_string(),
+                    method: sh.names.get(method).to_string(),
                     entity,
                     root_seq,
                     submitted_ns,
@@ -1607,7 +1684,8 @@ impl Sim {
                     ok,
                     observed_version: observed,
                     failure: if ok { None } else { Some(last_err.unwrap_or(CallErr::Downstream).label()) },
-                });
+                };
+                self.lane(fid.host as usize).completions.push(completion);
             }
             FrameKind::Rpc { caller, seq, attempt, reply } => {
                 let outcome = if ok {
@@ -1618,7 +1696,7 @@ impl Sim {
                     CallOutcome::failure(last_err.unwrap_or(CallErr::Downstream))
                 };
                 if reply.serialize_ns > 0 {
-                    let proc = self.services[service].process;
+                    let proc = sh.svc_proc[service] as usize;
                     self.add_proc_job(
                         proc,
                         reply.serialize_ns as f64,
@@ -1663,6 +1741,246 @@ impl Sim {
                     }
                 }
             }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Control plane: fault injection and chaos. These run with `&mut Sim`
+// between epochs (and between sequential drain segments), so they may
+// freely mutate cluster-wide state (`proc_down`, `link_faults`,
+// `proc_gen`) that shard workers only read.
+// ----------------------------------------------------------------------
+
+impl Sim {
+    /// Executes a resolved fault at the current time.
+    fn apply_fault(&mut self, rf: RFault) {
+        self.metrics.counters.faults_injected += 1;
+        match rf {
+            RFault::Crash { proc, restart_ns } => self.crash_process(proc, restart_ns),
+            RFault::HostDown { host, down_ns } => {
+                let residents: Vec<usize> = (0..self.sh.proc_host.len())
+                    .filter(|p| self.sh.proc_host[*p] as usize == host)
+                    .collect();
+                for proc in residents {
+                    self.crash_process(proc, down_ns);
+                }
+            }
+            RFault::Link { a, b, dur, extra_ns, loss } => {
+                let until = self.now + dur;
+                for pair in [(a, b), (b, a)] {
+                    let e = self.sh.link_faults.entry(pair).or_insert(LinkFault {
+                        until: 0,
+                        extra_ns: 0,
+                        loss: 0.0,
+                    });
+                    // Overlapping faults merge to the worst case.
+                    e.until = e.until.max(until);
+                    e.extra_ns = e.extra_ns.max(extra_ns);
+                    e.loss = e.loss.max(loss);
+                }
+            }
+            RFault::Brownout { backend, dur, slow, unavailable } => {
+                let until = self.now + dur;
+                let b = self.backend_rt_mut(backend);
+                b.brownout_until = b.brownout_until.max(until);
+                b.brownout_slow = slow;
+                b.brownout_unavailable = unavailable;
+            }
+        }
+    }
+
+    /// Crashes a process: every resident frame and CPU job dies, callers see
+    /// `Crash` errors, client/connection/heap state resets cold, and the
+    /// process restarts after `restart_ns`.
+    fn crash_process(&mut self, proc: usize, restart_ns: SimTime) {
+        if self.sh.proc_down[proc] {
+            return;
+        }
+        self.sh.proc_down[proc] = true;
+        self.sh.proc_gen[proc] += 1;
+        self.metrics.counters.process_crashes += 1;
+        let host = self.sh.proc_host[proc] as usize;
+
+        // An in-progress GC pause dies with the process; the heap restarts at
+        // its base size (or empty without a GC spec).
+        if let Some(job) = self.proc_rt_mut(proc).gc_job.take() {
+            let now = self.now;
+            let lane = &mut self.lanes[host];
+            lane.ps.cancel(now, job);
+            lane.jobs.remove(&job);
+        }
+        {
+            let base = self.sh.gc_specs[proc].as_ref().map(|g| g.base_heap_bytes).unwrap_or(0);
+            let p = self.proc_rt_mut(proc);
+            p.heap = base;
+            p.in_gc = false;
+        }
+
+        // Cancel every CPU job of the process; in-flight work that would have
+        // produced a response fails fast so callers are never left hanging.
+        let victims = self.lanes[host].ps.cancel_proc(self.now, proc);
+        for job in victims {
+            let Some(cont) = self.lanes[host].jobs.remove(&job) else { continue };
+            match cont {
+                // The frame dies in the sweep below; nothing to route.
+                JobCont::FrameStep(_) | JobCont::SendRequest(..) | JobCont::GcEnd { .. } => {}
+                JobCont::SendResponse { frame, seq, attempt, net_ns, .. } => {
+                    let t = self.now + net_ns;
+                    self.push_ev(
+                        t,
+                        Ev::DeliverResponse {
+                            frame,
+                            seq,
+                            attempt,
+                            outcome: CallOutcome::failure(CallErr::Crash),
+                        },
+                    );
+                }
+                JobCont::BackendExec { req, .. } => {
+                    let t = self.now + req.reply.net_ns;
+                    self.push_ev(
+                        t,
+                        Ev::DeliverResponse {
+                            frame: req.caller,
+                            seq: req.seq,
+                            attempt: req.attempt,
+                            outcome: CallOutcome::failure(CallErr::Crash),
+                        },
+                    );
+                }
+            }
+        }
+
+        // Kill every frame resident on the process. Frames always live on
+        // the lane of their service's host, so only that lane is swept;
+        // slot order within it is deterministic. The table is bounded by
+        // u32 frame ids (MAX_FRAMES_CAP), so the conversion is checked,
+        // not truncating.
+        let n_frames = u32::try_from(self.lanes[host].frames.len())
+            .expect("frame table exceeds u32 index space");
+        for idx in 0..n_frames {
+            let fid = match &self.lanes[host].frames[idx as usize] {
+                Some(f) if self.sh.svc_proc[f.service] as usize == proc => {
+                    FrameId { host: host as u32, idx, gen: f.gen }
+                }
+                _ => continue,
+            };
+            self.kill_frame_for_crash(fid);
+        }
+
+        // Clients owned by the process's services restart cold: breaker
+        // closed, health window empty, no pooled connections, no waiters.
+        for ci in 0..self.sh.client_owner.len() {
+            let owner = self.sh.client_owner[ci] as usize;
+            if self.sh.svc_proc[owner] as usize != proc {
+                continue;
+            }
+            let c = self.client_rt_mut(ci);
+            c.window.clear();
+            c.window_failures = 0;
+            c.breaker = BreakerState::Closed;
+            c.conns_in_use = 0;
+            c.waiters.clear();
+            c.rr = 0;
+            for slot in c.outstanding.iter_mut() {
+                *slot = 0;
+            }
+            c.budget_tokens = 0.0;
+        }
+
+        // Admission controllers on the process restart cold too (the next
+        // observation re-seeds the EWMA rather than decaying up from zero).
+        for s in 0..self.sh.svc_proc.len() {
+            if self.sh.svc_proc[s] as usize != proc {
+                continue;
+            }
+            if let Some(ctl) = &mut self.svc_rt_mut(s).shed {
+                ctl.reset();
+            }
+        }
+
+        // Volatile backend state on the process is lost; stores are durable.
+        for b in 0..self.sh.backend_proc.len() {
+            if self.sh.backend_proc[b] as usize != proc {
+                continue;
+            }
+            let rt = self.backend_rt_mut(b);
+            rt.cache.flush();
+            rt.queue.clear();
+        }
+
+        let gen = self.sh.proc_gen[proc];
+        self.push_ev(self.now + restart_ns, Ev::ProcRestart { proc, gen });
+        self.touch_host_sim(host);
+    }
+
+    /// Removes one frame killed by a process crash, routing the failure to
+    /// whoever was waiting on it.
+    fn kill_frame_for_crash(&mut self, fid: FrameId) {
+        let Some(frame) = self.lanes[fid.host as usize].take_frame(fid) else { return };
+        self.metrics.counters.crashed_frames += 1;
+        if frame.counted_admission {
+            let s = self.svc_rt_mut(frame.service);
+            s.active = s.active.saturating_sub(1);
+        }
+        if frame.span_owned {
+            if let Some((tid, sid)) = frame.span {
+                self.traces.end_span(tid, sid, self.now, true);
+            }
+        }
+        match frame.kind {
+            FrameKind::Entry { entry, method, submitted_ns } => {
+                // Defensive: entry frames live on the workload shim, which a
+                // fault plan cannot target.
+                self.metrics.counters.completed_err += 1;
+                let completion = Completion {
+                    entry: self.sh.names.get(entry).to_string(),
+                    method: self.sh.names.get(method).to_string(),
+                    entity: frame.entity,
+                    root_seq: frame.root_seq,
+                    submitted_ns,
+                    finished_ns: self.now,
+                    ok: false,
+                    observed_version: frame.observed_version,
+                    failure: Some(CallErr::Crash.label()),
+                };
+                self.lanes[fid.host as usize].completions.push(completion);
+            }
+            FrameKind::Rpc { caller, seq, attempt, reply } => {
+                // No server-side serialization: the reply never forms; the
+                // caller learns of the crash after the network delay.
+                let t = self.now + reply.net_ns;
+                self.push_ev(
+                    t,
+                    Ev::DeliverResponse {
+                        frame: caller,
+                        seq,
+                        attempt,
+                        outcome: CallOutcome::failure(CallErr::Crash),
+                    },
+                );
+            }
+            // The parent runs in the same process and dies in the same sweep.
+            FrameKind::SubTask { .. } => {}
+        }
+    }
+
+    /// Draws and injects the next chaos fault, then re-arms the process.
+    fn on_chaos_fire(&mut self) {
+        let (fault, next, end) = {
+            let Some(chaos) = self.chaos.as_mut() else { return };
+            if self.now >= chaos.end_ns {
+                return;
+            }
+            let idx = chaos.rng.gen_range(0..chaos.menu.len());
+            let fault = chaos.menu[idx].clone();
+            let gap = exp_gap(&mut chaos.rng, chaos.mean_gap_ns);
+            (fault, self.now + gap, chaos.end_ns)
+        };
+        self.apply_fault(fault);
+        if next < end {
+            self.push_ev(next, Ev::ChaosFire);
         }
     }
 }

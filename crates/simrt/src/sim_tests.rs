@@ -1589,8 +1589,10 @@ fn tied_event_storm_is_identical_across_shards_and_queues() {
         let mut sim = Sim::new(
             &spec,
             SimConfig {
-                shards,
+                shards: Some(shards),
                 queue: Some(queue),
+                // Force threaded epochs even at tiny event counts.
+                par_epoch_min: Some(0),
                 ..Default::default()
             },
         )
@@ -1619,4 +1621,201 @@ fn tied_event_storm_is_identical_across_shards_and_queues() {
             "completion stream diverged at shards={shards} queue={queue:?}"
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-parallel dispatch: shard validation, degenerate lookahead, and
+// per-entity RNG streams.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shard_count_zero_is_rejected() {
+    let spec = single_service(Behavior::build().compute(us(10), 0).done());
+    let err = Sim::new(
+        &spec,
+        SimConfig {
+            shards: Some(0),
+            ..Default::default()
+        },
+    );
+    assert!(
+        matches!(err, Err(SimError::BadSpec(_))),
+        "shards=Some(0) must fail spec validation"
+    );
+}
+
+#[test]
+fn shard_count_above_cap_is_rejected() {
+    let spec = single_service(Behavior::build().compute(us(10), 0).done());
+    let err = Sim::new(
+        &spec,
+        SimConfig {
+            shards: Some(65),
+            ..Default::default()
+        },
+    );
+    assert!(
+        matches!(err, Err(SimError::BadSpec(_))),
+        "shards=Some(65) must fail spec validation"
+    );
+}
+
+#[test]
+fn shard_count_at_cap_is_accepted() {
+    let spec = single_service(Behavior::build().compute(us(10), 0).done());
+    let sim = Sim::new(
+        &spec,
+        SimConfig {
+            shards: Some(64),
+            ..Default::default()
+        },
+    )
+    .expect("64 is the inclusive cap");
+    // One host (plus the workload shim joined to it) → one group → the
+    // request is clamped down to sequential execution.
+    assert_eq!(sim.shard_count(), 1);
+}
+
+/// A zero-latency cross-host link admits no lookahead, so the two hosts must
+/// merge into one group and dispatch falls back to sequential — no livelock,
+/// no panic, no zero-width epochs.
+#[test]
+fn zero_latency_cross_host_link_falls_back_to_sequential() {
+    let client = ClientSpec::over(TransportSpec::Grpc {
+        serialize_ns: 5_000,
+        net_ns: 0,
+    });
+    let spec = two_tier(Behavior::build().compute(us(50), 0).done(), client);
+    let mut sim = Sim::new(
+        &spec,
+        SimConfig {
+            shards: Some(4),
+            par_epoch_min: Some(0),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(sim.host_group_count(), 1, "0 ns link must merge the hosts");
+    assert_eq!(sim.shard_count(), 1, "one group admits only one shard");
+    assert_eq!(sim.lookahead_ns(), None, "no binding crosses groups");
+    for i in 0..50 {
+        sim.submit("front", "M", i).unwrap();
+    }
+    sim.run_until(secs(10));
+    let done = sim.drain_completions();
+    assert_eq!(done.len(), 50, "every request terminates");
+    assert!(done.iter().all(|c| c.ok));
+}
+
+/// With a real network latency between the hosts, the spec splits into two
+/// groups and the epoch width equals the cross-group latency.
+#[test]
+fn positive_latency_cross_host_link_enables_parallel_shards() {
+    let client = ClientSpec::over(TransportSpec::Grpc {
+        serialize_ns: 5_000,
+        net_ns: 50_000,
+    });
+    let spec = two_tier(Behavior::build().compute(us(50), 0).done(), client);
+    let sim = Sim::new(
+        &spec,
+        SimConfig {
+            shards: Some(4),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // The workload shim reaches `front` over a Local binding (0 ns), so it
+    // merges with host 0; `back` stays its own group across the 50 µs wire.
+    assert_eq!(sim.host_group_count(), 2);
+    assert_eq!(sim.shard_count(), 2, "requested 4, capped by 2 groups");
+    assert_eq!(sim.lookahead_ns(), Some(50_000));
+}
+
+/// The threaded epoch executor and the inline fast path (which skips the
+/// epoch bound entirely) must produce byte-identical completion streams:
+/// `par_epoch_min` is a performance knob, never a semantics knob.
+#[test]
+fn inline_fast_path_matches_threaded_epochs() {
+    let run = |par_epoch_min: Option<usize>| -> Vec<Completion> {
+        let spec = cache_db_spec();
+        let mut sim = Sim::new(
+            &spec,
+            SimConfig {
+                shards: Some(4),
+                par_epoch_min,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..150u64 {
+            let m = if i % 3 == 0 { "Write" } else { "Read" };
+            sim.submit("front", m, i % 11).unwrap();
+        }
+        sim.run_until(secs(30));
+        sim.drain_completions()
+    };
+    let threaded = run(Some(0));
+    let inline = run(Some(usize::MAX));
+    let default = run(None);
+    assert_eq!(threaded.len(), 150);
+    assert_eq!(threaded, inline);
+    assert_eq!(threaded, default);
+}
+
+/// Stream independence: an entity's draw sequence is a pure function of
+/// `(root_seed, domain, id)` — interleaving draws by *other* entities in any
+/// order, or adding entities, cannot perturb it. This is the property that
+/// lets shards consume randomness concurrently without a global draw order.
+#[test]
+fn entity_stream_is_independent_of_interleaving() {
+    let draws_for_target = |schedule: &[u64]| -> Vec<u64> {
+        let mut rngs: Vec<SmallRng> = (0..10)
+            .map(|id| SmallRng::seed_from_u64(derive_seed(42, DOMAIN_PROC, id)))
+            .collect();
+        let mut target = Vec::new();
+        for &id in schedule {
+            let v = rngs[id as usize].gen::<u64>();
+            if id == 3 {
+                target.push(v);
+            }
+        }
+        target
+    };
+    // Both schedules give entity 3 five draws, with other entities' draws
+    // permuted arbitrarily around them.
+    let a = draws_for_target(&[3, 0, 1, 3, 2, 4, 3, 5, 6, 3, 7, 8, 9, 3]);
+    let b = draws_for_target(&[0, 9, 8, 7, 6, 5, 4, 2, 1, 3, 3, 3, 3, 3]);
+    assert_eq!(a.len(), 5);
+    assert_eq!(a, b, "other entities' draws leaked into entity 3's stream");
+}
+
+/// `derive_seed` sanity: no collisions across 30k (domain, id) pairs, root
+/// sensitivity, and a roughly unbiased bit distribution.
+#[test]
+fn derive_seed_collision_free_and_well_mixed() {
+    let mut seen = std::collections::HashSet::new();
+    for domain in [DOMAIN_PROC, DOMAIN_CLIENT, DOMAIN_BACKEND] {
+        for id in 0..10_000u64 {
+            assert!(
+                seen.insert(derive_seed(0xDEAD_BEEF, domain, id)),
+                "collision at domain={domain} id={id}"
+            );
+        }
+    }
+    // Different roots must relocate every stream.
+    for id in 0..100u64 {
+        assert_ne!(
+            derive_seed(1, DOMAIN_PROC, id),
+            derive_seed(2, DOMAIN_PROC, id)
+        );
+    }
+    // Mean set-bit count over 10k seeds should hover near 32/64.
+    let ones: u64 = (0..10_000u64)
+        .map(|id| u64::from(derive_seed(7, DOMAIN_CLIENT, id).count_ones()))
+        .sum();
+    let avg = ones as f64 / 10_000.0;
+    assert!(
+        (avg - 32.0).abs() < 0.5,
+        "seed bits look biased: mean popcount {avg}"
+    );
 }

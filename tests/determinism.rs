@@ -32,8 +32,12 @@ fn completion_stream_with(
     let mut sim = app
         .simulation_with(SimConfig {
             seed,
-            shards,
+            shards: Some(shards),
             queue,
+            // Force the epoch-parallel executor (scoped worker threads) even
+            // at the small event counts of a test run, so this test compares
+            // genuinely threaded dispatch against the sequential baseline.
+            par_epoch_min: Some(0),
             ..Default::default()
         })
         .expect("sim boots");
