@@ -63,6 +63,20 @@ BLUEPRINT_THREADS=4 cargo run --release -p blueprint-bench --bin ablation_overlo
 cmp results/ci_overload.txt results/overload_matrix.txt
 mv results/overload_matrix.txt results/ci_overload.txt
 
+echo "==> reconfig smoke (BLUEPRINT_THREADS=1 vs =4)"
+# Rolling deploys, the deterministic autoscaler, and canary rollouts under a
+# flash crowd: the binary panics on any conservation violation, on a drained
+# deploy showing unavailability, or on the autoscaler arm failing to absorb
+# the ramp the fixed-replica arm does not. The report must be byte-identical
+# whatever the worker count.
+BLUEPRINT_THREADS=1 cargo run --release -p blueprint-bench --bin ablation_reconfig -- \
+    --smoke
+mv results/reconfig_matrix.txt results/ci_reconfig.txt
+BLUEPRINT_THREADS=4 cargo run --release -p blueprint-bench --bin ablation_reconfig -- \
+    --smoke
+cmp results/ci_reconfig.txt results/reconfig_matrix.txt
+mv results/reconfig_matrix.txt results/ci_reconfig.txt
+
 echo "==> lint gate (every app's default wiring must be deny-clean)"
 # Runs the static-analysis passes over the five benchmark apps and writes
 # per-app counts to results/ci_lint.txt; exits nonzero on any deny-severity
@@ -88,8 +102,11 @@ echo "==> intra-run dispatch smoke (1 vs 4 shards, identity asserted in-binary)"
 cargo bench -p blueprint-bench --bench intra_run -- --test
 
 echo "==> completion-stream identity check"
-# With no fault plan the completion stream must be bit-identical to the
-# per-entity-RNG seed: pin the historical checksum, not just a self-match.
+# With no fault plan and no reconfig plan the completion stream must be
+# bit-identical to the per-entity-RNG seed: pin the historical checksum, not
+# just a self-match. This is also the empty-ReconfigPlan zero-cost gate —
+# reconfiguration support must schedule no events and draw no RNG when the
+# plan is empty, or this pin moves.
 # (The pin moved once, 73897de1072914b2 -> 1bc85aa9969bffcf, when RNG draws
 # moved from one global stream to derive_seed-keyed per-entity streams.)
 cargo run --release --example stream_checksum | tee results/ci_stream_checksum.txt

@@ -26,6 +26,16 @@
 //!   dynamic counterpart — the budget arm holding wire amplification at
 //!   `1 + ratio` while the unmitigated arm goes metastable — is asserted by
 //!   `ablation_overload` itself (see `results/overload_matrix.txt`).
+//! * **BP012 drainless-restart-hazard** — checked statically against a
+//!   drainless rolling restart of the search tier (the plan the
+//!   `ablation_reconfig` drainless arm measures). The rule is plan-relative:
+//!   the compile-time linter carries no restart targets, so the arms here
+//!   are linted manually. The exposed wiring fires; each of the rule's own
+//!   suggested fixes — a circuit breaker, replication behind a balancer with
+//!   retrying callers, or simply draining first — silences it. The dynamic
+//!   counterpart (the drainless arm's error spike, the drained arm's zero
+//!   unavailability) is asserted by `ablation_reconfig` itself (see
+//!   `results/reconfig_matrix.txt`).
 //!
 //! Output goes to stdout and `results/lint_validation.txt`; the file is
 //! timestamp-free and byte-identical across `BLUEPRINT_THREADS` settings
@@ -38,7 +48,7 @@ use std::io::Write as _;
 use blueprint_apps::{hotel_reservation as hr, WiringOpts};
 use blueprint_bench::{report, Mode};
 use blueprint_core::Blueprint;
-use blueprint_lint::Diagnostic;
+use blueprint_lint::{Diagnostic, LintConfig, Linter};
 use blueprint_simrt::time::secs;
 use blueprint_simrt::{Fault, SystemSpec};
 use blueprint_wiring::{mutate, Arg, WiringSpec};
@@ -204,6 +214,21 @@ fn overload_arms() -> (Arm, Arm, Arm, Arm) {
     )
 }
 
+/// BP012 arms: the rule only exists relative to a restart plan, so each arm
+/// is compiled and then linted manually with the plan's targets. Returns the
+/// BP012 findings for the given wiring under a restart of `search`.
+fn bp012_findings(wiring: &WiringSpec, drainless: bool) -> Vec<Diagnostic> {
+    let app = Blueprint::new()
+        .without_artifacts()
+        .compile(&hr::workflow(), wiring)
+        .expect("BP012 arms still compile — lint never fails the build");
+    Linter::new(LintConfig::default().with_restart_target("search", drainless))
+        .run(app.ir(), wiring)
+        .into_iter()
+        .filter(|d| d.rule == "BP012")
+        .collect()
+}
+
 fn crash_scenario(duration_s: u64) -> FaultScenario {
     let mid = secs(duration_s * 2 / 5);
     FaultScenario::new(
@@ -259,15 +284,17 @@ fn row(c: &CellReport) -> Vec<String> {
 
 /// Renders one arm's static findings for a rule into the report.
 fn static_section(out: &mut String, rule: &str, arm: &Arm) {
-    let found = arm.findings(rule);
+    static_lines(out, rule, arm.name, &arm.findings(rule));
+}
+
+fn static_lines(out: &mut String, rule: &str, name: &str, found: &[&Diagnostic]) {
     if found.is_empty() {
-        let _ = writeln!(out, "  {:<22} {rule} silent", arm.name);
+        let _ = writeln!(out, "  {name:<22} {rule} silent");
     } else {
         for d in found {
             let _ = writeln!(
                 out,
-                "  {:<22} {rule} fires: {} (bound {})",
-                arm.name,
+                "  {name:<22} {rule} fires: {} (bound {})",
                 d.message,
                 d.bound.map_or("-".into(), |b| format!("{b:.0}")),
             );
@@ -363,6 +390,51 @@ fn main() {
             protected.findings(rule).is_empty(),
             "attach_overload_protection must leave {rule} clean: {:?}",
             protected.diags
+        );
+    }
+
+    // BP012 against a planned drainless restart of search. The exposed
+    // wiring (retried callers, but no breaker and no replica sibling) must
+    // fire; each suggested fix — breaker, replicate behind a balancer with
+    // retrying callers, or draining first — must silence it.
+    let reconfig_base = hr::wiring(&WiringOpts {
+        retries: 2,
+        ..WiringOpts::default().without_tracing()
+    });
+    let mut reconfig_breaker = reconfig_base.clone();
+    mutate::attach_policy_to_all_services(
+        &mut reconfig_breaker,
+        "breaker",
+        "CircuitBreaker",
+        vec![
+            ("threshold", Arg::Float(0.5)),
+            ("window", Arg::Int(50)),
+            ("open_ms", Arg::Int(500)),
+            ("probes", Arg::Int(3)),
+        ],
+    )
+    .expect("breaker mutation");
+    let mut reconfig_replicated = reconfig_base.clone();
+    mutate::replicate(&mut reconfig_replicated, "search", 3).expect("replicate search");
+    let bp012_exposed = bp012_findings(&reconfig_base, true);
+    let bp012_breaker = bp012_findings(&reconfig_breaker, true);
+    let bp012_replicated = bp012_findings(&reconfig_replicated, true);
+    let bp012_drained = bp012_findings(&reconfig_base, false);
+    assert_eq!(bp012_exposed.len(), 1, "{bp012_exposed:?}");
+    assert!(
+        bp012_exposed[0]
+            .message
+            .contains("no load-balanced sibling"),
+        "{bp012_exposed:?}"
+    );
+    for (name, found) in [
+        ("breaker", &bp012_breaker),
+        ("replicated+retries", &bp012_replicated),
+        ("drained", &bp012_drained),
+    ] {
+        assert!(
+            found.is_empty(),
+            "the {name} fix must silence BP012: {found:?}"
         );
     }
 
@@ -464,6 +536,28 @@ fn main() {
     static_section(&mut out, "BP010", &protected);
     static_section(&mut out, "BP011", &unmitigated);
     static_section(&mut out, "BP011", &budgeted);
+    fn refs(v: &[Diagnostic]) -> Vec<&Diagnostic> {
+        v.iter().collect()
+    }
+    static_lines(
+        &mut out,
+        "BP012",
+        "drainless-exposed",
+        &refs(&bp012_exposed),
+    );
+    static_lines(
+        &mut out,
+        "BP012",
+        "drainless+breaker",
+        &refs(&bp012_breaker),
+    );
+    static_lines(
+        &mut out,
+        "BP012",
+        "drainless+replicas",
+        &refs(&bp012_replicated),
+    );
+    static_lines(&mut out, "BP012", "drained", &refs(&bp012_drained));
     out.push('\n');
     let _ = write!(
         out,
@@ -513,6 +607,14 @@ fn main() {
          results/overload_matrix.txt)",
         bp010_findings.len(),
         bp011_findings.len(),
+    );
+    let _ = writeln!(
+        out,
+        "  BP012 is plan-relative: a drainless rolling restart of search fires \
+         on the exposed wiring and every suggested fix (breaker, replicate with \
+         retrying callers, drain first) silences it (dynamic bound held in \
+         results/reconfig_matrix.txt: drained arms show zero unavailability, \
+         the unprotected drainless arm shows the spike)",
     );
     print!("{out}");
     std::fs::create_dir_all("results").expect("results dir");

@@ -129,6 +129,20 @@ impl<'a> LintContext<'a> {
             .unwrap_or(false)
     }
 
+    /// Replica siblings of `node` behind a shared load balancer: the
+    /// number of *other* services a balancer that invokes `node` also
+    /// invokes. 0 when no load balancer fronts the node.
+    pub fn lb_siblings(&self, node: NodeId) -> usize {
+        self.ir
+            .in_edges(node)
+            .iter()
+            .filter_map(|&e| self.ir.edge(e).ok())
+            .filter(|e| e.kind == EdgeKind::Invocation && self.is_load_balancer(e.from))
+            .map(|e| self.ir.callees(e.from).len().saturating_sub(1))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Invocation callees of `node`, id-ascending and deduplicated.
     pub fn invocation_callees(&self, node: NodeId) -> Vec<NodeId> {
         let mut out = self.ir.callees(node);

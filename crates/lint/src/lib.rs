@@ -25,6 +25,7 @@
 //! | BP009 | missing-breaker       | warn     | a retried, brownout-prone backend with no circuit breaker |
 //! | BP010 | missing-deadline-propagation | warn | a deadline-guarded entry reaches a service that drops the propagated deadline |
 //! | BP011 | unbudgeted-retry-fanout | warn   | a retried service with neither a retry budget nor a circuit breaker |
+//! | BP012 | drainless-restart-hazard | warn  | a planned drainless restart of a service whose gap nothing absorbs (no breaker, no retried LB sibling) |
 //!
 //! Rule ids are stable: tooling (the CI gate, baseline suppression files)
 //! keys on them, so ids are never reused or renumbered.
@@ -54,6 +55,21 @@ pub use diagnostic::{Diagnostic, Severity, Subject};
 pub use passes::{LintPass, Rule};
 pub use render::{dot_findings, render_json, render_text};
 
+/// A planned runtime restart the BP012 pass checks against the graph: the
+/// lint-side projection of a `ReconfigPlan` rolling step or a bare
+/// `ProcRestart`/`ProcessCrash` fault entry. Callers map their plan to
+/// service-instance names (the simulator's own validation handles unknown
+/// names, so targets absent from the graph are skipped here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartTarget {
+    /// Service-instance name (the IR node name).
+    pub service: String,
+    /// Whether the restart skips draining: `true` for drainless rolling
+    /// steps and for bare process-restart fault entries (which never
+    /// drain); `false` for drained rolling steps.
+    pub drainless: bool,
+}
+
 /// Linter configuration: per-rule severity overrides plus the numeric
 /// thresholds the quantitative rules compare against.
 #[derive(Debug, Clone)]
@@ -64,6 +80,10 @@ pub struct LintConfig {
     /// BP001: flag call chains whose worst-case wire amplification (product
     /// of per-hop attempt counts) exceeds this, absent a circuit breaker.
     pub amplification_threshold: f64,
+    /// BP012: planned restarts to check for drainless-restart hazards.
+    /// Empty (the default) disables the rule — restart hazards only exist
+    /// relative to a concrete deployment plan.
+    pub restart_targets: Vec<RestartTarget>,
 }
 
 impl Default for LintConfig {
@@ -71,6 +91,7 @@ impl Default for LintConfig {
         LintConfig {
             severity: BTreeMap::new(),
             amplification_threshold: 10.0,
+            restart_targets: Vec::new(),
         }
     }
 }
@@ -79,6 +100,15 @@ impl LintConfig {
     /// Overrides one rule's severity.
     pub fn with_severity(mut self, rule: &str, severity: Severity) -> Self {
         self.severity.insert(rule.to_string(), severity);
+        self
+    }
+
+    /// Adds a planned restart for BP012 to check.
+    pub fn with_restart_target(mut self, service: &str, drainless: bool) -> Self {
+        self.restart_targets.push(RestartTarget {
+            service: service.to_string(),
+            drainless,
+        });
         self
     }
 }
@@ -212,7 +242,7 @@ mod tests {
         let ids: Vec<&str> = rules.iter().map(|r| r.id).collect();
         for expect in [
             "BP001", "BP002", "BP003", "BP004", "BP005", "BP006", "BP007", "BP008", "BP009",
-            "BP010", "BP011",
+            "BP010", "BP011", "BP012",
         ] {
             assert!(ids.contains(&expect), "missing rule {expect}");
         }

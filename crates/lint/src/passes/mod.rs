@@ -5,6 +5,7 @@ pub mod deadline_propagation;
 pub mod idempotency;
 pub mod load_balancing;
 pub mod reachability;
+pub mod restart_hazard;
 pub mod retry_amplification;
 pub mod retry_budget;
 pub mod timeout_inversion;
@@ -51,5 +52,6 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(backend_guard::BackendGuard),
         Box::new(deadline_propagation::DeadlinePropagation),
         Box::new(retry_budget::RetryBudgetFanout),
+        Box::new(restart_hazard::RestartHazard),
     ]
 }

@@ -51,9 +51,9 @@ pub mod time;
 pub use evq::EvQueueKind;
 pub use sim::{Completion, EntryHandle, Sim, SimConfig};
 pub use spec::{
-    BackendRtKind, BackendSpec, BreakerSpec, ChaosSpec, ClientSpec, DeadlineSpec, DepBinding,
-    EntrySpec, ExpBackoff, Fault, FaultPlan, GcSpec, HostSpec, LbPolicy, ProcessSpec,
-    RetryBudgetSpec, ServiceSpec, ShedSpec, SystemSpec, TransportSpec,
+    AutoscalerSpec, BackendRtKind, BackendSpec, BreakerSpec, Change, ChaosSpec, ClientSpec,
+    DeadlineSpec, DepBinding, EntrySpec, ExpBackoff, Fault, FaultPlan, GcSpec, HostSpec, LbPolicy,
+    ProcessSpec, ReconfigPlan, RetryBudgetSpec, ServiceSpec, ShedSpec, SystemSpec, TransportSpec,
 };
 pub use time::{ms, secs, us, SimTime};
 

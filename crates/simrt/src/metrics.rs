@@ -54,6 +54,25 @@ pub struct SimCounters {
     /// wire amplification: `(client_calls + retries) / client_calls`).
     #[serde(default)]
     pub client_calls: u64,
+    /// Arrivals rejected because the target replica was draining or out of
+    /// rotation (stable error class `"drain"`).
+    #[serde(default)]
+    pub drain_rejections: u64,
+    /// Runtime changes started (rolling deploys, scale actions, canaries).
+    #[serde(default)]
+    pub reconfig_changes: u64,
+    /// Autoscaler scale-out actions.
+    #[serde(default)]
+    pub autoscale_ups: u64,
+    /// Autoscaler scale-in actions.
+    #[serde(default)]
+    pub autoscale_downs: u64,
+    /// Canary rollouts promoted group-wide.
+    #[serde(default)]
+    pub canary_promotions: u64,
+    /// Canary rollouts rolled back to the saved wiring.
+    #[serde(default)]
+    pub canary_rollbacks: u64,
 }
 
 impl SimCounters {
@@ -82,6 +101,12 @@ impl SimCounters {
         self.shed_rejections += other.shed_rejections;
         self.budget_denied += other.budget_denied;
         self.client_calls += other.client_calls;
+        self.drain_rejections += other.drain_rejections;
+        self.reconfig_changes += other.reconfig_changes;
+        self.autoscale_ups += other.autoscale_ups;
+        self.autoscale_downs += other.autoscale_downs;
+        self.canary_promotions += other.canary_promotions;
+        self.canary_rollbacks += other.canary_rollbacks;
     }
 }
 

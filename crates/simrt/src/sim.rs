@@ -38,8 +38,8 @@ use crate::evq::{self, EvKey, EvQueue, EvQueueKind, EventShards};
 use crate::host::{JobId, PsHost, NO_PROC};
 use crate::metrics::{BackendStats, Metrics, SimCounters};
 use crate::spec::{
-    BackendRtKind, ClientSpec, DepBinding, Fault, FaultPlan, LbPolicy, ShedSpec, SystemSpec,
-    TransportSpec,
+    AutoscalerSpec, BackendRtKind, Change, ClientSpec, DepBinding, Fault, FaultPlan, LbPolicy,
+    ReconfigPlan, ShedSpec, SystemSpec, TransportSpec,
 };
 use crate::time::SimTime;
 use crate::{Result, SimError};
@@ -83,6 +83,11 @@ pub struct SimConfig {
     /// happens — and exists as a config field (not an env var) so tests can
     /// force the threaded path without racy env mutation.
     pub par_epoch_min: Option<usize>,
+    /// Live runtime changes to apply during the run (rolling deploys,
+    /// scale-out/in, canary rollouts, autoscalers). Like `faults`, an empty
+    /// plan (the default) adds zero events and RNG draws, so no-reconfig
+    /// runs are byte-identical to a build without the engine.
+    pub reconfig: ReconfigPlan,
 }
 
 impl Default for SimConfig {
@@ -95,6 +100,7 @@ impl Default for SimConfig {
             shards: None,
             queue: None,
             par_epoch_min: None,
+            reconfig: ReconfigPlan::default(),
         }
     }
 }
@@ -154,6 +160,12 @@ pub const DOMAIN_PROC: u64 = 1;
 pub const DOMAIN_CLIENT: u64 = 2;
 /// RNG stream domain: per-backend draws (evictions, replication lag).
 pub const DOMAIN_BACKEND: u64 = 3;
+/// RNG stream domain: reconfiguration draws (autoscaler tick jitter keyed
+/// by scaler index; canary salts and tolerances on the plan-level stream,
+/// entity id 0). Keeping every reconfig draw on this dedicated domain means
+/// enabling a plan perturbs no workload stream — and an empty plan creates
+/// no stream at all.
+pub const DOMAIN_AUTOSCALER: u64 = 4;
 
 /// splitmix64 finalizer (Steele/Lea/Flood mixing constants).
 fn mix64(mut z: u64) -> u64 {
@@ -272,6 +284,9 @@ enum CallErr {
     Deadline,
     /// An adaptive admission controller rejected the arrival.
     Shed,
+    /// The serving replica was draining (rolling deploy or scale-in); the
+    /// request failed fast instead of landing on a stopping instance.
+    Drain,
 }
 
 /// Result of a call attempt.
@@ -300,6 +315,7 @@ impl CallErr {
             CallErr::Brownout => "brownout",
             CallErr::Deadline => "deadline",
             CallErr::Shed => "shed",
+            CallErr::Drain => "drain",
         }
     }
 }
@@ -836,6 +852,31 @@ enum Ev {
     },
     /// The chaos process draws and injects its next fault.
     ChaosFire,
+    /// A scheduled reconfiguration change starts (indexes
+    /// `ReconfigRt::changes`).
+    ReconfigFire {
+        idx: usize,
+    },
+    /// A drain budget expired (indexes `ReconfigRt::drains`): stop or
+    /// deactivate the drained replica and run the follow-up.
+    DrainDone {
+        token: usize,
+    },
+    /// A rolling deploy's restarted replica should be healthy again; verify
+    /// and advance to the next replica (indexes `ReconfigRt::rollings`).
+    RollAdvance {
+        rolling: usize,
+    },
+    /// A deterministic autoscaler takes its next utilization observation
+    /// (indexes `ReconfigRt::scalers`).
+    AutoscaleTick {
+        scaler: usize,
+    },
+    /// A canary's observation window closed: compare error rates and
+    /// promote or roll back (indexes `ReconfigRt::canaries`).
+    CanaryEval {
+        canary: usize,
+    },
 }
 
 /// A fault with every name resolved to a dense index at boot (or at
@@ -883,6 +924,137 @@ struct ChaosRt {
     menu: Vec<RFault>,
     mean_gap_ns: SimTime,
     end_ns: SimTime,
+}
+
+// ---------------------------------------------------------------------------
+// Runtime reconfiguration (rolling deploys, scaling, canaries).
+// ---------------------------------------------------------------------------
+
+/// A reconfiguration change with its service group resolved to dense
+/// indices (at boot for scheduled plans, at call time for
+/// [`Sim::apply_change`]).
+#[derive(Debug, Clone)]
+enum RChange {
+    Rolling {
+        group: Vec<usize>,
+        drain_ns: SimTime,
+        restart_ns: SimTime,
+        drainless: bool,
+    },
+    Scale {
+        group: Vec<usize>,
+        replicas: usize,
+        drain_ns: SimTime,
+    },
+    Canary {
+        group: Vec<usize>,
+        fraction: f64,
+        evaluate_ns: SimTime,
+        timeout_ns: Option<SimTime>,
+        retries: Option<u32>,
+    },
+}
+
+/// A rolling deploy in progress: one replica of `group` at a time is
+/// drained (unless `drainless`), stopped, restarted, and verified healthy
+/// before the next begins.
+#[derive(Debug)]
+struct RollingRt {
+    group: Vec<usize>,
+    drain_ns: SimTime,
+    restart_ns: SimTime,
+    drainless: bool,
+    /// Position in `group` currently being processed.
+    next: usize,
+}
+
+/// What happens when a drain budget expires.
+#[derive(Debug, Clone, Copy)]
+enum DrainFollow {
+    /// Rolling deploy: stop the process, restart it, then advance.
+    Rolling(usize),
+    /// Scale-in: deactivate the replica (its process stays up; any
+    /// stragglers past the budget simply finish off-rotation).
+    Deactivate,
+}
+
+/// One drain in progress. Tokens (indices into `ReconfigRt::drains`) are
+/// stable: entries are push-only and marked `done` instead of removed.
+#[derive(Debug)]
+struct DrainRt {
+    svc: usize,
+    follow: DrainFollow,
+    done: bool,
+}
+
+/// A deterministic autoscaler instance. All draws come from its private
+/// [`DOMAIN_AUTOSCALER`] stream (keyed by scaler index + 1), so scaling
+/// decisions never perturb workload randomness.
+struct ScalerRt {
+    spec: AutoscalerSpec,
+    group: Vec<usize>,
+    /// Utilization EWMA; seeded by the first observation (`primed`).
+    ewma: f64,
+    primed: bool,
+    /// No scaling action before this time (hysteresis cooldown).
+    cooldown_until: SimTime,
+    rng: SmallRng,
+}
+
+/// A canary rollout in progress: the group's highest replica runs with
+/// mutated outbound client wiring while a deterministic traffic fraction is
+/// routed to it.
+struct CanaryRt {
+    /// The canary service (highest group index).
+    svc: usize,
+    /// Baseline group members (everything but the canary).
+    baseline: Vec<usize>,
+    timeout_ns: Option<SimTime>,
+    retries: Option<u32>,
+    /// `(client id, original spec)` for rollback.
+    saved: Vec<(usize, ClientSpec)>,
+    /// Completion counters at canary start (ok, err), canary then baseline.
+    can0: (u64, u64),
+    base0: (u64, u64),
+    done: bool,
+}
+
+/// Deterministic canary routing state, read by LB picks during epochs.
+#[derive(Debug, Clone, Copy)]
+struct CanaryRoute {
+    /// Seeded salt hashed with the request's root sequence number, so one
+    /// request keeps its canary/baseline assignment across retries.
+    salt: u64,
+    /// Route to the canary when `mix64(salt ^ root_seq) < threshold`.
+    threshold: u64,
+}
+
+/// All reconfiguration runtime state. Boxed inside [`Sim`] and `None`
+/// until a plan is scheduled or [`Sim::apply_change`] is first called — an
+/// empty plan allocates nothing and draws nothing.
+struct ReconfigRt {
+    /// Plan-level RNG stream ([`DOMAIN_AUTOSCALER`], entity 0): canary
+    /// salts and promote-tolerance draws.
+    rng: SmallRng,
+    /// Resolved changes; `Ev::ReconfigFire` indexes this.
+    changes: Vec<RChange>,
+    rollings: Vec<RollingRt>,
+    drains: Vec<DrainRt>,
+    scalers: Vec<ScalerRt>,
+    canaries: Vec<CanaryRt>,
+}
+
+impl ReconfigRt {
+    fn new(root_seed: u64) -> Self {
+        ReconfigRt {
+            rng: SmallRng::seed_from_u64(derive_seed(root_seed, DOMAIN_AUTOSCALER, 0)),
+            changes: Vec::new(),
+            rollings: Vec::new(),
+            drains: Vec::new(),
+            scalers: Vec::new(),
+            canaries: Vec::new(),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1011,6 +1183,10 @@ struct SvcRt {
     /// Adaptive admission controller; `None` keeps the plain
     /// `max_concurrent` fast-fail and costs nothing.
     shed: Option<ShedCtl>,
+    /// Completed entry/RPC frames that succeeded (canary comparisons).
+    done_ok: u64,
+    /// Completed frames that failed.
+    done_err: u64,
 }
 
 /// Per-entry-point runtime: the shim service plus its method name table.
@@ -1182,6 +1358,20 @@ struct Shared {
     /// Active (or expired-but-inert) link faults, keyed by directed
     /// (src process, dst process). Lookup-only, so map order never matters.
     link_faults: HashMap<(usize, usize), LinkFault>,
+
+    // Reconfiguration state: written by the control plane between epochs
+    // only, and read on hot paths only behind `reconfig_on` — a run with an
+    // empty plan never branches past the single bool.
+    /// Whether any reconfiguration is (or ever was) in effect.
+    reconfig_on: bool,
+    /// Service in the load-balancer rotation (scale state). All true at
+    /// boot; scaled-in replicas turn false.
+    svc_active: Vec<bool>,
+    /// Service draining: load balancers route away and new deliveries fail
+    /// fast with `"drain"`; in-flight work keeps running.
+    svc_draining: Vec<bool>,
+    /// Per-service canary routing (set on the canary replica itself).
+    canary_route: Vec<Option<CanaryRoute>>,
 }
 
 /// All mutable runtime state homed on one host: its CPU scheduler, the
@@ -1328,8 +1518,18 @@ fn ev_home_host(sh: &Shared, ev: &Ev) -> Option<usize> {
         }
         // Control plane: fault application mutates cluster-wide state
         // (`proc_down`, `link_faults`, multi-host crash sweeps), so these
-        // serialize between epochs.
-        Ev::FaultFire { .. } | Ev::ProcRestart { .. } | Ev::ChaosFire => None,
+        // serialize between epochs. Reconfiguration events do the same for
+        // `svc_active`/`svc_draining`/`canary_route` and client rewiring —
+        // running them in the ctrl slot is what makes a plan byte-identical
+        // at any thread count.
+        Ev::FaultFire { .. }
+        | Ev::ProcRestart { .. }
+        | Ev::ChaosFire
+        | Ev::ReconfigFire { .. }
+        | Ev::DrainDone { .. }
+        | Ev::RollAdvance { .. }
+        | Ev::AutoscaleTick { .. }
+        | Ev::CanaryEval { .. } => None,
     }
 }
 
@@ -1354,6 +1554,9 @@ pub struct Sim {
     /// Chaos process, when configured (its RNG stream is separate from the
     /// per-entity streams, as before).
     chaos: Option<ChaosRt>,
+    /// Reconfiguration runtime; `None` until a plan is scheduled or
+    /// [`Sim::apply_change`] is first called.
+    reconfig: Option<Box<ReconfigRt>>,
 
     /// Effective shard count: the requested count capped by the number of
     /// independent host groups.
@@ -1423,6 +1626,9 @@ impl Sim {
             // Validated against the user's spec, so plans can never target
             // the hidden workload host/process appended below.
             spec.validate_fault_plan(&cfg.faults)?;
+        }
+        if !cfg.reconfig.is_empty() {
+            spec.validate_reconfig_plan(&cfg.reconfig)?;
         }
         let mut spec = spec.clone();
 
@@ -1542,6 +1748,8 @@ impl Sim {
                 traced: s.trace_overhead_ns.is_some(),
                 overhead_prog,
                 shed: s.shed.clone().map(ShedCtl::new),
+                done_ok: 0,
+                done_err: 0,
             });
         }
 
@@ -1664,6 +1872,7 @@ impl Sim {
         }
 
         let n_procs = proc_names.len();
+        let n_svcs = spec.services.len();
         let par_enabled = n_shards > 1 && !cfg.record_traces;
         let par_epoch_min = cfg.par_epoch_min.unwrap_or(4096);
         let sh = Shared {
@@ -1689,6 +1898,10 @@ impl Sim {
             proc_down: vec![false; n_procs],
             proc_gen: vec![0; n_procs],
             link_faults: HashMap::new(),
+            reconfig_on: false,
+            svc_active: vec![true; n_svcs],
+            svc_draining: vec![false; n_svcs],
+            canary_route: vec![None; n_svcs],
         };
         let mut sim = Sim {
             cfg,
@@ -1705,6 +1918,7 @@ impl Sim {
             // for "absent".
             next_root: 1,
             chaos: None,
+            reconfig: None,
             n_shards,
             par_enabled,
             par_epoch_min,
@@ -1713,6 +1927,7 @@ impl Sim {
             spec_name: spec.name.clone(),
         };
         sim.schedule_fault_plan()?;
+        sim.schedule_reconfig_plan()?;
         Ok(sim)
     }
 
@@ -1746,6 +1961,144 @@ impl Sim {
             }
         }
         Ok(())
+    }
+
+    /// Resolves and schedules the configured reconfiguration plan. A no-op
+    /// for empty plans: no events pushed, no RNG state created or drawn
+    /// from, `reconfig_on` stays false (hot paths never branch past it).
+    fn schedule_reconfig_plan(&mut self) -> Result<()> {
+        if self.cfg.reconfig.is_empty() {
+            return Ok(());
+        }
+        let plan = self.cfg.reconfig.clone();
+        let mut rt = Box::new(ReconfigRt::new(self.cfg.seed));
+        for (_, c) in &plan.scheduled {
+            rt.changes.push(self.resolve_change(c)?);
+        }
+        for (si, a) in plan.autoscalers.iter().enumerate() {
+            let group = self.resolve_group(&a.service)?;
+            rt.scalers.push(ScalerRt {
+                spec: a.clone(),
+                group,
+                ewma: 0.0,
+                primed: false,
+                cooldown_until: 0,
+                rng: SmallRng::seed_from_u64(derive_seed(
+                    self.cfg.seed,
+                    DOMAIN_AUTOSCALER,
+                    1 + si as u64,
+                )),
+            });
+        }
+        self.reconfig = Some(rt);
+        self.sh.reconfig_on = true;
+        for (i, (t, _)) in plan.scheduled.iter().enumerate() {
+            self.push_ev(*t, Ev::ReconfigFire { idx: i });
+        }
+        for (si, a) in plan.autoscalers.iter().enumerate() {
+            if a.start_ns < a.end_ns {
+                self.push_ev(a.start_ns, Ev::AutoscaleTick { scaler: si });
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves a service-group base name against the running cluster
+    /// (excluding the hidden workload shims), with a nearest-match hint on
+    /// unknown names.
+    fn resolve_group(&self, base: &str) -> Result<Vec<usize>> {
+        let prefix = format!("{base}_r");
+        let mut group: Vec<usize> = (0..self.sh.svc_names.len())
+            .filter(|&i| {
+                let name = self.sh.names.get(self.sh.svc_names[i]);
+                name == base
+                    || (name.starts_with(&prefix)
+                        && name.len() > prefix.len()
+                        && name[prefix.len()..].chars().all(|c| c.is_ascii_digit()))
+            })
+            .collect();
+        group.sort_unstable();
+        if group.is_empty() {
+            let names: Vec<&str> = (0..self.sh.svc_names.len())
+                .map(|i| self.sh.names.get(self.sh.svc_names[i]))
+                .filter(|n| !n.starts_with("__workload_"))
+                .collect();
+            let hint = crate::spec::suggest(base, names.into_iter());
+            return Err(SimError::Unknown(format!("service {base}{hint}")));
+        }
+        Ok(group)
+    }
+
+    /// Resolves a named change to dense indices, rejecting unknown names
+    /// and out-of-range parameters (mirrors
+    /// [`SystemSpec::validate_change`] for the driver path).
+    fn resolve_change(&self, c: &Change) -> Result<RChange> {
+        let group = self.resolve_group(c.service())?;
+        match c {
+            Change::RollingRestart {
+                drain_ns,
+                restart_ns,
+                drainless,
+                ..
+            } => Ok(RChange::Rolling {
+                group,
+                drain_ns: *drain_ns,
+                restart_ns: *restart_ns,
+                drainless: *drainless,
+            }),
+            Change::Scale {
+                service,
+                replicas,
+                drain_ns,
+            } => {
+                if *replicas == 0 {
+                    return Err(SimError::BadSpec(format!(
+                        "cannot scale {service} below 1 replica"
+                    )));
+                }
+                if *replicas > group.len() {
+                    return Err(SimError::BadSpec(format!(
+                        "cannot scale {service} to {replicas} replicas: only {} exist at boot",
+                        group.len()
+                    )));
+                }
+                Ok(RChange::Scale {
+                    group,
+                    replicas: *replicas,
+                    drain_ns: *drain_ns,
+                })
+            }
+            Change::Canary {
+                service,
+                fraction,
+                evaluate_ns,
+                timeout_ns,
+                retries,
+            } => {
+                if group.len() < 2 {
+                    return Err(SimError::BadSpec(format!(
+                        "canary for {service} needs >= 2 replicas (one canary, one baseline)"
+                    )));
+                }
+                if !fraction.is_finite() || *fraction <= 0.0 || *fraction >= 1.0 {
+                    return Err(SimError::BadSpec(format!(
+                        "canary fraction {fraction} not in (0, 1)"
+                    )));
+                }
+                if *evaluate_ns == 0 {
+                    return Err(SimError::BadSpec(format!(
+                        "canary for {service} evaluate_ns must be > 0"
+                    )));
+                }
+                Ok(RChange::Canary {
+                    group,
+                    fraction: *fraction,
+                    evaluate_ns: *evaluate_ns,
+                    timeout_ns: *timeout_ns,
+                    retries: *retries,
+                })
+            }
+        }
     }
 
     /// Current virtual time.
@@ -2225,6 +2578,11 @@ impl Sim {
                 }
             }
             Ev::ChaosFire => self.on_chaos_fire(),
+            Ev::ReconfigFire { idx } => self.on_reconfig_fire(idx),
+            Ev::DrainDone { token } => self.on_drain_done(token),
+            Ev::RollAdvance { rolling } => self.on_roll_advance(rolling),
+            Ev::AutoscaleTick { scaler } => self.on_autoscale_tick(scaler),
+            Ev::CanaryEval { canary } => self.on_canary_eval(canary),
             other => unreachable!("lane event {other:?} on the control queue"),
         }
     }

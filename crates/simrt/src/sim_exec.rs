@@ -276,7 +276,14 @@ impl<'a> ShardExec<'a> {
             }
             // Control events never reach shard queues (`ev_home_host`
             // routes them to the control plane).
-            Ev::FaultFire { .. } | Ev::ProcRestart { .. } | Ev::ChaosFire => {
+            Ev::FaultFire { .. }
+            | Ev::ProcRestart { .. }
+            | Ev::ChaosFire
+            | Ev::ReconfigFire { .. }
+            | Ev::DrainDone { .. }
+            | Ev::RollAdvance { .. }
+            | Ev::AutoscaleTick { .. }
+            | Ev::CanaryEval { .. } => {
                 unreachable!("control event on a shard queue")
             }
         }
@@ -777,24 +784,13 @@ impl<'a> ShardExec<'a> {
                 (CallTarget::Service { svc: target, method }, 0usize)
             }
             (CallDest::Replicated { policy, targets }, None) => {
-                let n_targets = self.sh.progs.targets(targets).len();
-                let idx = match policy {
-                    LbPolicy::RoundRobin => {
-                        let client = self.client_mut(client_id);
-                        let i = client.rr % n_targets;
-                        client.rr = client.rr.wrapping_add(1);
-                        i
-                    }
-                    // Random balancing draws from the client's own stream.
-                    LbPolicy::Random => self.client_mut(client_id).rng.gen_range(0..n_targets),
-                    LbPolicy::LeastOutstanding => self
-                        .client_mut(client_id)
-                        .outstanding
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, n)| **n)
-                        .map(|(i, _)| i)
-                        .unwrap_or(0),
+                // The reconfig-aware pick (canary coin + draining/inactive
+                // filtering) is gated on `reconfig_on`, so runs without a
+                // plan keep the exact historical pick sequence.
+                let idx = if self.sh.reconfig_on {
+                    self.pick_replica_live(client_id, policy, targets, root_seq)
+                } else {
+                    self.pick_replica_plain(client_id, policy, targets)
                 };
                 let (tsvc, method) = self.sh.progs.targets(targets)[idx];
                 (CallTarget::Service { svc: tsvc, method }, idx)
@@ -979,6 +975,94 @@ impl<'a> ShardExec<'a> {
         }
     }
 
+    /// Historical replica pick: the exact sequence used when no reconfig
+    /// plan is active.
+    fn pick_replica_plain(&mut self, client_id: u32, policy: LbPolicy, targets: TargetsId) -> usize {
+        let n_targets = self.sh.progs.targets(targets).len();
+        match policy {
+            LbPolicy::RoundRobin => {
+                let client = self.client_mut(client_id);
+                let i = client.rr % n_targets;
+                client.rr = client.rr.wrapping_add(1);
+                i
+            }
+            // Random balancing draws from the client's own stream.
+            LbPolicy::Random => self.client_mut(client_id).rng.gen_range(0..n_targets),
+            LbPolicy::LeastOutstanding => self
+                .client_mut(client_id)
+                .outstanding
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| **n)
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Reconfig-aware replica pick. A canary target gets its deterministic
+    /// per-root traffic share first (`mix64(salt ^ root_seq) < threshold` —
+    /// no RNG draw, and sticky across retries of the same root request);
+    /// the remaining traffic balances over replicas that are active and not
+    /// draining, with the canary excluded from the baseline share. If
+    /// nothing is eligible (mid-deploy edge) the pick falls back to the
+    /// full list rather than stalling the call.
+    fn pick_replica_live(
+        &mut self,
+        client_id: u32,
+        policy: LbPolicy,
+        targets: TargetsId,
+        root_seq: u64,
+    ) -> usize {
+        let sh = self.sh;
+        let list = sh.progs.targets(targets);
+        let n = list.len();
+        let mut canary_pos = None;
+        for (i, (tsvc, _)) in list.iter().enumerate() {
+            if let Some(cr) = sh.canary_route[*tsvc] {
+                if sh.svc_active[*tsvc] && !sh.svc_draining[*tsvc] {
+                    if mix64(cr.salt ^ root_seq) < cr.threshold {
+                        return i;
+                    }
+                    canary_pos = Some(i);
+                }
+            }
+        }
+        let ok = |i: usize| {
+            let svc = list[i].0;
+            sh.svc_active[svc] && !sh.svc_draining[svc] && canary_pos != Some(i)
+        };
+        let eligible = (0..n).filter(|&i| ok(i)).count();
+        if eligible == 0 {
+            return self.pick_replica_plain(client_id, policy, targets);
+        }
+        match policy {
+            LbPolicy::RoundRobin => {
+                let client = self.client_mut(client_id);
+                let start = client.rr % n;
+                client.rr = client.rr.wrapping_add(1);
+                (0..n)
+                    .map(|k| (start + k) % n)
+                    .find(|&i| ok(i))
+                    .expect("eligible > 0")
+            }
+            LbPolicy::Random => {
+                let j = self.client_mut(client_id).rng.gen_range(0..eligible);
+                (0..n).filter(|&i| ok(i)).nth(j).expect("eligible > 0")
+            }
+            LbPolicy::LeastOutstanding => {
+                let client = self.client_mut(client_id);
+                client
+                    .outstanding
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| ok(*i))
+                    .min_by_key(|(_, n)| **n)
+                    .map(|(i, _)| i)
+                    .expect("eligible > 0")
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Server side.
     // ------------------------------------------------------------------
@@ -997,6 +1081,23 @@ impl<'a> ShardExec<'a> {
                             seq: req.seq,
                             attempt: req.attempt,
                             outcome: CallOutcome::failure(CallErr::Crash),
+                        },
+                    );
+                    return;
+                }
+                // A draining or out-of-rotation replica stops admitting new
+                // work: callers see the stable `drain` class and fail over.
+                // In-flight frames (admitted before the drain) still finish.
+                if sh.reconfig_on && (!sh.svc_active[svc] || sh.svc_draining[svc]) {
+                    self.counters.drain_rejections += 1;
+                    let t = self.now + req.reply.net_ns;
+                    self.push_ev(
+                        t,
+                        Ev::DeliverResponse {
+                            frame: req.caller,
+                            seq: req.seq,
+                            attempt: req.attempt,
+                            outcome: CallOutcome::failure(CallErr::Drain),
                         },
                     );
                     return;
@@ -1650,6 +1751,12 @@ impl<'a> ShardExec<'a> {
             let now = self.now;
             let s = self.svc_mut(service);
             s.active = s.active.saturating_sub(1);
+            // Per-service outcome tallies (canary vs baseline comparison).
+            if ok {
+                s.done_ok += 1;
+            } else {
+                s.done_err += 1;
+            }
             // Adaptive admission: each served request's sojourn delay feeds
             // the controller's EWMA (present only when a shed policy is
             // lowered onto the service).
@@ -1794,12 +1901,23 @@ impl Sim {
     /// `Crash` errors, client/connection/heap state resets cold, and the
     /// process restarts after `restart_ns`.
     fn crash_process(&mut self, proc: usize, restart_ns: SimTime) {
+        self.stop_process(proc, restart_ns, CallErr::Crash);
+    }
+
+    /// Stops a process with a caller-visible cause. `Crash` models a fault;
+    /// `Drain` models a planned rolling restart, where anything still
+    /// resident when the drain window closed fails with the stable `drain`
+    /// error class (never silently dropped). Either way the process state
+    /// resets cold and it restarts after `restart_ns`.
+    fn stop_process(&mut self, proc: usize, restart_ns: SimTime, cause: CallErr) {
         if self.sh.proc_down[proc] {
             return;
         }
         self.sh.proc_down[proc] = true;
         self.sh.proc_gen[proc] += 1;
-        self.metrics.counters.process_crashes += 1;
+        if matches!(cause, CallErr::Crash) {
+            self.metrics.counters.process_crashes += 1;
+        }
         let host = self.sh.proc_host[proc] as usize;
 
         // An in-progress GC pause dies with the process; the heap restarts at
@@ -1833,7 +1951,7 @@ impl Sim {
                             frame,
                             seq,
                             attempt,
-                            outcome: CallOutcome::failure(CallErr::Crash),
+                            outcome: CallOutcome::failure(cause),
                         },
                     );
                 }
@@ -1845,7 +1963,7 @@ impl Sim {
                             frame: req.caller,
                             seq: req.seq,
                             attempt: req.attempt,
-                            outcome: CallOutcome::failure(CallErr::Crash),
+                            outcome: CallOutcome::failure(cause),
                         },
                     );
                 }
@@ -1866,7 +1984,7 @@ impl Sim {
                 }
                 _ => continue,
             };
-            self.kill_frame_for_crash(fid);
+            self.kill_frame_for_stop(fid, cause);
         }
 
         // Clients owned by the process's services restart cold: breaker
@@ -1915,14 +2033,15 @@ impl Sim {
         self.touch_host_sim(host);
     }
 
-    /// Removes one frame killed by a process crash, routing the failure to
-    /// whoever was waiting on it.
-    fn kill_frame_for_crash(&mut self, fid: FrameId) {
+    /// Removes one frame killed by a process stop (crash or drain-deadline),
+    /// routing the failure to whoever was waiting on it.
+    fn kill_frame_for_stop(&mut self, fid: FrameId, cause: CallErr) {
         let Some(frame) = self.lanes[fid.host as usize].take_frame(fid) else { return };
         self.metrics.counters.crashed_frames += 1;
         if frame.counted_admission {
             let s = self.svc_rt_mut(frame.service);
             s.active = s.active.saturating_sub(1);
+            s.done_err += 1;
         }
         if frame.span_owned {
             if let Some((tid, sid)) = frame.span {
@@ -1943,13 +2062,13 @@ impl Sim {
                     finished_ns: self.now,
                     ok: false,
                     observed_version: frame.observed_version,
-                    failure: Some(CallErr::Crash.label()),
+                    failure: Some(cause.label()),
                 };
                 self.lanes[fid.host as usize].completions.push(completion);
             }
             FrameKind::Rpc { caller, seq, attempt, reply } => {
                 // No server-side serialization: the reply never forms; the
-                // caller learns of the crash after the network delay.
+                // caller learns of the failure after the network delay.
                 let t = self.now + reply.net_ns;
                 self.push_ev(
                     t,
@@ -1957,7 +2076,7 @@ impl Sim {
                         frame: caller,
                         seq,
                         attempt,
-                        outcome: CallOutcome::failure(CallErr::Crash),
+                        outcome: CallOutcome::failure(cause),
                     },
                 );
             }
@@ -1982,5 +2101,441 @@ impl Sim {
         if next < end {
             self.push_ev(next, Ev::ChaosFire);
         }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Control plane: runtime reconfiguration. Like fault injection, these
+// handlers run with `&mut Sim` between epochs (the ctrl-event slot), so
+// rotation state (`svc_active`, `svc_draining`, `canary_route`) mutates
+// only while shard workers are quiescent.
+// ----------------------------------------------------------------------
+
+impl Sim {
+    /// Applies one runtime change immediately, as a driver action
+    /// (`workload::Action::Reconfig`). The change is validated against the
+    /// live topology — unknown services get nearest-match suggestions, and
+    /// scaling below 1 replica is rejected — then starts at the current
+    /// virtual time.
+    pub fn apply_change(&mut self, change: &Change) -> Result<()> {
+        let rc = self.resolve_change(change)?;
+        self.ensure_reconfig();
+        let idx = {
+            let rt = self.reconfig.as_mut().expect("just ensured");
+            rt.changes.push(rc);
+            rt.changes.len() - 1
+        };
+        self.start_change(idx);
+        Ok(())
+    }
+
+    /// Lazily creates the reconfig runtime (driver-applied changes on a sim
+    /// built with an empty plan) and arms the gated hot-path checks.
+    fn ensure_reconfig(&mut self) {
+        if self.reconfig.is_none() {
+            self.reconfig = Some(Box::new(ReconfigRt::new(self.cfg.seed)));
+        }
+        self.sh.reconfig_on = true;
+    }
+
+    fn on_reconfig_fire(&mut self, idx: usize) {
+        self.start_change(idx);
+    }
+
+    /// Starts a resolved change at the current time.
+    fn start_change(&mut self, idx: usize) {
+        self.metrics.counters.reconfig_changes += 1;
+        let rc = {
+            let rt = self.reconfig.as_ref().expect("reconfig event without runtime");
+            rt.changes[idx].clone()
+        };
+        match rc {
+            RChange::Rolling { group, drain_ns, restart_ns, drainless } => {
+                let ri = {
+                    let rt = self.reconfig.as_mut().expect("checked above");
+                    rt.rollings.push(RollingRt { group, drain_ns, restart_ns, drainless, next: 0 });
+                    rt.rollings.len() - 1
+                };
+                self.roll_step(ri);
+            }
+            RChange::Scale { group, replicas, drain_ns } => {
+                self.apply_scale(&group, replicas, drain_ns);
+            }
+            RChange::Canary { group, fraction, evaluate_ns, timeout_ns, retries } => {
+                self.start_canary(&group, fraction, evaluate_ns, timeout_ns, retries);
+            }
+        }
+    }
+
+    /// Starts processing the next replica of a rolling deploy (or finishes
+    /// the deploy when the group is exhausted).
+    fn roll_step(&mut self, ri: usize) {
+        let (svc, drain_ns, restart_ns, drainless) = {
+            let rt = self.reconfig.as_ref().expect("rolling without runtime");
+            let roll = &rt.rollings[ri];
+            match roll.group.get(roll.next) {
+                Some(&svc) => (svc, roll.drain_ns, roll.restart_ns, roll.drainless),
+                None => return, // deploy complete
+            }
+        };
+        if drainless {
+            // Restart in place with no drain window: in-flight work dies
+            // with `Crash` — the hazard the drained path exists to avoid
+            // (lint BP012 flags exactly this).
+            let proc = self.sh.svc_proc[svc] as usize;
+            self.crash_process(proc, restart_ns);
+            let t = self.now + restart_ns;
+            self.push_ev(t, Ev::RollAdvance { rolling: ri });
+        } else {
+            self.begin_drain(svc, DrainFollow::Rolling(ri), drain_ns);
+        }
+    }
+
+    /// Takes a replica out of rotation and schedules its drain deadline.
+    /// From this point new deliveries fail fast with `Drain` (callers fail
+    /// over via the filtered LB pick); admitted frames run to completion or
+    /// their deadline until the window closes.
+    fn begin_drain(&mut self, svc: usize, follow: DrainFollow, drain_ns: SimTime) {
+        self.sh.svc_draining[svc] = true;
+        let token = {
+            let rt = self.reconfig.as_mut().expect("drain without runtime");
+            rt.drains.push(DrainRt { svc, follow, done: false });
+            rt.drains.len() - 1
+        };
+        let t = self.now + drain_ns;
+        self.push_ev(t, Ev::DrainDone { token });
+    }
+
+    fn on_drain_done(&mut self, token: usize) {
+        let (svc, follow) = {
+            let rt = self.reconfig.as_mut().expect("drain event without runtime");
+            let d = &mut rt.drains[token];
+            if d.done {
+                return;
+            }
+            d.done = true;
+            (d.svc, d.follow)
+        };
+        match follow {
+            DrainFollow::Rolling(ri) => {
+                // Stragglers that outlived the drain window fail with the
+                // stable `drain` class (conserved, never dropped); then the
+                // replica's process restarts with the new parameters.
+                let restart_ns = self.reconfig.as_ref().expect("checked").rollings[ri].restart_ns;
+                let proc = self.sh.svc_proc[svc] as usize;
+                self.stop_process(proc, restart_ns, CallErr::Drain);
+                // Pushed after the `ProcRestart` event at the same time, so
+                // the health probe observes the restarted process.
+                let t = self.now + restart_ns;
+                self.push_ev(t, Ev::RollAdvance { rolling: ri });
+            }
+            DrainFollow::Deactivate => self.finish_deactivate(svc),
+        }
+    }
+
+    /// Health gate between rolling steps: advance only once the restarted
+    /// process is actually back up (a fault overlapping the deploy delays
+    /// the roll rather than marching on blind).
+    fn on_roll_advance(&mut self, rolling: usize) {
+        let (svc, restart_ns) = {
+            let rt = self.reconfig.as_ref().expect("roll event without runtime");
+            let roll = &rt.rollings[rolling];
+            match roll.group.get(roll.next) {
+                Some(&svc) => (svc, roll.restart_ns),
+                None => return,
+            }
+        };
+        let proc = self.sh.svc_proc[svc] as usize;
+        if self.sh.proc_down[proc] {
+            let t = self.now + restart_ns.max(1);
+            self.push_ev(t, Ev::RollAdvance { rolling });
+            return;
+        }
+        self.sh.svc_draining[svc] = false;
+        self.reconfig.as_mut().expect("checked").rollings[rolling].next += 1;
+        self.roll_step(rolling);
+    }
+
+    /// Scales a replica group to `replicas` in-rotation members. Scale-out
+    /// activates the lowest-index parked replicas cold (their clients and
+    /// admission EWMAs reset, re-primed by the first post-activation
+    /// sample); scale-in drains the highest-index active replicas first.
+    fn apply_scale(&mut self, group: &[usize], replicas: usize, drain_ns: SimTime) {
+        let target = replicas.max(1).min(group.len());
+        let active: Vec<usize> = group
+            .iter()
+            .copied()
+            .filter(|&s| self.sh.svc_active[s] && !self.sh.svc_draining[s])
+            .collect();
+        if active.len() < target {
+            let mut need = target - active.len();
+            for &svc in group {
+                if need == 0 {
+                    break;
+                }
+                if self.sh.svc_active[svc] || self.sh.svc_draining[svc] {
+                    continue;
+                }
+                self.activate_replica(svc);
+                need -= 1;
+            }
+        } else if active.len() > target {
+            let excess = active.len() - target;
+            for &svc in active.iter().rev().take(excess) {
+                if drain_ns == 0 {
+                    self.finish_deactivate(svc);
+                } else {
+                    self.begin_drain(svc, DrainFollow::Deactivate, drain_ns);
+                }
+            }
+        }
+    }
+
+    /// Puts a parked replica back into rotation. Its outbound clients
+    /// restart cold (closed breaker, empty health window, no pooled
+    /// connections) and its admission controller re-primes on the first
+    /// sample, mirroring the post-crash reset.
+    fn activate_replica(&mut self, svc: usize) {
+        self.sh.svc_active[svc] = true;
+        self.sh.svc_draining[svc] = false;
+        for ci in 0..self.sh.client_owner.len() {
+            if self.sh.client_owner[ci] as usize != svc {
+                continue;
+            }
+            let c = self.client_rt_mut(ci);
+            c.window.clear();
+            c.window_failures = 0;
+            c.breaker = BreakerState::Closed;
+            c.conns_in_use = 0;
+            c.waiters.clear();
+            c.rr = 0;
+            for slot in c.outstanding.iter_mut() {
+                *slot = 0;
+            }
+            c.budget_tokens = 0.0;
+        }
+        if let Some(ctl) = &mut self.svc_rt_mut(svc).shed {
+            ctl.reset();
+        }
+    }
+
+    /// Final step of scale-in: the replica leaves rotation. Its process
+    /// stays up, so any frames still running simply finish off-rotation.
+    fn finish_deactivate(&mut self, svc: usize) {
+        self.sh.svc_draining[svc] = false;
+        self.sh.svc_active[svc] = false;
+    }
+
+    /// One autoscaler evaluation: fold instantaneous group utilization into
+    /// the EWMA, act on the hysteresis bands (outside the cooldown), and
+    /// re-arm the next tick with bounded jitter from the scaler's private
+    /// RNG stream.
+    fn on_autoscale_tick(&mut self, scaler: usize) {
+        let Some(mut rt) = self.reconfig.take() else { return };
+        let (action, next) = {
+            let s = &mut rt.scalers[scaler];
+            if self.now >= s.spec.end_ns {
+                self.reconfig = Some(rt);
+                return;
+            }
+            let mut busy = 0u64;
+            let mut cap = 0u64;
+            let mut in_rotation = 0usize;
+            for &svc in &s.group {
+                if !self.sh.svc_active[svc] || self.sh.svc_draining[svc] {
+                    continue;
+                }
+                in_rotation += 1;
+                let r = self.svc_ref(svc);
+                busy += r.active as u64;
+                cap += r.max_concurrent as u64;
+            }
+            let util = if cap == 0 { 0.0 } else { busy as f64 / cap as f64 };
+            if s.primed {
+                s.ewma = s.spec.ewma_alpha * util + (1.0 - s.spec.ewma_alpha) * s.ewma;
+            } else {
+                s.ewma = util;
+                s.primed = true;
+            }
+            let mut action = None;
+            if self.now >= s.cooldown_until && in_rotation > 0 {
+                if s.ewma > s.spec.high_util && in_rotation < s.spec.max_replicas {
+                    action = Some((in_rotation + 1, true));
+                } else if s.ewma < s.spec.low_util && in_rotation > s.spec.min_replicas {
+                    action = Some((in_rotation - 1, false));
+                }
+            }
+            if action.is_some() {
+                s.cooldown_until = self.now + s.spec.cooldown_ns;
+            }
+            // Deterministic tick jitter (≤ interval/64) decorrelates scalers
+            // without touching any shared RNG stream.
+            let jitter = if s.spec.interval_ns >= 64 {
+                s.rng.gen_range(0..=s.spec.interval_ns / 64)
+            } else {
+                0
+            };
+            let at = self.now + s.spec.interval_ns + jitter;
+            let next = if at < s.spec.end_ns { Some(at) } else { None };
+            (
+                action.map(|(n, up)| (s.group.clone(), n, s.spec.drain_ns, up)),
+                next,
+            )
+        };
+        self.reconfig = Some(rt);
+        if let Some((group, n, drain_ns, up)) = action {
+            if up {
+                self.metrics.counters.autoscale_ups += 1;
+            } else {
+                self.metrics.counters.autoscale_downs += 1;
+            }
+            self.apply_scale(&group, n, drain_ns);
+        }
+        if let Some(t) = next {
+            self.push_ev(t, Ev::AutoscaleTick { scaler });
+        }
+    }
+
+    /// Starts a canary rollout: the highest-index in-rotation replica gets
+    /// the mutated wiring (timeout/retry overrides on its outbound client
+    /// specs) plus a deterministic traffic fraction; the rest of the group
+    /// is the baseline. Promotion is decided by [`Sim::on_canary_eval`].
+    fn start_canary(
+        &mut self,
+        group: &[usize],
+        fraction: f64,
+        evaluate_ns: SimTime,
+        timeout_ns: Option<SimTime>,
+        retries: Option<u32>,
+    ) {
+        let in_rotation: Vec<usize> = group
+            .iter()
+            .copied()
+            .filter(|&s| self.sh.svc_active[s] && !self.sh.svc_draining[s])
+            .collect();
+        if in_rotation.len() < 2 {
+            return; // nothing to compare against; validated at plan time
+        }
+        let canary = *in_rotation.last().expect("len >= 2");
+        let baseline: Vec<usize> = in_rotation[..in_rotation.len() - 1].to_vec();
+        let salt = {
+            let rt = self.reconfig.as_mut().expect("canary without runtime");
+            rt.rng.gen::<u64>()
+        };
+        let threshold = (fraction * u64::MAX as f64) as u64;
+        self.sh.canary_route[canary] = Some(CanaryRoute { salt, threshold });
+        let mut saved = Vec::new();
+        for ci in 0..self.sh.client_owner.len() {
+            if self.sh.client_owner[ci] as usize != canary {
+                continue;
+            }
+            let c = self.client_rt_mut(ci);
+            saved.push((ci, c.spec.clone()));
+            if let Some(t) = timeout_ns {
+                c.spec.timeout_ns = Some(t);
+            }
+            if let Some(r) = retries {
+                c.spec.retries = r;
+            }
+        }
+        let can0 = {
+            let s = self.svc_ref(canary);
+            (s.done_ok, s.done_err)
+        };
+        let mut base0 = (0u64, 0u64);
+        for &b in &baseline {
+            let s = self.svc_ref(b);
+            base0.0 += s.done_ok;
+            base0.1 += s.done_err;
+        }
+        let token = {
+            let rt = self.reconfig.as_mut().expect("checked");
+            rt.canaries.push(CanaryRt {
+                svc: canary,
+                baseline,
+                timeout_ns,
+                retries,
+                saved,
+                can0,
+                base0,
+                done: false,
+            });
+            rt.canaries.len() - 1
+        };
+        self.push_ev(self.now + evaluate_ns, Ev::CanaryEval { canary: token });
+    }
+
+    /// Seeded promote/rollback decision: compare canary vs baseline error
+    /// rate over the evaluation window, with a small tolerance drawn from
+    /// the plan-level stream so equal-rate comparisons don't flap on float
+    /// noise. Promote pushes the mutated wiring to the whole group;
+    /// rollback restores the canary's saved specs. Either way the traffic
+    /// split ends.
+    fn on_canary_eval(&mut self, canary: usize) {
+        let Some(mut rt) = self.reconfig.take() else { return };
+        let (svc, baseline, timeout_ns, retries, saved, can0, base0) = {
+            let c = &mut rt.canaries[canary];
+            if c.done {
+                self.reconfig = Some(rt);
+                return;
+            }
+            c.done = true;
+            (
+                c.svc,
+                c.baseline.clone(),
+                c.timeout_ns,
+                c.retries,
+                std::mem::take(&mut c.saved),
+                c.can0,
+                c.base0,
+            )
+        };
+        let (c_ok, c_err) = {
+            let s = self.svc_ref(svc);
+            (s.done_ok - can0.0, s.done_err - can0.1)
+        };
+        let mut b_ok = 0u64;
+        let mut b_err = 0u64;
+        for &b in &baseline {
+            let s = self.svc_ref(b);
+            b_ok += s.done_ok;
+            b_err += s.done_err;
+        }
+        b_ok -= base0.0;
+        b_err -= base0.1;
+        let rate = |ok: u64, err: u64| {
+            let total = ok + err;
+            if total == 0 {
+                0.0
+            } else {
+                err as f64 / total as f64
+            }
+        };
+        let eps = rt.rng.gen::<f64>() * 0.01;
+        let promote = rate(c_ok, c_err) <= rate(b_ok, b_err) + eps;
+        self.sh.canary_route[svc] = None;
+        if promote {
+            self.metrics.counters.canary_promotions += 1;
+            // The mutated wiring becomes the group-wide wiring.
+            for ci in 0..self.sh.client_owner.len() {
+                let owner = self.sh.client_owner[ci] as usize;
+                if !baseline.contains(&owner) {
+                    continue;
+                }
+                let c = self.client_rt_mut(ci);
+                if let Some(t) = timeout_ns {
+                    c.spec.timeout_ns = Some(t);
+                }
+                if let Some(r) = retries {
+                    c.spec.retries = r;
+                }
+            }
+        } else {
+            self.metrics.counters.canary_rollbacks += 1;
+            for (ci, spec) in saved {
+                self.client_rt_mut(ci).spec = spec;
+            }
+        }
+        self.reconfig = Some(rt);
     }
 }

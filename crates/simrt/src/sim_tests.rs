@@ -1819,3 +1819,611 @@ fn derive_seed_collision_free_and_well_mixed() {
         "seed bits look biased: mean popcount {avg}"
     );
 }
+
+// ----------------------------------------------------------------------
+// Runtime reconfiguration: rolling deploys, scaling, autoscaler, canary.
+// ----------------------------------------------------------------------
+
+/// front --LB--> {back, back_r1, back_r2}, each replica in its own process
+/// (the Replicate-transform naming convention, so `service_group` resolves
+/// the base name to the whole group).
+fn replicated_app(policy: LbPolicy, client: ClientSpec, work: SimTime) -> SystemSpec {
+    let mut spec = SystemSpec {
+        name: "reconf".into(),
+        hosts: vec![HostSpec {
+            name: "h0".into(),
+            cores: 8.0,
+        }],
+        processes: vec![ProcessSpec {
+            name: "p_front".into(),
+            host: 0,
+            gc: None,
+        }],
+        ..Default::default()
+    };
+    for (i, name) in ["back", "back_r1", "back_r2"].iter().enumerate() {
+        spec.processes.push(ProcessSpec {
+            name: format!("p_{name}"),
+            host: 0,
+            gc: None,
+        });
+        let mut r = ServiceSpec::new(*name, i + 1);
+        r.methods
+            .insert("Work".into(), Behavior::build().compute(work, 0).done());
+        spec.services.push(r);
+    }
+    let mut front = ServiceSpec::new("front", 0);
+    front
+        .methods
+        .insert("M".into(), Behavior::build().call("backend", "Work").done());
+    front.deps.insert(
+        "backend".into(),
+        DepBinding::ReplicatedService {
+            targets: vec![0, 1, 2],
+            policy,
+            client,
+        },
+    );
+    spec.services.push(front);
+    spec.entries.insert(
+        "front".into(),
+        EntrySpec {
+            service: 3,
+            client: ClientSpec::local(),
+        },
+    );
+    spec
+}
+
+/// Satellite: a process restarting while a partition is still active must
+/// come back *unreachable* — restart clears `proc_down`, not link faults.
+#[test]
+fn restart_during_active_partition_stays_unreachable() {
+    let spec = two_tier(
+        Behavior::build().compute(us(10), 0).done(),
+        ClientSpec::local(),
+    );
+    let cfg = SimConfig {
+        faults: FaultPlan::none()
+            .at(
+                ms(1),
+                Fault::ProcessCrash {
+                    process: "p_back".into(),
+                    restart_delay_ns: ms(1),
+                },
+            )
+            .at(
+                ms(1),
+                Fault::Partition {
+                    a: "p_front".into(),
+                    b: "p_back".into(),
+                    duration_ns: ms(5),
+                },
+            ),
+        ..Default::default()
+    };
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    // The crash restarts at ms(2), well inside the partition window
+    // [ms(1), ms(6)).
+    sim.run_until(ms(2) + us(100));
+    sim.submit("front", "M", 1).unwrap();
+    sim.run_until(ms(4));
+    let c = sim.drain_completions().pop().expect("terminated");
+    assert_eq!(
+        c.failure,
+        Some("unreachable"),
+        "restarted process must stay unreachable while the partition holds"
+    );
+    // Once the partition expires, the restarted process serves again.
+    sim.run_until(ms(6) + us(1));
+    sim.submit("front", "M", 2).unwrap();
+    sim.run_until(secs(1));
+    assert!(sim.drain_completions().pop().unwrap().ok);
+}
+
+/// Drain semantics on the direct-call path: in-flight work admitted before
+/// the drain completes normally; arrivals during the drain fail with the
+/// stable `"drain"` class; the replica serves again after its restart.
+#[test]
+fn rolling_drain_lets_in_flight_complete_and_classifies_rejections() {
+    let spec = two_tier(
+        Behavior::build().compute(ms(10), 0).done(),
+        ClientSpec::local(),
+    );
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.submit("front", "M", 1).unwrap();
+    sim.run_until(ms(1));
+    // Drain starts at ms(1) with a ms(20) budget: the ms(10) in-flight
+    // request fits inside the window.
+    sim.apply_change(&Change::RollingRestart {
+        service: "back".into(),
+        drain_ns: ms(20),
+        restart_ns: ms(2),
+        drainless: false,
+    })
+    .unwrap();
+    // An arrival during the drain is rejected with the stable class.
+    sim.submit("front", "M", 2).unwrap();
+    sim.run_until(ms(5));
+    let mut done = sim.drain_completions();
+    done.sort_by_key(|c| c.finished_ns);
+    assert_eq!(done.len(), 1, "rejected arrival terminated fast");
+    assert_eq!(done[0].failure, Some("drain"));
+    assert_eq!(sim.metrics.counters.drain_rejections, 1);
+    // The in-flight request completes fine despite the drain.
+    sim.run_until(ms(15));
+    let c = sim.drain_completions().pop().expect("in-flight finished");
+    assert!(c.ok, "in-flight work admitted before the drain completes");
+    assert_eq!(
+        sim.metrics.counters.process_crashes, 0,
+        "a drained rolling restart is not a crash"
+    );
+    // After drain deadline (ms 21) + restart (ms 2) the replica serves.
+    sim.run_until(ms(24));
+    sim.submit("front", "M", 3).unwrap();
+    sim.run_until(secs(1));
+    assert!(sim.drain_completions().pop().unwrap().ok, "replica back");
+}
+
+/// A straggler that outlives the drain window is killed with `"drain"` —
+/// terminated exactly once, never silently dropped.
+#[test]
+fn drain_deadline_fails_stragglers_with_drain_class() {
+    let spec = two_tier(
+        Behavior::build().compute(ms(50), 0).done(),
+        ClientSpec::local(),
+    );
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.submit("front", "M", 1).unwrap();
+    sim.run_until(ms(1));
+    sim.apply_change(&Change::RollingRestart {
+        service: "back".into(),
+        drain_ns: ms(5),
+        restart_ns: ms(1),
+        drainless: false,
+    })
+    .unwrap();
+    sim.run_until(ms(10));
+    let c = sim.drain_completions().pop().expect("straggler terminated");
+    assert!(!c.ok);
+    assert_eq!(
+        c.failure,
+        Some("drain"),
+        "straggler classified, not dropped"
+    );
+}
+
+/// A drained rolling deploy across a replica group: zero crash-class
+/// errors, every replica restarted exactly once, traffic conserved.
+#[test]
+fn rolling_deploy_over_group_avoids_crash_errors() {
+    let client = ClientSpec {
+        retries: 2,
+        ..ClientSpec::local()
+    };
+    let spec = replicated_app(LbPolicy::RoundRobin, client, us(50));
+    let cfg = SimConfig {
+        reconfig: ReconfigPlan::none().at(
+            ms(2),
+            Change::RollingRestart {
+                service: "back".into(),
+                drain_ns: ms(3),
+                restart_ns: ms(1),
+                drainless: false,
+            },
+        ),
+        ..Default::default()
+    };
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    for i in 0..100 {
+        sim.submit("front", "M", i).unwrap();
+        sim.run_until(us(200) * (i + 1));
+    }
+    sim.run_until(secs(1));
+    let done = sim.drain_completions();
+    assert_eq!(done.len(), 100, "conservation through the deploy");
+    let crashes = done.iter().filter(|c| c.failure == Some("crash")).count();
+    assert_eq!(crashes, 0, "drained deploy never surfaces crash errors");
+    // With LB failover + retries the deploy should be invisible.
+    assert!(
+        done.iter().all(|c| c.ok),
+        "failover absorbs the drained deploy"
+    );
+    assert_eq!(sim.metrics.counters.process_crashes, 0);
+    assert_eq!(sim.metrics.counters.reconfig_changes, 1);
+}
+
+/// The drainless arm of the same deploy DOES surface crash errors — the
+/// hazard draining (and lint BP012) exists to prevent.
+#[test]
+fn drainless_deploy_surfaces_crash_errors() {
+    let spec = replicated_app(LbPolicy::RoundRobin, ClientSpec::local(), us(50));
+    let cfg = SimConfig {
+        reconfig: ReconfigPlan::none().at(
+            ms(2),
+            Change::RollingRestart {
+                service: "back".into(),
+                drain_ns: 0,
+                restart_ns: ms(1),
+                drainless: true,
+            },
+        ),
+        ..Default::default()
+    };
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    for i in 0..100 {
+        sim.submit("front", "M", i).unwrap();
+        sim.run_until(us(100) * (i + 1));
+    }
+    sim.run_until(secs(1));
+    let done = sim.drain_completions();
+    assert_eq!(done.len(), 100, "conservation even without draining");
+    assert_eq!(
+        sim.metrics.counters.process_crashes, 3,
+        "every replica restarted in place"
+    );
+    assert!(
+        done.iter().any(|c| c.failure == Some("crash")),
+        "drainless restarts kill in-flight work"
+    );
+}
+
+/// Scale-in drains the highest replicas out of rotation; scale-out brings
+/// them back cold. The LB rewires live in both directions.
+#[test]
+fn scale_in_and_out_rewires_the_balancer() {
+    let spec = replicated_app(LbPolicy::RoundRobin, ClientSpec::local(), us(10));
+    let cfg = SimConfig {
+        reconfig: ReconfigPlan::none()
+            .at(
+                ms(1),
+                Change::Scale {
+                    service: "back".into(),
+                    replicas: 1,
+                    drain_ns: us(100),
+                },
+            )
+            .at(
+                ms(30),
+                Change::Scale {
+                    service: "back".into(),
+                    replicas: 3,
+                    drain_ns: us(100),
+                },
+            ),
+        ..Default::default()
+    };
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    // Phase 1: scaled down to the base replica only.
+    for i in 0..20 {
+        sim.submit("front", "M", i).unwrap();
+        sim.run_until(ms(2) + us(500) * (i + 1));
+    }
+    let base_only = sim.service_served("back").unwrap();
+    let r1_phase1 = sim.service_served("back_r1").unwrap();
+    let r2_phase1 = sim.service_served("back_r2").unwrap();
+    // Phase 2: scaled back out to all three.
+    sim.run_until(ms(31));
+    for i in 0..30 {
+        sim.submit("front", "M", 100 + i).unwrap();
+        sim.run_until(ms(31) + us(500) * (i + 1));
+    }
+    sim.run_until(secs(1));
+    assert!(
+        sim.service_served("back").unwrap() > base_only,
+        "base kept serving"
+    );
+    assert!(
+        sim.service_served("back_r1").unwrap() > r1_phase1
+            && sim.service_served("back_r2").unwrap() > r2_phase1,
+        "scale-out put the siblings back into rotation"
+    );
+    let done = sim.drain_completions();
+    assert_eq!(done.len(), 50, "conserved across both scale actions");
+    assert!(
+        done.iter().all(|c| c.ok),
+        "rewiring is invisible to callers"
+    );
+}
+
+/// The deterministic autoscaler rides a load ramp up and back down, on its
+/// own RNG domain, without losing a single request.
+#[test]
+fn autoscaler_scales_out_under_load_and_back_down() {
+    let mut spec = replicated_app(LbPolicy::RoundRobin, ClientSpec::local(), ms(2));
+    for i in 0..3 {
+        spec.services[i].max_concurrent = 4;
+    }
+    let cfg = SimConfig {
+        reconfig: ReconfigPlan::none()
+            .at(
+                us(1),
+                Change::Scale {
+                    service: "back".into(),
+                    replicas: 1,
+                    drain_ns: 0,
+                },
+            )
+            .with_autoscaler(AutoscalerSpec {
+                service: "back".into(),
+                min_replicas: 1,
+                max_replicas: 3,
+                high_util: 0.6,
+                low_util: 0.1,
+                ewma_alpha: 0.5,
+                interval_ns: ms(2),
+                cooldown_ns: ms(4),
+                start_ns: ms(1),
+                end_ns: secs(2),
+                drain_ns: ms(1),
+            }),
+        ..Default::default()
+    };
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    // Flash crowd: 150 requests in 60 ms against one replica with 4 slots.
+    for i in 0..150 {
+        sim.submit("front", "M", i).unwrap();
+        sim.run_until(ms(5) + us(400) * (i + 1));
+    }
+    // Quiet period: the EWMA decays below the low watermark.
+    sim.run_until(secs(1));
+    let c = &sim.metrics.counters;
+    assert!(c.autoscale_ups >= 1, "scaled out under the flash crowd");
+    assert!(c.autoscale_downs >= 1, "scaled back in when load subsided");
+    let done = sim.drain_completions();
+    assert_eq!(done.len(), 150, "conserved through every scale action");
+}
+
+/// front --LB--> {mid, mid_r1} --client--> db. Canary overrides apply to
+/// the canary replica's *outbound* client, so a hostile timeout makes the
+/// canary fail where the baseline succeeds.
+fn canary_app(timeout_override: Option<SimTime>) -> (SystemSpec, SimConfig) {
+    let mut spec = SystemSpec {
+        name: "canary".into(),
+        hosts: vec![HostSpec {
+            name: "h0".into(),
+            cores: 8.0,
+        }],
+        processes: vec![
+            ProcessSpec {
+                name: "p_front".into(),
+                host: 0,
+                gc: None,
+            },
+            ProcessSpec {
+                name: "p_mid".into(),
+                host: 0,
+                gc: None,
+            },
+            ProcessSpec {
+                name: "p_mid_r1".into(),
+                host: 0,
+                gc: None,
+            },
+            ProcessSpec {
+                name: "p_db".into(),
+                host: 0,
+                gc: None,
+            },
+        ],
+        ..Default::default()
+    };
+    let mut db = ServiceSpec::new("db", 3);
+    db.methods
+        .insert("Get".into(), Behavior::build().compute(us(20), 0).done());
+    spec.services.push(db); // 0
+    for (i, name) in ["mid", "mid_r1"].iter().enumerate() {
+        let mut m = ServiceSpec::new(*name, i + 1);
+        m.methods
+            .insert("Work".into(), Behavior::build().call("db", "Get").done());
+        m.deps.insert(
+            "db".into(),
+            DepBinding::Service {
+                target: 0,
+                client: ClientSpec::local(),
+            },
+        );
+        spec.services.push(m); // 1, 2
+    }
+    let mut front = ServiceSpec::new("front", 0);
+    front
+        .methods
+        .insert("M".into(), Behavior::build().call("backend", "Work").done());
+    front.deps.insert(
+        "backend".into(),
+        DepBinding::ReplicatedService {
+            targets: vec![1, 2],
+            policy: LbPolicy::RoundRobin,
+            client: ClientSpec::local(),
+        },
+    );
+    spec.services.push(front); // 3
+    spec.entries.insert(
+        "front".into(),
+        EntrySpec {
+            service: 3,
+            client: ClientSpec::local(),
+        },
+    );
+    let cfg = SimConfig {
+        reconfig: ReconfigPlan::none().at(
+            ms(1),
+            Change::Canary {
+                service: "mid".into(),
+                fraction: 0.4,
+                evaluate_ns: ms(40),
+                timeout_ns: timeout_override,
+                retries: None,
+            },
+        ),
+        ..Default::default()
+    };
+    (spec, cfg)
+}
+
+#[test]
+fn canary_with_bad_wiring_rolls_back() {
+    // A 1 ns timeout on the canary's db client makes every canary-routed
+    // request fail; the seeded comparison must roll the canary back.
+    let (spec, cfg) = canary_app(Some(1));
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    for i in 0..100 {
+        sim.submit("front", "M", i).unwrap();
+        sim.run_until(us(300) * (i + 1));
+    }
+    sim.run_until(ms(50));
+    let mid_window = sim.metrics.counters.canary_rollbacks;
+    assert_eq!(mid_window, 1, "hostile canary rolled back");
+    assert_eq!(sim.metrics.counters.canary_promotions, 0);
+    let during = sim.drain_completions();
+    assert!(
+        during.iter().any(|c| !c.ok),
+        "the hostile canary visibly failed requests pre-rollback"
+    );
+    // Post-rollback traffic through the ex-canary succeeds again.
+    for i in 0..40 {
+        sim.submit("front", "M", 1000 + i).unwrap();
+        sim.run_until(ms(50) + us(300) * (i + 1));
+    }
+    sim.run_until(secs(1));
+    let after = sim.drain_completions();
+    assert!(!after.is_empty());
+    assert!(
+        after.iter().all(|c| c.ok),
+        "rollback restored the saved wiring"
+    );
+}
+
+#[test]
+fn canary_with_equivalent_wiring_promotes() {
+    // A generous timeout changes nothing observable: equal error rates,
+    // so the canary promotes group-wide.
+    let (spec, cfg) = canary_app(Some(secs(1)));
+    let mut sim = Sim::new(&spec, cfg).unwrap();
+    for i in 0..100 {
+        sim.submit("front", "M", i).unwrap();
+        sim.run_until(us(300) * (i + 1));
+    }
+    sim.run_until(secs(1));
+    assert_eq!(sim.metrics.counters.canary_promotions, 1);
+    assert_eq!(sim.metrics.counters.canary_rollbacks, 0);
+    assert!(
+        sim.service_served("mid_r1").unwrap() > 0,
+        "canary actually took traffic"
+    );
+    assert!(sim.drain_completions().iter().all(|c| c.ok));
+}
+
+/// Unknown targets and sub-1 scaling are rejected by the live path too,
+/// with nearest-match suggestions (same contract as plan validation).
+#[test]
+fn apply_change_rejects_bad_targets_with_suggestions() {
+    let spec = replicated_app(LbPolicy::RoundRobin, ClientSpec::local(), us(10));
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    let err = sim
+        .apply_change(&Change::RollingRestart {
+            service: "bak".into(),
+            drain_ns: ms(1),
+            restart_ns: ms(1),
+            drainless: false,
+        })
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("did you mean `back`?"), "got: {msg}");
+    let err = sim
+        .apply_change(&Change::Scale {
+            service: "back".into(),
+            replicas: 0,
+            drain_ns: 0,
+        })
+        .unwrap_err();
+    assert!(err.to_string().contains("below 1 replica"), "got: {err}");
+}
+
+/// An armed-but-idle plan (its only change fires after the horizon) must
+/// not perturb the stream: the gated LB pick is draw-for-draw identical
+/// while every replica is in rotation.
+#[test]
+fn armed_reconfig_plan_is_stream_identical_until_it_acts() {
+    let run = |reconfig: ReconfigPlan| {
+        let spec = replicated_app(LbPolicy::Random, ClientSpec::local(), us(30));
+        let mut sim = Sim::new(
+            &spec,
+            SimConfig {
+                seed: 11,
+                reconfig,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..60 {
+            sim.submit("front", "M", i % 7).unwrap();
+            sim.run_until(us(200) * (i + 1));
+        }
+        sim.run_until(secs(5));
+        (sim.drain_completions(), sim.metrics.counters.clone())
+    };
+    let (quiet_c, mut quiet_m) = run(ReconfigPlan::none().at(
+        secs(60),
+        Change::RollingRestart {
+            service: "back".into(),
+            drain_ns: ms(1),
+            restart_ns: ms(1),
+            drainless: false,
+        },
+    ));
+    let (none_c, none_m) = run(ReconfigPlan::none());
+    assert_eq!(quiet_c, none_c, "armed plan left the stream untouched");
+    quiet_m.reconfig_changes = none_m.reconfig_changes;
+    assert_eq!(quiet_m, none_m);
+}
+
+/// Same plan, same seed => byte-identical completions and metrics.
+#[test]
+fn reconfig_plans_are_deterministic_across_runs() {
+    let run = || {
+        let mut spec = replicated_app(LbPolicy::LeastOutstanding, ClientSpec::local(), ms(1));
+        for i in 0..3 {
+            spec.services[i].max_concurrent = 8;
+        }
+        let cfg = SimConfig {
+            seed: 21,
+            reconfig: ReconfigPlan::none()
+                .at(
+                    ms(3),
+                    Change::RollingRestart {
+                        service: "back".into(),
+                        drain_ns: ms(2),
+                        restart_ns: ms(1),
+                        drainless: false,
+                    },
+                )
+                .with_autoscaler(AutoscalerSpec {
+                    service: "back".into(),
+                    min_replicas: 1,
+                    max_replicas: 3,
+                    high_util: 0.5,
+                    low_util: 0.05,
+                    ewma_alpha: 0.4,
+                    interval_ns: ms(2),
+                    cooldown_ns: ms(4),
+                    start_ns: ms(1),
+                    end_ns: secs(1),
+                    drain_ns: ms(1),
+                }),
+            ..Default::default()
+        };
+        let mut sim = Sim::new(&spec, cfg).unwrap();
+        for i in 0..80 {
+            sim.submit("front", "M", i % 13).unwrap();
+            sim.run_until(us(500) * (i + 1));
+        }
+        sim.run_until(secs(2));
+        (sim.drain_completions(), sim.metrics.clone())
+    };
+    let (ca, ma) = run();
+    let (cb, mb) = run();
+    assert_eq!(ca, cb);
+    assert_eq!(ma, mb);
+    assert_eq!(ca.len(), 80, "conserved");
+}

@@ -615,6 +615,155 @@ impl FaultPlan {
     }
 }
 
+/// One live runtime change, named against the spec (resolved to dense
+/// indices at boot). Changes address a *service group*: the base instance
+/// name plus the `_rN` clones the `Replicate` transform stamps out (so
+/// `"api"` covers `api`, `api_r1`, `api_r2`, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Change {
+    /// Rolling deploy over a service group: drain one replica at a time
+    /// (stop admitting new work, let in-flight requests finish or hit their
+    /// deadline, then restart the process), advancing to the next replica
+    /// only once the drained one is healthy again.
+    RollingRestart {
+        /// Service group base name.
+        service: String,
+        /// Max time to wait for in-flight work before force-stopping, ns.
+        drain_ns: SimTime,
+        /// Downtime of each replica's restart, ns.
+        restart_ns: SimTime,
+        /// Skip draining: stop each replica immediately (the hazardous
+        /// variant the `drainless-restart-hazard` lint flags). In-flight
+        /// work dies with `"crash"` instead of completing.
+        drainless: bool,
+    },
+    /// Scale a service group to `replicas` active members. Scale-out
+    /// activates dormant replicas (cold client/breaker/pool state, shed
+    /// controller re-primed on first observation); scale-in drains the
+    /// highest-numbered active replicas first, then deactivates them.
+    Scale {
+        /// Service group base name.
+        service: String,
+        /// Target number of active replicas (1 ..= boot replica count).
+        replicas: usize,
+        /// Drain budget for replicas being removed, ns (scale-out ignores
+        /// it). Stragglers past the budget finish off-rotation.
+        drain_ns: SimTime,
+    },
+    /// Canary rollout: route a deterministic `fraction` of the group's
+    /// balanced traffic to the highest-numbered replica, which runs with
+    /// mutated outbound wiring (`timeout_ns`/`retries` overrides applied to
+    /// its clients). After `evaluate_ns` the canary's error rate is
+    /// compared against the baseline replicas (seeded tolerance drawn on
+    /// the reconfig RNG stream): promote applies the overrides to the whole
+    /// group, rollback restores the canary's original wiring.
+    Canary {
+        /// Service group base name.
+        service: String,
+        /// Fraction of balanced traffic routed to the canary, in (0, 1).
+        fraction: f64,
+        /// Observation window before the promote/rollback decision, ns.
+        evaluate_ns: SimTime,
+        /// Override: request timeout for the canary's outbound clients.
+        timeout_ns: Option<SimTime>,
+        /// Override: retry count for the canary's outbound clients.
+        retries: Option<u32>,
+    },
+}
+
+impl Change {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Change::RollingRestart {
+                drainless: false, ..
+            } => "rolling_restart",
+            Change::RollingRestart {
+                drainless: true, ..
+            } => "drainless_restart",
+            Change::Scale { .. } => "scale",
+            Change::Canary { .. } => "canary",
+        }
+    }
+
+    /// The service group a change targets.
+    pub fn service(&self) -> &str {
+        match self {
+            Change::RollingRestart { service, .. }
+            | Change::Scale { service, .. }
+            | Change::Canary { service, .. } => service,
+        }
+    }
+}
+
+/// A deterministic per-service autoscaler: every `interval_ns` it compares
+/// the group's utilization (active work / total concurrency limit, smoothed
+/// by an EWMA) against a hysteresis band and scales one replica at a time,
+/// respecting a cooldown between actions. All of its draws come from the
+/// dedicated `DOMAIN_AUTOSCALER` RNG stream, so enabling it perturbs no
+/// other stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoscalerSpec {
+    /// Service group base name.
+    pub service: String,
+    /// Lower bound on active replicas (≥ 1).
+    pub min_replicas: usize,
+    /// Upper bound on active replicas (≤ the group's boot size).
+    pub max_replicas: usize,
+    /// Scale out when smoothed utilization exceeds this watermark.
+    pub high_util: f64,
+    /// Scale in when smoothed utilization falls below this watermark.
+    pub low_util: f64,
+    /// EWMA smoothing factor in (0, 1].
+    pub ewma_alpha: f64,
+    /// Gap between utilization observations, ns.
+    pub interval_ns: SimTime,
+    /// Minimum gap between two scaling actions, ns.
+    pub cooldown_ns: SimTime,
+    /// First observation at this time.
+    pub start_ns: SimTime,
+    /// No observations at or after this time.
+    pub end_ns: SimTime,
+    /// Drain budget for replicas being scaled in, ns.
+    pub drain_ns: SimTime,
+}
+
+/// A schedule of live runtime changes ([`crate::sim::SimConfig`] carries
+/// one). Like [`FaultPlan`], an empty plan adds *zero* events and RNG
+/// draws — the no-reconfig completion stream is byte-identical with or
+/// without the engine.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ReconfigPlan {
+    /// `(time, change)` pairs, applied in the given order at equal times.
+    pub scheduled: Vec<(SimTime, Change)>,
+    /// Deterministic autoscalers layered on top of the schedule.
+    pub autoscalers: Vec<AutoscalerSpec>,
+}
+
+impl ReconfigPlan {
+    /// A plan with nothing in it.
+    pub fn none() -> Self {
+        ReconfigPlan::default()
+    }
+
+    /// Whether the plan changes anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.scheduled.is_empty() && self.autoscalers.is_empty()
+    }
+
+    /// Builder: schedule `change` at time `t`.
+    pub fn at(mut self, t: SimTime, change: Change) -> Self {
+        self.scheduled.push((t, change));
+        self
+    }
+
+    /// Builder: attach an autoscaler.
+    pub fn with_autoscaler(mut self, scaler: AutoscalerSpec) -> Self {
+        self.autoscalers.push(scaler);
+        self
+    }
+}
+
 /// The full description of a simulated deployment.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SystemSpec {
@@ -847,6 +996,145 @@ impl SystemSpec {
         }
     }
 
+    /// Validates every reference and parameter of a reconfig plan against
+    /// this spec (called at boot when the plan is non-empty, so a bad plan
+    /// fails loudly instead of silently changing nothing).
+    pub fn validate_reconfig_plan(&self, plan: &ReconfigPlan) -> Result<()> {
+        for (_, c) in &plan.scheduled {
+            self.validate_change(c)?;
+        }
+        for a in &plan.autoscalers {
+            let group = self.service_group(&a.service);
+            if group.is_empty() {
+                let hint = suggest(&a.service, self.services.iter().map(|s| s.name.as_str()));
+                return Err(SimError::BadSpec(format!(
+                    "autoscaler names unknown service {}{hint}",
+                    a.service
+                )));
+            }
+            if a.min_replicas == 0 {
+                return Err(SimError::BadSpec(format!(
+                    "autoscaler for {} min_replicas must be >= 1 (a service cannot scale below 1 replica)",
+                    a.service
+                )));
+            }
+            if a.min_replicas > a.max_replicas {
+                return Err(SimError::BadSpec(format!(
+                    "autoscaler for {} min_replicas {} > max_replicas {}",
+                    a.service, a.min_replicas, a.max_replicas
+                )));
+            }
+            if a.max_replicas > group.len() {
+                return Err(SimError::BadSpec(format!(
+                    "autoscaler for {} max_replicas {} exceeds the {} boot replicas",
+                    a.service,
+                    a.max_replicas,
+                    group.len()
+                )));
+            }
+            if !a.low_util.is_finite()
+                || !a.high_util.is_finite()
+                || a.low_util < 0.0
+                || a.high_util > 1.0
+                || a.low_util >= a.high_util
+            {
+                return Err(SimError::BadSpec(format!(
+                    "autoscaler for {} watermarks ({}, {}) must satisfy 0 <= low < high <= 1",
+                    a.service, a.low_util, a.high_util
+                )));
+            }
+            if !a.ewma_alpha.is_finite() || a.ewma_alpha <= 0.0 || a.ewma_alpha > 1.0 {
+                return Err(SimError::BadSpec(format!(
+                    "autoscaler for {} ewma_alpha {} not in (0, 1]",
+                    a.service, a.ewma_alpha
+                )));
+            }
+            if a.interval_ns == 0 {
+                return Err(SimError::BadSpec(format!(
+                    "autoscaler for {} interval_ns must be > 0",
+                    a.service
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates one change's references and parameters.
+    pub fn validate_change(&self, c: &Change) -> Result<()> {
+        let group = self.service_group(c.service());
+        if group.is_empty() {
+            let hint = suggest(c.service(), self.services.iter().map(|s| s.name.as_str()));
+            return Err(SimError::BadSpec(format!(
+                "reconfig change names unknown service {}{hint}",
+                c.service()
+            )));
+        }
+        match c {
+            Change::RollingRestart { .. } => Ok(()),
+            Change::Scale {
+                service, replicas, ..
+            } => {
+                if *replicas == 0 {
+                    return Err(SimError::BadSpec(format!(
+                        "cannot scale {service} below 1 replica"
+                    )));
+                }
+                if *replicas > group.len() {
+                    return Err(SimError::BadSpec(format!(
+                        "cannot scale {service} to {replicas} replicas: only {} exist at boot",
+                        group.len()
+                    )));
+                }
+                Ok(())
+            }
+            Change::Canary {
+                service,
+                fraction,
+                evaluate_ns,
+                ..
+            } => {
+                if group.len() < 2 {
+                    return Err(SimError::BadSpec(format!(
+                        "canary for {service} needs >= 2 replicas (one canary, one baseline)"
+                    )));
+                }
+                if !fraction.is_finite() || !(0.0..1.0).contains(fraction) || *fraction <= 0.0 {
+                    return Err(SimError::BadSpec(format!(
+                        "canary fraction {fraction} not in (0, 1)"
+                    )));
+                }
+                if *evaluate_ns == 0 {
+                    return Err(SimError::BadSpec(format!(
+                        "canary for {service} evaluate_ns must be > 0"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolves a service-group base name to the sorted dense indices of
+    /// its members: the instance named `base` plus every `base_rN` clone
+    /// the `Replicate` transform stamped out. Empty when `base` names
+    /// nothing.
+    pub fn service_group(&self, base: &str) -> Vec<usize> {
+        let prefix = format!("{base}_r");
+        let mut out: Vec<usize> = self
+            .services
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.name == base
+                    || (s.name.starts_with(&prefix)
+                        && s.name[prefix.len()..].chars().all(|c| c.is_ascii_digit())
+                        && s.name.len() > prefix.len())
+            })
+            .map(|(i, _)| i)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Finds a service index by name.
     pub fn service_index(&self, name: &str) -> Option<usize> {
         self.services.iter().position(|s| s.name == name)
@@ -879,7 +1167,7 @@ fn first_duplicate<'a>(mut names: impl Iterator<Item = &'a str>) -> Option<&'a s
 /// genuinely different names stay suggestion-free). Ties break toward the
 /// smaller distance, then the lexicographically first candidate, so error
 /// text is deterministic.
-fn suggest<'a>(target: &str, candidates: impl Iterator<Item = &'a str>) -> String {
+pub(crate) fn suggest<'a>(target: &str, candidates: impl Iterator<Item = &'a str>) -> String {
     let cutoff = (target.chars().count() / 3).max(2);
     let mut best: Option<(usize, &str)> = None;
     for c in candidates {
@@ -1428,6 +1716,253 @@ mod tests {
         assert_eq!(s.service_index("zz"), None);
         assert_eq!(s.host_index("h0"), Some(0));
         assert_eq!(s.backend_index("none"), None);
+    }
+
+    /// tiny() plus a three-replica "api" group (the names the `Replicate`
+    /// transform produces: base, base_r1, base_r2).
+    fn replicated() -> SystemSpec {
+        let mut s = tiny();
+        for name in ["api", "api_r1", "api_r2"] {
+            let mut svc = ServiceSpec::new(name, 0);
+            svc.methods
+                .insert("M".into(), Behavior::build().compute(1000, 0).done());
+            s.services.push(svc);
+        }
+        s
+    }
+
+    #[test]
+    fn service_group_resolves_replicate_naming() {
+        let s = replicated();
+        assert_eq!(s.service_group("api"), vec![1, 2, 3]);
+        assert_eq!(s.service_group("a"), vec![0]);
+        assert_eq!(s.service_group("ghost"), Vec::<usize>::new());
+        // `api_rX` with a non-numeric suffix is not a group member.
+        let mut s = s;
+        s.services.push(ServiceSpec::new("api_retry", 0));
+        s.services.push(ServiceSpec::new("api_r", 0));
+        assert_eq!(s.service_group("api"), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reconfig_plan_builders() {
+        let plan = ReconfigPlan::none();
+        assert!(plan.is_empty());
+        let plan = plan.at(
+            5,
+            Change::RollingRestart {
+                service: "api".into(),
+                drain_ns: 1,
+                restart_ns: 1,
+                drainless: false,
+            },
+        );
+        assert!(!plan.is_empty());
+        assert_eq!(plan.scheduled[0].1.label(), "rolling_restart");
+        assert_eq!(plan.scheduled[0].1.service(), "api");
+        assert!(!ReconfigPlan::default()
+            .with_autoscaler(AutoscalerSpec {
+                service: "api".into(),
+                min_replicas: 1,
+                max_replicas: 3,
+                high_util: 0.8,
+                low_util: 0.2,
+                ewma_alpha: 0.3,
+                interval_ns: 100,
+                cooldown_ns: 200,
+                start_ns: 0,
+                end_ns: 1000,
+                drain_ns: 50,
+            })
+            .is_empty());
+    }
+
+    #[test]
+    fn reconfig_unknown_service_gets_suggestion() {
+        let s = replicated();
+        let err = s
+            .validate_change(&Change::Scale {
+                service: "apj".into(),
+                replicas: 2,
+                drain_ns: 0,
+            })
+            .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unknown service apj; did you mean `api`?"),
+            "{err}"
+        );
+        let err = s
+            .validate_reconfig_plan(&ReconfigPlan::default().with_autoscaler(AutoscalerSpec {
+                service: "api_rr1".into(),
+                min_replicas: 1,
+                max_replicas: 2,
+                high_util: 0.8,
+                low_util: 0.2,
+                ewma_alpha: 0.3,
+                interval_ns: 100,
+                cooldown_ns: 0,
+                start_ns: 0,
+                end_ns: 1,
+                drain_ns: 0,
+            }))
+            .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unknown service api_rr1; did you mean `api_r1`?"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn reconfig_scale_bounds_rejected_per_value() {
+        let s = replicated();
+        // Below 1 replica: the error names the constraint.
+        let err = s
+            .validate_change(&Change::Scale {
+                service: "api".into(),
+                replicas: 0,
+                drain_ns: 0,
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("below 1 replica"), "{err}");
+        // Beyond boot capacity.
+        let err = s
+            .validate_change(&Change::Scale {
+                service: "api".into(),
+                replicas: 4,
+                drain_ns: 0,
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("only 3 exist at boot"), "{err}");
+        // The legal boundary values pass.
+        for replicas in [1, 3] {
+            s.validate_change(&Change::Scale {
+                service: "api".into(),
+                replicas,
+                drain_ns: 0,
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn reconfig_canary_parameters_rejected_per_value() {
+        let s = replicated();
+        let canary = |fraction: f64, evaluate_ns: SimTime| Change::Canary {
+            service: "api".into(),
+            fraction,
+            evaluate_ns,
+            timeout_ns: None,
+            retries: None,
+        };
+        for fraction in [0.0, 1.0, -0.2, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(
+                s.validate_change(&canary(fraction, 100)).is_err(),
+                "fraction {fraction} should be rejected"
+            );
+        }
+        assert!(s.validate_change(&canary(0.25, 0)).is_err());
+        s.validate_change(&canary(0.25, 100)).unwrap();
+        // A singleton group has no baseline to compare against.
+        let err = s
+            .validate_change(&Change::Canary {
+                service: "a".into(),
+                fraction: 0.25,
+                evaluate_ns: 100,
+                timeout_ns: None,
+                retries: None,
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains(">= 2 replicas"), "{err}");
+    }
+
+    #[test]
+    fn reconfig_autoscaler_parameters_rejected_per_value() {
+        let s = replicated();
+        let base = AutoscalerSpec {
+            service: "api".into(),
+            min_replicas: 1,
+            max_replicas: 3,
+            high_util: 0.8,
+            low_util: 0.2,
+            ewma_alpha: 0.3,
+            interval_ns: 100,
+            cooldown_ns: 200,
+            start_ns: 0,
+            end_ns: 1000,
+            drain_ns: 50,
+        };
+        let check = |a: AutoscalerSpec| {
+            s.validate_reconfig_plan(&ReconfigPlan::default().with_autoscaler(a))
+        };
+        check(base.clone()).unwrap();
+        assert!(check(AutoscalerSpec {
+            min_replicas: 0,
+            ..base.clone()
+        })
+        .is_err());
+        assert!(check(AutoscalerSpec {
+            min_replicas: 3,
+            max_replicas: 2,
+            ..base.clone()
+        })
+        .is_err());
+        assert!(check(AutoscalerSpec {
+            max_replicas: 4,
+            ..base.clone()
+        })
+        .is_err());
+        for (low, high) in [
+            (0.8, 0.2),
+            (0.5, 0.5),
+            (-0.1, 0.5),
+            (0.2, 1.5),
+            (f64::NAN, 0.5),
+        ] {
+            assert!(
+                check(AutoscalerSpec {
+                    low_util: low,
+                    high_util: high,
+                    ..base.clone()
+                })
+                .is_err(),
+                "watermarks ({low}, {high}) should be rejected"
+            );
+        }
+        for ewma_alpha in [0.0, -0.2, 1.5, f64::NAN] {
+            assert!(check(AutoscalerSpec {
+                ewma_alpha,
+                ..base.clone()
+            })
+            .is_err());
+        }
+        assert!(check(AutoscalerSpec {
+            interval_ns: 0,
+            ..base
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn change_labels() {
+        let rr = |drainless: bool| Change::RollingRestart {
+            service: "api".into(),
+            drain_ns: 1,
+            restart_ns: 1,
+            drainless,
+        };
+        assert_eq!(rr(false).label(), "rolling_restart");
+        assert_eq!(rr(true).label(), "drainless_restart");
+        assert_eq!(
+            Change::Scale {
+                service: "api".into(),
+                replicas: 2,
+                drain_ns: 0
+            }
+            .label(),
+            "scale"
+        );
     }
 
     #[test]

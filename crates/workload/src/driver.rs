@@ -26,6 +26,8 @@ pub enum Action {
     },
     /// Inject a fault (crash, host down, partition, brownout) immediately.
     Fault(blueprint_simrt::Fault),
+    /// Apply a runtime change (rolling restart, scale, canary) immediately.
+    Reconfig(blueprint_simrt::Change),
     /// Arbitrary driver action. `Send` so a whole [`ExperimentSpec`] can be
     /// built on (or moved to) a parallel-engine worker thread; the closure
     /// still runs single-threaded against the worker-local `Sim`.
@@ -50,6 +52,7 @@ impl std::fmt::Debug for Action {
                 .field("backend", backend)
                 .finish(),
             Action::Fault(fault) => f.debug_tuple("Fault").field(fault).finish(),
+            Action::Reconfig(change) => f.debug_tuple("Reconfig").field(change).finish(),
             Action::Custom(_) => f.write_str("Custom(..)"),
         }
     }
@@ -162,6 +165,7 @@ fn apply(sim: &mut Sim, action: Action) -> Result<(), SimError> {
         } => sim.inject_cpu_hog(&host, cores, duration_ns),
         Action::CacheFlush { backend } => sim.cache_flush(&backend),
         Action::Fault(fault) => sim.inject_fault(&fault),
+        Action::Reconfig(change) => sim.apply_change(&change),
         Action::Custom(mut f) => {
             f(sim);
             Ok(())

@@ -19,7 +19,7 @@
 //! byte-identical at any `BLUEPRINT_THREADS`.
 
 use blueprint_simrt::time::SimTime;
-use blueprint_simrt::{Fault, Sim, SimConfig, SimError, SystemSpec};
+use blueprint_simrt::{Fault, ReconfigPlan, Sim, SimConfig, SimError, SystemSpec};
 
 use crate::driver::{run_experiment, Action, ExperimentSpec};
 use crate::generator::{ApiMix, OpenLoopGen, Phase};
@@ -320,6 +320,12 @@ pub struct CellReport {
     pub shed_rejections: u64,
     /// Retries denied by an exhausted retry budget.
     pub budget_denied: u64,
+    /// Arrivals rejected by a draining or out-of-rotation replica.
+    pub drain_rejections: u64,
+    /// Autoscaler scale-out actions taken during the run.
+    pub autoscale_ups: u64,
+    /// Autoscaler scale-in actions taken during the run.
+    pub autoscale_downs: u64,
 }
 
 /// Runs one variant through one scenario and verifies the invariants.
@@ -334,10 +340,130 @@ pub fn run_cell(
     scenario: &FaultScenario,
     cfg: &ResilienceConfig,
 ) -> Result<CellReport, SimError> {
+    let mut actions: Vec<(SimTime, Action)> = Vec::new();
+    for (t, fault) in &scenario.faults {
+        actions.push((*t, Action::Fault(fault.clone())));
+    }
+    for (t, trigger) in &scenario.triggers {
+        actions.push((*t, trigger.to_action()));
+    }
+    measure_cell(
+        system,
+        mix,
+        variant,
+        &scenario.name,
+        (scenario.fault_start_ns, scenario.fault_end_ns),
+        ReconfigPlan::none(),
+        actions,
+        cfg,
+    )
+}
+
+/// A scheduled runtime-change scenario: the reconfiguration analogue of
+/// [`FaultScenario`]. The plan rides in [`SimConfig`] (not the action
+/// schedule), so rolling steps, autoscaler ticks, and canary evaluations
+/// execute in the simulator's ctrl-event slot with full determinism;
+/// `change_start_ns..change_end_ns` is the window (extended by the RTO)
+/// outside of which any unavailability fails the `bounded` invariant.
+#[derive(Debug, Clone)]
+pub struct ReconfigScenario {
+    /// Scenario label (appears in matrix rows).
+    pub name: String,
+    /// The runtime-change plan under test.
+    pub plan: ReconfigPlan,
+    /// When the first change starts acting.
+    pub change_start_ns: SimTime,
+    /// When the last change's effect ends (final replica healthy, scaling
+    /// settled, canary decided).
+    pub change_end_ns: SimTime,
+}
+
+impl ReconfigScenario {
+    /// A scenario with an explicit active window.
+    pub fn new(
+        name: &str,
+        plan: ReconfigPlan,
+        change_start_ns: SimTime,
+        change_end_ns: SimTime,
+    ) -> Self {
+        ReconfigScenario {
+            name: name.to_string(),
+            plan,
+            change_start_ns,
+            change_end_ns,
+        }
+    }
+
+    /// The change-free baseline: any unavailability at all is unbounded.
+    pub fn baseline() -> Self {
+        ReconfigScenario {
+            name: "none".to_string(),
+            plan: ReconfigPlan::none(),
+            change_start_ns: 0,
+            change_end_ns: 0,
+        }
+    }
+}
+
+/// Runs one variant through one runtime-change scenario, verifying the
+/// same invariants as [`run_cell`]: conservation through every drain,
+/// unavailability bounded by the change window + RTO, no metastable
+/// trigger from the deploy itself, and the amplification metrics.
+pub fn run_reconfig_cell(
+    system: &SystemSpec,
+    mix: &ApiMix,
+    variant: &str,
+    scenario: &ReconfigScenario,
+    cfg: &ResilienceConfig,
+) -> Result<CellReport, SimError> {
+    measure_cell(
+        system,
+        mix,
+        variant,
+        &scenario.name,
+        (scenario.change_start_ns, scenario.change_end_ns),
+        scenario.plan.clone(),
+        Vec::new(),
+        cfg,
+    )
+}
+
+/// Runs the variants × reconfig-scenarios matrix on the parallel engine
+/// (same cell indexing as [`run_matrix`]).
+pub fn run_reconfig_matrix(
+    variants: &[(String, SystemSpec)],
+    scenarios: &[ReconfigScenario],
+    mix: &ApiMix,
+    cfg: &ResilienceConfig,
+    threads: Threads,
+) -> Result<Vec<CellReport>, SimError> {
+    let n = variants.len() * scenarios.len();
+    par_run(n, threads, |i| {
+        let (vi, si) = (i / scenarios.len(), i % scenarios.len());
+        let (name, system) = &variants[vi];
+        run_reconfig_cell(system, mix, name, &scenarios[si], cfg)
+    })
+}
+
+/// Shared measurement body: seeded sim (fault-free or carrying a reconfig
+/// plan), open-loop workload, scheduled actions, then invariant checks
+/// against the `(start, end)` disturbance window.
+#[allow(clippy::too_many_arguments)]
+fn measure_cell(
+    system: &SystemSpec,
+    mix: &ApiMix,
+    variant: &str,
+    scenario_name: &str,
+    window: (SimTime, SimTime),
+    reconfig: ReconfigPlan,
+    actions: Vec<(SimTime, Action)>,
+    cfg: &ResilienceConfig,
+) -> Result<CellReport, SimError> {
     let mut sim = Sim::new(
         system,
         SimConfig {
             seed: cfg.seed,
+            reconfig,
             ..Default::default()
         },
     )?;
@@ -359,23 +485,23 @@ pub fn run_cell(
     let mut exp = ExperimentSpec::new(gen)
         .interval(cfg.interval_ns)
         .drain(cfg.drain_ns);
-    for (t, fault) in &scenario.faults {
-        exp = exp.at(*t, Action::Fault(fault.clone()));
-    }
-    for (t, trigger) in &scenario.triggers {
-        exp = exp.at(*t, trigger.to_action());
+    for (t, action) in actions {
+        exp = exp.at(t, action);
     }
     let rec = run_experiment(&mut sim, exp)?;
     let conservation = rec.conservation(submitted);
     let conserved = conservation.holds();
-    let verdict = assess(&rec.series(), scenario, cfg);
+    // `assess` only reads the disturbance window from the scenario, so a
+    // synthetic window scenario serves both the fault and reconfig paths.
+    let win = FaultScenario::new(scenario_name, Vec::new(), window.0, window.1);
+    let verdict = assess(&rec.series(), &win, cfg);
 
     let c = &sim.metrics.counters;
     let (retries, breaker_rejections, client_calls) =
         (c.retries, c.breaker_rejections, c.client_calls);
     Ok(CellReport {
         variant: variant.to_string(),
-        scenario: scenario.name.clone(),
+        scenario: scenario_name.to_string(),
         conservation,
         conserved,
         unavailable_ns: verdict.unavailable_ns,
@@ -403,6 +529,9 @@ pub fn run_cell(
         deadline_exceeded: c.deadline_exceeded,
         shed_rejections: c.shed_rejections,
         budget_denied: c.budget_denied,
+        drain_rejections: c.drain_rejections,
+        autoscale_ups: c.autoscale_ups,
+        autoscale_downs: c.autoscale_downs,
     })
 }
 
@@ -430,7 +559,9 @@ pub fn run_matrix(
 mod tests {
     use super::*;
     use blueprint_simrt::time::{ms, secs};
-    use blueprint_simrt::{ClientSpec, DepBinding, EntrySpec, HostSpec, ProcessSpec, ServiceSpec};
+    use blueprint_simrt::{
+        Change, ClientSpec, DepBinding, EntrySpec, HostSpec, LbPolicy, ProcessSpec, ServiceSpec,
+    };
     use blueprint_workflow::Behavior;
 
     /// Cell reports cross worker threads inside `run_matrix`.
@@ -705,5 +836,141 @@ mod tests {
         assert_eq!(seq.len(), 4);
         assert_eq!(seq, par);
         assert!(seq.iter().all(|c| c.conserved));
+    }
+
+    /// front --LB--> {back, back_r1}, each replica in its own process, so a
+    /// rolling deploy has a sibling to absorb the drained replica's share.
+    fn replicated_two_tier(client: ClientSpec) -> SystemSpec {
+        let mut spec = SystemSpec {
+            name: "rrt".into(),
+            hosts: vec![HostSpec {
+                name: "h0".into(),
+                cores: 8.0,
+            }],
+            processes: vec![
+                ProcessSpec {
+                    name: "p_front".into(),
+                    host: 0,
+                    gc: None,
+                },
+                ProcessSpec {
+                    name: "p_back".into(),
+                    host: 0,
+                    gc: None,
+                },
+                ProcessSpec {
+                    name: "p_back_r1".into(),
+                    host: 0,
+                    gc: None,
+                },
+            ],
+            ..Default::default()
+        };
+        for (i, name) in ["back", "back_r1"].iter().enumerate() {
+            let mut r = ServiceSpec::new(*name, i + 1);
+            r.methods
+                .insert("Work".into(), Behavior::build().compute(50_000, 0).done());
+            spec.services.push(r); // 0, 1
+        }
+        let mut front = ServiceSpec::new("front", 0);
+        front
+            .methods
+            .insert("M".into(), Behavior::build().call("backend", "Work").done());
+        front.deps.insert(
+            "backend".into(),
+            DepBinding::ReplicatedService {
+                targets: vec![0, 1],
+                policy: LbPolicy::RoundRobin,
+                client,
+            },
+        );
+        spec.services.push(front); // 2
+        spec.entries.insert(
+            "front".into(),
+            EntrySpec {
+                service: 2,
+                client: ClientSpec::local(),
+            },
+        );
+        spec
+    }
+
+    fn rolling_plan(drainless: bool) -> ReconfigPlan {
+        ReconfigPlan::none().at(
+            secs(2),
+            Change::RollingRestart {
+                service: "back".into(),
+                drain_ns: ms(200),
+                restart_ns: ms(100),
+                drainless,
+            },
+        )
+    }
+
+    #[test]
+    fn drained_rolling_deploy_cell_is_invisible() {
+        let mut client = ClientSpec::local();
+        client.retries = 2;
+        let spec = replicated_two_tier(client);
+        // Two replicas × (drain 200ms + restart 100ms) ≈ 600ms of deploy.
+        let scenario = ReconfigScenario::new("rolling", rolling_plan(false), secs(2), secs(3));
+        let r = run_reconfig_cell(
+            &spec,
+            &ApiMix::single("front", "M"),
+            "drained",
+            &scenario,
+            &cfg(),
+        )
+        .unwrap();
+        assert!(r.conserved, "{}", r.conservation);
+        assert!(r.bounded, "deploy unavailability exceeded the window");
+        assert!(
+            !r.metastable,
+            "a drained deploy must not trigger metastability"
+        );
+        assert_eq!(
+            r.conservation.errors, 0,
+            "failover + retries absorb the drained deploy entirely"
+        );
+    }
+
+    #[test]
+    fn reconfig_matrix_is_deterministic_across_thread_counts() {
+        let mut retry = ClientSpec::local();
+        retry.retries = 2;
+        let variants = vec![
+            ("none".to_string(), replicated_two_tier(ClientSpec::local())),
+            ("retry".to_string(), replicated_two_tier(retry)),
+        ];
+        let scenarios = vec![
+            ReconfigScenario::baseline(),
+            ReconfigScenario::new("rolling", rolling_plan(false), secs(2), secs(3)),
+            ReconfigScenario::new("drainless", rolling_plan(true), secs(2), secs(3)),
+        ];
+        let mix = ApiMix::single("front", "M");
+        let seq = run_reconfig_matrix(&variants, &scenarios, &mix, &cfg(), Threads::sequential())
+            .unwrap();
+        let par =
+            run_reconfig_matrix(&variants, &scenarios, &mix, &cfg(), Threads::new(4)).unwrap();
+        assert_eq!(seq.len(), 6);
+        assert_eq!(seq, par);
+        assert!(seq.iter().all(|c| c.conserved), "every cell conserved");
+        // Unprotected variant: the drainless arm kills in-flight work and
+        // fast-fails arrivals on the dead replica; draining eliminates both.
+        let drained = &seq[1];
+        let drainless = &seq[2];
+        assert_eq!(drained.conservation.errors, 0, "drained deploy invisible");
+        assert!(
+            drainless.conservation.errors > 0,
+            "drainless must show the error spike draining eliminates"
+        );
+        // Retry variant: failover to the live replica masks even the
+        // drainless spike end-to-end — visible instead as retry traffic.
+        let retry_drainless = &seq[scenarios.len() + 2];
+        assert_eq!(retry_drainless.conservation.errors, 0);
+        assert!(
+            retry_drainless.retries > seq[scenarios.len() + 1].retries,
+            "masking the drainless spike costs retries"
+        );
     }
 }
