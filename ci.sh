@@ -95,6 +95,18 @@ BLUEPRINT_THREADS=4 cargo run --release -p blueprint-bench --bin lint_validation
 cmp results/ci_lint_validation.txt results/lint_validation.txt
 mv results/lint_validation.txt results/ci_lint_validation.txt
 
+echo "==> capacity cross-validation smoke (BLUEPRINT_THREADS=1 vs =4)"
+# The analytic BP013-BP015 capacity bracket must contain each app's simulated
+# saturation knee (the binary panics otherwise), and the report must be
+# byte-identical whatever the worker count.
+BLUEPRINT_THREADS=1 cargo run --release -p blueprint-bench --bin capacity_validation -- \
+    --smoke
+mv results/capacity_validation.txt results/ci_capacity.txt
+BLUEPRINT_THREADS=4 cargo run --release -p blueprint-bench --bin capacity_validation -- \
+    --smoke
+cmp results/ci_capacity.txt results/capacity_validation.txt
+mv results/capacity_validation.txt results/ci_capacity.txt
+
 echo "==> intra-run dispatch smoke (1 vs 4 shards, identity asserted in-binary)"
 # --test mode runs the single-simulation shard sweep at 1 and 4 shards only;
 # the binary itself panics if the completion streams diverge. The full

@@ -199,7 +199,7 @@ impl Compiler {
         passes::widen_visibility(&self.registry, &mut ir)?;
         passes::validate(&ir)?;
         let diagnostics = if options.lint {
-            passes::lint(&ir, wiring, &options.lint_config)
+            passes::lint(&ir, wiring, Some(workflow), &options.lint_config)
         } else {
             Vec::new()
         };

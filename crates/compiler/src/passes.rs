@@ -172,9 +172,15 @@ pub fn validate(ir: &IrGraph) -> Result<()> {
 /// the `blueprint-lint` crate). Diagnostics never fail compilation — hazard
 /// variants must still compile so the fault simulator can reproduce the
 /// pathology a lint predicts; enforcement (e.g. deny-gating CI) is the
-/// caller's policy decision.
-pub fn lint(ir: &IrGraph, wiring: &WiringSpec, config: &LintConfig) -> Vec<Diagnostic> {
-    Linter::new(config.clone()).run(ir, wiring)
+/// caller's policy decision. The workflow spec feeds the analytic capacity
+/// model (BP013–BP015); those rules stay silent when it is absent.
+pub fn lint(
+    ir: &IrGraph,
+    wiring: &WiringSpec,
+    workflow: Option<&blueprint_workflow::WorkflowSpec>,
+    config: &LintConfig,
+) -> Vec<Diagnostic> {
+    Linter::new(config.clone()).run_with_workflow(ir, wiring, workflow)
 }
 
 #[cfg(test)]

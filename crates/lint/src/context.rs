@@ -2,6 +2,7 @@
 
 use blueprint_ir::{EdgeKind, IrGraph, NodeId};
 use blueprint_wiring::WiringSpec;
+use blueprint_workflow::WorkflowSpec;
 
 use crate::LintConfig;
 
@@ -22,8 +23,21 @@ pub mod kind {
     pub const DEADLINE: &str = "mod.deadline";
     /// Retry-budget modifiers.
     pub const RETRY_BUDGET: &str = "mod.retrybudget";
+    /// Load-shed (admission control) modifiers.
+    pub const SHED: &str = "mod.shed";
+    /// RPC server modifiers (transport cost props live here). HTTP servers
+    /// are a sibling `mod.http` family with the same props.
+    pub const RPC: &str = "mod.rpc";
+    /// HTTP server modifiers.
+    pub const HTTP: &str = "mod.http";
+    /// Tracer modifiers (per-span overhead props live here).
+    pub const TRACER: &str = "mod.tracer";
+    /// Machine namespaces (the `cores` prop lives here).
+    pub const MACHINE: &str = "namespace.machine";
     /// Queue backends.
     pub const QUEUE: &str = "backend.queue";
+    /// Cache backends.
+    pub const CACHE: &str = "backend.cache";
     /// Brownout-prone backends: storage whose latency collapses under
     /// overload (the PR-3 brownout scenarios target these).
     pub const BROWNOUT_PRONE: [&str; 2] = ["backend.nosql", "backend.reldb"];
@@ -38,12 +52,38 @@ pub struct LintContext<'a> {
     pub wiring: &'a WiringSpec,
     /// Numeric thresholds.
     pub config: &'a LintConfig,
+    /// The workflow spec, when the caller has one. The quantitative capacity
+    /// rules (BP013–BP015) need the `Behavior` programs; structural rules run
+    /// fine without it.
+    pub workflow: Option<&'a WorkflowSpec>,
 }
 
 impl<'a> LintContext<'a> {
-    /// Builds a context.
+    /// Builds a context without behavior programs (capacity rules stay
+    /// silent).
     pub fn new(ir: &'a IrGraph, wiring: &'a WiringSpec, config: &'a LintConfig) -> Self {
-        LintContext { ir, wiring, config }
+        LintContext {
+            ir,
+            wiring,
+            config,
+            workflow: None,
+        }
+    }
+
+    /// Builds a context carrying the workflow's behavior programs, enabling
+    /// the analytic capacity model.
+    pub fn with_workflow(
+        ir: &'a IrGraph,
+        wiring: &'a WiringSpec,
+        config: &'a LintConfig,
+        workflow: Option<&'a WorkflowSpec>,
+    ) -> Self {
+        LintContext {
+            ir,
+            wiring,
+            config,
+            workflow,
+        }
     }
 
     /// All workflow service nodes, id-ascending.
@@ -98,6 +138,23 @@ impl<'a> LintContext<'a> {
             let Ok(mn) = self.ir.node(m) else { continue };
             if kind_matches(&mn.kind, kind::TIMEOUT) {
                 let ms = mn.props.float_or("ms", 500.0);
+                if ms.is_finite() && ms > 0.0 {
+                    best = Some(best.map_or(ms, |b: f64| b.min(ms)));
+                }
+            }
+        }
+        best
+    }
+
+    /// The propagated end-to-end deadline (ms) attached to `node`'s chain,
+    /// if a deadline modifier sits on it (smallest wins when stacked).
+    pub fn deadline_into_ms(&self, node: NodeId) -> Option<f64> {
+        let n = self.ir.node(node).ok()?;
+        let mut best: Option<f64> = None;
+        for &m in n.modifiers() {
+            let Ok(mn) = self.ir.node(m) else { continue };
+            if kind_matches(&mn.kind, kind::DEADLINE) {
+                let ms = mn.props.float_or("ms", 1000.0);
                 if ms.is_finite() && ms > 0.0 {
                     best = Some(best.map_or(ms, |b: f64| b.min(ms)));
                 }

@@ -155,6 +155,7 @@ mod tests {
             name: "test-rule",
             severity: Severity::Warn,
             summary: "",
+            doc: "",
         };
         let d = Diagnostic::new(&rule, "msg")
             .node("n1", "svc")

@@ -26,6 +26,16 @@
 //! | BP010 | missing-deadline-propagation | warn | a deadline-guarded entry reaches a service that drops the propagated deadline |
 //! | BP011 | unbudgeted-retry-fanout | warn   | a retried service with neither a retry budget nor a circuit breaker |
 //! | BP012 | drainless-restart-hazard | warn  | a planned drainless restart of a service whose gap nothing absorbs (no breaker, no retried LB sibling) |
+//! | BP013 | capacity-saturation   | deny     | a machine's analytic utilization reaches 1 at the declared target rate (warn above the knee threshold) |
+//! | BP014 | infeasible-timeout    | deny     | a timeout/deadline budget below the analytic sojourn even unloaded (warn when only the loaded estimate misses) |
+//! | BP015 | autoscaler-ceiling    | warn     | the autoscaler's max replicas still leave a replica group saturated at peak rate |
+//!
+//! BP013–BP015 run only when the caller supplies the workflow spec (the
+//! `Behavior` programs feed the [`model`] module's visit-ratio
+//! traversal) — use [`Linter::run_with_workflow`]; [`Linter::run`] keeps
+//! them silent. BP013/BP015 additionally need declared traffic
+//! ([`LintConfig::traffic`] / [`LintConfig::scaling_limits`]); BP014's
+//! unloaded deny fires from the graph alone.
 //!
 //! Rule ids are stable: tooling (the CI gate, baseline suppression files)
 //! keys on them, so ids are never reused or renumbered.
@@ -45,6 +55,7 @@
 
 pub mod context;
 pub mod diagnostic;
+pub mod model;
 pub mod passes;
 pub mod render;
 
@@ -70,6 +81,41 @@ pub struct RestartTarget {
     pub drainless: bool,
 }
 
+/// One row of a declared traffic mix: requests entering `service.method`
+/// with relative `weight`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixEntry {
+    /// Entry-service instance name (the IR node name).
+    pub service: String,
+    /// Method invoked on the entry.
+    pub method: String,
+    /// Relative weight (normalized across the mix).
+    pub weight: f64,
+}
+
+/// Declared offered load the capacity rules (BP013/BP014's loaded tier)
+/// evaluate against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficSpec {
+    /// Target aggregate arrival rate, requests/second.
+    pub rps: f64,
+    /// Mix rows; empty spreads uniformly over every entry × method (the
+    /// workload generator's default).
+    pub mix: Vec<MixEntry>,
+}
+
+/// BP015: a replica group's scaling envelope — the lint-side projection of
+/// an `AutoscalerSpec` / `Change::Scale` ceiling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingLimit {
+    /// Replica-group base service name.
+    pub service: String,
+    /// Maximum replicas the autoscaler may reach.
+    pub max_replicas: usize,
+    /// Peak arrival rate to evaluate at; `None` uses `traffic.rps`.
+    pub peak_rps: Option<f64>,
+}
+
 /// Linter configuration: per-rule severity overrides plus the numeric
 /// thresholds the quantitative rules compare against.
 #[derive(Debug, Clone)]
@@ -84,6 +130,20 @@ pub struct LintConfig {
     /// Empty (the default) disables the rule — restart hazards only exist
     /// relative to a concrete deployment plan.
     pub restart_targets: Vec<RestartTarget>,
+    /// BP013/BP015 and BP014's loaded tier: the declared offered load.
+    /// `None` (the default) disables the rate-dependent checks — capacity
+    /// hazards only exist relative to a target rate.
+    pub traffic: Option<TrafficSpec>,
+    /// BP013: warn when a machine's pessimistic utilization at the target
+    /// rate reaches this fraction (the knee of the latency curve).
+    pub utilization_knee: f64,
+    /// Miss probability the pessimistic model assumes for
+    /// `cache_get_or_fetch` slow paths. 1.0 (the default) charges the full
+    /// miss path on every lookup.
+    pub cache_miss_rate: f64,
+    /// BP015: scaling ceilings to check. Empty (the default) disables the
+    /// rule, like `restart_targets` for BP012.
+    pub scaling_limits: Vec<ScalingLimit>,
 }
 
 impl Default for LintConfig {
@@ -92,6 +152,10 @@ impl Default for LintConfig {
             severity: BTreeMap::new(),
             amplification_threshold: 10.0,
             restart_targets: Vec::new(),
+            traffic: None,
+            utilization_knee: 0.8,
+            cache_miss_rate: 1.0,
+            scaling_limits: Vec::new(),
         }
     }
 }
@@ -108,6 +172,44 @@ impl LintConfig {
         self.restart_targets.push(RestartTarget {
             service: service.to_string(),
             drainless,
+        });
+        self
+    }
+
+    /// Declares the target arrival rate (uniform mix over entries).
+    pub fn with_target_rps(mut self, rps: f64) -> Self {
+        let mix = self.traffic.take().map(|t| t.mix).unwrap_or_default();
+        self.traffic = Some(TrafficSpec { rps, mix });
+        self
+    }
+
+    /// Adds one traffic-mix row (declares a target rate of 0 if none was
+    /// set yet — combine with [`LintConfig::with_target_rps`]).
+    pub fn with_mix(mut self, service: &str, method: &str, weight: f64) -> Self {
+        let mut t = self.traffic.take().unwrap_or(TrafficSpec {
+            rps: 0.0,
+            mix: Vec::new(),
+        });
+        t.mix.push(MixEntry {
+            service: service.to_string(),
+            method: method.to_string(),
+            weight,
+        });
+        self.traffic = Some(t);
+        self
+    }
+
+    /// Adds a scaling ceiling for BP015 to check.
+    pub fn with_scaling_limit(
+        mut self,
+        service: &str,
+        max_replicas: usize,
+        peak_rps: Option<f64>,
+    ) -> Self {
+        self.scaling_limits.push(ScalingLimit {
+            service: service.to_string(),
+            max_replicas,
+            peak_rps,
         });
         self
     }
@@ -155,17 +257,30 @@ impl Linter {
         self.passes.iter().flat_map(|p| p.rules()).collect()
     }
 
-    /// Runs every pass over the graph + wiring pair.
-    ///
-    /// Diagnostics carrying an [`Severity::Allow`] severity (after overrides)
-    /// are dropped; the rest come back sorted by rule id, then primary
-    /// subject, then message, so output is stable across runs.
+    /// Runs every pass over the graph + wiring pair. The capacity rules
+    /// (BP013–BP015) stay silent — use [`Linter::run_with_workflow`] to
+    /// enable them.
     pub fn run(
         &self,
         ir: &blueprint_ir::IrGraph,
         wiring: &blueprint_wiring::WiringSpec,
     ) -> Vec<Diagnostic> {
-        let ctx = LintContext::new(ir, wiring, &self.config);
+        self.run_with_workflow(ir, wiring, None)
+    }
+
+    /// Runs every pass, supplying the workflow spec's behavior programs so
+    /// the analytic capacity model (BP013–BP015) can run.
+    ///
+    /// Diagnostics carrying an [`Severity::Allow`] severity (after overrides)
+    /// are dropped; the rest come back sorted by rule id, then primary
+    /// subject, then message, so output is stable across runs.
+    pub fn run_with_workflow(
+        &self,
+        ir: &blueprint_ir::IrGraph,
+        wiring: &blueprint_wiring::WiringSpec,
+        workflow: Option<&blueprint_workflow::WorkflowSpec>,
+    ) -> Vec<Diagnostic> {
+        let ctx = LintContext::with_workflow(ir, wiring, &self.config, workflow);
         let mut out: Vec<Diagnostic> = Vec::new();
         for pass in &self.passes {
             out.extend(pass.run(&ctx));
@@ -242,7 +357,7 @@ mod tests {
         let ids: Vec<&str> = rules.iter().map(|r| r.id).collect();
         for expect in [
             "BP001", "BP002", "BP003", "BP004", "BP005", "BP006", "BP007", "BP008", "BP009",
-            "BP010", "BP011", "BP012",
+            "BP010", "BP011", "BP012", "BP013", "BP014", "BP015",
         ] {
             assert!(ids.contains(&expect), "missing rule {expect}");
         }

@@ -23,6 +23,10 @@ pub static RULE_QUEUE: Rule = Rule {
     name: "unbounded-queue",
     severity: Severity::Warn,
     summary: "a queue backend with no explicit capacity bound",
+    doc: "A queue backend with no explicit capacity bound grows without \
+          limit under overload, converting transient pressure into \
+          unbounded memory growth and stale work. Fix: set an explicit \
+          capacity so overload sheds instead of accumulating.",
 };
 
 /// BP009 metadata.
@@ -31,6 +35,11 @@ pub static RULE_BREAKER: Rule = Rule {
     name: "missing-breaker",
     severity: Severity::Warn,
     summary: "a retried brownout-prone backend with no circuit breaker",
+    doc: "A brownout-prone backend (storage whose latency collapses under \
+          pressure) that callers retry against amplifies its own overload: \
+          every slow reply triggers more attempts. Without a circuit \
+          breaker the feedback loop runs open. Fix: attach a \
+          CircuitBreaker to the backend's client chain.",
 };
 
 /// The pass.

@@ -24,6 +24,10 @@ pub static RULE: Rule = Rule {
     name: "missing-deadline-propagation",
     severity: Severity::Warn,
     summary: "a deadline-guarded entry reaches a service that drops the propagated deadline",
+    doc: "A deadline-guarded entry whose descendants drop the propagated \
+          deadline keeps doing work for requests the entry already \
+          abandoned. Fix: attach a Deadline modifier to every service on \
+          the guarded paths so cancellation propagates.",
 };
 
 /// The pass. Emits one finding per dropping service (the first guarded

@@ -18,6 +18,11 @@ pub static RULE: Rule = Rule {
     name: "retry-non-idempotent",
     severity: Severity::Warn,
     summary: "a retried edge invokes methods not marked idempotent",
+    doc: "A retried edge re-executes its target methods on timeout; methods \
+          with side effects that are not marked idempotent may apply those \
+          effects more than once (duplicate writes, double charges). Fix: \
+          mark the methods idempotent after making them so, or drop the \
+          retry policy on the edge.",
 };
 
 /// The pass. Emits one finding per offending invocation edge.

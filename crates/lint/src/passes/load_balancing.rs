@@ -23,6 +23,11 @@ pub static RULE_NO_LB: Rule = Rule {
     name: "replica-no-lb",
     severity: Severity::Deny,
     summary: "multiple instances of one service impl with no load balancer fronting them",
+    doc: "Multiple instances of one service implementation with no load \
+          balancer fronting them cannot share load: callers pin to \
+          whichever instance their dependency resolves to, so added \
+          replicas are dead capacity. Fix: front the replicas with a \
+          LoadBalancer (or use the Replicate modifier, which inserts one).",
 };
 
 /// BP004 metadata.
@@ -31,6 +36,9 @@ pub static RULE_SINGLE: Rule = Rule {
     name: "lb-single-target",
     severity: Severity::Deny,
     summary: "a load balancer fronting a single instance",
+    doc: "A load balancer fronting exactly one instance adds a hop and a \
+          failure mode but balances nothing. Usually a leftover from \
+          scaling down. Fix: remove the balancer or add replicas behind it.",
 };
 
 /// The pass.

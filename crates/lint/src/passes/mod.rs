@@ -1,6 +1,7 @@
 //! The `LintPass` trait, rule metadata, and the built-in pass set.
 
 pub mod backend_guard;
+pub mod capacity;
 pub mod deadline_propagation;
 pub mod idempotency;
 pub mod load_balancing;
@@ -26,6 +27,9 @@ pub struct Rule {
     pub severity: Severity,
     /// One-line description for `--help`-style listings.
     pub summary: &'static str,
+    /// Longer explanation for `--explain`: the hazard, what the
+    /// diagnostic's `bound` field means, and the canonical fix.
+    pub doc: &'static str,
 }
 
 /// A static analysis pass: graph + wiring in, diagnostics out.
@@ -53,5 +57,6 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(deadline_propagation::DeadlinePropagation),
         Box::new(retry_budget::RetryBudgetFanout),
         Box::new(restart_hazard::RestartHazard),
+        Box::new(capacity::Capacity),
     ]
 }

@@ -26,6 +26,10 @@ pub static RULE_UNREACHABLE: Rule = Rule {
     name: "unreachable-component",
     severity: Severity::Deny,
     summary: "a component no entry point reaches",
+    doc: "A component no entry point reaches is dead weight: it deploys, \
+          consumes a machine slot, and can hide stale wiring (a dependency \
+          someone forgot to delete or meant to bind). Fix: remove the \
+          instance from the wiring or bind a caller to it.",
 };
 
 /// BP007 metadata.
@@ -34,6 +38,10 @@ pub static RULE_DEAD_MOD: Rule = Rule {
     name: "dead-modifier",
     severity: Severity::Deny,
     summary: "a declared modifier applied to no instance",
+    doc: "A declared modifier applied to no instance does nothing — the \
+          policy its author intended (retries, timeouts, tracing) is \
+          silently absent. Fix: attach the modifier to the intended \
+          instance or delete the declaration.",
 };
 
 /// The pass.

@@ -24,6 +24,12 @@ pub static RULE: Rule = Rule {
     severity: Severity::Warn,
     summary: "a planned drainless restart of a service whose gap nothing absorbs \
               (no breaker, no retried LB sibling)",
+    doc: "A drainless restart kills in-flight requests and leaves a \
+          capacity gap nothing absorbs when the service has no circuit \
+          breaker and no retried load-balanced sibling — callers see hard \
+          errors for the whole restart window. Fix: drain before \
+          restarting, or add a breaker / retried LB sibling to absorb the \
+          gap.",
 };
 
 /// The pass. One finding per hazardous restart target, in plan order.

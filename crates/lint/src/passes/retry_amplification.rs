@@ -20,6 +20,13 @@ pub static RULE: Rule = Rule {
     name: "retry-amplification",
     severity: Severity::Warn,
     summary: "call chain whose worst-case retry product exceeds the threshold with no breaker",
+    doc: "A retry modifier on a callee multiplies the attempts of every \
+          inbound call, and multipliers compound along a call chain: three \
+          hops of max=10 retries turn one user request into 11^3 wire \
+          attempts during an outage — the §6.2 metastability ingredient. \
+          The bound is the worst-case wire-attempt product of the flagged \
+          chain. Fix: attach a CircuitBreaker to a service on the chain, or \
+          cut the retry budgets (Retry max=...).",
 };
 
 /// The pass. Emits at most one finding per entry point: the worst

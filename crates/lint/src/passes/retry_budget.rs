@@ -18,6 +18,10 @@ pub static RULE: Rule = Rule {
     name: "unbudgeted-retry-fanout",
     severity: Severity::Warn,
     summary: "a retried service with neither a retry budget nor a circuit breaker",
+    doc: "A retried service with neither a retry budget nor a circuit \
+          breaker has no cap on retry-induced load: under partial failure \
+          the retry traffic itself can hold the service saturated. Fix: \
+          attach a RetryBudget or CircuitBreaker to the service.",
 };
 
 /// The pass. One finding per retried-but-uncapped service, id-ascending.

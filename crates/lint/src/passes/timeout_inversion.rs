@@ -23,6 +23,12 @@ pub static RULE: Rule = Rule {
     name: "timeout-inversion",
     severity: Severity::Deny,
     summary: "inbound deadline smaller than the worst-case downstream budget",
+    doc: "A caller enforcing a deadline smaller than the worst case of its \
+          own downstream budgets times out before its callees do, so every \
+          slow request burns the full downstream work and then fails \
+          anyway. The bound is the worst-case downstream budget in ms. \
+          Fix: raise the inbound timeout above the bound or cut downstream \
+          timeouts/retries so the budgets nest.",
 };
 
 /// The pass.

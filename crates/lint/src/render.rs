@@ -149,12 +149,14 @@ mod tests {
             name: "retry-amplification",
             severity: Severity::Warn,
             summary: "",
+            doc: "",
         };
         let r2 = Rule {
             id: "BP003",
             name: "replica-no-lb",
             severity: Severity::Deny,
             summary: "",
+            doc: "",
         };
         vec![
             Diagnostic::new(&r1, "chain frontend -> search -> geo amplifies x121")

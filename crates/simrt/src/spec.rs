@@ -856,6 +856,34 @@ impl SystemSpec {
                         )));
                     }
                 }
+                // Probabilities are coin thresholds at simulation time; a NaN
+                // or out-of-range value would silently bias every draw, so
+                // they fail at boot instead.
+                let mut bad_prob: Option<(&'static str, f64)> = None;
+                b.for_each_step(&mut |step| {
+                    if bad_prob.is_some() {
+                        return;
+                    }
+                    match step {
+                        blueprint_workflow::Step::Branch { prob, .. }
+                            if !prob.is_finite() || !(0.0..=1.0).contains(prob) =>
+                        {
+                            bad_prob = Some(("branch", *prob));
+                        }
+                        blueprint_workflow::Step::Fail { prob }
+                            if !prob.is_finite() || !(0.0..=1.0).contains(prob) =>
+                        {
+                            bad_prob = Some(("fail", *prob));
+                        }
+                        _ => {}
+                    }
+                });
+                if let Some((step, prob)) = bad_prob {
+                    return Err(SimError::BadSpec(format!(
+                        "service {} method {m} {step} probability {prob} not in [0, 1]",
+                        s.name
+                    )));
+                }
             }
             // Shed-controller parameters: out-of-range values would silently
             // disable or destabilize the controller at runtime, so they fail
@@ -1357,6 +1385,69 @@ mod tests {
     #[test]
     fn valid_spec_passes() {
         tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn branch_and_fail_probabilities_validated_per_value() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.1, 1.1, 2.0] {
+            let mut s = tiny();
+            s.services[0].methods.insert(
+                "M".into(),
+                Behavior::build()
+                    .branch(bad, Behavior::empty(), Behavior::empty())
+                    .done(),
+            );
+            let err = s.validate().unwrap_err();
+            assert!(
+                matches!(err, SimError::BadSpec(ref m) if m.contains("branch probability")),
+                "branch prob {bad}: {err}"
+            );
+
+            let mut s = tiny();
+            s.services[0]
+                .methods
+                .insert("M".into(), Behavior::build().fail(bad).done());
+            let err = s.validate().unwrap_err();
+            assert!(
+                matches!(err, SimError::BadSpec(ref m) if m.contains("fail probability")),
+                "fail prob {bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_bad_probability_rejected_and_bounds_accepted() {
+        // A bad prob buried under repeat -> parallel -> branch still fails.
+        let mut s = tiny();
+        s.services[0].methods.insert(
+            "M".into(),
+            Behavior::build()
+                .repeat(
+                    2,
+                    Behavior::build()
+                        .parallel(vec![Behavior::build()
+                            .branch(
+                                0.5,
+                                Behavior::build().fail(f64::NAN).done(),
+                                Behavior::empty(),
+                            )
+                            .done()])
+                        .done(),
+                )
+                .done(),
+        );
+        assert!(s.validate().is_err());
+        // The closed endpoints 0.0 and 1.0 are legal coin thresholds.
+        let mut s = tiny();
+        s.services[0].methods.insert(
+            "M".into(),
+            Behavior::build()
+                .branch(0.0, Behavior::empty(), Behavior::empty())
+                .branch(1.0, Behavior::empty(), Behavior::empty())
+                .fail(0.0)
+                .done(),
+        );
+        s.validate().unwrap();
     }
 
     #[test]

@@ -230,6 +230,32 @@ impl Behavior {
         }
     }
 
+    /// Visits every step recursively (pre-order: a container step is visited
+    /// before the steps nested inside it). Shared read-only traversal used by
+    /// spec validation (probability range checks) and the static capacity
+    /// model in `blueprint-lint`.
+    pub fn for_each_step<'a, F: FnMut(&'a Step)>(&'a self, f: &mut F) {
+        for s in &self.steps {
+            f(s);
+            match s {
+                Step::CacheGetOrFetch { on_miss, .. } => on_miss.for_each_step(f),
+                Step::Parallel(branches) => {
+                    for b in branches {
+                        b.for_each_step(f);
+                    }
+                }
+                Step::Branch {
+                    then, otherwise, ..
+                } => {
+                    then.for_each_step(f);
+                    otherwise.for_each_step(f);
+                }
+                Step::Repeat { body, .. } => body.for_each_step(f),
+                _ => {}
+            }
+        }
+    }
+
     /// Total step count, recursively (a crude behavior "size" used in specs'
     /// LoC accounting and tests).
     pub fn size(&self) -> usize {
@@ -437,6 +463,29 @@ mod tests {
         // compute + call + (get_or_fetch + 2 inner) + (parallel + 2 inner) = 8.
         assert_eq!(sample().size(), 8);
         assert_eq!(Behavior::empty().size(), 0);
+    }
+
+    #[test]
+    fn for_each_step_visits_nested_steps_preorder() {
+        let b = sample();
+        let mut kinds = Vec::new();
+        b.for_each_step(&mut |s| {
+            kinds.push(match s {
+                Step::Compute { .. } => "compute",
+                Step::Call { .. } => "call",
+                Step::CacheGetOrFetch { .. } => "fetch",
+                Step::Db { .. } => "db",
+                Step::Cache { .. } => "cache",
+                Step::Parallel(_) => "parallel",
+                _ => "other",
+            });
+        });
+        // get_or_fetch precedes its miss path, parallel precedes its branches.
+        assert_eq!(
+            kinds,
+            vec!["compute", "call", "fetch", "db", "cache", "parallel", "call", "call"]
+        );
+        assert_eq!(kinds.len(), sample().size());
     }
 
     #[test]
