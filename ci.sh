@@ -77,6 +77,21 @@ BLUEPRINT_THREADS=4 cargo run --release -p blueprint-bench --bin ablation_reconf
 cmp results/ci_reconfig.txt results/reconfig_matrix.txt
 mv results/reconfig_matrix.txt results/ci_reconfig.txt
 
+echo "==> consistency smoke (BLUEPRINT_THREADS=1 vs =4)"
+# Consistency arms (read-replica / quorum / session) x disturbance scenarios
+# through the anomaly oracle: the binary panics on any conservation
+# violation, on quorum w=2 showing any anomaly, on session breaking
+# read-your-writes, or on the crash scenario failing to lose writes under
+# async replication. The report must be byte-identical whatever the worker
+# count.
+BLUEPRINT_THREADS=1 cargo run --release -p blueprint-bench --bin ablation_consistency -- \
+    --smoke
+mv results/consistency_matrix.txt results/ci_consistency.txt
+BLUEPRINT_THREADS=4 cargo run --release -p blueprint-bench --bin ablation_consistency -- \
+    --smoke
+cmp results/ci_consistency.txt results/consistency_matrix.txt
+mv results/consistency_matrix.txt results/ci_consistency.txt
+
 echo "==> lint gate (every app's default wiring must be deny-clean)"
 # Runs the static-analysis passes over the five benchmark apps and writes
 # per-app counts to results/ci_lint.txt; exits nonzero on any deny-severity

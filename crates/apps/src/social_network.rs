@@ -13,6 +13,10 @@
 //!   variant: replicated user-timeline database + two `UserTimelineService`
 //!   instances with per-replica caches behind a load balancer (a 5-line
 //!   wiring change from the base spec);
+//! * [`wiring_consistency`] — the same topology with an explicit consistency
+//!   mode (`primary` / `read_replica` / `quorum` / `session`) on the
+//!   replicated database, and [`arm_ut_db_failover`] to attach primary
+//!   failover to the compiled system;
 //! * [`workflow_with`]`(extended_cache = true)` — the §6.6 variant whose
 //!   `ReadPosts` uses the specialized Redis range operation instead of N
 //!   generic `Get`s (Fig. 12).
@@ -830,6 +834,224 @@ pub fn wiring_inconsistency(opts: &WiringOpts, lag_min_ms: i64, lag_max_ms: i64)
     w
 }
 
+/// [`wiring_inconsistency`] with an explicit consistency mode on the
+/// replicated user-timeline database — the paper's "change one wiring line,
+/// recompile, re-measure" loop applied to data consistency. `mode` is one of
+/// `"primary"`, `"read_replica"`, `"quorum"` (with `quorum = Some((w, r))`),
+/// or `"session"`; `"read_replica"` reproduces [`wiring_inconsistency`]
+/// exactly (it is the historical default, spelled out).
+pub fn wiring_consistency(
+    opts: &WiringOpts,
+    lag_min_ms: i64,
+    lag_max_ms: i64,
+    mode: &str,
+    quorum: Option<(i64, i64)>,
+) -> WiringSpec {
+    let mut w = wiring_inconsistency(opts, lag_min_ms, lag_max_ms);
+    blueprint_wiring::mutate::set_store_consistency(&mut w, "ut_db", mode, quorum)
+        .expect("ut_db consistency mode");
+    w
+}
+
+/// The consistency-matrix variant of the workflow: `ReadUserTimeline` and
+/// `WriteUserTimeline` go straight to the replicated `ut_db` (no per-replica
+/// cache, no random post fan-out on the read path), so a timeline
+/// completion's observed version is exactly what the store served — the
+/// signal the consistency oracle classifies. Everything else matches
+/// [`workflow`]. (The cached path stays in [`wiring_inconsistency`]/fig. 8,
+/// whose *point* is the cross-system anomaly; this variant isolates the
+/// store layer so the consistency-mode guarantees are crisp.)
+pub fn workflow_direct_timeline() -> WorkflowSpec {
+    let mut wf = workflow();
+    let ut = wf
+        .services
+        .get_mut("UserTimelineServiceImpl")
+        .expect("user timeline service");
+    ut.deps.retain(|d| d.name == "ut_db");
+    ut.behaviors.insert(
+        "ReadUserTimeline".into(),
+        Behavior::build()
+            .compute(cost::LIGHT_NS, cost::ALLOC)
+            .db_read("ut_db", KeyExpr::Entity)
+            .done(),
+    );
+    ut.behaviors.insert(
+        "WriteUserTimeline".into(),
+        Behavior::build()
+            .compute(cost::LIGHT_NS, cost::ALLOC)
+            .db_write("ut_db", KeyExpr::Entity)
+            .done(),
+    );
+    wf.validate().expect("direct-timeline workflow consistent");
+    wf
+}
+
+/// Wiring for [`workflow_direct_timeline`]: the replicated-`ut_db` topology
+/// of [`wiring_inconsistency`] (two `UserTimelineService` instances behind a
+/// load balancer) minus the per-replica caches, with an explicit consistency
+/// mode on the store. The consistency-matrix bench compiles its three arms
+/// from this.
+pub fn wiring_direct_timeline(
+    opts: &WiringOpts,
+    lag_min_ms: i64,
+    lag_max_ms: i64,
+    mode: &str,
+    quorum: Option<(i64, i64)>,
+) -> WiringSpec {
+    let mut w = WiringSpec::new("dsb_social_network_consistency");
+    let mods = standard_scaffolding(&mut w, opts).expect("scaffolding");
+    let mods: Vec<&str> = mods.iter().map(String::as_str).collect();
+    declare_backends(&mut w);
+    w.define_kw(
+        "ut_db",
+        "MongoDB",
+        vec![],
+        vec![
+            ("replicas", Arg::Int(2)),
+            ("lag_min_ms", Arg::Int(lag_min_ms)),
+            ("lag_max_ms", Arg::Int(lag_max_ms)),
+        ],
+    )
+    .expect("wiring");
+
+    w.service("unique_id", "UniqueIdServiceImpl", &[], &mods)
+        .expect("wiring");
+    w.service("url_shorten", "UrlShortenServiceImpl", &["url_db"], &mods)
+        .expect("wiring");
+    w.service(
+        "user_mention",
+        "UserMentionServiceImpl",
+        &["user_cache", "user_db"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service("media", "MediaServiceImpl", &["media_db"], &mods)
+        .expect("wiring");
+    w.service("user", "UserServiceImpl", &["user_cache", "user_db"], &mods)
+        .expect("wiring");
+    w.service(
+        "social_graph",
+        "SocialGraphServiceImpl",
+        &["sg_cache", "sg_db"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service(
+        "text",
+        "TextServiceImpl",
+        &["url_shorten", "user_mention"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service(
+        "post_storage",
+        "PostStorageServiceImpl",
+        &["post_cache", "post_db"],
+        &mods,
+    )
+    .expect("wiring");
+    // Two cache-less user-timeline replicas behind an LB: every read is a
+    // store read.
+    w.service(
+        "user_timeline_a",
+        "UserTimelineServiceImpl",
+        &["ut_db"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service(
+        "user_timeline_b",
+        "UserTimelineServiceImpl",
+        &["ut_db"],
+        &mods,
+    )
+    .expect("wiring");
+    w.define_kw(
+        "user_timeline",
+        "LoadBalancer",
+        vec![Arg::r("user_timeline_a"), Arg::r("user_timeline_b")],
+        vec![("policy", Arg::Str("random".into()))],
+    )
+    .expect("wiring");
+    w.service(
+        "home_timeline",
+        "HomeTimelineServiceImpl",
+        &["ht_cache", "post_storage", "social_graph"],
+        &mods,
+    )
+    .expect("wiring");
+    w.service(
+        "compose_post",
+        "ComposePostServiceImpl",
+        &[
+            "text",
+            "unique_id",
+            "media",
+            "user",
+            "post_storage",
+            "user_timeline",
+            "home_timeline",
+        ],
+        &mods,
+    )
+    .expect("wiring");
+    w.service(
+        "gateway",
+        "GatewayServiceImpl",
+        &["compose_post", "home_timeline", "user_timeline"],
+        &mods,
+    )
+    .expect("wiring");
+    finish_monolith(&mut w, opts).expect("monolith grouping");
+    blueprint_wiring::mutate::set_store_consistency(&mut w, "ut_db", mode, quorum)
+        .expect("ut_db consistency mode");
+    w
+}
+
+/// Arms primary failover on the compiled system's `ut_db` store: appends one
+/// process per replica on the store's own host (the same-host rule the spec
+/// validator enforces) and attaches a [`FailoverSpec`] naming them, so a
+/// crash or partition of the primary's process promotes the most-caught-up
+/// replica after `detection_ns + election_ns`.
+///
+/// This is deliberately a *post-compile* mutation — failover topology is a
+/// deployment concern, like the reconfiguration plans, not a wiring concern —
+/// so benches clone [`blueprint_core::CompiledApp::system`] and arm it.
+pub fn arm_ut_db_failover(
+    spec: &mut blueprint_simrt::SystemSpec,
+    detection_ns: blueprint_simrt::SimTime,
+    election_ns: blueprint_simrt::SimTime,
+) -> Result<(), blueprint_simrt::SimError> {
+    use blueprint_simrt::{BackendRtKind, FailoverSpec, ProcessSpec, SimError};
+    let b = spec
+        .backends
+        .iter()
+        .position(|b| b.name == "ut_db")
+        .ok_or_else(|| SimError::BadSpec("no ut_db backend to arm".into()))?;
+    let host = spec.processes[spec.backends[b].process].host;
+    let n = match &spec.backends[b].kind {
+        BackendRtKind::Store { replicas, .. } => *replicas as usize,
+        _ => return Err(SimError::BadSpec("ut_db is not a store".into())),
+    };
+    let base = spec.processes.len();
+    for r in 0..n {
+        spec.processes.push(ProcessSpec {
+            name: format!("ut_db_replica_{r}"),
+            host,
+            gc: None,
+        });
+    }
+    let BackendRtKind::Store { failover, .. } = &mut spec.backends[b].kind else {
+        unreachable!("checked above");
+    };
+    *failover = Some(FailoverSpec {
+        replica_processes: (base..base + n).collect(),
+        detection_ns,
+        election_ns,
+    });
+    Ok(())
+}
+
 /// The paper's §6.4 SocialNetwork workload mix: 60% ReadHomeTimeline,
 /// 30% ReadUserTimeline, 10% ComposePost.
 pub fn paper_mix() -> ApiMix {
@@ -943,5 +1165,58 @@ mod tests {
     #[test]
     fn paper_mix_has_three_apis() {
         assert_eq!(paper_mix().len(), 3);
+    }
+
+    /// `read_replica` is the historical default spelled out: the consistency
+    /// variant must compile to the exact same system spec.
+    #[test]
+    fn consistency_wiring_read_replica_matches_inconsistency_variant() {
+        let wf = workflow();
+        let opts = WiringOpts::default();
+        let base = Blueprint::new()
+            .compile(&wf, &wiring_inconsistency(&opts, 50, 700))
+            .unwrap();
+        let named = Blueprint::new()
+            .compile(
+                &wf,
+                &wiring_consistency(&opts, 50, 700, "read_replica", None),
+            )
+            .unwrap();
+        assert_eq!(base.system(), named.system());
+    }
+
+    /// Arming failover appends one same-host process per replica and boots;
+    /// crashing the primary's process promotes a replica (generation bump).
+    #[test]
+    fn armed_ut_db_failover_promotes_on_primary_crash() {
+        use blueprint_simrt::time::ms;
+        let wf = workflow();
+        let opts = WiringOpts::default();
+        let app = Blueprint::new()
+            .compile(&wf, &wiring_consistency(&opts, 50, 700, "session", None))
+            .unwrap();
+        let mut system = app.system().clone();
+        let before = system.processes.len();
+        arm_ut_db_failover(&mut system, ms(20), ms(20)).unwrap();
+        assert_eq!(system.processes.len(), before + 2);
+        let mut sim = blueprint_simrt::Sim::new(
+            &system,
+            blueprint_simrt::SimConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let primary = sim.store_serving_process("ut_db").unwrap();
+        sim.inject_fault(&blueprint_simrt::Fault::ProcessCrash {
+            process: primary.clone(),
+            restart_delay_ns: secs(30),
+        })
+        .unwrap();
+        sim.run_until(sim.now() + secs(1));
+        assert_eq!(sim.store_generation("ut_db").unwrap(), 1);
+        let promoted = sim.store_serving_process("ut_db").unwrap();
+        assert_ne!(promoted, primary);
+        assert!(promoted.starts_with("ut_db_replica_"));
     }
 }

@@ -36,6 +36,19 @@
 //!   counterpart (the drainless arm's error spike, the drained arm's zero
 //!   unavailability) is asserted by `ablation_reconfig` itself (see
 //!   `results/reconfig_matrix.txt`).
+//! * **BP016 stale-read-hazard / BP017 failover-lost-write** — checked
+//!   statically against the replicated SocialNetwork store the consistency
+//!   matrix measures. The unguarded `wiring_inconsistency` variant (2 read
+//!   replicas, 50–700 ms async lag, read-after-write through `ut_db`) fires
+//!   BP016; `attach_session_consistency` — the rule's suggested one-line fix
+//!   — silences it. BP017 is plan-relative like BP012: a plan that kills
+//!   `ut_db` fires on every arm acking writes at w=1 (including the
+//!   session arm — read-your-writes is not durability), and the quorum fix
+//!   `set_store_consistency(.., "quorum", (2, 2))` silences both rules at
+//!   once. The dynamic counterpart — the unguarded arm's stale reads and
+//!   crash-lost writes, and the guarded arms' empty anomaly columns — is
+//!   asserted by `ablation_consistency` (see
+//!   `results/consistency_matrix.txt`).
 //!
 //! Output goes to stdout and `results/lint_validation.txt`; the file is
 //! timestamp-free and byte-identical across `BLUEPRINT_THREADS` settings
@@ -45,7 +58,7 @@
 use std::fmt::Write as _;
 use std::io::Write as _;
 
-use blueprint_apps::{hotel_reservation as hr, WiringOpts};
+use blueprint_apps::{hotel_reservation as hr, social_network as sn, WiringOpts};
 use blueprint_bench::{report, Mode};
 use blueprint_core::Blueprint;
 use blueprint_lint::{Diagnostic, LintConfig, Linter};
@@ -227,6 +240,24 @@ fn bp012_findings(wiring: &WiringSpec, drainless: bool) -> Vec<Diagnostic> {
         .into_iter()
         .filter(|d| d.rule == "BP012")
         .collect()
+}
+
+/// BP016/BP017 findings for one consistency arm of the replicated
+/// SocialNetwork. Both rules need the behavior programs (BP016's
+/// read-after-write path check) and BP017 additionally needs the plan, so
+/// the arms are linted manually like the BP012 ones; `kill_store` projects
+/// the consistency matrix's primary-crash scenario onto the plan.
+fn consistency_findings(wiring: &WiringSpec, kill_store: bool) -> Vec<Diagnostic> {
+    let wf = sn::workflow();
+    let app = Blueprint::new()
+        .without_artifacts()
+        .compile(&wf, wiring)
+        .expect("consistency arms still compile — lint never fails the build");
+    let mut cfg = LintConfig::default();
+    if kill_store {
+        cfg = cfg.with_restart_target("ut_db", true);
+    }
+    Linter::new(cfg).run_with_workflow(app.ir(), wiring, Some(&wf))
 }
 
 fn crash_scenario(duration_s: u64) -> FaultScenario {
@@ -438,6 +469,59 @@ fn main() {
         );
     }
 
+    // BP016/BP017 against the consistency-matrix arms. The unguarded
+    // replicated store fires BP016; the session fix silences it but not
+    // BP017 (session mode still acks on the primary alone); the quorum fix
+    // silences both. The anomaly columns these predict are asserted by
+    // ablation_consistency.
+    let sn_opts = WiringOpts::default().without_tracing();
+    let exposed = sn::wiring_inconsistency(&sn_opts, 50, 700);
+    let mut session_fixed = exposed.clone();
+    mutate::attach_session_consistency(&mut session_fixed, "ut_db").expect("session fix");
+    let mut quorum_fixed = exposed.clone();
+    mutate::set_store_consistency(&mut quorum_fixed, "ut_db", "quorum", Some((2, 2)))
+        .expect("quorum fix");
+    let rule_of = |diags: &[Diagnostic], rule: &str| -> Vec<Diagnostic> {
+        diags.iter().filter(|d| d.rule == rule).cloned().collect()
+    };
+    let exposed_diags = consistency_findings(&exposed, true);
+    let session_diags = consistency_findings(&session_fixed, true);
+    let quorum_diags = consistency_findings(&quorum_fixed, true);
+    let bp016_exposed = rule_of(&exposed_diags, "BP016");
+    let bp017_exposed = rule_of(&exposed_diags, "BP017");
+    let bp016_session = rule_of(&session_diags, "BP016");
+    let bp017_session = rule_of(&session_diags, "BP017");
+    let bp016_quorum = rule_of(&quorum_diags, "BP016");
+    let bp017_quorum = rule_of(&quorum_diags, "BP017");
+    let bp017_planless = rule_of(&consistency_findings(&exposed, false), "BP017");
+    assert_eq!(bp016_exposed.len(), 1, "{bp016_exposed:?}");
+    assert_eq!(bp016_exposed[0].nodes[0].name, "ut_db");
+    assert_eq!(
+        bp016_exposed[0].bound,
+        Some(700.0),
+        "BP016 carries the max lag as its bound"
+    );
+    assert_eq!(bp017_exposed.len(), 1, "{bp017_exposed:?}");
+    assert!(
+        bp016_session.is_empty(),
+        "attach_session_consistency must silence BP016: {bp016_session:?}"
+    );
+    assert_eq!(
+        bp017_session.len(),
+        1,
+        "session mode still acks at w=1 — the plan hazard stands: {bp017_session:?}"
+    );
+    for (rule, found) in [("BP016", &bp016_quorum), ("BP017", &bp017_quorum)] {
+        assert!(
+            found.is_empty(),
+            "the quorum fix must silence {rule}: {found:?}"
+        );
+    }
+    assert!(
+        bp017_planless.is_empty(),
+        "BP017 is plan-relative — no plan, no findings: {bp017_planless:?}"
+    );
+
     // ---- Dynamic side: the fault matrix over the same arms. -------------
     let bp001_cells = run_matrix(
         &[
@@ -558,6 +642,27 @@ fn main() {
         &refs(&bp012_replicated),
     );
     static_lines(&mut out, "BP012", "drained", &refs(&bp012_drained));
+    static_lines(
+        &mut out,
+        "BP016",
+        "replicated-exposed",
+        &refs(&bp016_exposed),
+    );
+    static_lines(&mut out, "BP016", "session-fix", &refs(&bp016_session));
+    static_lines(&mut out, "BP016", "quorum-fix", &refs(&bp016_quorum));
+    static_lines(
+        &mut out,
+        "BP017",
+        "kill-ut_db-exposed",
+        &refs(&bp017_exposed),
+    );
+    static_lines(
+        &mut out,
+        "BP017",
+        "kill-ut_db+session",
+        &refs(&bp017_session),
+    );
+    static_lines(&mut out, "BP017", "kill-ut_db+quorum", &refs(&bp017_quorum));
     out.push('\n');
     let _ = write!(
         out,
@@ -615,6 +720,15 @@ fn main() {
          retrying callers, drain first) silences it (dynamic bound held in \
          results/reconfig_matrix.txt: drained arms show zero unavailability, \
          the unprotected drainless arm shows the spike)",
+    );
+    let _ = writeln!(
+        out,
+        "  BP016/BP017 cover the consistency matrix: the unguarded replicated \
+         ut_db (50-700 ms lag) fires BP016, a plan killing it fires BP017 at \
+         w=1; attach_session_consistency silences BP016 only (read-your-writes \
+         is not durability) and the quorum fix silences both (dynamic bound \
+         held in results/consistency_matrix.txt: the unguarded arm's stale \
+         reads and crash-lost writes vanish on the guarded arms)",
     );
     print!("{out}");
     std::fs::create_dir_all("results").expect("results dir");

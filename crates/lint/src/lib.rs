@@ -29,6 +29,8 @@
 //! | BP013 | capacity-saturation   | deny     | a machine's analytic utilization reaches 1 at the declared target rate (warn above the knee threshold) |
 //! | BP014 | infeasible-timeout    | deny     | a timeout/deadline budget below the analytic sojourn even unloaded (warn when only the loaded estimate misses) |
 //! | BP015 | autoscaler-ceiling    | warn     | the autoscaler's max replicas still leave a replica group saturated at peak rate |
+//! | BP016 | stale-read-hazard     | warn     | a read-after-write path through an async-replicated store with no session or quorum guarantee |
+//! | BP017 | failover-lost-write   | warn     | a fault/restart plan kills an async-replicated store whose effective write quorum is below 2 |
 //!
 //! BP013–BP015 run only when the caller supplies the workflow spec (the
 //! `Behavior` programs feed the [`model`] module's visit-ratio
@@ -357,7 +359,7 @@ mod tests {
         let ids: Vec<&str> = rules.iter().map(|r| r.id).collect();
         for expect in [
             "BP001", "BP002", "BP003", "BP004", "BP005", "BP006", "BP007", "BP008", "BP009",
-            "BP010", "BP011", "BP012", "BP013", "BP014", "BP015",
+            "BP010", "BP011", "BP012", "BP013", "BP014", "BP015", "BP016", "BP017",
         ] {
             assert!(ids.contains(&expect), "missing rule {expect}");
         }

@@ -2,6 +2,7 @@
 
 pub mod backend_guard;
 pub mod capacity;
+pub mod consistency;
 pub mod deadline_propagation;
 pub mod idempotency;
 pub mod load_balancing;
@@ -58,5 +59,6 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(retry_budget::RetryBudgetFanout),
         Box::new(restart_hazard::RestartHazard),
         Box::new(capacity::Capacity),
+        Box::new(consistency::StoreConsistency),
     ]
 }

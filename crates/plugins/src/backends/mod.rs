@@ -95,6 +95,27 @@ pub fn prop_us_to_ns(ir: &IrGraph, node: NodeId, key: &str, default_ns: u64) -> 
         .unwrap_or(default_ns)
 }
 
+/// Lowers the `consistency` / `quorum_w` / `quorum_r` wiring kwargs of a
+/// store instance to a [`ConsistencyMode`]. Accepted `consistency` values
+/// are the mode labels (`"primary"`, `"read_replica"`, `"quorum"`,
+/// `"session"`); anything else — including the kwarg's absence — lowers to
+/// the historical `ReadReplica` (the lints, not the lowering, flag hazards).
+pub fn store_consistency(ir: &IrGraph, node: NodeId) -> blueprint_simrt::ConsistencyMode {
+    use blueprint_simrt::ConsistencyMode;
+    let Ok(n) = ir.node(node) else {
+        return ConsistencyMode::ReadReplica;
+    };
+    match n.props.str("consistency").unwrap_or("read_replica") {
+        "primary" => ConsistencyMode::Primary,
+        "quorum" => ConsistencyMode::Quorum {
+            w: n.props.int_or("quorum_w", 2).max(1) as u32,
+            r: n.props.int_or("quorum_r", 2).max(1) as u32,
+        },
+        "session" => ConsistencyMode::Session,
+        _ => ConsistencyMode::ReadReplica,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

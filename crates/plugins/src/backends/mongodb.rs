@@ -17,7 +17,9 @@ pub const KIND: &str = "backend.nosql.mongodb";
 /// Wiring kwargs: `read_latency_us`, `write_latency_us`, `cpu_per_op_us`,
 /// `cpu_per_item_us`, `replicas` (read replicas), `lag_min_ms`/`lag_max_ms`
 /// (asynchronous replication lag — the §6.2.2 cross-system-inconsistency
-/// mechanism).
+/// mechanism), and `consistency` (`"primary"`, `"read_replica"`, `"quorum"`
+/// with `quorum_w`/`quorum_r`, or `"session"` — the replicated store's
+/// read/write discipline).
 pub struct MongoDbPlugin;
 
 impl Plugin for MongoDbPlugin {
@@ -87,6 +89,8 @@ impl Plugin for MongoDbPlugin {
                 ms(n.props.int_or("lag_min_ms", 50) as u64),
                 ms(n.props.int_or("lag_max_ms", 700) as u64),
             ),
+            consistency: crate::backends::store_consistency(ir, node),
+            failover: None,
         })
     }
 
@@ -155,5 +159,57 @@ mod tests {
             .unwrap()
             .content
             .contains("members=3"));
+    }
+
+    #[test]
+    fn consistency_kwargs_lower_to_modes() {
+        use blueprint_simrt::ConsistencyMode;
+        let wf = WorkflowSpec::new("w");
+        let wiring = WiringSpec::new("w");
+        let ctx = BuildCtx {
+            workflow: &wf,
+            wiring: &wiring,
+        };
+        let lower = |kwargs: Vec<(&str, Arg)>| {
+            let mut ir = IrGraph::new("t");
+            let decl = InstanceDecl {
+                name: "db".into(),
+                callee: "MongoDB".into(),
+                args: vec![],
+                kwargs: kwargs
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+                server_modifiers: vec![],
+            };
+            let n = MongoDbPlugin.build_node(&decl, &mut ir, &ctx).unwrap();
+            match MongoDbPlugin.lower_backend(n, &ir).unwrap() {
+                BackendRtKind::Store { consistency, .. } => consistency,
+                other => panic!("not a store: {other:?}"),
+            }
+        };
+        // Absent kwarg → the historical default.
+        assert_eq!(lower(vec![]), ConsistencyMode::ReadReplica);
+        assert_eq!(
+            lower(vec![("consistency", Arg::Str("primary".into()))]),
+            ConsistencyMode::Primary
+        );
+        assert_eq!(
+            lower(vec![("consistency", Arg::Str("session".into()))]),
+            ConsistencyMode::Session
+        );
+        assert_eq!(
+            lower(vec![
+                ("consistency", Arg::Str("quorum".into())),
+                ("quorum_w", Arg::Int(2)),
+                ("quorum_r", Arg::Int(3)),
+            ]),
+            ConsistencyMode::Quorum { w: 2, r: 3 }
+        );
+        // Quorum parameters default to a 2/2 majority of a 3-member set.
+        assert_eq!(
+            lower(vec![("consistency", Arg::Str("quorum".into()))]),
+            ConsistencyMode::Quorum { w: 2, r: 2 }
+        );
     }
 }

@@ -75,6 +75,8 @@ impl Plugin for MySqlPlugin {
                 ms(n.props.int_or("lag_min_ms", 50) as u64),
                 ms(n.props.int_or("lag_max_ms", 700) as u64),
             ),
+            consistency: crate::backends::store_consistency(ir, node),
+            failover: None,
         })
     }
 

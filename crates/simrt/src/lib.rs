@@ -52,8 +52,9 @@ pub use evq::EvQueueKind;
 pub use sim::{Completion, EntryHandle, Sim, SimConfig};
 pub use spec::{
     AutoscalerSpec, BackendRtKind, BackendSpec, BreakerSpec, Change, ChaosSpec, ClientSpec,
-    DeadlineSpec, DepBinding, EntrySpec, ExpBackoff, Fault, FaultPlan, GcSpec, HostSpec, LbPolicy,
-    ProcessSpec, ReconfigPlan, RetryBudgetSpec, ServiceSpec, ShedSpec, SystemSpec, TransportSpec,
+    ConsistencyMode, DeadlineSpec, DepBinding, EntrySpec, ExpBackoff, FailoverSpec, Fault,
+    FaultPlan, GcSpec, HostSpec, LbPolicy, ProcessSpec, ReconfigPlan, RetryBudgetSpec, ServiceSpec,
+    ShedSpec, SystemSpec, TransportSpec,
 };
 pub use time::{ms, secs, us, SimTime};
 

@@ -73,6 +73,12 @@ pub struct SimCounters {
     /// Canary rollouts rolled back to the saved wiring.
     #[serde(default)]
     pub canary_rollbacks: u64,
+    /// Store primary failovers executed (elections that promoted a replica).
+    #[serde(default)]
+    pub store_failovers: u64,
+    /// Quorum reads/writes rejected for lack of reachable members.
+    #[serde(default)]
+    pub quorum_rejections: u64,
 }
 
 impl SimCounters {
@@ -107,6 +113,8 @@ impl SimCounters {
         self.autoscale_downs += other.autoscale_downs;
         self.canary_promotions += other.canary_promotions;
         self.canary_rollbacks += other.canary_rollbacks;
+        self.store_failovers += other.store_failovers;
+        self.quorum_rejections += other.quorum_rejections;
     }
 }
 
@@ -125,6 +133,15 @@ pub struct BackendStats {
     pub stale_reads: u64,
     /// Evictions due to capacity.
     pub evictions: u64,
+    /// Acked writes discarded at a primary failover (never replicated).
+    #[serde(default)]
+    pub lost_writes: u64,
+    /// Session-mode reads redirected to the primary by the session floor.
+    #[serde(default)]
+    pub session_redirects: u64,
+    /// Failovers that changed this store's serving member.
+    #[serde(default)]
+    pub failovers: u64,
 }
 
 impl BackendStats {

@@ -38,8 +38,8 @@ use crate::evq::{self, EvKey, EvQueue, EvQueueKind, EventShards};
 use crate::host::{JobId, PsHost, NO_PROC};
 use crate::metrics::{BackendStats, Metrics, SimCounters};
 use crate::spec::{
-    AutoscalerSpec, BackendRtKind, Change, ClientSpec, DepBinding, Fault, FaultPlan, LbPolicy,
-    ReconfigPlan, ShedSpec, SystemSpec, TransportSpec,
+    AutoscalerSpec, BackendRtKind, Change, ClientSpec, ConsistencyMode, DepBinding, Fault,
+    FaultPlan, LbPolicy, ReconfigPlan, ShedSpec, SystemSpec, TransportSpec,
 };
 use crate::time::SimTime;
 use crate::{Result, SimError};
@@ -287,6 +287,9 @@ enum CallErr {
     /// The serving replica was draining (rolling deploy or scale-in); the
     /// request failed fast instead of landing on a stopping instance.
     Drain,
+    /// A quorum-mode store op could not assemble its read/write quorum
+    /// (too few members up and reachable).
+    Quorum,
 }
 
 /// Result of a call attempt.
@@ -316,6 +319,7 @@ impl CallErr {
             CallErr::Deadline => "deadline",
             CallErr::Shed => "shed",
             CallErr::Drain => "drain",
+            CallErr::Quorum => "quorum",
         }
     }
 }
@@ -837,9 +841,20 @@ enum Ev {
     },
     ReplicaApply {
         backend: usize,
-        replica: usize,
+        /// Member index (0 = boot primary; replicas are members 1..).
+        member: usize,
         key: u64,
         version: u64,
+        /// Store generation at scheduling time; a failover in between
+        /// drops the apply (in-flight async replication dies with the old
+        /// primary).
+        gen: u64,
+    },
+    /// A store failover election fires after detection + election delays
+    /// (ignored when `gen` is stale or the primary recovered in time).
+    StoreFailover {
+        backend: usize,
+        gen: u64,
     },
     /// A scheduled fault fires.
     FaultFire {
@@ -1248,12 +1263,61 @@ impl CacheRt {
     }
 }
 
-/// Store runtime (primary + replicas).
+/// One member of a replicated store: its key→version map plus the applied
+/// bookkeeping failover elections rank candidates by.
+#[derive(Debug, Default)]
+struct StoreMember {
+    map: HashMap<u64, u64>,
+    /// Owning process (the store's own process unless a failover spec
+    /// placed this member elsewhere). Same host as the primary's process by
+    /// validation, so every member stays on one simulation lane.
+    proc: u32,
+    /// Applied write count (election tie-break).
+    applied: u64,
+    /// Highest version ever applied (election rank).
+    watermark: u64,
+}
+
+/// Store runtime. Member 0 is the boot primary; `primary` points at the
+/// *current* primary member, which moves only through failover elections.
 #[derive(Debug, Default)]
 struct StoreRt {
-    primary: HashMap<u64, u64>,
-    replicas: Vec<HashMap<u64, u64>>,
+    members: Vec<StoreMember>,
+    /// Index of the current primary member.
+    primary: usize,
+    /// Election generation: bumped per promotion; stale scheduled elections
+    /// and in-flight replica applies from an older generation are dropped.
+    gen: u64,
+    /// Round-robin cursor over non-primary members (replica reads).
     rr: usize,
+    /// Failover machinery enabled (spec had a `FailoverSpec`). When false
+    /// the store behaves exactly as before this field existed: no extra
+    /// events, no extra RNG draws, unavailable while its process is down.
+    armed: bool,
+    /// Detection + election delays (ns) when armed.
+    detection_ns: SimTime,
+    election_ns: SimTime,
+    /// An election event is already scheduled (dedup guard).
+    election_pending: bool,
+    /// Session mode: entity → lowest version its reads may observe
+    /// (read-your-writes floor, raised by both acked writes and reads).
+    session_floor: HashMap<u64, u64>,
+}
+
+impl StoreRt {
+    /// The current primary's version for a key (0 when absent).
+    fn primary_version(&self, key: u64) -> u64 {
+        self.members[self.primary]
+            .map
+            .get(&key)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Non-primary member indices in index order (replica read candidates).
+    fn peer_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.members.len()).filter(move |&i| i != self.primary)
+    }
 }
 
 /// Backend runtime. Stats accumulate densely here and are mirrored into the
@@ -1522,6 +1586,8 @@ fn ev_home_host(sh: &Shared, ev: &Ev) -> Option<usize> {
         // `svc_active`/`svc_draining`/`canary_route` and client rewiring —
         // running them in the ctrl slot is what makes a plan byte-identical
         // at any thread count.
+        // Store failover joins them: an election re-points the store's
+        // serving process (`backend_proc`), which shard workers read.
         Ev::FaultFire { .. }
         | Ev::ProcRestart { .. }
         | Ev::ChaosFire
@@ -1529,7 +1595,8 @@ fn ev_home_host(sh: &Shared, ev: &Ev) -> Option<usize> {
         | Ev::DrainDone { .. }
         | Ev::RollAdvance { .. }
         | Ev::AutoscaleTick { .. }
-        | Ev::CanaryEval { .. } => None,
+        | Ev::CanaryEval { .. }
+        | Ev::StoreFailover { .. } => None,
     }
 }
 
@@ -1776,8 +1843,32 @@ impl Sim {
             .enumerate()
             .map(|(bi, b)| {
                 let mut store = StoreRt::default();
-                if let BackendRtKind::Store { replicas, .. } = &b.kind {
-                    store.replicas = vec![HashMap::new(); *replicas as usize];
+                if let BackendRtKind::Store {
+                    replicas, failover, ..
+                } = &b.kind
+                {
+                    // Member 0 is the boot primary; replicas follow in spec
+                    // order (identical iteration order to the old
+                    // `replicas` vec, so default-mode runs are unchanged).
+                    store.members.push(StoreMember {
+                        proc: b.process as u32,
+                        ..StoreMember::default()
+                    });
+                    for r in 0..*replicas as usize {
+                        let proc = failover
+                            .as_ref()
+                            .map(|fo| fo.replica_processes[r])
+                            .unwrap_or(b.process);
+                        store.members.push(StoreMember {
+                            proc: proc as u32,
+                            ..StoreMember::default()
+                        });
+                    }
+                    if let Some(fo) = failover {
+                        store.armed = true;
+                        store.detection_ns = fo.detection_ns;
+                        store.election_ns = fo.election_ns;
+                    }
                 }
                 BackendRt {
                     name: names.intern(&b.name),
@@ -2575,8 +2666,12 @@ impl Sim {
             Ev::ProcRestart { proc, gen } => {
                 if self.sh.proc_gen[proc] == gen && self.sh.proc_down[proc] {
                     self.sh.proc_down[proc] = false;
+                    // A restarted store member (including a deposed primary)
+                    // resyncs from the current primary before serving again.
+                    self.resync_store_members(proc);
                 }
             }
+            Ev::StoreFailover { backend, gen } => self.on_store_failover(backend, gen),
             Ev::ChaosFire => self.on_chaos_fire(),
             Ev::ReconfigFire { idx } => self.on_reconfig_fire(idx),
             Ev::DrainDone { token } => self.on_drain_done(token),
@@ -2763,41 +2858,47 @@ impl Sim {
         Ok(self.backend_ref(b).cache.len())
     }
 
-    /// Pre-fills a store (primary and all replicas) with keys `0..n`.
+    /// Pre-fills a store (every member) with keys `0..n`.
     pub fn store_fill(&mut self, backend: &str, n: u64, version: u64) -> Result<()> {
         let b = self.backend_idx(backend)?;
         let store = &mut self.backend_rt_mut(b).store;
-        for k in 0..n {
-            store.primary.insert(k, version);
-            for r in &mut store.replicas {
-                r.insert(k, version);
+        for m in &mut store.members {
+            for k in 0..n {
+                m.map.insert(k, version);
             }
+            m.applied += n;
+            m.watermark = m.watermark.max(version);
         }
         Ok(())
     }
 
-    /// The primary's version for a key (0 if absent).
+    /// The current primary's version for a key (0 if absent).
     pub fn store_primary_version(&self, backend: &str, key: u64) -> Result<u64> {
         let b = self.backend_idx(backend)?;
-        Ok(self
-            .backend_ref(b)
-            .store
-            .primary
-            .get(&key)
-            .copied()
-            .unwrap_or(0))
+        Ok(self.backend_ref(b).store.primary_version(key))
     }
 
-    /// The replicas' versions for a key (empty when unreplicated).
+    /// The non-primary members' versions for a key, in member order (empty
+    /// when unreplicated).
     pub fn store_replica_versions(&self, backend: &str, key: u64) -> Result<Vec<u64>> {
         let b = self.backend_idx(backend)?;
-        Ok(self
-            .backend_ref(b)
-            .store
-            .replicas
-            .iter()
-            .map(|r| r.get(&key).copied().unwrap_or(0))
+        let store = &self.backend_ref(b).store;
+        Ok(store
+            .peer_indices()
+            .map(|i| store.members[i].map.get(&key).copied().unwrap_or(0))
             .collect())
+    }
+
+    /// Name of the process currently serving a store (moves on failover).
+    pub fn store_serving_process(&self, backend: &str) -> Result<String> {
+        let b = self.backend_idx(backend)?;
+        Ok(self.proc_names[self.sh.backend_proc[b] as usize].clone())
+    }
+
+    /// A store's election generation (0 until the first failover).
+    pub fn store_generation(&self, backend: &str) -> Result<u64> {
+        let b = self.backend_idx(backend)?;
+        Ok(self.backend_ref(b).store.gen)
     }
 
     fn backend_idx(&self, name: &str) -> Result<usize> {

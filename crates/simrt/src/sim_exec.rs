@@ -265,13 +265,50 @@ impl<'a> ShardExec<'a> {
                 }
                 self.wake_waiters(client);
             }
-            Ev::ReplicaApply { backend, replica, key, version } => {
+            Ev::ReplicaApply { backend, member, key, version, gen } => {
+                let sh = self.sh;
+                let (cur_gen, armed, serving_proc, member_proc) = {
+                    let store = &self.backend_mut(backend).store;
+                    (
+                        store.gen,
+                        store.armed,
+                        sh.backend_proc[backend] as usize,
+                        store.members.get(member).map(|m| m.proc as usize),
+                    )
+                };
+                let Some(member_proc) = member_proc else { return };
+                // In-flight replication from a deposed primary dies with it.
+                if cur_gen != gen {
+                    return;
+                }
+                if armed {
+                    // The member's process is down: the apply is lost; the
+                    // restart resync will catch the member up instead.
+                    if sh.proc_down[member_proc] {
+                        return;
+                    }
+                    // Replication link fully cut: defer the apply to the
+                    // partition's heal time (replica catch-up). Degraded
+                    // (lossy but not cut) links deliver as usual.
+                    if let Some(lf) = sh.link_faults.get(&(serving_proc, member_proc)) {
+                        if lf.loss >= 1.0 && self.now < lf.until {
+                            let until = lf.until;
+                            self.push_ev(
+                                until,
+                                Ev::ReplicaApply { backend, member, key, version, gen },
+                            );
+                            return;
+                        }
+                    }
+                }
                 let store = &mut self.backend_mut(backend).store;
-                if let Some(r) = store.replicas.get_mut(replica) {
-                    let slot = r.entry(key).or_insert(0);
+                if let Some(m) = store.members.get_mut(member) {
+                    let slot = m.map.entry(key).or_insert(0);
                     if version > *slot {
                         *slot = version;
                     }
+                    m.applied += 1;
+                    m.watermark = m.watermark.max(version);
                 }
             }
             // Control events never reach shard queues (`ev_home_host`
@@ -283,7 +320,8 @@ impl<'a> ShardExec<'a> {
             | Ev::DrainDone { .. }
             | Ev::RollAdvance { .. }
             | Ev::AutoscaleTick { .. }
-            | Ev::CanaryEval { .. } => {
+            | Ev::CanaryEval { .. }
+            | Ev::StoreFailover { .. } => {
                 unreachable!("control event on a shard queue")
             }
         }
@@ -301,8 +339,12 @@ impl<'a> ShardExec<'a> {
                 self.push_ev(t, Ev::DeliverResponse { frame, seq, attempt, outcome });
             }
             JobCont::BackendExec { req, latency_ns } => {
-                let outcome = self.apply_backend_op(&req);
-                let t = self.now + latency_ns + req.reply.net_ns;
+                // `extra_ns` is the consistency surcharge: the slowest
+                // quorum member's replication lag on a quorum write, or one
+                // extra primary round on a session-redirected read. Zero in
+                // the default modes.
+                let (outcome, extra_ns) = self.apply_backend_op(&req);
+                let t = self.now + latency_ns + extra_ns + req.reply.net_ns;
                 self.push_ev(
                     t,
                     Ev::DeliverResponse {
@@ -1273,11 +1315,26 @@ impl<'a> ShardExec<'a> {
         }
     }
 
-    /// Applies a backend op to its state, returning the outcome. Stats go to
-    /// the backend's dense counters (mirrored into `metrics` per run slice).
-    fn apply_backend_op(&mut self, req: &RequestMsg) -> CallOutcome {
+    /// Whether a store member can serve (process up and its link from the
+    /// store's serving process not fully cut). Only consulted on armed
+    /// stores — unarmed replicas are plain in-process state.
+    fn store_member_serves(&self, serving_proc: usize, member_proc: usize) -> bool {
+        if self.sh.proc_down[member_proc] {
+            return false;
+        }
+        match self.sh.link_faults.get(&(serving_proc, member_proc)) {
+            Some(lf) => !(lf.loss >= 1.0 && self.now < lf.until),
+            None => true,
+        }
+    }
+
+    /// Applies a backend op to its state, returning the outcome plus an
+    /// extra-latency surcharge (quorum ack / session redirect; 0 in the
+    /// default modes). Stats go to the backend's dense counters (mirrored
+    /// into `metrics` per run slice).
+    fn apply_backend_op(&mut self, req: &RequestMsg) -> (CallOutcome, u64) {
         let CallTarget::Backend { backend, op } = &req.target else {
-            return CallOutcome::failure(CallErr::Fault);
+            return (CallOutcome::failure(CallErr::Fault), 0);
         };
         let b = *backend;
         self.backend_mut(b).stats_dirty = true;
@@ -1287,7 +1344,7 @@ impl<'a> ShardExec<'a> {
                 let hit = backend_rt.cache.get(*key);
                 let stats = &mut backend_rt.stats;
                 stats.reads += 1;
-                match hit {
+                let outcome = match hit {
                     Some(version) => {
                         stats.hits += 1;
                         CallOutcome { ok: true, err: None, version, cache_hit: Some(true) }
@@ -1296,7 +1353,8 @@ impl<'a> ShardExec<'a> {
                         stats.misses += 1;
                         CallOutcome { ok: true, err: None, version: 0, cache_hit: Some(false) }
                     }
-                }
+                };
+                (outcome, 0)
             }
             BackendOp::CachePut { key, version } => {
                 let backend_rt = self.backend_mut(b);
@@ -1309,13 +1367,13 @@ impl<'a> ShardExec<'a> {
                 let evictions = cache.put(*key, *version, capacity, rng);
                 stats.writes += 1;
                 stats.evictions += evictions;
-                CallOutcome::success(0)
+                (CallOutcome::success(0), 0)
             }
             BackendOp::CacheDelete { key } => {
                 let backend_rt = self.backend_mut(b);
                 backend_rt.cache.delete(*key);
                 backend_rt.stats.writes += 1;
-                CallOutcome::success(0)
+                (CallOutcome::success(0), 0)
             }
             BackendOp::CacheMulti { key, write, version, .. } => {
                 if *write {
@@ -1327,7 +1385,7 @@ impl<'a> ShardExec<'a> {
                     let BackendRt { cache, rng, stats, .. } = backend_rt;
                     cache.put(*key, *version, capacity, rng);
                     stats.writes += 1;
-                    CallOutcome::success(0)
+                    (CallOutcome::success(0), 0)
                 } else {
                     let backend_rt = self.backend_mut(b);
                     let v = backend_rt.cache.get(*key);
@@ -1338,64 +1396,24 @@ impl<'a> ShardExec<'a> {
                     } else {
                         stats.misses += 1;
                     }
-                    CallOutcome {
-                        ok: true,
-                        err: None,
-                        version: v.unwrap_or(0),
-                        cache_hit: Some(v.is_some()),
-                    }
+                    (
+                        CallOutcome {
+                            ok: true,
+                            err: None,
+                            version: v.unwrap_or(0),
+                            cache_hit: Some(v.is_some()),
+                        },
+                        0,
+                    )
                 }
             }
-            BackendOp::StoreRead { key } => {
-                let backend_rt = self.backend_mut(b);
-                let store = &mut backend_rt.store;
-                let primary_version = store.primary.get(key).copied().unwrap_or(0);
-                let (version, from_replica) = if store.replicas.is_empty() {
-                    (primary_version, false)
-                } else {
-                    let i = store.rr % store.replicas.len();
-                    store.rr = store.rr.wrapping_add(1);
-                    (store.replicas[i].get(key).copied().unwrap_or(0), true)
-                };
-                let stats = &mut backend_rt.stats;
-                stats.reads += 1;
-                if from_replica && version < primary_version {
-                    stats.stale_reads += 1;
-                }
-                CallOutcome::success(version)
-            }
+            BackendOp::StoreRead { key } => self.store_read(b, *key, req.entity),
             BackendOp::StoreWrite { key, version } => {
-                let (lag_range, n_replicas) = {
-                    let backend_rt = self.backend_mut(b);
-                    let lag_range = match backend_rt.kind {
-                        BackendRtKind::Store { replication_lag_ns, .. } => replication_lag_ns,
-                        _ => (0, 0),
-                    };
-                    let store = &mut backend_rt.store;
-                    let slot = store.primary.entry(*key).or_insert(0);
-                    if *version > *slot {
-                        *slot = *version;
-                    }
-                    (lag_range, store.replicas.len())
-                };
-                for r in 0..n_replicas {
-                    // Per-replica lag draws come from the backend's stream.
-                    let lag = if lag_range.1 > lag_range.0 {
-                        self.backend_mut(b).rng.gen_range(lag_range.0..=lag_range.1)
-                    } else {
-                        lag_range.0
-                    };
-                    self.push_ev(
-                        self.now + lag,
-                        Ev::ReplicaApply { backend: b, replica: r, key: *key, version: *version },
-                    );
-                }
-                self.backend_mut(b).stats.writes += 1;
-                CallOutcome::success(0)
+                self.store_write(b, *key, *version, req.entity)
             }
             BackendOp::StoreScan { .. } => {
                 self.backend_mut(b).stats.reads += 1;
-                CallOutcome::success(0)
+                (CallOutcome::success(0), 0)
             }
             BackendOp::QueuePush => {
                 let (capacity, len) = {
@@ -1408,22 +1426,235 @@ impl<'a> ShardExec<'a> {
                 };
                 if len >= capacity {
                     self.counters.queue_drops += 1;
-                    CallOutcome::failure(CallErr::QueueFull)
+                    (CallOutcome::failure(CallErr::QueueFull), 0)
                 } else {
                     let entity = req.entity;
                     let backend_rt = self.backend_mut(b);
                     backend_rt.queue.push_back(entity);
                     backend_rt.stats.writes += 1;
-                    CallOutcome::success(0)
+                    (CallOutcome::success(0), 0)
                 }
             }
             BackendOp::QueuePop => {
                 let backend_rt = self.backend_mut(b);
                 backend_rt.queue.pop_front();
                 backend_rt.stats.reads += 1;
-                CallOutcome::success(0)
+                (CallOutcome::success(0), 0)
             }
         }
+    }
+
+    /// A store read under the store's consistency mode.
+    fn store_read(&mut self, b: usize, key: u64, entity: u64) -> (CallOutcome, u64) {
+        let sh = self.sh;
+        let serving_proc = sh.backend_proc[b] as usize;
+        let (mode, read_latency_ns) = match self.backend_ref(b).kind {
+            BackendRtKind::Store { consistency, read_latency_ns, .. } => {
+                (consistency, read_latency_ns)
+            }
+            _ => (ConsistencyMode::ReadReplica, 0),
+        };
+        // Pull the member layout out first (immutable), then mutate.
+        let (armed, peers): (bool, Vec<(usize, usize)>) = {
+            let store = &self.backend_ref(b).store;
+            (
+                store.armed,
+                store.peer_indices().map(|i| (i, store.members[i].proc as usize)).collect(),
+            )
+        };
+        let serves = |me: &Self, proc: usize| !armed || me.store_member_serves(serving_proc, proc);
+        match mode {
+            ConsistencyMode::Primary => {
+                let backend_rt = self.backend_mut(b);
+                let version = backend_rt.store.primary_version(key);
+                backend_rt.stats.reads += 1;
+                (CallOutcome::success(version), 0)
+            }
+            ConsistencyMode::ReadReplica | ConsistencyMode::Session => {
+                // Round-robin over serving peers, falling back to the
+                // primary when no peer can serve. The cursor advances
+                // exactly once per read (as it always did), so default-mode
+                // replica selection is byte-identical to the old model.
+                let chosen = if peers.is_empty() {
+                    None
+                } else {
+                    let n = peers.len();
+                    let start = {
+                        let store = &mut self.backend_mut(b).store;
+                        let s = store.rr % n;
+                        store.rr = store.rr.wrapping_add(1);
+                        s
+                    };
+                    (0..n)
+                        .map(|off| peers[(start + off) % n])
+                        .find(|&(_, proc)| serves(self, proc))
+                };
+                let mut redirect = false;
+                let (version, from_replica) = {
+                    let store = &self.backend_ref(b).store;
+                    match chosen {
+                        Some((i, _)) => {
+                            let mut v =
+                                store.members[i].map.get(&key).copied().unwrap_or(0);
+                            if matches!(mode, ConsistencyMode::Session) {
+                                // Session floor: a replica behind this
+                                // entity's read-your-writes floor redirects
+                                // to the primary (one extra read latency).
+                                let floor = store
+                                    .session_floor
+                                    .get(&entity)
+                                    .copied()
+                                    .unwrap_or(0);
+                                if v < floor {
+                                    v = store.primary_version(key);
+                                    redirect = true;
+                                }
+                            }
+                            (v, !redirect)
+                        }
+                        None => (store.primary_version(key), false),
+                    }
+                };
+                let primary_version = self.backend_ref(b).store.primary_version(key);
+                let backend_rt = self.backend_mut(b);
+                backend_rt.stats.reads += 1;
+                if redirect {
+                    backend_rt.stats.session_redirects += 1;
+                }
+                if from_replica && version < primary_version {
+                    backend_rt.stats.stale_reads += 1;
+                }
+                if matches!(mode, ConsistencyMode::Session) {
+                    // Reads raise the floor too (monotonic reads).
+                    let floor = backend_rt.store.session_floor.entry(entity).or_insert(0);
+                    *floor = (*floor).max(version);
+                }
+                (
+                    CallOutcome::success(version),
+                    if redirect { read_latency_ns } else { 0 },
+                )
+            }
+            ConsistencyMode::Quorum { r, .. } => {
+                // Primary-first read fan-out: the primary plus the first
+                // r-1 serving peers in member order; the result is the
+                // freshest version any of them holds. Fan-out is parallel,
+                // so no extra latency; too few members fails the read.
+                let mut consulted = 1u32; // the primary always serves here
+                let mut version = self.backend_ref(b).store.primary_version(key);
+                for &(i, proc) in &peers {
+                    if consulted >= r {
+                        break;
+                    }
+                    if !serves(self, proc) {
+                        continue;
+                    }
+                    let v = {
+                        let store = &self.backend_ref(b).store;
+                        store.members[i].map.get(&key).copied().unwrap_or(0)
+                    };
+                    version = version.max(v);
+                    consulted += 1;
+                }
+                let backend_rt = self.backend_mut(b);
+                backend_rt.stats.reads += 1;
+                if consulted < r {
+                    self.counters.quorum_rejections += 1;
+                    return (CallOutcome::failure(CallErr::Quorum), 0);
+                }
+                (CallOutcome::success(version), 0)
+            }
+        }
+    }
+
+    /// A store write under the store's consistency mode. The write always
+    /// lands on the current primary; replication to the other members is
+    /// asynchronous (lag-sampled `ReplicaApply` events) except for the
+    /// `w - 1` synchronous quorum members, whose slowest lag is returned as
+    /// the acknowledgement surcharge.
+    fn store_write(&mut self, b: usize, key: u64, version: u64, entity: u64) -> (CallOutcome, u64) {
+        let sh = self.sh;
+        let serving_proc = sh.backend_proc[b] as usize;
+        let (mode, lag_range) = match self.backend_ref(b).kind {
+            BackendRtKind::Store { consistency, replication_lag_ns, .. } => {
+                (consistency, replication_lag_ns)
+            }
+            _ => (ConsistencyMode::ReadReplica, (0, 0)),
+        };
+        let (armed, gen, peers): (bool, u64, Vec<(usize, usize)>) = {
+            let store = &self.backend_ref(b).store;
+            (
+                store.armed,
+                store.gen,
+                store.peer_indices().map(|i| (i, store.members[i].proc as usize)).collect(),
+            )
+        };
+        let serves = |me: &Self, proc: usize| !armed || me.store_member_serves(serving_proc, proc);
+        // Quorum admission first: with fewer than w members up and
+        // reachable the write is rejected before touching any state (no
+        // primary apply, no RNG draws) — the client sees the stable
+        // `quorum` error class.
+        let sync_needed = match mode {
+            ConsistencyMode::Quorum { w, .. } => w.saturating_sub(1) as usize,
+            _ => 0,
+        };
+        if sync_needed > 0 {
+            let reachable = peers.iter().filter(|&&(_, proc)| serves(self, proc)).count();
+            if reachable < sync_needed {
+                self.counters.quorum_rejections += 1;
+                return (CallOutcome::failure(CallErr::Quorum), 0);
+            }
+        }
+        // Apply on the current primary.
+        {
+            let store = &mut self.backend_mut(b).store;
+            let p = store.primary;
+            let m = &mut store.members[p];
+            let slot = m.map.entry(key).or_insert(0);
+            if version > *slot {
+                *slot = version;
+            }
+            m.applied += 1;
+            m.watermark = m.watermark.max(version);
+            if matches!(mode, ConsistencyMode::Session) {
+                // An acknowledged write raises the session floor.
+                let floor = store.session_floor.entry(entity).or_insert(0);
+                *floor = (*floor).max(version);
+            }
+        }
+        // Replicate to the other members in member order — the identical
+        // iteration order (and thus RNG draw order) the old replica vec
+        // had, so default-mode runs stay byte-identical.
+        let mut synced = 0usize;
+        let mut extra_ns = 0u64;
+        for (i, proc) in peers {
+            // Per-member lag draws come from the backend's stream.
+            let lag = if lag_range.1 > lag_range.0 {
+                self.backend_mut(b).rng.gen_range(lag_range.0..=lag_range.1)
+            } else {
+                lag_range.0
+            };
+            if synced < sync_needed && serves(self, proc) {
+                // Synchronous quorum member: applied before the ack, which
+                // therefore waits out the slowest such member's lag.
+                let store = &mut self.backend_mut(b).store;
+                let m = &mut store.members[i];
+                let slot = m.map.entry(key).or_insert(0);
+                if version > *slot {
+                    *slot = version;
+                }
+                m.applied += 1;
+                m.watermark = m.watermark.max(version);
+                extra_ns = extra_ns.max(lag);
+                synced += 1;
+            } else {
+                self.push_ev(
+                    self.now + lag,
+                    Ev::ReplicaApply { backend: b, member: i, key, version, gen },
+                );
+            }
+        }
+        self.backend_mut(b).stats.writes += 1;
+        (CallOutcome::success(0), extra_ns)
     }
 
     // ------------------------------------------------------------------
@@ -1886,6 +2117,9 @@ impl Sim {
                     e.extra_ns = e.extra_ns.max(extra_ns);
                     e.loss = e.loss.max(loss);
                 }
+                // A cut link can isolate an armed store's primary from its
+                // replica set, which is a failover trigger.
+                self.schedule_store_failovers();
             }
             RFault::Brownout { backend, dur, slow, unavailable } => {
                 let until = self.now + dur;
@@ -2031,6 +2265,8 @@ impl Sim {
         let gen = self.sh.proc_gen[proc];
         self.push_ev(self.now + restart_ns, Ev::ProcRestart { proc, gen });
         self.touch_host_sim(host);
+        // The stopped process may have been serving an armed store.
+        self.schedule_store_failovers();
     }
 
     /// Removes one frame killed by a process stop (crash or drain-deadline),
@@ -2100,6 +2336,163 @@ impl Sim {
         self.apply_fault(fault);
         if next < end {
             self.push_ev(next, Ev::ChaosFire);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Store failover (armed stores only; see `FailoverSpec`).
+    // ------------------------------------------------------------------
+
+    /// Whether an armed store's current primary is unable to serve its
+    /// replica set: its process is down, or every peer member's process has
+    /// its link to the primary fully cut (a degraded-but-delivering link is
+    /// not a trigger).
+    fn store_failover_triggered(&self, b: usize) -> bool {
+        let serving_proc = self.sh.backend_proc[b] as usize;
+        if self.sh.proc_down[serving_proc] {
+            return true;
+        }
+        let store = &self.backend_ref(b).store;
+        let mut any_peer = false;
+        for i in store.peer_indices() {
+            let peer_proc = store.members[i].proc as usize;
+            if peer_proc == serving_proc {
+                continue;
+            }
+            any_peer = true;
+            let cut = match self.sh.link_faults.get(&(serving_proc, peer_proc)) {
+                Some(lf) => lf.loss >= 1.0 && self.now < lf.until,
+                None => false,
+            };
+            if !cut {
+                // At least one peer still reaches the primary: no election.
+                return false;
+            }
+        }
+        any_peer
+    }
+
+    /// Schedules elections for every armed store whose failover trigger
+    /// holds. Called after any fault that can take a primary out (process
+    /// stop, link cut). Detection and election delays are paid up front;
+    /// the trigger is re-checked when the election fires, so a primary that
+    /// recovers in the window cancels the promotion.
+    fn schedule_store_failovers(&mut self) {
+        for b in 0..self.sh.backend_proc.len() {
+            let (armed, pending, gen, delay) = {
+                let store = &self.backend_ref(b).store;
+                (
+                    store.armed,
+                    store.election_pending,
+                    store.gen,
+                    store.detection_ns + store.election_ns,
+                )
+            };
+            if !armed || pending || !self.store_failover_triggered(b) {
+                continue;
+            }
+            self.backend_rt_mut(b).store.election_pending = true;
+            let t = self.now + delay;
+            self.push_ev(t, Ev::StoreFailover { backend: b, gen });
+        }
+    }
+
+    /// Runs a scheduled election: promote the most-caught-up reachable
+    /// peer (highest watermark, then highest applied count, then lowest
+    /// member index) and re-point the store's serving process at it. Writes
+    /// the old primary acknowledged but never replicated are *lost* — they
+    /// are counted here, and the deposed member is rolled back to the new
+    /// primary's state when its process restarts (`resync_store_members`).
+    fn on_store_failover(&mut self, b: usize, gen: u64) {
+        {
+            let store = &self.backend_ref(b).store;
+            // A stale generation means another election already ran (or the
+            // store was re-armed); this one is void.
+            if !store.armed || store.gen != gen {
+                return;
+            }
+        }
+        self.backend_rt_mut(b).store.election_pending = false;
+        // The primary recovered during the detection + election window.
+        if !self.store_failover_triggered(b) {
+            return;
+        }
+        let winner = {
+            let store = &self.backend_ref(b).store;
+            let mut best: Option<(u64, u64, std::cmp::Reverse<usize>, usize)> = None;
+            for i in store.peer_indices() {
+                let m = &store.members[i];
+                if self.sh.proc_down[m.proc as usize] {
+                    continue;
+                }
+                let rank = (m.watermark, m.applied, std::cmp::Reverse(i), i);
+                if best.is_none_or(|cur| rank > cur) {
+                    best = Some(rank);
+                }
+            }
+            best.map(|(_, _, _, i)| i)
+        };
+        let Some(winner) = winner else {
+            // Nothing promotable right now; a later fault (or restart) may
+            // re-trigger the election.
+            return;
+        };
+        let lost = {
+            let store = &self.backend_ref(b).store;
+            let old = &store.members[store.primary];
+            let new = &store.members[winner];
+            // Order-independent: count keys where the deposed primary is
+            // ahead of the winner — acked writes that never replicated.
+            old.map
+                .iter()
+                .filter(|(k, v)| **v > new.map.get(k).copied().unwrap_or(0))
+                .count() as u64
+        };
+        let new_proc = {
+            let rt = self.backend_rt_mut(b);
+            rt.store.primary = winner;
+            rt.store.gen += 1;
+            rt.stats.failovers += 1;
+            rt.stats.lost_writes += lost;
+            rt.stats_dirty = true;
+            rt.store.members[winner].proc
+        };
+        self.sh.backend_proc[b] = new_proc;
+        self.metrics.counters.store_failovers += 1;
+    }
+
+    /// Brings every armed-store member hosted on a freshly restarted
+    /// process back in line with the current primary: its map, applied
+    /// count, and watermark are copied wholesale. For a deposed primary
+    /// this is the rollback that discards its un-replicated (lost) writes;
+    /// for a partitioned-then-crashed replica it is catch-up.
+    fn resync_store_members(&mut self, proc: usize) {
+        for b in 0..self.sh.backend_proc.len() {
+            let touched = {
+                let store = &self.backend_ref(b).store;
+                store.armed
+                    && store
+                        .peer_indices()
+                        .any(|i| store.members[i].proc as usize == proc)
+            };
+            if !touched {
+                continue;
+            }
+            let store = &mut self.backend_rt_mut(b).store;
+            let primary = store.primary;
+            let (src, applied, watermark) = {
+                let p = &store.members[primary];
+                (p.map.clone(), p.applied, p.watermark)
+            };
+            for i in 0..store.members.len() {
+                if i == primary || store.members[i].proc as usize != proc {
+                    continue;
+                }
+                let m = &mut store.members[i];
+                m.map = src.clone();
+                m.applied = applied;
+                m.watermark = watermark;
+            }
         }
     }
 }

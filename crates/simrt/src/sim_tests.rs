@@ -411,6 +411,8 @@ fn cache_db_spec() -> SystemSpec {
             cpu_per_item_ns: us(1),
             replicas: 0,
             replication_lag_ns: (0, 0),
+            consistency: Default::default(),
+            failover: None,
         },
     });
     let mut s = ServiceSpec::new("front", 0);
@@ -515,6 +517,8 @@ fn replicated_store_reads_can_be_stale() {
         cpu_per_item_ns: 0,
         replicas: 2,
         replication_lag_ns: (ms(100), ms(100)),
+        consistency: Default::default(),
+        failover: None,
     };
     // Bypass the cache for reads in this test.
     spec.services[0].methods.insert(
@@ -2426,4 +2430,263 @@ fn reconfig_plans_are_deterministic_across_runs() {
     assert_eq!(ca, cb);
     assert_eq!(ma, mb);
     assert_eq!(ca.len(), 80, "conserved");
+}
+
+// ---------------------------------------------------------------------------
+// Replicated-store failover and consistency modes.
+// ---------------------------------------------------------------------------
+
+use crate::spec::{ConsistencyMode, FailoverSpec};
+
+/// `cache_db_spec` with the store replicated across two extra processes on
+/// the db host, armed for failover, and a cache-bypassing read method.
+fn failover_db_spec(consistency: ConsistencyMode) -> SystemSpec {
+    let mut spec = cache_db_spec();
+    spec.processes.push(ProcessSpec {
+        name: "p_r1".into(),
+        host: 1,
+        gc: None,
+    });
+    spec.processes.push(ProcessSpec {
+        name: "p_r2".into(),
+        host: 1,
+        gc: None,
+    });
+    spec.backends[1].kind = BackendRtKind::Store {
+        read_latency_ns: us(100),
+        write_latency_ns: us(100),
+        cpu_per_op_ns: us(1),
+        cpu_per_item_ns: 0,
+        replicas: 2,
+        replication_lag_ns: (ms(100), ms(100)),
+        consistency,
+        failover: Some(FailoverSpec {
+            replica_processes: vec![3, 4],
+            detection_ns: ms(5),
+            election_ns: ms(5),
+        }),
+    };
+    spec.services[0].methods.insert(
+        "ReadDb".into(),
+        Behavior::build().db_read("d", KeyExpr::Entity).done(),
+    );
+    spec
+}
+
+#[test]
+fn primary_crash_fails_over_and_surfaces_lost_writes() {
+    let spec = failover_db_spec(ConsistencyMode::ReadReplica);
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    let wv = sim.submit("front", "Write", 7).unwrap();
+    sim.run_until(ms(10));
+    assert_eq!(sim.store_primary_version("db", 7).unwrap(), wv);
+    assert_eq!(sim.store_serving_process("db").unwrap(), "p_db");
+    // Crash the primary before the 100 ms replication lag elapses: the
+    // acked write exists nowhere but on the dead primary.
+    sim.inject_fault(&Fault::ProcessCrash {
+        process: "p_db".into(),
+        restart_delay_ns: ms(500),
+    })
+    .unwrap();
+    // Detection (5 ms) + election (5 ms) later a replica has promoted.
+    sim.run_until(ms(50));
+    assert_eq!(sim.store_serving_process("db").unwrap(), "p_r1");
+    assert_eq!(sim.store_generation("db").unwrap(), 1);
+    assert_eq!(sim.metrics.counters.store_failovers, 1);
+    let stats = sim.metrics.backend("db").unwrap();
+    assert_eq!(stats.failovers, 1);
+    assert_eq!(stats.lost_writes, 1, "the un-replicated write is lost");
+    // The new primary never saw the write.
+    assert_eq!(sim.store_primary_version("db", 7).unwrap(), 0);
+    // Writes land on the new primary.
+    let wv2 = sim.submit("front", "Write", 7).unwrap();
+    sim.run_until(ms(90));
+    assert_eq!(sim.store_primary_version("db", 7).unwrap(), wv2);
+    // The old primary's in-flight gen-0 replica applies were dropped: the
+    // peers never see `wv`, only `wv2` (from the new primary, post-lag).
+    sim.run_until(ms(600));
+    assert_eq!(
+        sim.store_replica_versions("db", 7).unwrap(),
+        vec![wv2, wv2],
+        "restarted old primary resynced from the new primary"
+    );
+    assert!(sim.drain_completions().iter().all(|c| c.ok));
+}
+
+#[test]
+fn primary_recovery_within_election_window_cancels_failover() {
+    let spec = failover_db_spec(ConsistencyMode::ReadReplica);
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.submit("front", "Write", 7).unwrap();
+    sim.run_until(ms(10));
+    // Restart (3 ms) beats detection + election (10 ms): the election
+    // fires, re-checks the trigger, and stands down.
+    sim.inject_fault(&Fault::ProcessCrash {
+        process: "p_db".into(),
+        restart_delay_ns: ms(3),
+    })
+    .unwrap();
+    sim.run_until(ms(100));
+    assert_eq!(sim.store_serving_process("db").unwrap(), "p_db");
+    assert_eq!(sim.store_generation("db").unwrap(), 0);
+    assert_eq!(sim.metrics.counters.store_failovers, 0);
+}
+
+#[test]
+fn double_failover_promotes_next_replica_then_restarted_primary() {
+    let spec = failover_db_spec(ConsistencyMode::ReadReplica);
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.run_until(ms(1));
+    sim.inject_fault(&Fault::ProcessCrash {
+        process: "p_db".into(),
+        restart_delay_ns: ms(40),
+    })
+    .unwrap();
+    sim.run_until(ms(20));
+    assert_eq!(sim.store_serving_process("db").unwrap(), "p_r1");
+    // Crash the *new* primary too (before p_db is back): the election
+    // for generation 1 promotes the remaining replica.
+    sim.inject_fault(&Fault::ProcessCrash {
+        process: "p_r1".into(),
+        restart_delay_ns: ms(500),
+    })
+    .unwrap();
+    sim.run_until(ms(39));
+    assert_eq!(sim.store_serving_process("db").unwrap(), "p_r2");
+    assert_eq!(sim.store_generation("db").unwrap(), 2);
+    // And once p_db has restarted and resynced, a third crash hands the
+    // store back to it.
+    sim.run_until(ms(60));
+    sim.inject_fault(&Fault::ProcessCrash {
+        process: "p_r2".into(),
+        restart_delay_ns: ms(500),
+    })
+    .unwrap();
+    sim.run_until(ms(80));
+    assert_eq!(sim.store_serving_process("db").unwrap(), "p_db");
+    assert_eq!(sim.store_generation("db").unwrap(), 3);
+    assert_eq!(sim.metrics.counters.store_failovers, 3);
+}
+
+#[test]
+fn full_partition_of_primary_triggers_failover() {
+    let spec = failover_db_spec(ConsistencyMode::ReadReplica);
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.run_until(ms(1));
+    // Cut the primary off from *both* replica processes (it stays up).
+    for peer in ["p_r1", "p_r2"] {
+        sim.inject_fault(&Fault::Partition {
+            a: "p_db".into(),
+            b: peer.into(),
+            duration_ns: secs(1),
+        })
+        .unwrap();
+    }
+    sim.run_until(ms(20));
+    assert_eq!(sim.store_serving_process("db").unwrap(), "p_r1");
+    assert_eq!(sim.metrics.counters.store_failovers, 1);
+    // Writes reach the new primary even while the old one is isolated.
+    let wv = sim.submit("front", "Write", 3).unwrap();
+    sim.run_until(ms(60));
+    assert_eq!(sim.store_primary_version("db", 3).unwrap(), wv);
+}
+
+#[test]
+fn partial_partition_defers_replication_until_heal() {
+    let spec = failover_db_spec(ConsistencyMode::ReadReplica);
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.run_until(ms(1));
+    // Cut only one replica: one reachable peer remains, so no election.
+    sim.inject_fault(&Fault::Partition {
+        a: "p_db".into(),
+        b: "p_r1".into(),
+        duration_ns: ms(300),
+    })
+    .unwrap();
+    let wv = sim.submit("front", "Write", 7).unwrap();
+    sim.run_until(ms(150));
+    assert_eq!(sim.metrics.counters.store_failovers, 0);
+    // Lag (100 ms) has elapsed: the reachable replica applied, the
+    // partitioned one deferred its apply to the heal time.
+    assert_eq!(sim.store_replica_versions("db", 7).unwrap(), vec![0, wv]);
+    sim.run_until(ms(350));
+    assert_eq!(
+        sim.store_replica_versions("db", 7).unwrap(),
+        vec![wv, wv],
+        "healed replica caught up"
+    );
+}
+
+#[test]
+fn session_mode_redirects_reads_behind_the_floor() {
+    let spec = failover_db_spec(ConsistencyMode::Session);
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    let wv = sim.submit("front", "Write", 7).unwrap();
+    sim.run_until(ms(10));
+    // Replicas are 100 ms behind, but the session floor for entity 7 is
+    // `wv`: the read redirects to the primary instead of going stale.
+    sim.submit("front", "ReadDb", 7).unwrap();
+    sim.run_until(ms(50));
+    let c = sim.drain_completions().pop().unwrap();
+    assert!(c.ok);
+    assert_eq!(c.observed_version, wv, "read-your-writes");
+    let stats = sim.metrics.backend("db").unwrap();
+    assert_eq!(stats.session_redirects, 1);
+    assert_eq!(stats.stale_reads, 0);
+    // A different entity has no floor and reads the lagging replica.
+    sim.submit("front", "ReadDb", 8).unwrap();
+    sim.run_until(ms(100));
+    let c = sim.drain_completions().pop().unwrap();
+    assert_eq!(c.observed_version, 0);
+}
+
+#[test]
+fn quorum_write_waits_for_sync_member_and_reads_fresh() {
+    let spec = failover_db_spec(ConsistencyMode::Quorum { w: 2, r: 2 });
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    let wv = sim.submit("front", "Write", 7).unwrap();
+    sim.run_until(ms(50));
+    // The ack waited out the sync member's 100 ms lag: not done yet.
+    assert!(sim.drain_completions().is_empty());
+    sim.run_until(ms(150));
+    let c = sim.drain_completions().pop().expect("write acked");
+    assert!(c.ok);
+    assert!(c.latency_ns() >= ms(100), "paid the sync member's lag");
+    // First peer applied synchronously; second is async (also 100 ms).
+    assert_eq!(sim.store_replica_versions("db", 7).unwrap(), vec![wv, wv]);
+    // A quorum read (primary + first peer) observes the write.
+    sim.submit("front", "ReadDb", 7).unwrap();
+    sim.run_until(ms(200));
+    let c = sim.drain_completions().pop().unwrap();
+    assert_eq!(c.observed_version, wv);
+    assert_eq!(sim.metrics.backend("db").unwrap().stale_reads, 0);
+}
+
+#[test]
+fn quorum_without_reachable_members_rejects() {
+    let spec = failover_db_spec(ConsistencyMode::Quorum { w: 2, r: 2 });
+    let mut sim = Sim::new(&spec, SimConfig::default()).unwrap();
+    sim.run_until(ms(1));
+    for peer in ["p_r1", "p_r2"] {
+        sim.inject_fault(&Fault::ProcessCrash {
+            process: peer.into(),
+            restart_delay_ns: secs(1),
+        })
+        .unwrap();
+    }
+    sim.run_until(ms(20));
+    // Both replicas down: w=2 is unsatisfiable, and the primary alone
+    // cannot serve an r=2 read either.
+    sim.submit("front", "Write", 7).unwrap();
+    sim.submit("front", "ReadDb", 7).unwrap();
+    sim.run_until(ms(100));
+    let done = sim.drain_completions();
+    assert_eq!(done.len(), 2);
+    assert!(done.iter().all(|c| c.failure == Some("quorum")));
+    assert!(sim.metrics.counters.quorum_rejections >= 2);
+    assert_eq!(
+        sim.store_primary_version("db", 7).unwrap(),
+        0,
+        "write not applied"
+    );
 }

@@ -427,6 +427,75 @@ impl ServiceSpec {
     }
 }
 
+/// Read/write discipline of a replicated [`BackendRtKind::Store`].
+///
+/// The default (`ReadReplica`) is the historical behavior: writes land on
+/// the primary and replicate asynchronously, reads round-robin the
+/// replicas and see whatever the lag gives them. The other modes trade
+/// latency or availability for guarantees; the consistency oracle
+/// (`workload::oracle`) measures exactly which anomaly classes each mode
+/// eliminates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ConsistencyMode {
+    /// Reads are served by the current primary: no stale reads while the
+    /// primary is healthy, but replicas carry no read traffic.
+    Primary,
+    /// Reads round-robin the replicas (the historical behavior, now named):
+    /// staleness bounded only by the replication lag.
+    #[default]
+    ReadReplica,
+    /// Writes are acknowledged by `w` members and reads consult `r`
+    /// members (primary-first, lowest index). With `w + r > replicas + 1`
+    /// every read overlaps every acknowledged write; the write pays the
+    /// slowest quorum member's replication latency.
+    Quorum {
+        /// Members (including the primary) that must apply a write before
+        /// it is acknowledged.
+        w: u32,
+        /// Members (including the primary) consulted per read.
+        r: u32,
+    },
+    /// Read-your-writes session token, keyed by entity: a read whose
+    /// round-robin replica is behind the session's floor redirects to the
+    /// primary (paying one extra read latency).
+    Session,
+}
+
+impl ConsistencyMode {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConsistencyMode::Primary => "primary",
+            ConsistencyMode::ReadReplica => "read_replica",
+            ConsistencyMode::Quorum { .. } => "quorum",
+            ConsistencyMode::Session => "session",
+        }
+    }
+}
+
+/// Failover policy of a replicated [`BackendRtKind::Store`]: which
+/// processes host its replicas and how long detection + election take.
+///
+/// Absent (`None`), replicas are plain lag-modeled state inside the
+/// store's own process and the store is unavailable while that process is
+/// down — the historical behavior. Present, each replica lives in its own
+/// peer process on the *same host* (the store's state stays on one
+/// simulation lane, which is what keeps epoch-parallel runs deterministic),
+/// and when the primary's process crashes or is partitioned from every
+/// peer, the most-caught-up reachable replica promotes after
+/// `detection_ns + election_ns`. Writes the old primary acknowledged but
+/// never replicated are rolled back — *lost* — exactly as in async-
+/// replicated production stores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailoverSpec {
+    /// One process index per replica (same host as the store's process).
+    pub replica_processes: Vec<usize>,
+    /// Time for peers to detect the primary unreachable, ns.
+    pub detection_ns: SimTime,
+    /// Election duration once detected, ns.
+    pub election_ns: SimTime,
+}
+
 /// Backend runtime flavors.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum BackendRtKind {
@@ -456,6 +525,14 @@ pub enum BackendRtKind {
         /// Replication lag range `[min, max]` ns, uniformly sampled per write
         /// per replica.
         replication_lag_ns: (SimTime, SimTime),
+        /// Read/write discipline (absent field deserializes to the
+        /// historical `ReadReplica`).
+        #[serde(default)]
+        consistency: ConsistencyMode,
+        /// Failover policy; `None` keeps replicas inside the store's own
+        /// process with no promotion (historical behavior).
+        #[serde(default)]
+        failover: Option<FailoverSpec>,
     },
     /// FIFO message queue.
     Queue {
@@ -922,6 +999,100 @@ impl SystemSpec {
                     b.name
                 )));
             }
+            if let BackendRtKind::Store {
+                replicas,
+                replication_lag_ns,
+                consistency,
+                failover,
+                ..
+            } = &b.kind
+            {
+                // An inverted lag range would make every per-replica lag
+                // draw panic (or silently bias) at runtime; reject at boot.
+                if replication_lag_ns.0 > replication_lag_ns.1 {
+                    return Err(SimError::BadSpec(format!(
+                        "store {} replication_lag_ns min {} > max {}",
+                        b.name, replication_lag_ns.0, replication_lag_ns.1
+                    )));
+                }
+                // Quorum parameters are member counts (primary included):
+                // zero is meaningless and anything past the member count is
+                // unsatisfiable by construction.
+                if let ConsistencyMode::Quorum { w, r } = consistency {
+                    let members = replicas + 1;
+                    if *w == 0 || *r == 0 {
+                        return Err(SimError::BadSpec(format!(
+                            "store {} quorum w={w} r={r}: both must be >= 1",
+                            b.name
+                        )));
+                    }
+                    if *w > members || *r > members {
+                        return Err(SimError::BadSpec(format!(
+                            "store {} quorum w={w} r={r} exceeds {} members \
+                             (primary + {replicas} replicas)",
+                            b.name, members
+                        )));
+                    }
+                }
+                if let Some(fo) = failover {
+                    if *replicas == 0 {
+                        return Err(SimError::BadSpec(format!(
+                            "store {} has a failover spec but no replicas",
+                            b.name
+                        )));
+                    }
+                    if fo.replica_processes.len() != *replicas as usize {
+                        return Err(SimError::BadSpec(format!(
+                            "store {} failover lists {} replica processes for \
+                             {replicas} replicas",
+                            b.name,
+                            fo.replica_processes.len()
+                        )));
+                    }
+                    let home = self.processes[b.process].host;
+                    for &p in &fo.replica_processes {
+                        if p >= self.processes.len() {
+                            return Err(SimError::BadSpec(format!(
+                                "store {} failover replica process index {p} out \
+                                 of range",
+                                b.name
+                            )));
+                        }
+                        if p == b.process {
+                            return Err(SimError::BadSpec(format!(
+                                "store {} failover replica process {} is the \
+                                 store's own process (nothing to promote)",
+                                b.name, self.processes[p].name
+                            )));
+                        }
+                        // Same-host is a determinism constraint, not a
+                        // convenience: the store's state lives on one
+                        // simulation lane, and promotion re-points the
+                        // serving process without migrating state across
+                        // epoch-parallel shards.
+                        if self.processes[p].host != home {
+                            return Err(SimError::BadSpec(format!(
+                                "store {} failover replica process {} is on host \
+                                 {} but the store's process is on host {} \
+                                 (replica processes must share the primary's \
+                                 host)",
+                                b.name,
+                                self.processes[p].name,
+                                self.hosts[self.processes[p].host].name,
+                                self.hosts[home].name
+                            )));
+                        }
+                    }
+                    if fo.detection_ns == 0 && fo.election_ns == 0 {
+                        return Err(SimError::BadSpec(format!(
+                            "store {} failover detection_ns + election_ns must \
+                             be > 0 (an instantaneous election would race the \
+                             crash itself)",
+                            b.name
+                        )));
+                    }
+                }
+            }
         }
         for (name, e) in &self.entries {
             if e.service >= self.services.len() {
@@ -969,7 +1140,15 @@ impl SystemSpec {
             Ok(())
         };
         match f {
-            Fault::ProcessCrash { process, .. } => need_proc(process),
+            Fault::ProcessCrash { process, .. } => {
+                need_proc(process)?;
+                let proc = self
+                    .processes
+                    .iter()
+                    .position(|p| &p.name == process)
+                    .expect("checked by need_proc");
+                self.check_store_stranded(proc, "process-crash fault")
+            }
             Fault::HostDown { host, .. } => {
                 if self.host_index(host).is_none() {
                     let hint = suggest(host, self.hosts.iter().map(|h| h.name.as_str()));
@@ -1098,7 +1277,15 @@ impl SystemSpec {
             )));
         }
         match c {
-            Change::RollingRestart { .. } => Ok(()),
+            Change::RollingRestart { .. } => {
+                // A rolling step stops each member's process in turn; a
+                // replicated store stranded inside one of them would lose
+                // every promotable peer mid-roll.
+                for &svc in &group {
+                    self.check_store_stranded(self.services[svc].process, "rolling restart")?;
+                }
+                Ok(())
+            }
             Change::Scale {
                 service, replicas, ..
             } => {
@@ -1139,6 +1326,40 @@ impl SystemSpec {
                 Ok(())
             }
         }
+    }
+
+    /// Rejects a plan step that stops `proc` while a replicated store would
+    /// be stranded by it: the store has replicas, but every peer able to
+    /// promote lives inside the stopped process itself (no failover spec,
+    /// or one whose replica processes all coincide with the primary's).
+    /// Such a plan advertises replication it cannot deliver — the replicas
+    /// die with the primary — so it fails at validation instead of
+    /// silently measuring nothing.
+    fn check_store_stranded(&self, proc: usize, what: &str) -> Result<()> {
+        for b in &self.backends {
+            let BackendRtKind::Store {
+                replicas, failover, ..
+            } = &b.kind
+            else {
+                continue;
+            };
+            if *replicas == 0 || b.process != proc {
+                continue;
+            }
+            let promotable = failover
+                .as_ref()
+                .is_some_and(|fo| fo.replica_processes.iter().any(|&p| p != proc));
+            if !promotable {
+                return Err(SimError::BadSpec(format!(
+                    "{what} stops process {}, but store {} keeps its {} \
+                     replica(s) in that same process: no reachable peer to \
+                     promote. Give the store a failover spec with replica \
+                     processes, or drop the replicas",
+                    self.processes[proc].name, b.name, replicas
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Resolves a service-group base name to the sorted dense indices of
@@ -2054,6 +2275,168 @@ mod tests {
             .label(),
             "scale"
         );
+    }
+
+    /// A `tiny()` spec with a second process on the same host and a
+    /// replicated store, parameterized by consistency and failover.
+    fn store_spec(
+        replicas: u32,
+        lag: (SimTime, SimTime),
+        consistency: ConsistencyMode,
+        failover: Option<FailoverSpec>,
+    ) -> SystemSpec {
+        let mut spec = tiny();
+        spec.processes.push(ProcessSpec {
+            name: "p1".into(),
+            host: 0,
+            gc: None,
+        });
+        spec.backends.push(BackendSpec {
+            name: "db".into(),
+            process: 0,
+            kind: BackendRtKind::Store {
+                read_latency_ns: 1_000,
+                write_latency_ns: 1_000,
+                cpu_per_op_ns: 100,
+                cpu_per_item_ns: 0,
+                replicas,
+                replication_lag_ns: lag,
+                consistency,
+                failover,
+            },
+        });
+        spec
+    }
+
+    #[test]
+    fn inverted_replication_lag_rejected_per_value() {
+        for (min, max) in [(10, 5), (1, 0), (u64::MAX, 0)] {
+            let err = store_spec(1, (min, max), ConsistencyMode::ReadReplica, None)
+                .validate()
+                .unwrap_err();
+            assert!(
+                matches!(err, SimError::BadSpec(ref m) if m.contains("replication_lag_ns")),
+                "lag ({min}, {max}): {err}"
+            );
+        }
+        // Equal bounds (a fixed lag) and ordered bounds stay valid.
+        store_spec(1, (5, 5), ConsistencyMode::ReadReplica, None)
+            .validate()
+            .unwrap();
+        store_spec(1, (5, 10), ConsistencyMode::ReadReplica, None)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn quorum_parameters_validated_per_value() {
+        for (w, r) in [(0, 1), (1, 0), (3, 1), (1, 3)] {
+            let err = store_spec(1, (0, 0), ConsistencyMode::Quorum { w, r }, None)
+                .validate()
+                .unwrap_err();
+            assert!(
+                matches!(err, SimError::BadSpec(ref m) if m.contains("quorum")),
+                "quorum w={w} r={r}: {err}"
+            );
+        }
+        store_spec(1, (0, 0), ConsistencyMode::Quorum { w: 2, r: 2 }, None)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn failover_spec_validated_per_value() {
+        let fo = |procs: Vec<usize>| FailoverSpec {
+            replica_processes: procs,
+            detection_ns: 1_000,
+            election_ns: 1_000,
+        };
+        // Wrong replica-process count.
+        let err = store_spec(2, (0, 0), ConsistencyMode::ReadReplica, Some(fo(vec![1])))
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadSpec(ref m) if m.contains("replica processes")));
+        // Out-of-range process index.
+        let err = store_spec(1, (0, 0), ConsistencyMode::ReadReplica, Some(fo(vec![9])))
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadSpec(ref m) if m.contains("out of range")));
+        // Replica process == the store's own process.
+        let err = store_spec(1, (0, 0), ConsistencyMode::ReadReplica, Some(fo(vec![0])))
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadSpec(ref m) if m.contains("own process")));
+        // Failover on an unreplicated store.
+        let err = store_spec(0, (0, 0), ConsistencyMode::ReadReplica, Some(fo(vec![])))
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadSpec(ref m) if m.contains("no replicas")));
+        // Replica process on a different host.
+        let mut cross = store_spec(1, (0, 0), ConsistencyMode::ReadReplica, Some(fo(vec![1])));
+        cross.hosts.push(HostSpec {
+            name: "h1".into(),
+            cores: 4.0,
+        });
+        cross.processes[1].host = 1;
+        let err = cross.validate().unwrap_err();
+        assert!(matches!(err, SimError::BadSpec(ref m) if m.contains("share the primary's host")));
+        // Instantaneous election.
+        let err = store_spec(
+            1,
+            (0, 0),
+            ConsistencyMode::ReadReplica,
+            Some(FailoverSpec {
+                replica_processes: vec![1],
+                detection_ns: 0,
+                election_ns: 0,
+            }),
+        )
+        .validate()
+        .unwrap_err();
+        assert!(matches!(err, SimError::BadSpec(ref m) if m.contains("detection_ns")));
+        // A well-formed failover spec passes.
+        store_spec(1, (0, 0), ConsistencyMode::ReadReplica, Some(fo(vec![1])))
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn crash_plan_targeting_stranded_replicated_store_rejected() {
+        let crash = |spec: &SystemSpec| {
+            spec.validate_fault(&Fault::ProcessCrash {
+                process: "p0".into(),
+                restart_delay_ns: 1_000,
+            })
+        };
+        // Replicas but no failover peers: the crash strands them.
+        let spec = store_spec(2, (0, 0), ConsistencyMode::ReadReplica, None);
+        let err = crash(&spec).unwrap_err();
+        assert!(
+            matches!(err, SimError::BadSpec(ref m) if m.contains("no reachable peer to promote")),
+            "{err}"
+        );
+        // A promotable peer in another process makes the same plan valid.
+        let spec = store_spec(
+            1,
+            (0, 0),
+            ConsistencyMode::ReadReplica,
+            Some(FailoverSpec {
+                replica_processes: vec![1],
+                detection_ns: 1_000,
+                election_ns: 1_000,
+            }),
+        );
+        crash(&spec).unwrap();
+        // Crashing a process without the store is always fine.
+        let spec = store_spec(2, (0, 0), ConsistencyMode::ReadReplica, None);
+        spec.validate_fault(&Fault::ProcessCrash {
+            process: "p1".into(),
+            restart_delay_ns: 1_000,
+        })
+        .unwrap();
+        // An unreplicated store never strands (durable, restarts with it).
+        let spec = store_spec(0, (0, 0), ConsistencyMode::ReadReplica, None);
+        crash(&spec).unwrap();
     }
 
     #[test]

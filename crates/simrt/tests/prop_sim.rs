@@ -107,6 +107,8 @@ fn build(s: &Scenario) -> SystemSpec {
             cpu_per_item_ns: us(1),
             replicas: 0,
             replication_lag_ns: (0, 0),
+            consistency: Default::default(),
+            failover: None,
         },
     });
     let mut back = ServiceSpec::new("back", 1);

@@ -58,6 +58,8 @@ pub enum WiringError {
     },
     /// A mutation targeted an unknown instance.
     UnknownInstance(String),
+    /// A mutation was given an out-of-domain argument.
+    BadArg(String),
 }
 
 impl std::fmt::Display for WiringError {
@@ -80,6 +82,7 @@ impl std::fmt::Display for WiringError {
                 write!(f, "wiring macro error (line {line}): {message}")
             }
             WiringError::UnknownInstance(n) => write!(f, "unknown wiring instance `{n}`"),
+            WiringError::BadArg(m) => write!(f, "bad mutation argument: {m}"),
         }
     }
 }

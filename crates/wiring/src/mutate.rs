@@ -220,6 +220,51 @@ pub fn replicate(spec: &mut WiringSpec, instance: &str, count: i64) -> Result<St
     Ok(mod_name)
 }
 
+/// Sets a replicated store's read/write discipline — the 1-line fix the
+/// BP016/BP017 consistency lints suggest. `mode` is one of the simulator's
+/// mode labels: `"primary"`, `"read_replica"`, `"quorum"`, `"session"`.
+/// For `"quorum"`, `quorum` supplies `(w, r)` (defaults to `(2, 2)` when
+/// `None`); for every other mode it must be `None`.
+pub fn set_store_consistency(
+    spec: &mut WiringSpec,
+    instance: &str,
+    mode: &str,
+    quorum: Option<(i64, i64)>,
+) -> Result<()> {
+    if !matches!(mode, "primary" | "read_replica" | "quorum" | "session") {
+        return Err(WiringError::BadArg(format!(
+            "unknown consistency mode `{mode}` (expected primary, \
+             read_replica, quorum, or session)"
+        )));
+    }
+    if quorum.is_some() && mode != "quorum" {
+        return Err(WiringError::BadArg(format!(
+            "quorum parameters given for consistency mode `{mode}`"
+        )));
+    }
+    let d = spec
+        .decl_mut(instance)
+        .ok_or_else(|| WiringError::UnknownInstance(instance.to_string()))?;
+    d.kwargs
+        .insert("consistency".to_string(), Arg::Str(mode.to_string()));
+    if mode == "quorum" {
+        let (w, r) = quorum.unwrap_or((2, 2));
+        d.kwargs.insert("quorum_w".to_string(), Arg::Int(w));
+        d.kwargs.insert("quorum_r".to_string(), Arg::Int(r));
+    } else {
+        d.kwargs.remove("quorum_w");
+        d.kwargs.remove("quorum_r");
+    }
+    Ok(())
+}
+
+/// Attaches the session (read-your-writes) guarantee to a replicated store —
+/// sugar over [`set_store_consistency`] matching the BP016 lint's suggested
+/// fix verbatim.
+pub fn attach_session_consistency(spec: &mut WiringSpec, instance: &str) -> Result<()> {
+    set_store_consistency(spec, instance, "session", None)
+}
+
 /// The service-instance names of a spec, by the repo-wide convention that
 /// workflow service callees end in `Impl` (as in the paper's Fig. 3).
 pub fn service_names(spec: &WiringSpec) -> Vec<String> {
@@ -432,5 +477,47 @@ mod tests {
     fn service_names_by_convention() {
         let w = base();
         assert_eq!(service_names(&w), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn set_store_consistency_is_a_one_line_diff() {
+        let before = base();
+        let mut w = base();
+        attach_session_consistency(&mut w, "db").unwrap();
+        assert_eq!(
+            w.decl("db").unwrap().kwargs.get("consistency"),
+            Some(&Arg::Str("session".into()))
+        );
+        // The lint's suggested fix is one changed wiring line (one removed,
+        // one added in the rendered spec).
+        let d = spec_diff(&before, &w);
+        assert_eq!((d.added, d.removed), (1, 1));
+
+        set_store_consistency(&mut w, "db", "quorum", Some((2, 3))).unwrap();
+        let d = w.decl("db").unwrap();
+        assert_eq!(d.kwargs.get("quorum_w"), Some(&Arg::Int(2)));
+        assert_eq!(d.kwargs.get("quorum_r"), Some(&Arg::Int(3)));
+        // Leaving quorum mode scrubs the quorum parameters.
+        set_store_consistency(&mut w, "db", "primary", None).unwrap();
+        let d = w.decl("db").unwrap();
+        assert!(!d.kwargs.contains_key("quorum_w"));
+        assert!(!d.kwargs.contains_key("quorum_r"));
+    }
+
+    #[test]
+    fn set_store_consistency_rejects_bad_arguments() {
+        let mut w = base();
+        assert!(matches!(
+            set_store_consistency(&mut w, "db", "eventual", None).unwrap_err(),
+            WiringError::BadArg(_)
+        ));
+        assert!(matches!(
+            set_store_consistency(&mut w, "db", "session", Some((2, 2))).unwrap_err(),
+            WiringError::BadArg(_)
+        ));
+        assert!(matches!(
+            set_store_consistency(&mut w, "zzz", "session", None).unwrap_err(),
+            WiringError::UnknownInstance(_)
+        ));
     }
 }

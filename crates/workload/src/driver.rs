@@ -106,6 +106,16 @@ impl ExperimentSpec {
 /// arrival the simulation drains for `drain_ns` so in-flight requests finish
 /// (or time out) and are recorded.
 pub fn run_experiment(sim: &mut Sim, spec: ExperimentSpec) -> Result<Recorder, SimError> {
+    run_experiment_collecting(sim, spec).map(|(rec, _)| rec)
+}
+
+/// Like [`run_experiment`], but also returns every raw [`Completion`] in
+/// completion order — the input the consistency oracle classifies.
+pub fn run_experiment_collecting(
+    sim: &mut Sim,
+    spec: ExperimentSpec,
+) -> Result<(Recorder, Vec<blueprint_simrt::Completion>), SimError> {
+    let mut completions = Vec::new();
     let mut recorder = Recorder::new(spec.interval_ns);
     let mut actions = spec.actions;
     actions.sort_by_key(|(t, _)| *t);
@@ -142,6 +152,7 @@ pub fn run_experiment(sim: &mut Sim, spec: ExperimentSpec) -> Result<Recorder, S
         sim.submit_handle(handle, arrival.entity)?;
         for c in sim.drain_completions() {
             recorder.record(&c);
+            completions.push(c);
         }
     }
     // Remaining actions, then drain.
@@ -152,8 +163,9 @@ pub fn run_experiment(sim: &mut Sim, spec: ExperimentSpec) -> Result<Recorder, S
     sim.run_until(end + spec.drain_ns);
     for c in sim.drain_completions() {
         recorder.record(&c);
+        completions.push(c);
     }
-    Ok(recorder)
+    Ok((recorder, completions))
 }
 
 fn apply(sim: &mut Sim, action: Action) -> Result<(), SimError> {

@@ -22,18 +22,23 @@
 //!   metastability vulnerability grid (Fig. 7), built on [`parallel`];
 //! * [`resilience`] — fault × mitigation matrices with invariant checks
 //!   (request conservation, bounded unavailability, retry amplification),
-//!   built on [`driver`] fault actions and [`parallel`].
+//!   built on [`driver`] fault actions and [`parallel`];
+//! * [`oracle`] — the deterministic consistency-anomaly checker: classifies
+//!   stale reads, lost writes, read-your-writes violations, and
+//!   non-monotonic reads from a completion log.
 
 pub mod driver;
 pub mod generator;
+pub mod oracle;
 pub mod parallel;
 pub mod quantile;
 pub mod recorder;
 pub mod resilience;
 pub mod sweep;
 
-pub use driver::{run_experiment, Action, ExperimentSpec};
+pub use driver::{run_experiment, run_experiment_collecting, Action, ExperimentSpec};
 pub use generator::{ApiMix, Arrival, OpenLoopGen, Phase};
+pub use oracle::{classify, classify_with_audit, converged_versions, AnomalyCounts, OracleSpec};
 pub use parallel::{par_run, Threads};
 pub use recorder::{ConservationReport, IntervalStats, Recorder};
 pub use resilience::{

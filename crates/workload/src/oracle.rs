@@ -1,0 +1,374 @@
+//! Deterministic consistency-anomaly oracle.
+//!
+//! Every [`Completion`] already carries the version information a checker
+//! needs: `root_seq` doubles as the write version the request stamped into
+//! stores, and `observed_version` is the highest version any read along the
+//! request saw. Classification is therefore a pure function of the
+//! completion log — no instrumentation inside the simulator, no wall clock,
+//! no sampling — and byte-identical at any thread count because the log
+//! itself is.
+//!
+//! Anomaly taxonomy (per entity; in this harness one entity == one client
+//! session, so session-scoped and key-scoped guarantees coincide):
+//!
+//! * **stale read** — a read observed a version older than the newest
+//!   *durable* acknowledged write that finished before the read was
+//!   submitted (replica lag made an acknowledged write temporarily
+//!   invisible);
+//! * **lost write** — an acknowledged write whose version exceeds the
+//!   entity's *converged* version: after traffic stopped and replication
+//!   settled, no reader can ever observe it (a failover promoted a replica
+//!   that never received it);
+//! * **read-your-writes violation** — a stale read judged against the
+//!   session's own durable writes. With per-entity sessions the write set
+//!   is the same as for stale reads, so the counters coincide numerically;
+//!   the class is kept separate because the *session* consistency mode
+//!   guarantees exactly this class (plus monotonicity) and nothing more;
+//! * **non-monotonic read** — a read that observed an older version than a
+//!   read that *completed before it was submitted* (time travel between
+//!   differently-lagged replicas).
+//!
+//! Telling a *stale* read from a *lost* write requires convergence
+//! information: a read below an acked write is "stale" if the write
+//! eventually becomes readable and "lost" if it never does. [`classify`]
+//! has no such information and reports every gap as staleness (the fig. 8
+//! setting: reads race replication on a healthy system).
+//! [`classify_with_audit`] takes the converged per-entity versions observed
+//! by settle-time audit reads and splits the two classes exactly.
+//!
+//! Reads that observed a later-lost version do not raise the monotonic
+//! floor: the anomaly is the loss itself, counted once as `lost_writes`,
+//! not every downstream shadow of it.
+
+use std::collections::BTreeMap;
+
+use blueprint_simrt::Completion;
+
+/// Which entry methods the oracle treats as store writes and store reads.
+///
+/// Method names are matched against [`Completion::method`]; everything else
+/// (and every failed completion) is ignored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleSpec {
+    /// Methods whose successful completions acknowledge a write of version
+    /// `root_seq` to the request's entity.
+    pub write_methods: Vec<String>,
+    /// Methods whose successful completions observed `observed_version`
+    /// for the request's entity.
+    pub read_methods: Vec<String>,
+}
+
+impl OracleSpec {
+    /// An oracle spec from method-name lists.
+    pub fn new<S: Into<String>>(
+        write_methods: impl IntoIterator<Item = S>,
+        read_methods: impl IntoIterator<Item = S>,
+    ) -> Self {
+        OracleSpec {
+            write_methods: write_methods.into_iter().map(Into::into).collect(),
+            read_methods: read_methods.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    fn is_write(&self, method: &str) -> bool {
+        self.write_methods.iter().any(|m| m == method)
+    }
+
+    fn is_read(&self, method: &str) -> bool {
+        self.read_methods.iter().any(|m| m == method)
+    }
+}
+
+/// Anomaly counts over one classified completion log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnomalyCounts {
+    /// Successful write completions considered.
+    pub acked_writes: u64,
+    /// Successful read completions considered.
+    pub reads: u64,
+    /// Reads below the newest durable write visible at submission.
+    pub stale_reads: u64,
+    /// Acked writes above their entity's converged version (never
+    /// readable). Only nonzero when convergence data was supplied.
+    pub lost_writes: u64,
+    /// Reads below the session's own durable writes (see module docs).
+    pub ryw_violations: u64,
+    /// Reads that went backwards relative to an earlier completed read.
+    pub non_monotonic_reads: u64,
+}
+
+impl AnomalyCounts {
+    /// Total anomalies across all classes.
+    pub fn total(&self) -> u64 {
+        self.stale_reads + self.lost_writes + self.ryw_violations + self.non_monotonic_reads
+    }
+
+    /// Whether the log is anomaly-free.
+    pub fn clean(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+impl std::fmt::Display for AnomalyCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "writes={} reads={} stale={} lost={} ryw={} nonmono={}",
+            self.acked_writes,
+            self.reads,
+            self.stale_reads,
+            self.lost_writes,
+            self.ryw_violations,
+            self.non_monotonic_reads
+        )
+    }
+}
+
+#[derive(Default)]
+struct EntityLog {
+    /// Acked writes: `(version, finished_ns)`.
+    writes: Vec<(u64, u64)>,
+    /// Ok reads: `(submitted_ns, root_seq, finished_ns, observed)`.
+    /// Field order doubles as the deterministic sort key.
+    reads: Vec<(u64, u64, u64, u64)>,
+}
+
+/// Classifies a completion log without convergence information: every gap
+/// between an acked write and a later read counts as a stale read, and no
+/// write can be proven lost. Use [`classify_with_audit`] when settle-time
+/// audit observations are available.
+pub fn classify(completions: &[Completion], spec: &OracleSpec) -> AnomalyCounts {
+    classify_with_audit(completions, spec, &BTreeMap::new())
+}
+
+/// Extracts converged per-entity versions from settle-time audit reads
+/// (successful completions of a read method). Multiple audits of one
+/// entity keep the highest observation.
+pub fn converged_versions(audit: &[Completion], spec: &OracleSpec) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for c in audit {
+        if c.ok && spec.is_read(&c.method) {
+            let v = out.entry(c.entity).or_insert(0);
+            *v = (*v).max(c.observed_version);
+        }
+    }
+    out
+}
+
+/// Classifies a completion log against converged per-entity versions (from
+/// [`converged_versions`] over post-settle audit reads).
+///
+/// An acked write above its entity's converged version is **lost**; only
+/// the remaining (durable) writes participate in the stale-read and
+/// read-your-writes floors. Entities absent from `converged` have no
+/// convergence data and cannot prove a loss. The classification is
+/// insensitive to completion order in `completions`.
+pub fn classify_with_audit(
+    completions: &[Completion],
+    spec: &OracleSpec,
+    converged: &BTreeMap<u64, u64>,
+) -> AnomalyCounts {
+    let mut entities: BTreeMap<u64, EntityLog> = BTreeMap::new();
+    let mut counts = AnomalyCounts::default();
+    for c in completions {
+        if !c.ok {
+            continue;
+        }
+        if spec.is_write(&c.method) {
+            counts.acked_writes += 1;
+            entities
+                .entry(c.entity)
+                .or_default()
+                .writes
+                .push((c.root_seq, c.finished_ns));
+        } else if spec.is_read(&c.method) {
+            counts.reads += 1;
+            entities.entry(c.entity).or_default().reads.push((
+                c.submitted_ns,
+                c.root_seq,
+                c.finished_ns,
+                c.observed_version,
+            ));
+        }
+    }
+
+    for (entity, mut log) in entities {
+        let final_obs = converged.get(&entity).copied();
+        // Split acked writes into durable and lost at the converged
+        // version; no convergence data means no write can be proven lost.
+        let durable: Vec<(u64, u64)> = log
+            .writes
+            .iter()
+            .copied()
+            .filter(|(v, _)| final_obs.map(|f| *v <= f).unwrap_or(true))
+            .collect();
+        counts.lost_writes += (log.writes.len() - durable.len()) as u64;
+
+        log.reads.sort_unstable();
+        for (i, &(submitted, _, _, observed)) in log.reads.iter().enumerate() {
+            // Freshness floor: the newest durable write acknowledged
+            // strictly before this read was submitted. Reads overlapping a
+            // write may legitimately return either version.
+            let visible_max = durable
+                .iter()
+                .filter(|(_, fin)| *fin <= submitted)
+                .map(|(v, _)| *v)
+                .max()
+                .unwrap_or(0);
+            if observed < visible_max {
+                counts.stale_reads += 1;
+                counts.ryw_violations += 1;
+            }
+            // Monotonic floor: the highest *durable* version observed by
+            // any read that completed before this one was submitted.
+            // Observations of later-lost versions are capped at the
+            // converged version so the loss is not double-counted.
+            let eff = |obs: u64| final_obs.map(|f| obs.min(f)).unwrap_or(obs);
+            let prior_max = log.reads[..i]
+                .iter()
+                .chain(log.reads[i + 1..].iter())
+                .filter(|(_, _, fin, _)| *fin <= submitted)
+                .map(|(_, _, _, obs)| eff(*obs))
+                .max()
+                .unwrap_or(0);
+            if eff(observed) < prior_max {
+                counts.non_monotonic_reads += 1;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> OracleSpec {
+        OracleSpec::new(["Write"], ["Read"])
+    }
+
+    fn w(entity: u64, version: u64, finished_ns: u64) -> Completion {
+        Completion {
+            entry: "e".into(),
+            method: "Write".into(),
+            entity,
+            root_seq: version,
+            submitted_ns: finished_ns.saturating_sub(10),
+            finished_ns,
+            ok: true,
+            observed_version: 0,
+            failure: None,
+        }
+    }
+
+    fn r(entity: u64, seq: u64, submitted_ns: u64, finished_ns: u64, observed: u64) -> Completion {
+        Completion {
+            entry: "e".into(),
+            method: "Read".into(),
+            entity,
+            root_seq: seq,
+            submitted_ns,
+            finished_ns,
+            ok: true,
+            observed_version: observed,
+            failure: None,
+        }
+    }
+
+    #[test]
+    fn clean_log_classifies_clean() {
+        let log = vec![w(1, 5, 100), r(1, 6, 200, 250, 5), r(1, 7, 300, 350, 5)];
+        let c = classify(&log, &spec());
+        assert_eq!(c.acked_writes, 1);
+        assert_eq!(c.reads, 2);
+        assert!(c.clean(), "{c}");
+    }
+
+    #[test]
+    fn read_below_acked_write_is_stale_and_ryw() {
+        let log = vec![w(1, 5, 100), r(1, 6, 200, 250, 0), r(1, 7, 300, 350, 5)];
+        let c = classify(&log, &spec());
+        assert_eq!(c.stale_reads, 1);
+        assert_eq!(c.ryw_violations, 1);
+        assert_eq!(c.lost_writes, 0, "no convergence data, no loss claims");
+    }
+
+    #[test]
+    fn read_overlapping_the_write_is_not_stale() {
+        // Submitted at 50, before the write finished at 100: concurrent
+        // operations may return either version.
+        let log = vec![w(1, 5, 100), r(1, 6, 50, 250, 0)];
+        assert!(classify(&log, &spec()).clean());
+    }
+
+    #[test]
+    fn audit_splits_lost_from_stale() {
+        // The write never becomes readable: converged version is 0.
+        let log = vec![w(1, 5, 100), r(1, 6, 200, 250, 0)];
+        let c = classify_with_audit(&log, &spec(), &[(1, 0)].into_iter().collect());
+        assert_eq!(c.lost_writes, 1);
+        assert_eq!(c.stale_reads, 0, "lost writes leave the freshness floor");
+        // Same log, converged at 5: the write is durable, the read stale.
+        let c = classify_with_audit(&log, &spec(), &[(1, 5)].into_iter().collect());
+        assert_eq!(c.lost_writes, 0);
+        assert_eq!(c.stale_reads, 1);
+        // An entity missing from the audit map proves nothing.
+        let c = classify_with_audit(&log, &spec(), &[(9, 0)].into_iter().collect());
+        assert_eq!(c.lost_writes, 0);
+    }
+
+    #[test]
+    fn non_monotonic_needs_completed_before_order() {
+        // Read of 7 completes at 150; a read submitted at 200 going back
+        // to 3 is time travel.
+        let back = vec![r(1, 2, 100, 150, 7), r(1, 3, 200, 250, 3)];
+        assert_eq!(classify(&back, &spec()).non_monotonic_reads, 1);
+        // Overlapping reads (second submitted before the first finished)
+        // may land on differently-lagged replicas without an anomaly.
+        let overlap = vec![r(1, 2, 100, 150, 7), r(1, 3, 120, 250, 3)];
+        assert_eq!(classify(&overlap, &spec()).non_monotonic_reads, 0);
+    }
+
+    #[test]
+    fn lost_observations_do_not_poison_the_monotonic_floor() {
+        // v9 was observed once (session redirect to the doomed primary)
+        // and then lost in a failover; the converged version is 5. The
+        // later read of 5 is not "non-monotonic" — the anomaly is the
+        // loss, counted once.
+        let log = vec![
+            w(1, 5, 100),
+            w(1, 9, 110),
+            r(1, 10, 120, 130, 9),
+            r(1, 11, 300, 350, 5),
+        ];
+        let c = classify_with_audit(&log, &spec(), &[(1, 5)].into_iter().collect());
+        assert_eq!(c.lost_writes, 1);
+        assert_eq!(c.stale_reads, 0);
+        assert_eq!(c.non_monotonic_reads, 0, "{c}");
+    }
+
+    #[test]
+    fn failed_and_foreign_completions_are_ignored() {
+        let mut failed_write = w(1, 5, 100);
+        failed_write.ok = false;
+        failed_write.failure = Some("quorum");
+        let mut other = r(1, 6, 200, 250, 0);
+        other.method = "Health".into();
+        let c = classify(&[failed_write, other], &spec());
+        assert_eq!(c.acked_writes, 0);
+        assert_eq!(c.reads, 0);
+        assert!(c.clean());
+    }
+
+    #[test]
+    fn converged_versions_keeps_the_highest_audit_observation() {
+        let audit = vec![
+            r(1, 2, 100, 150, 4),
+            r(1, 3, 200, 250, 7),
+            r(2, 4, 100, 150, 0),
+        ];
+        let m = converged_versions(&audit, &spec());
+        assert_eq!(m.get(&1), Some(&7));
+        assert_eq!(m.get(&2), Some(&0));
+    }
+}

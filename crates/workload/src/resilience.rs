@@ -21,8 +21,9 @@
 use blueprint_simrt::time::SimTime;
 use blueprint_simrt::{Fault, ReconfigPlan, Sim, SimConfig, SimError, SystemSpec};
 
-use crate::driver::{run_experiment, Action, ExperimentSpec};
+use crate::driver::{run_experiment, run_experiment_collecting, Action, ExperimentSpec};
 use crate::generator::{ApiMix, OpenLoopGen, Phase};
+use crate::oracle::{classify_with_audit, converged_versions, AnomalyCounts, OracleSpec};
 use crate::parallel::{par_run, Threads};
 use crate::recorder::{ConservationReport, IntervalStats};
 
@@ -555,6 +556,193 @@ pub fn run_matrix(
     })
 }
 
+/// A consistency scenario: the disturbance an arm of the consistency
+/// matrix runs under — scheduled faults (crashes, partitions) and/or a
+/// reconfiguration plan (rolling restarts), both of which can make a
+/// replicated store lose or hide acknowledged writes.
+#[derive(Debug, Clone)]
+pub struct ConsistencyScenario {
+    /// Scenario label (appears in matrix rows).
+    pub name: String,
+    /// Faults injected at the given virtual times.
+    pub faults: Vec<(SimTime, Fault)>,
+    /// Runtime-change plan riding in [`SimConfig`].
+    pub plan: ReconfigPlan,
+}
+
+impl ConsistencyScenario {
+    /// The disturbance-free baseline.
+    pub fn baseline() -> Self {
+        ConsistencyScenario {
+            name: "none".to_string(),
+            faults: Vec::new(),
+            plan: ReconfigPlan::none(),
+        }
+    }
+
+    /// A scenario built from scheduled faults.
+    pub fn faults(name: &str, faults: Vec<(SimTime, Fault)>) -> Self {
+        ConsistencyScenario {
+            name: name.to_string(),
+            faults,
+            plan: ReconfigPlan::none(),
+        }
+    }
+
+    /// A scenario built from a reconfiguration plan.
+    pub fn reconfig(name: &str, plan: ReconfigPlan) -> Self {
+        ConsistencyScenario {
+            name: name.to_string(),
+            faults: Vec::new(),
+            plan,
+        }
+    }
+}
+
+/// How a consistency cell probes the system: which methods the oracle
+/// treats as writes/reads, the entry used for settle-time audit reads, and
+/// how long to let replication settle before auditing.
+#[derive(Debug, Clone)]
+pub struct ConsistencyProbe {
+    /// Write/read method classification for the oracle.
+    pub oracle: OracleSpec,
+    /// Entry the audit reads are submitted to.
+    pub audit_entry: String,
+    /// Audit read method (must be in `oracle.read_methods` so audit
+    /// observations both feed the converged-version map and participate in
+    /// classification).
+    pub audit_method: String,
+    /// Post-traffic quiet period before the audit; must exceed the store's
+    /// maximum replication lag so surviving writes have converged.
+    pub settle_ns: SimTime,
+}
+
+/// The verified outcome of one (variant, consistency-scenario) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsistencyCellReport {
+    /// System-variant label (the consistency-mode arm).
+    pub variant: String,
+    /// Scenario label.
+    pub scenario: String,
+    /// Conservation accounting of the traffic phase.
+    pub conservation: ConservationReport,
+    /// Whether every submitted request terminated exactly once.
+    pub conserved: bool,
+    /// Oracle classification of the full log (traffic + audit reads).
+    pub anomalies: AnomalyCounts,
+    /// Entities whose settle-time audit read succeeded.
+    pub audited: u64,
+    /// Primary failovers the simulator executed.
+    pub failovers: u64,
+    /// Acked writes the simulator discarded at elections (runtime-side
+    /// ground truth the oracle's `lost_writes` is checked against).
+    pub runtime_lost_writes: u64,
+    /// Writes/reads rejected for lack of a reachable quorum.
+    pub quorum_rejections: u64,
+    /// Session-mode reads redirected to the primary by the session floor.
+    pub session_redirects: u64,
+}
+
+/// Runs one variant through one consistency scenario: seeded traffic with
+/// the scenario's faults and plan, a settle period, one audit read per
+/// entity, then oracle classification of the whole log against the
+/// converged versions the audit observed.
+pub fn run_consistency_cell(
+    system: &SystemSpec,
+    mix: &ApiMix,
+    probe: &ConsistencyProbe,
+    variant: &str,
+    scenario: &ConsistencyScenario,
+    cfg: &ResilienceConfig,
+) -> Result<ConsistencyCellReport, SimError> {
+    let mut sim = Sim::new(
+        system,
+        SimConfig {
+            seed: cfg.seed,
+            reconfig: scenario.plan.clone(),
+            ..Default::default()
+        },
+    )?;
+    for (backend, n) in &cfg.prefill_stores {
+        sim.store_fill(backend, *n, 1)?;
+    }
+    for (backend, n) in &cfg.prefill_caches {
+        sim.cache_fill(backend, *n, 1)?;
+    }
+    let phases = if cfg.phases.is_empty() {
+        vec![Phase::new(cfg.duration_s, cfg.rps)]
+    } else {
+        cfg.phases.clone()
+    };
+    let gen = OpenLoopGen::new(phases, mix.clone(), cfg.entities, cfg.seed);
+    let submitted = gen.clone().count() as u64;
+    let mut exp = ExperimentSpec::new(gen)
+        .interval(cfg.interval_ns)
+        .drain(cfg.drain_ns);
+    for (t, fault) in &scenario.faults {
+        exp = exp.at(*t, Action::Fault(fault.clone()));
+    }
+    let (mut rec, mut completions) = run_experiment_collecting(&mut sim, exp)?;
+
+    // Quiet period: let every surviving replica apply its in-flight
+    // replication before the audit (stragglers past the driver's drain are
+    // still recorded so conservation stays honest).
+    let settled = sim.now() + probe.settle_ns;
+    sim.run_until(settled);
+    for c in sim.drain_completions() {
+        rec.record(&c);
+        completions.push(c);
+    }
+    let conservation = rec.conservation(submitted);
+    let conserved = conservation.holds();
+
+    // One audit read per entity; their observations define the converged
+    // versions that split lost writes from merely-stale reads.
+    let handle = sim.entry_handle(&probe.audit_entry, &probe.audit_method)?;
+    for entity in 0..cfg.entities {
+        sim.submit_handle(handle, entity)?;
+    }
+    sim.run_until(sim.now() + cfg.drain_ns);
+    let audit = sim.drain_completions();
+    let audited = audit.iter().filter(|c| c.ok).count() as u64;
+    let converged = converged_versions(&audit, &probe.oracle);
+    completions.extend(audit);
+    let anomalies = classify_with_audit(&completions, &probe.oracle, &converged);
+
+    let m = &sim.metrics;
+    Ok(ConsistencyCellReport {
+        variant: variant.to_string(),
+        scenario: scenario.name.clone(),
+        conservation,
+        conserved,
+        anomalies,
+        audited,
+        failovers: m.counters.store_failovers,
+        runtime_lost_writes: m.backends.values().map(|b| b.lost_writes).sum(),
+        quorum_rejections: m.counters.quorum_rejections,
+        session_redirects: m.backends.values().map(|b| b.session_redirects).sum(),
+    })
+}
+
+/// Runs the variants × consistency-scenarios matrix on the parallel engine
+/// (same cell indexing as [`run_matrix`]), so the matrix is byte-identical
+/// at any `BLUEPRINT_THREADS`.
+pub fn run_consistency_matrix(
+    variants: &[(String, SystemSpec)],
+    scenarios: &[ConsistencyScenario],
+    mix: &ApiMix,
+    probe: &ConsistencyProbe,
+    cfg: &ResilienceConfig,
+    threads: Threads,
+) -> Result<Vec<ConsistencyCellReport>, SimError> {
+    let n = variants.len() * scenarios.len();
+    par_run(n, threads, |i| {
+        let (vi, si) = (i / scenarios.len(), i % scenarios.len());
+        let (name, system) = &variants[vi];
+        run_consistency_cell(system, mix, probe, name, &scenarios[si], cfg)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -972,5 +1160,233 @@ mod tests {
             retry_drainless.retries > seq[scenarios.len() + 1].retries,
             "masking the drainless spike costs retries"
         );
+    }
+
+    use blueprint_simrt::time::us;
+    use blueprint_simrt::{BackendRtKind, BackendSpec, ConsistencyMode, FailoverSpec};
+    use blueprint_workflow::KeyExpr;
+
+    /// front → one replicated store (primary `p_db`, replicas `p_r1`/`p_r2`
+    /// on the same host) with 60–180 ms asynchronous replication lag and
+    /// deterministic failover.
+    fn failover_store(consistency: ConsistencyMode) -> SystemSpec {
+        let mut spec = SystemSpec {
+            name: "cons".into(),
+            hosts: vec![
+                HostSpec {
+                    name: "h0".into(),
+                    cores: 4.0,
+                },
+                HostSpec {
+                    name: "h1".into(),
+                    cores: 4.0,
+                },
+            ],
+            processes: ["p_front", "p_db", "p_r1", "p_r2"]
+                .iter()
+                .enumerate()
+                .map(|(i, name)| ProcessSpec {
+                    name: (*name).into(),
+                    host: if i == 0 { 0 } else { 1 },
+                    gc: None,
+                })
+                .collect(),
+            ..Default::default()
+        };
+        spec.backends.push(BackendSpec {
+            name: "db".into(),
+            process: 1,
+            kind: BackendRtKind::Store {
+                read_latency_ns: us(100),
+                write_latency_ns: us(100),
+                cpu_per_op_ns: us(1),
+                cpu_per_item_ns: us(1),
+                replicas: 2,
+                replication_lag_ns: (ms(60), ms(180)),
+                consistency,
+                failover: Some(FailoverSpec {
+                    replica_processes: vec![2, 3],
+                    detection_ns: ms(5),
+                    election_ns: ms(5),
+                }),
+            },
+        });
+        let mut svc = ServiceSpec::new("svc", 0);
+        svc.methods.insert(
+            "Write".into(),
+            Behavior::build().db_write("d", KeyExpr::Entity).done(),
+        );
+        svc.methods.insert(
+            "Read".into(),
+            Behavior::build().db_read("d", KeyExpr::Entity).done(),
+        );
+        svc.deps.insert(
+            "d".into(),
+            DepBinding::Backend {
+                target: 0,
+                client: ClientSpec::local(),
+            },
+        );
+        spec.services.push(svc);
+        spec.entries.insert(
+            "front".into(),
+            EntrySpec {
+                service: 0,
+                client: ClientSpec::local(),
+            },
+        );
+        spec
+    }
+
+    fn probe() -> ConsistencyProbe {
+        ConsistencyProbe {
+            oracle: crate::oracle::OracleSpec::new(["Write"], ["Read"]),
+            audit_entry: "front".into(),
+            audit_method: "Read".into(),
+            settle_ns: secs(1),
+        }
+    }
+
+    fn cons_cfg() -> ResilienceConfig {
+        ResilienceConfig {
+            rps: 300.0,
+            duration_s: 8,
+            entities: 50,
+            seed: 11,
+            prefill_stores: vec![("db".into(), 50)],
+            ..Default::default()
+        }
+    }
+
+    fn cons_mix() -> ApiMix {
+        ApiMix::new()
+            .add("front", "Read", 0.8)
+            .add("front", "Write", 0.2)
+    }
+
+    /// Crash the primary shortly before traffic ends, so writes acked in
+    /// the last replication-lag window are lost and not rewritten.
+    fn late_crash() -> ConsistencyScenario {
+        ConsistencyScenario::faults(
+            "primary crash",
+            vec![(
+                secs(7) + ms(800),
+                Fault::ProcessCrash {
+                    process: "p_db".into(),
+                    restart_delay_ns: secs(3),
+                },
+            )],
+        )
+    }
+
+    #[test]
+    fn unguarded_arm_shows_stale_and_lost_under_primary_crash() {
+        let r = run_consistency_cell(
+            &failover_store(ConsistencyMode::ReadReplica),
+            &cons_mix(),
+            &probe(),
+            "read_replica",
+            &late_crash(),
+            &cons_cfg(),
+        )
+        .unwrap();
+        assert!(r.conserved, "{}", r.conservation);
+        assert_eq!(r.audited, 50, "every entity audited after settle");
+        assert!(r.failovers >= 1, "crash must elect a replica: {r:?}");
+        assert!(
+            r.anomalies.stale_reads > 0,
+            "asynchronous lag must surface stale reads: {}",
+            r.anomalies
+        );
+        assert!(
+            r.anomalies.lost_writes >= 1 && r.runtime_lost_writes >= 1,
+            "acked writes in the lag window must be lost at failover: {} (runtime {})",
+            r.anomalies,
+            r.runtime_lost_writes
+        );
+    }
+
+    #[test]
+    fn quorum_arm_is_anomaly_free_under_primary_crash() {
+        let r = run_consistency_cell(
+            &failover_store(ConsistencyMode::Quorum { w: 2, r: 2 }),
+            &cons_mix(),
+            &probe(),
+            "quorum",
+            &late_crash(),
+            &cons_cfg(),
+        )
+        .unwrap();
+        assert!(r.conserved, "{}", r.conservation);
+        assert!(
+            r.anomalies.clean(),
+            "w=2/r=2 guarantees freshness and durability: {}",
+            r.anomalies
+        );
+        assert_eq!(
+            r.runtime_lost_writes, 0,
+            "synchronous ack covers the quorum"
+        );
+    }
+
+    #[test]
+    fn session_arm_keeps_its_guaranteed_classes_clean() {
+        let r = run_consistency_cell(
+            &failover_store(ConsistencyMode::Session),
+            &cons_mix(),
+            &probe(),
+            "session",
+            &late_crash(),
+            &cons_cfg(),
+        )
+        .unwrap();
+        assert!(r.conserved, "{}", r.conservation);
+        assert!(r.session_redirects > 0, "the floor must redirect: {r:?}");
+        assert_eq!(
+            (r.anomalies.ryw_violations, r.anomalies.non_monotonic_reads),
+            (0, 0),
+            "session mode guarantees read-your-writes and monotonic reads: {}",
+            r.anomalies
+        );
+    }
+
+    #[test]
+    fn consistency_matrix_is_deterministic_across_thread_counts() {
+        let variants = vec![
+            (
+                "read_replica".to_string(),
+                failover_store(ConsistencyMode::ReadReplica),
+            ),
+            (
+                "session".to_string(),
+                failover_store(ConsistencyMode::Session),
+            ),
+        ];
+        let scenarios = vec![ConsistencyScenario::baseline(), late_crash()];
+        let cfg = ResilienceConfig {
+            duration_s: 4,
+            ..cons_cfg()
+        };
+        let seq = run_consistency_matrix(
+            &variants,
+            &scenarios,
+            &cons_mix(),
+            &probe(),
+            &cfg,
+            Threads::sequential(),
+        )
+        .unwrap();
+        let par = run_consistency_matrix(
+            &variants,
+            &scenarios,
+            &cons_mix(),
+            &probe(),
+            &cfg,
+            Threads::new(4),
+        )
+        .unwrap();
+        assert_eq!(seq.len(), 4);
+        assert_eq!(seq, par);
+        assert!(seq.iter().all(|c| c.conserved), "every cell conserved");
     }
 }
